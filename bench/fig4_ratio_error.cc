@@ -1,0 +1,74 @@
+// Fig 4a / 4b: error of the |J_i|/|U| ratio estimation using the
+// histogram-based method (+EO join-size instantiation) as a function of the
+// overlap scale, on UQ1 (4a) and UQ3 (4b).
+//
+// Paper shape: error is small and stable for large overlap scales and
+// noisier for small ones; UQ3 (shorter/fewer joins) is more accurate than
+// UQ1 (longer chains compound the max-degree bound).
+
+#include "bench_util.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+void RunUQ1() {
+  PrintHeader("Fig 4a: histogram-based |J_i|/|U| ratio error vs overlap (UQ1)");
+  std::printf("%-14s %-12s %-14s %-14s\n", "overlap_scale", "exact_|U|",
+              "est_|U|", "ratio_error");
+  for (double overlap : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    auto workload =
+        Unwrap(workloads::BuildUQ1(UQ1Config(0.5, overlap)), "UQ1");
+    auto exact = Unwrap(
+        ExactOverlapCalculator::Create(workload.joins), "FullJoinUnion");
+    auto exact_est = Unwrap(ComputeUnionEstimates(exact.get()), "exact est");
+
+    HistogramCatalog histograms;
+    auto hist = Unwrap(
+        HistogramOverlapEstimator::Create(workload.joins, &histograms),
+        "histogram estimator");
+    auto hist_est = Unwrap(ComputeUnionEstimates(hist.get()), "hist est");
+
+    std::printf("%-14.2f %-12.0f %-14.0f %-14.4f\n", overlap,
+                static_cast<double>(exact->UnionSize()),
+                hist_est.union_size_eq1,
+                RatioError(hist_est.JoinToUnionRatios(),
+                           exact_est.JoinToUnionRatios()));
+  }
+}
+
+void RunUQ3() {
+  PrintHeader("Fig 4b: histogram-based |J_i|/|U| ratio error vs window (UQ3)");
+  std::printf("%-14s %-12s %-14s %-14s\n", "window", "exact_|U|", "est_|U|",
+              "ratio_error");
+  for (double window : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    tpch::TpchConfig config;
+    config.scale_factor = 0.4;
+    auto workload = Unwrap(workloads::BuildUQ3(config, window), "UQ3");
+    auto exact = Unwrap(
+        ExactOverlapCalculator::Create(workload.joins), "FullJoinUnion");
+    auto exact_est = Unwrap(ComputeUnionEstimates(exact.get()), "exact est");
+
+    HistogramCatalog histograms;
+    auto hist = Unwrap(
+        HistogramOverlapEstimator::Create(workload.joins, &histograms),
+        "histogram estimator");
+    auto hist_est = Unwrap(ComputeUnionEstimates(hist.get()), "hist est");
+
+    std::printf("%-14.2f %-12.0f %-14.0f %-14.4f\n", window,
+                static_cast<double>(exact->UnionSize()),
+                hist_est.union_size_eq1,
+                RatioError(hist_est.JoinToUnionRatios(),
+                           exact_est.JoinToUnionRatios()));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+int main() {
+  suj::bench::RunUQ1();
+  suj::bench::RunUQ3();
+  return 0;
+}

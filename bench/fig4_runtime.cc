@@ -1,0 +1,79 @@
+// Fig 4c / 4d: runtime of union-size estimation -- histogram-based method
+// vs the FullJoinUnion brute force -- on UQ1 (4c) and UQ3 (4d), as data
+// scales.
+//
+// Paper shape: histogram-based is orders of magnitude faster than the full
+// join, and its advantage grows with data scale and overlap complexity.
+
+#include "bench_util.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+void RunUQ1() {
+  PrintHeader("Fig 4c: union-size estimation runtime vs data scale (UQ1)");
+  std::printf("%-8s %-12s %-16s %-16s %-10s\n", "scale", "total_rows",
+              "histogram_sec", "fulljoin_sec", "speedup");
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    auto workload =
+        Unwrap(workloads::BuildUQ1(UQ1Config(scale, 0.2)), "UQ1");
+
+    double hist_sec = TimeSeconds([&] {
+      HistogramCatalog histograms;
+      auto hist = Unwrap(
+          HistogramOverlapEstimator::Create(workload.joins, &histograms),
+          "histogram estimator");
+      Unwrap(ComputeUnionEstimates(hist.get()), "hist est");
+    });
+
+    double full_sec = TimeSeconds([&] {
+      auto exact = Unwrap(ExactOverlapCalculator::Create(workload.joins),
+                          "FullJoinUnion");
+      Unwrap(ComputeUnionEstimates(exact.get()), "exact est");
+    });
+
+    std::printf("%-8.2f %-12zu %-16.4f %-16.4f %-10.1fx\n", scale,
+                workload.catalog.TotalRows(), hist_sec, full_sec,
+                full_sec / hist_sec);
+  }
+}
+
+void RunUQ3() {
+  PrintHeader("Fig 4d: union-size estimation runtime vs data scale (UQ3)");
+  std::printf("%-8s %-12s %-16s %-16s %-10s\n", "scale", "total_rows",
+              "histogram_sec", "fulljoin_sec", "speedup");
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    tpch::TpchConfig config;
+    config.scale_factor = scale;
+    auto workload = Unwrap(workloads::BuildUQ3(config), "UQ3");
+
+    double hist_sec = TimeSeconds([&] {
+      HistogramCatalog histograms;
+      auto hist = Unwrap(
+          HistogramOverlapEstimator::Create(workload.joins, &histograms),
+          "histogram estimator");
+      Unwrap(ComputeUnionEstimates(hist.get()), "hist est");
+    });
+
+    double full_sec = TimeSeconds([&] {
+      auto exact = Unwrap(ExactOverlapCalculator::Create(workload.joins),
+                          "FullJoinUnion");
+      Unwrap(ComputeUnionEstimates(exact.get()), "exact est");
+    });
+
+    std::printf("%-8.2f %-12zu %-16.4f %-16.4f %-10.1fx\n", scale,
+                workload.catalog.TotalRows(), hist_sec, full_sec,
+                full_sec / hist_sec);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+int main() {
+  suj::bench::RunUQ1();
+  suj::bench::RunUQ3();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig 5f / 5g / 5h: runtime breakdown on UQ1 / UQ2 / UQ3 -- time spent on
+// parameter estimation (warm-up), producing accepted answers, and producing
+// rejected answers -- for hist+EW, hist+EO, and rw+EW.
+//
+// Paper shape: EO spends much more time on rejected answers than EW (EW's
+// join-level rejection rate is zero); EO wins on the warm-up side; time on
+// accepted answers is similar across instantiations, and duplicate (cover)
+// rejections are a minor cost.
+
+#include "bench_util.h"
+#include "join/membership.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+constexpr size_t kSamples = 3000;
+
+void RunOne(const char* figure, const char* name,
+            workloads::UnionWorkload workload, uint64_t seed) {
+  std::printf("\n=== %s: time breakdown (%s, N=%zu) ===\n", figure, name,
+              kSamples);
+  std::printf("%-10s %-12s %-14s %-14s %-12s %-12s\n", "method",
+              "warmup_sec", "accepted_sec", "rejected_sec", "cover_rej",
+              "join_rej");
+  CompositeIndexCache cache;
+  auto probers = Unwrap(BuildProbers(workload.joins), "probers");
+
+  struct Config {
+    const char* label;
+    bool rw_warmup;
+    WeightKind kind;
+  };
+  for (const Config& config :
+       {Config{"hist+EW", false, WeightKind::kExactWeight},
+        Config{"hist+EO", false, WeightKind::kExtendedOlken},
+        Config{"rw+EW", true, WeightKind::kExactWeight}}) {
+    UnionEstimates estimates;
+    double warmup_sec = TimeSeconds([&] {
+      if (config.rw_warmup) {
+        auto rw = Unwrap(
+            RandomWalkOverlapEstimator::Create(workload.joins, &cache),
+            "rw estimator");
+        Rng rng(seed);
+        UnwrapStatus(rw->Warmup(rng), "rw warmup");
+        estimates = Unwrap(ComputeUnionEstimates(rw.get()), "rw est");
+      } else {
+        HistogramCatalog histograms;
+        auto hist = Unwrap(
+            HistogramOverlapEstimator::Create(workload.joins, &histograms),
+            "hist estimator");
+        estimates = Unwrap(ComputeUnionEstimates(hist.get()), "hist est");
+      }
+      // Weight/index construction is part of parameter estimation cost.
+      MakeJoinSamplers(workload.joins, &cache, config.kind);
+    });
+
+    auto samplers = MakeJoinSamplers(workload.joins, &cache, config.kind);
+    UnionSampler::Options opts;
+    opts.mode = UnionSampler::Mode::kMembershipOracle;
+    auto sampler = Unwrap(
+        UnionSampler::Create(workload.joins, std::move(samplers), estimates,
+                             probers, opts),
+        "union sampler");
+    Rng rng(seed + 1);
+    Unwrap(sampler->Sample(kSamples, rng), "sampling");
+    const auto& stats = sampler->stats();
+    auto join_stats = sampler->AggregatedJoinStats();
+    std::printf("%-10s %-12.4f %-14.4f %-14.4f %-12llu %-12llu\n",
+                config.label, warmup_sec, stats.accepted_seconds,
+                stats.rejected_seconds,
+                static_cast<unsigned long long>(stats.rejected_cover),
+                static_cast<unsigned long long>(join_stats.rejections +
+                                                join_stats.dead_ends));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+int main() {
+  using suj::bench::RunOne;
+  using suj::bench::UQ1Config;
+  using suj::bench::Unwrap;
+
+  RunOne("Fig 5f", "UQ1",
+         Unwrap(suj::workloads::BuildUQ1(UQ1Config(1.0, 0.2)), "UQ1"), 31);
+
+  suj::tpch::TpchConfig uq2;
+  uq2.scale_factor = 1.0;
+  RunOne("Fig 5g", "UQ2", Unwrap(suj::workloads::BuildUQ2(uq2), "UQ2"), 32);
+
+  suj::tpch::TpchConfig uq3;
+  uq3.scale_factor = 1.0;
+  RunOne("Fig 5h", "UQ3", Unwrap(suj::workloads::BuildUQ3(uq3), "UQ3"), 33);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig 5c / 5d / 5e: SetUnion sampling runtime vs sample size N on UQ1,
+// UQ2, and UQ3, for the hist+EW, hist+EO, and rw+EW instantiations.
+//
+// Paper shape: runtime grows linearly with N; EW-based instantiations are
+// markedly faster than EO (zero join-level rejections); the warm-up choice
+// (histogram vs random-walk) barely affects the per-sample cost.
+
+#include "bench_util.h"
+#include "join/membership.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+struct Prepared {
+  workloads::UnionWorkload workload;
+  UnionEstimates hist_est;
+  UnionEstimates rw_est;
+  std::vector<JoinMembershipProberPtr> probers;
+  std::shared_ptr<CompositeIndexCache> cache;
+};
+
+Prepared Prepare(workloads::UnionWorkload workload, uint64_t seed) {
+  Prepared p{std::move(workload), {}, {}, {}, nullptr};
+  p.cache = std::make_shared<CompositeIndexCache>();
+  HistogramCatalog histograms;
+  auto hist = Unwrap(
+      HistogramOverlapEstimator::Create(p.workload.joins, &histograms),
+      "hist estimator");
+  p.hist_est = Unwrap(ComputeUnionEstimates(hist.get()), "hist est");
+  auto rw = Unwrap(
+      RandomWalkOverlapEstimator::Create(p.workload.joins, p.cache.get()),
+      "rw estimator");
+  Rng rng(seed);
+  UnwrapStatus(rw->Warmup(rng), "rw warmup");
+  p.rw_est = Unwrap(ComputeUnionEstimates(rw.get()), "rw est");
+  p.probers = Unwrap(BuildProbers(p.workload.joins), "probers");
+  return p;
+}
+
+double SampleSeconds(Prepared& p, const UnionEstimates& estimates,
+                     WeightKind kind, size_t n) {
+  auto samplers = MakeJoinSamplers(p.workload.joins, p.cache.get(), kind);
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = Unwrap(
+      UnionSampler::Create(p.workload.joins, std::move(samplers), estimates,
+                           p.probers, opts),
+      "union sampler");
+  Rng rng(13);
+  return TimeSeconds([&] { Unwrap(sampler->Sample(n, rng), "sampling"); });
+}
+
+void RunOne(const char* figure, const char* name,
+            workloads::UnionWorkload workload, uint64_t seed) {
+  std::printf("\n=== %s: sampling time vs N (%s) ===\n", figure, name);
+  Prepared p = Prepare(std::move(workload), seed);
+  std::printf("%-8s %-14s %-14s %-14s\n", "N", "hist+EW_sec", "hist+EO_sec",
+              "rw+EW_sec");
+  for (size_t n : {500, 1000, 2000, 4000, 8000}) {
+    std::printf("%-8zu %-14.4f %-14.4f %-14.4f\n", n,
+                SampleSeconds(p, p.hist_est, WeightKind::kExactWeight, n),
+                SampleSeconds(p, p.hist_est, WeightKind::kExtendedOlken, n),
+                SampleSeconds(p, p.rw_est, WeightKind::kExactWeight, n));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+int main() {
+  using suj::bench::RunOne;
+  using suj::bench::UQ1Config;
+  using suj::bench::Unwrap;
+
+  RunOne("Fig 5c", "UQ1",
+         Unwrap(suj::workloads::BuildUQ1(UQ1Config(1.0, 0.2)), "UQ1"), 21);
+
+  suj::tpch::TpchConfig uq2;
+  uq2.scale_factor = 1.0;
+  RunOne("Fig 5d", "UQ2",
+         Unwrap(suj::workloads::BuildUQ2(uq2), "UQ2"), 22);
+
+  suj::tpch::TpchConfig uq3;
+  uq3.scale_factor = 1.0;
+  RunOne("Fig 5e", "UQ3",
+         Unwrap(suj::workloads::BuildUQ3(uq3), "UQ3"), 23);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig 5a: error of the |J_i|/|U| ratio estimation -- histogram-based (+EO)
+// vs random-walk -- per join of UQ1.
+//
+// Paper shape: random-walk is extremely accurate and stable (near-zero
+// error for all joins); histogram-based is coarser, improving as overlap
+// grows.
+
+#include "bench_util.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig 5a: per-join |J_i|/|U| ratio error, histogram vs random-walk (UQ1)");
+  auto workload = Unwrap(workloads::BuildUQ1(UQ1Config(1.0, 0.2)), "UQ1");
+  auto exact = Unwrap(ExactOverlapCalculator::Create(workload.joins),
+                      "FullJoinUnion");
+  auto exact_est = Unwrap(ComputeUnionEstimates(exact.get()), "exact est");
+
+  HistogramCatalog histograms;
+  auto hist = Unwrap(
+      HistogramOverlapEstimator::Create(workload.joins, &histograms),
+      "histogram estimator");
+  auto hist_est = Unwrap(ComputeUnionEstimates(hist.get()), "hist est");
+
+  CompositeIndexCache cache;
+  RandomWalkOverlapEstimator::Options rw_opts;  // paper: 90% CI / 1000 walks
+  auto rw = Unwrap(
+      RandomWalkOverlapEstimator::Create(workload.joins, &cache, rw_opts),
+      "random-walk estimator");
+  Rng rng(7);
+  UnwrapStatus(rw->Warmup(rng), "random-walk warmup");
+  auto rw_est = Unwrap(ComputeUnionEstimates(rw.get()), "rw est");
+
+  auto exact_ratios = exact_est.JoinToUnionRatios();
+  auto hist_ratios = hist_est.JoinToUnionRatios();
+  auto rw_ratios = rw_est.JoinToUnionRatios();
+  std::printf("%-8s %-14s %-16s %-16s\n", "join", "exact_ratio",
+              "hist_err", "rw_err");
+  for (size_t j = 0; j < workload.joins.size(); ++j) {
+    double he = exact_ratios[j] > 0
+                    ? std::fabs(hist_ratios[j] - exact_ratios[j]) /
+                          exact_ratios[j]
+                    : 0.0;
+    double re = exact_ratios[j] > 0
+                    ? std::fabs(rw_ratios[j] - exact_ratios[j]) /
+                          exact_ratios[j]
+                    : 0.0;
+    std::printf("J%-7zu %-14.4f %-16.4f %-16.4f\n", j, exact_ratios[j], he,
+                re);
+  }
+  std::printf("mean     %-14s %-16.4f %-16.4f\n", "",
+              RatioError(hist_ratios, exact_ratios),
+              RatioError(rw_ratios, exact_ratios));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+int main() {
+  suj::bench::Run();
+  return 0;
+}

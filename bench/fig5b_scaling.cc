@@ -1,0 +1,76 @@
+// Fig 5b: SetUnion sampling time vs data scale on UQ1, comparing the EW
+// and EO join-sampler instantiations under histogram-based and random-walk
+// warm-ups.
+//
+// Paper shape: EW scales better than EO (EO's rejection rate grows with
+// relation size); the warm-up method has little effect on the sampling
+// phase itself.
+
+#include "bench_util.h"
+#include "join/membership.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+constexpr size_t kSamples = 2000;
+
+double SampleSeconds(const workloads::UnionWorkload& workload,
+                     const UnionEstimates& estimates, WeightKind kind,
+                     CompositeIndexCache* cache) {
+  auto samplers = MakeJoinSamplers(workload.joins, cache, kind);
+  auto probers = Unwrap(BuildProbers(workload.joins), "probers");
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = Unwrap(
+      UnionSampler::Create(workload.joins, std::move(samplers), estimates,
+                           probers, opts),
+      "union sampler");
+  Rng rng(11);
+  return TimeSeconds([&] {
+    Unwrap(sampler->Sample(kSamples, rng), "sampling");
+  });
+}
+
+void Run() {
+  PrintHeader("Fig 5b: SetUnion sampling time vs data scale (UQ1, N=2000)");
+  std::printf("%-8s %-14s %-14s %-14s %-14s\n", "scale", "hist+EW_sec",
+              "hist+EO_sec", "rw+EW_sec", "rw+EO_sec");
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    auto workload =
+        Unwrap(workloads::BuildUQ1(UQ1Config(scale, 0.2)), "UQ1");
+    CompositeIndexCache cache;
+
+    HistogramCatalog histograms;
+    auto hist = Unwrap(
+        HistogramOverlapEstimator::Create(workload.joins, &histograms),
+        "hist estimator");
+    auto hist_est = Unwrap(ComputeUnionEstimates(hist.get()), "hist est");
+
+    auto rw = Unwrap(
+        RandomWalkOverlapEstimator::Create(workload.joins, &cache),
+        "rw estimator");
+    Rng rng(12);
+    UnwrapStatus(rw->Warmup(rng), "rw warmup");
+    auto rw_est = Unwrap(ComputeUnionEstimates(rw.get()), "rw est");
+
+    std::printf("%-8.2f %-14.4f %-14.4f %-14.4f %-14.4f\n", scale,
+                SampleSeconds(workload, hist_est, WeightKind::kExactWeight,
+                              &cache),
+                SampleSeconds(workload, hist_est,
+                              WeightKind::kExtendedOlken, &cache),
+                SampleSeconds(workload, rw_est, WeightKind::kExactWeight,
+                              &cache),
+                SampleSeconds(workload, rw_est, WeightKind::kExtendedOlken,
+                              &cache));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+int main() {
+  suj::bench::Run();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Fig 6a / 6b: online union sampling with sample reuse (§7).
+//
+// 6a: sampling time vs sample size, random-walk method with and without
+//     reusing the warm-up walk tuples, on UQ1 / UQ2 / UQ3.
+// 6b: time per accepted sample in the reuse phase vs the regular (fresh
+//     walk) phase.
+//
+// Paper shape: reuse is markedly faster until the pools drain (a visible
+// slope change), with the gap largest on the workload with the largest
+// union (UQ1); per-sample cost in the reuse phase is a fraction of the
+// regular phase.
+
+#include "bench_util.h"
+#include "core/online_union_sampler.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+struct RunResult {
+  double seconds;
+  const OnlineUnionSampleStats stats;
+};
+
+double RunOnline(const workloads::UnionWorkload& workload, bool reuse,
+                 size_t n, uint64_t seed, OnlineUnionSampleStats* stats) {
+  CompositeIndexCache cache;
+  RandomWalkOverlapEstimator::Options rw_opts;
+  rw_opts.min_walks = 1000;  // a full warm-up pool to recycle
+  rw_opts.max_walks = 1000;
+  auto rw = Unwrap(
+      RandomWalkOverlapEstimator::Create(workload.joins, &cache, rw_opts),
+      "rw estimator");
+  Rng rng(seed);
+  UnwrapStatus(rw->Warmup(rng), "rw warmup");
+  auto estimates = Unwrap(ComputeUnionEstimates(rw.get()), "rw est");
+
+  OnlineUnionSampler::Options opts;
+  opts.enable_reuse = reuse;
+  auto sampler = Unwrap(
+      OnlineUnionSampler::Create(workload.joins, rw.get(), estimates, opts),
+      "online sampler");
+  double sec =
+      TimeSeconds([&] { Unwrap(sampler->Sample(n, rng), "sampling"); });
+  if (stats != nullptr) *stats = sampler->stats();
+  return sec;
+}
+
+void RunWorkload(const char* name, const workloads::UnionWorkload& workload,
+                 uint64_t seed) {
+  std::printf("\n=== Fig 6a: online sampling time vs N (%s) ===\n", name);
+  std::printf("%-8s %-16s %-16s\n", "N", "with_reuse_sec", "no_reuse_sec");
+  for (size_t n : {250, 500, 1000, 2000, 4000}) {
+    double with_reuse = RunOnline(workload, true, n, seed, nullptr);
+    double without = RunOnline(workload, false, n, seed, nullptr);
+    std::printf("%-8zu %-16.4f %-16.4f\n", n, with_reuse, without);
+  }
+
+  std::printf("\n=== Fig 6b: per-sample cost, reuse vs regular phase (%s) ===\n",
+              name);
+  OnlineUnionSampleStats stats;
+  RunOnline(workload, true, 3000, seed + 1, &stats);
+  double reuse_per = stats.reuse_accepted > 0
+                         ? stats.reuse_seconds /
+                               static_cast<double>(stats.reuse_accepted)
+                         : 0.0;
+  double regular_per = stats.fresh_accepted > 0
+                           ? stats.regular_seconds /
+                                 static_cast<double>(stats.fresh_accepted)
+                           : 0.0;
+  std::printf("reuse_accepted=%llu  reuse_sec/sample=%.6f\n",
+              static_cast<unsigned long long>(stats.reuse_accepted),
+              reuse_per);
+  std::printf("fresh_accepted=%llu  regular_sec/sample=%.6f\n",
+              static_cast<unsigned long long>(stats.fresh_accepted),
+              regular_per);
+  if (reuse_per > 0 && regular_per > 0) {
+    std::printf("regular/reuse cost ratio: %.2fx\n", regular_per / reuse_per);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+int main() {
+  using suj::bench::RunWorkload;
+  using suj::bench::UQ1Config;
+  using suj::bench::Unwrap;
+
+  RunWorkload("UQ1",
+              Unwrap(suj::workloads::BuildUQ1(UQ1Config(1.0, 0.2)), "UQ1"),
+              41);
+
+  suj::tpch::TpchConfig uq2;
+  uq2.scale_factor = 1.0;
+  RunWorkload("UQ2", Unwrap(suj::workloads::BuildUQ2(uq2), "UQ2"), 42);
+
+  suj::tpch::TpchConfig uq3;
+  uq3.scale_factor = 1.0;
+  RunWorkload("UQ3", Unwrap(suj::workloads::BuildUQ3(uq3), "UQ3"), 43);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// google-benchmark micro-benchmarks for the single-join sampling stack:
+// EW / EO / wander-join draw throughput, weight-index construction, and
+// membership probes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "join/membership.h"
+#include "join/wander_join.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+// One UQ1-style chain join at the given scale (built once per process).
+JoinSpecPtr ChainJoin(double scale) {
+  static std::map<double, JoinSpecPtr> cache;
+  auto it = cache.find(scale);
+  if (it != cache.end()) return it->second;
+  auto workload = Unwrap(
+      workloads::BuildUQ1(UQ1Config(scale, 0.2, /*num_variants=*/1)),
+      "UQ1");
+  cache[scale] = workload.joins[0];
+  return workload.joins[0];
+}
+
+void BM_ExactWeightBuild(benchmark::State& state) {
+  JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);
+  for (auto _ : state) {
+    CompositeIndexCache cache;
+    auto index = ExactWeightIndex::Build(join, &cache);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_ExactWeightBuild)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_ExactWeightSample(benchmark::State& state) {
+  JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);
+  CompositeIndexCache cache;
+  auto sampler = Unwrap(ExactWeightSampler::Create(join, &cache), "EW");
+  Rng rng(1);
+  for (auto _ : state) {
+    auto t = sampler->TrySample(rng);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactWeightSample)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_OlkenSample(benchmark::State& state) {
+  JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);
+  CompositeIndexCache cache;
+  auto sampler = Unwrap(OlkenJoinSampler::Create(join, &cache), "EO");
+  Rng rng(2);
+  for (auto _ : state) {
+    auto t = sampler->TrySample(rng);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OlkenSample)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_WanderJoinWalk(benchmark::State& state) {
+  JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);
+  CompositeIndexCache cache;
+  auto sampler = Unwrap(WanderJoinSampler::Create(join, &cache), "WJ");
+  Rng rng(3);
+  for (auto _ : state) {
+    WalkOutcome outcome = sampler->Walk(rng);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WanderJoinWalk)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_MembershipProbe(benchmark::State& state) {
+  JoinSpecPtr join = ChainJoin(1.0);
+  auto prober = Unwrap(JoinMembershipProber::Build(join), "prober");
+  CompositeIndexCache cache;
+  auto sampler = Unwrap(ExactWeightSampler::Create(join, &cache), "EW");
+  Rng rng(4);
+  Tuple t = Unwrap(sampler->Sample(rng), "sample");
+  for (auto _ : state) {
+    bool in = prober->Contains(t);
+    benchmark::DoNotOptimize(in);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MembershipProbe);
+
+void BM_FullJoinExecute(benchmark::State& state) {
+  JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);
+  for (auto _ : state) {
+    CompositeIndexCache cache;
+    FullJoinExecutor executor(&cache);
+    auto result = executor.Execute(join);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullJoinExecute)->Arg(5)->Arg(10);
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// google-benchmark micro-benchmarks for the storage substrate: tuple
+// encoding/hashing, relation scans, and index construction/probes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "index/hash_index.h"
+#include "stats/column_histogram.h"
+#include "tpch/generator.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+RelationPtr Lineitem() {
+  static RelationPtr lineitem = [] {
+    tpch::TpchConfig config;
+    config.scale_factor = 2.0;
+    auto catalog = Unwrap(tpch::TpchGenerator(config).Generate(), "tpch");
+    return Unwrap(catalog.Get("lineitem"), "lineitem");
+  }();
+  return lineitem;
+}
+
+void BM_TupleEncode(benchmark::State& state) {
+  Tuple t = Lineitem()->GetTuple(0);
+  for (auto _ : state) {
+    std::string enc = t.Encode();
+    benchmark::DoNotOptimize(enc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleEncode);
+
+void BM_TupleHash(benchmark::State& state) {
+  Tuple t = Lineitem()->GetTuple(0);
+  for (auto _ : state) {
+    uint64_t h = t.Hash();
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleHash);
+
+void BM_RelationScan(benchmark::State& state) {
+  RelationPtr rel = Lineitem();
+  int col = rel->schema().FieldIndex("l_quantity");
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (size_t row = 0; row < rel->num_rows(); ++row) {
+      sum += rel->GetInt64(row, col);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * Lineitem()->num_rows());
+}
+BENCHMARK(BM_RelationScan);
+
+void BM_HashIndexBuild(benchmark::State& state) {
+  RelationPtr rel = Lineitem();
+  for (auto _ : state) {
+    auto index = HashIndex::Build(rel, "orderkey");
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_HashIndexBuild);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  RelationPtr rel = Lineitem();
+  auto index = Unwrap(HashIndex::Build(rel, "orderkey"), "index");
+  Rng rng(1);
+  int col = rel->schema().FieldIndex("orderkey");
+  for (auto _ : state) {
+    size_t row = rng.UniformInt(rel->num_rows());
+    const auto& rows = index->Lookup(rel->GetValue(row, col));
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashIndexProbe);
+
+void BM_CompositeIndexBuild(benchmark::State& state) {
+  RelationPtr rel = Lineitem();
+  for (auto _ : state) {
+    auto index =
+        CompositeIndex::Build(rel, {"orderkey", "l_linenumber"});
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_CompositeIndexBuild);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  RelationPtr rel = Lineitem();
+  for (auto _ : state) {
+    auto hist = ColumnHistogram::Build(rel, "orderkey");
+    benchmark::DoNotOptimize(hist);
+  }
+}
+BENCHMARK(BM_HistogramBuild);
+
+void BM_TpchGenerate(benchmark::State& state) {
+  tpch::TpchConfig config;
+  config.scale_factor = state.range(0) / 10.0;
+  for (auto _ : state) {
+    auto catalog = tpch::TpchGenerator(config).Generate();
+    benchmark::DoNotOptimize(catalog);
+  }
+}
+BENCHMARK(BM_TpchGenerate)->Arg(5)->Arg(10);
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+BENCHMARK_MAIN();

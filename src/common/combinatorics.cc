@@ -1,0 +1,79 @@
+#include "common/combinatorics.h"
+
+#include <bit>
+#include <cassert>
+
+namespace suj {
+
+int PopCount(SubsetMask mask) { return std::popcount(mask); }
+
+double Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+std::vector<SubsetMask> SubsetsOfSize(int n, int k) {
+  assert(n >= 0 && n < 64);
+  std::vector<SubsetMask> out;
+  if (k < 0 || k > n) return out;
+  if (k == 0) {
+    out.push_back(0);
+    return out;
+  }
+  // Gosper's hack: iterate masks with exactly k bits in increasing order.
+  SubsetMask mask = (1ULL << k) - 1;
+  const SubsetMask limit = 1ULL << n;
+  while (mask < limit) {
+    out.push_back(mask);
+    SubsetMask c = mask & -mask;
+    SubsetMask r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+    if (c == 0) break;  // defensive: mask == 0 cannot happen for k >= 1
+  }
+  return out;
+}
+
+std::vector<SubsetMask> SubsetsOfSizeContaining(int n, int k, int must) {
+  assert(must >= 0 && must < n);
+  std::vector<SubsetMask> out;
+  if (k < 1 || k > n) return out;
+  // Choose the remaining k-1 elements from {0..n-1} \ {must}: enumerate
+  // subsets of size k-1 of n-1 "virtual" positions, then expand indices
+  // >= must by one.
+  for (SubsetMask sub : SubsetsOfSize(n - 1, k - 1)) {
+    SubsetMask expanded = 0;
+    for (int i = 0; i < n - 1; ++i) {
+      if (sub & (1ULL << i)) {
+        int real = i < must ? i : i + 1;
+        expanded |= 1ULL << real;
+      }
+    }
+    out.push_back(expanded | (1ULL << must));
+  }
+  return out;
+}
+
+std::vector<SubsetMask> NonEmptySubsetsOf(SubsetMask universe) {
+  std::vector<SubsetMask> out;
+  // Standard submask enumeration, collected then reversed to ascending order.
+  for (SubsetMask sub = universe; sub != 0; sub = (sub - 1) & universe) {
+    out.push_back(sub);
+  }
+  std::vector<SubsetMask> asc(out.rbegin(), out.rend());
+  return asc;
+}
+
+std::vector<int> MaskToIndices(SubsetMask mask) {
+  std::vector<int> idx;
+  for (int i = 0; i < 64; ++i) {
+    if (mask & (1ULL << i)) idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace suj

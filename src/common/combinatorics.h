@@ -1,0 +1,46 @@
+// Subset enumeration and binomial coefficients.
+//
+// The union-size machinery works over the powerset lattice of the join set:
+// Theorem 3 sums k-overlaps over all size-k subsets containing a join, and
+// the cover sizes are inclusion-exclusion sums over subsets of earlier joins.
+// Join sets are small in practice (the paper's workloads have 3-5 joins), so
+// subsets are represented as 64-bit masks.
+
+#ifndef SUJ_COMMON_COMBINATORICS_H_
+#define SUJ_COMMON_COMBINATORICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace suj {
+
+/// A subset of up to 64 joins, bit i set iff join i is in the subset.
+using SubsetMask = uint64_t;
+
+/// Number of elements in the subset.
+int PopCount(SubsetMask mask);
+
+/// Binomial coefficient C(n, k) as double (exact for the small n used here).
+double Binomial(int n, int k);
+
+/// All subsets of {0..n-1} of size exactly k, in lexicographic mask order.
+std::vector<SubsetMask> SubsetsOfSize(int n, int k);
+
+/// All subsets of {0..n-1} of size exactly k that contain element `must`.
+std::vector<SubsetMask> SubsetsOfSizeContaining(int n, int k, int must);
+
+/// All non-empty subsets of the elements selected by `universe`, in
+/// increasing mask order (bottom-up traversal of the powerset lattice).
+std::vector<SubsetMask> NonEmptySubsetsOf(SubsetMask universe);
+
+/// Indices of set bits, ascending.
+std::vector<int> MaskToIndices(SubsetMask mask);
+
+/// Mask with bits [0, n) set.
+inline SubsetMask FullMask(int n) {
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+}  // namespace suj
+
+#endif  // SUJ_COMMON_COMBINATORICS_H_

@@ -1,0 +1,30 @@
+// Assertion-style checks for programmer errors.
+//
+// SUJ_CHECK is used for invariants that indicate a bug when violated (never
+// for data-dependent failures, which return Status). Active in all build
+// types, like RocksDB's assert usage in critical paths.
+
+#ifndef SUJ_COMMON_LOGGING_H_
+#define SUJ_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace suj {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "SUJ_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace suj
+
+#define SUJ_CHECK(expr)                                 \
+  do {                                                  \
+    if (!(expr)) ::suj::CheckFailed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define SUJ_DCHECK(expr) SUJ_CHECK(expr)
+
+#endif  // SUJ_COMMON_LOGGING_H_

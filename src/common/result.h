@@ -1,0 +1,82 @@
+// Result<T>: a value-or-Status holder, the return type of fallible factories.
+
+#ifndef SUJ_COMMON_RESULT_H_
+#define SUJ_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace suj {
+
+/// \brief Holds either a successfully produced T or the Status describing
+/// why production failed.
+///
+/// Usage:
+/// \code
+///   Result<Relation> r = builder.Finish();
+///   if (!r.ok()) return r.status();
+///   Relation rel = std::move(r).value();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SUJ_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // value() on an error Result is a programmer error; the check stays on
+  // in release builds (like CHECK in production database code) so misuse
+  // aborts with a message instead of undefined behavior.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+/// Unwraps a Result into `lhs`, propagating errors to the caller.
+#define SUJ_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto SUJ_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!SUJ_CONCAT_(_res_, __LINE__).ok())        \
+    return SUJ_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(SUJ_CONCAT_(_res_, __LINE__)).value()
+
+#define SUJ_CONCAT_INNER_(a, b) a##b
+#define SUJ_CONCAT_(a, b) SUJ_CONCAT_INNER_(a, b)
+
+}  // namespace suj
+
+#endif  // SUJ_COMMON_RESULT_H_

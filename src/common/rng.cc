@@ -1,0 +1,129 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace suj {
+
+namespace {
+// splitmix64: seeds the xoshiro state from a single 64-bit seed.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling over the largest multiple of n below 2^64.
+  const uint64_t threshold = -n % n;  // (2^64 - n) mod n
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return (Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating-point slack: return the last index with positive weight.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  double u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  // Rejection-inversion sampling (Hormann & Derflinger) is overkill for the
+  // generator sizes used here; inverse-CDF over the harmonic weights with
+  // a cached normalizer would need per-(n,s) state. We use the standard
+  // rejection method which is exact and stateless.
+  if (n == 1) return 1;
+  if (s <= 1.0) {
+    // The rejection method below needs s > 1. For s <= 1 we invert the
+    // continuous approximation of the CDF (exact enough for synthetic data
+    // generation, which is the only caller of this regime).
+    double u = UniformDouble();
+    double x = std::exp(u * std::log(static_cast<double>(n) + 1.0)) - 1.0;
+    uint64_t k = static_cast<uint64_t>(x) + 1;
+    return k > n ? n : k;
+  }
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    double u = UniformDouble();
+    double v = UniformDouble();
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<uint64_t>(x);
+    }
+  }
+}
+
+}  // namespace suj

@@ -1,0 +1,60 @@
+// Seeded pseudo-random number generation used across the sampling stack.
+//
+// All randomized components take a Rng& so experiments are reproducible from
+// a single seed. The generator is xoshiro256** — fast, high quality, and
+// stable across platforms (unlike std::mt19937 distributions, whose outputs
+// are implementation-defined for some distribution types).
+
+#ifndef SUJ_COMMON_RNG_H_
+#define SUJ_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace suj {
+
+/// \brief Deterministic, seedable random number generator.
+class Rng {
+ public:
+  /// Seeds the generator. Identical seeds give identical streams.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid
+  /// modulo bias.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index from a discrete distribution proportional to
+  /// `weights` (need not be normalized; all weights must be >= 0 and their
+  /// sum > 0).
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Standard normal via Box-Muller (used by synthetic data generators).
+  double Gaussian();
+
+  /// Zipf-distributed integer in [1, n] with exponent s (used to generate
+  /// skewed join-attribute degree distributions).
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_COMMON_RNG_H_

@@ -1,0 +1,79 @@
+// Status: lightweight error propagation for database-style code paths.
+//
+// Follows the RocksDB/Arrow convention: functions that can fail return a
+// Status (or Result<T>, see result.h) instead of throwing. Exceptions are
+// reserved for programmer errors (assertion-style) only.
+
+#ifndef SUJ_COMMON_STATUS_H_
+#define SUJ_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace suj {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Outcome of an operation that can fail.
+///
+/// A Status is cheap to copy in the OK case (no allocation). Failed statuses
+/// carry a code and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SUJ_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::suj::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace suj
+
+#endif  // SUJ_COMMON_STATUS_H_

@@ -1,0 +1,43 @@
+#include "core/exact_overlap.h"
+
+namespace suj {
+
+Result<std::unique_ptr<ExactOverlapCalculator>> ExactOverlapCalculator::Create(
+    std::vector<JoinSpecPtr> joins, CompositeIndexCache* cache) {
+  SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+  if (joins.size() > 63) {
+    return Status::InvalidArgument("at most 63 joins supported");
+  }
+  auto calc = std::unique_ptr<ExactOverlapCalculator>(
+      new ExactOverlapCalculator(std::move(joins)));
+
+  FullJoinExecutor executor(cache);
+  for (size_t j = 0; j < calc->joins_.size(); ++j) {
+    auto result = executor.Execute(calc->joins_[j]);
+    if (!result.ok()) return result.status();
+    std::unordered_set<std::string> encoded;
+    encoded.reserve(result->tuples.size());
+    for (const auto& t : result->tuples) {
+      encoded.insert(t.Encode());
+    }
+    for (const auto& e : encoded) {
+      calc->membership_[e] |= 1ULL << j;
+    }
+    calc->join_sets_.push_back(std::move(encoded));
+  }
+  calc->union_size_ = calc->membership_.size();
+  return calc;
+}
+
+Result<double> ExactOverlapCalculator::EstimateOverlap(SubsetMask subset) {
+  if (subset == 0 || subset >= (1ULL << joins_.size())) {
+    return Status::InvalidArgument("subset mask out of range");
+  }
+  uint64_t count = 0;
+  for (const auto& [encoded, mask] : membership_) {
+    if ((mask & subset) == subset) ++count;
+  }
+  return static_cast<double>(count);
+}
+
+}  // namespace suj

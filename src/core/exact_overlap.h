@@ -1,0 +1,64 @@
+// ExactOverlapCalculator: ground-truth overlaps via full joins.
+//
+// Materializes every join once (the expensive FullJoinUnion baseline of §9),
+// keeps the encoded result sets, and answers overlap queries by set
+// intersection. Used as the reference the approximation methods are judged
+// against, and to parameterize samplers in exactness tests.
+
+#ifndef SUJ_CORE_EXACT_OVERLAP_H_
+#define SUJ_CORE_EXACT_OVERLAP_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/overlap_estimator.h"
+#include "join/full_join.h"
+
+namespace suj {
+
+/// \brief Exact |O_Delta| from materialized join results.
+class ExactOverlapCalculator : public OverlapEstimator {
+ public:
+  /// Executes every join in `joins` (fails if any full join exceeds the
+  /// executor's intermediate-row guard).
+  static Result<std::unique_ptr<ExactOverlapCalculator>> Create(
+      std::vector<JoinSpecPtr> joins, CompositeIndexCache* cache = nullptr);
+
+  const std::vector<JoinSpecPtr>& joins() const override { return joins_; }
+  Result<double> EstimateOverlap(SubsetMask subset) override;
+  bool IsUpperBound() const override { return false; }
+
+  /// Exact size of the set union of all join results.
+  uint64_t UnionSize() const { return union_size_; }
+
+  /// Exact size of one join result (distinct tuples).
+  uint64_t JoinSize(int join_index) const {
+    return join_sets_[join_index].size();
+  }
+
+  /// The distinct encoded tuples of one join (for test cross-checks).
+  const std::unordered_set<std::string>& join_set(int join_index) const {
+    return join_sets_[join_index];
+  }
+
+  /// For every distinct union tuple, the bitmask of joins containing it.
+  const std::unordered_map<std::string, SubsetMask>& membership() const {
+    return membership_;
+  }
+
+ private:
+  explicit ExactOverlapCalculator(std::vector<JoinSpecPtr> joins)
+      : joins_(std::move(joins)) {}
+
+  std::vector<JoinSpecPtr> joins_;
+  std::vector<std::unordered_set<std::string>> join_sets_;
+  std::unordered_map<std::string, SubsetMask> membership_;
+  uint64_t union_size_ = 0;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_CORE_EXACT_OVERLAP_H_

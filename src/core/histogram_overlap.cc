@@ -1,0 +1,247 @@
+#include "core/histogram_overlap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "join/join_size_bound.h"
+
+namespace suj {
+
+namespace {
+
+// Min over the shared attributes of consecutive path relations of the max
+// degree in `deg_side` (the relation whose histogram bounds the matches).
+Result<double> EdgeMaxDegree(const RelationPtr& probe_side,
+                             const RelationPtr& key_side,
+                             HistogramCatalog* histograms) {
+  std::vector<std::string> shared =
+      probe_side->schema().CommonFields(key_side->schema());
+  if (shared.empty()) {
+    return Status::Internal("path relations share no attribute");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& attr : shared) {
+    auto hist = histograms->GetOrBuild(probe_side, attr);
+    if (!hist.ok()) return hist.status();
+    best = std::min(best, static_cast<double>((*hist)->MaxDegree()));
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HistogramOverlapEstimator>>
+HistogramOverlapEstimator::Create(std::vector<JoinSpecPtr> joins,
+                                  HistogramCatalog* histograms,
+                                  Options options) {
+  SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+  if (histograms == nullptr) {
+    return Status::InvalidArgument("null histogram catalog");
+  }
+  if (joins.size() > 63) {
+    return Status::InvalidArgument("at most 63 joins supported");
+  }
+
+  auto est = std::unique_ptr<HistogramOverlapEstimator>(
+      new HistogramOverlapEstimator(std::move(joins), std::move(options)));
+
+  // Standard template: explicit or score-selected (§8.1).
+  if (!est->options_.template_attrs.empty()) {
+    est->template_attrs_ = est->options_.template_attrs;
+  } else {
+    auto tmpl = TemplateSelector::SelectTemplate(
+        est->joins_, est->options_.template_options);
+    if (!tmpl.ok()) return tmpl.status();
+    est->template_attrs_ = std::move(tmpl).value();
+  }
+
+  // Split every join against the template and precompute link statistics.
+  for (const auto& join : est->joins_) {
+    auto chain = SplitJoinToChain(join, est->template_attrs_);
+    if (!chain.ok()) return chain.status();
+
+    std::vector<LinkStats> link_stats;
+    for (const auto& link : chain->links) {
+      LinkStats ls;
+      ls.fake_join_to_next = link.fake_join_to_next;
+      if (!link.is_virtual()) {
+        const RelationPtr& src = join->relation(link.source_relation);
+        auto left = histograms->GetOrBuild(src, link.attr_left);
+        if (!left.ok()) return left.status();
+        auto right = histograms->GetOrBuild(src, link.attr_right);
+        if (!right.ok()) return right.status();
+        ls.left = std::move(left).value();
+        ls.right = std::move(right).value();
+        ls.row_bound = static_cast<double>(src->num_rows());
+      } else {
+        // Virtual link over path r_0..r_L: statistics come from the
+        // endpoint relations, inflated by the product of max degrees along
+        // the path (§8.1's sub-join estimation).
+        const auto& path = link.path;
+        const RelationPtr& first = join->relation(path.front());
+        const RelationPtr& last = join->relation(path.back());
+        auto left = histograms->GetOrBuild(first, link.attr_left);
+        if (!left.ok()) return left.status();
+        auto right = histograms->GetOrBuild(last, link.attr_right);
+        if (!right.ok()) return right.status();
+        ls.left = std::move(left).value();
+        ls.right = std::move(right).value();
+        for (size_t k = 0; k + 1 < path.size(); ++k) {
+          // Forward direction: probing r_{k+1} from r_k.
+          auto fwd = EdgeMaxDegree(join->relation(path[k + 1]),
+                                   join->relation(path[k]), histograms);
+          if (!fwd.ok()) return fwd.status();
+          ls.mult_left *= fwd.value();
+          // Backward direction: probing r_k from r_{k+1}.
+          auto bwd = EdgeMaxDegree(join->relation(path[k]),
+                                   join->relation(path[k + 1]), histograms);
+          if (!bwd.ok()) return bwd.status();
+          ls.mult_right *= bwd.value();
+        }
+        ls.row_bound =
+            static_cast<double>(first->num_rows()) * ls.mult_left;
+      }
+      link_stats.push_back(std::move(ls));
+    }
+    est->stats_.push_back(std::move(link_stats));
+    est->chains_.push_back(std::move(chain).value());
+
+    // Singleton bound: extended Olken over the original join, histograms
+    // only (tighter than the split chain; no splitting loss).
+    auto bound = ComputeOlkenBoundFromHistograms(join, histograms);
+    if (!bound.ok()) return bound.status();
+    est->join_size_bounds_.push_back(bound->bound);
+  }
+  return est;
+}
+
+double HistogramOverlapEstimator::BoundFromStart(
+    const std::vector<int>& members, int start) const {
+  const int num_links = static_cast<int>(stats_[members[0]].size());
+
+  // Degree statistic for the M terms.
+  auto deg_stat = [&](const ColumnHistogramPtr& hist) {
+    return options_.use_avg_degree ? hist->AvgDegree()
+                                   : static_cast<double>(hist->MaxDegree());
+  };
+
+  // K(1): value-level comparison at the shared attribute between links
+  // `start` and `start + 1` (or the single link for 1-link chains).
+  double k = 0.0;
+  if (num_links == 1) {
+    // One sub-relation: bound agreement on its right attribute value-wise.
+    const ColumnHistogram* smallest = nullptr;
+    int smallest_join = -1;
+    for (int j : members) {
+      const auto& h = stats_[j][0].right;
+      if (smallest == nullptr || h->NumDistinct() < smallest->NumDistinct()) {
+        smallest = h.get();
+        smallest_join = j;
+      }
+    }
+    for (const auto& [v, d] : smallest->counts()) {
+      double best = static_cast<double>(d) * stats_[smallest_join][0].mult_right;
+      for (int j : members) {
+        if (j == smallest_join) continue;
+        double dj = static_cast<double>(stats_[j][0].right->Degree(v)) *
+                    stats_[j][0].mult_right;
+        best = std::min(best, dj);
+        if (best == 0.0) break;
+      }
+      k += best;
+    }
+    return k;
+  }
+
+  // f_j(v): joined pairs of links (start, start+1) sharing value v.
+  auto pair_degree = [&](int j, const Value& v) -> double {
+    const LinkStats& a = stats_[j][start];
+    const LinkStats& b = stats_[j][start + 1];
+    double da = static_cast<double>(a.right->Degree(v)) * a.mult_right;
+    if (da == 0.0) return 0.0;
+    if (a.fake_join_to_next) return da;  // row-identity join
+    double db = static_cast<double>(b.left->Degree(v)) * b.mult_left;
+    return da * db;
+  };
+
+  // Iterate values of the member with the fewest distinct values.
+  int smallest_join = members[0];
+  for (int j : members) {
+    if (stats_[j][start].right->NumDistinct() <
+        stats_[smallest_join][start].right->NumDistinct()) {
+      smallest_join = j;
+    }
+  }
+  for (const auto& [v, d] : stats_[smallest_join][start].right->counts()) {
+    (void)d;
+    double best = pair_degree(smallest_join, v);
+    for (int j : members) {
+      if (best == 0.0) break;
+      if (j == smallest_join) continue;
+      best = std::min(best, pair_degree(j, v));
+    }
+    k += best;
+  }
+
+  // Forward extension: joins between link i and i+1, i > start.
+  for (int i = start + 1; i + 1 <= num_links - 1 && k > 0; ++i) {
+    double m = std::numeric_limits<double>::infinity();
+    for (int j : members) {
+      const LinkStats& cur = stats_[j][i];
+      const LinkStats& next = stats_[j][i + 1];
+      double mj = cur.fake_join_to_next
+                      ? 1.0
+                      : deg_stat(next.left) * next.mult_left;
+      m = std::min(m, mj);
+    }
+    k *= m;
+  }
+  // Backward extension: joins between link i and i+1, i < start.
+  for (int i = start - 1; i >= 0 && k > 0; --i) {
+    double m = std::numeric_limits<double>::infinity();
+    for (int j : members) {
+      const LinkStats& cur = stats_[j][i];
+      double mj = cur.fake_join_to_next
+                      ? 1.0
+                      : deg_stat(cur.right) * cur.mult_right;
+      m = std::min(m, mj);
+    }
+    k *= m;
+  }
+  return k;
+}
+
+Result<double> HistogramOverlapEstimator::EstimateOverlap(SubsetMask subset) {
+  if (subset == 0 || subset >= (1ULL << joins_.size())) {
+    return Status::InvalidArgument("subset mask out of range");
+  }
+  std::vector<int> members = MaskToIndices(subset);
+  if (members.size() == 1) {
+    return join_size_bounds_[members[0]];
+  }
+
+  const int num_links = static_cast<int>(stats_[members[0]].size());
+  double bound;
+  if (num_links == 0) {
+    // Single-attribute template: overlap bounded by the smallest join.
+    bound = std::numeric_limits<double>::infinity();
+  } else if (options_.best_rotation) {
+    bound = std::numeric_limits<double>::infinity();
+    const int max_start = num_links == 1 ? 1 : num_links - 1;
+    for (int start = 0; start < max_start; ++start) {
+      bound = std::min(bound, BoundFromStart(members, start));
+    }
+  } else {
+    bound = BoundFromStart(members, 0);
+  }
+
+  if (options_.cap_with_join_size || !std::isfinite(bound)) {
+    for (int j : members) {
+      bound = std::min(bound, join_size_bounds_[j]);
+    }
+  }
+  return bound;
+}
+
+}  // namespace suj

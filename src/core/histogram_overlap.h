@@ -1,0 +1,101 @@
+// Histogram-based overlap estimation (§5, Theorem 4; acyclic/cyclic
+// extension §8).
+//
+// The decentralized instantiation of the warm-up: join sizes and overlaps
+// are bounded purely from column statistics (value->degree histograms and
+// max degrees), with no access to the data itself. Every join is first
+// decomposed against the shared standard template (core/splitting.h); the
+// resulting aligned chains are compared link-by-link:
+//
+//   K(1) = sum_{v in C} min_j { d_A1(v, R_j1) * d_A1(v, R_j2) }
+//   K(i) = K(i-1) * min_j M_{j,i},   M_{j,i} = 1 for fake joins
+//   |O_Delta| <= K(L-1)
+//
+// Virtual links (template pairs not co-located in any base relation)
+// inflate their degree statistics by the product of max degrees along the
+// join path that connects the pair -- the §8.1 sub-join pre-estimation.
+//
+// Options extend the paper's base method:
+//  * use_avg_degree: replace max degree by average degree in the M terms
+//    (§5.1's refinement; tighter but no longer a guaranteed bound),
+//  * best_rotation: evaluate the recurrence starting from every adjacent
+//    link pair and keep the smallest bound (each start yields a valid
+//    bound, so the min is still a bound); OFF reproduces the paper.
+
+#ifndef SUJ_CORE_HISTOGRAM_OVERLAP_H_
+#define SUJ_CORE_HISTOGRAM_OVERLAP_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/overlap_estimator.h"
+#include "core/splitting.h"
+#include "core/template_selector.h"
+#include "stats/column_histogram.h"
+
+namespace suj {
+
+/// \brief Upper-bound overlap estimator from column histograms only.
+class HistogramOverlapEstimator : public OverlapEstimator {
+ public:
+  struct Options {
+    /// Use average instead of max degree in the M terms (§5.1 refinement;
+    /// estimates may undershoot).
+    bool use_avg_degree = false;
+    /// Take the min bound over all recurrence starting positions.
+    bool best_rotation = false;
+    /// Cap overlap bounds at the smallest member join-size bound.
+    bool cap_with_join_size = true;
+    /// Template selection knobs (§8.1.2).
+    TemplateSelector::Options template_options;
+    /// Explicit template; auto-selected when empty.
+    std::vector<std::string> template_attrs;
+  };
+
+  static Result<std::unique_ptr<HistogramOverlapEstimator>> Create(
+      std::vector<JoinSpecPtr> joins, HistogramCatalog* histograms,
+      Options options);
+  static Result<std::unique_ptr<HistogramOverlapEstimator>> Create(
+      std::vector<JoinSpecPtr> joins, HistogramCatalog* histograms) {
+    return Create(std::move(joins), histograms, Options());
+  }
+
+  const std::vector<JoinSpecPtr>& joins() const override { return joins_; }
+  Result<double> EstimateOverlap(SubsetMask subset) override;
+  bool IsUpperBound() const override { return !options_.use_avg_degree; }
+
+  /// The standard template the joins were split against.
+  const std::vector<std::string>& template_attrs() const {
+    return template_attrs_;
+  }
+  const std::vector<EstimationChain>& chains() const { return chains_; }
+
+ private:
+  /// Precomputed per-link statistics for one join.
+  struct LinkStats {
+    ColumnHistogramPtr left;    ///< histogram of attr_left in the source
+    ColumnHistogramPtr right;   ///< histogram of attr_right in the source
+    double mult_left = 1.0;     ///< virtual-link inflation, left-degree side
+    double mult_right = 1.0;    ///< virtual-link inflation, right-degree side
+    double row_bound = 0.0;     ///< bound on the (virtual) relation size
+    bool fake_join_to_next = false;
+  };
+
+  HistogramOverlapEstimator(std::vector<JoinSpecPtr> joins, Options options)
+      : joins_(std::move(joins)), options_(std::move(options)) {}
+
+  /// Bound with the K recurrence started at adjacent link pair
+  /// (start, start + 1).
+  double BoundFromStart(const std::vector<int>& members, int start) const;
+
+  std::vector<JoinSpecPtr> joins_;
+  Options options_;
+  std::vector<std::string> template_attrs_;
+  std::vector<EstimationChain> chains_;           // per join
+  std::vector<std::vector<LinkStats>> stats_;     // per join, per link
+  std::vector<double> join_size_bounds_;          // singleton bounds
+};
+
+}  // namespace suj
+
+#endif  // SUJ_CORE_HISTOGRAM_OVERLAP_H_

@@ -1,0 +1,53 @@
+#include "core/k_overlap.h"
+
+#include <algorithm>
+
+namespace suj {
+
+double KOverlapTable::UnionSize() const {
+  double total = 0.0;
+  for (int j = 0; j < num_joins; ++j) {
+    for (int k = 1; k <= num_joins; ++k) {
+      total += a[j][k] / static_cast<double>(k);
+    }
+  }
+  return total;
+}
+
+Result<KOverlapTable> SolveKOverlaps(
+    int num_joins, const std::function<Result<double>(SubsetMask)>& overlap) {
+  if (num_joins < 1 || num_joins > 63) {
+    return Status::InvalidArgument("num_joins must be in [1, 63]");
+  }
+  const int n = num_joins;
+  KOverlapTable table;
+  table.num_joins = n;
+  table.a.assign(n, std::vector<double>(n + 1, 0.0));
+
+  // Full-set overlap |O_S| seeds |A^n_j| for every j.
+  auto full = overlap(FullMask(n));
+  if (!full.ok()) return full.status();
+  for (int j = 0; j < n; ++j) {
+    table.a[j][n] = std::max(0.0, full.value());
+  }
+
+  // Top-down recurrence: k = n-1 .. 1.
+  for (int k = n - 1; k >= 1; --k) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (SubsetMask mask : SubsetsOfSizeContaining(n, k, j)) {
+        auto o = overlap(mask);
+        if (!o.ok()) return o.status();
+        sum += o.value();
+      }
+      double correction = 0.0;
+      for (int r = k + 1; r <= n; ++r) {
+        correction += Binomial(r - 1, k - 1) * table.a[j][r];
+      }
+      table.a[j][k] = std::max(0.0, sum - correction);
+    }
+  }
+  return table;
+}
+
+}  // namespace suj

@@ -1,0 +1,48 @@
+// k-overlap decomposition (§4, Theorem 3) and the union-size formula (Eq 1).
+//
+// A^k_j is the set of tuples of join J_j that appear in exactly k-1 other
+// joins. The A^k_j are disjoint within a join, and every union tuple
+// appearing in exactly k joins is counted once in each of those k joins'
+// A^k sets, so
+//     |U| = sum_j sum_k (1/k) |A^k_j|                                (Eq 1)
+// Theorem 3 recovers |A^k_j| top-down from the subset overlaps |O_Delta|:
+//     |A^n_j| = |O_S|,
+//     |A^k_j| = sum_{Delta in P_k, J_j in Delta} |O_Delta|
+//               - sum_{r=k+1..n} C(r-1, k-1) |A^r_j|.
+
+#ifndef SUJ_CORE_K_OVERLAP_H_
+#define SUJ_CORE_K_OVERLAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/combinatorics.h"
+#include "common/result.h"
+
+namespace suj {
+
+/// \brief The solved |A^k_j| table plus the Eq-1 union size.
+struct KOverlapTable {
+  int num_joins = 0;
+  /// a[j][k] = |A^k_j| for k in [1, n]; a[j][0] is unused.
+  std::vector<std::vector<double>> a;
+
+  /// Union size per Eq 1.
+  double UnionSize() const;
+
+  /// |A^k_j| accessor (k is 1-based, per the paper).
+  double At(int j, int k) const { return a[j][k]; }
+};
+
+/// \brief Computes the k-overlap decomposition from an overlap oracle.
+///
+/// `overlap(mask)` must return |O_mask| (or its estimate) for every
+/// non-empty subset mask over `num_joins` joins. With estimated overlaps
+/// the recurrence can go slightly negative; values are clamped at 0, which
+/// keeps Eq 1 meaningful (the paper's estimators feed this path).
+Result<KOverlapTable> SolveKOverlaps(
+    int num_joins, const std::function<Result<double>(SubsetMask)>& overlap);
+
+}  // namespace suj
+
+#endif  // SUJ_CORE_K_OVERLAP_H_

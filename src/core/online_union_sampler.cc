@@ -1,0 +1,287 @@
+#include "core/online_union_sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace suj {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+Result<std::unique_ptr<OnlineUnionSampler>> OnlineUnionSampler::Create(
+    std::vector<JoinSpecPtr> joins, RandomWalkOverlapEstimator* walker,
+    UnionEstimates initial, Options options) {
+  SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+  if (walker == nullptr) {
+    return Status::InvalidArgument("null random-walk estimator");
+  }
+  if (walker->joins().size() != joins.size()) {
+    return Status::InvalidArgument(
+        "random-walk estimator covers a different join set");
+  }
+  if (initial.cover_sizes.size() != joins.size()) {
+    return Status::InvalidArgument("estimates do not match the join count");
+  }
+  double total = 0.0;
+  for (double c : initial.cover_sizes) total += c;
+  if (total <= 0.0) {
+    return Status::FailedPrecondition(
+        "all cover sizes are zero; the union is (estimated) empty");
+  }
+  auto sampler = std::unique_ptr<OnlineUnionSampler>(new OnlineUnionSampler(
+      std::move(joins), walker, std::move(initial), options));
+  sampler->disabled_.assign(sampler->joins_.size(), false);
+  if (options.mode == UnionSampler::Mode::kMembershipOracle) {
+    auto probers = BuildProbers(sampler->joins_);
+    if (!probers.ok()) return probers.status();
+    sampler->probers_ = std::move(probers).value();
+  }
+  // Seed the reuse pools from the warm-up walk records.
+  sampler->pools_.resize(sampler->joins_.size());
+  sampler->pool_min_p_.assign(sampler->joins_.size(), 1.0);
+  if (options.enable_reuse) {
+    for (size_t j = 0; j < sampler->joins_.size(); ++j) {
+      for (const auto& rec : walker->records(static_cast<int>(j))) {
+        sampler->pools_[j].push_back({rec.tuple, rec.probability});
+        sampler->pool_min_p_[j] =
+            std::min(sampler->pool_min_p_[j], rec.probability);
+      }
+    }
+  }
+  return sampler;
+}
+
+double OnlineUnionSampler::TupleProbability(int owner_join) const {
+  double total = 0.0;
+  for (double c : estimates_.cover_sizes) total += c;
+  if (total <= 0.0 || estimates_.join_sizes[owner_join] <= 0.0) return 0.0;
+  return estimates_.cover_sizes[owner_join] / total /
+         estimates_.join_sizes[owner_join];
+}
+
+Status OnlineUnionSampler::Backtrack(std::vector<Tuple>* result,
+                                     std::vector<std::string>* keys,
+                                     std::vector<int>* owners,
+                                     std::vector<double>* probs, Rng& rng) {
+  auto start = Clock::now();
+  ++stats_.backtracks;
+  auto updated = ComputeUnionEstimates(walker_);
+  if (!updated.ok()) return updated.status();
+  estimates_ = std::move(updated).value();
+
+  // Thin previously accepted tuples toward the updated distribution: keep
+  // with probability min(1, p_new / p_old). A tuple kept has effective
+  // density min(p_old, p_new), which we record for the next pass.
+  size_t kept = 0;
+  for (size_t i = 0; i < result->size(); ++i) {
+    double p_old = (*probs)[i];
+    double p_new = TupleProbability((*owners)[i]);
+    double keep = p_old > 0.0 ? std::min(1.0, p_new / p_old) : 0.0;
+    if (rng.Bernoulli(keep)) {
+      if (kept != i) {
+        (*result)[kept] = std::move((*result)[i]);
+        (*keys)[kept] = std::move((*keys)[i]);
+        (*owners)[kept] = (*owners)[i];
+      }
+      (*probs)[kept] = std::min(p_old, p_new);
+      ++kept;
+    }
+  }
+  stats_.removed_by_backtrack += result->size() - kept;
+  result->resize(kept);
+  keys->resize(kept);
+  owners->resize(kept);
+  probs->resize(kept);
+
+  // Stop backtracking once every join's estimate reaches confidence gamma.
+  bool confident = true;
+  for (int j = 0; j < static_cast<int>(joins_.size()); ++j) {
+    if (walker_->JoinSizeRelativeHalfWidth(j, options_.confidence) >
+        options_.ci_threshold) {
+      confident = false;
+      break;
+    }
+  }
+  if (confident) backtracking_active_ = false;
+  stats_.backtrack_seconds += SecondsSince(start);
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> OnlineUnionSampler::Sample(size_t n, Rng& rng) {
+  std::vector<Tuple> result;
+  std::vector<std::string> keys;
+  std::vector<int> owners;
+  std::vector<double> probs;
+  result.reserve(n);
+
+  // Accepts `instances` copies of `t` into the result, subject to the
+  // union-level ownership check. Returns the number of copies added
+  // (0 == cover rejection).
+  auto union_accept = [&](Tuple t, int j, uint64_t instances,
+                          Rng& r) -> Result<uint64_t> {
+    std::string key = t.Encode();
+    if (options_.mode == UnionSampler::Mode::kMembershipOracle) {
+      // f(u): the first join containing the value (probed exactly, cached).
+      (void)r;
+      auto cached = owner_.find(key);
+      int f;
+      if (cached != owner_.end()) {
+        f = cached->second;
+      } else {
+        f = -1;
+        for (size_t i = 0; i < probers_.size(); ++i) {
+          if (probers_[i]->Contains(t)) {
+            f = static_cast<int>(i);
+            break;
+          }
+        }
+        owner_.emplace(key, f);
+      }
+      if (f != j) {
+        ++stats_.rejected_cover;
+        return 0;
+      }
+    } else {
+      auto it = owner_.find(key);
+      if (it != owner_.end() && it->second < j) {
+        ++stats_.rejected_cover;
+        return 0;
+      }
+      if (it != owner_.end() && it->second > j) {
+        ++stats_.revisions;
+        size_t before = result.size();
+        for (size_t k = result.size(); k-- > 0;) {
+          if (keys[k] == key) {
+            result.erase(result.begin() + k);
+            keys.erase(keys.begin() + k);
+            owners.erase(owners.begin() + k);
+            probs.erase(probs.begin() + k);
+          }
+        }
+        stats_.removed_by_revision += before - result.size();
+        it->second = j;
+      } else if (it == owner_.end()) {
+        owner_.emplace(key, j);
+      }
+    }
+    double p = TupleProbability(j);
+    for (uint64_t c = 0; c < instances; ++c) {
+      result.push_back(t);
+      keys.push_back(key);
+      owners.push_back(j);
+      probs.push_back(p);
+    }
+    stats_.accepted += instances;
+    return instances;
+  };
+
+  while (result.size() < n) {
+    ++stats_.rounds;
+    std::vector<double> weights = estimates_.cover_sizes;
+    double remaining = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (disabled_[i]) weights[i] = 0.0;
+      remaining += weights[i];
+    }
+    if (remaining <= 0.0) {
+      return Status::Internal(
+          "every join's cover was abandoned; warm-up estimates are "
+          "inconsistent with the data");
+    }
+    int j = static_cast<int>(rng.Categorical(weights));
+    double join_size = std::max(estimates_.join_sizes[j], 1e-12);
+
+    bool round_done = false;
+    for (uint64_t draw = 0;
+         draw < options_.max_draws_per_round && !round_done; ++draw) {
+      auto start = Clock::now();
+      ++stats_.join_draws;
+      ++recorded_since_backtrack_;
+
+      if (options_.enable_reuse && !pools_[j].empty()) {
+        // ---- Reuse phase: draw from the warm-up pool, no walk needed ----
+        ++stats_.reuse_draws;
+        size_t pick = rng.UniformInt(pools_[j].size());
+        PoolEntry entry = std::move(pools_[j][pick]);
+        pools_[j][pick] = std::move(pools_[j].back());
+        pools_[j].pop_back();
+
+        // Expected pool multiplicity of a tuple is proportional to its walk
+        // probability; accepting with p_min/p(t) equalizes emission rates
+        // (see header). The entry is consumed either way.
+        if (!rng.Bernoulli(pool_min_p_[j] / entry.probability)) {
+          double dt = SecondsSince(start);
+          stats_.reuse_seconds += dt;
+          stats_.rejected_seconds += dt;
+          continue;
+        }
+        auto added = union_accept(std::move(entry.tuple), j, 1, rng);
+        if (!added.ok()) return added.status();
+        double dt = SecondsSince(start);
+        stats_.reuse_seconds += dt;
+        if (added.value() > 0) {
+          stats_.reuse_accepted += added.value();
+          stats_.accepted_seconds += dt;
+          round_done = true;
+        } else {
+          stats_.rejected_seconds += dt;
+        }
+      } else {
+        // ---- Regular phase: fresh wander-join walk ----
+        ++stats_.fresh_walks;
+        auto outcome = walker_->WalkAndRecord(j, rng);
+        if (!outcome.ok()) return outcome.status();
+        if (!outcome->success) {
+          double dt = SecondsSince(start);
+          stats_.regular_seconds += dt;
+          stats_.rejected_seconds += dt;
+          continue;
+        }
+        double rate = 1.0 / (outcome->probability * join_size);
+        uint64_t instances = static_cast<uint64_t>(rate);
+        if (rng.Bernoulli(rate - std::floor(rate))) ++instances;
+        if (instances == 0) {
+          double dt = SecondsSince(start);
+          stats_.regular_seconds += dt;
+          stats_.rejected_seconds += dt;
+          continue;
+        }
+        auto added =
+            union_accept(std::move(outcome->tuple), j, instances, rng);
+        if (!added.ok()) return added.status();
+        double dt = SecondsSince(start);
+        stats_.regular_seconds += dt;
+        if (added.value() > 0) {
+          stats_.fresh_accepted += added.value();
+          stats_.accepted_seconds += dt;
+          round_done = true;
+        } else {
+          stats_.rejected_seconds += dt;
+        }
+      }
+
+      // Backtracking with parameter update (Algorithm 2, lines 18-20).
+      if (options_.backtrack_interval > 0 && backtracking_active_ &&
+          recorded_since_backtrack_ >= options_.backtrack_interval) {
+        recorded_since_backtrack_ = 0;
+        SUJ_RETURN_NOT_OK(Backtrack(&result, &keys, &owners, &probs, rng));
+        join_size = std::max(estimates_.join_sizes[j], 1e-12);
+      }
+    }
+    if (!round_done) {
+      // No owned tuple within the budget: the join's real cover is
+      // (effectively) empty; exclude it from further selection.
+      ++stats_.abandoned_rounds;
+      disabled_[j] = true;
+    }
+  }
+  result.resize(n);  // multi-instance accepts can overshoot
+  return result;
+}
+
+}  // namespace suj

@@ -1,0 +1,139 @@
+// Online union sampling (§7, Algorithm 2).
+//
+// Extends Algorithm 1 with two optimizations that amortize the random-walk
+// warm-up:
+//  * Sample reuse: the non-uniform tuples collected by wander-join walks
+//    (each with exact probability p(t)) are recycled into the main phase.
+//    A pool entry is popped uniformly (and consumed -- draws are without
+//    replacement) and accepted with probability p_min / p(t), where p_min
+//    is the smallest walk probability in the initial pool. Expected pool
+//    multiplicity of a tuple u is proportional to p(u), so acceptance
+//    p_min/p(u) equalizes the emission rate across tuples -- the same
+//    1/p(t)-reweighting as the paper's S'_j construction, implemented as a
+//    rejection step with acceptance <= 1 (avoiding the multi-instance
+//    variance blow-up of emitting 1/(p(t)|J_j|) copies at once). An
+//    exhausted pool falls back to fresh walks.
+//  * Backtracking with parameter update: estimates initialize from the
+//    cheap histogram method and are refined by every walk. Every phi
+//    recorded probabilities the estimates are recomputed and previously
+//    accepted tuples are re-thinned with probability min(1, p_new/p_old),
+//    aligning old samples with the updated distribution; backtracking
+//    stops once the walk estimates reach the target confidence gamma.
+//
+// Fresh walks are also converted to uniform samples via the same
+// acceptance-rate trick with l = 1, so the main phase never needs the EW/EO
+// machinery -- matching the paper's description of the online method.
+
+#ifndef SUJ_CORE_ONLINE_UNION_SAMPLER_H_
+#define SUJ_CORE_ONLINE_UNION_SAMPLER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/random_walk_overlap.h"
+#include "core/union_sampler.h"
+
+namespace suj {
+
+/// Counters for the online sampler; extends the union-level stats with
+/// reuse/backtracking accounting (Fig 6).
+struct OnlineUnionSampleStats : UnionSampleStats {
+  uint64_t reuse_draws = 0;        ///< pool draws attempted
+  uint64_t reuse_accepted = 0;     ///< result tuples emitted from the pool
+  uint64_t fresh_walks = 0;        ///< fresh wander-join walks
+  uint64_t fresh_accepted = 0;     ///< result tuples emitted from walks
+  uint64_t backtracks = 0;         ///< parameter-update passes
+  uint64_t removed_by_backtrack = 0;
+  double reuse_seconds = 0.0;      ///< time spent in pool draws
+  double regular_seconds = 0.0;    ///< time spent in fresh walks
+  double backtrack_seconds = 0.0;  ///< time spent re-estimating/thinning
+};
+
+/// \brief Algorithm 2: set-union sampling with reuse and backtracking.
+class OnlineUnionSampler {
+ public:
+  struct Options {
+    UnionSampler::Mode mode = UnionSampler::Mode::kMembershipOracle;
+    /// Recycle warm-up walk tuples (Fig 6 toggles this).
+    bool enable_reuse = true;
+    /// phi: recorded probabilities between backtracking passes; 0 disables.
+    uint64_t backtrack_interval = 0;
+    /// gamma: confidence level of the estimate CIs.
+    double confidence = 0.90;
+    /// Stop backtracking when every join's relative CI half-width at
+    /// `confidence` is below this threshold.
+    double ci_threshold = 0.10;
+    uint64_t max_draws_per_round = 100000;
+  };
+
+  /// \param joins     union-compatible joins (cover order).
+  /// \param walker    random-walk estimator; its recorded walks seed the
+  ///                  reuse pools, and fresh walks are routed through it so
+  ///                  estimates keep improving. Not owned; must outlive the
+  ///                  sampler.
+  /// \param initial   warm-up estimates (histogram-based for the online
+  ///                  setting, or walk-based when a warm-up was run).
+  static Result<std::unique_ptr<OnlineUnionSampler>> Create(
+      std::vector<JoinSpecPtr> joins, RandomWalkOverlapEstimator* walker,
+      UnionEstimates initial, Options options);
+  static Result<std::unique_ptr<OnlineUnionSampler>> Create(
+      std::vector<JoinSpecPtr> joins, RandomWalkOverlapEstimator* walker,
+      UnionEstimates initial) {
+    return Create(std::move(joins), walker, std::move(initial), Options());
+  }
+
+  /// Draws `n` tuples with replacement.
+  Result<std::vector<Tuple>> Sample(size_t n, Rng& rng);
+
+  const OnlineUnionSampleStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = OnlineUnionSampleStats(); }
+
+  /// Estimates currently in force (refined by backtracking passes).
+  const UnionEstimates& current_estimates() const { return estimates_; }
+
+ private:
+  struct PoolEntry {
+    Tuple tuple;
+    double probability;
+  };
+
+  OnlineUnionSampler(std::vector<JoinSpecPtr> joins,
+                     RandomWalkOverlapEstimator* walker,
+                     UnionEstimates initial, Options options)
+      : joins_(std::move(joins)),
+        walker_(walker),
+        estimates_(std::move(initial)),
+        options_(options) {}
+
+  /// Probability that one accepted draw lands on a FIXED value owned by
+  /// join j under the current estimates: cover_share(j) / |J_j|.
+  double TupleProbability(int owner_join) const;
+
+  /// Re-estimates parameters and thins the accepted result (§7).
+  Status Backtrack(std::vector<Tuple>* result,
+                   std::vector<std::string>* keys, std::vector<int>* owners,
+                   std::vector<double>* probs, Rng& rng);
+
+  std::vector<JoinSpecPtr> joins_;
+  RandomWalkOverlapEstimator* walker_;
+  UnionEstimates estimates_;
+  Options options_;
+  std::vector<std::vector<PoolEntry>> pools_;
+  /// Smallest walk probability in each join's initial pool (acceptance
+  /// normalizer; fixed at Create so acceptance stays <= 1 as pools drain).
+  std::vector<double> pool_min_p_;
+  std::vector<JoinMembershipProberPtr> probers_;  // oracle mode
+  std::unordered_map<std::string, int> owner_;    // ownership record
+  OnlineUnionSampleStats stats_;
+  uint64_t recorded_since_backtrack_ = 0;
+  bool backtracking_active_ = true;
+  /// Joins whose rounds were abandoned (estimated cover empty in reality);
+  /// excluded from selection even after backtracking refreshes estimates.
+  std::vector<bool> disabled_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_CORE_ONLINE_UNION_SAMPLER_H_

@@ -1,0 +1,5 @@
+// OverlapEstimator is a pure interface; this translation unit anchors its
+// vtable.
+#include "core/overlap_estimator.h"
+
+namespace suj {}  // namespace suj

@@ -1,0 +1,48 @@
+// OverlapEstimator: the warm-up interface of the union framework.
+//
+// Everything the union sampler needs from data -- join sizes |J_j|, overlap
+// sizes |O_Delta| for subsets Delta of the join set -- flows through this
+// interface. The framework is instantiated by plugging in one of:
+//  * ExactOverlapCalculator  (full joins; ground truth / FullJoinUnion),
+//  * HistogramOverlapEstimator (§5; upper bounds from column statistics),
+//  * RandomWalkOverlapEstimator (§6; online unbiased estimates).
+// Theorem 1 guarantees uniformity for ANY instantiation; they differ only
+// in sampling efficiency (§9).
+
+#ifndef SUJ_CORE_OVERLAP_ESTIMATOR_H_
+#define SUJ_CORE_OVERLAP_ESTIMATOR_H_
+
+#include <vector>
+
+#include "common/combinatorics.h"
+#include "common/result.h"
+#include "join/join_spec.h"
+
+namespace suj {
+
+/// \brief Supplies |O_Delta| estimates for subsets of a fixed join set.
+class OverlapEstimator {
+ public:
+  virtual ~OverlapEstimator() = default;
+
+  /// The join set S = {J_0..J_{n-1}} this estimator covers.
+  virtual const std::vector<JoinSpecPtr>& joins() const = 0;
+  int num_joins() const { return static_cast<int>(joins().size()); }
+
+  /// Estimate of |O_Delta| = |intersection of joins selected by `subset`|.
+  /// `subset` must be non-empty; a singleton yields the join-size estimate.
+  virtual Result<double> EstimateOverlap(SubsetMask subset) = 0;
+
+  /// Estimate of |J_j| (shorthand for the singleton subset).
+  Result<double> EstimateJoinSize(int join_index) {
+    return EstimateOverlap(1ULL << join_index);
+  }
+
+  /// True iff estimates are guaranteed upper bounds (histogram method)
+  /// rather than convergent point estimates (random walk, exact).
+  virtual bool IsUpperBound() const = 0;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_CORE_OVERLAP_ESTIMATOR_H_

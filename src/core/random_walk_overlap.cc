@@ -1,0 +1,143 @@
+#include "core/random_walk_overlap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace suj {
+
+Result<std::unique_ptr<RandomWalkOverlapEstimator>>
+RandomWalkOverlapEstimator::Create(std::vector<JoinSpecPtr> joins,
+                                   CompositeIndexCache* cache,
+                                   Options options) {
+  SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+  if (cache == nullptr) return Status::InvalidArgument("null index cache");
+  if (joins.size() > 63) {
+    return Status::InvalidArgument("at most 63 joins supported");
+  }
+  auto est = std::unique_ptr<RandomWalkOverlapEstimator>(
+      new RandomWalkOverlapEstimator(std::move(joins), options));
+  for (const auto& join : est->joins_) {
+    auto sampler = WanderJoinSampler::Create(join, cache);
+    if (!sampler.ok()) return sampler.status();
+    est->samplers_.push_back(std::move(sampler).value());
+  }
+  for (auto& sampler : est->samplers_) {
+    est->estimators_.emplace_back(sampler.get());
+  }
+  auto probers = BuildProbers(est->joins_);
+  if (!probers.ok()) return probers.status();
+  est->probers_ = std::move(probers).value();
+  est->records_.resize(est->joins_.size());
+  return est;
+}
+
+SubsetMask RandomWalkOverlapEstimator::MembershipMask(const Tuple& tuple,
+                                                      int origin) const {
+  SubsetMask mask = 1ULL << origin;
+  for (size_t i = 0; i < probers_.size(); ++i) {
+    if (static_cast<int>(i) == origin) continue;
+    if (probers_[i]->Contains(tuple)) mask |= 1ULL << i;
+  }
+  return mask;
+}
+
+Result<WalkOutcome> RandomWalkOverlapEstimator::WalkAndRecord(int join_index,
+                                                              Rng& rng) {
+  if (join_index < 0 || join_index >= num_joins()) {
+    return Status::InvalidArgument("join index out of range");
+  }
+  WalkOutcome outcome = estimators_[join_index].Step(rng);
+  if (outcome.success) {
+    records_[join_index].push_back(
+        {outcome.tuple, outcome.probability,
+         MembershipMask(outcome.tuple, join_index)});
+  }
+  return outcome;
+}
+
+Status RandomWalkOverlapEstimator::Warmup(Rng& rng) {
+  for (int j = 0; j < num_joins(); ++j) {
+    auto& est = estimators_[j];
+    while (est.num_walks() < options_.min_walks) {
+      SUJ_RETURN_NOT_OK(WalkAndRecord(j, rng).status());
+    }
+    while (est.num_walks() < options_.max_walks &&
+           est.estimator().RelativeHalfWidth(options_.confidence) >
+               options_.relative_halfwidth) {
+      SUJ_RETURN_NOT_OK(WalkAndRecord(j, rng).status());
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> RandomWalkOverlapEstimator::EstimateOverlap(
+    SubsetMask subset) {
+  if (subset == 0 || subset >= (1ULL << joins_.size())) {
+    return Status::InvalidArgument("subset mask out of range");
+  }
+  std::vector<int> members = MaskToIndices(subset);
+
+  // Fix the source join J_j in Delta (§6.2): prefer the member with the
+  // most recorded walks for stability, ties to the lowest index.
+  int source = members[0];
+  for (int j : members) {
+    if (records_[j].size() > records_[source].size()) source = j;
+  }
+  if (estimators_[source].num_walks() == 0) {
+    return Status::FailedPrecondition(
+        "random-walk estimator has no walks; call Warmup() first");
+  }
+
+  // Direct Horvitz-Thompson estimate of the overlap: walks landing in every
+  // member join contribute 1/p, divided by the total walk count. This
+  // equals |J_j|_HT * |S'_cap| / |S'_j| (Eq 2) algebraically.
+  double overlap_weight = 0.0;
+  for (const auto& rec : records_[source]) {
+    if ((rec.membership & subset) == subset) {
+      overlap_weight += 1.0 / rec.probability;
+    }
+  }
+  return overlap_weight /
+         static_cast<double>(estimators_[source].num_walks());
+}
+
+Result<double> RandomWalkOverlapEstimator::OverlapHalfWidth(
+    SubsetMask subset, double confidence) const {
+  if (subset == 0 || subset >= (1ULL << joins_.size())) {
+    return Status::InvalidArgument("subset mask out of range");
+  }
+  std::vector<int> members = MaskToIndices(subset);
+  // Eq 3: combine, over member joins, the size-estimator moments T_n
+  // (mean), T_{n,2} (variance) with the binomial overlap-ratio variance
+  // p(1-p).
+  double sum = 0.0;
+  size_t n_total = 0;
+  for (int j : members) {
+    const auto& stats = estimators_[j].estimator().stats();
+    if (stats.count() == 0) continue;
+    n_total += stats.count();
+    double t_n = stats.mean();
+    double t_n2 = stats.variance();
+    // Ratio of source-join walks that land in the full subset.
+    double weight_all = 0.0, weight_in = 0.0;
+    for (const auto& rec : records_[j]) {
+      double w = 1.0 / rec.probability;
+      weight_all += w;
+      if ((rec.membership & subset) == subset) weight_in += w;
+    }
+    double p_hat = weight_all > 0.0 ? weight_in / weight_all : 0.0;
+    sum += t_n2 * p_hat * (1.0 - p_hat) + t_n2 * p_hat +
+           t_n * p_hat * (1.0 - p_hat);
+  }
+  if (n_total == 0) return std::numeric_limits<double>::infinity();
+  return ZCritical(confidence) *
+         std::sqrt(sum / static_cast<double>(n_total));
+}
+
+double RandomWalkOverlapEstimator::JoinSizeRelativeHalfWidth(
+    int join_index, double confidence) const {
+  return estimators_[join_index].estimator().RelativeHalfWidth(confidence);
+}
+
+}  // namespace suj

@@ -1,0 +1,96 @@
+// Random-walk overlap estimation (§6, Eq 2/3).
+//
+// The centralized instantiation of the warm-up: wander-join walks over each
+// join produce tuples with exactly known probabilities; Horvitz-Thompson
+// weighting (the paper's S'_j construction, which replicates each tuple
+// 1/p(t) times) yields unbiased estimates of |J_j|, and probing each walk
+// tuple for membership in the other joins (hash-table lookups, §6.2) yields
+// the overlap ratio |O_Delta|/|J_j| and hence |O_Delta|. Walks terminate at
+// a target confidence level or a walk cap, per §9's setup (90% / 1000).
+//
+// Every successful walk is recorded (tuple, probability, membership mask);
+// the records double as the reuse pool of the online union sampler (§7).
+
+#ifndef SUJ_CORE_RANDOM_WALK_OVERLAP_H_
+#define SUJ_CORE_RANDOM_WALK_OVERLAP_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/overlap_estimator.h"
+#include "join/membership.h"
+#include "join/wander_join.h"
+
+namespace suj {
+
+/// \brief Online, unbiased overlap estimator driven by random walks.
+class RandomWalkOverlapEstimator : public OverlapEstimator {
+ public:
+  struct Options {
+    /// Confidence level for the termination rule (paper: 0.90).
+    double confidence = 0.90;
+    /// Stop when the relative CI half-width of |J_j| drops below this.
+    double relative_halfwidth = 0.10;
+    /// Walk budget per join (paper caps warm-up at 1,000 samples).
+    uint64_t min_walks = 64;
+    uint64_t max_walks = 1000;
+  };
+
+  static Result<std::unique_ptr<RandomWalkOverlapEstimator>> Create(
+      std::vector<JoinSpecPtr> joins, CompositeIndexCache* cache,
+      Options options);
+  static Result<std::unique_ptr<RandomWalkOverlapEstimator>> Create(
+      std::vector<JoinSpecPtr> joins, CompositeIndexCache* cache) {
+    return Create(std::move(joins), cache, Options());
+  }
+
+  /// Runs the warm-up walks for every join (no-op for joins already at
+  /// their budget).
+  Status Warmup(Rng& rng);
+
+  /// One additional walk on `join_index`, folded into the estimates and the
+  /// record pool. Used by the online union sampler, which interleaves
+  /// estimation with sampling (§7). Returns the walk outcome for reuse.
+  Result<WalkOutcome> WalkAndRecord(int join_index, Rng& rng);
+
+  const std::vector<JoinSpecPtr>& joins() const override { return joins_; }
+  Result<double> EstimateOverlap(SubsetMask subset) override;
+  bool IsUpperBound() const override { return false; }
+
+  /// Eq-3-style confidence half-width for |O_subset| at `confidence`.
+  Result<double> OverlapHalfWidth(SubsetMask subset, double confidence) const;
+
+  /// Relative CI half-width of |J_j| (the backtracking stop criterion).
+  double JoinSizeRelativeHalfWidth(int join_index, double confidence) const;
+
+  /// One recorded successful walk.
+  struct WalkRecord {
+    Tuple tuple;
+    double probability;
+    SubsetMask membership;  ///< joins containing the tuple (own bit set)
+  };
+  const std::vector<WalkRecord>& records(int join_index) const {
+    return records_[join_index];
+  }
+  uint64_t num_walks(int join_index) const {
+    return estimators_[join_index].num_walks();
+  }
+
+ private:
+  RandomWalkOverlapEstimator(std::vector<JoinSpecPtr> joins, Options options)
+      : joins_(std::move(joins)), options_(options) {}
+
+  /// Membership bitmask of `tuple` over all joins (bit j set iff in J_j).
+  SubsetMask MembershipMask(const Tuple& tuple, int origin) const;
+
+  std::vector<JoinSpecPtr> joins_;
+  Options options_;
+  std::vector<std::unique_ptr<WanderJoinSampler>> samplers_;
+  std::vector<WanderJoinSizeEstimator> estimators_;
+  std::vector<JoinMembershipProberPtr> probers_;
+  std::vector<std::vector<WalkRecord>> records_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_CORE_RANDOM_WALK_OVERLAP_H_

@@ -1,0 +1,129 @@
+#include "core/splitting.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace suj {
+
+namespace {
+
+std::vector<int> Holders(const JoinSpec& join, const std::string& a) {
+  std::vector<int> out;
+  for (int r = 0; r < join.num_relations(); ++r) {
+    if (join.relation(r)->schema().HasField(a)) out.push_back(r);
+  }
+  return out;
+}
+
+// Shortest relation-index path from any holder of `a` to any holder of `b`
+// over the structural edges.
+Result<std::vector<int>> ShortestPath(const JoinSpec& join,
+                                      const std::string& a,
+                                      const std::string& b) {
+  const int n = join.num_relations();
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& e : join.graph().edges()) {
+    adj[e.left].push_back(e.right);
+    adj[e.right].push_back(e.left);
+  }
+  std::vector<int> from = Holders(join, a);
+  std::vector<int> to = Holders(join, b);
+  if (from.empty() || to.empty()) {
+    return Status::NotFound("attribute '" + (from.empty() ? a : b) +
+                            "' not in join '" + join.name() + "'");
+  }
+  std::vector<bool> target(n, false);
+  for (int r : to) target[r] = true;
+  std::vector<int> prev(n, -2);
+  std::deque<int> queue;
+  for (int r : from) {
+    prev[r] = -1;
+    queue.push_back(r);
+  }
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop_front();
+    if (target[u]) {
+      std::vector<int> path;
+      for (int cur = u; cur >= 0; cur = prev[cur]) path.push_back(cur);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (int v : adj[u]) {
+      if (prev[v] == -2) {
+        prev[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return Status::Internal("join graph disconnected in ShortestPath()");
+}
+
+}  // namespace
+
+Result<EstimationChain> SplitJoinToChain(
+    const JoinSpecPtr& join, const std::vector<std::string>& template_attrs) {
+  if (join == nullptr) return Status::InvalidArgument("null join");
+  // The template must be a permutation of the output attributes.
+  std::unordered_set<std::string> tmpl(template_attrs.begin(),
+                                       template_attrs.end());
+  if (tmpl.size() != template_attrs.size()) {
+    return Status::InvalidArgument("template contains duplicate attributes");
+  }
+  const Schema& out = join->output_schema();
+  if (tmpl.size() != out.num_fields()) {
+    return Status::InvalidArgument(
+        "template size " + std::to_string(tmpl.size()) +
+        " != output arity " + std::to_string(out.num_fields()));
+  }
+  for (const auto& f : out.fields()) {
+    if (!tmpl.count(f.name)) {
+      return Status::InvalidArgument("template missing output attribute '" +
+                                     f.name + "'");
+    }
+  }
+
+  EstimationChain chain;
+  chain.join = join;
+  chain.template_attrs = template_attrs;
+  if (template_attrs.size() == 1) return chain;  // degenerate: no links
+
+  for (size_t i = 0; i + 1 < template_attrs.size(); ++i) {
+    const std::string& a = template_attrs[i];
+    const std::string& b = template_attrs[i + 1];
+    EstimationLink link;
+    link.attr_left = a;
+    link.attr_right = b;
+    // Prefer the smallest relation containing both attributes.
+    int best = -1;
+    for (int r = 0; r < join->num_relations(); ++r) {
+      const Schema& s = join->relation(r)->schema();
+      if (s.HasField(a) && s.HasField(b)) {
+        if (best < 0 ||
+            join->relation(r)->num_rows() <
+                join->relation(best)->num_rows()) {
+          best = r;
+        }
+      }
+    }
+    if (best >= 0) {
+      link.source_relation = best;
+    } else {
+      auto path = ShortestPath(*join, a, b);
+      if (!path.ok()) return path.status();
+      link.path = std::move(path).value();
+    }
+    chain.links.push_back(std::move(link));
+  }
+
+  // Fake-join flags: consecutive links sourced from the same base relation.
+  for (size_t i = 0; i + 1 < chain.links.size(); ++i) {
+    chain.links[i].fake_join_to_next =
+        !chain.links[i].is_virtual() && !chain.links[i + 1].is_virtual() &&
+        chain.links[i].source_relation == chain.links[i + 1].source_relation;
+  }
+  return chain;
+}
+
+}  // namespace suj

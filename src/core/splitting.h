@@ -1,0 +1,61 @@
+// The splitting method (§5.2, §8.1): decompose a join against a standard
+// template of two-attribute sub-relations.
+//
+// Given a template A_1..A_d, every join is rewritten as the chain of links
+// L_i = (A_i, A_{i+1}), i = 1..d-1. A link is REAL when some base relation
+// of the join contains both attributes (the link's statistics come from
+// that relation); otherwise it is VIRTUAL and the pair must be connected
+// through a join path between a holder of A_i and a holder of A_{i+1}
+// (§8.1's "fake join the children and estimate the sub-join size"): the
+// estimator inflates the link's degree statistics by the product of max
+// degrees along that path.
+//
+// Consecutive links drawn from the SAME base relation are connected by a
+// fake join (row identity, max degree 1); links from different relations
+// are connected by a real join on the shared template attribute. Splitting
+// never materializes sub-relations: only their degree statistics are
+// needed, and those are exactly the original relations' column histograms
+// ("split relations keep a record of their original sizes").
+
+#ifndef SUJ_CORE_SPLITTING_H_
+#define SUJ_CORE_SPLITTING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "join/join_spec.h"
+
+namespace suj {
+
+/// One template link (A_i, A_{i+1}) of a split join.
+struct EstimationLink {
+  std::string attr_left;
+  std::string attr_right;
+  /// Relation index supplying this link's statistics; -1 for virtual links.
+  int source_relation = -1;
+  /// For virtual links: relation-index path from a holder of attr_left to a
+  /// holder of attr_right (inclusive); empty for real links.
+  std::vector<int> path;
+  /// True iff this link and the next come from the same base relation
+  /// (fake join, max degree 1 in Theorem 4).
+  bool fake_join_to_next = false;
+
+  bool is_virtual() const { return source_relation < 0; }
+};
+
+/// A join decomposed against a template.
+struct EstimationChain {
+  JoinSpecPtr join;
+  std::vector<std::string> template_attrs;
+  std::vector<EstimationLink> links;  // template size - 1
+};
+
+/// Splits `join` against `template_attrs` (which must cover exactly the
+/// join's output attributes, in any order).
+Result<EstimationChain> SplitJoinToChain(
+    const JoinSpecPtr& join, const std::vector<std::string>& template_attrs);
+
+}  // namespace suj
+
+#endif  // SUJ_CORE_SPLITTING_H_

@@ -1,0 +1,177 @@
+#include "core/template_selector.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace suj {
+
+namespace {
+
+// Relations of `join` containing attribute `a`.
+std::vector<int> Holders(const JoinSpec& join, const std::string& a) {
+  std::vector<int> out;
+  for (int r = 0; r < join.num_relations(); ++r) {
+    if (join.relation(r)->schema().HasField(a)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<int> TemplateSelector::Distance(const JoinSpecPtr& join,
+                                       const std::string& a,
+                                       const std::string& b) {
+  if (join == nullptr) return Status::InvalidArgument("null join");
+  std::vector<int> from = Holders(*join, a);
+  std::vector<int> to = Holders(*join, b);
+  if (from.empty()) {
+    return Status::NotFound("attribute '" + a + "' not in join '" +
+                            join->name() + "'");
+  }
+  if (to.empty()) {
+    return Status::NotFound("attribute '" + b + "' not in join '" +
+                            join->name() + "'");
+  }
+  // Multi-source BFS over the structural edges.
+  const int n = join->num_relations();
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& e : join->graph().edges()) {
+    adj[e.left].push_back(e.right);
+    adj[e.right].push_back(e.left);
+  }
+  std::vector<int> dist(n, -1);
+  std::deque<int> queue;
+  for (int r : from) {
+    dist[r] = 0;
+    queue.push_back(r);
+  }
+  std::vector<bool> target(n, false);
+  for (int r : to) target[r] = true;
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop_front();
+    if (target[u]) return dist[u];
+    for (int v : adj[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return Status::Internal("join graph disconnected in Distance()");
+}
+
+Result<double> TemplateSelector::PairScore(
+    const std::vector<JoinSpecPtr>& joins, const std::string& a,
+    const std::string& b, const Options& options) {
+  double score = 0.0;
+  for (const auto& join : joins) {
+    auto d = Distance(join, a, b);
+    if (!d.ok()) return d.status();
+    score += d.value() == 0 ? options.zero_dist_weight
+                            : static_cast<double>(d.value());
+  }
+  return score;
+}
+
+Result<std::vector<std::string>> TemplateSelector::SelectTemplate(
+    const std::vector<JoinSpecPtr>& joins, const Options& options) {
+  SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+  std::vector<std::string> attrs = joins[0]->output_schema().FieldNames();
+  const int d = static_cast<int>(attrs.size());
+  if (d == 1) return attrs;
+
+  // Pairwise score matrix.
+  std::vector<std::vector<double>> score(d, std::vector<double>(d, 0.0));
+  for (int i = 0; i < d; ++i) {
+    for (int j = i + 1; j < d; ++j) {
+      auto s = PairScore(joins, attrs[i], attrs[j], options);
+      if (!s.ok()) return s.status();
+      score[i][j] = score[j][i] = s.value();
+    }
+  }
+
+  std::vector<int> best_path;
+  if (d <= options.exact_limit) {
+    // Held-Karp minimum-cost Hamiltonian path (free endpoints).
+    const double kInf = std::numeric_limits<double>::infinity();
+    const size_t m = 1ULL << d;
+    std::vector<std::vector<double>> dp(m, std::vector<double>(d, kInf));
+    std::vector<std::vector<int>> parent(m, std::vector<int>(d, -1));
+    for (int i = 0; i < d; ++i) dp[1ULL << i][i] = 0.0;
+    for (size_t mask = 1; mask < m; ++mask) {
+      for (int last = 0; last < d; ++last) {
+        if (!(mask & (1ULL << last)) || dp[mask][last] == kInf) continue;
+        for (int next = 0; next < d; ++next) {
+          if (mask & (1ULL << next)) continue;
+          size_t nmask = mask | (1ULL << next);
+          double cost = dp[mask][last] + score[last][next];
+          if (cost < dp[nmask][next]) {
+            dp[nmask][next] = cost;
+            parent[nmask][next] = last;
+          }
+        }
+      }
+    }
+    size_t full = m - 1;
+    int best_end = 0;
+    for (int i = 1; i < d; ++i) {
+      if (dp[full][i] < dp[full][best_end]) best_end = i;
+    }
+    size_t mask = full;
+    int cur = best_end;
+    while (cur >= 0) {
+      best_path.push_back(cur);
+      int prev = parent[mask][cur];
+      mask ^= 1ULL << cur;
+      cur = prev;
+    }
+    std::reverse(best_path.begin(), best_path.end());
+  } else {
+    // Greedy nearest-neighbor from every start, keep the cheapest path.
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int start = 0; start < d; ++start) {
+      std::vector<int> path = {start};
+      std::vector<bool> used(d, false);
+      used[start] = true;
+      double cost = 0.0;
+      for (int step = 1; step < d; ++step) {
+        int cur = path.back();
+        int best_next = -1;
+        for (int next = 0; next < d; ++next) {
+          if (used[next]) continue;
+          if (best_next < 0 || score[cur][next] < score[cur][best_next]) {
+            best_next = next;
+          }
+        }
+        cost += score[cur][best_next];
+        used[best_next] = true;
+        path.push_back(best_next);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_path = std::move(path);
+      }
+    }
+  }
+
+  std::vector<std::string> out;
+  out.reserve(d);
+  for (int i : best_path) out.push_back(attrs[i]);
+  return out;
+}
+
+Result<double> TemplateSelector::TemplateCost(
+    const std::vector<JoinSpecPtr>& joins,
+    const std::vector<std::string>& order, const Options& options) {
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    auto s = PairScore(joins, order[i], order[i + 1], options);
+    if (!s.ok()) return s.status();
+    total += s.value();
+  }
+  return total;
+}
+
+}  // namespace suj

@@ -1,0 +1,71 @@
+// Standard-template selection for the splitting method (§8.1).
+//
+// The histogram estimator compares joins link-by-link, which requires every
+// join to be decomposed against the SAME chain of two-attribute
+// sub-relations: the template. A template is an ordering A_1..A_d of the
+// (shared) output attributes; sub-relation i is (A_i, A_{i+1}).
+//
+// A good template keeps attribute pairs that live in the same base relation
+// adjacent (Example 7): the quality of the bound degrades with every pair
+// that must be synthesized across a join path. Following §8.1.1, each pair
+// is scored score(A,A') = sum_j Dist_j(A,A') -- the join-graph distance
+// between the relations holding A and A' in join j -- and the template is
+// the attribute ordering minimizing the total consecutive-pair score
+// (a minimum-cost Hamiltonian path; exact Held-Karp DP for <= 16
+// attributes, greedy nearest-neighbor beyond). §8.1.2's "alternating score"
+// hyper-parameter reweights Dist = 0 pairs.
+
+#ifndef SUJ_CORE_TEMPLATE_SELECTOR_H_
+#define SUJ_CORE_TEMPLATE_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "join/join_spec.h"
+
+namespace suj {
+
+/// \brief Selects the standard template for a union of joins.
+class TemplateSelector {
+ public:
+  struct Options {
+    /// Score assigned to co-located pairs (Dist_j = 0); §8.1.2's tunable.
+    double zero_dist_weight = 0.0;
+    /// Largest attribute count solved exactly (Held-Karp is O(2^d d^2)).
+    int exact_limit = 16;
+  };
+
+  /// Join-graph distance between the relations of `join` holding `a` and
+  /// those holding `b` (0 when co-located; min over holder pairs).
+  /// Fails if either attribute is absent from the join.
+  static Result<int> Distance(const JoinSpecPtr& join, const std::string& a,
+                              const std::string& b);
+
+  /// score(a, b) = sum over joins of (Dist == 0 ? zero_dist_weight : Dist).
+  static Result<double> PairScore(const std::vector<JoinSpecPtr>& joins,
+                                  const std::string& a, const std::string& b,
+                                  const Options& options);
+
+  /// The minimum-cost attribute ordering over the shared output schema.
+  static Result<std::vector<std::string>> SelectTemplate(
+      const std::vector<JoinSpecPtr>& joins, const Options& options);
+  static Result<std::vector<std::string>> SelectTemplate(
+      const std::vector<JoinSpecPtr>& joins) {
+    return SelectTemplate(joins, Options());
+  }
+
+  /// Total consecutive-pair score of a given ordering (for ablations and
+  /// tests: compare a chosen template against a bad one, as in Example 7).
+  static Result<double> TemplateCost(const std::vector<JoinSpecPtr>& joins,
+                                     const std::vector<std::string>& order,
+                                     const Options& options);
+  static Result<double> TemplateCost(const std::vector<JoinSpecPtr>& joins,
+                                     const std::vector<std::string>& order) {
+    return TemplateCost(joins, order, Options());
+  }
+};
+
+}  // namespace suj
+
+#endif  // SUJ_CORE_TEMPLATE_SELECTOR_H_

@@ -1,0 +1,276 @@
+#include "core/union_sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+namespace suj {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Status ValidateSamplerSet(
+    const std::vector<JoinSpecPtr>& joins,
+    const std::vector<std::unique_ptr<JoinSampler>>& samplers) {
+  SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+  if (samplers.size() != joins.size()) {
+    return Status::InvalidArgument("need exactly one sampler per join");
+  }
+  for (size_t j = 0; j < joins.size(); ++j) {
+    if (samplers[j] == nullptr) {
+      return Status::InvalidArgument("null sampler");
+    }
+    if (samplers[j]->join() != joins[j]) {
+      return Status::InvalidArgument(
+          "sampler " + std::to_string(j) + " is not bound to join '" +
+          joins[j]->name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<UnionSampler>> UnionSampler::Create(
+    std::vector<JoinSpecPtr> joins,
+    std::vector<std::unique_ptr<JoinSampler>> samplers,
+    UnionEstimates estimates, std::vector<JoinMembershipProberPtr> probers,
+    Options options) {
+  SUJ_RETURN_NOT_OK(ValidateSamplerSet(joins, samplers));
+  if (estimates.cover_sizes.size() != joins.size()) {
+    return Status::InvalidArgument("estimates do not match the join count");
+  }
+  if (options.mode == Mode::kMembershipOracle &&
+      probers.size() != joins.size()) {
+    return Status::InvalidArgument(
+        "membership-oracle mode needs one prober per join");
+  }
+  double total_cover = 0.0;
+  for (double c : estimates.cover_sizes) total_cover += c;
+  if (total_cover <= 0.0) {
+    return Status::FailedPrecondition(
+        "all cover sizes are zero; the union is (estimated) empty");
+  }
+  return std::unique_ptr<UnionSampler>(
+      new UnionSampler(std::move(joins), std::move(samplers),
+                       std::move(estimates), std::move(probers), options));
+}
+
+int UnionSampler::FirstContainingJoin(const Tuple& tuple) const {
+  for (size_t i = 0; i < probers_.size(); ++i) {
+    if (probers_[i]->Contains(tuple)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {
+  std::vector<Tuple> result;
+  std::vector<std::string> result_keys;  // parallel encodings, for revision
+  result.reserve(n);
+  // Revision state: value -> owning join (the paper's orig_join record).
+  std::unordered_map<std::string, int> owner;
+
+  std::vector<double> weights = estimates_.cover_sizes;
+
+  while (result.size() < n) {
+    ++stats_.rounds;
+    int j = static_cast<int>(rng.Categorical(weights));
+
+    bool round_done = false;
+    for (uint64_t draw = 0; draw < options_.max_draws_per_round && !round_done;
+         ++draw) {
+      auto start = Clock::now();
+      ++stats_.join_draws;
+      std::optional<Tuple> t = samplers_[j]->TrySample(rng);
+      if (!t.has_value()) {
+        stats_.rejected_seconds += SecondsSince(start);
+        continue;  // join-level rejection; retry the same join
+      }
+
+      if (options_.mode == Mode::kMembershipOracle) {
+        int first = FirstContainingJoin(*t);
+        if (first != j) {
+          // The cover assigns this value to an earlier join: t is outside
+          // J'_j. Retry the same join (uniformity on J'_j).
+          ++stats_.rejected_cover;
+          stats_.rejected_seconds += SecondsSince(start);
+          continue;
+        }
+        result.push_back(std::move(*t));
+        ++stats_.accepted;
+        stats_.accepted_seconds += SecondsSince(start);
+        round_done = true;
+      } else {
+        // Revision protocol (Algorithm 1, lines 8-14).
+        std::string key = t->Encode();
+        auto it = owner.find(key);
+        if (it != owner.end() && it->second < j) {
+          // Value already assigned to an earlier join: reject, retry.
+          ++stats_.rejected_cover;
+          stats_.rejected_seconds += SecondsSince(start);
+          continue;
+        }
+        if (it != owner.end() && it->second > j) {
+          // Revision: this join precedes the recorded owner in the cover
+          // order, so the value migrates to J_j and stale copies are
+          // purged from the result.
+          ++stats_.revisions;
+          size_t before = result.size();
+          for (size_t k = result.size(); k-- > 0;) {
+            if (result_keys[k] == key) {
+              result.erase(result.begin() + k);
+              result_keys.erase(result_keys.begin() + k);
+            }
+          }
+          stats_.removed_by_revision += before - result.size();
+          it->second = j;
+        } else if (it == owner.end()) {
+          owner.emplace(key, j);
+        }
+        result_keys.push_back(key);
+        result.push_back(std::move(*t));
+        ++stats_.accepted;
+        stats_.accepted_seconds += SecondsSince(start);
+        round_done = true;
+      }
+    }
+    if (!round_done) {
+      // The join produced no owned tuple within the budget: its estimated
+      // cover overstated an (effectively) empty real cover. Stop selecting
+      // it instead of burning more draws.
+      ++stats_.abandoned_rounds;
+      weights[j] = 0.0;
+      double remaining = 0.0;
+      for (double w : weights) remaining += w;
+      if (remaining <= 0.0) {
+        return Status::Internal(
+            "every join's cover was abandoned; warm-up estimates are "
+            "inconsistent with the data");
+      }
+    }
+  }
+  return result;
+}
+
+JoinSampleStats UnionSampler::AggregatedJoinStats() const {
+  JoinSampleStats agg;
+  for (const auto& s : samplers_) {
+    agg.attempts += s->stats().attempts;
+    agg.successes += s->stats().successes;
+    agg.dead_ends += s->stats().dead_ends;
+    agg.rejections += s->stats().rejections;
+  }
+  return agg;
+}
+
+Result<std::unique_ptr<DisjointUnionSampler>> DisjointUnionSampler::Create(
+    std::vector<JoinSpecPtr> joins,
+    std::vector<std::unique_ptr<JoinSampler>> samplers,
+    std::vector<double> join_sizes) {
+  SUJ_RETURN_NOT_OK(ValidateSamplerSet(joins, samplers));
+  if (join_sizes.size() != joins.size()) {
+    return Status::InvalidArgument("join_sizes must match join count");
+  }
+  double total = 0.0;
+  for (double s : join_sizes) total += s;
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("disjoint union is (estimated) empty");
+  }
+  return std::unique_ptr<DisjointUnionSampler>(new DisjointUnionSampler(
+      std::move(joins), std::move(samplers), std::move(join_sizes)));
+}
+
+Result<std::vector<Tuple>> DisjointUnionSampler::Sample(size_t n, Rng& rng) {
+  std::vector<Tuple> result;
+  result.reserve(n);
+  while (result.size() < n) {
+    int j = static_cast<int>(rng.Categorical(join_sizes_));
+    auto t = samplers_[j]->Sample(rng);
+    if (!t.ok()) return t.status();
+    result.push_back(std::move(t).value());
+  }
+  return result;
+}
+
+Result<std::unique_ptr<BernoulliUnionSampler>> BernoulliUnionSampler::Create(
+    std::vector<JoinSpecPtr> joins,
+    std::vector<std::unique_ptr<JoinSampler>> samplers,
+    UnionEstimates estimates, std::vector<JoinMembershipProberPtr> probers) {
+  SUJ_RETURN_NOT_OK(ValidateSamplerSet(joins, samplers));
+  if (probers.size() != joins.size()) {
+    return Status::InvalidArgument("need one membership prober per join");
+  }
+  if (estimates.union_size_eq1 <= 0.0) {
+    return Status::FailedPrecondition("union is (estimated) empty");
+  }
+  return std::unique_ptr<BernoulliUnionSampler>(
+      new BernoulliUnionSampler(std::move(joins), std::move(samplers),
+                                std::move(estimates), std::move(probers)));
+}
+
+Result<std::vector<Tuple>> BernoulliUnionSampler::Sample(size_t n, Rng& rng) {
+  std::vector<Tuple> result;
+  result.reserve(n);
+  const double u = std::max(estimates_.union_size_eq1, 1e-12);
+  while (result.size() < n) {
+    ++stats_.rounds;
+    // Every join fires independently with probability |J_j| / |U|.
+    for (size_t j = 0; j < joins_.size() && result.size() < n; ++j) {
+      double p = std::min(1.0, estimates_.join_sizes[j] / u);
+      if (!rng.Bernoulli(p)) continue;
+      if (samplers_[j]->IsEmpty()) continue;
+      auto start = std::chrono::steady_clock::now();
+      ++stats_.join_draws;
+      auto t = samplers_[j]->Sample(rng);
+      if (!t.ok()) return t.status();
+      // Keep only if J_j is the first join containing the value.
+      int first = -1;
+      for (size_t i = 0; i < probers_.size(); ++i) {
+        if (probers_[i]->Contains(*t)) {
+          first = static_cast<int>(i);
+          break;
+        }
+      }
+      if (first == static_cast<int>(j)) {
+        result.push_back(std::move(t).value());
+        ++stats_.accepted;
+        stats_.accepted_seconds += SecondsSince(start);
+      } else {
+        ++stats_.rejected_cover;
+        stats_.rejected_seconds += SecondsSince(start);
+      }
+    }
+  }
+  return result;
+}
+
+Result<std::vector<Tuple>> NaiveUnionOfSamples(
+    const std::vector<JoinSpecPtr>& joins,
+    std::vector<std::unique_ptr<JoinSampler>>& samplers,
+    size_t samples_per_join, Rng& rng) {
+  SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+  if (samplers.size() != joins.size()) {
+    return Status::InvalidArgument("need one sampler per join");
+  }
+  std::vector<Tuple> result;
+  std::unordered_set<std::string> seen;
+  for (size_t j = 0; j < joins.size(); ++j) {
+    if (samplers[j]->IsEmpty()) continue;
+    for (size_t k = 0; k < samples_per_join; ++k) {
+      auto t = samplers[j]->Sample(rng);
+      if (!t.ok()) return t.status();
+      // Set union: keep one instance of overlapping tuples.
+      if (seen.insert(t->Encode()).second) {
+        result.push_back(std::move(t).value());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace suj

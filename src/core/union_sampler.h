@@ -1,0 +1,196 @@
+// Union sampling (§2, §3, Algorithm 1).
+//
+// Four samplers, all drawing with replacement:
+//  * DisjointUnionSampler  -- Definition 1: select a join proportionally to
+//    its size, sample it; duplicates across joins are legitimate.
+//  * BernoulliUnionSampler -- the "union trick" baseline of §3: every join
+//    fires independently with probability |J_j|/|U| per round; a fired
+//    join's sample is kept only when the join is the FIRST join containing
+//    the tuple's value.
+//  * UnionSampler          -- Algorithm 1 (non-Bernoulli join selection):
+//    joins are selected with the cover probabilities |J'_j|/|U|; a sample
+//    from J_j is kept only if the cover assigns its value to J_j, and the
+//    sampler retries the SAME join until it yields a kept tuple (that is
+//    what makes each round uniform on J'_j). Two ownership modes:
+//      - kMembershipOracle (centralized): ownership f(u) = first join
+//        containing u, checked exactly with hash probes;
+//      - kRevision (decentralized, the paper's Algorithm 1): ownership is
+//        learned on the fly; later samples from an earlier join trigger a
+//        revision that re-assigns the value and purges stale copies.
+//  * NaiveUnionOfSamples   -- Example 2's broken strawman (set union of
+//    per-join uniform samples), kept as a negative baseline.
+//
+// Per-phase wall-clock and rejection accounting feed the Fig 5 breakdowns.
+
+#ifndef SUJ_CORE_UNION_SAMPLER_H_
+#define SUJ_CORE_UNION_SAMPLER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/union_size_model.h"
+#include "join/join_sampler.h"
+#include "join/membership.h"
+
+namespace suj {
+
+/// Counters + phase timings for the union-level sampling loop.
+struct UnionSampleStats {
+  uint64_t rounds = 0;              ///< join selections
+  uint64_t join_draws = 0;          ///< join-sampler attempts (cost psi)
+  uint64_t accepted = 0;            ///< tuples added to the result
+  uint64_t rejected_cover = 0;      ///< samples outside the join's cover
+  uint64_t revisions = 0;           ///< ownership re-assignments
+  uint64_t removed_by_revision = 0; ///< result tuples purged by revisions
+  /// Rounds abandoned because the selected join produced no owned tuple
+  /// within the draw budget. The join's selection weight is zeroed: its
+  /// estimated cover was (near-)empty in reality, so continuing to select
+  /// it would only burn draws. Non-zero counts indicate loose warm-up
+  /// estimates.
+  uint64_t abandoned_rounds = 0;
+  double accepted_seconds = 0.0;    ///< time in rounds ending in an accept
+  double rejected_seconds = 0.0;    ///< time spent on rejected draws
+
+  double CoverRejectionRatio() const {
+    uint64_t total = accepted + rejected_cover;
+    return total == 0 ? 0.0
+                      : static_cast<double>(rejected_cover) /
+                            static_cast<double>(total);
+  }
+};
+
+/// \brief Algorithm 1: uniform i.i.d. sampling over the set union of joins.
+class UnionSampler {
+ public:
+  enum class Mode { kRevision, kMembershipOracle };
+
+  struct Options {
+    Mode mode = Mode::kRevision;
+    /// Retry cap for one round. When a round exhausts the budget, the
+    /// selected join's estimated cover claimed tuples the join cannot
+    /// produce (it is fully covered by earlier joins); the round is
+    /// abandoned and the join's selection weight zeroed.
+    uint64_t max_draws_per_round = 50000;
+  };
+
+  /// \param joins      union-compatible joins J_0..J_{n-1} (cover order).
+  /// \param samplers   one uniform sampler per join (EW or EO).
+  /// \param estimates  warm-up output (cover sizes drive join selection).
+  /// \param probers    membership oracles; required for kMembershipOracle.
+  static Result<std::unique_ptr<UnionSampler>> Create(
+      std::vector<JoinSpecPtr> joins,
+      std::vector<std::unique_ptr<JoinSampler>> samplers,
+      UnionEstimates estimates, std::vector<JoinMembershipProberPtr> probers,
+      Options options);
+  static Result<std::unique_ptr<UnionSampler>> Create(
+      std::vector<JoinSpecPtr> joins,
+      std::vector<std::unique_ptr<JoinSampler>> samplers,
+      UnionEstimates estimates,
+      std::vector<JoinMembershipProberPtr> probers = {}) {
+    return Create(std::move(joins), std::move(samplers), std::move(estimates),
+                  std::move(probers), Options());
+  }
+
+  /// Draws `n` tuples with replacement, each (with exact parameters)
+  /// uniform over the set union. Under the revision mode the result can
+  /// additionally shrink mid-run; the loop continues until `n` tuples
+  /// stand.
+  Result<std::vector<Tuple>> Sample(size_t n, Rng& rng);
+
+  const UnionSampleStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = UnionSampleStats(); }
+  const UnionEstimates& estimates() const { return estimates_; }
+  const std::vector<JoinSpecPtr>& joins() const { return joins_; }
+
+  /// Aggregated join-level sampler statistics (rejections inside EW/EO).
+  JoinSampleStats AggregatedJoinStats() const;
+
+ private:
+  UnionSampler(std::vector<JoinSpecPtr> joins,
+               std::vector<std::unique_ptr<JoinSampler>> samplers,
+               UnionEstimates estimates,
+               std::vector<JoinMembershipProberPtr> probers, Options options)
+      : joins_(std::move(joins)),
+        samplers_(std::move(samplers)),
+        estimates_(std::move(estimates)),
+        probers_(std::move(probers)),
+        options_(options) {}
+
+  /// First join containing `tuple` (oracle mode); -1 if none (impossible
+  /// for tuples produced by a member join).
+  int FirstContainingJoin(const Tuple& tuple) const;
+
+  std::vector<JoinSpecPtr> joins_;
+  std::vector<std::unique_ptr<JoinSampler>> samplers_;
+  UnionEstimates estimates_;
+  std::vector<JoinMembershipProberPtr> probers_;
+  Options options_;
+  UnionSampleStats stats_;
+};
+
+/// \brief Definition 1: sampling the disjoint union (duplicates retained).
+class DisjointUnionSampler {
+ public:
+  static Result<std::unique_ptr<DisjointUnionSampler>> Create(
+      std::vector<JoinSpecPtr> joins,
+      std::vector<std::unique_ptr<JoinSampler>> samplers,
+      std::vector<double> join_sizes);
+
+  Result<std::vector<Tuple>> Sample(size_t n, Rng& rng);
+
+ private:
+  DisjointUnionSampler(std::vector<JoinSpecPtr> joins,
+                       std::vector<std::unique_ptr<JoinSampler>> samplers,
+                       std::vector<double> join_sizes)
+      : joins_(std::move(joins)),
+        samplers_(std::move(samplers)),
+        join_sizes_(std::move(join_sizes)) {}
+
+  std::vector<JoinSpecPtr> joins_;
+  std::vector<std::unique_ptr<JoinSampler>> samplers_;
+  std::vector<double> join_sizes_;
+};
+
+/// \brief §3's Bernoulli "union trick" baseline.
+class BernoulliUnionSampler {
+ public:
+  static Result<std::unique_ptr<BernoulliUnionSampler>> Create(
+      std::vector<JoinSpecPtr> joins,
+      std::vector<std::unique_ptr<JoinSampler>> samplers,
+      UnionEstimates estimates,
+      std::vector<JoinMembershipProberPtr> probers);
+
+  Result<std::vector<Tuple>> Sample(size_t n, Rng& rng);
+
+  const UnionSampleStats& stats() const { return stats_; }
+
+ private:
+  BernoulliUnionSampler(std::vector<JoinSpecPtr> joins,
+                        std::vector<std::unique_ptr<JoinSampler>> samplers,
+                        UnionEstimates estimates,
+                        std::vector<JoinMembershipProberPtr> probers)
+      : joins_(std::move(joins)),
+        samplers_(std::move(samplers)),
+        estimates_(std::move(estimates)),
+        probers_(std::move(probers)) {}
+
+  std::vector<JoinSpecPtr> joins_;
+  std::vector<std::unique_ptr<JoinSampler>> samplers_;
+  UnionEstimates estimates_;
+  std::vector<JoinMembershipProberPtr> probers_;
+  UnionSampleStats stats_;
+};
+
+/// Example 2's broken baseline: per-join uniform samples, set-unioned.
+/// Returned tuples are NOT uniform over the union (tests demonstrate the
+/// bias); kept for comparison benches.
+Result<std::vector<Tuple>> NaiveUnionOfSamples(
+    const std::vector<JoinSpecPtr>& joins,
+    std::vector<std::unique_ptr<JoinSampler>>& samplers,
+    size_t samples_per_join, Rng& rng);
+
+}  // namespace suj
+
+#endif  // SUJ_CORE_UNION_SAMPLER_H_

@@ -1,0 +1,86 @@
+#include "core/union_size_model.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace suj {
+
+std::vector<double> UnionEstimates::JoinToUnionRatios() const {
+  std::vector<double> ratios;
+  ratios.reserve(join_sizes.size());
+  for (double s : join_sizes) {
+    ratios.push_back(union_size_eq1 > 0.0 ? s / union_size_eq1 : 0.0);
+  }
+  return ratios;
+}
+
+Result<UnionEstimates> ComputeUnionEstimates(OverlapEstimator* estimator) {
+  if (estimator == nullptr) {
+    return Status::InvalidArgument("null estimator");
+  }
+  const int n = estimator->num_joins();
+  if (n < 1 || n > 20) {
+    return Status::InvalidArgument(
+        "union warm-up supports 1..20 joins (2^n subset overlaps)");
+  }
+
+  // Memoize subset overlaps: the cover and the k-overlap recurrence both
+  // sweep the powerset lattice.
+  std::unordered_map<SubsetMask, double> cache;
+  auto overlap = [&](SubsetMask mask) -> Result<double> {
+    auto it = cache.find(mask);
+    if (it != cache.end()) return it->second;
+    auto est = estimator->EstimateOverlap(mask);
+    if (!est.ok()) return est.status();
+    double v = std::max(0.0, est.value());
+    cache.emplace(mask, v);
+    return v;
+  };
+
+  UnionEstimates out;
+  out.join_sizes.resize(n);
+  for (int j = 0; j < n; ++j) {
+    auto s = overlap(1ULL << j);
+    if (!s.ok()) return s.status();
+    out.join_sizes[j] = s.value();
+  }
+
+  // Cover sizes by inclusion-exclusion over earlier joins. Estimated
+  // overlaps are additionally capped at min over the subset's join sizes
+  // (a valid bound any estimator must respect) to tame loose bounds.
+  auto capped_overlap = [&](SubsetMask mask) -> Result<double> {
+    auto v = overlap(mask);
+    if (!v.ok()) return v;
+    double cap = v.value();
+    for (int j : MaskToIndices(mask)) {
+      cap = std::min(cap, out.join_sizes[j]);
+    }
+    return cap;
+  };
+
+  out.cover_sizes.resize(n);
+  for (int i = 0; i < n; ++i) {
+    double size = 0.0;
+    SubsetMask earlier = FullMask(i);  // bits 0..i-1
+    // All subsets of the earlier joins, including the empty set.
+    size += out.join_sizes[i];  // Delta = {}
+    if (earlier != 0) {
+      for (SubsetMask sub : NonEmptySubsetsOf(earlier)) {
+        auto o = capped_overlap(sub | (1ULL << i));
+        if (!o.ok()) return o.status();
+        size += (PopCount(sub) % 2 == 1 ? -1.0 : 1.0) * o.value();
+      }
+    }
+    out.cover_sizes[i] = std::max(0.0, size);
+    out.union_size_cover += out.cover_sizes[i];
+  }
+
+  auto table = SolveKOverlaps(
+      n, [&](SubsetMask mask) { return capped_overlap(mask); });
+  if (!table.ok()) return table.status();
+  out.k_overlaps = std::move(table).value();
+  out.union_size_eq1 = out.k_overlaps.UnionSize();
+  return out;
+}
+
+}  // namespace suj

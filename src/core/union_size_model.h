@@ -1,0 +1,51 @@
+// UnionSizeModel: turns an OverlapEstimator into the parameters Algorithm 1
+// consumes -- join sizes, cover sizes |J'_j|, and the union size |U|.
+//
+// The cover (§3.1) orders joins and assigns every union tuple to the FIRST
+// join containing it: J'_i = J_i minus the union of earlier joins. By
+// inclusion-exclusion over subsets Delta of the earlier joins,
+//     |J'_i| = sum_{Delta subseteq {0..i-1}} (-1)^{|Delta|} |O_{Delta+{i}}|.
+// The union size is computed both ways the paper defines it: via the
+// k-overlap decomposition (Eq 1) and as sum_i |J'_i| (exactly equal with
+// exact overlaps; they can differ under estimation, and the sampler
+// normalizes by the cover sum so selection probabilities always sum to 1).
+
+#ifndef SUJ_CORE_UNION_SIZE_MODEL_H_
+#define SUJ_CORE_UNION_SIZE_MODEL_H_
+
+#include <vector>
+
+#include "core/k_overlap.h"
+#include "core/overlap_estimator.h"
+
+namespace suj {
+
+/// \brief Warm-up output: every parameter of Algorithm 1 / Algorithm 2.
+struct UnionEstimates {
+  /// |J_j| estimates.
+  std::vector<double> join_sizes;
+  /// Cover sizes |J'_j| (clamped at >= 0 under estimation noise).
+  std::vector<double> cover_sizes;
+  /// Union size via Eq 1 (k-overlap decomposition).
+  double union_size_eq1 = 0.0;
+  /// Union size as the cover sum (== Eq 1 for exact overlaps).
+  double union_size_cover = 0.0;
+  /// The solved |A^k_j| table.
+  KOverlapTable k_overlaps;
+
+  /// Join-selection probabilities |J'_j| / sum |J'_j| for Algorithm 1.
+  std::vector<double> SelectionWeights() const { return cover_sizes; }
+
+  /// The |J_j|/|U| ratios whose estimation error Fig 4a/4b and Fig 5a
+  /// report (union size per Eq 1).
+  std::vector<double> JoinToUnionRatios() const;
+};
+
+/// Runs the warm-up: queries `estimator` for all 2^n - 1 subset overlaps
+/// and assembles the estimates. n is capped at 20 (the paper notes the
+/// powerset cost and that the number of input joins is small in practice).
+Result<UnionEstimates> ComputeUnionEstimates(OverlapEstimator* estimator);
+
+}  // namespace suj
+
+#endif  // SUJ_CORE_UNION_SIZE_MODEL_H_

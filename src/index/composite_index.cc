@@ -1,0 +1,69 @@
+#include "index/composite_index.h"
+
+#include <cstdio>
+
+namespace suj {
+
+const std::vector<uint32_t> CompositeIndex::kEmpty;
+
+Result<std::shared_ptr<const CompositeIndex>> CompositeIndex::Build(
+    RelationPtr relation, std::vector<std::string> attributes) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("null relation");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("composite index needs >= 1 attribute");
+  }
+  std::vector<int> cols;
+  cols.reserve(attributes.size());
+  for (const auto& a : attributes) {
+    int idx = relation->schema().FieldIndex(a);
+    if (idx < 0) {
+      return Status::NotFound("relation '" + relation->name() +
+                              "' has no attribute '" + a + "'");
+    }
+    cols.push_back(idx);
+  }
+  auto index = std::shared_ptr<CompositeIndex>(
+      new CompositeIndex(std::move(relation), std::move(attributes)));
+  const Relation& rel = *index->relation_;
+  index->map_.reserve(rel.num_rows());
+  for (size_t row = 0; row < rel.num_rows(); ++row) {
+    auto& rows = index->map_[rel.ProjectRow(row, cols).Encode()];
+    rows.push_back(static_cast<uint32_t>(row));
+    if (rows.size() > index->max_degree_) index->max_degree_ = rows.size();
+  }
+  return std::shared_ptr<const CompositeIndex>(index);
+}
+
+const std::vector<uint32_t>& CompositeIndex::LookupEncoded(
+    const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+double CompositeIndex::AvgDegree() const {
+  if (map_.empty()) return 0.0;
+  return static_cast<double>(relation_->num_rows()) /
+         static_cast<double>(map_.size());
+}
+
+Result<CompositeIndexPtr> CompositeIndexCache::GetOrBuild(
+    const RelationPtr& relation, const std::vector<std::string>& attributes) {
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "%p",
+                static_cast<const void*>(relation.get()));
+  std::string key = prefix;
+  for (const auto& a : attributes) {
+    key += '/';
+    key += a;
+  }
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  auto built = CompositeIndex::Build(relation, attributes);
+  if (!built.ok()) return built.status();
+  cache_.emplace(std::move(key), built.value());
+  return std::move(built).value();
+}
+
+}  // namespace suj

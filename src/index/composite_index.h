@@ -1,0 +1,82 @@
+// CompositeIndex: multi-attribute value -> row-id index.
+//
+// Join samplers walk relations in an order where each step must match ALL
+// attributes already bound by earlier relations (one attribute for chain
+// joins, several when a cycle closes, e.g. the (A,C) probe into T for the
+// triangle R(A,B) x S(B,C) x T(A,C)). The composite index keys rows by the
+// canonical encoding of their projection onto those attributes, which makes
+// cyclic joins fall out of the same machinery as chains: the cycle-closing
+// equality is simply part of the probe key.
+
+#ifndef SUJ_INDEX_COMPOSITE_INDEX_H_
+#define SUJ_INDEX_COMPOSITE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace suj {
+
+/// \brief Index of a relation keyed by a tuple of attribute values.
+class CompositeIndex {
+ public:
+  /// Builds the index over `attributes` (must be non-empty and exist in the
+  /// relation; their order defines the probe-key order).
+  static Result<std::shared_ptr<const CompositeIndex>> Build(
+      RelationPtr relation, std::vector<std::string> attributes);
+
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  const RelationPtr& relation() const { return relation_; }
+
+  /// Row ids matching the key tuple (values in attribute order).
+  const std::vector<uint32_t>& Lookup(const Tuple& key) const {
+    return LookupEncoded(key.Encode());
+  }
+
+  /// Row ids matching an already-encoded key.
+  const std::vector<uint32_t>& LookupEncoded(const std::string& key) const;
+
+  /// Degree of a key: |Lookup(key)|.
+  size_t Degree(const Tuple& key) const { return Lookup(key).size(); }
+
+  /// Maximum degree over all keys present (0 for empty relation). This is
+  /// the M term of the extended Olken bound for this join step.
+  size_t MaxDegree() const { return max_degree_; }
+
+  /// Average degree over distinct keys (0 for empty relation).
+  double AvgDegree() const;
+
+  size_t NumKeys() const { return map_.size(); }
+
+ private:
+  CompositeIndex(RelationPtr relation, std::vector<std::string> attributes)
+      : relation_(std::move(relation)), attributes_(std::move(attributes)) {}
+
+  RelationPtr relation_;
+  std::vector<std::string> attributes_;
+  std::unordered_map<std::string, std::vector<uint32_t>> map_;
+  size_t max_degree_ = 0;
+  static const std::vector<uint32_t> kEmpty;
+};
+
+using CompositeIndexPtr = std::shared_ptr<const CompositeIndex>;
+
+/// \brief Cache of composite indexes keyed by (relation identity, attrs).
+class CompositeIndexCache {
+ public:
+  Result<CompositeIndexPtr> GetOrBuild(
+      const RelationPtr& relation, const std::vector<std::string>& attributes);
+
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<std::string, CompositeIndexPtr> cache_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_INDEX_COMPOSITE_INDEX_H_

@@ -1,0 +1,56 @@
+#include "index/hash_index.h"
+
+#include <cstdio>
+
+namespace suj {
+
+const std::vector<uint32_t> HashIndex::kEmpty;
+
+Result<std::shared_ptr<const HashIndex>> HashIndex::Build(
+    RelationPtr relation, const std::string& attribute) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("null relation");
+  }
+  int col = relation->schema().FieldIndex(attribute);
+  if (col < 0) {
+    return Status::NotFound("relation '" + relation->name() +
+                            "' has no attribute '" + attribute + "'");
+  }
+  auto index = std::shared_ptr<HashIndex>(
+      new HashIndex(std::move(relation), attribute));
+  const Relation& rel = *index->relation_;
+  index->map_.reserve(rel.num_rows());
+  for (size_t row = 0; row < rel.num_rows(); ++row) {
+    auto& rows = index->map_[rel.GetValue(row, col)];
+    rows.push_back(static_cast<uint32_t>(row));
+    if (rows.size() > index->max_degree_) index->max_degree_ = rows.size();
+  }
+  return std::shared_ptr<const HashIndex>(index);
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(const Value& v) const {
+  auto it = map_.find(v);
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+double HashIndex::AvgDegree() const {
+  if (map_.empty()) return 0.0;
+  return static_cast<double>(relation_->num_rows()) /
+         static_cast<double>(map_.size());
+}
+
+Result<HashIndexPtr> IndexCache::GetOrBuild(const RelationPtr& relation,
+                                            const std::string& attribute) {
+  char key[64];
+  std::snprintf(key, sizeof(key), "%p/", static_cast<const void*>(
+                                             relation.get()));
+  std::string cache_key = std::string(key) + attribute;
+  auto it = cache_.find(cache_key);
+  if (it != cache_.end()) return it->second;
+  auto built = HashIndex::Build(relation, attribute);
+  if (!built.ok()) return built.status();
+  cache_.emplace(std::move(cache_key), built.value());
+  return std::move(built).value();
+}
+
+}  // namespace suj

@@ -1,0 +1,85 @@
+// HashIndex: value -> row-id index on one attribute of a relation.
+//
+// This is the structure the paper assumes in §3.2 ("we use hash tables for
+// relations to maintain tuples' joinability information"). It serves three
+// roles: (1) hash-join probes in the full-join baseline, (2) degree lookups
+// d_A(v, R) for random walks and Olken-style accept/reject, and (3) degree
+// statistics (max/avg degree) for the histogram-based estimators.
+
+#ifndef SUJ_INDEX_HASH_INDEX_H_
+#define SUJ_INDEX_HASH_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace suj {
+
+/// \brief Index over a single attribute of a relation.
+class HashIndex {
+ public:
+  /// Builds an index on `attribute` of `relation`. Fails if the attribute
+  /// does not exist.
+  static Result<std::shared_ptr<const HashIndex>> Build(
+      RelationPtr relation, const std::string& attribute);
+
+  const std::string& attribute() const { return attribute_; }
+  const RelationPtr& relation() const { return relation_; }
+
+  /// Row ids whose attribute equals `v` (empty vector if none).
+  const std::vector<uint32_t>& Lookup(const Value& v) const;
+
+  /// Degree d_A(v, R): number of rows with attribute value `v`.
+  size_t Degree(const Value& v) const { return Lookup(v).size(); }
+
+  /// Maximum degree M_A(R) over all values (0 for an empty relation).
+  size_t MaxDegree() const { return max_degree_; }
+
+  /// Average degree: num_rows / num_distinct (0 for an empty relation).
+  double AvgDegree() const;
+
+  /// Number of distinct attribute values.
+  size_t NumDistinct() const { return map_.size(); }
+
+  /// Iteration over (value, rows) groups, for estimator setup scans.
+  const std::unordered_map<Value, std::vector<uint32_t>, ValueHash>& groups()
+      const {
+    return map_;
+  }
+
+ private:
+  HashIndex(RelationPtr relation, std::string attribute)
+      : relation_(std::move(relation)), attribute_(std::move(attribute)) {}
+
+  RelationPtr relation_;
+  std::string attribute_;
+  std::unordered_map<Value, std::vector<uint32_t>, ValueHash> map_;
+  size_t max_degree_ = 0;
+  static const std::vector<uint32_t> kEmpty;
+};
+
+using HashIndexPtr = std::shared_ptr<const HashIndex>;
+
+/// \brief Cache of per-(relation, attribute) indexes.
+///
+/// Join samplers and estimators request the same indexes repeatedly; the
+/// cache builds each once. Keyed by relation pointer identity + attribute.
+class IndexCache {
+ public:
+  /// Returns the index for (relation, attribute), building it on first use.
+  Result<HashIndexPtr> GetOrBuild(const RelationPtr& relation,
+                                  const std::string& attribute);
+
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<std::string, HashIndexPtr> cache_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_INDEX_HASH_INDEX_H_

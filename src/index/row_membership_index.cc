@@ -1,0 +1,30 @@
+#include "index/row_membership_index.h"
+
+namespace suj {
+
+Result<std::shared_ptr<const RowMembershipIndex>> RowMembershipIndex::Build(
+    RelationPtr relation, const std::vector<std::string>& attributes) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("null relation");
+  }
+  std::vector<int> cols;
+  cols.reserve(attributes.size());
+  for (const auto& a : attributes) {
+    int idx = relation->schema().FieldIndex(a);
+    if (idx < 0) {
+      return Status::NotFound("relation '" + relation->name() +
+                              "' has no attribute '" + a + "'");
+    }
+    cols.push_back(idx);
+  }
+  auto index = std::shared_ptr<RowMembershipIndex>(
+      new RowMembershipIndex(std::move(relation), attributes));
+  const Relation& rel = *index->relation_;
+  index->rows_.reserve(rel.num_rows());
+  for (size_t row = 0; row < rel.num_rows(); ++row) {
+    index->rows_.insert(rel.ProjectRow(row, cols).Encode());
+  }
+  return std::shared_ptr<const RowMembershipIndex>(index);
+}
+
+}  // namespace suj

@@ -1,0 +1,55 @@
+// RowMembershipIndex: O(1) probe for "does this projected row exist in R?".
+//
+// This powers the membership oracle `t in J` used by the random-walk overlap
+// estimator (§6.2) and by the centralized mode of the union sampler: for a
+// natural join J over relations R_1..R_m, an output tuple t is in J iff for
+// every R_k, the projection of t onto attrs(R_k) is a row of R_k. Each
+// relation keeps one hash set of its rows projected onto the attributes that
+// appear in the join output.
+
+#ifndef SUJ_INDEX_ROW_MEMBERSHIP_INDEX_H_
+#define SUJ_INDEX_ROW_MEMBERSHIP_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace suj {
+
+/// \brief Hash set of a relation's rows projected onto a subset of its
+/// attributes.
+class RowMembershipIndex {
+ public:
+  /// Builds the index over `attributes` of `relation` (attributes must all
+  /// exist; order given here defines the probe-tuple order).
+  static Result<std::shared_ptr<const RowMembershipIndex>> Build(
+      RelationPtr relation, const std::vector<std::string>& attributes);
+
+  /// True iff some row of the relation projects to `projected` (values in
+  /// the attribute order passed to Build).
+  bool Contains(const Tuple& projected) const {
+    return rows_.count(projected.Encode()) > 0;
+  }
+
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  size_t NumDistinctRows() const { return rows_.size(); }
+
+ private:
+  RowMembershipIndex(RelationPtr relation,
+                     std::vector<std::string> attributes)
+      : relation_(std::move(relation)), attributes_(std::move(attributes)) {}
+
+  RelationPtr relation_;
+  std::vector<std::string> attributes_;
+  std::unordered_set<std::string> rows_;  // canonical tuple encodings
+};
+
+using RowMembershipIndexPtr = std::shared_ptr<const RowMembershipIndex>;
+
+}  // namespace suj
+
+#endif  // SUJ_INDEX_ROW_MEMBERSHIP_INDEX_H_

@@ -1,0 +1,207 @@
+#include "join/exact_weight.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace suj {
+
+namespace {
+
+// Schema column indexes of `attrs` within `rel`.
+std::vector<int> ColumnIndexes(const Relation& rel,
+                               const std::vector<std::string>& attrs) {
+  std::vector<int> cols;
+  cols.reserve(attrs.size());
+  for (const auto& a : attrs) {
+    int idx = rel.schema().FieldIndex(a);
+    SUJ_CHECK(idx >= 0);
+    cols.push_back(idx);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ExactWeightIndex>> ExactWeightIndex::Build(
+    JoinSpecPtr join, CompositeIndexCache* cache) {
+  if (join == nullptr) return Status::InvalidArgument("null join");
+  if (cache == nullptr) return Status::InvalidArgument("null index cache");
+
+  auto index = std::shared_ptr<ExactWeightIndex>(
+      new ExactWeightIndex(std::move(join)));
+  const JoinSpec& spec = *index->join_;
+  const JoinGraph& graph = spec.graph();
+  const int n = spec.num_relations();
+
+  index->weights_.resize(n);
+  index->child_indexes_.resize(n);
+  for (int r = 0; r < n; ++r) {
+    if (graph.tree_parent()[r] >= 0) {
+      auto built =
+          cache->GetOrBuild(spec.relation(r), graph.tree_edge_attrs()[r]);
+      if (!built.ok()) return built.status();
+      index->child_indexes_[r] = std::move(built).value();
+    }
+  }
+
+  // Children before parents: reverse BFS order of the spanning tree.
+  std::vector<int> order = graph.tree_order();
+  std::reverse(order.begin(), order.end());
+  // agg[r]: encoded tree-edge key of relation r -> sum of weights of r's
+  // rows with that key. Consumed by r's parent.
+  std::vector<std::unordered_map<std::string, double>> agg(n);
+
+  for (int r : order) {
+    const Relation& rel = *spec.relation(r);
+    auto& w = index->weights_[r];
+    w.assign(rel.num_rows(), 1.0);
+    for (int c : graph.tree_children()[r]) {
+      const auto& child_agg = agg[c];
+      std::vector<int> cols = ColumnIndexes(rel, graph.tree_edge_attrs()[c]);
+      for (size_t row = 0; row < rel.num_rows(); ++row) {
+        if (w[row] == 0.0) continue;
+        auto it = child_agg.find(rel.ProjectRow(row, cols).Encode());
+        w[row] *= it == child_agg.end() ? 0.0 : it->second;
+      }
+    }
+    if (graph.tree_parent()[r] >= 0) {
+      std::vector<int> cols = ColumnIndexes(rel, graph.tree_edge_attrs()[r]);
+      auto& my_agg = agg[r];
+      for (size_t row = 0; row < rel.num_rows(); ++row) {
+        if (w[row] > 0.0) {
+          my_agg[rel.ProjectRow(row, cols).Encode()] += w[row];
+        }
+      }
+    }
+  }
+
+  // Root cumulative weights for O(log n) sampling.
+  int root = graph.tree_order().empty() ? 0 : graph.tree_order()[0];
+  const auto& root_w = index->weights_[root];
+  index->root_cumulative_.resize(root_w.size());
+  double running = 0.0;
+  for (size_t i = 0; i < root_w.size(); ++i) {
+    running += root_w[i];
+    index->root_cumulative_[i] = running;
+  }
+  index->total_weight_ = running;
+  index->exact_ =
+      graph.tree_captures_all_constraints() && !spec.has_predicates();
+  return std::shared_ptr<const ExactWeightIndex>(index);
+}
+
+Result<std::unique_ptr<ExactWeightSampler>> ExactWeightSampler::Create(
+    JoinSpecPtr join, CompositeIndexCache* cache) {
+  auto weights = ExactWeightIndex::Build(join, cache);
+  if (!weights.ok()) return weights.status();
+  return Create(std::move(weights).value());
+}
+
+Result<std::unique_ptr<ExactWeightSampler>> ExactWeightSampler::Create(
+    ExactWeightIndexPtr weights) {
+  if (weights == nullptr) return Status::InvalidArgument("null weight index");
+  JoinSpecPtr join = weights->join();
+  return std::unique_ptr<ExactWeightSampler>(
+      new ExactWeightSampler(std::move(join), std::move(weights)));
+}
+
+std::optional<Tuple> ExactWeightSampler::TrySample(Rng& rng) {
+  ++stats_.attempts;
+  const JoinSpec& spec = *join_;
+  const JoinGraph& graph = spec.graph();
+  const double total = weights_->TotalWeight();
+  if (total <= 0.0) {
+    ++stats_.dead_ends;
+    return std::nullopt;
+  }
+
+  const Schema& out_schema = spec.output_schema();
+  std::vector<Value> assignment(out_schema.num_fields());
+  std::vector<bool> assigned(out_schema.num_fields(), false);
+
+  // Applies relation r's chosen row to the assignment; false on conflict
+  // with an already-assigned attribute (possible only for cyclic joins).
+  auto apply_row = [&](int r, uint32_t row) -> bool {
+    const Relation& rel = *spec.relation(r);
+    for (size_t c = 0; c < rel.schema().num_fields(); ++c) {
+      int out_idx = out_schema.FieldIndex(rel.schema().field(c).name);
+      SUJ_DCHECK(out_idx >= 0);
+      Value v = rel.GetValue(row, c);
+      if (assigned[out_idx]) {
+        if (!(assignment[out_idx] == v)) return false;
+      } else {
+        assignment[out_idx] = std::move(v);
+        assigned[out_idx] = true;
+      }
+    }
+    return true;
+  };
+
+  // Root draw: binary search the cumulative weight array.
+  const auto& order = graph.tree_order();
+  int root = order[0];
+  const auto& cumulative = weights_->root_cumulative();
+  double x = rng.UniformDouble() * total;
+  size_t root_row =
+      std::upper_bound(cumulative.begin(), cumulative.end(), x) -
+      cumulative.begin();
+  if (root_row >= cumulative.size()) root_row = cumulative.size() - 1;
+  if (!apply_row(root, static_cast<uint32_t>(root_row))) {
+    ++stats_.rejections;
+    return std::nullopt;
+  }
+
+  // Descend the tree; parents appear before children in tree_order.
+  for (size_t pos = 1; pos < order.size(); ++pos) {
+    int r = order[pos];
+    const auto& edge_attrs = graph.tree_edge_attrs()[r];
+    // Probe key from the current assignment (parent already applied).
+    std::vector<Value> key_values;
+    key_values.reserve(edge_attrs.size());
+    for (const auto& a : edge_attrs) {
+      int idx = out_schema.FieldIndex(a);
+      SUJ_DCHECK(idx >= 0 && assigned[idx]);
+      key_values.push_back(assignment[idx]);
+    }
+    const auto& candidates = weights_->child_index(r)->LookupEncoded(
+        Tuple(std::move(key_values)).Encode());
+    if (candidates.empty()) {
+      // Cannot happen when weights are exact (the parent row would have
+      // weight 0); defensively treat as a dead end.
+      ++stats_.dead_ends;
+      return std::nullopt;
+    }
+    const auto& w = weights_->weights(r);
+    double wsum = 0.0;
+    for (uint32_t row : candidates) wsum += w[row];
+    if (wsum <= 0.0) {
+      ++stats_.dead_ends;
+      return std::nullopt;
+    }
+    double y = rng.UniformDouble() * wsum;
+    uint32_t chosen = candidates.back();
+    double acc = 0.0;
+    for (uint32_t row : candidates) {
+      acc += w[row];
+      if (y < acc) {
+        chosen = row;
+        break;
+      }
+    }
+    if (!apply_row(r, chosen)) {
+      ++stats_.rejections;  // non-tree constraint violated (cyclic join)
+      return std::nullopt;
+    }
+  }
+
+  Tuple out(std::move(assignment));
+  if (!spec.SatisfiesPredicates(out)) {
+    ++stats_.rejections;
+    return std::nullopt;
+  }
+  ++stats_.successes;
+  return out;
+}
+
+}  // namespace suj

@@ -1,0 +1,99 @@
+// Exact-weight (EW) join sampling, the strongest instantiation of Zhao et
+// al.'s framework (§3.2, §9 "EW").
+//
+// Each tuple t of each relation is weighted by the number of join results it
+// yields within the spanning tree of the join: leaves weigh 1; an internal
+// row's weight is the product over children of the summed weights of the
+// child rows matching it. Sampling draws the root row proportionally to its
+// weight and recurses into children proportionally to theirs, yielding a
+// uniform sample with NO rejection when the tree captures every join
+// constraint (chain and acyclic joins). For cyclic joins the tree weights
+// are upper bounds (Zhao et al.'s skeleton join); a consistency check on
+// the non-tree equalities rejects invalid assignments, preserving
+// uniformity at the cost of a rejection rate.
+
+#ifndef SUJ_JOIN_EXACT_WEIGHT_H_
+#define SUJ_JOIN_EXACT_WEIGHT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "index/composite_index.h"
+#include "join/join_sampler.h"
+
+namespace suj {
+
+/// \brief Precomputed per-row exact weights over the join's spanning tree.
+class ExactWeightIndex {
+ public:
+  /// Builds weights for `join`, creating composite indexes through `cache`.
+  static Result<std::shared_ptr<const ExactWeightIndex>> Build(
+      JoinSpecPtr join, CompositeIndexCache* cache);
+
+  const JoinSpecPtr& join() const { return join_; }
+
+  /// Sum of root-row weights: the exact join size when exact() is true,
+  /// otherwise an upper bound (skeleton size).
+  double TotalWeight() const { return total_weight_; }
+
+  /// True iff TotalWeight() equals |J| exactly: the spanning tree captures
+  /// all constraints and the join has no on-the-fly predicates.
+  bool exact() const { return exact_; }
+
+  /// Per-relation, per-row weights (indexed by relation index, then row).
+  const std::vector<double>& weights(int relation) const {
+    return weights_[relation];
+  }
+
+  /// Composite index of relation r on its tree-edge attributes (null for
+  /// the root).
+  const CompositeIndexPtr& child_index(int relation) const {
+    return child_indexes_[relation];
+  }
+
+  /// Cumulative weights of the root relation's rows (for O(log n) root
+  /// draws by binary search).
+  const std::vector<double>& root_cumulative() const {
+    return root_cumulative_;
+  }
+
+ private:
+  explicit ExactWeightIndex(JoinSpecPtr join) : join_(std::move(join)) {}
+
+  JoinSpecPtr join_;
+  double total_weight_ = 0.0;
+  bool exact_ = true;
+  std::vector<std::vector<double>> weights_;
+  std::vector<CompositeIndexPtr> child_indexes_;
+  std::vector<double> root_cumulative_;
+};
+
+using ExactWeightIndexPtr = std::shared_ptr<const ExactWeightIndex>;
+
+/// \brief Uniform join sampler driven by exact weights.
+class ExactWeightSampler : public JoinSampler {
+ public:
+  /// Builds the weight index (or reuses a prebuilt one) and the sampler.
+  static Result<std::unique_ptr<ExactWeightSampler>> Create(
+      JoinSpecPtr join, CompositeIndexCache* cache);
+  static Result<std::unique_ptr<ExactWeightSampler>> Create(
+      ExactWeightIndexPtr weights);
+
+  std::optional<Tuple> TrySample(Rng& rng) override;
+  double SizeUpperBound() const override { return weights_->TotalWeight(); }
+
+  const ExactWeightIndexPtr& weight_index() const { return weights_; }
+
+ private:
+  ExactWeightSampler(JoinSpecPtr join, ExactWeightIndexPtr weights)
+      : JoinSampler(std::move(join)), weights_(std::move(weights)) {}
+
+  ExactWeightIndexPtr weights_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_JOIN_EXACT_WEIGHT_H_

@@ -1,0 +1,97 @@
+#include "join/full_join.h"
+
+#include <unordered_map>
+
+namespace suj {
+
+FullJoinExecutor::FullJoinExecutor(CompositeIndexCache* cache,
+                                   size_t max_intermediate_rows)
+    : cache_(cache != nullptr ? cache : &owned_cache_),
+      max_intermediate_rows_(max_intermediate_rows) {}
+
+Result<JoinResult> FullJoinExecutor::Execute(const JoinSpecPtr& join) {
+  if (join == nullptr) return Status::InvalidArgument("null join");
+  const JoinGraph& graph = join->graph();
+  const auto& order = graph.walk_order();
+  const auto& bound = graph.bound_attrs();
+
+  // Accumulated schema: attributes in order of first appearance along the
+  // walk; partial tuples are rows over this schema.
+  std::vector<Field> acc_fields;
+  std::vector<Tuple> partials;
+
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const RelationPtr& rel = join->relation(order[pos]);
+    const Schema& rel_schema = rel->schema();
+
+    // Indices (into the accumulated schema) of the probe attributes, and
+    // indices (into the relation schema) of the newly contributed columns.
+    Schema acc_schema(acc_fields);
+    std::vector<int> probe_acc_cols;
+    for (const auto& a : bound[pos]) {
+      probe_acc_cols.push_back(acc_schema.FieldIndex(a));
+    }
+    std::vector<int> new_rel_cols;
+    for (size_t c = 0; c < rel_schema.num_fields(); ++c) {
+      if (!acc_schema.HasField(rel_schema.field(c).name)) {
+        new_rel_cols.push_back(static_cast<int>(c));
+      }
+    }
+
+    std::vector<Tuple> next;
+    if (pos == 0) {
+      next.reserve(rel->num_rows());
+      for (size_t row = 0; row < rel->num_rows(); ++row) {
+        next.push_back(rel->ProjectRow(row, new_rel_cols));
+      }
+    } else {
+      auto index = cache_->GetOrBuild(rel, bound[pos]);
+      if (!index.ok()) return index.status();
+      for (const auto& partial : partials) {
+        std::string key = partial.Project(probe_acc_cols).Encode();
+        for (uint32_t row : (*index)->LookupEncoded(key)) {
+          Tuple extended = partial;
+          for (int c : new_rel_cols) {
+            extended.Append(rel->GetValue(row, c));
+          }
+          next.push_back(std::move(extended));
+          if (next.size() > max_intermediate_rows_) {
+            return Status::OutOfRange(
+                "intermediate join result exceeds " +
+                std::to_string(max_intermediate_rows_) + " rows");
+          }
+        }
+      }
+    }
+    partials = std::move(next);
+    for (int c : new_rel_cols) acc_fields.push_back(rel_schema.field(c));
+    if (partials.empty()) break;  // empty join short-circuits
+  }
+
+  // Project onto the (sorted-attribute) output schema and apply predicates.
+  JoinResult result;
+  result.schema = join->output_schema();
+  Schema acc_schema(acc_fields);
+  if (partials.empty()) return result;
+
+  std::vector<int> projection;
+  for (const auto& f : result.schema.fields()) {
+    projection.push_back(acc_schema.FieldIndex(f.name));
+  }
+  result.tuples.reserve(partials.size());
+  for (const auto& partial : partials) {
+    Tuple out = partial.Project(projection);
+    if (join->SatisfiesPredicates(out)) {
+      result.tuples.push_back(std::move(out));
+    }
+  }
+  return result;
+}
+
+Result<uint64_t> FullJoinExecutor::Count(const JoinSpecPtr& join) {
+  auto result = Execute(join);
+  if (!result.ok()) return result.status();
+  return static_cast<uint64_t>(result->size());
+}
+
+}  // namespace suj

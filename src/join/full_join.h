@@ -1,0 +1,56 @@
+// FullJoinExecutor: materializes the complete result of a join.
+//
+// This is the FullJoinUnion baseline of §9: ground truth for join sizes,
+// overlaps, union sizes, and sampler uniformity tests. It is deliberately a
+// straightforward left-deep hash-join pipeline -- the thing the paper's
+// framework avoids running on large data.
+
+#ifndef SUJ_JOIN_FULL_JOIN_H_
+#define SUJ_JOIN_FULL_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "index/composite_index.h"
+#include "join/join_spec.h"
+
+namespace suj {
+
+/// \brief Materialized join output.
+struct JoinResult {
+  /// Output schema (== JoinSpec::output_schema()).
+  Schema schema;
+  /// All result tuples. Distinct as long as base relations are
+  /// duplicate-free (the paper's standing assumption).
+  std::vector<Tuple> tuples;
+
+  size_t size() const { return tuples.size(); }
+};
+
+/// \brief Executes full joins, probing via a shared composite-index cache.
+class FullJoinExecutor {
+ public:
+  /// \param cache index cache shared with samplers (may be nullptr to use a
+  ///        private cache).
+  /// \param max_intermediate_rows guard against runaway intermediate results
+  ///        (returns OutOfRange instead of exhausting memory).
+  explicit FullJoinExecutor(CompositeIndexCache* cache = nullptr,
+                            size_t max_intermediate_rows = 100'000'000);
+
+  /// Runs the join to completion, applying output predicates.
+  Result<JoinResult> Execute(const JoinSpecPtr& join);
+
+  /// Runs the join and returns only the result cardinality (still subject
+  /// to the intermediate-row guard).
+  Result<uint64_t> Count(const JoinSpecPtr& join);
+
+ private:
+  CompositeIndexCache* cache_;
+  CompositeIndexCache owned_cache_;
+  size_t max_intermediate_rows_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_JOIN_FULL_JOIN_H_

@@ -1,0 +1,250 @@
+#include "join/join_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace suj {
+
+const char* JoinTypeName(JoinType type) {
+  switch (type) {
+    case JoinType::kChain:
+      return "chain";
+    case JoinType::kAcyclic:
+      return "acyclic";
+    case JoinType::kCyclic:
+      return "cyclic";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string> SharedAttrs(const Relation& a, const Relation& b) {
+  return a.schema().CommonFields(b.schema());
+}
+
+}  // namespace
+
+Result<JoinGraph> JoinGraph::Build(const std::vector<RelationPtr>& relations,
+                                   std::vector<JoinEdge> declared_edges) {
+  if (relations.empty()) {
+    return Status::InvalidArgument("join needs at least one relation");
+  }
+  for (const auto& r : relations) {
+    if (r == nullptr) return Status::InvalidArgument("null relation in join");
+  }
+  const int n = static_cast<int>(relations.size());
+
+  JoinGraph g;
+  g.num_relations_ = relations.size();
+
+  // Resolve structural edges.
+  if (declared_edges.empty()) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        auto attrs = SharedAttrs(*relations[i], *relations[j]);
+        if (!attrs.empty()) {
+          g.edges_.push_back({i, j, std::move(attrs)});
+        }
+      }
+    }
+  } else {
+    std::set<std::pair<int, int>> seen;
+    for (const auto& e : declared_edges) {
+      int a = std::min(e.left, e.right);
+      int b = std::max(e.left, e.right);
+      if (a < 0 || b >= n || a == b) {
+        return Status::InvalidArgument("declared edge out of range");
+      }
+      if (!seen.insert({a, b}).second) {
+        return Status::InvalidArgument("duplicate declared edge");
+      }
+      auto attrs = SharedAttrs(*relations[a], *relations[b]);
+      if (attrs.empty()) {
+        return Status::InvalidArgument(
+            "declared edge between '" + relations[a]->name() + "' and '" +
+            relations[b]->name() + "' has no shared attribute");
+      }
+      g.edges_.push_back({a, b, std::move(attrs)});
+    }
+  }
+
+  // Adjacency + connectivity.
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& e : g.edges_) {
+    adj[e.left].push_back(e.right);
+    adj[e.right].push_back(e.left);
+  }
+  {
+    std::vector<bool> visited(n, false);
+    std::deque<int> queue = {0};
+    visited[0] = true;
+    int count = 1;
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      for (int v : adj[u]) {
+        if (!visited[v]) {
+          visited[v] = true;
+          ++count;
+          queue.push_back(v);
+        }
+      }
+    }
+    if (count != n) {
+      return Status::InvalidArgument("join graph is disconnected");
+    }
+  }
+
+  // Classification from the structural edges.
+  const size_t num_edges = g.edges_.size();
+  bool is_tree = num_edges == static_cast<size_t>(n - 1);
+  bool is_path = is_tree;
+  if (is_tree && n >= 2) {
+    int deg1 = 0;
+    for (int i = 0; i < n; ++i) {
+      if (adj[i].size() > 2) is_path = false;
+      if (adj[i].size() == 1) ++deg1;
+    }
+    if (deg1 != 2) is_path = false;
+  }
+  if (!is_tree) {
+    g.type_ = JoinType::kCyclic;
+  } else if (is_path || n == 1) {
+    g.type_ = JoinType::kChain;
+  } else {
+    g.type_ = JoinType::kAcyclic;
+  }
+
+  // Walk order: BFS from a degree-1 node when one exists (for chains this
+  // yields the path order), else from node 0.
+  int start = 0;
+  for (int i = 0; i < n; ++i) {
+    if (adj[i].size() == 1) {
+      start = i;
+      break;
+    }
+  }
+  {
+    std::vector<bool> visited(n, false);
+    std::deque<int> queue = {start};
+    visited[start] = true;
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      g.walk_order_.push_back(u);
+      // Deterministic neighbor order.
+      std::vector<int> nbrs = adj[u];
+      std::sort(nbrs.begin(), nbrs.end());
+      for (int v : nbrs) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+
+  // Per-step bound attributes: ALL attributes of the new relation that any
+  // earlier relation also has (not just structural-edge attributes), so the
+  // walk enforces every equality as soon as possible.
+  {
+    std::unordered_set<std::string> assigned;
+    g.bound_attrs_.resize(n);
+    for (int pos = 0; pos < n; ++pos) {
+      int r = g.walk_order_[pos];
+      std::vector<std::string> bound;
+      for (const auto& f : relations[r]->schema().fields()) {
+        if (assigned.count(f.name)) bound.push_back(f.name);
+      }
+      g.bound_attrs_[pos] = std::move(bound);
+      for (const auto& f : relations[r]->schema().fields()) {
+        assigned.insert(f.name);
+      }
+    }
+  }
+
+  // Spanning tree rooted at the walk start (BFS tree over structural edges).
+  g.tree_parent_.assign(n, -1);
+  g.tree_edge_attrs_.resize(n);
+  g.tree_children_.resize(n);
+  {
+    std::vector<bool> visited(n, false);
+    std::deque<int> queue = {start};
+    visited[start] = true;
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      g.tree_order_.push_back(u);
+      std::vector<int> nbrs = adj[u];
+      std::sort(nbrs.begin(), nbrs.end());
+      for (int v : nbrs) {
+        if (!visited[v]) {
+          visited[v] = true;
+          g.tree_parent_[v] = u;
+          g.tree_edge_attrs_[v] = SharedAttrs(*relations[u], *relations[v]);
+          g.tree_children_[u].push_back(v);
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+
+  // Does the spanning tree imply every shared-attribute equality? For each
+  // attribute, the relations containing it must form a connected subgraph
+  // of the tree using only edges that carry the attribute.
+  {
+    std::unordered_map<std::string, std::vector<int>> attr_relations;
+    for (int i = 0; i < n; ++i) {
+      for (const auto& f : relations[i]->schema().fields()) {
+        attr_relations[f.name].push_back(i);
+      }
+    }
+    for (const auto& [attr, rels] : attr_relations) {
+      if (rels.size() < 2) continue;
+      // BFS within the tree restricted to edges carrying `attr`.
+      std::unordered_set<int> members(rels.begin(), rels.end());
+      std::unordered_set<int> reached = {rels[0]};
+      std::deque<int> queue = {rels[0]};
+      auto edge_has_attr = [&](int child) {
+        const auto& attrs = g.tree_edge_attrs_[child];
+        return std::find(attrs.begin(), attrs.end(), attr) != attrs.end();
+      };
+      while (!queue.empty()) {
+        int u = queue.front();
+        queue.pop_front();
+        // Tree neighbors: parent and children.
+        int p = g.tree_parent_[u];
+        if (p >= 0 && members.count(p) && !reached.count(p) &&
+            edge_has_attr(u)) {
+          reached.insert(p);
+          queue.push_back(p);
+        }
+        for (int c : g.tree_children_[u]) {
+          if (members.count(c) && !reached.count(c) && edge_has_attr(c)) {
+            reached.insert(c);
+            queue.push_back(c);
+          }
+        }
+      }
+      if (reached.size() != members.size()) {
+        g.tree_captures_all_constraints_ = false;
+        break;
+      }
+    }
+  }
+
+  // A join whose declared structure is a tree but whose hidden shared
+  // attributes add constraints behaves cyclically; classify it as such so
+  // downstream code picks the accept/reject paths.
+  if (g.type_ != JoinType::kCyclic && !g.tree_captures_all_constraints_) {
+    g.type_ = JoinType::kCyclic;
+  }
+
+  return g;
+}
+
+}  // namespace suj

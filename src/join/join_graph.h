@@ -1,0 +1,113 @@
+// JoinGraph: structural analysis of a multi-way natural join.
+//
+// Relations are nodes; a structural edge connects two relations that are
+// joined. Edges may be declared explicitly (workloads declare the chain
+// supplier-nation-customer-orders-lineitem even though `nationkey` is shared
+// by three relations) or inferred as "every pair sharing an attribute".
+//
+// The analysis produces everything the executors and samplers need:
+//  * classification into chain / acyclic / cyclic (§2, §8),
+//  * a walk order with per-step bound attributes: at step i, the new
+//    relation must match ALL attributes already fixed by steps < i, which is
+//    what makes one sampler implementation correct for every join type
+//    (cycle-closing equalities become part of the probe key),
+//  * a rooted spanning tree for exact-weight DP, plus a flag saying whether
+//    the tree implies every shared-attribute equality (if not, exact-weight
+//    sampling adds a consistency rejection, per Zhao et al.'s skeleton +
+//    residual treatment of cyclic joins).
+
+#ifndef SUJ_JOIN_JOIN_GRAPH_H_
+#define SUJ_JOIN_JOIN_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace suj {
+
+/// Join shape (§2): chain, acyclic (tree), or cyclic.
+enum class JoinType { kChain, kAcyclic, kCyclic };
+
+const char* JoinTypeName(JoinType type);
+
+/// A declared structural edge between two relations (indexes into the
+/// relation list of the join).
+struct JoinEdge {
+  int left;
+  int right;
+};
+
+/// \brief Structural analysis result for one join.
+class JoinGraph {
+ public:
+  /// Analyzes `relations`. If `declared_edges` is empty, edges are inferred
+  /// as all pairs of relations sharing at least one attribute name.
+  /// Fails if the graph is disconnected (the paper only treats connected
+  /// joins) or a declared edge joins relations with no shared attribute.
+  static Result<JoinGraph> Build(const std::vector<RelationPtr>& relations,
+                                 std::vector<JoinEdge> declared_edges = {});
+
+  int num_relations() const { return static_cast<int>(num_relations_); }
+  JoinType type() const { return type_; }
+
+  /// Structural edges with their shared attributes.
+  struct Edge {
+    int left;
+    int right;
+    std::vector<std::string> attrs;
+  };
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Relation visit order for walks/executors. walk_order()[0] is the
+  /// starting relation; for chains this is one endpoint of the path.
+  const std::vector<int>& walk_order() const { return walk_order_; }
+
+  /// bound_attrs()[p]: attributes of relation walk_order()[p] already fixed
+  /// by relations at positions < p (empty for p == 0). These are the probe
+  /// attributes for step p.
+  const std::vector<std::vector<std::string>>& bound_attrs() const {
+    return bound_attrs_;
+  }
+
+  /// Spanning tree over structural edges, rooted at walk_order()[0]:
+  /// tree_parent()[r] is the parent relation of r (-1 for the root).
+  const std::vector<int>& tree_parent() const { return tree_parent_; }
+  /// Attributes shared between r and its parent (empty for the root).
+  const std::vector<std::vector<std::string>>& tree_edge_attrs() const {
+    return tree_edge_attrs_;
+  }
+  /// Children lists of the spanning tree.
+  const std::vector<std::vector<int>>& tree_children() const {
+    return tree_children_;
+  }
+  /// Relations in BFS order from the root (parents before children).
+  const std::vector<int>& tree_order() const { return tree_order_; }
+
+  /// True iff every shared-attribute equality is implied by the spanning
+  /// tree (each attribute's relations form a connected subtree whose edges
+  /// all carry the attribute). When false the join behaves cyclically and
+  /// tree-based exact weights are only upper bounds.
+  bool tree_captures_all_constraints() const {
+    return tree_captures_all_constraints_;
+  }
+
+ private:
+  JoinGraph() = default;
+
+  size_t num_relations_ = 0;
+  JoinType type_ = JoinType::kChain;
+  std::vector<Edge> edges_;
+  std::vector<int> walk_order_;
+  std::vector<std::vector<std::string>> bound_attrs_;
+  std::vector<int> tree_parent_;
+  std::vector<std::vector<std::string>> tree_edge_attrs_;
+  std::vector<std::vector<int>> tree_children_;
+  std::vector<int> tree_order_;
+  bool tree_captures_all_constraints_ = true;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_JOIN_JOIN_GRAPH_H_

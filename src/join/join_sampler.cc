@@ -1,0 +1,19 @@
+#include "join/join_sampler.h"
+
+namespace suj {
+
+Result<Tuple> JoinSampler::Sample(Rng& rng, uint64_t max_attempts) {
+  if (IsEmpty()) {
+    return Status::FailedPrecondition("join '" + join_->name() +
+                                      "' is empty; nothing to sample");
+  }
+  for (uint64_t i = 0; i < max_attempts; ++i) {
+    std::optional<Tuple> t = TrySample(rng);
+    if (t.has_value()) return std::move(*t);
+  }
+  return Status::Internal("join sampler exceeded " +
+                          std::to_string(max_attempts) +
+                          " attempts without an accepted tuple");
+}
+
+}  // namespace suj

@@ -1,0 +1,62 @@
+#include "join/join_size_bound.h"
+
+#include <algorithm>
+
+namespace suj {
+
+Result<OlkenBoundInfo> ComputeExtendedOlkenBound(const JoinSpecPtr& join,
+                                                 CompositeIndexCache* cache) {
+  if (join == nullptr) return Status::InvalidArgument("null join");
+  if (cache == nullptr) return Status::InvalidArgument("null index cache");
+  const JoinGraph& graph = join->graph();
+  const auto& order = graph.walk_order();
+  const auto& bound_attrs = graph.bound_attrs();
+
+  OlkenBoundInfo info;
+  info.step_max_degrees.assign(order.size(), 0);
+  info.bound =
+      static_cast<double>(join->relation(order[0])->num_rows());
+  for (size_t pos = 1; pos < order.size() && info.bound > 0; ++pos) {
+    auto index = cache->GetOrBuild(join->relation(order[pos]),
+                                   bound_attrs[pos]);
+    if (!index.ok()) return index.status();
+    size_t m = (*index)->MaxDegree();
+    info.step_max_degrees[pos] = m;
+    info.bound *= static_cast<double>(m);
+  }
+  return info;
+}
+
+Result<OlkenBoundInfo> ComputeOlkenBoundFromHistograms(
+    const JoinSpecPtr& join, HistogramCatalog* histograms) {
+  if (join == nullptr) return Status::InvalidArgument("null join");
+  if (histograms == nullptr) {
+    return Status::InvalidArgument("null histogram catalog");
+  }
+  const JoinGraph& graph = join->graph();
+  const auto& order = graph.walk_order();
+  const auto& bound_attrs = graph.bound_attrs();
+
+  OlkenBoundInfo info;
+  info.step_max_degrees.assign(order.size(), 0);
+  info.bound = static_cast<double>(join->relation(order[0])->num_rows());
+  for (size_t pos = 1; pos < order.size() && info.bound > 0; ++pos) {
+    const RelationPtr& rel = join->relation(order[pos]);
+    // A probe on several attributes matches at most the minimum of the
+    // per-attribute max degrees.
+    size_t m = 0;
+    bool first = true;
+    for (const auto& attr : bound_attrs[pos]) {
+      auto hist = histograms->GetOrBuild(rel, attr);
+      if (!hist.ok()) return hist.status();
+      size_t attr_max = (*hist)->MaxDegree();
+      m = first ? attr_max : std::min(m, attr_max);
+      first = false;
+    }
+    info.step_max_degrees[pos] = m;
+    info.bound *= static_cast<double>(m);
+  }
+  return info;
+}
+
+}  // namespace suj

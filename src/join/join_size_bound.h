@@ -1,0 +1,43 @@
+// Join-size upper bounds (extended Olken, §3.2).
+//
+// For a walk order R_w0, R_w1, ..., each tuple fixed so far can match at
+// most M_i tuples of the next relation, where M_i is the maximum degree of
+// the next relation's probe key. Hence |J| <= |R_w0| * prod_i M_i. Two
+// variants are provided:
+//  * index-based: M_i from composite indexes (exact max degree of the full
+//    probe key; centralized setting),
+//  * histogram-based: M_i upper-bounded by the min over the probe
+//    attributes of their per-attribute max degrees, read from column
+//    histograms only (decentralized setting).
+
+#ifndef SUJ_JOIN_JOIN_SIZE_BOUND_H_
+#define SUJ_JOIN_JOIN_SIZE_BOUND_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "index/composite_index.h"
+#include "join/join_spec.h"
+#include "stats/column_histogram.h"
+
+namespace suj {
+
+/// Extended Olken bound plus the per-step degree caps that realize it.
+struct OlkenBoundInfo {
+  /// |R_w0| * prod M_i; 0 iff some step has no joinable keys.
+  double bound = 0.0;
+  /// M_i for walk positions 1..m-1 (index 0 unused, kept for alignment).
+  std::vector<size_t> step_max_degrees;
+};
+
+/// Index-based extended Olken bound over the join's walk order.
+Result<OlkenBoundInfo> ComputeExtendedOlkenBound(const JoinSpecPtr& join,
+                                                 CompositeIndexCache* cache);
+
+/// Histogram-only extended Olken bound (no data access; §5's setting).
+Result<OlkenBoundInfo> ComputeOlkenBoundFromHistograms(
+    const JoinSpecPtr& join, HistogramCatalog* histograms);
+
+}  // namespace suj
+
+#endif  // SUJ_JOIN_JOIN_SIZE_BOUND_H_

@@ -1,0 +1,80 @@
+#include "join/join_spec.h"
+
+#include <algorithm>
+#include <map>
+
+namespace suj {
+
+Result<std::shared_ptr<const JoinSpec>> JoinSpec::Create(
+    std::string name, std::vector<RelationPtr> relations,
+    std::vector<JoinEdge> declared_edges,
+    std::vector<Predicate> output_predicates) {
+  auto graph = JoinGraph::Build(relations, std::move(declared_edges));
+  if (!graph.ok()) return graph.status();
+
+  // Output schema: distinct attributes sorted by name; types of same-named
+  // attributes must agree across relations.
+  std::map<std::string, ValueType> attrs;
+  for (const auto& rel : relations) {
+    for (const auto& f : rel->schema().fields()) {
+      auto it = attrs.find(f.name);
+      if (it == attrs.end()) {
+        attrs.emplace(f.name, f.type);
+      } else if (it->second != f.type) {
+        return Status::InvalidArgument(
+            "attribute '" + f.name + "' has conflicting types across "
+            "relations of join '" + name + "'");
+      }
+    }
+  }
+  std::vector<Field> fields;
+  fields.reserve(attrs.size());
+  for (const auto& [attr_name, type] : attrs) {
+    fields.push_back({attr_name, type});
+  }
+
+  return std::shared_ptr<const JoinSpec>(new JoinSpec(
+      std::move(name), std::move(relations), std::move(graph).value(),
+      Schema(std::move(fields)), std::move(output_predicates)));
+}
+
+bool JoinSpec::SatisfiesPredicates(const Tuple& tuple) const {
+  for (const auto& p : output_predicates_) {
+    if (!p.EvalOnTuple(tuple, output_schema_)) return false;
+  }
+  return true;
+}
+
+std::string JoinSpec::ToString() const {
+  std::string out = name_;
+  out += " [";
+  out += JoinTypeName(type());
+  out += "]: ";
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (i > 0) out += " |><| ";
+    out += relations_[i]->name();
+  }
+  return out;
+}
+
+Status ValidateUnionCompatible(const std::vector<JoinSpecPtr>& joins) {
+  if (joins.empty()) {
+    return Status::InvalidArgument("union needs at least one join");
+  }
+  for (const auto& j : joins) {
+    if (j == nullptr) return Status::InvalidArgument("null join in union");
+  }
+  const Schema& schema = joins[0]->output_schema();
+  for (size_t i = 1; i < joins.size(); ++i) {
+    if (joins[i]->output_schema() != schema) {
+      return Status::InvalidArgument(
+          "join '" + joins[i]->name() + "' output schema " +
+          joins[i]->output_schema().ToString() +
+          " differs from '" + joins[0]->name() + "' schema " +
+          schema.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace suj

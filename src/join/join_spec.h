@@ -1,0 +1,88 @@
+// JoinSpec: immutable description of one multi-way natural join.
+//
+// A JoinSpec is the unit the union framework works over: the paper's
+// S = {J_1..J_n} is a vector of JoinSpecs sharing an output schema. The spec
+// owns the relation list, the structural analysis (JoinGraph), the output
+// schema (union of attributes in sorted name order, so equal-attribute joins
+// produce byte-identical tuple encodings), and optional on-the-fly selection
+// predicates evaluated on output tuples (§8.3).
+
+#ifndef SUJ_JOIN_JOIN_SPEC_H_
+#define SUJ_JOIN_JOIN_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "join/join_graph.h"
+#include "join/predicate.h"
+#include "storage/relation.h"
+
+namespace suj {
+
+/// \brief One join J_j = R_1 |><| R_2 |><| ... |><| R_m.
+class JoinSpec {
+ public:
+  /// Creates and validates a join over `relations`.
+  ///
+  /// \param name        label used in reports.
+  /// \param relations   base relations (assumed duplicate-free, per §3).
+  /// \param declared_edges  optional structural edges; inferred from shared
+  ///                    attribute names when empty.
+  /// \param output_predicates  selection predicates applied to output tuples
+  ///                    on the fly (pushdown filtering is done by the caller
+  ///                    with FilterRelation before building the spec).
+  static Result<std::shared_ptr<const JoinSpec>> Create(
+      std::string name, std::vector<RelationPtr> relations,
+      std::vector<JoinEdge> declared_edges = {},
+      std::vector<Predicate> output_predicates = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<RelationPtr>& relations() const { return relations_; }
+  const RelationPtr& relation(int i) const { return relations_[i]; }
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+
+  const JoinGraph& graph() const { return graph_; }
+  JoinType type() const { return graph_.type(); }
+
+  /// Output schema: every distinct attribute, sorted by name. Two joins are
+  /// union-compatible iff their output schemas are equal.
+  const Schema& output_schema() const { return output_schema_; }
+
+  const std::vector<Predicate>& output_predicates() const {
+    return output_predicates_;
+  }
+  bool has_predicates() const { return !output_predicates_.empty(); }
+
+  /// True iff `tuple` (over output_schema()) passes all predicates.
+  bool SatisfiesPredicates(const Tuple& tuple) const;
+
+  std::string ToString() const;
+
+ private:
+  JoinSpec(std::string name, std::vector<RelationPtr> relations,
+           JoinGraph graph, Schema output_schema,
+           std::vector<Predicate> output_predicates)
+      : name_(std::move(name)),
+        relations_(std::move(relations)),
+        graph_(std::move(graph)),
+        output_schema_(std::move(output_schema)),
+        output_predicates_(std::move(output_predicates)) {}
+
+  std::string name_;
+  std::vector<RelationPtr> relations_;
+  JoinGraph graph_;
+  Schema output_schema_;
+  std::vector<Predicate> output_predicates_;
+};
+
+using JoinSpecPtr = std::shared_ptr<const JoinSpec>;
+
+/// Validates that all joins share one output schema (the precondition of
+/// every union algorithm; §2 assumes it).
+Status ValidateUnionCompatible(const std::vector<JoinSpecPtr>& joins);
+
+}  // namespace suj
+
+#endif  // SUJ_JOIN_JOIN_SPEC_H_

@@ -1,0 +1,109 @@
+#include "join/olken_sampler.h"
+
+#include "common/logging.h"
+
+namespace suj {
+
+Result<std::unique_ptr<OlkenJoinSampler>> OlkenJoinSampler::Create(
+    JoinSpecPtr join, CompositeIndexCache* cache) {
+  if (join == nullptr) return Status::InvalidArgument("null join");
+  if (cache == nullptr) return Status::InvalidArgument("null index cache");
+
+  auto sampler =
+      std::unique_ptr<OlkenJoinSampler>(new OlkenJoinSampler(join));
+  const JoinGraph& graph = join->graph();
+  const Schema& out_schema = join->output_schema();
+  const auto& order = graph.walk_order();
+
+  sampler->size_bound_ =
+      static_cast<double>(join->relation(order[0])->num_rows());
+  for (size_t pos = 1; pos < order.size(); ++pos) {
+    Step step;
+    step.relation = order[pos];
+    auto index = cache->GetOrBuild(join->relation(order[pos]),
+                                   graph.bound_attrs()[pos]);
+    if (!index.ok()) return index.status();
+    step.index = std::move(index).value();
+    for (const auto& a : graph.bound_attrs()[pos]) {
+      int idx = out_schema.FieldIndex(a);
+      SUJ_CHECK(idx >= 0);
+      step.key_fields.push_back(idx);
+    }
+    step.max_degree = step.index->MaxDegree();
+    sampler->size_bound_ *= static_cast<double>(step.max_degree);
+    sampler->steps_.push_back(std::move(step));
+  }
+  return sampler;
+}
+
+bool OlkenJoinSampler::ApplyRow(int relation, uint32_t row,
+                                std::vector<Value>* assignment,
+                                std::vector<bool>* assigned) const {
+  const Relation& rel = *join_->relation(relation);
+  const Schema& out_schema = join_->output_schema();
+  for (size_t c = 0; c < rel.schema().num_fields(); ++c) {
+    int out_idx = out_schema.FieldIndex(rel.schema().field(c).name);
+    SUJ_DCHECK(out_idx >= 0);
+    Value v = rel.GetValue(row, c);
+    if ((*assigned)[out_idx]) {
+      // Bound attributes always match by probe construction; a mismatch
+      // would indicate a walk-order bug.
+      if (!((*assignment)[out_idx] == v)) return false;
+    } else {
+      (*assignment)[out_idx] = std::move(v);
+      (*assigned)[out_idx] = true;
+    }
+  }
+  return true;
+}
+
+std::optional<Tuple> OlkenJoinSampler::TrySample(Rng& rng) {
+  ++stats_.attempts;
+  if (size_bound_ <= 0.0) {
+    ++stats_.dead_ends;
+    return std::nullopt;
+  }
+  const JoinSpec& spec = *join_;
+  const Schema& out_schema = spec.output_schema();
+  const auto& order = spec.graph().walk_order();
+
+  std::vector<Value> assignment(out_schema.num_fields());
+  std::vector<bool> assigned(out_schema.num_fields(), false);
+
+  const RelationPtr& first = spec.relation(order[0]);
+  uint32_t row0 = static_cast<uint32_t>(rng.UniformInt(first->num_rows()));
+  bool ok = ApplyRow(order[0], row0, &assignment, &assigned);
+  SUJ_CHECK(ok);
+
+  double accept_prob = 1.0;
+  for (const Step& step : steps_) {
+    std::vector<Value> key_values;
+    key_values.reserve(step.key_fields.size());
+    for (int f : step.key_fields) key_values.push_back(assignment[f]);
+    const auto& candidates =
+        step.index->LookupEncoded(Tuple(std::move(key_values)).Encode());
+    if (candidates.empty()) {
+      ++stats_.dead_ends;
+      return std::nullopt;
+    }
+    uint32_t chosen = candidates[rng.UniformInt(candidates.size())];
+    accept_prob *= static_cast<double>(candidates.size()) /
+                   static_cast<double>(step.max_degree);
+    ok = ApplyRow(step.relation, chosen, &assignment, &assigned);
+    SUJ_CHECK(ok);
+  }
+
+  if (!rng.Bernoulli(accept_prob)) {
+    ++stats_.rejections;
+    return std::nullopt;
+  }
+  Tuple out(std::move(assignment));
+  if (!spec.SatisfiesPredicates(out)) {
+    ++stats_.rejections;
+    return std::nullopt;
+  }
+  ++stats_.successes;
+  return out;
+}
+
+}  // namespace suj

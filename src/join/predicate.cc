@@ -1,0 +1,91 @@
+#include "join/predicate.h"
+
+namespace suj {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+  }
+  return "?";
+}
+
+bool Predicate::Eval(const Value& v) const {
+  switch (op_) {
+    case CompareOp::kEq:
+      return v == operand_;
+    case CompareOp::kNe:
+      return v != operand_;
+    case CompareOp::kLt:
+      return v < operand_;
+    case CompareOp::kLe:
+      return v < operand_ || v == operand_;
+    case CompareOp::kGt:
+      return operand_ < v;
+    case CompareOp::kGe:
+      return operand_ < v || v == operand_;
+    case CompareOp::kBetween:
+      return !(v < operand_) && (v < operand2_ || v == operand2_);
+  }
+  return false;
+}
+
+bool Predicate::EvalOnTuple(const Tuple& tuple, const Schema& schema) const {
+  int idx = schema.FieldIndex(attribute_);
+  if (idx < 0) return true;
+  return Eval(tuple.value(static_cast<size_t>(idx)));
+}
+
+std::string Predicate::ToString() const {
+  std::string out = attribute_;
+  out += ' ';
+  out += CompareOpName(op_);
+  out += ' ';
+  out += operand_.ToString();
+  if (op_ == CompareOp::kBetween) {
+    out += " AND ";
+    out += operand2_.ToString();
+  }
+  return out;
+}
+
+bool RowSatisfies(const Relation& relation, size_t row,
+                  const std::vector<Predicate>& predicates) {
+  const Schema& schema = relation.schema();
+  for (const auto& p : predicates) {
+    int idx = schema.FieldIndex(p.attribute());
+    if (idx < 0) continue;
+    if (!p.Eval(relation.GetValue(row, static_cast<size_t>(idx)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<RelationPtr> FilterRelation(const RelationPtr& relation,
+                                   const std::vector<Predicate>& predicates) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("null relation");
+  }
+  RelationBuilder builder(relation->name() + "#f", relation->schema());
+  for (size_t row = 0; row < relation->num_rows(); ++row) {
+    if (RowSatisfies(*relation, row, predicates)) {
+      SUJ_RETURN_NOT_OK(builder.AppendTuple(relation->GetTuple(row)));
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace suj

@@ -1,0 +1,79 @@
+// Selection predicates over attributes (§8.3).
+//
+// Two application paradigms, both implemented:
+//  * pushdown  -- FilterRelation() materializes the filtered base relation
+//    during preprocessing (works for histogram-based and random-walk);
+//  * on-the-fly -- samplers evaluate JoinSpec output predicates on each
+//    candidate tuple and reject non-matching ones (random-walk paradigm,
+//    appropriate for non-selective predicates).
+
+#ifndef SUJ_JOIN_PREDICATE_H_
+#define SUJ_JOIN_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace suj {
+
+/// Comparison operator of a predicate.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBetween,  // inclusive range [operand, operand2]
+};
+
+const char* CompareOpName(CompareOp op);
+
+/// \brief A single-attribute selection predicate `attr OP operand`.
+class Predicate {
+ public:
+  Predicate(std::string attribute, CompareOp op, Value operand)
+      : attribute_(std::move(attribute)), op_(op), operand_(std::move(operand)) {}
+
+  /// Range predicate `operand <= attr <= operand2`.
+  Predicate(std::string attribute, Value lo, Value hi)
+      : attribute_(std::move(attribute)),
+        op_(CompareOp::kBetween),
+        operand_(std::move(lo)),
+        operand2_(std::move(hi)) {}
+
+  const std::string& attribute() const { return attribute_; }
+  CompareOp op() const { return op_; }
+
+  /// Evaluates against a single value.
+  bool Eval(const Value& v) const;
+
+  /// Evaluates against the attribute of a tuple described by `schema`.
+  /// Tuples missing the attribute pass (the predicate does not apply).
+  bool EvalOnTuple(const Tuple& tuple, const Schema& schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string attribute_;
+  CompareOp op_;
+  Value operand_;
+  Value operand2_;
+};
+
+/// True iff `row` of `relation` satisfies every predicate that references an
+/// attribute of the relation (predicates on absent attributes are skipped).
+bool RowSatisfies(const Relation& relation, size_t row,
+                  const std::vector<Predicate>& predicates);
+
+/// Pushdown: materializes the subset of `relation` satisfying all applicable
+/// predicates. The result keeps the original name with a "#f" suffix so
+/// filtered variants are distinguishable in catalogs and logs.
+Result<RelationPtr> FilterRelation(const RelationPtr& relation,
+                                   const std::vector<Predicate>& predicates);
+
+}  // namespace suj
+
+#endif  // SUJ_JOIN_PREDICATE_H_

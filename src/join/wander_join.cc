@@ -1,0 +1,103 @@
+#include "join/wander_join.h"
+
+#include "common/logging.h"
+
+namespace suj {
+
+Result<std::unique_ptr<WanderJoinSampler>> WanderJoinSampler::Create(
+    JoinSpecPtr join, CompositeIndexCache* cache) {
+  if (join == nullptr) return Status::InvalidArgument("null join");
+  if (cache == nullptr) return Status::InvalidArgument("null index cache");
+
+  auto sampler =
+      std::unique_ptr<WanderJoinSampler>(new WanderJoinSampler(join));
+  const JoinGraph& graph = join->graph();
+  const Schema& out_schema = join->output_schema();
+  const auto& order = graph.walk_order();
+  for (size_t pos = 1; pos < order.size(); ++pos) {
+    Step step;
+    step.relation = order[pos];
+    auto index = cache->GetOrBuild(join->relation(order[pos]),
+                                   graph.bound_attrs()[pos]);
+    if (!index.ok()) return index.status();
+    step.index = std::move(index).value();
+    for (const auto& a : graph.bound_attrs()[pos]) {
+      int idx = out_schema.FieldIndex(a);
+      SUJ_CHECK(idx >= 0);
+      step.key_fields.push_back(idx);
+    }
+    sampler->steps_.push_back(std::move(step));
+  }
+  return sampler;
+}
+
+WalkOutcome WanderJoinSampler::Walk(Rng& rng) {
+  ++num_walks_;
+  WalkOutcome outcome;
+  const JoinSpec& spec = *join_;
+  const Schema& out_schema = spec.output_schema();
+  const auto& order = spec.graph().walk_order();
+
+  const RelationPtr& first = spec.relation(order[0]);
+  if (first->num_rows() == 0) return outcome;
+
+  std::vector<Value> assignment(out_schema.num_fields());
+  std::vector<bool> assigned(out_schema.num_fields(), false);
+  auto apply_row = [&](int relation, uint32_t row) {
+    const Relation& rel = *spec.relation(relation);
+    for (size_t c = 0; c < rel.schema().num_fields(); ++c) {
+      int out_idx = out_schema.FieldIndex(rel.schema().field(c).name);
+      if (!assigned[out_idx]) {
+        assignment[out_idx] = rel.GetValue(row, c);
+        assigned[out_idx] = true;
+      }
+    }
+  };
+
+  uint32_t row0 = static_cast<uint32_t>(rng.UniformInt(first->num_rows()));
+  apply_row(order[0], row0);
+  double probability = 1.0 / static_cast<double>(first->num_rows());
+
+  for (const Step& step : steps_) {
+    std::vector<Value> key_values;
+    key_values.reserve(step.key_fields.size());
+    for (int f : step.key_fields) key_values.push_back(assignment[f]);
+    const auto& candidates =
+        step.index->LookupEncoded(Tuple(std::move(key_values)).Encode());
+    if (candidates.empty()) return outcome;  // dead end
+    uint32_t chosen = candidates[rng.UniformInt(candidates.size())];
+    probability /= static_cast<double>(candidates.size());
+    apply_row(step.relation, chosen);
+  }
+
+  Tuple out(std::move(assignment));
+  if (!spec.SatisfiesPredicates(out)) return outcome;  // predicate rejection
+  outcome.success = true;
+  outcome.tuple = std::move(out);
+  outcome.probability = probability;
+  ++num_successes_;
+  return outcome;
+}
+
+WalkOutcome WanderJoinSizeEstimator::Step(Rng& rng) {
+  WalkOutcome outcome = sampler_->Walk(rng);
+  if (outcome.success) {
+    ht_.AddSuccess(outcome.probability);
+  } else {
+    ht_.AddFailure();
+  }
+  return outcome;
+}
+
+void WanderJoinSizeEstimator::RunUntilConfident(Rng& rng, double confidence,
+                                                double relative_halfwidth,
+                                                uint64_t min_walks,
+                                                uint64_t max_walks) {
+  while (ht_.num_draws() < min_walks) Step(rng);
+  while (ht_.num_draws() < max_walks &&
+         ht_.RelativeHalfWidth(confidence) > relative_halfwidth) {
+    Step(rng);
+  }
+}
+
+}  // namespace suj

@@ -1,0 +1,60 @@
+#include "stats/column_histogram.h"
+
+namespace suj {
+
+Result<std::shared_ptr<const ColumnHistogram>> ColumnHistogram::Build(
+    const RelationPtr& relation, const std::string& attribute) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("null relation");
+  }
+  int col = relation->schema().FieldIndex(attribute);
+  if (col < 0) {
+    return Status::NotFound("relation '" + relation->name() +
+                            "' has no attribute '" + attribute + "'");
+  }
+  auto hist = std::shared_ptr<ColumnHistogram>(
+      new ColumnHistogram(relation->name(), attribute));
+  hist->num_rows_ = relation->num_rows();
+  for (size_t row = 0; row < relation->num_rows(); ++row) {
+    size_t& c = hist->counts_[relation->GetValue(row, col)];
+    ++c;
+    if (c > hist->max_degree_) hist->max_degree_ = c;
+  }
+  return std::shared_ptr<const ColumnHistogram>(hist);
+}
+
+size_t ColumnHistogram::Degree(const Value& v) const {
+  auto it = counts_.find(v);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double ColumnHistogram::AvgDegree() const {
+  if (counts_.empty()) return 0.0;
+  return static_cast<double>(num_rows_) / static_cast<double>(counts_.size());
+}
+
+Result<ColumnHistogramPtr> HistogramCatalog::GetOrBuild(
+    const RelationPtr& relation, const std::string& attribute) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("null relation");
+  }
+  std::string key = relation->name() + "/" + attribute;
+  auto it = histograms_.find(key);
+  if (it != histograms_.end()) return it->second;
+  auto built = ColumnHistogram::Build(relation, attribute);
+  if (!built.ok()) return built.status();
+  histograms_.emplace(std::move(key), built.value());
+  return std::move(built).value();
+}
+
+Result<ColumnHistogramPtr> HistogramCatalog::Get(
+    const std::string& relation_name, const std::string& attribute) const {
+  auto it = histograms_.find(relation_name + "/" + attribute);
+  if (it == histograms_.end()) {
+    return Status::NotFound("no histogram for " + relation_name + "/" +
+                            attribute);
+  }
+  return it->second;
+}
+
+}  // namespace suj

@@ -1,0 +1,86 @@
+// ColumnHistogram: per-attribute value-frequency statistics.
+//
+// These are the "histograms of columns" the histogram-based estimator (§5)
+// consumes: exact value->degree maps for join attributes plus the summary
+// degrees (max, average). In the decentralized setting the paper motivates
+// (data markets), only these statistics -- not the data -- are exchanged;
+// the estimator API therefore depends on ColumnHistogram rather than on
+// Relation.
+
+#ifndef SUJ_STATS_COLUMN_HISTOGRAM_H_
+#define SUJ_STATS_COLUMN_HISTOGRAM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace suj {
+
+/// \brief Value-frequency histogram of one attribute of one relation.
+class ColumnHistogram {
+ public:
+  /// Builds the full histogram of `attribute` in `relation`.
+  static Result<std::shared_ptr<const ColumnHistogram>> Build(
+      const RelationPtr& relation, const std::string& attribute);
+
+  const std::string& relation_name() const { return relation_name_; }
+  const std::string& attribute() const { return attribute_; }
+
+  /// Degree d_A(v, R): number of rows with value `v` (0 if absent).
+  size_t Degree(const Value& v) const;
+
+  /// Maximum degree M_A(R).
+  size_t MaxDegree() const { return max_degree_; }
+
+  /// Average degree over distinct values (0 for empty relations).
+  double AvgDegree() const;
+
+  size_t NumDistinct() const { return counts_.size(); }
+  size_t NumRows() const { return num_rows_; }
+
+  /// Distinct values with their degrees (iteration order unspecified).
+  const std::unordered_map<Value, size_t, ValueHash>& counts() const {
+    return counts_;
+  }
+
+ private:
+  ColumnHistogram(std::string relation_name, std::string attribute)
+      : relation_name_(std::move(relation_name)),
+        attribute_(std::move(attribute)) {}
+
+  std::string relation_name_;
+  std::string attribute_;
+  std::unordered_map<Value, size_t, ValueHash> counts_;
+  size_t max_degree_ = 0;
+  size_t num_rows_ = 0;
+};
+
+using ColumnHistogramPtr = std::shared_ptr<const ColumnHistogram>;
+
+/// \brief Registry of histograms keyed by (relation name, attribute).
+///
+/// This is the only data-derived state the histogram-based estimator needs;
+/// exporting a HistogramCatalog is the paper's "limited metadata" scenario.
+class HistogramCatalog {
+ public:
+  /// Builds (or reuses) the histogram for (relation, attribute).
+  Result<ColumnHistogramPtr> GetOrBuild(const RelationPtr& relation,
+                                        const std::string& attribute);
+
+  /// Lookup by name only (for decentralized callers without the relation).
+  Result<ColumnHistogramPtr> Get(const std::string& relation_name,
+                                 const std::string& attribute) const;
+
+  size_t size() const { return histograms_.size(); }
+
+ private:
+  std::unordered_map<std::string, ColumnHistogramPtr> histograms_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_STATS_COLUMN_HISTOGRAM_H_

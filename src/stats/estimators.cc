@@ -1,0 +1,72 @@
+#include "stats/estimators.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace suj {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double n1 = static_cast<double>(count_);
+  double n2 = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+}
+
+namespace {
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+}  // namespace
+
+double ZCritical(double level) {
+  SUJ_CHECK(level > 0.0 && level < 1.0);
+  // Solve Phi(z) = (1 + level) / 2 by bisection; [0, 10] covers any level
+  // representable in double precision.
+  double target = (1.0 + level) / 2.0;
+  double lo = 0.0, hi = 10.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    double mid = (lo + hi) / 2.0;
+    if (NormalCdf(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+double ConfidenceHalfWidth(const RunningStats& stats, double level) {
+  if (stats.count() < 2) return std::numeric_limits<double>::infinity();
+  return ZCritical(level) * stats.stddev() /
+         std::sqrt(static_cast<double>(stats.count()));
+}
+
+double HorvitzThompsonEstimator::RelativeHalfWidth(double level) const {
+  double est = Estimate();
+  if (est <= 0.0) return std::numeric_limits<double>::infinity();
+  return HalfWidth(level) / est;
+}
+
+}  // namespace suj

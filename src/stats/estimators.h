@@ -1,0 +1,79 @@
+// Online estimators: running mean/variance, Horvitz-Thompson count
+// estimation, and normal-approximation confidence intervals.
+//
+// These implement the statistical machinery of §6.1: the wander-join size
+// estimate |J|_S = (1/m) * sum 1/p(t) is a Horvitz-Thompson estimator whose
+// mean and variance are tracked online (Welford), and warm-up terminates
+// when the CI half-width z_alpha * sigma / sqrt(n) drops below a threshold.
+
+#ifndef SUJ_STATS_ESTIMATORS_H_
+#define SUJ_STATS_ESTIMATORS_H_
+
+#include <cstddef>
+
+namespace suj {
+
+/// \brief Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Incorporates one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance (0 with fewer than 2 observations).
+  double variance() const;
+  double stddev() const;
+
+  /// Merges another accumulator into this one (parallel combination).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Two-sided z critical value for confidence `level` in (0,1), e.g.
+/// 0.90 -> 1.645, 0.95 -> 1.960. Computed by bisection on the normal CDF.
+double ZCritical(double level);
+
+/// CI half-width z * s / sqrt(n) for the mean of `stats` at `level`.
+/// Returns +inf with fewer than 2 observations.
+double ConfidenceHalfWidth(const RunningStats& stats, double level);
+
+/// \brief Horvitz-Thompson estimator of a population total from samples
+/// drawn with known, possibly non-uniform probabilities.
+///
+/// Used for join COUNT estimation from wander-join walks: each successful
+/// walk contributes 1/p(t); each failed walk contributes 0 (§6.1, §7).
+class HorvitzThompsonEstimator {
+ public:
+  /// Records a successful draw of a tuple sampled with probability p > 0.
+  void AddSuccess(double p) { stats_.Add(1.0 / p); }
+
+  /// Records a failed walk (dead end), which contributes 0.
+  void AddFailure() { stats_.Add(0.0); }
+
+  size_t num_draws() const { return stats_.count(); }
+
+  /// Current point estimate of the total (0 before any draw).
+  double Estimate() const { return stats_.mean(); }
+
+  /// CI half-width of the estimate at `level`.
+  double HalfWidth(double level) const {
+    return ConfidenceHalfWidth(stats_, level);
+  }
+
+  /// Relative half-width (half-width / estimate); +inf if estimate == 0.
+  double RelativeHalfWidth(double level) const;
+
+  const RunningStats& stats() const { return stats_; }
+
+ private:
+  RunningStats stats_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_STATS_ESTIMATORS_H_

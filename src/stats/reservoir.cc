@@ -1,0 +1,3 @@
+// ReservoirSampler is header-only (template); this translation unit exists
+// so the build target lists the module explicitly.
+#include "stats/reservoir.h"

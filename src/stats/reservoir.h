@@ -1,0 +1,49 @@
+// Reservoir sampling: fixed-size uniform sample of a stream.
+//
+// Used by examples and tests as an independent way to obtain uniform samples
+// of materialized results for cross-validation of the samplers.
+
+#ifndef SUJ_STATS_RESERVOIR_H_
+#define SUJ_STATS_RESERVOIR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace suj {
+
+/// \brief Algorithm R reservoir sampler over items of type T.
+template <typename T>
+class ReservoirSampler {
+ public:
+  /// A reservoir holding at most `capacity` items.
+  explicit ReservoirSampler(size_t capacity) : capacity_(capacity) {
+    SUJ_CHECK(capacity > 0);
+    sample_.reserve(capacity);
+  }
+
+  /// Offers one stream item.
+  void Offer(const T& item, Rng& rng) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(item);
+      return;
+    }
+    uint64_t j = rng.UniformInt(seen_);
+    if (j < capacity_) sample_[j] = item;
+  }
+
+  size_t seen() const { return seen_; }
+  const std::vector<T>& sample() const { return sample_; }
+
+ private:
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_STATS_RESERVOIR_H_

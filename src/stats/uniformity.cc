@@ -1,0 +1,94 @@
+#include "stats/uniformity.h"
+
+#include <cmath>
+#include <limits>
+
+namespace suj {
+
+std::unordered_map<std::string, size_t> CountSamples(
+    const std::vector<Tuple>& samples) {
+  std::unordered_map<std::string, size_t> counts;
+  counts.reserve(samples.size());
+  for (const auto& t : samples) ++counts[t.Encode()];
+  return counts;
+}
+
+double ChiSquareSurvival(double statistic, size_t degrees_of_freedom) {
+  if (degrees_of_freedom == 0) return 1.0;
+  if (statistic <= 0.0) return 1.0;
+  // Wilson-Hilferty: (X/df)^(1/3) is approximately normal with mean
+  // 1 - 2/(9 df) and variance 2/(9 df).
+  double df = static_cast<double>(degrees_of_freedom);
+  double z = (std::cbrt(statistic / df) - (1.0 - 2.0 / (9.0 * df))) /
+             std::sqrt(2.0 / (9.0 * df));
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+Result<ChiSquareResult> ChiSquareUniformityTest(
+    const std::vector<Tuple>& samples, size_t universe_size) {
+  if (universe_size < 2) {
+    return Status::InvalidArgument("universe must have >= 2 tuples");
+  }
+  if (samples.empty()) {
+    return Status::InvalidArgument("no samples to test");
+  }
+  auto counts = CountSamples(samples);
+  if (counts.size() > universe_size) {
+    return Status::InvalidArgument(
+        "observed more distinct tuples than the universe holds");
+  }
+  ChiSquareResult result;
+  result.num_samples = samples.size();
+  result.universe_size = universe_size;
+  result.distinct_observed = counts.size();
+  result.degrees_of_freedom = universe_size - 1;
+  double expected = static_cast<double>(samples.size()) /
+                    static_cast<double>(universe_size);
+  for (const auto& [key, c] : counts) {
+    double d = static_cast<double>(c) - expected;
+    result.statistic += d * d / expected;
+  }
+  result.statistic +=
+      static_cast<double>(universe_size - counts.size()) * expected;
+  result.p_value =
+      ChiSquareSurvival(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+Result<ChiSquareResult> ChiSquareTest(
+    const std::vector<Tuple>& samples,
+    const std::unordered_map<std::string, double>& expected) {
+  if (expected.size() < 2) {
+    return Status::InvalidArgument("need >= 2 expected categories");
+  }
+  if (samples.empty()) {
+    return Status::InvalidArgument("no samples to test");
+  }
+  auto counts = CountSamples(samples);
+  ChiSquareResult result;
+  result.num_samples = samples.size();
+  result.universe_size = expected.size();
+  result.distinct_observed = counts.size();
+  result.degrees_of_freedom = expected.size() - 1;
+  for (const auto& [key, c] : counts) {
+    if (!expected.count(key)) {
+      result.p_value = 0.0;
+      result.statistic = std::numeric_limits<double>::infinity();
+      return result;
+    }
+  }
+  double n = static_cast<double>(samples.size());
+  for (const auto& [key, p] : expected) {
+    double exp_count = p * n;
+    if (exp_count <= 0.0) continue;
+    auto it = counts.find(key);
+    double obs = it == counts.end() ? 0.0 : static_cast<double>(it->second);
+    double d = obs - exp_count;
+    result.statistic += d * d / exp_count;
+  }
+  result.p_value =
+      ChiSquareSurvival(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace suj

@@ -1,0 +1,66 @@
+// Uniformity diagnostics for sample sets.
+//
+// Downstream users of the union sampler (learning pipelines, AQP) need to
+// verify that a drawn sample is consistent with the uniform-over-union
+// guarantee. This module provides the chi-square goodness-of-fit machinery
+// the test suite uses, as a public API: compare an observed sample against
+// a uniform distribution over a known universe size, or against explicit
+// expected proportions.
+
+#ifndef SUJ_STATS_UNIFORMITY_H_
+#define SUJ_STATS_UNIFORMITY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/tuple.h"
+
+namespace suj {
+
+/// Result of a chi-square goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0.0;       ///< the chi-square statistic
+  size_t degrees_of_freedom = 0;
+  /// Approximate p-value via the Wilson-Hilferty normal approximation of
+  /// the chi-square CDF (accurate enough for df >= 3).
+  double p_value = 1.0;
+  size_t num_samples = 0;
+  size_t universe_size = 0;
+  size_t distinct_observed = 0;
+
+  /// Convenience verdict at significance `alpha` (rejects uniformity when
+  /// p_value < alpha).
+  bool ConsistentWithUniform(double alpha = 0.001) const {
+    return p_value >= alpha;
+  }
+};
+
+/// Chi-square test of `samples` against the uniform distribution over a
+/// universe of `universe_size` distinct tuples. Every tuple value observed
+/// is assumed to belong to the universe; never-observed universe members
+/// contribute their full expected count to the statistic.
+/// Fails if universe_size < 2 or samples is empty.
+Result<ChiSquareResult> ChiSquareUniformityTest(
+    const std::vector<Tuple>& samples, size_t universe_size);
+
+/// Chi-square test against explicit expected proportions: `expected` maps
+/// encoded tuple values to probabilities (must sum to ~1). Observed values
+/// absent from `expected` fail the test immediately (p_value = 0).
+Result<ChiSquareResult> ChiSquareTest(
+    const std::vector<Tuple>& samples,
+    const std::unordered_map<std::string, double>& expected);
+
+/// Survival function of the chi-square distribution (1 - CDF) via the
+/// Wilson-Hilferty cube-root normal approximation.
+double ChiSquareSurvival(double statistic, size_t degrees_of_freedom);
+
+/// Counts samples by canonical encoded value.
+std::unordered_map<std::string, size_t> CountSamples(
+    const std::vector<Tuple>& samples);
+
+}  // namespace suj
+
+#endif  // SUJ_STATS_UNIFORMITY_H_

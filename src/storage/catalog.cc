@@ -1,0 +1,43 @@
+#include "storage/catalog.h"
+
+namespace suj {
+
+Status Catalog::Register(RelationPtr relation) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("cannot register null relation");
+  }
+  auto [it, inserted] = relations_.emplace(relation->name(), relation);
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("relation '" + relation->name() +
+                                   "' already registered");
+  }
+  return Status::OK();
+}
+
+void Catalog::Upsert(RelationPtr relation) {
+  relations_[relation->name()] = std::move(relation);
+}
+
+Result<RelationPtr> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not in catalog");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+size_t Catalog::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel->num_rows();
+  return total;
+}
+
+}  // namespace suj

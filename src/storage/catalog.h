@@ -1,0 +1,47 @@
+// Catalog: named registry of relations, shared by workloads and examples.
+
+#ifndef SUJ_STORAGE_CATALOG_H_
+#define SUJ_STORAGE_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace suj {
+
+/// \brief Name -> Relation registry.
+///
+/// Joins reference relations by pointer; the catalog is the ownership root
+/// that keeps them alive and lets workload code look them up by name.
+class Catalog {
+ public:
+  /// Registers `relation` under its name. Fails on duplicate names.
+  Status Register(RelationPtr relation);
+
+  /// Replaces or inserts a relation under its name.
+  void Upsert(RelationPtr relation);
+
+  /// Looks up by name.
+  Result<RelationPtr> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+  size_t size() const { return relations_.size(); }
+
+  /// All registered names (unordered).
+  std::vector<std::string> Names() const;
+
+  /// Sum of rows across all relations (used in scaling reports).
+  size_t TotalRows() const;
+
+ private:
+  std::unordered_map<std::string, RelationPtr> relations_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_STORAGE_CATALOG_H_

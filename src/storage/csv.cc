@@ -1,0 +1,201 @@
+#include "storage/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace suj {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void WriteCell(const std::string& s, std::ostream* out) {
+  if (!NeedsQuoting(s)) {
+    *out << s;
+    return;
+  }
+  *out << '"';
+  for (char c : s) {
+    if (c == '"') *out << '"';
+    *out << c;
+  }
+  *out << '"';
+}
+
+// Splits one CSV line into cells, honoring quotes. Returns false on a
+// malformed line (unterminated quote).
+bool SplitLine(const std::string& line, std::vector<std::string>* cells) {
+  cells->clear();
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells->push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      cell += c;
+    }
+  }
+  if (in_quotes) return false;
+  cells->push_back(std::move(cell));
+  return true;
+}
+
+Result<Value> ParseCell(const std::string& cell, ValueType type,
+                        size_t line_no, const std::string& attr) {
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(cell.data(), cell.data() + cell.size(), v);
+      if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": '" + cell +
+            "' is not an INT64 (column '" + attr + "')");
+      }
+      return Value::Int64(v);
+    }
+    case ValueType::kDouble: {
+      // std::from_chars for double is not universally available; strtod
+      // with full-consumption check is equivalent here.
+      char* end = nullptr;
+      double v = std::strtod(cell.c_str(), &end);
+      if (cell.empty() || end != cell.c_str() + cell.size()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": '" + cell +
+            "' is not a DOUBLE (column '" + attr + "')");
+      }
+      return Value::Double(v);
+    }
+    case ValueType::kString:
+      return Value::String(cell);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status WriteCsv(const Relation& relation, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  const Schema& schema = relation.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) *out << ',';
+    WriteCell(schema.field(c).name, out);
+  }
+  *out << '\n';
+  for (size_t row = 0; row < relation.num_rows(); ++row) {
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      if (c > 0) *out << ',';
+      switch (schema.field(c).type) {
+        case ValueType::kInt64:
+          *out << relation.GetInt64(row, c);
+          break;
+        case ValueType::kDouble: {
+          // Round-trip-exact double formatting.
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.17g",
+                        relation.GetDouble(row, c));
+          *out << buf;
+          break;
+        }
+        case ValueType::kString:
+          WriteCell(relation.GetString(row, c), out);
+          break;
+      }
+    }
+    *out << '\n';
+  }
+  return out->good() ? Status::OK() : Status::Internal("stream write failed");
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  return WriteCsv(relation, &file);
+}
+
+Result<RelationPtr> ReadCsv(std::istream* in, const std::string& name,
+                            const Schema& schema) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("missing CSV header");
+  }
+  std::vector<std::string> cells;
+  if (!SplitLine(line, &cells)) {
+    return Status::InvalidArgument("malformed CSV header");
+  }
+  if (cells.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "header arity " + std::to_string(cells.size()) +
+        " != schema arity " + std::to_string(schema.num_fields()));
+  }
+  for (size_t c = 0; c < cells.size(); ++c) {
+    if (cells[c] != schema.field(c).name) {
+      return Status::InvalidArgument("header column '" + cells[c] +
+                                     "' does not match schema attribute '" +
+                                     schema.field(c).name + "'");
+    }
+  }
+
+  RelationBuilder builder(name, schema);
+  size_t line_no = 1;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!SplitLine(line, &cells)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unterminated quote");
+    }
+    if (cells.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(schema.num_fields()) + " cells, got " +
+          std::to_string(cells.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      auto v = ParseCell(cells[c], schema.field(c).type, line_no,
+                         schema.field(c).name);
+      if (!v.ok()) return v.status();
+      values.push_back(std::move(v).value());
+    }
+    SUJ_RETURN_NOT_OK(builder.AppendRow(std::move(values)));
+  }
+  return builder.Finish();
+}
+
+Result<RelationPtr> ReadCsvFile(const std::string& path,
+                                const std::string& name,
+                                const Schema& schema) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return ReadCsv(&file, name, schema);
+}
+
+}  // namespace suj

@@ -1,0 +1,38 @@
+// CSV import/export for relations.
+//
+// Lets workloads be persisted and external data be loaded into the engine.
+// Format: header row of attribute names, comma-separated; string cells may
+// be double-quoted (with "" escaping); INT64/DOUBLE cells are parsed
+// strictly. Round-trips exactly for the value types the engine supports.
+
+#ifndef SUJ_STORAGE_CSV_H_
+#define SUJ_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace suj {
+
+/// Writes `relation` as CSV (header + rows) to `out`.
+Status WriteCsv(const Relation& relation, std::ostream* out);
+
+/// Writes `relation` to a file at `path` (overwrites).
+Status WriteCsvFile(const Relation& relation, const std::string& path);
+
+/// Reads a CSV with a header row into a relation named `name`, using
+/// `schema` for the column types. The header must match the schema's
+/// attribute names in order.
+Result<RelationPtr> ReadCsv(std::istream* in, const std::string& name,
+                            const Schema& schema);
+
+/// Reads from a file at `path`.
+Result<RelationPtr> ReadCsvFile(const std::string& path,
+                                const std::string& name,
+                                const Schema& schema);
+
+}  // namespace suj
+
+#endif  // SUJ_STORAGE_CSV_H_

@@ -1,0 +1,56 @@
+#include "storage/schema.h"
+
+namespace suj {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<std::string> Schema::FieldNames() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const auto& f : fields_) names.push_back(f.name);
+  return names;
+}
+
+std::vector<std::string> Schema::CommonFields(const Schema& other) const {
+  std::vector<std::string> out;
+  for (const auto& f : fields_) {
+    if (other.HasField(f.name)) out.push_back(f.name);
+  }
+  return out;
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> projected;
+  projected.reserve(names.size());
+  for (const auto& n : names) {
+    int idx = FieldIndex(n);
+    if (idx < 0) {
+      return Status::NotFound("schema has no attribute named '" + n + "'");
+    }
+    projected.push_back(fields_[idx]);
+  }
+  return Schema(std::move(projected));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace suj

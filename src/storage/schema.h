@@ -1,0 +1,69 @@
+// Schema: ordered, named, typed attributes of a relation or join output.
+
+#ifndef SUJ_STORAGE_SCHEMA_H_
+#define SUJ_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace suj {
+
+/// A single attribute: name + physical type.
+struct Field {
+  std::string name;
+  ValueType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered collection of fields.
+///
+/// The paper assumes join attributes are standardized to the same names
+/// across relations (§2); schemas here follow that convention, so equi-join
+/// edges are expressed purely by shared attribute names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the attribute with `name`, or -1 if absent.
+  int FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name) >= 0;
+  }
+
+  /// All attribute names in schema order.
+  std::vector<std::string> FieldNames() const;
+
+  /// Attribute names shared with `other` (in this schema's order).
+  std::vector<std::string> CommonFields(const Schema& other) const;
+
+  /// Schema restricted to `names` (in the given order). Fails if a name is
+  /// missing.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_STORAGE_SCHEMA_H_

@@ -1,0 +1,64 @@
+// Tuple: a row of values, with the canonical encoding that defines
+// set-union identity.
+//
+// The paper (§3, Example 3) identifies output tuples by `t.val`, "obtained by
+// concatenating its attribute values using a standard convention". Tuple's
+// Encode() is that convention: the injective byte encoding of each Value in
+// schema order. Two tuples from different joins are the same element of the
+// union universe U iff their encodings are equal.
+
+#ifndef SUJ_STORAGE_TUPLE_H_
+#define SUJ_STORAGE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace suj {
+
+/// \brief An ordered row of values.
+///
+/// Tuples do not carry their schema; callers pair a Tuple with the Schema of
+/// the relation or join output that produced it.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Canonical injective byte encoding (the paper's `t.val`).
+  std::string Encode() const;
+
+  /// Hash consistent with operator== (combines per-value hashes).
+  uint64_t Hash() const;
+
+  /// Projection onto the given column indices, in the given order.
+  Tuple Project(const std::vector<int>& indices) const;
+
+  /// Reorders/projects this tuple (described by `from`) onto schema `to`.
+  /// All attributes of `to` must exist in `from`.
+  Tuple MapToSchema(const Schema& from, const Schema& to) const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Hasher for unordered containers keyed by Tuple.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace suj
+
+#endif  // SUJ_STORAGE_TUPLE_H_

@@ -1,0 +1,52 @@
+// Umbrella header: the full public API of the suj library.
+//
+// Include this for quick starts; production code should include the
+// specific module headers it needs.
+
+#ifndef SUJ_SUJ_H_
+#define SUJ_SUJ_H_
+
+#include "common/combinatorics.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/exact_overlap.h"
+#include "core/histogram_overlap.h"
+#include "core/k_overlap.h"
+#include "core/online_union_sampler.h"
+#include "core/overlap_estimator.h"
+#include "core/random_walk_overlap.h"
+#include "core/splitting.h"
+#include "core/template_selector.h"
+#include "core/union_sampler.h"
+#include "core/union_size_model.h"
+#include "index/composite_index.h"
+#include "index/hash_index.h"
+#include "index/row_membership_index.h"
+#include "join/exact_weight.h"
+#include "join/full_join.h"
+#include "join/join_graph.h"
+#include "join/join_sampler.h"
+#include "join/join_size_bound.h"
+#include "join/join_spec.h"
+#include "join/membership.h"
+#include "join/olken_sampler.h"
+#include "join/predicate.h"
+#include "join/wander_join.h"
+#include "stats/column_histogram.h"
+#include "stats/estimators.h"
+#include "stats/reservoir.h"
+#include "stats/uniformity.h"
+#include "storage/catalog.h"
+#include "storage/csv.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "storage/value.h"
+#include "tpch/generator.h"
+#include "tpch/overlap_generator.h"
+#include "tpch/text_pool.h"
+#include "workloads/synthetic.h"
+#include "workloads/tpch_workloads.h"
+
+#endif  // SUJ_SUJ_H_

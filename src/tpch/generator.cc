@@ -1,0 +1,261 @@
+#include "tpch/generator.h"
+
+#include <algorithm>
+
+#include "tpch/text_pool.h"
+
+namespace suj {
+namespace tpch {
+
+Schema RegionSchema() {
+  return Schema({{"regionkey", ValueType::kInt64},
+                 {"r_name", ValueType::kString}});
+}
+
+Schema NationSchema() {
+  return Schema({{"nationkey", ValueType::kInt64},
+                 {"regionkey", ValueType::kInt64},
+                 {"n_name", ValueType::kString}});
+}
+
+Schema SupplierSchema() {
+  return Schema({{"suppkey", ValueType::kInt64},
+                 {"nationkey", ValueType::kInt64},
+                 {"s_name", ValueType::kString},
+                 {"s_acctbal", ValueType::kDouble}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"custkey", ValueType::kInt64},
+                 {"nationkey", ValueType::kInt64},
+                 {"c_mktsegment", ValueType::kString},
+                 {"c_acctbal", ValueType::kDouble}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"orderkey", ValueType::kInt64},
+                 {"custkey", ValueType::kInt64},
+                 {"o_totalprice", ValueType::kDouble},
+                 {"o_orderpriority", ValueType::kInt64}});
+}
+
+Schema LineitemSchema() {
+  return Schema({{"orderkey", ValueType::kInt64},
+                 {"l_linenumber", ValueType::kInt64},
+                 {"l_suppkey", ValueType::kInt64},
+                 {"l_partkey", ValueType::kInt64},
+                 {"l_quantity", ValueType::kInt64},
+                 {"l_extendedprice", ValueType::kDouble}});
+}
+
+Schema PartSchema() {
+  return Schema({{"partkey", ValueType::kInt64},
+                 {"p_name", ValueType::kString},
+                 {"p_size", ValueType::kInt64},
+                 {"p_retailprice", ValueType::kDouble}});
+}
+
+Schema PartsuppSchema() {
+  return Schema({{"partkey", ValueType::kInt64},
+                 {"suppkey", ValueType::kInt64},
+                 {"ps_availqty", ValueType::kInt64},
+                 {"ps_supplycost", ValueType::kDouble}});
+}
+
+namespace detail {
+
+namespace {
+// Two-decimal monetary value in [lo, hi).
+double Money(Rng& rng, double lo, double hi) {
+  double v = lo + rng.UniformDouble() * (hi - lo);
+  return static_cast<double>(static_cast<int64_t>(v * 100)) / 100.0;
+}
+
+// Pool pick, Zipf-skewed toward the front of the pool when skew > 1.
+int64_t PickFromPool(const std::vector<int64_t>& pool, double skew,
+                     Rng& rng) {
+  if (skew > 1.0) {
+    uint64_t rank = rng.Zipf(pool.size(), skew);  // in [1, size]
+    return pool[rank - 1];
+  }
+  return pool[rng.UniformInt(pool.size())];
+}
+}  // namespace
+
+Status AppendRegions(RelationBuilder* builder) {
+  for (int r = 0; r < kNumRegions; ++r) {
+    SUJ_RETURN_NOT_OK(builder->AppendRow(
+        {Value::Int64(r), Value::String(RegionName(r))}));
+  }
+  return Status::OK();
+}
+
+Status AppendNations(RelationBuilder* builder) {
+  for (int n = 0; n < kNumNations; ++n) {
+    SUJ_RETURN_NOT_OK(builder->AppendRow({Value::Int64(n),
+                                          Value::Int64(NationRegion(n)),
+                                          Value::String(NationName(n))}));
+  }
+  return Status::OK();
+}
+
+Status AppendSuppliers(RelationBuilder* builder, size_t count,
+                       int64_t key_start, Rng& rng) {
+  for (size_t i = 0; i < count; ++i) {
+    int64_t key = key_start + static_cast<int64_t>(i);
+    SUJ_RETURN_NOT_OK(builder->AppendRow(
+        {Value::Int64(key), Value::Int64(rng.UniformInt(kNumNations)),
+         Value::String(EntityName("Supplier", key)),
+         Value::Double(Money(rng, -999.99, 9999.99))}));
+  }
+  return Status::OK();
+}
+
+Status AppendCustomers(RelationBuilder* builder, size_t count,
+                       int64_t key_start, Rng& rng) {
+  for (size_t i = 0; i < count; ++i) {
+    int64_t key = key_start + static_cast<int64_t>(i);
+    SUJ_RETURN_NOT_OK(builder->AppendRow(
+        {Value::Int64(key), Value::Int64(rng.UniformInt(kNumNations)),
+         Value::String(MarketSegment(rng.UniformInt(kNumMarketSegments))),
+         Value::Double(Money(rng, -999.99, 9999.99))}));
+  }
+  return Status::OK();
+}
+
+Status AppendOrders(RelationBuilder* builder, size_t count,
+                    int64_t key_start, const std::vector<int64_t>& custkeys,
+                    double skew, Rng& rng,
+                    std::vector<int64_t>* out_keys) {
+  if (custkeys.empty() && count > 0) {
+    return Status::InvalidArgument("orders need a non-empty customer pool");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    int64_t key = key_start + static_cast<int64_t>(i);
+    SUJ_RETURN_NOT_OK(builder->AppendRow(
+        {Value::Int64(key), Value::Int64(PickFromPool(custkeys, skew, rng)),
+         Value::Double(Money(rng, 100.0, 400000.0)),
+         Value::Int64(1 + static_cast<int64_t>(rng.UniformInt(5)))}));
+    if (out_keys != nullptr) out_keys->push_back(key);
+  }
+  return Status::OK();
+}
+
+Status AppendLineitems(RelationBuilder* builder,
+                       const std::vector<int64_t>& orderkeys, int max_lines,
+                       const std::vector<int64_t>& suppkeys,
+                       const std::vector<int64_t>& partkeys, Rng& rng) {
+  if (max_lines < 1) {
+    return Status::InvalidArgument("max_lines_per_order must be >= 1");
+  }
+  if (suppkeys.empty() || partkeys.empty()) {
+    return Status::InvalidArgument("lineitems need supplier and part pools");
+  }
+  for (int64_t orderkey : orderkeys) {
+    int lines = 1 + static_cast<int>(rng.UniformInt(max_lines));
+    for (int ln = 1; ln <= lines; ++ln) {
+      SUJ_RETURN_NOT_OK(builder->AppendRow(
+          {Value::Int64(orderkey), Value::Int64(ln),
+           Value::Int64(suppkeys[rng.UniformInt(suppkeys.size())]),
+           Value::Int64(partkeys[rng.UniformInt(partkeys.size())]),
+           Value::Int64(1 + static_cast<int64_t>(rng.UniformInt(50))),
+           Value::Double(Money(rng, 900.0, 105000.0))}));
+    }
+  }
+  return Status::OK();
+}
+
+Status AppendParts(RelationBuilder* builder, size_t count, int64_t key_start,
+                   Rng& rng) {
+  for (size_t i = 0; i < count; ++i) {
+    int64_t key = key_start + static_cast<int64_t>(i);
+    SUJ_RETURN_NOT_OK(builder->AppendRow(
+        {Value::Int64(key), Value::String(RandomPhrase(rng, 3)),
+         Value::Int64(1 + static_cast<int64_t>(rng.UniformInt(50))),
+         Value::Double(Money(rng, 900.0, 2000.0))}));
+  }
+  return Status::OK();
+}
+
+Status AppendPartsupp(RelationBuilder* builder,
+                      const std::vector<int64_t>& partkeys,
+                      const std::vector<int64_t>& suppkeys, Rng& rng) {
+  if (suppkeys.empty() && !partkeys.empty()) {
+    return Status::InvalidArgument("partsupp needs a supplier pool");
+  }
+  const size_t per_part = std::min<size_t>(4, suppkeys.size());
+  for (int64_t partkey : partkeys) {
+    // Distinct suppliers per part: random starting offset, stride 1.
+    size_t start = rng.UniformInt(suppkeys.size());
+    for (size_t k = 0; k < per_part; ++k) {
+      int64_t suppkey = suppkeys[(start + k) % suppkeys.size()];
+      SUJ_RETURN_NOT_OK(builder->AppendRow(
+          {Value::Int64(partkey), Value::Int64(suppkey),
+           Value::Int64(1 + static_cast<int64_t>(rng.UniformInt(9999))),
+           Value::Double(Money(rng, 1.0, 1000.0))}));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace detail
+
+Result<Catalog> TpchGenerator::Generate() const {
+  Rng rng(config_.seed);
+  Catalog catalog;
+
+  RelationBuilder region("region", RegionSchema());
+  SUJ_RETURN_NOT_OK(detail::AppendRegions(&region));
+  SUJ_RETURN_NOT_OK(catalog.Register(region.Finish()));
+
+  RelationBuilder nation("nation", NationSchema());
+  SUJ_RETURN_NOT_OK(detail::AppendNations(&nation));
+  SUJ_RETURN_NOT_OK(catalog.Register(nation.Finish()));
+
+  auto keys_in = [](int64_t start, size_t n) {
+    std::vector<int64_t> keys(n);
+    for (size_t i = 0; i < n; ++i) keys[i] = start + static_cast<int64_t>(i);
+    return keys;
+  };
+
+  RelationBuilder supplier("supplier", SupplierSchema());
+  SUJ_RETURN_NOT_OK(
+      detail::AppendSuppliers(&supplier, config_.NumSuppliers(), 0, rng));
+  SUJ_RETURN_NOT_OK(catalog.Register(supplier.Finish()));
+  std::vector<int64_t> suppkeys = keys_in(0, config_.NumSuppliers());
+
+  RelationBuilder customer("customer", CustomerSchema());
+  SUJ_RETURN_NOT_OK(
+      detail::AppendCustomers(&customer, config_.NumCustomers(), 0, rng));
+  SUJ_RETURN_NOT_OK(catalog.Register(customer.Finish()));
+  std::vector<int64_t> custkeys = keys_in(0, config_.NumCustomers());
+
+  RelationBuilder orders("orders", OrdersSchema());
+  std::vector<int64_t> orderkeys;
+  SUJ_RETURN_NOT_OK(detail::AppendOrders(&orders, config_.NumOrders(), 0,
+                                         custkeys,
+                                         config_.customer_order_skew, rng,
+                                         &orderkeys));
+  SUJ_RETURN_NOT_OK(catalog.Register(orders.Finish()));
+
+  RelationBuilder part("part", PartSchema());
+  SUJ_RETURN_NOT_OK(detail::AppendParts(&part, config_.NumParts(), 0, rng));
+  SUJ_RETURN_NOT_OK(catalog.Register(part.Finish()));
+  std::vector<int64_t> partkeys = keys_in(0, config_.NumParts());
+
+  RelationBuilder lineitem("lineitem", LineitemSchema());
+  SUJ_RETURN_NOT_OK(detail::AppendLineitems(&lineitem, orderkeys,
+                                            config_.max_lines_per_order,
+                                            suppkeys, partkeys, rng));
+  SUJ_RETURN_NOT_OK(catalog.Register(lineitem.Finish()));
+
+  RelationBuilder partsupp("partsupp", PartsuppSchema());
+  SUJ_RETURN_NOT_OK(
+      detail::AppendPartsupp(&partsupp, partkeys, suppkeys, rng));
+  SUJ_RETURN_NOT_OK(catalog.Register(partsupp.Finish()));
+
+  return catalog;
+}
+
+}  // namespace tpch
+}  // namespace suj

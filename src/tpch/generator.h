@@ -1,0 +1,115 @@
+// TpchGenerator: self-contained TPC-H-style data generator.
+//
+// Substitutes for TPCH-DBGen (which the paper uses): table ratios follow the
+// benchmark (customer : orders : lineitem = 150 : 1500 : ~6000 per scale
+// unit) at laptop-scale absolute sizes. Join attributes are standardized to
+// shared names (nationkey, custkey, orderkey, suppkey, partkey) per the
+// paper's §2 convention; non-join attributes carry table prefixes so natural
+// joins only equate intended keys. An optional Zipf skew on foreign-key
+// assignment exercises the degree-skew sensitivity of the estimators.
+
+#ifndef SUJ_TPCH_GENERATOR_H_
+#define SUJ_TPCH_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "storage/catalog.h"
+
+namespace suj {
+namespace tpch {
+
+/// Generation parameters. scale_factor 1.0 produces the "unit" database of
+/// ~8k rows total; row counts scale linearly.
+struct TpchConfig {
+  double scale_factor = 1.0;
+  uint64_t seed = 42;
+  /// Zipf exponent for orders-per-customer skew; 0 = uniform assignment.
+  double customer_order_skew = 0.0;
+  /// Average lineitems per order is (1 + max_lines_per_order) / 2.
+  int max_lines_per_order = 7;
+
+  size_t NumSuppliers() const { return ScaleCount(10, 2); }
+  size_t NumCustomers() const { return ScaleCount(150, 3); }
+  size_t NumOrders() const { return ScaleCount(1500, 5); }
+  size_t NumParts() const { return ScaleCount(200, 2); }
+
+ private:
+  size_t ScaleCount(double per_unit, size_t minimum) const {
+    auto n = static_cast<size_t>(per_unit * scale_factor);
+    return n < minimum ? minimum : n;
+  }
+};
+
+/// Schemas of the generated tables (shared with the overlap generator and
+/// the workload builders).
+Schema RegionSchema();
+Schema NationSchema();
+Schema SupplierSchema();
+Schema CustomerSchema();
+Schema OrdersSchema();
+Schema LineitemSchema();
+Schema PartSchema();
+Schema PartsuppSchema();
+
+/// \brief Generates a complete single database.
+class TpchGenerator {
+ public:
+  explicit TpchGenerator(TpchConfig config = {}) : config_(config) {}
+
+  const TpchConfig& config() const { return config_; }
+
+  /// Generates all eight tables into a catalog, registered under their
+  /// standard names ("region", "nation", "supplier", "customer", "orders",
+  /// "lineitem", "part", "partsupp").
+  Result<Catalog> Generate() const;
+
+ private:
+  TpchConfig config_;
+};
+
+/// Piecewise generation primitives, exposed for the overlap-variant
+/// generator (tpch/overlap_generator.h) and for tests.
+namespace detail {
+
+/// Appends the fixed region/nation content.
+Status AppendRegions(RelationBuilder* builder);
+Status AppendNations(RelationBuilder* builder);
+
+/// Appends `count` suppliers with keys [key_start, key_start + count).
+Status AppendSuppliers(RelationBuilder* builder, size_t count,
+                       int64_t key_start, Rng& rng);
+Status AppendCustomers(RelationBuilder* builder, size_t count,
+                       int64_t key_start, Rng& rng);
+
+/// Appends `count` orders with keys [key_start, ...), each referencing a
+/// customer from `custkeys` (Zipf-skewed pick when skew > 1, favoring
+/// earlier pool entries). Appends the generated order keys to `out_keys`
+/// when non-null.
+Status AppendOrders(RelationBuilder* builder, size_t count,
+                    int64_t key_start, const std::vector<int64_t>& custkeys,
+                    double skew, Rng& rng,
+                    std::vector<int64_t>* out_keys);
+
+/// Appends 1..max_lines lineitems per order of `orderkeys`.
+Status AppendLineitems(RelationBuilder* builder,
+                       const std::vector<int64_t>& orderkeys, int max_lines,
+                       const std::vector<int64_t>& suppkeys,
+                       const std::vector<int64_t>& partkeys, Rng& rng);
+
+Status AppendParts(RelationBuilder* builder, size_t count, int64_t key_start,
+                   Rng& rng);
+
+/// Appends up to 4 partsupp rows per part (distinct suppliers per part).
+Status AppendPartsupp(RelationBuilder* builder,
+                      const std::vector<int64_t>& partkeys,
+                      const std::vector<int64_t>& suppkeys, Rng& rng);
+
+}  // namespace detail
+
+}  // namespace tpch
+}  // namespace suj
+
+#endif  // SUJ_TPCH_GENERATOR_H_

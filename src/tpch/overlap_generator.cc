@@ -1,0 +1,174 @@
+#include "tpch/overlap_generator.h"
+
+#include <cmath>
+
+namespace suj {
+namespace tpch {
+
+namespace {
+
+// Key offset of variant v's private rows; the shared slice owns [0, offset).
+int64_t VariantKeyOffset(int v) {
+  return static_cast<int64_t>(v + 1) * 100'000'000;
+}
+
+// Appends every row of `source` into `builder`.
+Status AppendAll(RelationBuilder* builder, const RelationPtr& source) {
+  for (size_t row = 0; row < source->num_rows(); ++row) {
+    SUJ_RETURN_NOT_OK(builder->AppendTuple(source->GetTuple(row)));
+  }
+  return Status::OK();
+}
+
+std::vector<int64_t> KeyRange(int64_t start, size_t n) {
+  std::vector<int64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = start + static_cast<int64_t>(i);
+  return keys;
+}
+
+}  // namespace
+
+Result<std::vector<VariantDb>> OverlapVariantGenerator::Generate() const {
+  if (config_.num_variants < 1) {
+    return Status::InvalidArgument("num_variants must be >= 1");
+  }
+  if (config_.overlap_scale < 0.0 || config_.overlap_scale > 1.0) {
+    return Status::InvalidArgument("overlap_scale must be in [0, 1]");
+  }
+  const TpchConfig& tc = config_.per_variant;
+
+  auto shared_count = [&](size_t total) {
+    return static_cast<size_t>(
+        std::llround(config_.overlap_scale * static_cast<double>(total)));
+  };
+  size_t sup_shared = shared_count(tc.NumSuppliers());
+  size_t cust_shared = shared_count(tc.NumCustomers());
+  size_t ord_shared = shared_count(tc.NumOrders());
+  size_t part_shared = shared_count(tc.NumParts());
+  // A shared child row must reference shared parents; without shared
+  // parents there can be no shared children.
+  if (cust_shared == 0) ord_shared = 0;
+  if (sup_shared == 0 || part_shared == 0) ord_shared = 0;
+
+  // ---- Shared slice: a pure function of the base seed. ----
+  Rng shared_rng(tc.seed ^ 0x517ED0115EEDULL);
+  std::vector<int64_t> shared_suppkeys = KeyRange(0, sup_shared);
+  std::vector<int64_t> shared_custkeys = KeyRange(0, cust_shared);
+  std::vector<int64_t> shared_partkeys = KeyRange(0, part_shared);
+  std::vector<int64_t> shared_orderkeys;
+
+  RelationBuilder shared_sup("shared", SupplierSchema());
+  SUJ_RETURN_NOT_OK(
+      detail::AppendSuppliers(&shared_sup, sup_shared, 0, shared_rng));
+  RelationPtr shared_supplier = shared_sup.Finish();
+
+  RelationBuilder shared_cust("shared", CustomerSchema());
+  SUJ_RETURN_NOT_OK(
+      detail::AppendCustomers(&shared_cust, cust_shared, 0, shared_rng));
+  RelationPtr shared_customer = shared_cust.Finish();
+
+  RelationBuilder shared_ord("shared", OrdersSchema());
+  SUJ_RETURN_NOT_OK(detail::AppendOrders(
+      &shared_ord, ord_shared, 0, shared_custkeys, tc.customer_order_skew,
+      shared_rng, &shared_orderkeys));
+  RelationPtr shared_orders = shared_ord.Finish();
+
+  RelationBuilder shared_part_b("shared", PartSchema());
+  SUJ_RETURN_NOT_OK(
+      detail::AppendParts(&shared_part_b, part_shared, 0, shared_rng));
+  RelationPtr shared_part = shared_part_b.Finish();
+
+  RelationBuilder shared_li("shared", LineitemSchema());
+  if (!shared_orderkeys.empty()) {
+    SUJ_RETURN_NOT_OK(detail::AppendLineitems(
+        &shared_li, shared_orderkeys, tc.max_lines_per_order,
+        shared_suppkeys, shared_partkeys, shared_rng));
+  }
+  RelationPtr shared_lineitem = shared_li.Finish();
+
+  RelationBuilder shared_ps("shared", PartsuppSchema());
+  if (!shared_partkeys.empty() && !shared_suppkeys.empty()) {
+    SUJ_RETURN_NOT_OK(detail::AppendPartsupp(&shared_ps, shared_partkeys,
+                                             shared_suppkeys, shared_rng));
+  }
+  RelationPtr shared_partsupp = shared_ps.Finish();
+
+  // ---- Region / nation: identical in every variant. ----
+  RelationBuilder region_b("region", RegionSchema());
+  SUJ_RETURN_NOT_OK(detail::AppendRegions(&region_b));
+  RelationPtr region = region_b.Finish();
+  RelationBuilder nation_b("nation", NationSchema());
+  SUJ_RETURN_NOT_OK(detail::AppendNations(&nation_b));
+  RelationPtr nation = nation_b.Finish();
+
+  // ---- Variants: shared slice + private slice. ----
+  std::vector<VariantDb> variants;
+  variants.reserve(config_.num_variants);
+  for (int v = 0; v < config_.num_variants; ++v) {
+    Rng rng(tc.seed + 101 + static_cast<uint64_t>(v));
+    const int64_t off = VariantKeyOffset(v);
+    const std::string suffix = "_v" + std::to_string(v);
+
+    size_t sup_own = tc.NumSuppliers() - sup_shared;
+    size_t cust_own = tc.NumCustomers() - cust_shared;
+    size_t ord_own = tc.NumOrders() - ord_shared;
+    size_t part_own = tc.NumParts() - part_shared;
+
+    VariantDb db;
+    db.region = region;
+    db.nation = nation;
+
+    RelationBuilder sup("supplier" + suffix, SupplierSchema());
+    SUJ_RETURN_NOT_OK(AppendAll(&sup, shared_supplier));
+    SUJ_RETURN_NOT_OK(detail::AppendSuppliers(&sup, sup_own, off, rng));
+    db.supplier = sup.Finish();
+    std::vector<int64_t> suppkeys = shared_suppkeys;
+    for (int64_t k : KeyRange(off, sup_own)) suppkeys.push_back(k);
+
+    RelationBuilder cust("customer" + suffix, CustomerSchema());
+    SUJ_RETURN_NOT_OK(AppendAll(&cust, shared_customer));
+    SUJ_RETURN_NOT_OK(detail::AppendCustomers(&cust, cust_own, off, rng));
+    db.customer = cust.Finish();
+    std::vector<int64_t> custkeys = shared_custkeys;
+    for (int64_t k : KeyRange(off, cust_own)) custkeys.push_back(k);
+
+    RelationBuilder part("part" + suffix, PartSchema());
+    SUJ_RETURN_NOT_OK(AppendAll(&part, shared_part));
+    SUJ_RETURN_NOT_OK(detail::AppendParts(&part, part_own, off, rng));
+    db.part = part.Finish();
+    std::vector<int64_t> partkeys = shared_partkeys;
+    for (int64_t k : KeyRange(off, part_own)) partkeys.push_back(k);
+
+    RelationBuilder ord("orders" + suffix, OrdersSchema());
+    SUJ_RETURN_NOT_OK(AppendAll(&ord, shared_orders));
+    std::vector<int64_t> own_orderkeys;
+    SUJ_RETURN_NOT_OK(detail::AppendOrders(&ord, ord_own, off, custkeys,
+                                           tc.customer_order_skew, rng,
+                                           &own_orderkeys));
+    db.orders = ord.Finish();
+
+    RelationBuilder li("lineitem" + suffix, LineitemSchema());
+    SUJ_RETURN_NOT_OK(AppendAll(&li, shared_lineitem));
+    if (!own_orderkeys.empty()) {
+      SUJ_RETURN_NOT_OK(detail::AppendLineitems(&li, own_orderkeys,
+                                                tc.max_lines_per_order,
+                                                suppkeys, partkeys, rng));
+    }
+    db.lineitem = li.Finish();
+
+    RelationBuilder ps("partsupp" + suffix, PartsuppSchema());
+    SUJ_RETURN_NOT_OK(AppendAll(&ps, shared_partsupp));
+    std::vector<int64_t> own_partkeys = KeyRange(off, part_own);
+    if (!own_partkeys.empty()) {
+      SUJ_RETURN_NOT_OK(
+          detail::AppendPartsupp(&ps, own_partkeys, suppkeys, rng));
+    }
+    db.partsupp = ps.Finish();
+
+    variants.push_back(std::move(db));
+  }
+  return variants;
+}
+
+}  // namespace tpch
+}  // namespace suj

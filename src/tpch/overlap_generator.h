@@ -1,0 +1,68 @@
+// OverlapVariantGenerator: per-region database variants with a controlled
+// overlap scale.
+//
+// Reproduces the paper's UQ1 data construction (§9): "when generating
+// different queries, we keep P% of the data the same in the original
+// corresponding relations", which makes the overlap ratio between the join
+// results proportional to P without being exactly P (join-level overlap is
+// not directly controllable; the paper makes the same remark).
+//
+// Mechanically: a shared slice (seeded only by the base seed, identical in
+// every variant, with keys in the shared range) is concatenated with a
+// variant-private slice (variant-specific seed and disjoint key range).
+// Children in the shared slice reference only shared parents, so a fully
+// shared join path stays shared; private children may reference either.
+
+#ifndef SUJ_TPCH_OVERLAP_GENERATOR_H_
+#define SUJ_TPCH_OVERLAP_GENERATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tpch/generator.h"
+
+namespace suj {
+namespace tpch {
+
+/// Parameters for variant generation.
+struct OverlapConfig {
+  /// Size/seed/skew of EACH variant database.
+  TpchConfig per_variant;
+  /// Number of variant databases (the paper's per-region sources).
+  int num_variants = 5;
+  /// Fraction of each table's rows shared identically across all variants.
+  double overlap_scale = 0.2;
+};
+
+/// One variant database. `region` and `nation` point to the same relations
+/// in every variant; the other tables are variant-specific relations named
+/// "<table>_v<i>".
+struct VariantDb {
+  RelationPtr region;
+  RelationPtr nation;
+  RelationPtr supplier;
+  RelationPtr customer;
+  RelationPtr orders;
+  RelationPtr lineitem;
+  RelationPtr part;
+  RelationPtr partsupp;
+};
+
+/// \brief Generates `num_variants` databases with shared row slices.
+class OverlapVariantGenerator {
+ public:
+  explicit OverlapVariantGenerator(OverlapConfig config) : config_(config) {}
+
+  const OverlapConfig& config() const { return config_; }
+
+  /// Generates all variants deterministically from the base seed.
+  Result<std::vector<VariantDb>> Generate() const;
+
+ private:
+  OverlapConfig config_;
+};
+
+}  // namespace tpch
+}  // namespace suj
+
+#endif  // SUJ_TPCH_OVERLAP_GENERATOR_H_

@@ -1,0 +1,79 @@
+#include "tpch/text_pool.h"
+
+#include "common/logging.h"
+
+namespace suj {
+namespace tpch {
+
+namespace {
+
+const char* kRegions[kNumRegions] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+
+// nationkey -> (name, regionkey), per the TPC-H spec's nation table.
+const NationDef kNations[kNumNations] = {
+    {"ALGERIA", 0},        {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},         {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},         {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},      {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},          {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},        {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},          {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},        {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[kNumMarketSegments] = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"};
+
+const char* kWords[] = {
+    "quick",   "silent", "final",   "ruthless", "ironic",  "bold",
+    "even",    "special", "pending", "express",  "regular", "unusual",
+    "deposits", "foxes",  "requests", "accounts", "packages", "ideas",
+    "theodolites", "platelets", "instructions", "pinto",  "beans", "asymptotes"};
+constexpr int kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+}  // namespace
+
+const char* RegionName(int regionkey) {
+  SUJ_CHECK(regionkey >= 0 && regionkey < kNumRegions);
+  return kRegions[regionkey];
+}
+
+const char* NationName(int nationkey) {
+  SUJ_CHECK(nationkey >= 0 && nationkey < kNumNations);
+  return kNations[nationkey].name;
+}
+
+int NationRegion(int nationkey) {
+  SUJ_CHECK(nationkey >= 0 && nationkey < kNumNations);
+  return kNations[nationkey].region;
+}
+
+const char* MarketSegment(int i) {
+  SUJ_CHECK(i >= 0 && i < kNumMarketSegments);
+  return kSegments[i];
+}
+
+std::string RandomPhrase(Rng& rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += kWords[rng.UniformInt(kNumWords)];
+  }
+  return out;
+}
+
+std::string EntityName(const char* prefix, int64_t key) {
+  std::string out = prefix;
+  out += '#';
+  out += std::to_string(key);
+  return out;
+}
+
+}  // namespace tpch
+}  // namespace suj

@@ -1,0 +1,43 @@
+// TextPool: deterministic text content for the TPC-H-style generator.
+//
+// Region and nation names (and the nation->region mapping) follow the TPC-H
+// specification; free-text fields are short phrases assembled from fixed
+// word lists, driven by the caller's Rng so generation stays reproducible.
+
+#ifndef SUJ_TPCH_TEXT_POOL_H_
+#define SUJ_TPCH_TEXT_POOL_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace suj {
+namespace tpch {
+
+/// Number of regions / nations in the TPC-H specification.
+inline constexpr int kNumRegions = 5;
+inline constexpr int kNumNations = 25;
+
+/// TPC-H region name for regionkey in [0, kNumRegions).
+const char* RegionName(int regionkey);
+
+/// TPC-H nation name for nationkey in [0, kNumNations).
+const char* NationName(int nationkey);
+
+/// TPC-H region of a nation.
+int NationRegion(int nationkey);
+
+/// Market segments (5, per spec).
+const char* MarketSegment(int i);
+inline constexpr int kNumMarketSegments = 5;
+
+/// Short pseudo-random phrase of `words` words.
+std::string RandomPhrase(Rng& rng, int words);
+
+/// "Supplier#<k>"-style entity name.
+std::string EntityName(const char* prefix, int64_t key);
+
+}  // namespace tpch
+}  // namespace suj
+
+#endif  // SUJ_TPCH_TEXT_POOL_H_

@@ -1,0 +1,193 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace suj {
+namespace workloads {
+
+Result<RelationPtr> MakeRelation(
+    const std::string& name, const std::vector<std::string>& attrs,
+    const std::vector<std::vector<int64_t>>& rows) {
+  std::vector<Field> fields;
+  fields.reserve(attrs.size());
+  for (const auto& a : attrs) fields.push_back({a, ValueType::kInt64});
+  RelationBuilder builder(name, Schema(std::move(fields)));
+  for (const auto& row : rows) {
+    std::vector<Value> values;
+    values.reserve(row.size());
+    for (int64_t v : row) values.push_back(Value::Int64(v));
+    SUJ_RETURN_NOT_OK(builder.AppendRow(std::move(values)));
+  }
+  return builder.Finish();
+}
+
+Result<RelationPtr> SliceRelation(const RelationPtr& rel, double start_frac,
+                                  double end_frac, std::string name) {
+  if (rel == nullptr) return Status::InvalidArgument("null relation");
+  if (start_frac < 0.0 || end_frac > 1.0 || start_frac > end_frac) {
+    return Status::InvalidArgument("invalid slice range");
+  }
+  size_t n = rel->num_rows();
+  size_t begin = static_cast<size_t>(start_frac * static_cast<double>(n));
+  size_t end = static_cast<size_t>(end_frac * static_cast<double>(n));
+  RelationBuilder builder(std::move(name), rel->schema());
+  for (size_t row = begin; row < end; ++row) {
+    SUJ_RETURN_NOT_OK(builder.AppendTuple(rel->GetTuple(row)));
+  }
+  return builder.Finish();
+}
+
+Result<RelationPtr> ProjectRelation(const RelationPtr& rel,
+                                    const std::vector<std::string>& attrs,
+                                    std::string name) {
+  if (rel == nullptr) return Status::InvalidArgument("null relation");
+  auto schema = rel->schema().Project(attrs);
+  if (!schema.ok()) return schema.status();
+  std::vector<int> cols;
+  for (const auto& a : attrs) cols.push_back(rel->schema().FieldIndex(a));
+  RelationBuilder builder(std::move(name), std::move(schema).value());
+  for (size_t row = 0; row < rel->num_rows(); ++row) {
+    SUJ_RETURN_NOT_OK(builder.AppendTuple(rel->ProjectRow(row, cols)));
+  }
+  return builder.Finish();
+}
+
+Result<std::vector<JoinSpecPtr>> MakeOverlappingChains(
+    const SyntheticChainOptions& options) {
+  if (options.num_joins < 1 || options.num_relations < 1) {
+    return Status::InvalidArgument("need >= 1 join and >= 1 relation");
+  }
+  if (options.keep_probability <= 0.0 || options.keep_probability > 1.0) {
+    return Status::InvalidArgument("keep_probability must be in (0, 1]");
+  }
+  Rng rng(options.seed);
+  const int m = options.num_relations;
+  const size_t domain = std::max<size_t>(
+      1, options.master_rows / std::max(1, options.max_degree));
+
+  // Master relations M_i over attributes (A_{i-1}, A_i); rows are distinct.
+  std::vector<std::vector<std::vector<int64_t>>> masters(m);
+  for (int i = 0; i < m; ++i) {
+    std::unordered_set<int64_t> seen;
+    while (masters[i].size() < options.master_rows) {
+      int64_t a = static_cast<int64_t>(rng.UniformInt(domain));
+      int64_t b = static_cast<int64_t>(rng.UniformInt(domain));
+      int64_t packed = a * static_cast<int64_t>(domain + 1) + b;
+      if (seen.insert(packed).second) {
+        masters[i].push_back({a, b});
+      }
+      if (seen.size() >= domain * domain) break;  // domain exhausted
+    }
+  }
+
+  std::vector<JoinSpecPtr> joins;
+  for (int j = 0; j < options.num_joins; ++j) {
+    std::vector<RelationPtr> relations;
+    for (int i = 0; i < m; ++i) {
+      std::vector<std::string> attrs = {"A" + std::to_string(i),
+                                        "A" + std::to_string(i + 1)};
+      std::vector<std::vector<int64_t>> rows;
+      for (const auto& row : masters[i]) {
+        switch (options.mode) {
+          case OverlapMode::kIdentical:
+            rows.push_back(row);
+            break;
+          case OverlapMode::kDisjoint: {
+            int64_t off = static_cast<int64_t>(j + 1) * 1'000'000;
+            rows.push_back({row[0] + off, row[1] + off});
+            break;
+          }
+          case OverlapMode::kRandomSubset:
+            if (rng.Bernoulli(options.keep_probability)) {
+              rows.push_back(row);
+            }
+            break;
+        }
+      }
+      auto rel = MakeRelation(
+          "J" + std::to_string(j) + "_R" + std::to_string(i), attrs, rows);
+      if (!rel.ok()) return rel.status();
+      relations.push_back(std::move(rel).value());
+    }
+    auto spec = JoinSpec::Create("J" + std::to_string(j),
+                                 std::move(relations));
+    if (!spec.ok()) return spec.status();
+    joins.push_back(std::move(spec).value());
+  }
+  return joins;
+}
+
+Result<JoinSpecPtr> MakeTriangleJoin(size_t rows, uint64_t seed,
+                                     const std::string& prefix) {
+  Rng rng(seed);
+  const size_t domain = std::max<size_t>(2, rows / 3);
+  auto random_rows = [&](size_t n) {
+    std::vector<std::vector<int64_t>> out;
+    std::unordered_set<int64_t> seen;
+    while (out.size() < n && seen.size() < domain * domain) {
+      int64_t a = static_cast<int64_t>(rng.UniformInt(domain));
+      int64_t b = static_cast<int64_t>(rng.UniformInt(domain));
+      if (seen.insert(a * static_cast<int64_t>(domain + 1) + b).second) {
+        out.push_back({a, b});
+      }
+    }
+    return out;
+  };
+  auto r = MakeRelation(prefix + "_R", {"A", "B"}, random_rows(rows));
+  if (!r.ok()) return r.status();
+  auto s = MakeRelation(prefix + "_S", {"B", "C"}, random_rows(rows));
+  if (!s.ok()) return s.status();
+  auto t = MakeRelation(prefix + "_T", {"C", "A"}, random_rows(rows));
+  if (!t.ok()) return t.status();
+  return JoinSpec::Create(prefix, {std::move(r).value(), std::move(s).value(),
+                                   std::move(t).value()});
+}
+
+Result<JoinSpecPtr> MakeStarJoin(size_t rows, uint64_t seed,
+                                 const std::string& prefix) {
+  Rng rng(seed);
+  const size_t domain = std::max<size_t>(2, rows / 3);
+  std::vector<std::vector<int64_t>> hub_rows;
+  {
+    std::unordered_set<std::string> seen;
+    while (hub_rows.size() < rows) {
+      std::vector<int64_t> row(4);
+      std::string key;
+      for (auto& v : row) {
+        v = static_cast<int64_t>(rng.UniformInt(domain));
+        key += std::to_string(v) + "/";
+      }
+      if (seen.insert(key).second) hub_rows.push_back(std::move(row));
+      if (seen.size() >= domain * domain * domain * domain) break;
+    }
+  }
+  auto leaf_rows = [&](size_t n) {
+    std::vector<std::vector<int64_t>> out;
+    std::unordered_set<int64_t> seen;
+    while (out.size() < n && seen.size() < domain * domain) {
+      int64_t a = static_cast<int64_t>(rng.UniformInt(domain));
+      int64_t b = static_cast<int64_t>(rng.UniformInt(domain));
+      if (seen.insert(a * static_cast<int64_t>(domain + 1) + b).second) {
+        out.push_back({a, b});
+      }
+    }
+    return out;
+  };
+  auto hub = MakeRelation(prefix + "_H", {"A", "B", "C", "D"}, hub_rows);
+  if (!hub.ok()) return hub.status();
+  auto l1 = MakeRelation(prefix + "_L1", {"B", "E"}, leaf_rows(rows));
+  if (!l1.ok()) return l1.status();
+  auto l2 = MakeRelation(prefix + "_L2", {"C", "F"}, leaf_rows(rows));
+  if (!l2.ok()) return l2.status();
+  auto l3 = MakeRelation(prefix + "_L3", {"D", "G"}, leaf_rows(rows));
+  if (!l3.ok()) return l3.status();
+  return JoinSpec::Create(
+      prefix, {std::move(hub).value(), std::move(l1).value(),
+               std::move(l2).value(), std::move(l3).value()});
+}
+
+}  // namespace workloads
+}  // namespace suj

@@ -1,0 +1,73 @@
+// Synthetic workloads: small, fully controllable unions of joins used by
+// unit tests, property sweeps, and micro-benchmarks.
+//
+// The central generator draws every join's relations as random subsets of
+// shared master relations, which produces unions whose overlap structure is
+// rich (all orders of k-overlap occur) yet exactly computable by the
+// FullJoinUnion baseline -- ideal for validating Theorem 3, the cover
+// computation, and sampler uniformity.
+
+#ifndef SUJ_WORKLOADS_SYNTHETIC_H_
+#define SUJ_WORKLOADS_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "join/join_spec.h"
+
+namespace suj {
+namespace workloads {
+
+/// Builds an INT64 relation from literal rows (tests).
+Result<RelationPtr> MakeRelation(
+    const std::string& name, const std::vector<std::string>& attrs,
+    const std::vector<std::vector<int64_t>>& rows);
+
+/// Horizontal slice: rows in [start_frac, end_frac) of `rel`.
+Result<RelationPtr> SliceRelation(const RelationPtr& rel, double start_frac,
+                                  double end_frac, std::string name);
+
+/// Vertical split: projection onto `attrs` (row order preserved; callers
+/// must keep a key attribute to preserve duplicate-freeness).
+Result<RelationPtr> ProjectRelation(const RelationPtr& rel,
+                                    const std::vector<std::string>& attrs,
+                                    std::string name);
+
+/// How the joins of a synthetic union relate to each other.
+enum class OverlapMode {
+  kRandomSubset,  ///< each relation is a random subset of a shared master
+  kIdentical,     ///< all joins identical (maximum overlap)
+  kDisjoint,      ///< disjoint value domains (zero overlap)
+};
+
+/// Parameters for MakeOverlappingChains.
+struct SyntheticChainOptions {
+  int num_joins = 3;
+  int num_relations = 3;      ///< chain length of every join
+  size_t master_rows = 60;    ///< rows of each master relation
+  double keep_probability = 0.7;  ///< subset density (kRandomSubset)
+  int max_degree = 3;         ///< approximate join-value multiplicity
+  OverlapMode mode = OverlapMode::kRandomSubset;
+  uint64_t seed = 42;
+};
+
+/// n chain joins J_j = R_j1(A0,A1) |><| R_j2(A1,A2) |><| ... with identical
+/// output schemas and controllable overlap.
+Result<std::vector<JoinSpecPtr>> MakeOverlappingChains(
+    const SyntheticChainOptions& options);
+
+/// A cyclic triangle join R(A,B) |><| S(B,C) |><| T(C,A).
+Result<JoinSpecPtr> MakeTriangleJoin(size_t rows, uint64_t seed,
+                                     const std::string& prefix = "tri");
+
+/// An acyclic (non-chain) star join: hub H(A,B,C,D) with three leaves
+/// L1(B,E), L2(C,F), L3(D,G) -- the hub has degree 3, so the join tree is a
+/// genuine tree rather than a path.
+Result<JoinSpecPtr> MakeStarJoin(size_t rows, uint64_t seed,
+                                 const std::string& prefix = "star");
+
+}  // namespace workloads
+}  // namespace suj
+
+#endif  // SUJ_WORKLOADS_SYNTHETIC_H_

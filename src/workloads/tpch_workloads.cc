@@ -1,0 +1,193 @@
+#include "workloads/tpch_workloads.h"
+
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace workloads {
+
+Result<UnionWorkload> BuildUQ1(const tpch::OverlapConfig& config) {
+  tpch::OverlapVariantGenerator generator(config);
+  auto variants = generator.Generate();
+  if (!variants.ok()) return variants.status();
+
+  UnionWorkload workload;
+  for (int v = 0; v < static_cast<int>(variants->size()); ++v) {
+    const tpch::VariantDb& db = (*variants)[v];
+    // Chain: supplier - nation - customer - orders - lineitem. The chain is
+    // declared explicitly because `nationkey` is shared by three relations
+    // (supplier/nation/customer), which would otherwise read as a clique.
+    std::vector<RelationPtr> rels = {db.supplier, db.nation, db.customer,
+                                     db.orders, db.lineitem};
+    std::vector<JoinEdge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+    auto join = JoinSpec::Create("UQ1_J" + std::to_string(v),
+                                 std::move(rels), std::move(edges));
+    if (!join.ok()) return join.status();
+    workload.joins.push_back(std::move(join).value());
+    workload.catalog.Upsert(db.supplier);
+    workload.catalog.Upsert(db.nation);
+    workload.catalog.Upsert(db.customer);
+    workload.catalog.Upsert(db.orders);
+    workload.catalog.Upsert(db.lineitem);
+  }
+  return workload;
+}
+
+Result<UnionWorkload> BuildUQ2(const tpch::TpchConfig& config,
+                               bool pushdown) {
+  tpch::TpchGenerator generator(config);
+  auto catalog = generator.Generate();
+  if (!catalog.ok()) return catalog.status();
+
+  auto get = [&](const char* name) {
+    return catalog->Get(name).value();  // generator registers all tables
+  };
+  RelationPtr region = get("region");
+  RelationPtr nation = get("nation");
+  RelationPtr supplier = get("supplier");
+  RelationPtr partsupp = get("partsupp");
+  RelationPtr part = get("part");
+
+  // Predicate families after Q2^N / Q2^S / Q2^P: one moderately selective
+  // attribute per "branch" of the union. Selectivities (~0.6 / ~0.65 /
+  // ~0.7) are chosen so the three results overlap heavily (the paper's
+  // "large overlap scale") while each join keeps a non-empty exclusive
+  // region.
+  std::vector<std::vector<Predicate>> predicate_sets = {
+      {Predicate("regionkey", CompareOp::kLe, Value::Int64(2))},
+      {Predicate("s_acctbal", CompareOp::kGe, Value::Double(2500.0))},
+      {Predicate("p_size", CompareOp::kLe, Value::Int64(35))},
+  };
+  const char* names[] = {"UQ2_N", "UQ2_S", "UQ2_P"};
+
+  UnionWorkload workload;
+  for (int q = 0; q < 3; ++q) {
+    std::vector<RelationPtr> rels = {region, nation, supplier, partsupp,
+                                     part};
+    std::vector<Predicate> on_the_fly;
+    if (pushdown) {
+      // Pre-filter every relation the predicate applies to (§8.3 first
+      // paradigm). FilterRelation skips predicates on absent attributes.
+      for (auto& rel : rels) {
+        bool applies = false;
+        for (const auto& p : predicate_sets[q]) {
+          if (rel->schema().HasField(p.attribute())) applies = true;
+        }
+        if (applies) {
+          auto filtered = FilterRelation(rel, predicate_sets[q]);
+          if (!filtered.ok()) return filtered.status();
+          rel = std::move(filtered).value();
+        }
+      }
+    } else {
+      on_the_fly = predicate_sets[q];
+    }
+    std::vector<JoinEdge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+    auto join = JoinSpec::Create(names[q], rels, std::move(edges),
+                                 std::move(on_the_fly));
+    if (!join.ok()) return join.status();
+    workload.joins.push_back(std::move(join).value());
+    for (const auto& rel : rels) workload.catalog.Upsert(rel);
+  }
+  return workload;
+}
+
+Result<UnionWorkload> BuildUQ3(const tpch::TpchConfig& config,
+                               double window) {
+  if (window <= 0.0 || window > 1.0) {
+    return Status::InvalidArgument("window must be in (0, 1]");
+  }
+  tpch::TpchGenerator generator(config);
+  auto catalog = generator.Generate();
+  if (!catalog.ok()) return catalog.status();
+  RelationPtr supplier = catalog->Get("supplier").value();
+  RelationPtr customer = catalog->Get("customer").value();
+  RelationPtr orders = catalog->Get("orders").value();
+
+  // Horizontal windows: join q sees rows [q * step, q * step + window) of
+  // each base table, so consecutive joins overlap on most of their data.
+  const double step = (1.0 - window) / 2.0;
+  auto slice = [&](const RelationPtr& rel, int q, const char* tag) {
+    double lo = step * q;
+    return SliceRelation(rel, lo, lo + window,
+                         std::string(rel->name()) + "_" + tag);
+  };
+
+  UnionWorkload workload;
+
+  // J0: chain supplier - customer - orders.
+  {
+    auto sup = slice(supplier, 0, "q0");
+    if (!sup.ok()) return sup.status();
+    auto cust = slice(customer, 0, "q0");
+    if (!cust.ok()) return cust.status();
+    auto ord = slice(orders, 0, "q0");
+    if (!ord.ok()) return ord.status();
+    std::vector<RelationPtr> rels = {std::move(sup).value(),
+                                     std::move(cust).value(),
+                                     std::move(ord).value()};
+    std::vector<JoinEdge> edges = {{0, 1}, {1, 2}};
+    auto join = JoinSpec::Create("UQ3_J0", rels, std::move(edges));
+    if (!join.ok()) return join.status();
+    workload.joins.push_back(std::move(join).value());
+    for (const auto& r : rels) workload.catalog.Upsert(r);
+  }
+
+  // J1: chain with customer split vertically in two:
+  // supplier - custA(custkey, nationkey) - custB(rest) - orders.
+  {
+    auto sup = slice(supplier, 1, "q1");
+    if (!sup.ok()) return sup.status();
+    auto cust = slice(customer, 1, "q1");
+    if (!cust.ok()) return cust.status();
+    auto ord = slice(orders, 1, "q1");
+    if (!ord.ok()) return ord.status();
+    auto cust_a = ProjectRelation(*cust, {"custkey", "nationkey"},
+                                  "customer_q1A");
+    if (!cust_a.ok()) return cust_a.status();
+    auto cust_b = ProjectRelation(
+        *cust, {"custkey", "c_mktsegment", "c_acctbal"}, "customer_q1B");
+    if (!cust_b.ok()) return cust_b.status();
+    std::vector<RelationPtr> rels = {
+        std::move(sup).value(), std::move(cust_a).value(),
+        std::move(cust_b).value(), std::move(ord).value()};
+    std::vector<JoinEdge> edges = {{0, 1}, {1, 2}, {2, 3}};
+    auto join = JoinSpec::Create("UQ3_J1", rels, std::move(edges));
+    if (!join.ok()) return join.status();
+    workload.joins.push_back(std::move(join).value());
+    for (const auto& r : rels) workload.catalog.Upsert(r);
+  }
+
+  // J2: acyclic star with customer split in three around the custkey hub.
+  {
+    auto sup = slice(supplier, 2, "q2");
+    if (!sup.ok()) return sup.status();
+    auto cust = slice(customer, 2, "q2");
+    if (!cust.ok()) return cust.status();
+    auto ord = slice(orders, 2, "q2");
+    if (!ord.ok()) return ord.status();
+    auto cust_a = ProjectRelation(*cust, {"custkey", "nationkey"},
+                                  "customer_q2A");
+    if (!cust_a.ok()) return cust_a.status();
+    auto cust_b = ProjectRelation(*cust, {"custkey", "c_acctbal"},
+                                  "customer_q2B");
+    if (!cust_b.ok()) return cust_b.status();
+    auto cust_c = ProjectRelation(*cust, {"custkey", "c_mktsegment"},
+                                  "customer_q2C");
+    if (!cust_c.ok()) return cust_c.status();
+    std::vector<RelationPtr> rels = {
+        std::move(sup).value(), std::move(cust_a).value(),
+        std::move(cust_b).value(), std::move(cust_c).value(),
+        std::move(ord).value()};
+    // Star around custA: supplier via nationkey; custB, custC, orders via
+    // custkey.
+    std::vector<JoinEdge> edges = {{0, 1}, {1, 2}, {1, 3}, {1, 4}};
+    auto join = JoinSpec::Create("UQ3_J2", rels, std::move(edges));
+    if (!join.ok()) return join.status();
+    workload.joins.push_back(std::move(join).value());
+    for (const auto& r : rels) workload.catalog.Upsert(r);
+  }
+  return workload;
+}
+
+}  // namespace workloads
+}  // namespace suj

@@ -1,0 +1,54 @@
+// The paper's evaluation workloads (§9), built on the TPC-H generator:
+//
+//  * UQ1 -- five chain joins, one per region-variant database, each over
+//    supplier |><| nation |><| customer |><| orders |><| lineitem, with the
+//    overlap scale P controlling the shared row fraction across variants.
+//  * UQ2 -- three chain joins over region |><| nation |><| supplier |><|
+//    partsupp |><| part on the SAME data, differentiated by selection
+//    predicates (after Carmeli et al.'s Q2^N + Q2^P + Q2^S), giving a large
+//    overlap scale. Predicates can be pushed down (pre-filtered relations)
+//    or evaluated on the fly during sampling (§8.3).
+//  * UQ3 -- one acyclic join and two chain joins over supplier, customer,
+//    and orders, split vertically and horizontally so the joins have
+//    different lengths and schemas; exercising UQ3 therefore requires the
+//    splitting method (§5.2).
+
+#ifndef SUJ_WORKLOADS_TPCH_WORKLOADS_H_
+#define SUJ_WORKLOADS_TPCH_WORKLOADS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "join/join_spec.h"
+#include "storage/catalog.h"
+#include "tpch/overlap_generator.h"
+
+namespace suj {
+namespace workloads {
+
+/// A union-of-joins workload: the joins plus the owning data.
+struct UnionWorkload {
+  std::vector<JoinSpecPtr> joins;
+  /// Keeps every relation referenced by the joins alive.
+  Catalog catalog;
+};
+
+/// UQ1: `config.num_variants` chain joins over the variant databases.
+Result<UnionWorkload> BuildUQ1(const tpch::OverlapConfig& config);
+
+/// UQ2: three predicate-differentiated chain joins over one database.
+/// `pushdown` selects §8.3's predicate paradigm: true pre-filters the base
+/// relations; false attaches on-the-fly output predicates to the joins.
+Result<UnionWorkload> BuildUQ2(const tpch::TpchConfig& config,
+                               bool pushdown = true);
+
+/// UQ3: one acyclic + two chain joins over vertically/horizontally split
+/// supplier/customer/orders. `window` controls the horizontal row windows
+/// (larger window -> larger overlap between the joins' base data).
+Result<UnionWorkload> BuildUQ3(const tpch::TpchConfig& config,
+                               double window = 0.85);
+
+}  // namespace workloads
+}  // namespace suj
+
+#endif  // SUJ_WORKLOADS_TPCH_WORKLOADS_H_

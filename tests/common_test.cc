@@ -1,0 +1,233 @@
+// Tests for common/: Status, Result, Rng, combinatorics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/combinatorics.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace suj {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OutOfRange: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FailedPrecondition: x");
+  EXPECT_EQ(Status::Unimplemented("x").ToString(), "Unimplemented: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r(std::string("abc"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "abc");
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng a2(123);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+  EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 * 0.9);
+    EXPECT_LT(c, n / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(7);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(8);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ZipfBoundsAndSkew) {
+  Rng rng(9);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.Zipf(10, 1.5);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 10u);
+    ++counts[v];
+  }
+  // Rank 1 must dominate rank 10 under s = 1.5.
+  EXPECT_GT(counts[1], counts[10] * 5);
+}
+
+TEST(RngTest, ZipfHandlesSLessEqualOne) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Zipf(10, 1.0);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 10u);
+  }
+  EXPECT_EQ(rng.Zipf(1, 0.5), 1u);
+}
+
+TEST(CombinatoricsTest, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(0b1011), 3);
+  EXPECT_EQ(PopCount(FullMask(6)), 6);
+}
+
+TEST(CombinatoricsTest, Binomial) {
+  EXPECT_DOUBLE_EQ(Binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(Binomial(10, 5), 252.0);
+  EXPECT_DOUBLE_EQ(Binomial(4, -1), 0.0);
+}
+
+TEST(CombinatoricsTest, SubsetsOfSizeCountsAndContents) {
+  auto subsets = SubsetsOfSize(5, 3);
+  EXPECT_EQ(subsets.size(), 10u);
+  std::set<SubsetMask> unique(subsets.begin(), subsets.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (SubsetMask m : subsets) {
+    EXPECT_EQ(PopCount(m), 3);
+    EXPECT_LT(m, 1ULL << 5);
+  }
+  EXPECT_EQ(SubsetsOfSize(4, 0).size(), 1u);
+  EXPECT_EQ(SubsetsOfSize(4, 0)[0], 0u);
+  EXPECT_TRUE(SubsetsOfSize(3, 4).empty());
+}
+
+TEST(CombinatoricsTest, SubsetsContainingElement) {
+  auto subsets = SubsetsOfSizeContaining(5, 3, 2);
+  EXPECT_EQ(subsets.size(), 6u);  // C(4, 2)
+  for (SubsetMask m : subsets) {
+    EXPECT_EQ(PopCount(m), 3);
+    EXPECT_TRUE(m & (1ULL << 2));
+  }
+  auto singletons = SubsetsOfSizeContaining(4, 1, 3);
+  ASSERT_EQ(singletons.size(), 1u);
+  EXPECT_EQ(singletons[0], 1ULL << 3);
+}
+
+TEST(CombinatoricsTest, NonEmptySubsetsAscending) {
+  auto subs = NonEmptySubsetsOf(0b101);
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0], 0b001u);
+  EXPECT_EQ(subs[1], 0b100u);
+  EXPECT_EQ(subs[2], 0b101u);
+  EXPECT_TRUE(std::is_sorted(subs.begin(), subs.end()));
+}
+
+TEST(CombinatoricsTest, MaskToIndices) {
+  auto idx = MaskToIndices(0b10110);
+  EXPECT_EQ(idx, (std::vector<int>{1, 2, 4}));
+  EXPECT_TRUE(MaskToIndices(0).empty());
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,161 @@
+// Empirical checks of the paper's analytical claims: Theorem 2's
+// O(N + N log N) expected total sampling cost, and the independence of
+// consecutive samples (i.i.d. claim of Theorem 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "core/exact_overlap.h"
+#include "core/union_sampler.h"
+#include "join/exact_weight.h"
+#include "join/membership.h"
+#include "stats/uniformity.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+struct Fixture {
+  std::vector<JoinSpecPtr> joins;
+  std::unique_ptr<ExactOverlapCalculator> exact;
+  UnionEstimates estimates;
+  CompositeIndexCache cache;
+};
+
+Fixture MakeFixture(uint64_t seed, int num_joins = 3) {
+  Fixture f;
+  SyntheticChainOptions options;
+  options.num_joins = num_joins;
+  options.master_rows = 24;
+  options.seed = seed;
+  f.joins = MakeOverlappingChains(options).value();
+  f.exact = ExactOverlapCalculator::Create(f.joins).value();
+  f.estimates = ComputeUnionEstimates(f.exact.get()).value();
+  return f;
+}
+
+std::unique_ptr<UnionSampler> MakeSampler(Fixture& f) {
+  std::vector<std::unique_ptr<JoinSampler>> samplers;
+  for (const auto& join : f.joins) {
+    samplers.push_back(ExactWeightSampler::Create(join, &f.cache).value());
+  }
+  auto probers = BuildProbers(f.joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  return UnionSampler::Create(f.joins, std::move(samplers), f.estimates,
+                              probers, opts)
+      .value();
+}
+
+TEST(CostModelTest, TotalDrawsWithinTheorem2Band) {
+  // Theorem 2: expected total join draws for N samples is <= N + N log N.
+  // The bound is loose (union-bound + coupon collector), so we check the
+  // measured cost sits under it with margin, and that cost grows
+  // near-linearly (not quadratically) in N.
+  Fixture f = MakeFixture(201);
+  std::map<size_t, uint64_t> draws;
+  for (size_t n : {512, 1024, 2048, 4096}) {
+    auto sampler = MakeSampler(f);
+    Rng rng(202);
+    ASSERT_TRUE(sampler->Sample(n, rng).ok());
+    draws[n] = sampler->stats().join_draws;
+    double bound = static_cast<double>(n) +
+                   static_cast<double>(n) * std::log(static_cast<double>(n));
+    EXPECT_LT(static_cast<double>(draws[n]), bound)
+        << "N=" << n << " draws=" << draws[n];
+  }
+  // Near-linear growth: doubling N should not quadruple the draws.
+  EXPECT_LT(draws[4096], 3 * draws[2048]);
+  EXPECT_LT(draws[2048], 3 * draws[1024]);
+}
+
+TEST(CostModelTest, CostGrowsWithOverlap) {
+  // More overlap -> more cover rejections per accepted sample (the
+  // efficiency trade-off §3 describes).
+  SyntheticChainOptions low_opts, high_opts;
+  low_opts.num_joins = high_opts.num_joins = 3;
+  low_opts.master_rows = high_opts.master_rows = 24;
+  low_opts.seed = high_opts.seed = 203;
+  low_opts.keep_probability = 0.35;  // sparse subsets: little overlap
+  high_opts.keep_probability = 0.95;  // dense subsets: heavy overlap
+
+  auto run = [](const SyntheticChainOptions& options) {
+    Fixture f;
+    f.joins = MakeOverlappingChains(options).value();
+    f.exact = ExactOverlapCalculator::Create(f.joins).value();
+    f.estimates = ComputeUnionEstimates(f.exact.get()).value();
+    auto sampler = MakeSampler(f);
+    Rng rng(204);
+    SUJ_CHECK(sampler->Sample(2000, rng).ok());
+    return sampler->stats().CoverRejectionRatio();
+  };
+  EXPECT_GT(run(high_opts), run(low_opts));
+}
+
+TEST(IndependenceTest, ConsecutivePairsUniform) {
+  // If samples are i.i.d. uniform over U, consecutive pairs are uniform
+  // over U x U. Use a small union so the pair space is testable.
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.num_relations = 2;
+  options.master_rows = 10;
+  options.seed = 205;
+  Fixture f;
+  f.joins = MakeOverlappingChains(options).value();
+  f.exact = ExactOverlapCalculator::Create(f.joins).value();
+  f.estimates = ComputeUnionEstimates(f.exact.get()).value();
+  size_t u = f.exact->UnionSize();
+  ASSERT_GE(u, 4u);
+  ASSERT_LE(u, 40u);
+
+  auto sampler = MakeSampler(f);
+  Rng rng(206);
+  size_t n = 60 * u * u;
+  auto samples = sampler->Sample(n, rng).value();
+
+  // Pair tuples (t_{2i}, t_{2i+1}) as concatenated encodings.
+  std::vector<Tuple> pairs;
+  pairs.reserve(n / 2);
+  for (size_t i = 0; i + 1 < samples.size(); i += 2) {
+    std::vector<Value> both = samples[i].values();
+    for (const auto& v : samples[i + 1].values()) both.push_back(v);
+    pairs.emplace_back(std::move(both));
+  }
+  auto verdict = ChiSquareUniformityTest(pairs, u * u);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->ConsistentWithUniform(1e-6))
+      << "pair chi2=" << verdict->statistic << " p=" << verdict->p_value;
+}
+
+TEST(IndependenceTest, LagOneCorrelationNearZero) {
+  // Numeric check: correlation between consecutive samples' first
+  // attribute should be ~0 for an i.i.d. sampler.
+  Fixture f = MakeFixture(207, 2);
+  auto sampler = MakeSampler(f);
+  Rng rng(208);
+  auto samples = sampler->Sample(20000, rng).value();
+  double mean = 0;
+  for (const auto& t : samples) mean += static_cast<double>(t.value(0).int64());
+  mean /= static_cast<double>(samples.size());
+  double cov = 0, var = 0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    double x = static_cast<double>(samples[i].value(0).int64()) - mean;
+    var += x * x;
+    if (i + 1 < samples.size()) {
+      double y =
+          static_cast<double>(samples[i + 1].value(0).int64()) - mean;
+      cov += x * y;
+    }
+  }
+  double rho = cov / var;
+  EXPECT_LT(std::fabs(rho), 0.03);
+}
+
+}  // namespace
+}  // namespace suj

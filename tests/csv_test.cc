@@ -1,0 +1,123 @@
+// Tests for storage/csv: round-trips, quoting, malformed input.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "storage/csv.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+RelationPtr MixedRelation() {
+  RelationBuilder builder("mixed", Schema({{"k", ValueType::kInt64},
+                                           {"w", ValueType::kDouble},
+                                           {"s", ValueType::kString}}));
+  SUJ_CHECK(builder
+                .AppendRow({Value::Int64(1), Value::Double(1.5),
+                            Value::String("plain")})
+                .ok());
+  SUJ_CHECK(builder
+                .AppendRow({Value::Int64(-7), Value::Double(0.1),
+                            Value::String("with,comma")})
+                .ok());
+  SUJ_CHECK(builder
+                .AppendRow({Value::Int64(0), Value::Double(-2.25),
+                            Value::String("with \"quotes\"")})
+                .ok());
+  return builder.Finish();
+}
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  RelationPtr original = MixedRelation();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*original, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = ReadCsv(&in, "mixed2", original->schema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->num_rows(), original->num_rows());
+  for (size_t row = 0; row < original->num_rows(); ++row) {
+    EXPECT_EQ((*loaded)->GetTuple(row).Encode(),
+              original->GetTuple(row).Encode())
+        << "row " << row;
+  }
+}
+
+TEST(CsvTest, HeaderValidation) {
+  Schema schema({{"a", ValueType::kInt64}});
+  std::istringstream wrong_name("b\n1\n");
+  EXPECT_FALSE(ReadCsv(&wrong_name, "r", schema).ok());
+  std::istringstream wrong_arity("a,b\n1,2\n");
+  EXPECT_FALSE(ReadCsv(&wrong_arity, "r", schema).ok());
+  std::istringstream empty("");
+  EXPECT_FALSE(ReadCsv(&empty, "r", schema).ok());
+}
+
+TEST(CsvTest, TypeValidation) {
+  Schema schema({{"a", ValueType::kInt64}});
+  std::istringstream not_int("a\nxyz\n");
+  auto result = ReadCsv(&not_int, "r", schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  Schema dschema({{"d", ValueType::kDouble}});
+  std::istringstream not_double("d\n1.2.3\n");
+  EXPECT_FALSE(ReadCsv(&not_double, "r", dschema).ok());
+}
+
+TEST(CsvTest, QuotedCellsAndCrlf) {
+  Schema schema({{"s", ValueType::kString}, {"k", ValueType::kInt64}});
+  std::istringstream in("s,k\r\n\"a,b\",1\r\n\"say \"\"hi\"\"\",2\r\n");
+  auto loaded = ReadCsv(&in, "r", schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->num_rows(), 2u);
+  EXPECT_EQ((*loaded)->GetString(0, 0), "a,b");
+  EXPECT_EQ((*loaded)->GetString(1, 0), "say \"hi\"");
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  Schema schema({{"s", ValueType::kString}});
+  std::istringstream in("s\n\"oops\n");
+  EXPECT_FALSE(ReadCsv(&in, "r", schema).ok());
+}
+
+TEST(CsvTest, EmptyLinesSkipped) {
+  Schema schema({{"a", ValueType::kInt64}});
+  std::istringstream in("a\n1\n\n2\n");
+  auto loaded = ReadCsv(&in, "r", schema);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_rows(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  RelationPtr original = MixedRelation();
+  std::string path = ::testing::TempDir() + "/suj_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(*original, path).ok());
+  auto loaded = ReadCsvFile(path, "back", original->schema());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_rows(), original->num_rows());
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/nope.csv", "r",
+                           original->schema())
+                   .ok());
+}
+
+TEST(CsvTest, DoubleRoundTripExact) {
+  RelationBuilder builder("d", Schema({{"w", ValueType::kDouble}}));
+  ASSERT_TRUE(builder.AppendRow({Value::Double(0.1)}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value::Double(1e-300)}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value::Double(12345.6789012345678)}).ok());
+  RelationPtr original = builder.Finish();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*original, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = ReadCsv(&in, "d2", original->schema());
+  ASSERT_TRUE(loaded.ok());
+  for (size_t row = 0; row < original->num_rows(); ++row) {
+    EXPECT_EQ((*loaded)->GetDouble(row, 0), original->GetDouble(row, 0));
+  }
+}
+
+}  // namespace
+}  // namespace suj

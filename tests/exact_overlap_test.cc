@@ -1,0 +1,113 @@
+// Tests for core/exact_overlap: ground-truth overlaps via full joins.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/exact_overlap.h"
+#include "test_util.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+TEST(ExactOverlapTest, SingletonEqualsJoinSize) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 25;
+  options.seed = 50;
+  auto joins = MakeOverlappingChains(options).value();
+  auto calc = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(calc.ok());
+  for (int j = 0; j < 3; ++j) {
+    std::multiset<std::string> brute = testing::BruteForceJoin(joins[j]);
+    std::set<std::string> distinct(brute.begin(), brute.end());
+    auto size = (*calc)->EstimateJoinSize(j);
+    ASSERT_TRUE(size.ok());
+    EXPECT_DOUBLE_EQ(size.value(), static_cast<double>(distinct.size()));
+    EXPECT_EQ((*calc)->JoinSize(j), distinct.size());
+  }
+}
+
+TEST(ExactOverlapTest, PairwiseOverlapMatchesSetIntersection) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 25;
+  options.seed = 51;
+  auto joins = MakeOverlappingChains(options).value();
+  auto calc = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(calc.ok());
+  for (int a = 0; a < 3; ++a) {
+    for (int b = a + 1; b < 3; ++b) {
+      size_t expected = 0;
+      for (const auto& enc : (*calc)->join_set(a)) {
+        if ((*calc)->join_set(b).count(enc)) ++expected;
+      }
+      auto overlap =
+          (*calc)->EstimateOverlap((1ULL << a) | (1ULL << b));
+      ASSERT_TRUE(overlap.ok());
+      EXPECT_DOUBLE_EQ(overlap.value(), static_cast<double>(expected));
+    }
+  }
+}
+
+TEST(ExactOverlapTest, UnionSizeMatchesSetUnion) {
+  SyntheticChainOptions options;
+  options.num_joins = 4;
+  options.master_rows = 20;
+  options.seed = 52;
+  auto joins = MakeOverlappingChains(options).value();
+  auto calc = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(calc.ok());
+  std::set<std::string> all;
+  for (int j = 0; j < 4; ++j) {
+    all.insert((*calc)->join_set(j).begin(), (*calc)->join_set(j).end());
+  }
+  EXPECT_EQ((*calc)->UnionSize(), all.size());
+}
+
+TEST(ExactOverlapTest, IdenticalJoinsFullyOverlap) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 15;
+  options.mode = workloads::OverlapMode::kIdentical;
+  auto joins = MakeOverlappingChains(options).value();
+  auto calc = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(calc.ok());
+  auto o = (*calc)->EstimateOverlap(0b11);
+  ASSERT_TRUE(o.ok());
+  EXPECT_DOUBLE_EQ(o.value(), static_cast<double>((*calc)->JoinSize(0)));
+  EXPECT_EQ((*calc)->UnionSize(), (*calc)->JoinSize(0));
+}
+
+TEST(ExactOverlapTest, DisjointJoinsNoOverlap) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 15;
+  options.mode = workloads::OverlapMode::kDisjoint;
+  auto joins = MakeOverlappingChains(options).value();
+  auto calc = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(calc.ok());
+  auto o = (*calc)->EstimateOverlap(0b111);
+  ASSERT_TRUE(o.ok());
+  EXPECT_DOUBLE_EQ(o.value(), 0.0);
+  EXPECT_EQ((*calc)->UnionSize(), (*calc)->JoinSize(0) + (*calc)->JoinSize(1) +
+                                      (*calc)->JoinSize(2));
+}
+
+TEST(ExactOverlapTest, InvalidMaskRejected) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 10;
+  auto joins = MakeOverlappingChains(options).value();
+  auto calc = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(calc.ok());
+  EXPECT_FALSE((*calc)->EstimateOverlap(0).ok());
+  EXPECT_FALSE((*calc)->EstimateOverlap(0b100).ok());
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,176 @@
+// Tests for core/histogram_overlap: the Theorem-4 bound must upper-bound
+// the exact overlap on randomized workloads (property sweeps), tighten with
+// overlap, and drive valid union estimates.
+
+#include <gtest/gtest.h>
+
+#include "core/exact_overlap.h"
+#include "core/histogram_overlap.h"
+#include "core/union_size_model.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+struct Params {
+  int num_joins;
+  int num_relations;
+  size_t rows;
+  double keep;
+  uint64_t seed;
+};
+
+class HistogramBoundSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(HistogramBoundSweep, BoundsExactOverlapFromAbove) {
+  const Params p = GetParam();
+  SyntheticChainOptions options;
+  options.num_joins = p.num_joins;
+  options.num_relations = p.num_relations;
+  options.master_rows = p.rows;
+  options.keep_probability = p.keep;
+  options.seed = p.seed;
+  auto joins = MakeOverlappingChains(options).value();
+
+  auto exact = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(exact.ok());
+  HistogramCatalog histograms;
+  auto hist = HistogramOverlapEstimator::Create(joins, &histograms);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_TRUE((*hist)->IsUpperBound());
+
+  const int n = p.num_joins;
+  for (SubsetMask mask = 1; mask < (1ULL << n); ++mask) {
+    auto bound = (*hist)->EstimateOverlap(mask);
+    auto truth = (*exact)->EstimateOverlap(mask);
+    ASSERT_TRUE(bound.ok() && truth.ok());
+    EXPECT_GE(bound.value() + 1e-9, truth.value())
+        << "mask " << mask << " seed " << p.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramBoundSweep,
+    ::testing::Values(Params{2, 2, 30, 0.7, 1}, Params{2, 3, 30, 0.7, 2},
+                      Params{3, 2, 25, 0.5, 3}, Params{3, 3, 25, 0.8, 4},
+                      Params{3, 4, 20, 0.6, 5}, Params{4, 3, 20, 0.7, 6},
+                      Params{2, 3, 40, 0.9, 7}, Params{3, 3, 30, 0.3, 8}));
+
+TEST(HistogramOverlapTest, BestRotationNeverLoosens) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.num_relations = 4;
+  options.master_rows = 30;
+  options.seed = 70;
+  auto joins = MakeOverlappingChains(options).value();
+  HistogramCatalog histograms;
+  HistogramOverlapEstimator::Options base;
+  auto plain = HistogramOverlapEstimator::Create(joins, &histograms, base);
+  base.best_rotation = true;
+  auto rotated = HistogramOverlapEstimator::Create(joins, &histograms, base);
+  ASSERT_TRUE(plain.ok() && rotated.ok());
+  for (SubsetMask mask = 1; mask < 8; ++mask) {
+    EXPECT_LE((*rotated)->EstimateOverlap(mask).value(),
+              (*plain)->EstimateOverlap(mask).value() + 1e-9)
+        << "mask " << mask;
+  }
+}
+
+TEST(HistogramOverlapTest, DisjointJoinsGetZeroOverlapBound) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 20;
+  options.mode = workloads::OverlapMode::kDisjoint;
+  auto joins = MakeOverlappingChains(options).value();
+  HistogramCatalog histograms;
+  auto hist = HistogramOverlapEstimator::Create(joins, &histograms);
+  ASSERT_TRUE(hist.ok());
+  // K(1) sums min degrees over shared first-attr values; disjoint domains
+  // share none, so the bound collapses to zero.
+  EXPECT_DOUBLE_EQ((*hist)->EstimateOverlap(0b11).value(), 0.0);
+}
+
+TEST(HistogramOverlapTest, IdenticalJoinsBoundAtLeastJoinSize) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 20;
+  options.mode = workloads::OverlapMode::kIdentical;
+  options.seed = 71;
+  auto joins = MakeOverlappingChains(options).value();
+  auto exact = ExactOverlapCalculator::Create(joins);
+  HistogramCatalog histograms;
+  auto hist = HistogramOverlapEstimator::Create(joins, &histograms);
+  ASSERT_TRUE(exact.ok() && hist.ok());
+  EXPECT_GE((*hist)->EstimateOverlap(0b11).value() + 1e-9,
+            static_cast<double>((*exact)->JoinSize(0)));
+}
+
+TEST(HistogramOverlapTest, UnionEstimatesUpperBoundTruth) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 25;
+  options.seed = 72;
+  auto joins = MakeOverlappingChains(options).value();
+  auto exact = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(exact.ok());
+  HistogramCatalog histograms;
+  auto hist = HistogramOverlapEstimator::Create(joins, &histograms);
+  ASSERT_TRUE(hist.ok());
+  auto estimates = ComputeUnionEstimates(hist->get());
+  ASSERT_TRUE(estimates.ok());
+  // Join-size bounds dominate the exact sizes.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_GE(estimates->join_sizes[j] + 1e-9,
+              static_cast<double>((*exact)->JoinSize(j)));
+  }
+  // The estimated union must be positive and at least... the bound can cut
+  // both ways for |U| (overlap overestimates shrink it), so just check
+  // it is within a sane multiplicative band of the truth.
+  double truth = static_cast<double>((*exact)->UnionSize());
+  EXPECT_GT(estimates->union_size_eq1, 0.0);
+  EXPECT_LT(estimates->union_size_eq1, 1000.0 * truth);
+}
+
+TEST(HistogramOverlapTest, ExplicitTemplateHonored) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.num_relations = 2;
+  options.master_rows = 15;
+  auto joins = MakeOverlappingChains(options).value();
+  HistogramCatalog histograms;
+  HistogramOverlapEstimator::Options opts;
+  opts.template_attrs = {"A1", "A0", "A2"};
+  auto hist = HistogramOverlapEstimator::Create(joins, &histograms, opts);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ((*hist)->template_attrs(), opts.template_attrs);
+}
+
+TEST(HistogramOverlapTest, AvgDegreeOptionNotUpperBound) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 15;
+  auto joins = MakeOverlappingChains(options).value();
+  HistogramCatalog histograms;
+  HistogramOverlapEstimator::Options opts;
+  opts.use_avg_degree = true;
+  auto hist = HistogramOverlapEstimator::Create(joins, &histograms, opts);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_FALSE((*hist)->IsUpperBound());
+}
+
+TEST(HistogramOverlapTest, RejectsIncompatibleJoins) {
+  SyntheticChainOptions a, b;
+  a.num_joins = 1;
+  b.num_joins = 1;
+  b.num_relations = 4;  // different output schema (more attributes)
+  auto j1 = MakeOverlappingChains(a).value()[0];
+  auto j2 = MakeOverlappingChains(b).value()[0];
+  HistogramCatalog histograms;
+  EXPECT_FALSE(HistogramOverlapEstimator::Create({j1, j2}, &histograms).ok());
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,125 @@
+// Tests for index/: HashIndex, CompositeIndex, RowMembershipIndex, caches.
+
+#include <gtest/gtest.h>
+
+#include "index/composite_index.h"
+#include "index/hash_index.h"
+#include "index/row_membership_index.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeRelation;
+
+RelationPtr TestRelation() {
+  return MakeRelation("r", {"a", "b"},
+                      {{1, 10}, {1, 11}, {2, 10}, {3, 12}, {1, 12}})
+      .value();
+}
+
+TEST(HashIndexTest, DegreesAndLookup) {
+  auto index = HashIndex::Build(TestRelation(), "a");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->Degree(Value::Int64(1)), 3u);
+  EXPECT_EQ((*index)->Degree(Value::Int64(2)), 1u);
+  EXPECT_EQ((*index)->Degree(Value::Int64(9)), 0u);
+  EXPECT_EQ((*index)->MaxDegree(), 3u);
+  EXPECT_EQ((*index)->NumDistinct(), 3u);
+  EXPECT_DOUBLE_EQ((*index)->AvgDegree(), 5.0 / 3.0);
+  const auto& rows = (*index)->Lookup(Value::Int64(1));
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(HashIndexTest, MissingAttributeFails) {
+  auto index = HashIndex::Build(TestRelation(), "zz");
+  EXPECT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HashIndexTest, EmptyRelation) {
+  auto rel = MakeRelation("e", {"a"}, {}).value();
+  auto index = HashIndex::Build(rel, "a");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->MaxDegree(), 0u);
+  EXPECT_DOUBLE_EQ((*index)->AvgDegree(), 0.0);
+}
+
+TEST(IndexCacheTest, ReusesIndexes) {
+  IndexCache cache;
+  auto rel = TestRelation();
+  auto i1 = cache.GetOrBuild(rel, "a");
+  auto i2 = cache.GetOrBuild(rel, "a");
+  auto i3 = cache.GetOrBuild(rel, "b");
+  ASSERT_TRUE(i1.ok() && i2.ok() && i3.ok());
+  EXPECT_EQ(i1.value().get(), i2.value().get());
+  EXPECT_NE(i1.value().get(), i3.value().get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CompositeIndexTest, SingleAttribute) {
+  auto index = CompositeIndex::Build(TestRelation(), {"a"});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->Degree(Tuple({Value::Int64(1)})), 3u);
+  EXPECT_EQ((*index)->MaxDegree(), 3u);
+}
+
+TEST(CompositeIndexTest, TwoAttributes) {
+  auto index = CompositeIndex::Build(TestRelation(), {"a", "b"});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->Degree(Tuple({Value::Int64(1), Value::Int64(10)})), 1u);
+  EXPECT_EQ((*index)->Degree(Tuple({Value::Int64(1), Value::Int64(99)})), 0u);
+  EXPECT_EQ((*index)->NumKeys(), 5u);
+  EXPECT_EQ((*index)->MaxDegree(), 1u);
+}
+
+TEST(CompositeIndexTest, KeyOrderMatters) {
+  auto ab = CompositeIndex::Build(TestRelation(), {"a", "b"});
+  auto ba = CompositeIndex::Build(TestRelation(), {"b", "a"});
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  Tuple key_ab({Value::Int64(1), Value::Int64(10)});
+  Tuple key_ba({Value::Int64(10), Value::Int64(1)});
+  EXPECT_EQ((*ab)->Degree(key_ab), 1u);
+  EXPECT_EQ((*ba)->Degree(key_ba), 1u);
+  EXPECT_EQ((*ab)->Degree(key_ba), 0u);
+}
+
+TEST(CompositeIndexTest, EmptyAttributeListFails) {
+  EXPECT_FALSE(CompositeIndex::Build(TestRelation(), {}).ok());
+}
+
+TEST(CompositeIndexCacheTest, KeyedByRelationAndAttrs) {
+  CompositeIndexCache cache;
+  auto rel = TestRelation();
+  auto i1 = cache.GetOrBuild(rel, {"a", "b"});
+  auto i2 = cache.GetOrBuild(rel, {"a", "b"});
+  auto i3 = cache.GetOrBuild(rel, {"b"});
+  ASSERT_TRUE(i1.ok() && i2.ok() && i3.ok());
+  EXPECT_EQ(i1.value().get(), i2.value().get());
+  EXPECT_NE(i1.value().get(), i3.value().get());
+}
+
+TEST(RowMembershipIndexTest, ContainsProjectedRows) {
+  auto index = RowMembershipIndex::Build(TestRelation(), {"a", "b"});
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE((*index)->Contains(Tuple({Value::Int64(1), Value::Int64(10)})));
+  EXPECT_TRUE((*index)->Contains(Tuple({Value::Int64(3), Value::Int64(12)})));
+  EXPECT_FALSE(
+      (*index)->Contains(Tuple({Value::Int64(3), Value::Int64(10)})));
+  EXPECT_EQ((*index)->NumDistinctRows(), 5u);
+}
+
+TEST(RowMembershipIndexTest, SubsetOfAttributes) {
+  auto index = RowMembershipIndex::Build(TestRelation(), {"b"});
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE((*index)->Contains(Tuple({Value::Int64(10)})));
+  EXPECT_FALSE((*index)->Contains(Tuple({Value::Int64(13)})));
+  EXPECT_EQ((*index)->NumDistinctRows(), 3u);  // distinct b values
+}
+
+TEST(RowMembershipIndexTest, MissingAttributeFails) {
+  EXPECT_FALSE(RowMembershipIndex::Build(TestRelation(), {"zz"}).ok());
+}
+
+}  // namespace
+}  // namespace suj

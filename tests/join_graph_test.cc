@@ -1,0 +1,206 @@
+// Tests for join/join_graph and join/join_spec: classification, walk
+// orders, spanning trees, hidden constraints, output schemas.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "join/join_spec.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeRelation;
+
+RelationPtr Rel(const std::string& name,
+                const std::vector<std::string>& attrs) {
+  std::vector<std::vector<int64_t>> rows = {{0}};
+  rows[0].assign(attrs.size(), 0);
+  return MakeRelation(name, attrs, rows).value();
+}
+
+TEST(JoinGraphTest, SingleRelationIsChain) {
+  auto spec = JoinSpec::Create("j", {Rel("r", {"a"})});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->type(), JoinType::kChain);
+  EXPECT_EQ((*spec)->graph().walk_order(), std::vector<int>{0});
+}
+
+TEST(JoinGraphTest, TwoRelationChain) {
+  auto spec =
+      JoinSpec::Create("j", {Rel("r", {"a", "b"}), Rel("s", {"b", "c"})});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->type(), JoinType::kChain);
+  const auto& graph = (*spec)->graph();
+  ASSERT_EQ(graph.edges().size(), 1u);
+  EXPECT_EQ(graph.edges()[0].attrs, std::vector<std::string>{"b"});
+  EXPECT_TRUE(graph.tree_captures_all_constraints());
+}
+
+TEST(JoinGraphTest, ChainWalkOrderFollowsPath) {
+  auto spec = JoinSpec::Create(
+      "j", {Rel("r1", {"a", "b"}), Rel("r2", {"b", "c"}),
+            Rel("r3", {"c", "d"}), Rel("r4", {"d", "e"})});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->type(), JoinType::kChain);
+  const auto& order = (*spec)->graph().walk_order();
+  // Path order from one endpoint: either 0,1,2,3 or 3,2,1,0.
+  EXPECT_TRUE(order == (std::vector<int>{0, 1, 2, 3}) ||
+              order == (std::vector<int>{3, 2, 1, 0}));
+  // Every step past the first binds exactly one attribute.
+  for (size_t pos = 1; pos < order.size(); ++pos) {
+    EXPECT_EQ((*spec)->graph().bound_attrs()[pos].size(), 1u);
+  }
+}
+
+TEST(JoinGraphTest, ThreeNodeStarIsTopologicallyAChain) {
+  // A hub with two leaves is a path (l1 - hub - l2): chain, not acyclic.
+  auto spec = JoinSpec::Create(
+      "j", {Rel("hub", {"a", "b", "c"}), Rel("l1", {"b", "d"}),
+            Rel("l2", {"c", "e"})});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->type(), JoinType::kChain);
+}
+
+TEST(JoinGraphTest, StarIsAcyclic) {
+  // A hub of degree 3 cannot be a path: acyclic (tree) classification.
+  auto spec = JoinSpec::Create(
+      "j", {Rel("hub", {"a", "b", "c", "d"}), Rel("l1", {"b", "e"}),
+            Rel("l2", {"c", "f"}), Rel("l3", {"d", "g"})});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->type(), JoinType::kAcyclic);
+  EXPECT_TRUE((*spec)->graph().tree_captures_all_constraints());
+}
+
+TEST(JoinGraphTest, TriangleIsCyclic) {
+  auto spec = JoinSpec::Create(
+      "j", {Rel("r", {"a", "b"}), Rel("s", {"b", "c"}), Rel("t", {"c", "a"})});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->type(), JoinType::kCyclic);
+  EXPECT_FALSE((*spec)->graph().tree_captures_all_constraints());
+  // The last relation in the walk binds both its attributes.
+  const auto& bound = (*spec)->graph().bound_attrs();
+  EXPECT_EQ(bound.back().size(), 2u);
+}
+
+TEST(JoinGraphTest, SharedAttributeCliqueIsImpliedByDeclaredChain) {
+  // nationkey lives in three relations; the declared chain still captures
+  // the transitive equality, so the join is a chain, not cyclic.
+  auto sup = Rel("sup", {"suppkey", "nationkey"});
+  auto nat = Rel("nat", {"nationkey", "n_name"});
+  auto cust = Rel("cust", {"custkey", "nationkey"});
+  auto spec = JoinSpec::Create("j", {sup, nat, cust}, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->type(), JoinType::kChain);
+  EXPECT_TRUE((*spec)->graph().tree_captures_all_constraints());
+}
+
+TEST(JoinGraphTest, HiddenConstraintMakesDeclaredTreeCyclic) {
+  // Declared chain r1 - r2 - r3, but r1 and r3 share `x` which r2 lacks:
+  // the equality r1.x = r3.x is NOT implied by the tree.
+  auto r1 = Rel("r1", {"a", "x"});
+  auto r2 = Rel("r2", {"a", "b"});
+  auto r3 = Rel("r3", {"b", "x"});
+  auto spec = JoinSpec::Create("j", {r1, r2, r3}, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->type(), JoinType::kCyclic);
+  EXPECT_FALSE((*spec)->graph().tree_captures_all_constraints());
+}
+
+TEST(JoinGraphTest, DisconnectedJoinRejected) {
+  auto spec =
+      JoinSpec::Create("j", {Rel("r", {"a", "b"}), Rel("s", {"c", "d"})});
+  EXPECT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JoinGraphTest, DeclaredEdgeWithoutSharedAttrRejected) {
+  auto spec = JoinSpec::Create(
+      "j", {Rel("r", {"a", "b"}), Rel("s", {"b", "c"}), Rel("t", {"c", "d"})},
+      {{0, 2}, {0, 1}});
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(JoinGraphTest, DuplicateDeclaredEdgeRejected) {
+  auto spec = JoinSpec::Create(
+      "j", {Rel("r", {"a", "b"}), Rel("s", {"b", "c"})}, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(JoinGraphTest, SpanningTreeStructure) {
+  auto spec = JoinSpec::Create(
+      "j", {Rel("hub", {"a", "b", "c"}), Rel("l1", {"b", "d"}),
+            Rel("l2", {"c", "e"})});
+  ASSERT_TRUE(spec.ok());
+  const auto& graph = (*spec)->graph();
+  int roots = 0;
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    if (graph.tree_parent()[r] < 0) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+  EXPECT_EQ(graph.tree_order().size(), 3u);
+  // Parents precede children in tree order.
+  std::vector<int> position(3);
+  for (int i = 0; i < 3; ++i) position[graph.tree_order()[i]] = i;
+  for (int r = 0; r < 3; ++r) {
+    if (graph.tree_parent()[r] >= 0) {
+      EXPECT_LT(position[graph.tree_parent()[r]], position[r]);
+    }
+  }
+}
+
+TEST(JoinSpecTest, OutputSchemaSortedAndTyped) {
+  auto spec =
+      JoinSpec::Create("j", {Rel("r", {"b", "a"}), Rel("s", {"a", "c"})});
+  ASSERT_TRUE(spec.ok());
+  const Schema& out = (*spec)->output_schema();
+  ASSERT_EQ(out.num_fields(), 3u);
+  EXPECT_EQ(out.field(0).name, "a");
+  EXPECT_EQ(out.field(1).name, "b");
+  EXPECT_EQ(out.field(2).name, "c");
+}
+
+TEST(JoinSpecTest, ConflictingAttributeTypesRejected) {
+  RelationBuilder b1("r", Schema({{"a", ValueType::kInt64}}));
+  ASSERT_TRUE(b1.AppendRow({Value::Int64(1)}).ok());
+  RelationBuilder b2("s", Schema({{"a", ValueType::kString},
+                                  {"b", ValueType::kInt64}}));
+  ASSERT_TRUE(b2.AppendRow({Value::String("x"), Value::Int64(1)}).ok());
+  auto spec = JoinSpec::Create("j", {b1.Finish(), b2.Finish()});
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(JoinSpecTest, ValidateUnionCompatible) {
+  auto j1 =
+      JoinSpec::Create("a", {Rel("r", {"a", "b"}), Rel("s", {"b", "c"})})
+          .value();
+  auto j2 =
+      JoinSpec::Create("b", {Rel("t", {"a", "b", "c"})}).value();
+  EXPECT_TRUE(ValidateUnionCompatible({j1, j2}).ok());
+  auto j3 = JoinSpec::Create("c", {Rel("u", {"a", "b"})}).value();
+  EXPECT_FALSE(ValidateUnionCompatible({j1, j3}).ok());
+  EXPECT_FALSE(ValidateUnionCompatible({}).ok());
+}
+
+TEST(JoinSpecTest, PredicateEvaluation) {
+  auto spec = JoinSpec::Create(
+      "j", {Rel("r", {"a", "b"})}, {},
+      {Predicate("a", CompareOp::kGe, Value::Int64(0))});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE((*spec)->has_predicates());
+  EXPECT_TRUE(
+      (*spec)->SatisfiesPredicates(Tuple({Value::Int64(1), Value::Int64(0)})));
+  EXPECT_FALSE((*spec)->SatisfiesPredicates(
+      Tuple({Value::Int64(-1), Value::Int64(0)})));
+}
+
+TEST(JoinTypeNameTest, Renders) {
+  EXPECT_STREQ(JoinTypeName(JoinType::kChain), "chain");
+  EXPECT_STREQ(JoinTypeName(JoinType::kAcyclic), "acyclic");
+  EXPECT_STREQ(JoinTypeName(JoinType::kCyclic), "cyclic");
+}
+
+}  // namespace
+}  // namespace suj

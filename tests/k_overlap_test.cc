@@ -1,0 +1,157 @@
+// Tests for core/k_overlap: Theorem 3's A^k_j recovery and the Eq-1 union
+// size, validated against brute-force set decompositions of random set
+// systems (property-style TEST_P sweeps).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/k_overlap.h"
+
+namespace suj {
+namespace {
+
+// A random family of n sets over a small integer universe.
+std::vector<std::set<int>> RandomSets(int n, int universe, double density,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::set<int>> sets(n);
+  for (int j = 0; j < n; ++j) {
+    for (int u = 0; u < universe; ++u) {
+      if (rng.Bernoulli(density)) sets[j].insert(u);
+    }
+  }
+  return sets;
+}
+
+// Exact |O_mask| by intersection.
+double ExactOverlap(const std::vector<std::set<int>>& sets, SubsetMask mask) {
+  auto members = MaskToIndices(mask);
+  double count = 0;
+  for (int u : sets[members[0]]) {
+    bool in_all = true;
+    for (size_t i = 1; i < members.size() && in_all; ++i) {
+      in_all = sets[members[i]].count(u) > 0;
+    }
+    if (in_all) ++count;
+  }
+  return count;
+}
+
+// Brute-force |A^k_j|: elements of set j present in exactly k sets total.
+double BruteForceAkj(const std::vector<std::set<int>>& sets, int j, int k) {
+  double count = 0;
+  for (int u : sets[j]) {
+    int containing = 0;
+    for (const auto& s : sets) containing += s.count(u) > 0 ? 1 : 0;
+    if (containing == k) ++count;
+  }
+  return count;
+}
+
+struct Params {
+  int n;
+  int universe;
+  double density;
+  uint64_t seed;
+};
+
+class KOverlapSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(KOverlapSweep, RecoversBruteForceDecomposition) {
+  const Params p = GetParam();
+  auto sets = RandomSets(p.n, p.universe, p.density, p.seed);
+  auto table = SolveKOverlaps(p.n, [&](SubsetMask mask) -> Result<double> {
+    return ExactOverlap(sets, mask);
+  });
+  ASSERT_TRUE(table.ok());
+  for (int j = 0; j < p.n; ++j) {
+    for (int k = 1; k <= p.n; ++k) {
+      EXPECT_NEAR(table->At(j, k), BruteForceAkj(sets, j, k), 1e-9)
+          << "A^" << k << "_" << j;
+    }
+  }
+  // Eq 1 recovers the exact union size.
+  std::set<int> uni;
+  for (const auto& s : sets) uni.insert(s.begin(), s.end());
+  EXPECT_NEAR(table->UnionSize(), static_cast<double>(uni.size()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KOverlapSweep,
+    ::testing::Values(Params{2, 30, 0.5, 1}, Params{2, 30, 0.9, 2},
+                      Params{3, 40, 0.5, 3}, Params{3, 40, 0.2, 4},
+                      Params{4, 50, 0.6, 5}, Params{4, 50, 0.3, 6},
+                      Params{5, 60, 0.5, 7}, Params{5, 25, 0.8, 8},
+                      Params{6, 40, 0.4, 9}, Params{1, 20, 0.5, 10}));
+
+TEST(KOverlapTest, SingleJoin) {
+  auto table = SolveKOverlaps(1, [](SubsetMask) -> Result<double> {
+    return 42.0;
+  });
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->At(0, 1), 42.0);
+  EXPECT_DOUBLE_EQ(table->UnionSize(), 42.0);
+}
+
+TEST(KOverlapTest, IdenticalSets) {
+  // Three identical sets of size 10: A^3_j = 10, everything else 0, union
+  // size 10.
+  auto table = SolveKOverlaps(3, [](SubsetMask) -> Result<double> {
+    return 10.0;
+  });
+  ASSERT_TRUE(table.ok());
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(table->At(j, 3), 10.0);
+    EXPECT_DOUBLE_EQ(table->At(j, 2), 0.0);
+    EXPECT_DOUBLE_EQ(table->At(j, 1), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(table->UnionSize(), 10.0);
+}
+
+TEST(KOverlapTest, DisjointSets) {
+  auto table = SolveKOverlaps(3, [](SubsetMask mask) -> Result<double> {
+    return PopCount(mask) == 1 ? 5.0 : 0.0;
+  });
+  ASSERT_TRUE(table.ok());
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(table->At(j, 1), 5.0);
+    EXPECT_DOUBLE_EQ(table->At(j, 2), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(table->UnionSize(), 15.0);
+}
+
+TEST(KOverlapTest, ClampsNegativeEstimates) {
+  // Inconsistent (over-)estimates of high-order overlaps must not produce
+  // negative A^k values.
+  auto table = SolveKOverlaps(3, [](SubsetMask mask) -> Result<double> {
+    // Claim a huge triple overlap but small pairwise overlaps.
+    if (PopCount(mask) == 3) return 100.0;
+    if (PopCount(mask) == 2) return 1.0;
+    return 50.0;
+  });
+  ASSERT_TRUE(table.ok());
+  for (int j = 0; j < 3; ++j) {
+    for (int k = 1; k <= 3; ++k) {
+      EXPECT_GE(table->At(j, k), 0.0);
+    }
+  }
+}
+
+TEST(KOverlapTest, PropagatesOracleErrors) {
+  auto table = SolveKOverlaps(2, [](SubsetMask) -> Result<double> {
+    return Status::Internal("boom");
+  });
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(KOverlapTest, RejectsBadArity) {
+  auto oracle = [](SubsetMask) -> Result<double> { return 1.0; };
+  EXPECT_FALSE(SolveKOverlaps(0, oracle).ok());
+  EXPECT_FALSE(SolveKOverlaps(64, oracle).ok());
+}
+
+}  // namespace
+}  // namespace suj

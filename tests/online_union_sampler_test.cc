@@ -1,0 +1,188 @@
+// Tests for core/online_union_sampler: Algorithm 2's sample reuse and
+// backtracking, uniformity, and pool accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/exact_overlap.h"
+#include "core/histogram_overlap.h"
+#include "core/online_union_sampler.h"
+#include "test_util.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+struct Fixture {
+  std::vector<JoinSpecPtr> joins;
+  std::unique_ptr<ExactOverlapCalculator> exact;
+  CompositeIndexCache cache;
+  std::unique_ptr<RandomWalkOverlapEstimator> walker;
+};
+
+Fixture MakeSetup(uint64_t seed, uint64_t walk_budget, int num_joins = 3) {
+  Fixture s;
+  SyntheticChainOptions options;
+  options.num_joins = num_joins;
+  options.master_rows = 20;
+  options.seed = seed;
+  s.joins = MakeOverlappingChains(options).value();
+  s.exact = ExactOverlapCalculator::Create(s.joins).value();
+  RandomWalkOverlapEstimator::Options rw_opts;
+  rw_opts.min_walks = walk_budget;
+  rw_opts.max_walks = walk_budget;
+  s.walker =
+      RandomWalkOverlapEstimator::Create(s.joins, &s.cache, rw_opts).value();
+  return s;
+}
+
+void ExpectUniformOverUnion(const std::vector<Tuple>& samples,
+                            const ExactOverlapCalculator& exact,
+                            double slack) {
+  auto counts = testing::CountByValue(samples);
+  for (const auto& [key, c] : counts) {
+    ASSERT_TRUE(exact.membership().count(key))
+        << "sampled tuple outside the union";
+  }
+  double chi2 = testing::ChiSquareUniform(counts, exact.UnionSize(),
+                                          samples.size());
+  EXPECT_LT(chi2, slack * testing::ChiSquareThreshold(exact.UnionSize() - 1));
+}
+
+TEST(OnlineUnionSamplerTest, UniformWithReuseAndExactParameters) {
+  Fixture s = MakeSetup(130, 3000);
+  Rng rng(131);
+  ASSERT_TRUE(s.walker->Warmup(rng).ok());
+  auto estimates = ComputeUnionEstimates(s.exact.get()).value();
+  OnlineUnionSampler::Options opts;
+  opts.enable_reuse = true;
+  auto sampler = OnlineUnionSampler::Create(s.joins, s.walker.get(),
+                                            estimates, opts);
+  ASSERT_TRUE(sampler.ok());
+  size_t n = 40 * s.exact->UnionSize();
+  auto samples = (*sampler)->Sample(n, rng);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  EXPECT_EQ(samples->size(), n);
+  // Reuse + fresh-walk acceptance both target uniformity; multi-instance
+  // accepts add small correlation, so allow a modest chi-square slack.
+  ExpectUniformOverUnion(*samples, *s.exact, 3.0);
+  EXPECT_GT((*sampler)->stats().reuse_accepted, 0u);
+}
+
+TEST(OnlineUnionSamplerTest, UniformWithoutReuse) {
+  Fixture s = MakeSetup(132, 500);
+  Rng rng(133);
+  ASSERT_TRUE(s.walker->Warmup(rng).ok());
+  auto estimates = ComputeUnionEstimates(s.exact.get()).value();
+  OnlineUnionSampler::Options opts;
+  opts.enable_reuse = false;
+  auto sampler = OnlineUnionSampler::Create(s.joins, s.walker.get(),
+                                            estimates, opts);
+  ASSERT_TRUE(sampler.ok());
+  size_t n = 40 * s.exact->UnionSize();
+  auto samples = (*sampler)->Sample(n, rng);
+  ASSERT_TRUE(samples.ok());
+  ExpectUniformOverUnion(*samples, *s.exact, 3.0);
+  EXPECT_EQ((*sampler)->stats().reuse_accepted, 0u);
+  EXPECT_GT((*sampler)->stats().fresh_accepted, 0u);
+}
+
+TEST(OnlineUnionSamplerTest, ReusePhaseFasterPathIsExercised) {
+  Fixture s = MakeSetup(134, 2000);
+  Rng rng(135);
+  ASSERT_TRUE(s.walker->Warmup(rng).ok());
+  auto estimates = ComputeUnionEstimates(s.walker.get()).value();
+  OnlineUnionSampler::Options opts;
+  opts.enable_reuse = true;
+  auto sampler = OnlineUnionSampler::Create(s.joins, s.walker.get(),
+                                            estimates, opts);
+  ASSERT_TRUE(sampler.ok());
+  auto samples = (*sampler)->Sample(300, rng);
+  ASSERT_TRUE(samples.ok());
+  const auto& stats = (*sampler)->stats();
+  EXPECT_GT(stats.reuse_draws, 0u);
+  // Fig 6b's contrast: pool draws happen without any join-graph walk.
+  EXPECT_EQ(stats.reuse_draws + stats.fresh_walks, stats.join_draws);
+}
+
+TEST(OnlineUnionSamplerTest, HistogramInitWithBacktrackingStaysUniform) {
+  Fixture s = MakeSetup(136, 800);
+  Rng rng(137);
+  // No warm-up walks: Algorithm 2's online setting -- initialize from the
+  // histogram method, refine during sampling, backtrack periodically.
+  HistogramCatalog histograms;
+  auto hist =
+      HistogramOverlapEstimator::Create(s.joins, &histograms).value();
+  auto initial = ComputeUnionEstimates(hist.get()).value();
+  OnlineUnionSampler::Options opts;
+  opts.enable_reuse = true;
+  opts.backtrack_interval = 200;
+  opts.ci_threshold = 0.05;
+  auto sampler = OnlineUnionSampler::Create(s.joins, s.walker.get(),
+                                            initial, opts);
+  ASSERT_TRUE(sampler.ok());
+  size_t n = 30 * s.exact->UnionSize();
+  auto samples = (*sampler)->Sample(n, rng);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  // Histogram initialization biases early rounds; backtracking corrects
+  // them, so tolerate a wider band (asymptotically this tightens).
+  ExpectUniformOverUnion(*samples, *s.exact, 6.0);
+  EXPECT_GT((*sampler)->stats().backtracks, 0u);
+  // Estimates must have moved toward the random-walk values.
+  const auto& refined = (*sampler)->current_estimates();
+  double truth = static_cast<double>(s.exact->UnionSize());
+  EXPECT_NEAR(refined.union_size_eq1, truth, 0.35 * truth + 2.0);
+}
+
+TEST(OnlineUnionSamplerTest, PoolsDrainWithoutReplacement) {
+  Fixture s = MakeSetup(138, 50, /*num_joins=*/2);
+  Rng rng(139);
+  ASSERT_TRUE(s.walker->Warmup(rng).ok());
+  auto estimates = ComputeUnionEstimates(s.exact.get()).value();
+  OnlineUnionSampler::Options opts;
+  opts.enable_reuse = true;
+  auto sampler = OnlineUnionSampler::Create(s.joins, s.walker.get(),
+                                            estimates, opts);
+  ASSERT_TRUE(sampler.ok());
+  auto samples = (*sampler)->Sample(400, rng);
+  ASSERT_TRUE(samples.ok());
+  const auto& stats = (*sampler)->stats();
+  // The 50-walk pools cannot cover 400 samples: the sampler must have
+  // fallen back to fresh walks after draining them.
+  size_t pool_capacity = s.walker->records(0).size() +
+                         s.walker->records(1).size() + 100;
+  EXPECT_LE(stats.reuse_draws, pool_capacity);
+  EXPECT_GT(stats.fresh_walks, 0u);
+}
+
+TEST(OnlineUnionSamplerTest, CreateValidation) {
+  Fixture s = MakeSetup(140, 50);
+  auto estimates = ComputeUnionEstimates(s.exact.get()).value();
+  EXPECT_FALSE(
+      OnlineUnionSampler::Create(s.joins, nullptr, estimates).ok());
+  UnionEstimates zero = estimates;
+  zero.cover_sizes.assign(zero.cover_sizes.size(), 0.0);
+  EXPECT_FALSE(
+      OnlineUnionSampler::Create(s.joins, s.walker.get(), zero).ok());
+}
+
+TEST(OnlineUnionSamplerTest, RevisionModeWorks) {
+  Fixture s = MakeSetup(141, 1500);
+  Rng rng(142);
+  ASSERT_TRUE(s.walker->Warmup(rng).ok());
+  auto estimates = ComputeUnionEstimates(s.exact.get()).value();
+  OnlineUnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kRevision;
+  auto sampler = OnlineUnionSampler::Create(s.joins, s.walker.get(),
+                                            estimates, opts);
+  ASSERT_TRUE(sampler.ok());
+  size_t n = 30 * s.exact->UnionSize();
+  auto samples = (*sampler)->Sample(n, rng);
+  ASSERT_TRUE(samples.ok());
+  ExpectUniformOverUnion(*samples, *s.exact, 5.0);
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,94 @@
+// Tests for join/predicate: operators, tuple evaluation, pushdown filter.
+
+#include <gtest/gtest.h>
+
+#include "join/predicate.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeRelation;
+
+TEST(PredicateTest, ComparisonOperators) {
+  Value five = Value::Int64(5);
+  EXPECT_TRUE(Predicate("a", CompareOp::kEq, five).Eval(Value::Int64(5)));
+  EXPECT_FALSE(Predicate("a", CompareOp::kEq, five).Eval(Value::Int64(6)));
+  EXPECT_TRUE(Predicate("a", CompareOp::kNe, five).Eval(Value::Int64(6)));
+  EXPECT_TRUE(Predicate("a", CompareOp::kLt, five).Eval(Value::Int64(4)));
+  EXPECT_FALSE(Predicate("a", CompareOp::kLt, five).Eval(Value::Int64(5)));
+  EXPECT_TRUE(Predicate("a", CompareOp::kLe, five).Eval(Value::Int64(5)));
+  EXPECT_TRUE(Predicate("a", CompareOp::kGt, five).Eval(Value::Int64(6)));
+  EXPECT_FALSE(Predicate("a", CompareOp::kGt, five).Eval(Value::Int64(5)));
+  EXPECT_TRUE(Predicate("a", CompareOp::kGe, five).Eval(Value::Int64(5)));
+}
+
+TEST(PredicateTest, Between) {
+  Predicate p("a", Value::Int64(2), Value::Int64(4));
+  EXPECT_FALSE(p.Eval(Value::Int64(1)));
+  EXPECT_TRUE(p.Eval(Value::Int64(2)));
+  EXPECT_TRUE(p.Eval(Value::Int64(3)));
+  EXPECT_TRUE(p.Eval(Value::Int64(4)));
+  EXPECT_FALSE(p.Eval(Value::Int64(5)));
+}
+
+TEST(PredicateTest, StringAndDoubleOperands) {
+  EXPECT_TRUE(Predicate("s", CompareOp::kEq, Value::String("x"))
+                  .Eval(Value::String("x")));
+  EXPECT_TRUE(Predicate("d", CompareOp::kGe, Value::Double(1.5))
+                  .Eval(Value::Double(1.5)));
+  EXPECT_FALSE(Predicate("d", CompareOp::kGe, Value::Double(1.5))
+                   .Eval(Value::Double(1.49)));
+}
+
+TEST(PredicateTest, EvalOnTuple) {
+  Schema schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+  Tuple t({Value::Int64(1), Value::Int64(9)});
+  EXPECT_TRUE(
+      Predicate("b", CompareOp::kGt, Value::Int64(5)).EvalOnTuple(t, schema));
+  EXPECT_FALSE(
+      Predicate("a", CompareOp::kGt, Value::Int64(5)).EvalOnTuple(t, schema));
+  // Predicates on absent attributes do not apply.
+  EXPECT_TRUE(
+      Predicate("z", CompareOp::kEq, Value::Int64(0)).EvalOnTuple(t, schema));
+}
+
+TEST(PredicateTest, ToStringRendering) {
+  EXPECT_EQ(Predicate("a", CompareOp::kLe, Value::Int64(3)).ToString(),
+            "a <= 3");
+  EXPECT_EQ(Predicate("a", Value::Int64(1), Value::Int64(2)).ToString(),
+            "a BETWEEN 1 AND 2");
+}
+
+TEST(FilterRelationTest, KeepsMatchingRows) {
+  auto rel =
+      MakeRelation("r", {"a", "b"}, {{1, 10}, {2, 20}, {3, 30}, {4, 40}})
+          .value();
+  auto filtered =
+      FilterRelation(rel, {Predicate("a", CompareOp::kGe, Value::Int64(2)),
+                           Predicate("b", CompareOp::kLt, Value::Int64(40))});
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ((*filtered)->num_rows(), 2u);
+  EXPECT_EQ((*filtered)->GetInt64(0, 0), 2);
+  EXPECT_EQ((*filtered)->GetInt64(1, 0), 3);
+  EXPECT_EQ((*filtered)->name(), "r#f");
+}
+
+TEST(FilterRelationTest, PredicateOnAbsentAttributeIsNoop) {
+  auto rel = MakeRelation("r", {"a"}, {{1}, {2}}).value();
+  auto filtered =
+      FilterRelation(rel, {Predicate("zz", CompareOp::kEq, Value::Int64(0))});
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ((*filtered)->num_rows(), 2u);
+}
+
+TEST(RowSatisfiesTest, ChecksApplicablePredicates) {
+  auto rel = MakeRelation("r", {"a", "b"}, {{1, 10}, {5, 50}}).value();
+  std::vector<Predicate> preds = {
+      Predicate("a", CompareOp::kLt, Value::Int64(3))};
+  EXPECT_TRUE(RowSatisfies(*rel, 0, preds));
+  EXPECT_FALSE(RowSatisfies(*rel, 1, preds));
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,201 @@
+// Tests for core/random_walk_overlap: convergence to exact sizes and
+// overlaps, membership masks, confidence tracking, walk budget.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_overlap.h"
+#include "core/random_walk_overlap.h"
+#include "core/union_size_model.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+RandomWalkOverlapEstimator::Options BigBudget() {
+  RandomWalkOverlapEstimator::Options options;
+  options.min_walks = 4000;
+  options.max_walks = 4000;
+  return options;
+}
+
+TEST(RandomWalkOverlapTest, JoinSizesConverge) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 25;
+  options.seed = 80;
+  auto joins = MakeOverlappingChains(options).value();
+  auto exact = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(exact.ok());
+  CompositeIndexCache cache;
+  auto rw = RandomWalkOverlapEstimator::Create(joins, &cache, BigBudget());
+  ASSERT_TRUE(rw.ok());
+  Rng rng(81);
+  ASSERT_TRUE((*rw)->Warmup(rng).ok());
+  for (int j = 0; j < 3; ++j) {
+    double truth = static_cast<double>((*exact)->JoinSize(j));
+    auto est = (*rw)->EstimateJoinSize(j);
+    ASSERT_TRUE(est.ok());
+    EXPECT_NEAR(est.value(), truth, 0.15 * truth + 1.0) << "join " << j;
+  }
+}
+
+TEST(RandomWalkOverlapTest, OverlapsConverge) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 25;
+  options.keep_probability = 0.8;  // sizeable overlaps
+  options.seed = 82;
+  auto joins = MakeOverlappingChains(options).value();
+  auto exact = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(exact.ok());
+  CompositeIndexCache cache;
+  auto rw = RandomWalkOverlapEstimator::Create(joins, &cache, BigBudget());
+  ASSERT_TRUE(rw.ok());
+  Rng rng(83);
+  ASSERT_TRUE((*rw)->Warmup(rng).ok());
+  for (SubsetMask mask = 1; mask < 8; ++mask) {
+    double truth = (*exact)->EstimateOverlap(mask).value();
+    auto est = (*rw)->EstimateOverlap(mask);
+    ASSERT_TRUE(est.ok());
+    EXPECT_NEAR(est.value(), truth, 0.2 * truth + 2.0) << "mask " << mask;
+  }
+}
+
+TEST(RandomWalkOverlapTest, MembershipMasksMatchGroundTruth) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 20;
+  options.seed = 84;
+  auto joins = MakeOverlappingChains(options).value();
+  auto exact = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(exact.ok());
+  CompositeIndexCache cache;
+  RandomWalkOverlapEstimator::Options opts;
+  opts.min_walks = 300;
+  opts.max_walks = 300;
+  auto rw = RandomWalkOverlapEstimator::Create(joins, &cache, opts);
+  ASSERT_TRUE(rw.ok());
+  Rng rng(85);
+  ASSERT_TRUE((*rw)->Warmup(rng).ok());
+  for (int j = 0; j < 2; ++j) {
+    for (const auto& rec : (*rw)->records(j)) {
+      auto it = (*exact)->membership().find(rec.tuple.Encode());
+      ASSERT_NE(it, (*exact)->membership().end());
+      EXPECT_EQ(rec.membership, it->second);
+    }
+  }
+}
+
+TEST(RandomWalkOverlapTest, WarmupRespectsBudgetAndConfidence) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 25;
+  options.seed = 86;
+  auto joins = MakeOverlappingChains(options).value();
+  CompositeIndexCache cache;
+  RandomWalkOverlapEstimator::Options opts;
+  opts.min_walks = 32;
+  opts.max_walks = 1000;
+  opts.confidence = 0.9;
+  opts.relative_halfwidth = 0.2;  // loose target, should stop early
+  auto rw = RandomWalkOverlapEstimator::Create(joins, &cache, opts);
+  ASSERT_TRUE(rw.ok());
+  Rng rng(87);
+  ASSERT_TRUE((*rw)->Warmup(rng).ok());
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_GE((*rw)->num_walks(j), 32u);
+    EXPECT_LE((*rw)->num_walks(j), 1000u);
+    EXPECT_LE((*rw)->JoinSizeRelativeHalfWidth(j, 0.9), 0.2 + 1e-9);
+  }
+}
+
+TEST(RandomWalkOverlapTest, HalfWidthFiniteAfterWalks) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 20;
+  options.seed = 88;
+  auto joins = MakeOverlappingChains(options).value();
+  CompositeIndexCache cache;
+  RandomWalkOverlapEstimator::Options opts;
+  opts.min_walks = 200;
+  opts.max_walks = 200;
+  auto rw = RandomWalkOverlapEstimator::Create(joins, &cache, opts);
+  ASSERT_TRUE(rw.ok());
+  Rng rng(89);
+  ASSERT_TRUE((*rw)->Warmup(rng).ok());
+  auto hw = (*rw)->OverlapHalfWidth(0b11, 0.9);
+  ASSERT_TRUE(hw.ok());
+  EXPECT_TRUE(std::isfinite(hw.value()));
+  EXPECT_GT(hw.value(), 0.0);
+}
+
+TEST(RandomWalkOverlapTest, FeedsUnionEstimates) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 25;
+  options.seed = 90;
+  auto joins = MakeOverlappingChains(options).value();
+  auto exact = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(exact.ok());
+  CompositeIndexCache cache;
+  auto rw = RandomWalkOverlapEstimator::Create(joins, &cache, BigBudget());
+  ASSERT_TRUE(rw.ok());
+  Rng rng(91);
+  ASSERT_TRUE((*rw)->Warmup(rng).ok());
+  auto estimates = ComputeUnionEstimates(rw->get());
+  ASSERT_TRUE(estimates.ok());
+  double truth = static_cast<double>((*exact)->UnionSize());
+  EXPECT_NEAR(estimates->union_size_eq1, truth, 0.2 * truth + 2.0);
+}
+
+TEST(RandomWalkOverlapTest, DisjointJoinsEstimateZeroOverlap) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 20;
+  options.mode = workloads::OverlapMode::kDisjoint;
+  options.seed = 92;
+  auto joins = MakeOverlappingChains(options).value();
+  CompositeIndexCache cache;
+  RandomWalkOverlapEstimator::Options opts;
+  opts.min_walks = 400;
+  opts.max_walks = 400;
+  auto rw = RandomWalkOverlapEstimator::Create(joins, &cache, opts);
+  ASSERT_TRUE(rw.ok());
+  Rng rng(93);
+  ASSERT_TRUE((*rw)->Warmup(rng).ok());
+  EXPECT_DOUBLE_EQ((*rw)->EstimateOverlap(0b11).value(), 0.0);
+}
+
+TEST(RandomWalkOverlapTest, EstimateBeforeWarmupFails) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 15;
+  auto joins = MakeOverlappingChains(options).value();
+  CompositeIndexCache cache;
+  auto rw = RandomWalkOverlapEstimator::Create(joins, &cache);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_FALSE((*rw)->EstimateOverlap(0b11).ok());
+}
+
+TEST(RandomWalkOverlapTest, InvalidArgumentsRejected) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 15;
+  auto joins = MakeOverlappingChains(options).value();
+  CompositeIndexCache cache;
+  auto rw = RandomWalkOverlapEstimator::Create(joins, &cache);
+  ASSERT_TRUE(rw.ok());
+  Rng rng(1);
+  EXPECT_FALSE((*rw)->WalkAndRecord(5, rng).ok());
+  EXPECT_FALSE((*rw)->EstimateOverlap(0).ok());
+  EXPECT_FALSE(
+      RandomWalkOverlapEstimator::Create(joins, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,191 @@
+// Tests for core/template_selector and core/splitting: pairwise distances,
+// Hamiltonian-path optimality, link classification (real / virtual / fake).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/splitting.h"
+#include "core/template_selector.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeRelation;
+
+RelationPtr Rel(const std::string& name,
+                const std::vector<std::string>& attrs) {
+  std::vector<std::vector<int64_t>> rows = {{0}};
+  rows[0].assign(attrs.size(), 0);
+  return MakeRelation(name, attrs, rows).value();
+}
+
+JoinSpecPtr ChainABCD() {
+  // r1(a,b) - r2(b,c) - r3(c,d): a 4-attribute chain join.
+  return JoinSpec::Create(
+             "chain", {Rel("r1", {"a", "b"}), Rel("r2", {"b", "c"}),
+                       Rel("r3", {"c", "d"})})
+      .value();
+}
+
+TEST(TemplateSelectorTest, DistanceZeroWhenColocated) {
+  auto join = ChainABCD();
+  EXPECT_EQ(TemplateSelector::Distance(join, "a", "b").value(), 0);
+  EXPECT_EQ(TemplateSelector::Distance(join, "b", "c").value(), 0);
+  EXPECT_EQ(TemplateSelector::Distance(join, "b", "b").value(), 0);
+}
+
+TEST(TemplateSelectorTest, DistanceCountsJoinSteps) {
+  auto join = ChainABCD();
+  EXPECT_EQ(TemplateSelector::Distance(join, "a", "c").value(), 1);
+  EXPECT_EQ(TemplateSelector::Distance(join, "a", "d").value(), 2);
+}
+
+TEST(TemplateSelectorTest, MissingAttributeFails) {
+  auto join = ChainABCD();
+  EXPECT_FALSE(TemplateSelector::Distance(join, "a", "zz").ok());
+}
+
+TEST(TemplateSelectorTest, PairScoreSumsOverJoins) {
+  auto j1 = ChainABCD();
+  // Second join: single wide relation, all distances 0.
+  auto j2 =
+      JoinSpec::Create("wide", {Rel("w", {"a", "b", "c", "d"})}).value();
+  TemplateSelector::Options options;
+  EXPECT_DOUBLE_EQ(
+      TemplateSelector::PairScore({j1, j2}, "a", "d", options).value(), 2.0);
+  options.zero_dist_weight = 0.5;
+  // Dist 0 in j2 now contributes 0.5.
+  EXPECT_DOUBLE_EQ(
+      TemplateSelector::PairScore({j1, j2}, "a", "d", options).value(), 2.5);
+}
+
+TEST(TemplateSelectorTest, SelectsMinimumCostOrdering) {
+  auto join = ChainABCD();
+  auto tmpl = TemplateSelector::SelectTemplate({join});
+  ASSERT_TRUE(tmpl.ok());
+  // The natural chain order (or its reverse) has cost 0: every consecutive
+  // pair is co-located.
+  auto cost = TemplateSelector::TemplateCost({join}, *tmpl);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 0.0);
+  // Verify optimality against all permutations (4 attributes -> 24).
+  std::vector<std::string> perm = {"a", "b", "c", "d"};
+  std::sort(perm.begin(), perm.end());
+  double best = 1e18;
+  do {
+    best = std::min(best,
+                    TemplateSelector::TemplateCost({join}, perm).value());
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_DOUBLE_EQ(*cost, best);
+}
+
+TEST(TemplateSelectorTest, BadTemplateCostsMore) {
+  auto join = ChainABCD();
+  // Example 7's observation: interleaving far-apart attributes is worse.
+  double bad =
+      TemplateSelector::TemplateCost({join}, {"a", "d", "b", "c"}).value();
+  double good =
+      TemplateSelector::TemplateCost({join}, {"a", "b", "c", "d"}).value();
+  EXPECT_GT(bad, good);
+}
+
+TEST(TemplateSelectorTest, GreedyFallbackAboveExactLimit) {
+  auto join = ChainABCD();
+  TemplateSelector::Options options;
+  options.exact_limit = 2;  // force the greedy path
+  auto tmpl = TemplateSelector::SelectTemplate({join}, options);
+  ASSERT_TRUE(tmpl.ok());
+  EXPECT_EQ(tmpl->size(), 4u);
+  // Greedy still finds a zero-cost path on a chain.
+  EXPECT_DOUBLE_EQ(TemplateSelector::TemplateCost({join}, *tmpl).value(),
+                   0.0);
+}
+
+TEST(SplitJoinTest, RealLinksOnNaturalOrder) {
+  auto join = ChainABCD();
+  auto chain = SplitJoinToChain(join, {"a", "b", "c", "d"});
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->links.size(), 3u);
+  for (const auto& link : chain->links) {
+    EXPECT_FALSE(link.is_virtual());
+  }
+  // (a,b) from r1, (b,c) from r2, (c,d) from r3: no fake joins.
+  EXPECT_EQ(chain->links[0].source_relation, 0);
+  EXPECT_EQ(chain->links[1].source_relation, 1);
+  EXPECT_EQ(chain->links[2].source_relation, 2);
+  EXPECT_FALSE(chain->links[0].fake_join_to_next);
+  EXPECT_FALSE(chain->links[1].fake_join_to_next);
+}
+
+TEST(SplitJoinTest, FakeJoinWhenSameSource) {
+  auto join =
+      JoinSpec::Create("j", {Rel("w", {"a", "b", "c"}), Rel("x", {"c", "d"})})
+          .value();
+  auto chain = SplitJoinToChain(join, {"a", "b", "c", "d"});
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->links.size(), 3u);
+  // (a,b) and (b,c) both come from w -> fake join between them.
+  EXPECT_EQ(chain->links[0].source_relation, 0);
+  EXPECT_EQ(chain->links[1].source_relation, 0);
+  EXPECT_TRUE(chain->links[0].fake_join_to_next);
+  EXPECT_FALSE(chain->links[1].fake_join_to_next);
+}
+
+TEST(SplitJoinTest, VirtualLinkGetsJoinPath) {
+  auto join = ChainABCD();
+  // Template pairs (a,c) and (a,d) are not co-located anywhere.
+  auto chain = SplitJoinToChain(join, {"b", "a", "c", "d"});
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->links.size(), 3u);
+  EXPECT_FALSE(chain->links[0].is_virtual());  // (b,a) in r1
+  EXPECT_TRUE(chain->links[1].is_virtual());   // (a,c): r1 -> r2
+  ASSERT_GE(chain->links[1].path.size(), 2u);
+  EXPECT_EQ(chain->links[1].path.front(), 0);
+  EXPECT_EQ(chain->links[1].path.back(), 1);
+  EXPECT_FALSE(chain->links[2].is_virtual());  // (c,d) in r3
+}
+
+TEST(SplitJoinTest, SmallestSourcePreferred) {
+  // Both relations contain (a,b); the smaller one supplies the stats.
+  auto big = MakeRelation("big", {"a", "b"},
+                          {{1, 1}, {2, 2}, {3, 3}, {4, 4}})
+                 .value();
+  auto small = MakeRelation("small", {"a", "b", "c"}, {{1, 1, 1}}).value();
+  auto join = JoinSpec::Create("j", {big, small}).value();
+  auto chain = SplitJoinToChain(join, {"a", "b", "c"});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->links[0].source_relation, 1);  // "small"
+}
+
+TEST(SplitJoinTest, TemplateValidation) {
+  auto join = ChainABCD();
+  EXPECT_FALSE(SplitJoinToChain(join, {"a", "b", "c"}).ok());  // missing d
+  EXPECT_FALSE(
+      SplitJoinToChain(join, {"a", "b", "c", "c"}).ok());  // duplicate
+  EXPECT_FALSE(
+      SplitJoinToChain(join, {"a", "b", "c", "zz"}).ok());  // unknown
+}
+
+TEST(SplitJoinTest, UnionWideTemplateAcrossDifferentShapes) {
+  // Two joins with the same output schema but different structures must
+  // split against one shared template.
+  auto j1 = ChainABCD();
+  auto j2 =
+      JoinSpec::Create("wide", {Rel("w", {"a", "b", "c", "d"})}).value();
+  auto tmpl = TemplateSelector::SelectTemplate({j1, j2});
+  ASSERT_TRUE(tmpl.ok());
+  auto c1 = SplitJoinToChain(j1, *tmpl);
+  auto c2 = SplitJoinToChain(j2, *tmpl);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_EQ(c1->links.size(), c2->links.size());
+  // The single-relation join sources every link from relation 0, so all
+  // its inter-link joins are fake.
+  for (size_t i = 0; i + 1 < c2->links.size(); ++i) {
+    EXPECT_TRUE(c2->links[i].fake_join_to_next);
+  }
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,94 @@
+// Shared helpers for the suj test suite: a brute-force natural-join
+// reference implementation, chi-square uniformity checks, and sampling
+// histograms.
+
+#ifndef SUJ_TESTS_TEST_UTIL_H_
+#define SUJ_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "join/join_spec.h"
+#include "storage/relation.h"
+
+namespace suj {
+namespace testing {
+
+/// Brute-force natural join: enumerates the cartesian product of all base
+/// relations, keeps combinations where every shared attribute agrees, and
+/// projects onto the join's output schema. Exponential -- test-size only.
+inline std::multiset<std::string> BruteForceJoin(const JoinSpecPtr& join) {
+  std::multiset<std::string> result;
+  const auto& rels = join->relations();
+  const Schema& out = join->output_schema();
+  std::vector<size_t> idx(rels.size(), 0);
+  for (;;) {
+    // Check shared-attribute consistency of the current combination.
+    std::map<std::string, Value> assignment;
+    bool ok = true;
+    for (size_t r = 0; r < rels.size() && ok; ++r) {
+      const Schema& s = rels[r]->schema();
+      for (size_t c = 0; c < s.num_fields() && ok; ++c) {
+        Value v = rels[r]->GetValue(idx[r], c);
+        auto [it, inserted] = assignment.emplace(s.field(c).name, v);
+        if (!inserted && !(it->second == v)) ok = false;
+      }
+    }
+    if (ok) {
+      std::vector<Value> values;
+      for (const auto& f : out.fields()) values.push_back(assignment[f.name]);
+      Tuple t(std::move(values));
+      if (join->SatisfiesPredicates(t)) result.insert(t.Encode());
+    }
+    // Advance the odometer.
+    size_t r = 0;
+    for (; r < rels.size(); ++r) {
+      if (rels[r]->num_rows() == 0) return {};
+      if (++idx[r] < rels[r]->num_rows()) break;
+      idx[r] = 0;
+    }
+    if (r == rels.size()) break;
+  }
+  return result;
+}
+
+/// Chi-square statistic of observed counts against a uniform expectation.
+inline double ChiSquareUniform(const std::map<std::string, size_t>& counts,
+                               size_t universe_size, size_t num_samples) {
+  double expected =
+      static_cast<double>(num_samples) / static_cast<double>(universe_size);
+  double chi2 = 0.0;
+  size_t seen = 0;
+  for (const auto& [key, c] : counts) {
+    double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+    ++seen;
+  }
+  // Tuples never sampled contribute (0 - expected)^2 / expected each.
+  chi2 += static_cast<double>(universe_size - seen) * expected;
+  return chi2;
+}
+
+/// A generous acceptance threshold for a chi-square with df degrees of
+/// freedom: mean + 6 sigma. With fixed seeds this keeps the suite
+/// deterministic while still catching any real bias.
+inline double ChiSquareThreshold(size_t df) {
+  return static_cast<double>(df) +
+         6.0 * std::sqrt(2.0 * static_cast<double>(df));
+}
+
+/// Counts samples by encoded value.
+inline std::map<std::string, size_t> CountByValue(
+    const std::vector<Tuple>& samples) {
+  std::map<std::string, size_t> counts;
+  for (const auto& t : samples) ++counts[t.Encode()];
+  return counts;
+}
+
+}  // namespace testing
+}  // namespace suj
+
+#endif  // SUJ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,308 @@
+// Tests for tpch/: generator row counts, determinism, referential
+// integrity, and overlap-variant construction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tpch/generator.h"
+#include "tpch/overlap_generator.h"
+#include "tpch/text_pool.h"
+
+namespace suj {
+namespace tpch {
+namespace {
+
+TEST(TextPoolTest, FixedNamesAndMapping) {
+  EXPECT_STREQ(RegionName(0), "AFRICA");
+  EXPECT_STREQ(RegionName(4), "MIDDLE EAST");
+  EXPECT_STREQ(NationName(0), "ALGERIA");
+  EXPECT_STREQ(NationName(24), "UNITED STATES");
+  EXPECT_EQ(NationRegion(0), 0);   // ALGERIA -> AFRICA
+  EXPECT_EQ(NationRegion(6), 3);   // FRANCE -> EUROPE
+  EXPECT_EQ(NationRegion(24), 1);  // UNITED STATES -> AMERICA
+}
+
+TEST(TextPoolTest, PhraseAndEntityNames) {
+  Rng rng(1);
+  std::string phrase = RandomPhrase(rng, 3);
+  EXPECT_EQ(std::count(phrase.begin(), phrase.end(), ' '), 2);
+  EXPECT_EQ(EntityName("Supplier", 7), "Supplier#7");
+}
+
+TEST(TpchGeneratorTest, RowCountsScale) {
+  TpchConfig config;
+  config.scale_factor = 2.0;
+  TpchGenerator gen(config);
+  auto catalog = gen.Generate();
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->Get("region").value()->num_rows(), 5u);
+  EXPECT_EQ(catalog->Get("nation").value()->num_rows(), 25u);
+  EXPECT_EQ(catalog->Get("supplier").value()->num_rows(), 20u);
+  EXPECT_EQ(catalog->Get("customer").value()->num_rows(), 300u);
+  EXPECT_EQ(catalog->Get("orders").value()->num_rows(), 3000u);
+  EXPECT_EQ(catalog->Get("part").value()->num_rows(), 400u);
+  // lineitem: 1..7 lines per order, expectation 4.
+  size_t li = catalog->Get("lineitem").value()->num_rows();
+  EXPECT_GT(li, 3000u * 2);
+  EXPECT_LT(li, 3000u * 7);
+  // partsupp: 4 per part (enough suppliers exist).
+  EXPECT_EQ(catalog->Get("partsupp").value()->num_rows(), 1600u);
+}
+
+TEST(TpchGeneratorTest, MinimumCountsAtTinyScale) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  auto catalog = TpchGenerator(config).Generate();
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_GE(catalog->Get("supplier").value()->num_rows(), 2u);
+  EXPECT_GE(catalog->Get("customer").value()->num_rows(), 3u);
+  EXPECT_GE(catalog->Get("orders").value()->num_rows(), 5u);
+}
+
+TEST(TpchGeneratorTest, DeterministicAcrossRuns) {
+  TpchConfig config;
+  config.scale_factor = 0.5;
+  auto c1 = TpchGenerator(config).Generate();
+  auto c2 = TpchGenerator(config).Generate();
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  for (const char* table : {"supplier", "customer", "orders", "lineitem"}) {
+    RelationPtr r1 = c1->Get(table).value();
+    RelationPtr r2 = c2->Get(table).value();
+    ASSERT_EQ(r1->num_rows(), r2->num_rows()) << table;
+    for (size_t row = 0; row < r1->num_rows(); ++row) {
+      ASSERT_EQ(r1->GetTuple(row).Encode(), r2->GetTuple(row).Encode())
+          << table << " row " << row;
+    }
+  }
+}
+
+TEST(TpchGeneratorTest, SeedChangesData) {
+  TpchConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  auto ca = TpchGenerator(a).Generate();
+  auto cb = TpchGenerator(b).Generate();
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  RelationPtr sa = ca->Get("supplier").value();
+  RelationPtr sb = cb->Get("supplier").value();
+  bool any_diff = false;
+  for (size_t row = 0; row < sa->num_rows(); ++row) {
+    if (sa->GetTuple(row).Encode() != sb->GetTuple(row).Encode()) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TpchGeneratorTest, ReferentialIntegrity) {
+  TpchConfig config;
+  config.scale_factor = 0.2;
+  auto catalog = TpchGenerator(config).Generate();
+  ASSERT_TRUE(catalog.ok());
+
+  auto key_set = [&](const char* table, const char* attr) {
+    RelationPtr rel = catalog->Get(table).value();
+    int col = rel->schema().FieldIndex(attr);
+    std::unordered_set<int64_t> keys;
+    for (size_t row = 0; row < rel->num_rows(); ++row) {
+      keys.insert(rel->GetInt64(row, col));
+    }
+    return keys;
+  };
+
+  auto custkeys = key_set("customer", "custkey");
+  auto orderkeys = key_set("orders", "orderkey");
+  auto suppkeys = key_set("supplier", "suppkey");
+  auto partkeys = key_set("part", "partkey");
+
+  RelationPtr orders = catalog->Get("orders").value();
+  int ck = orders->schema().FieldIndex("custkey");
+  for (size_t row = 0; row < orders->num_rows(); ++row) {
+    ASSERT_TRUE(custkeys.count(orders->GetInt64(row, ck)));
+  }
+  RelationPtr lineitem = catalog->Get("lineitem").value();
+  int ok = lineitem->schema().FieldIndex("orderkey");
+  for (size_t row = 0; row < lineitem->num_rows(); ++row) {
+    ASSERT_TRUE(orderkeys.count(lineitem->GetInt64(row, ok)));
+  }
+  RelationPtr partsupp = catalog->Get("partsupp").value();
+  int pk = partsupp->schema().FieldIndex("partkey");
+  int sk = partsupp->schema().FieldIndex("suppkey");
+  for (size_t row = 0; row < partsupp->num_rows(); ++row) {
+    ASSERT_TRUE(partkeys.count(partsupp->GetInt64(row, pk)));
+    ASSERT_TRUE(suppkeys.count(partsupp->GetInt64(row, sk)));
+  }
+  // Nation keys of customers/suppliers lie in [0, 25).
+  RelationPtr supplier = catalog->Get("supplier").value();
+  int nk = supplier->schema().FieldIndex("nationkey");
+  for (size_t row = 0; row < supplier->num_rows(); ++row) {
+    int64_t n = supplier->GetInt64(row, nk);
+    ASSERT_GE(n, 0);
+    ASSERT_LT(n, 25);
+  }
+}
+
+TEST(TpchGeneratorTest, PrimaryKeysUnique) {
+  TpchConfig config;
+  config.scale_factor = 0.3;
+  auto catalog = TpchGenerator(config).Generate();
+  ASSERT_TRUE(catalog.ok());
+  for (const char* spec : {"supplier/suppkey", "customer/custkey",
+                           "orders/orderkey", "part/partkey"}) {
+    std::string s(spec);
+    auto slash = s.find('/');
+    RelationPtr rel = catalog->Get(s.substr(0, slash)).value();
+    int col = rel->schema().FieldIndex(s.substr(slash + 1));
+    std::unordered_set<int64_t> keys;
+    for (size_t row = 0; row < rel->num_rows(); ++row) {
+      ASSERT_TRUE(keys.insert(rel->GetInt64(row, col)).second)
+          << "duplicate key in " << spec;
+    }
+  }
+}
+
+TEST(TpchGeneratorTest, LineitemCompositeKeyUnique) {
+  TpchConfig config;
+  config.scale_factor = 0.3;
+  auto catalog = TpchGenerator(config).Generate();
+  ASSERT_TRUE(catalog.ok());
+  RelationPtr li = catalog->Get("lineitem").value();
+  int ok = li->schema().FieldIndex("orderkey");
+  int ln = li->schema().FieldIndex("l_linenumber");
+  std::set<std::pair<int64_t, int64_t>> keys;
+  for (size_t row = 0; row < li->num_rows(); ++row) {
+    ASSERT_TRUE(
+        keys.emplace(li->GetInt64(row, ok), li->GetInt64(row, ln)).second)
+        << "duplicate (orderkey, linenumber)";
+  }
+}
+
+TEST(TpchGeneratorTest, PartsuppCompositeKeyUnique) {
+  TpchConfig config;
+  config.scale_factor = 0.5;
+  auto catalog = TpchGenerator(config).Generate();
+  ASSERT_TRUE(catalog.ok());
+  RelationPtr ps = catalog->Get("partsupp").value();
+  int pk = ps->schema().FieldIndex("partkey");
+  int sk = ps->schema().FieldIndex("suppkey");
+  std::set<std::pair<int64_t, int64_t>> keys;
+  for (size_t row = 0; row < ps->num_rows(); ++row) {
+    ASSERT_TRUE(
+        keys.emplace(ps->GetInt64(row, pk), ps->GetInt64(row, sk)).second)
+        << "duplicate (partkey, suppkey)";
+  }
+}
+
+TEST(TpchGeneratorTest, OrderSkewConcentratesCustomers) {
+  TpchConfig uniform, skewed;
+  uniform.scale_factor = skewed.scale_factor = 1.0;
+  skewed.customer_order_skew = 2.0;
+  auto cu = TpchGenerator(uniform).Generate();
+  auto cs = TpchGenerator(skewed).Generate();
+  ASSERT_TRUE(cu.ok() && cs.ok());
+  auto max_orders_per_customer = [](const Catalog& catalog) {
+    RelationPtr orders = catalog.Get("orders").value();
+    int ck = orders->schema().FieldIndex("custkey");
+    std::unordered_map<int64_t, size_t> counts;
+    size_t max_count = 0;
+    for (size_t row = 0; row < orders->num_rows(); ++row) {
+      size_t c = ++counts[orders->GetInt64(row, ck)];
+      max_count = std::max(max_count, c);
+    }
+    return max_count;
+  };
+  EXPECT_GT(max_orders_per_customer(*cs), 2 * max_orders_per_customer(*cu));
+}
+
+TEST(OverlapGeneratorTest, SharedSliceIdenticalAcrossVariants) {
+  OverlapConfig config;
+  config.per_variant.scale_factor = 0.5;
+  config.num_variants = 3;
+  config.overlap_scale = 0.4;
+  auto variants = OverlapVariantGenerator(config).Generate();
+  ASSERT_TRUE(variants.ok());
+  ASSERT_EQ(variants->size(), 3u);
+
+  size_t shared_suppliers = static_cast<size_t>(
+      0.4 * static_cast<double>(config.per_variant.NumSuppliers()) + 0.5);
+  for (int v = 1; v < 3; ++v) {
+    for (size_t row = 0; row < shared_suppliers; ++row) {
+      ASSERT_EQ((*variants)[0].supplier->GetTuple(row).Encode(),
+                (*variants)[v].supplier->GetTuple(row).Encode());
+    }
+  }
+  // Region and nation are the same relations in every variant.
+  EXPECT_EQ((*variants)[0].nation.get(), (*variants)[1].nation.get());
+}
+
+TEST(OverlapGeneratorTest, PrivateSlicesDisjointAcrossVariants) {
+  OverlapConfig config;
+  config.per_variant.scale_factor = 0.5;
+  config.num_variants = 2;
+  config.overlap_scale = 0.3;
+  auto variants = OverlapVariantGenerator(config).Generate();
+  ASSERT_TRUE(variants.ok());
+  auto custkeys = [](const RelationPtr& rel) {
+    std::set<int64_t> keys;
+    int col = rel->schema().FieldIndex("custkey");
+    for (size_t row = 0; row < rel->num_rows(); ++row) {
+      keys.insert(rel->GetInt64(row, col));
+    }
+    return keys;
+  };
+  auto k0 = custkeys((*variants)[0].customer);
+  auto k1 = custkeys((*variants)[1].customer);
+  std::vector<int64_t> common;
+  std::set_intersection(k0.begin(), k0.end(), k1.begin(), k1.end(),
+                        std::back_inserter(common));
+  // The intersection is exactly the shared key range [0, shared).
+  size_t shared = static_cast<size_t>(
+      0.3 * static_cast<double>(config.per_variant.NumCustomers()) + 0.5);
+  EXPECT_EQ(common.size(), shared);
+  for (int64_t k : common) EXPECT_LT(k, static_cast<int64_t>(shared));
+}
+
+TEST(OverlapGeneratorTest, ZeroOverlapScale) {
+  OverlapConfig config;
+  config.per_variant.scale_factor = 0.2;
+  config.num_variants = 2;
+  config.overlap_scale = 0.0;
+  auto variants = OverlapVariantGenerator(config).Generate();
+  ASSERT_TRUE(variants.ok());
+  EXPECT_EQ((*variants)[0].customer->num_rows(),
+            config.per_variant.NumCustomers());
+}
+
+TEST(OverlapGeneratorTest, FullOverlapScaleMakesIdenticalVariants) {
+  OverlapConfig config;
+  config.per_variant.scale_factor = 0.2;
+  config.num_variants = 2;
+  config.overlap_scale = 1.0;
+  auto variants = OverlapVariantGenerator(config).Generate();
+  ASSERT_TRUE(variants.ok());
+  const auto& a = (*variants)[0];
+  const auto& b = (*variants)[1];
+  ASSERT_EQ(a.lineitem->num_rows(), b.lineitem->num_rows());
+  for (size_t row = 0; row < a.lineitem->num_rows(); ++row) {
+    ASSERT_EQ(a.lineitem->GetTuple(row).Encode(),
+              b.lineitem->GetTuple(row).Encode());
+  }
+}
+
+TEST(OverlapGeneratorTest, InvalidConfigRejected) {
+  OverlapConfig config;
+  config.num_variants = 0;
+  EXPECT_FALSE(OverlapVariantGenerator(config).Generate().ok());
+  config.num_variants = 2;
+  config.overlap_scale = 1.5;
+  EXPECT_FALSE(OverlapVariantGenerator(config).Generate().ok());
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace suj

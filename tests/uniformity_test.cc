@@ -1,0 +1,109 @@
+// Tests for stats/uniformity: the public chi-square diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/uniformity.h"
+
+namespace suj {
+namespace {
+
+Tuple T(int64_t v) { return Tuple({Value::Int64(v)}); }
+
+std::vector<Tuple> UniformSamples(size_t universe, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(T(static_cast<int64_t>(rng.UniformInt(universe))));
+  }
+  return out;
+}
+
+TEST(UniformityTest, AcceptsGenuinelyUniformSamples) {
+  auto samples = UniformSamples(50, 20000, 1);
+  auto result = ChiSquareUniformityTest(samples, 50);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ConsistentWithUniform());
+  EXPECT_EQ(result->degrees_of_freedom, 49u);
+  EXPECT_EQ(result->num_samples, 20000u);
+  EXPECT_GT(result->p_value, 0.001);
+}
+
+TEST(UniformityTest, RejectsSkewedSamples) {
+  // Value 0 drawn 3x as often as the others.
+  Rng rng(2);
+  std::vector<Tuple> samples;
+  for (size_t i = 0; i < 20000; ++i) {
+    uint64_t v = rng.UniformInt(52);
+    samples.push_back(T(static_cast<int64_t>(v >= 50 ? 0 : v)));
+  }
+  auto result = ChiSquareUniformityTest(samples, 50);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ConsistentWithUniform());
+}
+
+TEST(UniformityTest, RejectsMissingMass) {
+  // Samples cover only half the claimed universe.
+  auto samples = UniformSamples(25, 10000, 3);
+  auto result = ChiSquareUniformityTest(samples, 50);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ConsistentWithUniform());
+}
+
+TEST(UniformityTest, InputValidation) {
+  auto samples = UniformSamples(10, 100, 4);
+  EXPECT_FALSE(ChiSquareUniformityTest(samples, 1).ok());
+  EXPECT_FALSE(ChiSquareUniformityTest({}, 10).ok());
+  // More distinct values than the universe claims.
+  EXPECT_FALSE(ChiSquareUniformityTest(samples, 2).ok());
+}
+
+TEST(UniformityTest, ExplicitProportions) {
+  // 2:1 distribution tested against matching expectations.
+  Rng rng(5);
+  std::vector<Tuple> samples;
+  for (size_t i = 0; i < 15000; ++i) {
+    samples.push_back(T(rng.UniformInt(3) < 2 ? 1 : 2));
+  }
+  std::unordered_map<std::string, double> expected = {
+      {T(1).Encode(), 2.0 / 3.0}, {T(2).Encode(), 1.0 / 3.0}};
+  auto good = ChiSquareTest(samples, expected);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->ConsistentWithUniform());
+
+  std::unordered_map<std::string, double> wrong = {
+      {T(1).Encode(), 0.5}, {T(2).Encode(), 0.5}};
+  auto bad = ChiSquareTest(samples, wrong);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->ConsistentWithUniform());
+}
+
+TEST(UniformityTest, UnexpectedValueFailsImmediately) {
+  std::vector<Tuple> samples = {T(1), T(2), T(99)};
+  std::unordered_map<std::string, double> expected = {
+      {T(1).Encode(), 0.5}, {T(2).Encode(), 0.5}};
+  auto result = ChiSquareTest(samples, expected);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->p_value, 0.0);
+}
+
+TEST(UniformityTest, SurvivalFunctionSanity) {
+  // Chi-square with df degrees of freedom has mean df: survival at the
+  // mean should be mid-range, far tails near 0/1.
+  EXPECT_GT(ChiSquareSurvival(50.0, 50), 0.3);
+  EXPECT_LT(ChiSquareSurvival(50.0, 50), 0.7);
+  EXPECT_LT(ChiSquareSurvival(200.0, 50), 1e-6);
+  EXPECT_GT(ChiSquareSurvival(10.0, 50), 0.999);
+}
+
+TEST(UniformityTest, CountSamples) {
+  std::vector<Tuple> samples = {T(1), T(1), T(2)};
+  auto counts = CountSamples(samples);
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[T(1).Encode()], 2u);
+  EXPECT_EQ(counts[T(2).Encode()], 1u);
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,264 @@
+// End-to-end integration tests that cross module boundaries in ways the
+// per-module suites do not: unions of CYCLIC joins (the paper's framework
+// claims generality beyond its chain/acyclic evaluation), unions of mixed
+// join shapes, histogram-parameterized sampling robustness, and the public
+// uniformity diagnostics applied to sampler output.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/exact_overlap.h"
+#include "core/histogram_overlap.h"
+#include "core/union_sampler.h"
+#include "join/exact_weight.h"
+#include "join/olken_sampler.h"
+#include "stats/uniformity.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeRelation;
+using workloads::MakeStarJoin;
+using workloads::MakeTriangleJoin;
+
+// Two overlapping triangle (cyclic) joins built from subsets of shared
+// master relations.
+std::vector<JoinSpecPtr> OverlappingTriangles(uint64_t seed) {
+  Rng rng(seed);
+  const int64_t domain = 7;
+  auto random_rows = [&](double keep) {
+    std::vector<std::vector<int64_t>> all;
+    for (int64_t a = 0; a < domain; ++a) {
+      for (int64_t b = 0; b < domain; ++b) {
+        all.push_back({a, b});
+      }
+    }
+    std::vector<std::vector<int64_t>> out;
+    for (auto& row : all) {
+      if (rng.Bernoulli(keep)) out.push_back(row);
+    }
+    return out;
+  };
+  // Masters.
+  auto m_r = random_rows(0.6);
+  auto m_s = random_rows(0.6);
+  auto m_t = random_rows(0.6);
+  auto subset = [&](const std::vector<std::vector<int64_t>>& master) {
+    std::vector<std::vector<int64_t>> out;
+    for (const auto& row : master) {
+      if (rng.Bernoulli(0.8)) out.push_back(row);
+    }
+    return out;
+  };
+  std::vector<JoinSpecPtr> joins;
+  for (int j = 0; j < 2; ++j) {
+    auto r = MakeRelation("J" + std::to_string(j) + "_R", {"A", "B"},
+                          subset(m_r))
+                 .value();
+    auto s = MakeRelation("J" + std::to_string(j) + "_S", {"B", "C"},
+                          subset(m_s))
+                 .value();
+    auto t = MakeRelation("J" + std::to_string(j) + "_T", {"C", "A"},
+                          subset(m_t))
+                 .value();
+    joins.push_back(
+        JoinSpec::Create("tri" + std::to_string(j), {r, s, t}).value());
+  }
+  return joins;
+}
+
+TEST(CyclicUnionTest, UniformOverUnionOfTriangles) {
+  auto joins = OverlappingTriangles(7);
+  ASSERT_EQ(joins[0]->type(), JoinType::kCyclic);
+  auto exact = ExactOverlapCalculator::Create(joins).value();
+  ASSERT_GT(exact->UnionSize(), 10u);
+  ASSERT_GT(exact->EstimateOverlap(0b11).value(), 0.0)
+      << "triangles must overlap for this test to be interesting";
+
+  auto estimates = ComputeUnionEstimates(exact.get()).value();
+  CompositeIndexCache cache;
+  std::vector<std::unique_ptr<JoinSampler>> samplers;
+  for (const auto& join : joins) {
+    samplers.push_back(ExactWeightSampler::Create(join, &cache).value());
+  }
+  auto probers = BuildProbers(joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(joins, std::move(samplers), estimates,
+                                      probers, opts)
+                     .value();
+  Rng rng(71);
+  size_t n = 60 * exact->UnionSize();
+  auto samples = sampler->Sample(n, rng).value();
+
+  auto verdict = ChiSquareUniformityTest(samples, exact->UnionSize());
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->ConsistentWithUniform(1e-6))
+      << "chi2=" << verdict->statistic << " p=" << verdict->p_value;
+}
+
+TEST(CyclicUnionTest, OlkenSamplersAlsoUniform) {
+  auto joins = OverlappingTriangles(8);
+  auto exact = ExactOverlapCalculator::Create(joins).value();
+  auto estimates = ComputeUnionEstimates(exact.get()).value();
+  CompositeIndexCache cache;
+  std::vector<std::unique_ptr<JoinSampler>> samplers;
+  for (const auto& join : joins) {
+    samplers.push_back(OlkenJoinSampler::Create(join, &cache).value());
+  }
+  auto probers = BuildProbers(joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(joins, std::move(samplers), estimates,
+                                      probers, opts)
+                     .value();
+  Rng rng(72);
+  size_t n = 50 * exact->UnionSize();
+  auto samples = sampler->Sample(n, rng).value();
+  auto verdict = ChiSquareUniformityTest(samples, exact->UnionSize());
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->ConsistentWithUniform(1e-6));
+}
+
+TEST(MixedShapeUnionTest, ChainStarAndTriangleInOneUnion) {
+  // Same output schema is required; build three joins over attributes
+  // {A,B,C} with different shapes: a 2-relation chain, a 3-relation
+  // triangle, and a single wide relation (trivial chain).
+  Rng rng(9);
+  auto rows2 = [&](size_t n, int64_t domain) {
+    std::vector<std::vector<int64_t>> out;
+    std::unordered_set<int64_t> seen;
+    while (out.size() < n && seen.size() < static_cast<size_t>(domain * domain)) {
+      int64_t a = static_cast<int64_t>(rng.UniformInt(domain));
+      int64_t b = static_cast<int64_t>(rng.UniformInt(domain));
+      if (seen.insert(a * 100 + b).second) out.push_back({a, b});
+    }
+    return out;
+  };
+  auto rows3 = [&](size_t n, int64_t domain) {
+    std::vector<std::vector<int64_t>> out;
+    std::unordered_set<int64_t> seen;
+    while (out.size() < n &&
+           seen.size() < static_cast<size_t>(domain * domain * domain)) {
+      int64_t a = static_cast<int64_t>(rng.UniformInt(domain));
+      int64_t b = static_cast<int64_t>(rng.UniformInt(domain));
+      int64_t c = static_cast<int64_t>(rng.UniformInt(domain));
+      if (seen.insert(a * 10000 + b * 100 + c).second) {
+        out.push_back({a, b, c});
+      }
+    }
+    return out;
+  };
+
+  auto chain = JoinSpec::Create(
+                   "chain", {MakeRelation("c_ab", {"A", "B"},
+                                          rows2(20, 5))
+                                 .value(),
+                             MakeRelation("c_bc", {"B", "C"}, rows2(20, 5))
+                                 .value()})
+                   .value();
+  auto tri = JoinSpec::Create(
+                 "tri", {MakeRelation("t_ab", {"A", "B"}, rows2(20, 5))
+                             .value(),
+                         MakeRelation("t_bc", {"B", "C"}, rows2(20, 5))
+                             .value(),
+                         MakeRelation("t_ca", {"C", "A"}, rows2(20, 5))
+                             .value()})
+                 .value();
+  auto wide =
+      JoinSpec::Create("wide", {MakeRelation("w", {"A", "B", "C"},
+                                             rows3(30, 5))
+                                    .value()})
+          .value();
+  std::vector<JoinSpecPtr> joins = {chain, tri, wide};
+  ASSERT_TRUE(ValidateUnionCompatible(joins).ok());
+  ASSERT_EQ(chain->type(), JoinType::kChain);
+  ASSERT_EQ(tri->type(), JoinType::kCyclic);
+
+  auto exact = ExactOverlapCalculator::Create(joins).value();
+  ASSERT_GT(exact->UnionSize(), 10u);
+  auto estimates = ComputeUnionEstimates(exact.get()).value();
+  CompositeIndexCache cache;
+  std::vector<std::unique_ptr<JoinSampler>> samplers;
+  for (const auto& join : joins) {
+    samplers.push_back(ExactWeightSampler::Create(join, &cache).value());
+  }
+  auto probers = BuildProbers(joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(joins, std::move(samplers), estimates,
+                                      probers, opts)
+                     .value();
+  Rng rng2(91);
+  size_t n = 60 * exact->UnionSize();
+  auto samples = sampler->Sample(n, rng2).value();
+  auto verdict = ChiSquareUniformityTest(samples, exact->UnionSize());
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->ConsistentWithUniform(1e-6));
+}
+
+TEST(HistogramParameterizedSamplingTest, RunsAndStaysInsideUnion) {
+  // Histogram bounds are loose; the sampler must neither hang nor emit
+  // tuples outside the union. (Uniformity under bounds is approximate;
+  // that trade-off is measured in the benches, not asserted here.)
+  workloads::SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 25;
+  options.seed = 77;
+  auto joins = workloads::MakeOverlappingChains(options).value();
+  auto exact = ExactOverlapCalculator::Create(joins).value();
+  HistogramCatalog histograms;
+  auto hist = HistogramOverlapEstimator::Create(joins, &histograms).value();
+  auto estimates = ComputeUnionEstimates(hist.get()).value();
+
+  CompositeIndexCache cache;
+  std::vector<std::unique_ptr<JoinSampler>> samplers;
+  for (const auto& join : joins) {
+    samplers.push_back(OlkenJoinSampler::Create(join, &cache).value());
+  }
+  auto probers = BuildProbers(joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  opts.max_draws_per_round = 20000;
+  auto sampler = UnionSampler::Create(joins, std::move(samplers), estimates,
+                                      probers, opts)
+                     .value();
+  Rng rng(78);
+  auto samples = sampler->Sample(1500, rng);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  for (const auto& t : *samples) {
+    ASSERT_TRUE(exact->membership().count(t.Encode()));
+  }
+}
+
+TEST(StarUnionTest, AcyclicUnionUniform) {
+  // Two star joins sharing one leaf relation's data region.
+  std::vector<JoinSpecPtr> joins = {MakeStarJoin(14, 61, "sA").value(),
+                                    MakeStarJoin(14, 61, "sB").value()};
+  // Identical seeds -> identical joins (full overlap); still valid.
+  auto exact = ExactOverlapCalculator::Create(joins).value();
+  if (exact->UnionSize() < 5) GTEST_SKIP() << "degenerate star data";
+  auto estimates = ComputeUnionEstimates(exact.get()).value();
+  CompositeIndexCache cache;
+  std::vector<std::unique_ptr<JoinSampler>> samplers;
+  for (const auto& join : joins) {
+    samplers.push_back(ExactWeightSampler::Create(join, &cache).value());
+  }
+  auto probers = BuildProbers(joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(joins, std::move(samplers), estimates,
+                                      probers, opts)
+                     .value();
+  Rng rng(62);
+  size_t n = 40 * exact->UnionSize();
+  auto samples = sampler->Sample(n, rng).value();
+  auto verdict = ChiSquareUniformityTest(samples, exact->UnionSize());
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->ConsistentWithUniform(1e-6));
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,434 @@
+// Tests for core/union_sampler: uniformity of Algorithm 1 (both modes),
+// the Bernoulli baseline, disjoint-union sampling, and the broken naive
+// baseline's bias.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/exact_overlap.h"
+#include "core/union_sampler.h"
+#include "join/exact_weight.h"
+#include "join/olken_sampler.h"
+#include "test_util.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+enum class JoinSamplerKind { kExactWeight, kOlken };
+
+std::vector<std::unique_ptr<JoinSampler>> MakeJoinSamplers(
+    const std::vector<JoinSpecPtr>& joins, CompositeIndexCache* cache,
+    JoinSamplerKind kind) {
+  std::vector<std::unique_ptr<JoinSampler>> out;
+  for (const auto& join : joins) {
+    if (kind == JoinSamplerKind::kExactWeight) {
+      out.push_back(ExactWeightSampler::Create(join, cache).value());
+    } else {
+      out.push_back(OlkenJoinSampler::Create(join, cache).value());
+    }
+  }
+  return out;
+}
+
+struct Fixture {
+  std::vector<JoinSpecPtr> joins;
+  std::unique_ptr<ExactOverlapCalculator> exact;
+  UnionEstimates estimates;
+};
+
+Fixture MakeSetup(const SyntheticChainOptions& options) {
+  Fixture s;
+  s.joins = MakeOverlappingChains(options).value();
+  s.exact = ExactOverlapCalculator::Create(s.joins).value();
+  s.estimates = ComputeUnionEstimates(s.exact.get()).value();
+  return s;
+}
+
+// Chi-square uniformity over the exact union universe.
+void ExpectUniformOverUnion(const std::vector<Tuple>& samples,
+                            const ExactOverlapCalculator& exact,
+                            double slack = 1.0) {
+  auto counts = testing::CountByValue(samples);
+  for (const auto& [key, c] : counts) {
+    ASSERT_TRUE(exact.membership().count(key))
+        << "sampled tuple outside the union";
+  }
+  double chi2 = testing::ChiSquareUniform(counts, exact.UnionSize(),
+                                          samples.size());
+  EXPECT_LT(chi2, slack * testing::ChiSquareThreshold(exact.UnionSize() - 1));
+}
+
+TEST(UnionSamplerTest, OracleModeUniformWithExactParameters) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 22;
+  options.seed = 100;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  auto probers = BuildProbers(s.joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(
+      s.joins,
+      MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+      s.estimates, probers, opts);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(101);
+  size_t n = 40 * s.exact->UnionSize();
+  auto samples = (*sampler)->Sample(n, rng);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  ExpectUniformOverUnion(*samples, *s.exact);
+  EXPECT_EQ((*sampler)->stats().accepted, n);
+}
+
+TEST(UnionSamplerTest, OracleModeUniformWithOlkenSamplers) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 20;
+  options.seed = 102;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  auto probers = BuildProbers(s.joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(
+      s.joins, MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kOlken),
+      s.estimates, probers, opts);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(103);
+  size_t n = 40 * s.exact->UnionSize();
+  auto samples = (*sampler)->Sample(n, rng);
+  ASSERT_TRUE(samples.ok());
+  ExpectUniformOverUnion(*samples, *s.exact);
+}
+
+TEST(UnionSamplerTest, RevisionModeApproachesUniformity) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 20;
+  options.seed = 104;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kRevision;
+  auto sampler = UnionSampler::Create(
+      s.joins,
+      MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+      s.estimates, {}, opts);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(105);
+  size_t n = 60 * s.exact->UnionSize();
+  auto samples = (*sampler)->Sample(n, rng);
+  ASSERT_TRUE(samples.ok());
+  // The revision protocol learns the cover online; until every overlap
+  // value has been claimed by its first join the distribution is slightly
+  // off, so allow a wider chi-square band (3x) than the exact modes.
+  ExpectUniformOverUnion(*samples, *s.exact, 3.0);
+  // Revisions must actually have occurred on an overlapping workload.
+  EXPECT_GT((*sampler)->stats().revisions, 0u);
+}
+
+TEST(UnionSamplerTest, BernoulliUnionTrickUniform) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 20;
+  options.seed = 106;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  auto probers = BuildProbers(s.joins).value();
+  auto sampler = BernoulliUnionSampler::Create(
+      s.joins,
+      MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+      s.estimates, probers);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(107);
+  size_t n = 40 * s.exact->UnionSize();
+  auto samples = (*sampler)->Sample(n, rng);
+  ASSERT_TRUE(samples.ok());
+  ExpectUniformOverUnion(*samples, *s.exact);
+  // The union trick re-samples overlap tuples from later joins and rejects
+  // them, so rejections are expected on overlapping joins.
+  EXPECT_GT((*sampler)->stats().rejected_cover, 0u);
+}
+
+TEST(UnionSamplerTest, IdenticalJoinsStillUniform) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 18;
+  options.mode = workloads::OverlapMode::kIdentical;
+  options.seed = 108;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  auto probers = BuildProbers(s.joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(
+      s.joins,
+      MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+      s.estimates, probers, opts);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(109);
+  size_t n = 40 * s.exact->UnionSize();
+  auto samples = (*sampler)->Sample(n, rng);
+  ASSERT_TRUE(samples.ok());
+  ExpectUniformOverUnion(*samples, *s.exact);
+}
+
+TEST(UnionSamplerTest, DisjointJoinsNeverReject) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 18;
+  options.mode = workloads::OverlapMode::kDisjoint;
+  options.seed = 110;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  auto probers = BuildProbers(s.joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(
+      s.joins,
+      MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+      s.estimates, probers, opts);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(111);
+  size_t n = 30 * s.exact->UnionSize();
+  auto samples = (*sampler)->Sample(n, rng);
+  ASSERT_TRUE(samples.ok());
+  ExpectUniformOverUnion(*samples, *s.exact);
+  EXPECT_EQ((*sampler)->stats().rejected_cover, 0u);
+}
+
+TEST(UnionSamplerTest, DisjointUnionSamplerWeightsBySize) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 20;
+  options.mode = workloads::OverlapMode::kDisjoint;
+  options.seed = 112;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  auto sampler = DisjointUnionSampler::Create(
+      s.joins,
+      MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+      s.estimates.join_sizes);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(113);
+  size_t total =
+      static_cast<size_t>(s.estimates.join_sizes[0] +
+                          s.estimates.join_sizes[1]);
+  auto samples = (*sampler)->Sample(30 * total, rng);
+  ASSERT_TRUE(samples.ok());
+  // Disjoint union of disjoint joins == set union: uniform over it.
+  ExpectUniformOverUnion(*samples, *s.exact);
+}
+
+TEST(UnionSamplerTest, NaiveUnionOfSamplesIsBiased) {
+  // Example 2: overlap tuples are UNDER-represented relative to a uniform
+  // union sample (they are deduplicated after non-selective sampling).
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 24;
+  options.keep_probability = 0.8;
+  options.seed = 114;
+  Fixture s = MakeSetup(options);
+  double overlap = s.exact->EstimateOverlap(0b11).value();
+  ASSERT_GT(overlap, 4.0) << "need overlapping joins to show bias";
+  CompositeIndexCache cache;
+  auto samplers =
+      MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight);
+  Rng rng(115);
+  // Heavy per-join sampling: every join tuple appears with high
+  // probability, so the naive "union" approaches the full union and each
+  // overlap value appears once -- but so does each non-overlap value,
+  // even though non-overlap values were sampled half as often. Bias shows
+  // in repeated trials as the overlap values' inclusion probability
+  // differing from non-overlap ones at LOW sampling rates.
+  std::map<std::string, size_t> inclusion;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    auto naive = NaiveUnionOfSamples(s.joins, samplers, 3, rng);
+    ASSERT_TRUE(naive.ok());
+    for (const auto& tuple : *naive) ++inclusion[tuple.Encode()];
+  }
+  // Average inclusion rate of overlap vs exclusive tuples.
+  double overlap_rate = 0, exclusive_rate = 0;
+  size_t overlap_count = 0, exclusive_count = 0;
+  for (const auto& [enc, mask] : s.exact->membership()) {
+    auto it = inclusion.find(enc);
+    double rate =
+        it == inclusion.end() ? 0.0 : static_cast<double>(it->second);
+    if (mask == 0b11) {
+      overlap_rate += rate;
+      ++overlap_count;
+    } else {
+      exclusive_rate += rate;
+      ++exclusive_count;
+    }
+  }
+  overlap_rate /= static_cast<double>(overlap_count);
+  exclusive_rate /= static_cast<double>(exclusive_count);
+  // Overlap tuples can be drawn from both joins, so naive union includes
+  // them significantly more often per trial: the distribution is biased.
+  EXPECT_GT(overlap_rate, 1.3 * exclusive_rate);
+}
+
+TEST(UnionSamplerTest, SingleJoinUnion) {
+  SyntheticChainOptions options;
+  options.num_joins = 1;
+  options.master_rows = 20;
+  options.seed = 116;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  auto probers = BuildProbers(s.joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(
+      s.joins,
+      MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+      s.estimates, probers, opts);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(117);
+  auto samples = (*sampler)->Sample(500, rng);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples->size(), 500u);
+  EXPECT_EQ((*sampler)->stats().rejected_cover, 0u);
+}
+
+TEST(UnionSamplerTest, CreateValidation) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 15;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  // Mismatched sampler count.
+  std::vector<std::unique_ptr<JoinSampler>> one;
+  one.push_back(ExactWeightSampler::Create(s.joins[0], &cache).value());
+  EXPECT_FALSE(UnionSampler::Create(s.joins, std::move(one), s.estimates)
+                   .ok());
+  // Oracle mode without probers.
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  EXPECT_FALSE(
+      UnionSampler::Create(
+          s.joins,
+          MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+          s.estimates, {}, opts)
+          .ok());
+  // Zero covers.
+  UnionEstimates zero = s.estimates;
+  zero.cover_sizes.assign(2, 0.0);
+  EXPECT_FALSE(
+      UnionSampler::Create(
+          s.joins,
+          MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+          zero)
+          .ok());
+}
+
+TEST(UnionSamplerTest, EmptyMemberJoinIsNeverSelected) {
+  // One join of the union is empty; with exact parameters its cover is 0,
+  // so sampling proceeds over the remaining joins only.
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 18;
+  options.seed = 120;
+  Fixture s = MakeSetup(options);
+  // Same output schema as the chains (A0..A3) but an empty result: the
+  // middle relation's key never matches.
+  auto empty_r =
+      workloads::MakeRelation("er", {"A0", "A1"}, {{1, 2}}).value();
+  auto empty_s =
+      workloads::MakeRelation("es", {"A1", "A2"}, {{99, 3}}).value();
+  auto empty_t =
+      workloads::MakeRelation("et", {"A2", "A3"}, {{3, 4}}).value();
+  auto empty_join =
+      JoinSpec::Create("empty", {empty_r, empty_s, empty_t}).value();
+  std::vector<JoinSpecPtr> joins = s.joins;
+  joins.push_back(empty_join);
+
+  auto exact = ExactOverlapCalculator::Create(joins).value();
+  auto estimates = ComputeUnionEstimates(exact.get()).value();
+  EXPECT_DOUBLE_EQ(estimates.cover_sizes[2], 0.0);
+
+  CompositeIndexCache cache;
+  auto probers = BuildProbers(joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(
+      joins, MakeJoinSamplers(joins, &cache, JoinSamplerKind::kExactWeight),
+      estimates, probers, opts);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(121);
+  auto samples = (*sampler)->Sample(500, rng);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples->size(), 500u);
+}
+
+TEST(UnionSamplerTest, AbandonsJoinWithOverstatedCover) {
+  // Join 1 is a strict subset of join 0 (identical relations, so its true
+  // cover is empty), but we hand the sampler estimates claiming join 1
+  // owns half the union. The round budget must trip, the join must be
+  // abandoned, and sampling must still complete.
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 18;
+  options.mode = workloads::OverlapMode::kIdentical;
+  options.seed = 122;
+  Fixture s = MakeSetup(options);
+  UnionEstimates lying = s.estimates;
+  lying.cover_sizes[1] = lying.cover_sizes[0] / 2;  // false claim
+
+  CompositeIndexCache cache;
+  auto probers = BuildProbers(s.joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  opts.max_draws_per_round = 2000;
+  auto sampler = UnionSampler::Create(
+      s.joins,
+      MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+      lying, probers, opts);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(123);
+  auto samples = (*sampler)->Sample(800, rng);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  EXPECT_EQ(samples->size(), 800u);
+  EXPECT_GE((*sampler)->stats().abandoned_rounds, 1u);
+}
+
+TEST(UnionSamplerTest, StatsAccounting) {
+  SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 20;
+  options.seed = 118;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  auto probers = BuildProbers(s.joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = UnionSampler::Create(
+      s.joins,
+      MakeJoinSamplers(s.joins, &cache, JoinSamplerKind::kExactWeight),
+      s.estimates, probers, opts);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(119);
+  auto samples = (*sampler)->Sample(200, rng);
+  ASSERT_TRUE(samples.ok());
+  const auto& stats = (*sampler)->stats();
+  EXPECT_EQ(stats.accepted, 200u);
+  EXPECT_EQ(stats.rounds, 200u);
+  EXPECT_GE(stats.join_draws, stats.accepted);
+  EXPECT_EQ(stats.join_draws,
+            stats.accepted + stats.rejected_cover +
+                ((*sampler)->AggregatedJoinStats().attempts -
+                 (*sampler)->AggregatedJoinStats().successes));
+  (*sampler)->ResetStats();
+  EXPECT_EQ((*sampler)->stats().accepted, 0u);
+}
+
+}  // namespace
+}  // namespace suj

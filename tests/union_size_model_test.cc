@@ -1,0 +1,112 @@
+// Tests for core/union_size_model: cover sizes, Eq-1 union size, and
+// consistency between the two union formulations with exact overlaps.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/exact_overlap.h"
+#include "core/union_size_model.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+class UnionSizeModelSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionSizeModelSweep, ExactOverlapsGiveExactUnionAndCover) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 25;
+  options.seed = GetParam();
+  auto joins = MakeOverlappingChains(options).value();
+  auto calc = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(calc.ok());
+  auto estimates = ComputeUnionEstimates(calc->get());
+  ASSERT_TRUE(estimates.ok());
+
+  double exact_union = static_cast<double>((*calc)->UnionSize());
+  EXPECT_NEAR(estimates->union_size_eq1, exact_union, 1e-6);
+  EXPECT_NEAR(estimates->union_size_cover, exact_union, 1e-6);
+
+  // Cover sizes: |J'_0| = |J_0|; |J'_i| = |J_i \ union of earlier|.
+  EXPECT_NEAR(estimates->cover_sizes[0],
+              static_cast<double>((*calc)->JoinSize(0)), 1e-6);
+  std::set<std::string> earlier((*calc)->join_set(0).begin(),
+                                (*calc)->join_set(0).end());
+  for (int i = 1; i < 3; ++i) {
+    double expected = 0;
+    for (const auto& enc : (*calc)->join_set(i)) {
+      if (!earlier.count(enc)) ++expected;
+    }
+    EXPECT_NEAR(estimates->cover_sizes[i], expected, 1e-6) << "cover " << i;
+    earlier.insert((*calc)->join_set(i).begin(), (*calc)->join_set(i).end());
+  }
+
+  // Join-to-union ratios match definition.
+  auto ratios = estimates->JoinToUnionRatios();
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(ratios[j], estimates->join_sizes[j] / exact_union, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionSizeModelSweep,
+                         ::testing::Values(60, 61, 62, 63, 64));
+
+TEST(UnionSizeModelTest, IdenticalJoins) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 20;
+  options.mode = workloads::OverlapMode::kIdentical;
+  auto joins = MakeOverlappingChains(options).value();
+  auto calc = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(calc.ok());
+  auto estimates = ComputeUnionEstimates(calc->get());
+  ASSERT_TRUE(estimates.ok());
+  // Only the first join has a non-empty cover.
+  EXPECT_GT(estimates->cover_sizes[0], 0.0);
+  EXPECT_NEAR(estimates->cover_sizes[1], 0.0, 1e-9);
+  EXPECT_NEAR(estimates->cover_sizes[2], 0.0, 1e-9);
+  EXPECT_NEAR(estimates->union_size_eq1, estimates->join_sizes[0], 1e-6);
+}
+
+TEST(UnionSizeModelTest, DisjointJoins) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 20;
+  options.mode = workloads::OverlapMode::kDisjoint;
+  auto joins = MakeOverlappingChains(options).value();
+  auto calc = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(calc.ok());
+  auto estimates = ComputeUnionEstimates(calc->get());
+  ASSERT_TRUE(estimates.ok());
+  double sum = 0;
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(estimates->cover_sizes[j], estimates->join_sizes[j], 1e-9);
+    sum += estimates->join_sizes[j];
+  }
+  EXPECT_NEAR(estimates->union_size_eq1, sum, 1e-6);
+}
+
+TEST(UnionSizeModelTest, SingleJoin) {
+  SyntheticChainOptions options;
+  options.num_joins = 1;
+  options.master_rows = 20;
+  auto joins = MakeOverlappingChains(options).value();
+  auto calc = ExactOverlapCalculator::Create(joins);
+  ASSERT_TRUE(calc.ok());
+  auto estimates = ComputeUnionEstimates(calc->get());
+  ASSERT_TRUE(estimates.ok());
+  EXPECT_NEAR(estimates->union_size_eq1, estimates->join_sizes[0], 1e-9);
+  EXPECT_NEAR(estimates->cover_sizes[0], estimates->join_sizes[0], 1e-9);
+}
+
+TEST(UnionSizeModelTest, NullEstimatorRejected) {
+  EXPECT_FALSE(ComputeUnionEstimates(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,161 @@
+// Tests for join/wander_join: probability bookkeeping, HT size estimation,
+// confidence-based termination.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "join/full_join.h"
+#include "join/wander_join.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeRelation;
+using workloads::MakeStarJoin;
+using workloads::MakeTriangleJoin;
+
+JoinSpecPtr SkewedChain() {
+  auto r = MakeRelation("r", {"a", "b"},
+                        {{1, 10}, {2, 10}, {3, 10}, {4, 20}, {5, 30}})
+               .value();
+  auto s = MakeRelation("s", {"b", "c"},
+                        {{10, 1}, {10, 2}, {20, 3}, {30, 4}, {30, 5}})
+               .value();
+  return JoinSpec::Create("skewed", {r, s}).value();
+}
+
+TEST(WanderJoinTest, WalkProbabilitiesAreExact) {
+  // For the first walk relation r (5 rows) and a sampled match among d
+  // candidates, p(t) must be 1 / (5 * d). Verify against expectations per
+  // tuple value.
+  auto join = SkewedChain();
+  CompositeIndexCache cache;
+  auto sampler = WanderJoinSampler::Create(join, &cache);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(31);
+  const Schema& out = join->output_schema();
+  int b_idx = out.FieldIndex("b");
+  ASSERT_GE(b_idx, 0);
+  for (int i = 0; i < 200; ++i) {
+    WalkOutcome outcome = (*sampler)->Walk(rng);
+    if (!outcome.success) continue;
+    int64_t b = outcome.tuple.value(b_idx).int64();
+    double expected =
+        b == 10 ? 1.0 / (5 * 2) : (b == 20 ? 1.0 / (5 * 1) : 1.0 / (5 * 2));
+    EXPECT_DOUBLE_EQ(outcome.probability, expected);
+  }
+}
+
+TEST(WanderJoinTest, HTEstimateConvergesOnChain) {
+  auto join = SkewedChain();
+  FullJoinExecutor executor;
+  auto count = executor.Count(join);
+  ASSERT_TRUE(count.ok());
+  CompositeIndexCache cache;
+  auto sampler = WanderJoinSampler::Create(join, &cache);
+  ASSERT_TRUE(sampler.ok());
+  WanderJoinSizeEstimator estimator(sampler->get());
+  Rng rng(32);
+  for (int i = 0; i < 20000; ++i) estimator.Step(rng);
+  EXPECT_NEAR(estimator.Estimate(), static_cast<double>(*count),
+              0.05 * static_cast<double>(*count));
+}
+
+TEST(WanderJoinTest, HTEstimateConvergesOnStarAndTriangle) {
+  for (int kind = 0; kind < 2; ++kind) {
+    JoinSpecPtr join = kind == 0 ? MakeStarJoin(15, 8).value()
+                                 : MakeTriangleJoin(25, 9).value();
+    FullJoinExecutor executor;
+    auto count = executor.Count(join);
+    ASSERT_TRUE(count.ok());
+    if (*count == 0) continue;
+    CompositeIndexCache cache;
+    auto sampler = WanderJoinSampler::Create(join, &cache);
+    ASSERT_TRUE(sampler.ok());
+    WanderJoinSizeEstimator estimator(sampler->get());
+    Rng rng(33 + kind);
+    for (int i = 0; i < 30000; ++i) estimator.Step(rng);
+    EXPECT_NEAR(estimator.Estimate(), static_cast<double>(*count),
+                0.08 * static_cast<double>(*count) + 1.0)
+        << (kind == 0 ? "star" : "triangle");
+  }
+}
+
+TEST(WanderJoinTest, FailedWalksLowerEstimate) {
+  // r has a dangling tuple; the estimator must still be unbiased because
+  // failures contribute zero.
+  auto r = MakeRelation("r", {"a", "b"}, {{1, 10}, {2, 99}}).value();
+  auto s = MakeRelation("s", {"b", "c"}, {{10, 1}, {10, 2}}).value();
+  auto join = JoinSpec::Create("j", {r, s}).value();
+  CompositeIndexCache cache;
+  auto sampler = WanderJoinSampler::Create(join, &cache);
+  ASSERT_TRUE(sampler.ok());
+  WanderJoinSizeEstimator estimator(sampler->get());
+  Rng rng(34);
+  for (int i = 0; i < 20000; ++i) estimator.Step(rng);
+  EXPECT_NEAR(estimator.Estimate(), 2.0, 0.15);
+  EXPECT_LT((*sampler)->num_successes(), (*sampler)->num_walks());
+}
+
+TEST(WanderJoinTest, PredicatesEstimateFilteredSize) {
+  auto join_all = SkewedChain();
+  auto join_filtered =
+      JoinSpec::Create("f", join_all->relations(), {},
+                       {Predicate("c", CompareOp::kLe, Value::Int64(2))})
+          .value();
+  FullJoinExecutor executor;
+  auto count = executor.Count(join_filtered);
+  ASSERT_TRUE(count.ok());
+  CompositeIndexCache cache;
+  auto sampler = WanderJoinSampler::Create(join_filtered, &cache);
+  ASSERT_TRUE(sampler.ok());
+  WanderJoinSizeEstimator estimator(sampler->get());
+  Rng rng(35);
+  for (int i = 0; i < 20000; ++i) estimator.Step(rng);
+  EXPECT_NEAR(estimator.Estimate(), static_cast<double>(*count),
+              0.1 * static_cast<double>(*count) + 0.5);
+}
+
+TEST(WanderJoinTest, ConfidenceTerminationStopsEarly) {
+  auto join = SkewedChain();
+  CompositeIndexCache cache;
+  auto sampler = WanderJoinSampler::Create(join, &cache);
+  ASSERT_TRUE(sampler.ok());
+  WanderJoinSizeEstimator estimator(sampler->get());
+  Rng rng(36);
+  estimator.RunUntilConfident(rng, 0.9, 0.05, 16, 100000);
+  EXPECT_LT(estimator.num_walks(), 100000u);
+  EXPECT_GE(estimator.num_walks(), 16u);
+  EXPECT_LE(estimator.estimator().RelativeHalfWidth(0.9), 0.05);
+}
+
+TEST(WanderJoinTest, HalfWidthShrinks) {
+  auto join = SkewedChain();
+  CompositeIndexCache cache;
+  auto sampler = WanderJoinSampler::Create(join, &cache);
+  ASSERT_TRUE(sampler.ok());
+  WanderJoinSizeEstimator estimator(sampler->get());
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) estimator.Step(rng);
+  double early = estimator.HalfWidth(0.9);
+  for (int i = 0; i < 9900; ++i) estimator.Step(rng);
+  EXPECT_LT(estimator.HalfWidth(0.9), early);
+}
+
+TEST(WanderJoinTest, EmptyFirstRelation) {
+  auto r = MakeRelation("r", {"a", "b"}, {}).value();
+  auto s = MakeRelation("s", {"b", "c"}, {{1, 2}}).value();
+  auto join = JoinSpec::Create("j", {r, s}).value();
+  CompositeIndexCache cache;
+  auto sampler = WanderJoinSampler::Create(join, &cache);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(38);
+  WalkOutcome outcome = (*sampler)->Walk(rng);
+  EXPECT_FALSE(outcome.success);
+}
+
+}  // namespace
+}  // namespace suj

@@ -1,0 +1,187 @@
+// Tests for workloads/: UQ1/UQ2/UQ3 construction, shapes, and semantics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/exact_overlap.h"
+#include "join/full_join.h"
+#include "workloads/synthetic.h"
+#include "workloads/tpch_workloads.h"
+
+namespace suj {
+namespace {
+
+using workloads::BuildUQ1;
+using workloads::BuildUQ2;
+using workloads::BuildUQ3;
+
+tpch::OverlapConfig SmallUQ1Config(double overlap) {
+  tpch::OverlapConfig config;
+  // Small but not tiny: UQ1 joins supplier and customer through the shared
+  // 25-nation dimension, so both tables need enough rows per nation for
+  // the chain to be non-empty.
+  config.per_variant.scale_factor = 0.5;
+  config.num_variants = 3;
+  config.overlap_scale = overlap;
+  return config;
+}
+
+TEST(UQ1Test, FiveVariantChains) {
+  tpch::OverlapConfig config = SmallUQ1Config(0.2);
+  config.num_variants = 5;
+  auto workload = BuildUQ1(config);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->joins.size(), 5u);
+  for (const auto& join : workload->joins) {
+    EXPECT_EQ(join->type(), JoinType::kChain);
+    EXPECT_EQ(join->num_relations(), 5);
+  }
+  EXPECT_TRUE(ValidateUnionCompatible(workload->joins).ok());
+}
+
+TEST(UQ1Test, JoinsAreExecutableAndOverlap) {
+  auto workload = BuildUQ1(SmallUQ1Config(0.5));
+  ASSERT_TRUE(workload.ok());
+  auto exact = ExactOverlapCalculator::Create(workload->joins);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  for (size_t j = 0; j < workload->joins.size(); ++j) {
+    EXPECT_GT((*exact)->JoinSize(j), 0u) << "join " << j;
+  }
+  auto overlap = (*exact)->EstimateOverlap(0b111);
+  ASSERT_TRUE(overlap.ok());
+  EXPECT_GT(overlap.value(), 0.0) << "variants must share join results";
+}
+
+TEST(UQ1Test, OverlapGrowsWithOverlapScale) {
+  auto low = BuildUQ1(SmallUQ1Config(0.1));
+  auto high = BuildUQ1(SmallUQ1Config(0.8));
+  ASSERT_TRUE(low.ok() && high.ok());
+  auto exact_low = ExactOverlapCalculator::Create(low->joins).value();
+  auto exact_high = ExactOverlapCalculator::Create(high->joins).value();
+  double ratio_low = exact_low->EstimateOverlap(0b111).value() /
+                     static_cast<double>(exact_low->UnionSize());
+  double ratio_high = exact_high->EstimateOverlap(0b111).value() /
+                      static_cast<double>(exact_high->UnionSize());
+  EXPECT_GT(ratio_high, ratio_low);
+}
+
+TEST(UQ2Test, ThreePredicateVariantsOverlapHeavily) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.05;
+  auto workload = BuildUQ2(config, /*pushdown=*/true);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->joins.size(), 3u);
+  EXPECT_TRUE(ValidateUnionCompatible(workload->joins).ok());
+  auto exact = ExactOverlapCalculator::Create(workload->joins);
+  ASSERT_TRUE(exact.ok());
+  // Same data, different predicates: the paper's "large overlap scale".
+  double o = (*exact)->EstimateOverlap(0b111).value();
+  double min_join = static_cast<double>(
+      std::min({(*exact)->JoinSize(0), (*exact)->JoinSize(1),
+                (*exact)->JoinSize(2)}));
+  EXPECT_GT(o, 0.25 * min_join);
+}
+
+TEST(UQ2Test, PushdownAndOnTheFlyAgree) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.04;
+  auto pushed = BuildUQ2(config, /*pushdown=*/true);
+  auto lazy = BuildUQ2(config, /*pushdown=*/false);
+  ASSERT_TRUE(pushed.ok() && lazy.ok());
+  FullJoinExecutor executor;
+  for (int q = 0; q < 3; ++q) {
+    auto r1 = executor.Execute(pushed->joins[q]);
+    auto r2 = executor.Execute(lazy->joins[q]);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    std::multiset<std::string> e1, e2;
+    for (const auto& t : r1->tuples) e1.insert(t.Encode());
+    for (const auto& t : r2->tuples) e2.insert(t.Encode());
+    EXPECT_EQ(e1, e2) << "query " << q;
+  }
+}
+
+TEST(UQ2Test, OnTheFlyJoinsCarryPredicates) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.04;
+  auto lazy = BuildUQ2(config, /*pushdown=*/false);
+  ASSERT_TRUE(lazy.ok());
+  for (const auto& join : lazy->joins) {
+    EXPECT_TRUE(join->has_predicates());
+  }
+}
+
+TEST(UQ3Test, ShapesRequireSplitting) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.05;
+  auto workload = BuildUQ3(config);
+  ASSERT_TRUE(workload.ok());
+  ASSERT_EQ(workload->joins.size(), 3u);
+  EXPECT_TRUE(ValidateUnionCompatible(workload->joins).ok());
+  // One acyclic join and two chain joins of different lengths.
+  EXPECT_EQ(workload->joins[0]->type(), JoinType::kChain);
+  EXPECT_EQ(workload->joins[0]->num_relations(), 3);
+  EXPECT_EQ(workload->joins[1]->type(), JoinType::kChain);
+  EXPECT_EQ(workload->joins[1]->num_relations(), 4);
+  EXPECT_EQ(workload->joins[2]->type(), JoinType::kAcyclic);
+  EXPECT_EQ(workload->joins[2]->num_relations(), 5);
+}
+
+TEST(UQ3Test, JoinsExecutableAndOverlapping) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.05;
+  auto workload = BuildUQ3(config, /*window=*/0.9);
+  ASSERT_TRUE(workload.ok());
+  auto exact = ExactOverlapCalculator::Create(workload->joins);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_GT((*exact)->JoinSize(j), 0u);
+  }
+  EXPECT_GT((*exact)->EstimateOverlap(0b111).value(), 0.0);
+}
+
+TEST(UQ3Test, WindowValidation) {
+  tpch::TpchConfig config;
+  EXPECT_FALSE(BuildUQ3(config, 0.0).ok());
+  EXPECT_FALSE(BuildUQ3(config, 1.5).ok());
+}
+
+TEST(SyntheticTest, SliceRelation) {
+  auto rel = workloads::MakeRelation("r", {"a"}, {{0}, {1}, {2}, {3}, {4}})
+                 .value();
+  auto sliced = workloads::SliceRelation(rel, 0.2, 0.8, "s");
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ((*sliced)->num_rows(), 3u);
+  EXPECT_EQ((*sliced)->GetInt64(0, 0), 1);
+  EXPECT_FALSE(workloads::SliceRelation(rel, 0.8, 0.2, "bad").ok());
+}
+
+TEST(SyntheticTest, ProjectRelation) {
+  auto rel =
+      workloads::MakeRelation("r", {"a", "b", "c"}, {{1, 2, 3}, {4, 5, 6}})
+          .value();
+  auto projected = workloads::ProjectRelation(rel, {"c", "a"}, "p");
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ((*projected)->num_columns(), 2u);
+  EXPECT_EQ((*projected)->GetInt64(0, 0), 3);
+  EXPECT_EQ((*projected)->GetInt64(0, 1), 1);
+  EXPECT_FALSE(workloads::ProjectRelation(rel, {"zz"}, "bad").ok());
+}
+
+TEST(SyntheticTest, OverlapModesBehave) {
+  workloads::SyntheticChainOptions options;
+  options.num_joins = 2;
+  options.master_rows = 15;
+  options.mode = workloads::OverlapMode::kIdentical;
+  auto identical = workloads::MakeOverlappingChains(options).value();
+  auto exact_id = ExactOverlapCalculator::Create(identical).value();
+  EXPECT_EQ(exact_id->UnionSize(), exact_id->JoinSize(0));
+
+  options.mode = workloads::OverlapMode::kDisjoint;
+  auto disjoint = workloads::MakeOverlappingChains(options).value();
+  auto exact_dis = ExactOverlapCalculator::Create(disjoint).value();
+  EXPECT_DOUBLE_EQ(exact_dis->EstimateOverlap(0b11).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace suj
