@@ -1,11 +1,33 @@
 #include "common/combinatorics.h"
 
-#include <bit>
 #include <cassert>
+
+#if defined(__has_include)
+#if __has_include(<version>)
+#include <version>
+#endif
+#endif
+
+#if defined(__cpp_lib_bitops) && __cpp_lib_bitops >= 201907L
+#include <bit>
+#define SUJ_HAS_STD_POPCOUNT 1
+#endif
 
 namespace suj {
 
-int PopCount(SubsetMask mask) { return std::popcount(mask); }
+int PopCount(SubsetMask mask) {
+#if SUJ_HAS_STD_POPCOUNT
+  return std::popcount(mask);
+#else
+  // Portable fallback (pre-C++20): Kernighan's bit-clearing loop.
+  int count = 0;
+  while (mask != 0) {
+    mask &= mask - 1;
+    ++count;
+  }
+  return count;
+#endif
+}
 
 double Binomial(int n, int k) {
   if (k < 0 || k > n) return 0.0;

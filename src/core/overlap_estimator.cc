@@ -1,5 +1,9 @@
 // OverlapEstimator is a pure interface; this translation unit anchors its
-// vtable.
+// vtable by hosting the out-of-line key function (the destructor).
 #include "core/overlap_estimator.h"
 
-namespace suj {}  // namespace suj
+namespace suj {
+
+OverlapEstimator::~OverlapEstimator() = default;
+
+}  // namespace suj

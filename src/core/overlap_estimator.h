@@ -23,7 +23,9 @@ namespace suj {
 /// \brief Supplies |O_Delta| estimates for subsets of a fixed join set.
 class OverlapEstimator {
  public:
-  virtual ~OverlapEstimator() = default;
+  // Defined out of line in overlap_estimator.cc; serves as the key function
+  // so the vtable is emitted in exactly one translation unit.
+  virtual ~OverlapEstimator();
 
   /// The join set S = {J_0..J_{n-1}} this estimator covers.
   virtual const std::vector<JoinSpecPtr>& joins() const = 0;

@@ -1,0 +1,144 @@
+// Deterministic-seed audit: a meta-test that scans the test sources
+// themselves and fails if any suite seeds randomness from entropy or the
+// wall clock. The chi-square uniformity checks in uniformity_test.cc and
+// union_sampler_test.cc are only reproducible if every RNG in the suite is
+// constructed from a fixed seed (see FixedSeedRng in test_util.h).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "test_util.h"
+
+#ifndef SUJ_TEST_SOURCE_DIR
+#error "SUJ_TEST_SOURCE_DIR must point at the tests/ source directory"
+#endif
+
+namespace suj {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Strip // line comments, /* */ block comments, and string/char literal
+// CONTENTS (quotes are kept, contents dropped) so that neither prose nor
+// string data mentioning a forbidden construct trips the audit, and a
+// "//" inside a string does not hide real code on the rest of the line.
+// (Heuristic: raw strings and digit separators are not modeled; neither
+// appears in the suite.)
+std::string StripComments(const std::string& text) {
+  enum class State { kCode, kString, kChar, kLineComment, kBlockComment };
+  std::string out;
+  out.reserve(text.size());
+  State state = State::kCode;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else {
+          if (c == '"') state = State::kString;
+          if (c == '\'') state = State::kChar;
+          out.push_back(c);
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          ++i;  // skip the escaped character without emitting it
+          break;
+        }
+        if ((state == State::kString && c == '"') ||
+            (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+          out.push_back(c);  // keep the closing quote only
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.push_back(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out.push_back(c);  // keep line structure for readable offsets
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// Constructs that make a test's random stream differ between runs. Spelled
+// as fragments so this very file does not contain the assembled tokens
+// outside the table.
+const std::vector<std::string>& ForbiddenSeedSources() {
+  static const std::vector<std::string> kSources = {
+      std::string("std::random") + "_device",
+      std::string("random") + "_device{",
+      std::string("time(") + "nullptr)",
+      std::string("time(") + "NULL)",
+      std::string("time(") + "0)",
+      std::string("srand") + "(",
+      std::string("clo") + "ck()",
+      std::string("::no") + "w().time_since_epoch",
+  };
+  return kSources;
+}
+
+TEST(SeedAudit, NoNondeterministicSeedsInTestSources) {
+  const fs::path dir(SUJ_TEST_SOURCE_DIR);
+  ASSERT_TRUE(fs::is_directory(dir)) << "missing test source dir: " << dir;
+
+  size_t files_scanned = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const fs::path& p = entry.path();
+    if (p.extension() != ".cc" && p.extension() != ".h") continue;
+    ++files_scanned;
+    const std::string code = StripComments(ReadFile(p));
+    for (const std::string& bad : ForbiddenSeedSources()) {
+      EXPECT_EQ(code.find(bad), std::string::npos)
+          << p.filename() << " uses nondeterministic seed source \"" << bad
+          << "\"; construct RNGs via FixedSeedRng() from test_util.h instead";
+    }
+  }
+  // Guard against the scan silently matching nothing (which would
+  // vacuously pass); a loose floor so merging/removing a suite or two
+  // doesn't spuriously trip the audit.
+  EXPECT_GE(files_scanned, 10u) << "seed audit scanned suspiciously few files";
+}
+
+TEST(SeedAudit, FixedSeedRngIsDeterministic) {
+  Rng a = ::suj::testing::FixedSeedRng();
+  Rng b = ::suj::testing::FixedSeedRng();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(a.Next(), b.Next())
+        << "FixedSeedRng must yield identical streams per seed";
+  }
+  Rng offset = ::suj::testing::FixedSeedRng(1);
+  EXPECT_NE(::suj::testing::FixedSeedRng().Next(), offset.Next())
+      << "distinct offsets should yield distinct streams";
+}
+
+}  // namespace
+}  // namespace suj
