@@ -23,6 +23,7 @@
 #include "core/union_size_model.h"
 #include "join/exact_weight.h"
 #include "join/olken_sampler.h"
+#include "workloads/synthetic.h"
 #include "workloads/tpch_workloads.h"
 
 namespace suj {
@@ -106,6 +107,54 @@ inline tpch::OverlapConfig UQ1Config(double scale_factor,
 
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
+}
+
+/// The union-sampling micro workload: an overlapping union of chain joins
+/// with exact warm-up parameters. Shared by bench_micro_join_samplers
+/// (whose numbers the CI perf gate baselines) and
+/// bench_fig_parallel_scaling, so the scaling figure always measures the
+/// gated workload.
+struct UnionMicroWorkload {
+  std::vector<JoinSpecPtr> joins;
+  UnionEstimates estimates;
+  std::vector<JoinMembershipProberPtr> probers;
+  CompositeIndexCache cache;
+  /// Prebuilt per-join weight indexes (immutable, shared across workers).
+  std::vector<ExactWeightIndexPtr> weight_indexes;
+};
+
+inline UnionMicroWorkload BuildUnionMicroWorkload() {
+  UnionMicroWorkload w;
+  workloads::SyntheticChainOptions opts;
+  opts.num_joins = 4;
+  opts.master_rows = 400;
+  opts.max_degree = 3;
+  opts.seed = 42;
+  w.joins = Unwrap(workloads::MakeOverlappingChains(opts), "chains");
+  auto exact = Unwrap(ExactOverlapCalculator::Create(w.joins), "overlap");
+  w.estimates = Unwrap(ComputeUnionEstimates(exact.get()), "estimates");
+  w.probers = Unwrap(BuildProbers(w.joins), "probers");
+  for (const auto& join : w.joins) {
+    w.weight_indexes.push_back(
+        Unwrap(ExactWeightIndex::Build(join, &w.cache), "EW index"));
+  }
+  return w;
+}
+
+/// One worker's exact-weight samplers over the workload's prebuilt weight
+/// indexes: per-worker construction is O(1), so the sampler setup inside
+/// a timed Sample() call doesn't grow with the thread count.
+inline UnionSampler::JoinSamplerFactory UnionMicroEwFactory(
+    UnionMicroWorkload* w) {
+  return [w]() -> Result<std::vector<std::unique_ptr<JoinSampler>>> {
+    std::vector<std::unique_ptr<JoinSampler>> out;
+    for (const auto& index : w->weight_indexes) {
+      auto sampler = ExactWeightSampler::Create(index);
+      if (!sampler.ok()) return sampler.status();
+      out.push_back(std::move(*sampler));
+    }
+    return out;
+  };
 }
 
 }  // namespace bench

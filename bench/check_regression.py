@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Thresholded perf-regression gate over google-benchmark JSON output.
+
+Compares a fresh run of a micro benchmark binary (``--benchmark_format=json``)
+against a checked-in baseline, e.g.::
+
+    build/bench/bench_micro_join_samplers \
+        --benchmark_out=current.json --benchmark_out_format=json
+    python3 bench/check_regression.py \
+        --baseline bench/baselines/micro_join_samplers.json \
+        --current current.json --tolerance 0.5
+
+Baselines are recorded on one machine and checked on another (CI runners
+are not the laptop that wrote the baseline), so absolute times are not
+directly comparable. The gate therefore normalizes: it computes the
+per-benchmark ratio current/baseline, takes the median ratio as the
+"machine speed" factor, and flags benchmarks whose ratio exceeds
+``median * (1 + tolerance)``. A uniform slowdown moves the median itself,
+so --max-median additionally bounds the median ratio (default 3.0, a loose
+absolute backstop against whole-suite regressions that survives slow CI
+hardware; tighten it when baseline and runner match).
+
+Exit codes: 0 clean, 1 regression(s), 2 usage/data error.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# google-benchmark time units per nanosecond.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """benchmark name -> real_time in ns (raw iterations only)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    times = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        if entry.get("error_occurred"):
+            continue
+        name = entry["name"]
+        unit = _UNIT_NS.get(entry.get("time_unit", "ns"))
+        if unit is None:
+            print(f"error: unknown time unit in {name}", file=sys.stderr)
+            sys.exit(2)
+        times[name] = float(entry["real_time"]) * unit
+    if not times:
+        print(f"error: no benchmarks in {path}", file=sys.stderr)
+        sys.exit(2)
+    return times
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="google-benchmark perf-regression gate")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="fresh benchmark JSON to check")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional slowdown over the "
+                             "machine-speed-normalized baseline "
+                             "(default 0.5 = 50%%)")
+    parser.add_argument("--max-median", type=float, default=3.0,
+                        help="cap on the median current/baseline ratio; "
+                             "catches uniform whole-suite slowdowns "
+                             "(default 3.0)")
+    parser.add_argument("--allow-new", action="store_true",
+                        help="tolerate benchmarks missing from the baseline "
+                             "instead of failing (default: fail, which "
+                             "forces the documented same-commit baseline "
+                             "refresh when benchmarks are added)")
+    parser.add_argument("--exclude", default=None,
+                        help="regex of benchmark names to drop from the "
+                             "comparison entirely. Use for benchmarks whose "
+                             "time depends on core count (thread-scaling "
+                             "args): their baseline/runner ratio reflects "
+                             "hardware, not code, and would both evade the "
+                             "gate and skew the median normalizer.")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+    if args.exclude:
+        pattern = re.compile(args.exclude)
+        dropped = sorted(n for n in set(baseline) | set(current)
+                         if pattern.search(n))
+        for name in dropped:
+            baseline.pop(name, None)
+            current.pop(name, None)
+        if dropped:
+            print(f"excluded by --exclude: {', '.join(dropped)}")
+
+    common = sorted(set(baseline) & set(current))
+    missing = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
+    if not common:
+        print("error: no common benchmarks between baseline and current",
+              file=sys.stderr)
+        sys.exit(2)
+
+    ratios = {name: current[name] / baseline[name] for name in common}
+    speed = median(ratios.values())
+    limit = speed * (1.0 + args.tolerance)
+
+    print(f"{len(common)} common benchmarks; median current/baseline ratio "
+          f"{speed:.3f} (machine-speed normalizer), per-benchmark limit "
+          f"{limit:.3f}")
+    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>8}  verdict")
+
+    failures = []
+    for name in common:
+        ratio = ratios[name]
+        verdict = "ok"
+        if ratio > limit:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"{name:<44} {baseline[name]:>10.0f}ns {current[name]:>10.0f}ns "
+              f"{ratio:>8.3f}  {verdict}")
+
+    for name in missing:
+        print(f"{name:<44} {'(missing from current run)':>36}")
+        failures.append(name)
+    for name in new:
+        print(f"{name:<44} {'(new; not in baseline)':>36}")
+        if not args.allow_new:
+            failures.append(name)
+
+    if speed > args.max_median:
+        print(f"FAIL: median ratio {speed:.3f} exceeds --max-median "
+              f"{args.max_median:.3f} (whole-suite slowdown)")
+        sys.exit(1)
+    if failures:
+        print(f"FAIL: {len(failures)} regressed/missing benchmark(s): "
+              + ", ".join(failures))
+        sys.exit(1)
+    print("PASS: no perf regression beyond tolerance")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+// Parallel scaling of the batched union-sampling executor.
+//
+// Draws the same n union samples at 1, 2, 4, and 8 worker threads on the
+// micro workload (an overlapping union of chain joins, exact warm-up
+// parameters, exact-weight samplers) and prints wall time, throughput, and
+// speedup per thread count. Because the executor seeds per batch, every row
+// must produce the byte-identical sample sequence — the harness hashes each
+// sequence and fails loudly on divergence, so this doubles as an end-to-end
+// determinism check on real hardware.
+//
+// Usage: bench_fig_parallel_scaling [num_samples]   (default 200000)
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+// FNV-1a over the encoded sample sequence: cheap, order-sensitive.
+uint64_t SequenceHash(const std::vector<Tuple>& samples) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& t : samples) {
+    for (char c : t.Encode()) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+int Run(size_t n) {
+  UnionMicroWorkload w = BuildUnionMicroWorkload();
+  PrintHeader("parallel scaling: batched union sampling (oracle mode, EW)");
+  std::printf("union of %zu chain joins, n = %zu samples, batch = 512\n\n",
+              w.joins.size(), n);
+  std::printf("%8s %12s %14s %10s %18s\n", "threads", "seconds", "samples/s",
+              "speedup", "sequence hash");
+
+  double baseline_seconds = 0.0;
+  double speedup_at_4 = 0.0;
+  uint64_t reference_hash = 0;
+  bool deterministic = true;
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    UnionSampler::Options opts;
+    opts.mode = UnionSampler::Mode::kMembershipOracle;
+    opts.num_threads = threads;
+    opts.batch_size = 512;
+    opts.sampler_factory = UnionMicroEwFactory(&w);
+    auto sampler = Unwrap(UnionSampler::Create(w.joins, {}, w.estimates,
+                                               w.probers, opts),
+                          "union sampler");
+    Rng rng(999);
+    std::vector<Tuple> samples;
+    double seconds = TimeSeconds([&] {
+      samples = Unwrap(sampler->Sample(n, rng), "sample");
+    });
+    uint64_t hash = SequenceHash(samples);
+    if (threads == 1) {
+      baseline_seconds = seconds;
+      reference_hash = hash;
+    }
+    if (hash != reference_hash) deterministic = false;
+    double speedup = baseline_seconds / seconds;
+    if (threads == 4) speedup_at_4 = speedup;
+    std::printf("%8zu %12.3f %14.0f %9.2fx %18llx\n", threads, seconds,
+                static_cast<double>(n) / seconds, speedup,
+                static_cast<unsigned long long>(hash));
+  }
+
+  std::printf("\ndeterminism: %s (identical sequence at every thread count)\n",
+              deterministic ? "OK" : "FAILED");
+  std::printf("speedup at 4 threads: %.2fx (target > 2x on >= 4 cores)\n",
+              speedup_at_4);
+  if (!deterministic) {
+    std::fprintf(stderr, "FATAL: sample sequence depends on thread count\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+int main(int argc, char** argv) {
+  size_t n = 200000;
+  if (argc > 1) {
+    long parsed = std::atol(argv[1]);
+    if (parsed <= 0) {
+      std::fprintf(stderr, "usage: %s [num_samples]\n", argv[0]);
+      return 2;
+    }
+    n = static_cast<size_t>(parsed);
+  }
+  return suj::bench::Run(n);
+}

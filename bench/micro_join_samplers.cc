@@ -1,6 +1,10 @@
-// google-benchmark micro-benchmarks for the single-join sampling stack:
-// EW / EO / wander-join draw throughput, weight-index construction, and
-// membership probes.
+// google-benchmark micro-benchmarks for the join/union sampling stack:
+// EW / EO / wander-join draw throughput, weight-index construction,
+// membership probes, and the batched (optionally parallel) union sampler.
+//
+// bench/check_regression.py gates CI on the JSON output of this binary
+// against bench/baselines/micro_join_samplers.json; keep benchmark names
+// stable or refresh the baseline in the same change.
 
 #include <benchmark/benchmark.h>
 
@@ -87,6 +91,57 @@ void BM_MembershipProbe(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MembershipProbe);
+
+// The union workload is shared with bench_fig_parallel_scaling via
+// bench_util.h (built once per process here).
+UnionMicroWorkload& UnionSetup() {
+  static UnionMicroWorkload* workload =
+      new UnionMicroWorkload(BuildUnionMicroWorkload());
+  return *workload;
+}
+
+// The classic sequential Algorithm-1 loop (no executor), as the 1x anchor.
+void BM_UnionSampleSequential(benchmark::State& state) {
+  UnionMicroWorkload& f = UnionSetup();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = Unwrap(
+      UnionSampler::Create(f.joins, Unwrap(UnionMicroEwFactory(&f)(), "EW"),
+                           f.estimates, f.probers, opts),
+      "union sampler");
+  Rng rng(11);
+  const size_t kDraw = 4096;
+  for (auto _ : state) {
+    auto samples = sampler->Sample(kDraw, rng);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_UnionSampleSequential)->UseRealTime();
+
+// Batched executor path at 1..8 worker threads. Real time (not CPU time):
+// the pool burns CPU on every core; wall clock is the quantity that scales.
+void BM_UnionSampleParallel(benchmark::State& state) {
+  UnionMicroWorkload& f = UnionSetup();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  opts.batch_size = 512;
+  opts.sampler_factory = UnionMicroEwFactory(&f);
+  auto sampler = Unwrap(UnionSampler::Create(f.joins, {}, f.estimates,
+                                             f.probers, opts),
+                        "union sampler");
+  Rng rng(12);
+  const size_t kDraw = 4096;
+  for (auto _ : state) {
+    auto samples = sampler->Sample(kDraw, rng);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_UnionSampleParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_FullJoinExecute(benchmark::State& state) {
   JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);

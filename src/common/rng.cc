@@ -97,6 +97,37 @@ double Rng::Gaussian() {
   return mag * std::cos(2.0 * M_PI * u2);
 }
 
+void Rng::Jump() {
+  // Blackman & Vigna's jump() for xoshiro256**: the characteristic
+  // polynomial of the state transition raised to 2^128, applied by
+  // accumulating f^b(s) for every set bit b. rng_stream_test verifies the
+  // constants against an independent GF(2) matrix exponentiation.
+  static constexpr uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+      0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  uint64_t acc[4] = {0, 0, 0, 0};
+  for (uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (int i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      Next();  // advance one step (output discarded)
+    }
+  }
+  for (int i = 0; i < 4; ++i) s_[i] = acc[i];
+  // A jumped generator is a fresh stream; a cached Box-Muller half from the
+  // pre-jump stream must not leak into it.
+  has_cached_gaussian_ = false;
+}
+
+Rng Rng::Split(uint64_t i) const {
+  // Split(0) is an exact copy (cached Gaussian half included); any actual
+  // jump clears the cache inside Jump().
+  Rng out = *this;
+  for (uint64_t k = 0; k < i; ++k) out.Jump();
+  return out;
+}
+
 uint64_t Rng::Zipf(uint64_t n, double s) {
   assert(n > 0);
   // Rejection-inversion sampling (Hormann & Derflinger) is overkill for the

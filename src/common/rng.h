@@ -49,6 +49,21 @@ class Rng {
   /// skewed join-attribute degree distributions).
   uint64_t Zipf(uint64_t n, double s);
 
+  /// Advances this generator by 2^128 steps of Next() in O(1), using the
+  /// published xoshiro256** jump polynomial. Generators `i` jumps apart
+  /// produce non-overlapping streams for any realistic draw count (each
+  /// substream is 2^128 values long), which is what makes per-batch
+  /// substreams of the parallel executor provably independent — unlike the
+  /// `Rng(seed + i)` pattern, whose splitmix-seeded states carry no spacing
+  /// guarantee.
+  void Jump();
+
+  /// Substream `i`: a copy of this generator advanced by i * 2^128 steps
+  /// (i sequential Jump()s, so cost is O(i); callers iterating over batch
+  /// indexes should jump incrementally instead of calling Split(i) per
+  /// batch). Split(0) is an exact copy. `*this` is not advanced.
+  Rng Split(uint64_t i) const;
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

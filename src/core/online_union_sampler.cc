@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <unordered_map>
+
+#include "exec/parallel_executor.h"
 
 namespace suj {
 
@@ -11,7 +14,32 @@ using Clock = std::chrono::steady_clock;
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+// Horvitz-Thompson acceptance for one successful walk: the number of
+// uniform-sample instances it yields under the current |J_j| estimate,
+// rounding the fractional part with a Bernoulli draw. Shared by the
+// sequential regular phase and the parallel fresh-walk workers so the two
+// tails cannot drift apart.
+uint64_t WalkInstances(double walk_probability, double join_size, Rng& rng) {
+  double rate = 1.0 / (walk_probability * join_size);
+  uint64_t instances = static_cast<uint64_t>(rate);
+  if (rng.Bernoulli(rate - std::floor(rate))) ++instances;
+  return instances;
+}
 }  // namespace
+
+void OnlineUnionSampleStats::MergeFrom(const OnlineUnionSampleStats& other) {
+  UnionSampleStats::MergeFrom(other);
+  reuse_draws += other.reuse_draws;
+  reuse_accepted += other.reuse_accepted;
+  fresh_walks += other.fresh_walks;
+  fresh_accepted += other.fresh_accepted;
+  backtracks += other.backtracks;
+  removed_by_backtrack += other.removed_by_backtrack;
+  reuse_seconds += other.reuse_seconds;
+  regular_seconds += other.regular_seconds;
+  backtrack_seconds += other.backtrack_seconds;
+}
 
 Result<std::unique_ptr<OnlineUnionSampler>> OnlineUnionSampler::Create(
     std::vector<JoinSpecPtr> joins, RandomWalkOverlapEstimator* walker,
@@ -32,6 +60,20 @@ Result<std::unique_ptr<OnlineUnionSampler>> OnlineUnionSampler::Create(
   if (total <= 0.0) {
     return Status::FailedPrecondition(
         "all cover sizes are zero; the union is (estimated) empty");
+  }
+  if (options.index_cache != nullptr) {
+    if (options.mode != UnionSampler::Mode::kMembershipOracle) {
+      return Status::InvalidArgument(
+          "parallel fresh walks require kMembershipOracle mode (revision "
+          "ownership is shared mutable state)");
+    }
+    if (options.batch_size == 0) {
+      return Status::InvalidArgument("batch_size must be positive");
+    }
+  } else if (options.num_threads != 1) {
+    return Status::InvalidArgument(
+        "num_threads != 1 requires index_cache for per-worker wander-join "
+        "samplers");
   }
   auto sampler = std::unique_ptr<OnlineUnionSampler>(new OnlineUnionSampler(
       std::move(joins), walker, std::move(initial), options));
@@ -112,6 +154,244 @@ Status OnlineUnionSampler::Backtrack(std::vector<Tuple>* result,
   return Status::OK();
 }
 
+bool OnlineUnionSampler::ParallelTailReady() const {
+  if (options_.backtrack_interval > 0 && backtracking_active_) return false;
+  if (options_.enable_reuse) {
+    for (size_t j = 0; j < pools_.size(); ++j) {
+      if (!disabled_[j] && !pools_[j].empty()) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Per-worker fresh-walk context for the parallel phase: Algorithm 2's
+// regular phase against frozen estimates. Shared state (probers, weights,
+// join sizes) is read-only; the wander-join samplers, ownership memo, and
+// stats are private to the worker. The selection-weight copy is re-made
+// per batch so an abandoned join in one batch cannot leak into the next
+// (which would make batch output depend on scheduling); abandonment is
+// instead reported through abandoned_sink_ and applied by the caller
+// AFTER the whole fan-out, where it no longer affects batch contents.
+class FreshWalkBatchSampler : public BatchSampler {
+ public:
+  FreshWalkBatchSampler(std::vector<std::unique_ptr<WanderJoinSampler>> wander,
+                        std::vector<JoinMembershipProberPtr> probers,
+                        std::vector<double> weights,
+                        std::vector<double> join_sizes,
+                        uint64_t max_draws_per_round,
+                        OnlineUnionSampleStats* sink,
+                        std::vector<uint8_t>* abandoned_sink)
+      : wander_(std::move(wander)),
+        probers_(std::move(probers)),
+        weights_(std::move(weights)),
+        join_sizes_(std::move(join_sizes)),
+        max_draws_per_round_(max_draws_per_round),
+        sink_(sink),
+        abandoned_sink_(abandoned_sink) {}
+
+  // Not copyable or movable: oracle_ points into this object's probers_.
+  FreshWalkBatchSampler(const FreshWalkBatchSampler&) = delete;
+  FreshWalkBatchSampler& operator=(const FreshWalkBatchSampler&) = delete;
+
+  Result<std::vector<Tuple>> SampleBatch(size_t count, Rng& rng) override {
+    std::vector<double> weights = weights_;
+    std::vector<Tuple> out;
+    out.reserve(count);
+    while (out.size() < count) {
+      ++sink_->rounds;
+      double remaining = 0.0;
+      for (double w : weights) remaining += w;
+      if (remaining <= 0.0) {
+        return Status::Internal(
+            "every join's cover was abandoned; warm-up estimates are "
+            "inconsistent with the data");
+      }
+      int j = static_cast<int>(rng.Categorical(weights));
+      uint64_t added = RunRound(j, &out, rng);
+      if (added == 0) {
+        ++sink_->abandoned_rounds;
+        weights[j] = 0.0;
+        (*abandoned_sink_)[j] = 1;
+      }
+    }
+    return out;
+  }
+
+  /// One Algorithm-2 round against join j: up to max_draws_per_round
+  /// attempts; appends accepted instances to *out and returns the count
+  /// (0 == the round exhausted its budget, i.e. abandonment). Also the
+  /// viability probe of the caller's pre-pass.
+  uint64_t RunRound(int j, std::vector<Tuple>* out, Rng& rng) {
+    const double join_size = std::max(join_sizes_[j], 1e-12);
+    for (uint64_t draw = 0; draw < max_draws_per_round_; ++draw) {
+      auto start = Clock::now();
+      ++sink_->join_draws;
+      ++sink_->fresh_walks;
+      WalkOutcome outcome = wander_[j]->Walk(rng);
+      if (!outcome.success) {
+        double dt = SecondsSince(start);
+        sink_->regular_seconds += dt;
+        sink_->rejected_seconds += dt;
+        continue;
+      }
+      uint64_t instances = WalkInstances(outcome.probability, join_size, rng);
+      if (instances == 0) {
+        double dt = SecondsSince(start);
+        sink_->regular_seconds += dt;
+        sink_->rejected_seconds += dt;
+        continue;
+      }
+      if (oracle_.Owner(outcome.tuple) != j) {
+        ++sink_->rejected_cover;
+        double dt = SecondsSince(start);
+        sink_->regular_seconds += dt;
+        sink_->rejected_seconds += dt;
+        continue;
+      }
+      for (uint64_t c = 0; c < instances; ++c) out->push_back(outcome.tuple);
+      sink_->accepted += instances;
+      sink_->fresh_accepted += instances;
+      double dt = SecondsSince(start);
+      sink_->regular_seconds += dt;
+      sink_->accepted_seconds += dt;
+      return instances;
+    }
+    return 0;
+  }
+
+  UnionSampleStats stats() const override { return *sink_; }
+
+ private:
+  std::vector<std::unique_ptr<WanderJoinSampler>> wander_;
+  std::vector<JoinMembershipProberPtr> probers_;
+  std::vector<double> weights_;
+  std::vector<double> join_sizes_;
+  uint64_t max_draws_per_round_;
+  OnlineUnionSampleStats* sink_;
+  /// Joins this worker abandoned (caller folds these into disabled_).
+  std::vector<uint8_t>* abandoned_sink_;
+  /// Per-worker memoized f(u) over the shared probers.
+  OwnerOracle oracle_{&probers_};
+};
+
+}  // namespace
+
+Result<std::vector<Tuple>> OnlineUnionSampler::SampleFreshParallel(
+    size_t n, uint64_t seed) {
+  auto wall_start = Clock::now();
+  ParallelUnionExecutor::Options exec_options;
+  exec_options.num_threads = options_.num_threads;
+  exec_options.batch_size = options_.batch_size;
+  ParallelUnionExecutor executor(exec_options);
+  const size_t workers = executor.EffectiveThreads(n);
+  const size_t num_batches =
+      (n + options_.batch_size - 1) / options_.batch_size;
+
+  // Frozen selection weights: current cover estimates minus abandoned
+  // joins. Workers never write these.
+  std::vector<double> weights = estimates_.cover_sizes;
+  for (size_t j = 0; j < weights.size(); ++j) {
+    if (disabled_[j]) weights[j] = 0.0;
+  }
+
+  auto build_wander =
+      [&]() -> Result<std::vector<std::unique_ptr<WanderJoinSampler>>> {
+    std::vector<std::unique_ptr<WanderJoinSampler>> wander;
+    wander.reserve(joins_.size());
+    for (const auto& join : joins_) {
+      auto sampler = WanderJoinSampler::Create(join, options_.index_cache);
+      if (!sampler.ok()) return sampler.status();
+      wander.push_back(std::move(*sampler));
+    }
+    return wander;
+  };
+
+  // Viability pre-pass on the calling thread. Batches are stateless, so a
+  // join whose estimated cover is empty in reality would otherwise be
+  // re-discovered — at full max_draws_per_round cost — by every batch
+  // that selects it. (Shrinking the per-batch budget instead would
+  // spuriously abandon sparse-but-live covers the sequential path samples
+  // fine.) Each enabled join must yield one owned tuple within the
+  // ordinary round budget or it is disabled before the fan-out, paying
+  // for dead covers exactly once. The probe draws from the substream one
+  // past the last batch index, so batch RNGs are untouched and the
+  // discovered set is thread-count independent.
+  OnlineUnionSampleStats probe_stats;
+  {
+    auto wander = build_wander();
+    if (!wander.ok()) return wander.status();
+    std::vector<uint8_t> probe_abandoned(joins_.size(), 0);
+    FreshWalkBatchSampler probe(std::move(*wander), probers_, weights,
+                                estimates_.join_sizes,
+                                options_.max_draws_per_round, &probe_stats,
+                                &probe_abandoned);
+    Rng probe_rng = Rng(seed).Split(num_batches);
+    std::vector<Tuple> scratch;  // probe accepts are discarded
+    double remaining = 0.0;
+    for (size_t j = 0; j < joins_.size(); ++j) {
+      if (weights[j] <= 0.0) continue;
+      ++probe_stats.rounds;
+      if (probe.RunRound(static_cast<int>(j), &scratch, probe_rng) == 0) {
+        ++probe_stats.abandoned_rounds;
+        weights[j] = 0.0;
+        disabled_[j] = true;
+      }
+      remaining += weights[j];
+    }
+    if (remaining <= 0.0) {
+      return Status::Internal(
+          "every join's cover was abandoned; warm-up estimates are "
+          "inconsistent with the data");
+    }
+    // The probe's accepted walks were discarded, so they must not count
+    // as result tuples; the time they took is reclassified as rejected
+    // work (draws not ending in a delivered tuple).
+    probe_stats.rejected_seconds += probe_stats.accepted_seconds;
+    probe_stats.accepted_seconds = 0.0;
+    probe_stats.accepted = 0;
+    probe_stats.fresh_accepted = 0;
+  }
+
+  // Per-worker stats and abandonment reports live in caller-owned slots
+  // so the online-specific counters survive the executor (which only
+  // merges the base struct, and is handed no stats sink here to avoid
+  // double counting). Worker-reported abandonment (rare after the
+  // pre-pass: a live-but-sparse cover exhausting a round budget) is
+  // folded into disabled_ after the fan-out, mirroring the sequential
+  // path's persistent disabling without letting it alter batch contents.
+  std::vector<std::vector<uint8_t>> worker_abandoned(
+      workers, std::vector<uint8_t>(joins_.size(), 0));
+  std::vector<OnlineUnionSampleStats> worker_stats(workers);
+  auto factory = [&](size_t worker) -> Result<std::unique_ptr<BatchSampler>> {
+    if (worker >= workers) {
+      return Status::Internal("worker index out of range");
+    }
+    auto wander = build_wander();
+    if (!wander.ok()) return wander.status();
+    return std::unique_ptr<BatchSampler>(new FreshWalkBatchSampler(
+        std::move(*wander), probers_, weights, estimates_.join_sizes,
+        options_.max_draws_per_round, &worker_stats[worker],
+        &worker_abandoned[worker]));
+  };
+
+  auto result = executor.Execute(n, seed, factory, /*stats=*/nullptr);
+  if (!result.ok()) return result.status();
+
+  for (const auto& mask : worker_abandoned) {
+    for (size_t j = 0; j < joins_.size(); ++j) {
+      if (mask[j]) disabled_[j] = true;
+    }
+  }
+  stats_.MergeFrom(probe_stats);
+  for (const auto& ws : worker_stats) stats_.MergeFrom(ws);
+  stats_.parallel_batches += num_batches;
+  stats_.parallel_workers += workers;
+  stats_.parallel_seconds += SecondsSince(wall_start);
+  return result;
+}
+
 Result<std::vector<Tuple>> OnlineUnionSampler::Sample(size_t n, Rng& rng) {
   std::vector<Tuple> result;
   std::vector<std::string> keys;
@@ -128,21 +408,7 @@ Result<std::vector<Tuple>> OnlineUnionSampler::Sample(size_t n, Rng& rng) {
     if (options_.mode == UnionSampler::Mode::kMembershipOracle) {
       // f(u): the first join containing the value (probed exactly, cached).
       (void)r;
-      auto cached = owner_.find(key);
-      int f;
-      if (cached != owner_.end()) {
-        f = cached->second;
-      } else {
-        f = -1;
-        for (size_t i = 0; i < probers_.size(); ++i) {
-          if (probers_[i]->Contains(t)) {
-            f = static_cast<int>(i);
-            break;
-          }
-        }
-        owner_.emplace(key, f);
-      }
-      if (f != j) {
+      if (oracle_.Owner(key, t) != j) {
         ++stats_.rejected_cover;
         return 0;
       }
@@ -181,6 +447,16 @@ Result<std::vector<Tuple>> OnlineUnionSampler::Sample(size_t n, Rng& rng) {
   };
 
   while (result.size() < n) {
+    if (options_.index_cache != nullptr && ParallelTailReady()) {
+      // Everything order-sensitive (pool reuse, backtracking) is done;
+      // the remaining fresh walks fan out. One rng draw fixes the
+      // substream seed, so the full sequence stays a function of the
+      // caller's RNG state and n alone — thread count never enters.
+      auto tail = SampleFreshParallel(n - result.size(), rng.Next());
+      if (!tail.ok()) return tail.status();
+      for (auto& t : *tail) result.push_back(std::move(t));
+      break;
+    }
     ++stats_.rounds;
     std::vector<double> weights = estimates_.cover_sizes;
     double remaining = 0.0;
@@ -242,9 +518,8 @@ Result<std::vector<Tuple>> OnlineUnionSampler::Sample(size_t n, Rng& rng) {
           stats_.rejected_seconds += dt;
           continue;
         }
-        double rate = 1.0 / (outcome->probability * join_size);
-        uint64_t instances = static_cast<uint64_t>(rate);
-        if (rng.Bernoulli(rate - std::floor(rate))) ++instances;
+        uint64_t instances =
+            WalkInstances(outcome->probability, join_size, rng);
         if (instances == 0) {
           double dt = SecondsSince(start);
           stats_.regular_seconds += dt;

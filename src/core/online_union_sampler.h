@@ -49,6 +49,10 @@ struct OnlineUnionSampleStats : UnionSampleStats {
   double reuse_seconds = 0.0;      ///< time spent in pool draws
   double regular_seconds = 0.0;    ///< time spent in fresh walks
   double backtrack_seconds = 0.0;  ///< time spent re-estimating/thinning
+
+  using UnionSampleStats::MergeFrom;
+  /// Folds another online stats block (e.g. one parallel worker's) in.
+  void MergeFrom(const OnlineUnionSampleStats& other);
 };
 
 /// \brief Algorithm 2: set-union sampling with reuse and backtracking.
@@ -66,6 +70,28 @@ class OnlineUnionSampler {
     /// `confidence` is below this threshold.
     double ci_threshold = 0.10;
     uint64_t max_draws_per_round = 100000;
+    /// Worker threads for the batched fresh-walk phase (engaged by
+    /// setting `index_cache`); 0 = hardware concurrency. Reuse-pool draws
+    /// and backtracking stay single-threaded (they mutate shared
+    /// pools/estimates); once the pools are drained and backtracking has
+    /// settled, the remaining walks fan out over the parallel executor
+    /// against the then-frozen estimates, each worker with its own
+    /// wander-join samplers over the shared read-only indexes. Requires
+    /// kMembershipOracle mode. Same seed + same n => identical samples
+    /// for EVERY num_threads, including 1. Caveat: multi-instance
+    /// (Horvitz-Thompson) accepts are clipped at batch rather than call
+    /// granularity, so with badly underestimated join sizes the batched
+    /// tail truncates overshoot more often than the sequential path;
+    /// with calibrated warm-up estimates (instances ~= 1) the effect is
+    /// negligible.
+    size_t num_threads = 1;
+    /// Tuples per parallel batch (see UnionSampler::Options::batch_size).
+    size_t batch_size = 64;
+    /// Setting this engages the batched fresh-walk phase; it builds each
+    /// worker's wander-join samplers. Indexes are created or reused on
+    /// the calling thread; workers only read them. Not owned. Leave null
+    /// for the fully sequential loop.
+    CompositeIndexCache* index_cache = nullptr;
   };
 
   /// \param joins     union-compatible joins (cover order).
@@ -93,6 +119,10 @@ class OnlineUnionSampler {
   /// Estimates currently in force (refined by backtracking passes).
   const UnionEstimates& current_estimates() const { return estimates_; }
 
+  // Not copyable or movable: oracle_ points into this object's probers_.
+  OnlineUnionSampler(const OnlineUnionSampler&) = delete;
+  OnlineUnionSampler& operator=(const OnlineUnionSampler&) = delete;
+
  private:
   struct PoolEntry {
     Tuple tuple;
@@ -116,6 +146,15 @@ class OnlineUnionSampler {
                    std::vector<std::string>* keys, std::vector<int>* owners,
                    std::vector<double>* probs, Rng& rng);
 
+  /// True once the sequential phase has nothing left that must stay
+  /// sequential: pools drained (or reuse disabled) and backtracking
+  /// settled.
+  bool ParallelTailReady() const;
+
+  /// Fans the remaining `n` fresh walks out over the parallel executor
+  /// with frozen estimates (oracle mode only).
+  Result<std::vector<Tuple>> SampleFreshParallel(size_t n, uint64_t seed);
+
   std::vector<JoinSpecPtr> joins_;
   RandomWalkOverlapEstimator* walker_;
   UnionEstimates estimates_;
@@ -125,7 +164,10 @@ class OnlineUnionSampler {
   /// normalizer; fixed at Create so acceptance stays <= 1 as pools drain).
   std::vector<double> pool_min_p_;
   std::vector<JoinMembershipProberPtr> probers_;  // oracle mode
-  std::unordered_map<std::string, int> owner_;    // ownership record
+  /// f(u) memoized over probers_ (oracle mode).
+  OwnerOracle oracle_{&probers_};
+  /// Ownership record of the revision protocol (revision mode only).
+  std::unordered_map<std::string, int> owner_;
   OnlineUnionSampleStats stats_;
   uint64_t recorded_since_backtrack_ = 0;
   bool backtracking_active_ = true;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "exec/parallel_executor.h"
+
 namespace suj {
 
 namespace {
@@ -36,12 +38,41 @@ Status ValidateSamplerSet(
 
 }  // namespace
 
+void UnionSampleStats::MergeFrom(const UnionSampleStats& other) {
+  rounds += other.rounds;
+  join_draws += other.join_draws;
+  accepted += other.accepted;
+  rejected_cover += other.rejected_cover;
+  revisions += other.revisions;
+  removed_by_revision += other.removed_by_revision;
+  abandoned_rounds += other.abandoned_rounds;
+  accepted_seconds += other.accepted_seconds;
+  rejected_seconds += other.rejected_seconds;
+  parallel_batches += other.parallel_batches;
+  parallel_workers += other.parallel_workers;
+  parallel_clipped += other.parallel_clipped;
+  parallel_seconds += other.parallel_seconds;
+}
+
 Result<std::unique_ptr<UnionSampler>> UnionSampler::Create(
     std::vector<JoinSpecPtr> joins,
     std::vector<std::unique_ptr<JoinSampler>> samplers,
     UnionEstimates estimates, std::vector<JoinMembershipProberPtr> probers,
     Options options) {
-  SUJ_RETURN_NOT_OK(ValidateSamplerSet(joins, samplers));
+  if (options.sampler_factory != nullptr) {
+    // Executor path: workers build their own sampler sets from the
+    // factory (each validated by the per-worker Create). A Create-time
+    // set would be dead weight — Sample() never touches it and its stats
+    // would read all-zero — so the ambiguous combination is rejected.
+    if (!samplers.empty()) {
+      return Status::InvalidArgument(
+          "pass an empty sampler set when sampler_factory is set; "
+          "Create-time samplers are never used on the executor path");
+    }
+    SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+  } else {
+    SUJ_RETURN_NOT_OK(ValidateSamplerSet(joins, samplers));
+  }
   if (estimates.cover_sizes.size() != joins.size()) {
     return Status::InvalidArgument("estimates do not match the join count");
   }
@@ -56,19 +87,70 @@ Result<std::unique_ptr<UnionSampler>> UnionSampler::Create(
     return Status::FailedPrecondition(
         "all cover sizes are zero; the union is (estimated) empty");
   }
+  if (options.sampler_factory != nullptr) {
+    if (options.mode != Mode::kMembershipOracle) {
+      return Status::InvalidArgument(
+          "parallel sampling requires kMembershipOracle mode (revision "
+          "ownership is shared mutable state)");
+    }
+    if (options.batch_size == 0) {
+      return Status::InvalidArgument("batch_size must be positive");
+    }
+  } else if (options.num_threads != 1) {
+    return Status::InvalidArgument(
+        "num_threads != 1 requires a sampler_factory for per-worker "
+        "samplers");
+  }
   return std::unique_ptr<UnionSampler>(
       new UnionSampler(std::move(joins), std::move(samplers),
                        std::move(estimates), std::move(probers), options));
 }
 
-int UnionSampler::FirstContainingJoin(const Tuple& tuple) const {
-  for (size_t i = 0; i < probers_.size(); ++i) {
-    if (probers_[i]->Contains(tuple)) return static_cast<int>(i);
-  }
-  return -1;
+Result<std::vector<Tuple>> UnionSampler::SampleParallel(size_t n,
+                                                        uint64_t seed) {
+  // Each worker owns a private sequential UnionSampler over the shared
+  // joins/estimates/probers and its own sampler set. Oracle-mode batches
+  // carry no cross-batch state, so batch output depends only on the batch
+  // RNG — the executor's determinism contract.
+  class WorkerBatchSampler : public BatchSampler {
+   public:
+    explicit WorkerBatchSampler(std::unique_ptr<UnionSampler> inner)
+        : inner_(std::move(inner)) {}
+    Result<std::vector<Tuple>> SampleBatch(size_t count, Rng& rng) override {
+      return inner_->Sample(count, rng);
+    }
+    UnionSampleStats stats() const override { return inner_->stats(); }
+
+   private:
+    std::unique_ptr<UnionSampler> inner_;
+  };
+
+  Options worker_options = options_;
+  worker_options.num_threads = 1;
+  worker_options.sampler_factory = nullptr;
+  auto factory = [&](size_t) -> Result<std::unique_ptr<BatchSampler>> {
+    auto samplers = options_.sampler_factory();
+    if (!samplers.ok()) return samplers.status();
+    auto worker = Create(joins_, std::move(*samplers), estimates_, probers_,
+                         worker_options);
+    if (!worker.ok()) return worker.status();
+    return std::unique_ptr<BatchSampler>(
+        new WorkerBatchSampler(std::move(*worker)));
+  };
+
+  ParallelUnionExecutor::Options exec_options;
+  exec_options.num_threads = options_.num_threads;
+  exec_options.batch_size = options_.batch_size;
+  ParallelUnionExecutor executor(exec_options);
+  return executor.Execute(n, seed, factory, &stats_);
 }
 
 Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {
+  if (options_.sampler_factory != nullptr) {
+    // One draw fixes the substream seed; the caller's RNG advances the
+    // same way for every thread count.
+    return SampleParallel(n, rng.Next());
+  }
   std::vector<Tuple> result;
   std::vector<std::string> result_keys;  // parallel encodings, for revision
   result.reserve(n);
@@ -93,7 +175,7 @@ Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {
       }
 
       if (options_.mode == Mode::kMembershipOracle) {
-        int first = FirstContainingJoin(*t);
+        int first = oracle_.Owner(*t);
         if (first != j) {
           // The cover assigns this value to an earlier join: t is outside
           // J'_j. Retry the same join (uniformity on J'_j).
@@ -229,14 +311,7 @@ Result<std::vector<Tuple>> BernoulliUnionSampler::Sample(size_t n, Rng& rng) {
       auto t = samplers_[j]->Sample(rng);
       if (!t.ok()) return t.status();
       // Keep only if J_j is the first join containing the value.
-      int first = -1;
-      for (size_t i = 0; i < probers_.size(); ++i) {
-        if (probers_[i]->Contains(*t)) {
-          first = static_cast<int>(i);
-          break;
-        }
-      }
-      if (first == static_cast<int>(j)) {
+      if (oracle_.Owner(*t) == static_cast<int>(j)) {
         result.push_back(std::move(t).value());
         ++stats_.accepted;
         stats_.accepted_seconds += SecondsSince(start);

@@ -25,6 +25,7 @@
 #ifndef SUJ_CORE_UNION_SAMPLER_H_
 #define SUJ_CORE_UNION_SAMPLER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -52,6 +53,19 @@ struct UnionSampleStats {
   uint64_t abandoned_rounds = 0;
   double accepted_seconds = 0.0;    ///< time in rounds ending in an accept
   double rejected_seconds = 0.0;    ///< time spent on rejected draws
+  // Parallel-executor accounting (zero when sampling ran sequentially).
+  uint64_t parallel_batches = 0;    ///< batches fanned out by the executor
+  uint64_t parallel_workers = 0;    ///< worker contexts that participated
+  /// Accepted tuples clipped at batch boundaries (multi-instance
+  /// overshoot; the sequential path clips only once per call). Non-
+  /// negligible values signal badly underestimated join sizes.
+  uint64_t parallel_clipped = 0;
+  double parallel_seconds = 0.0;    ///< executor wall-clock (not CPU) time
+
+  /// Folds another stats block (e.g. one worker's) into this one: counters
+  /// and per-phase times add; parallel_workers adds so a merge over workers
+  /// counts contexts.
+  void MergeFrom(const UnionSampleStats& other);
 
   double CoverRejectionRatio() const {
     uint64_t total = accepted + rejected_cover;
@@ -66,6 +80,13 @@ class UnionSampler {
  public:
   enum class Mode { kRevision, kMembershipOracle };
 
+  /// Builds a fresh set of per-join samplers for one parallel worker.
+  /// Called once per worker on the calling thread before the pool starts
+  /// (so it may share non-thread-safe index caches); the samplers it
+  /// returns are used by exactly one worker.
+  using JoinSamplerFactory =
+      std::function<Result<std::vector<std::unique_ptr<JoinSampler>>>()>;
+
   struct Options {
     Mode mode = Mode::kRevision;
     /// Retry cap for one round. When a round exhausts the budget, the
@@ -73,10 +94,31 @@ class UnionSampler {
     /// produce (it is fully covered by earlier joins); the round is
     /// abandoned and the join's selection weight zeroed.
     uint64_t max_draws_per_round = 50000;
+    /// Worker threads for the batched executor path (engaged by setting
+    /// `sampler_factory`); 0 = hardware concurrency. The batched path
+    /// requires kMembershipOracle mode — ownership there is the pure
+    /// function "first join containing the value", so batches drawn from
+    /// independent RNG substreams are independent and the batch-ordered
+    /// concatenation has exactly the sequential sampler's distribution.
+    /// (Revision mode learns ownership in shared mutable state and stays
+    /// sequential.)
+    size_t num_threads = 1;
+    /// Tuples per parallel batch. The sample sequence is a function of
+    /// (seed, batch index) only — never of the claiming thread — so the
+    /// same seed and n give a byte-identical sequence for EVERY
+    /// num_threads, including 1 (one worker draining all batches).
+    size_t batch_size = 64;
+    /// Setting this engages the batched executor path for Sample(); the
+    /// factory builds each worker's private sampler set. Leave null for
+    /// the classic sequential loop.
+    JoinSamplerFactory sampler_factory;
   };
 
   /// \param joins      union-compatible joins J_0..J_{n-1} (cover order).
-  /// \param samplers   one uniform sampler per join (EW or EO).
+  /// \param samplers   one uniform sampler per join (EW or EO). MUST be
+  ///                   empty when Options::sampler_factory is set — the
+  ///                   executor path builds per-worker sets from the
+  ///                   factory and would never touch these.
   /// \param estimates  warm-up output (cover sizes drive join selection).
   /// \param probers    membership oracles; required for kMembershipOracle.
   static Result<std::unique_ptr<UnionSampler>> Create(
@@ -97,6 +139,13 @@ class UnionSampler {
   /// uniform over the set union. Under the revision mode the result can
   /// additionally shrink mid-run; the loop continues until `n` tuples
   /// stand.
+  ///
+  /// With Options::sampler_factory set the draw fans out over the parallel
+  /// executor: `rng` is consumed for exactly one value (the substream
+  /// seed), so the output is a deterministic function of the caller's RNG
+  /// state and n, independent of the thread count. Join-level stats then
+  /// accrue in the per-worker samplers, not in the ones passed to Create
+  /// (AggregatedJoinStats() reports only sequential-path work).
   Result<std::vector<Tuple>> Sample(size_t n, Rng& rng);
 
   const UnionSampleStats& stats() const { return stats_; }
@@ -106,6 +155,10 @@ class UnionSampler {
 
   /// Aggregated join-level sampler statistics (rejections inside EW/EO).
   JoinSampleStats AggregatedJoinStats() const;
+
+  // Not copyable or movable: oracle_ points into this object's probers_.
+  UnionSampler(const UnionSampler&) = delete;
+  UnionSampler& operator=(const UnionSampler&) = delete;
 
  private:
   UnionSampler(std::vector<JoinSpecPtr> joins,
@@ -118,9 +171,8 @@ class UnionSampler {
         probers_(std::move(probers)),
         options_(options) {}
 
-  /// First join containing `tuple` (oracle mode); -1 if none (impossible
-  /// for tuples produced by a member join).
-  int FirstContainingJoin(const Tuple& tuple) const;
+  /// Parallel fan-out of Sample (oracle mode only; see Options).
+  Result<std::vector<Tuple>> SampleParallel(size_t n, uint64_t seed);
 
   std::vector<JoinSpecPtr> joins_;
   std::vector<std::unique_ptr<JoinSampler>> samplers_;
@@ -128,6 +180,8 @@ class UnionSampler {
   std::vector<JoinMembershipProberPtr> probers_;
   Options options_;
   UnionSampleStats stats_;
+  /// f(u) = first containing join (oracle mode), memoized over probers_.
+  OwnerOracle oracle_{&probers_};
 };
 
 /// \brief Definition 1: sampling the disjoint union (duplicates retained).
@@ -166,6 +220,10 @@ class BernoulliUnionSampler {
 
   const UnionSampleStats& stats() const { return stats_; }
 
+  // Not copyable or movable: oracle_ points into this object's probers_.
+  BernoulliUnionSampler(const BernoulliUnionSampler&) = delete;
+  BernoulliUnionSampler& operator=(const BernoulliUnionSampler&) = delete;
+
  private:
   BernoulliUnionSampler(std::vector<JoinSpecPtr> joins,
                         std::vector<std::unique_ptr<JoinSampler>> samplers,
@@ -181,6 +239,7 @@ class BernoulliUnionSampler {
   UnionEstimates estimates_;
   std::vector<JoinMembershipProberPtr> probers_;
   UnionSampleStats stats_;
+  OwnerOracle oracle_{&probers_};
 };
 
 /// Example 2's broken baseline: per-join uniform samples, set-unioned.

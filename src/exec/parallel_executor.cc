@@ -1,0 +1,132 @@
+#include "exec/parallel_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace suj {
+
+namespace {
+
+size_t HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace
+
+ParallelUnionExecutor::ParallelUnionExecutor(Options options)
+    : options_(options) {
+  if (options_.num_threads == 0) options_.num_threads = HardwareThreads();
+  if (options_.batch_size == 0) options_.batch_size = 64;
+}
+
+size_t ParallelUnionExecutor::EffectiveThreads(size_t n) const {
+  size_t batches = (n + options_.batch_size - 1) / options_.batch_size;
+  return std::min(options_.num_threads, batches == 0 ? size_t{1} : batches);
+}
+
+Result<std::vector<Tuple>> ParallelUnionExecutor::Execute(
+    size_t n, uint64_t seed, const BatchSamplerFactory& factory,
+    UnionSampleStats* stats) {
+  if (factory == nullptr) {
+    return Status::InvalidArgument("null batch-sampler factory");
+  }
+  auto wall_start = std::chrono::steady_clock::now();
+  const size_t batch = options_.batch_size;
+  const size_t num_batches = (n + batch - 1) / batch;
+  const size_t workers = EffectiveThreads(n);
+
+  // Worker contexts are built serially up front: factories may share
+  // non-thread-safe caches, and index construction should not be charged
+  // to one unlucky batch.
+  std::vector<std::unique_ptr<BatchSampler>> contexts;
+  contexts.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    auto context = factory(w);
+    if (!context.ok()) return context.status();
+    if (*context == nullptr) {
+      return Status::InvalidArgument("factory produced a null BatchSampler");
+    }
+    contexts.push_back(std::move(*context));
+  }
+
+  std::vector<std::vector<Tuple>> slots(num_batches);
+  std::vector<Status> worker_status(workers, Status::OK());
+  std::vector<uint64_t> worker_clipped(workers, 0);
+  std::atomic<size_t> next_batch{0};
+  std::atomic<bool> failed{false};
+
+  auto run_worker = [&](size_t w) {
+    // Batch i's generator is Rng(seed) jumped i times. Claimed indexes are
+    // strictly increasing per worker, so each worker advances one cursor
+    // incrementally instead of re-deriving Split(i) from scratch.
+    Rng cursor(seed);
+    size_t cursor_jumps = 0;
+    for (;;) {
+      const size_t i = next_batch.fetch_add(1);
+      if (i >= num_batches || failed.load(std::memory_order_relaxed)) break;
+      while (cursor_jumps < i) {
+        cursor.Jump();
+        ++cursor_jumps;
+      }
+      Rng batch_rng = cursor;
+      const size_t count = std::min(batch, n - i * batch);
+      auto drawn = contexts[w]->SampleBatch(count, batch_rng);
+      if (!drawn.ok()) {
+        worker_status[w] = drawn.status();
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (drawn->size() > count) {
+        worker_clipped[w] += drawn->size() - count;
+        drawn->resize(count);
+      }
+      if (drawn->size() < count) {
+        worker_status[w] = Status::Internal(
+            "batch sampler returned " + std::to_string(drawn->size()) +
+            " of " + std::to_string(count) + " requested tuples");
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+      slots[i] = std::move(*drawn);
+    }
+  };
+
+  if (workers <= 1) {
+    run_worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) pool.emplace_back(run_worker, w);
+    for (auto& t : pool) t.join();
+  }
+
+  for (const Status& s : worker_status) {
+    if (!s.ok()) return s;
+  }
+
+  if (stats != nullptr) {
+    // Worker order (not claim order) keeps the merge deterministic; the
+    // counter totals are claim-order independent anyway.
+    for (const auto& context : contexts) stats->MergeFrom(context->stats());
+    for (uint64_t clipped : worker_clipped) stats->parallel_clipped += clipped;
+    stats->parallel_batches += num_batches;
+    stats->parallel_workers += workers;
+    stats->parallel_seconds += std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   wall_start)
+                                   .count();
+  }
+
+  std::vector<Tuple> result;
+  result.reserve(n);
+  for (auto& slot : slots) {
+    for (auto& t : slot) result.push_back(std::move(t));
+  }
+  return result;
+}
+
+}  // namespace suj

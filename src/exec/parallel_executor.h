@@ -1,0 +1,88 @@
+// ParallelUnionExecutor: deterministic worker-pool fan-out for union
+// sampling.
+//
+// A request for n tuples is cut into fixed-size batches. Batch i is drawn
+// with its own RNG substream — Rng(seed) advanced i jumps (2^128 steps
+// each, common/rng.h) — by whichever worker claims it, and the per-batch
+// results are reassembled in batch order. Because every batch's output is a
+// function of (seed, batch index) alone and never of the claiming thread,
+// the concatenated sample sequence is byte-identical for any thread count,
+// including 1. That per-batch (not per-thread) seeding is the entire
+// determinism story; the pool is otherwise a plain claim-next-batch loop.
+//
+// Workers run against shared read-only state (indexes, probers, overlap
+// estimates); everything mutable — per-join samplers, stats, RNG — is
+// per-worker. Worker contexts are created on the calling thread before the
+// pool starts, so factories need not be thread-safe.
+
+#ifndef SUJ_EXEC_PARALLEL_EXECUTOR_H_
+#define SUJ_EXEC_PARALLEL_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/union_sampler.h"
+
+namespace suj {
+
+/// \brief One worker's sampling context.
+///
+/// Contract for determinism: SampleBatch(count, rng) must be a pure
+/// function of (count, rng) plus state that is immutable or reset per call.
+/// Memoization of pure functions (e.g. ownership caches) is fine; carrying
+/// sampling-relevant state between batches is not.
+class BatchSampler {
+ public:
+  virtual ~BatchSampler() = default;
+
+  /// Draws at least `count` tuples (overshoot is truncated by the
+  /// executor, deterministically, since truncation happens per batch).
+  virtual Result<std::vector<Tuple>> SampleBatch(size_t count, Rng& rng) = 0;
+
+  /// Cumulative union-level stats over every batch this worker ran.
+  virtual UnionSampleStats stats() const = 0;
+};
+
+/// Builds the context for worker `worker_index` (0 <= index <
+/// EffectiveThreads(n), each passed exactly once). The index lets callers
+/// bind per-worker output slots without trusting call order or count.
+using BatchSamplerFactory =
+    std::function<Result<std::unique_ptr<BatchSampler>>(size_t worker_index)>;
+
+/// \brief Deterministic batched fan-out over a worker pool.
+class ParallelUnionExecutor {
+ public:
+  struct Options {
+    /// Worker threads; 0 resolves to std::thread::hardware_concurrency().
+    size_t num_threads = 0;
+    /// Tuples per batch: the determinism and scheduling unit. Smaller
+    /// batches balance load better; larger ones amortize per-batch setup.
+    size_t batch_size = 64;
+  };
+
+  explicit ParallelUnionExecutor(Options options);
+
+  /// Draws `n` tuples using worker contexts from `factory` (one per
+  /// worker, created up front on the calling thread). The result is
+  /// identical for every `num_threads` given the same (n, seed, factory
+  /// semantics). Merged per-worker stats (plus batch/worker/wall-time
+  /// accounting) are added into `*stats` when non-null.
+  Result<std::vector<Tuple>> Execute(size_t n, uint64_t seed,
+                                     const BatchSamplerFactory& factory,
+                                     UnionSampleStats* stats = nullptr);
+
+  /// Threads the pool will actually use for a request of `n` tuples.
+  size_t EffectiveThreads(size_t n) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_EXEC_PARALLEL_EXECUTOR_H_

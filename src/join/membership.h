@@ -11,6 +11,8 @@
 #define SUJ_JOIN_MEMBERSHIP_H_
 
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -45,6 +47,52 @@ using JoinMembershipProberPtr = std::shared_ptr<const JoinMembershipProber>;
 /// Builds probers for every join of a union.
 Result<std::vector<JoinMembershipProberPtr>> BuildProbers(
     const std::vector<JoinSpecPtr>& joins);
+
+/// \brief Memoized cover-ownership function f(u) = first join containing u.
+///
+/// For a fixed join set this is a pure function of the tuple (-1 iff the
+/// tuple is in no join), so caching by encoding is sound — and so is
+/// giving each parallel worker its own oracle over the shared probers.
+/// The prober vector is referenced, not copied; it must outlive the
+/// oracle and stay unchanged (fine for samplers, whose join sets are
+/// fixed at Create). The memo is capped: beyond `max_entries` distinct
+/// values, lookups still hit but no new entries are stored, so a
+/// long-lived sampler over a huge union degrades to plain probing
+/// instead of growing without bound.
+class OwnerOracle {
+ public:
+  /// The default cap (64k entries, single-digit MB of keys) comfortably
+  /// covers union universes where memoization pays, while bounding the
+  /// pure-overhead regime (huge domains, near-zero hit rate) — note each
+  /// parallel worker carries its own oracle, so per-instance memory
+  /// multiplies by the thread count.
+  explicit OwnerOracle(const std::vector<JoinMembershipProberPtr>* probers,
+                       size_t max_entries = size_t{1} << 16)
+      : probers_(probers), max_entries_(max_entries) {}
+
+  /// First containing join of `tuple`, memoized.
+  int Owner(const Tuple& tuple) { return Owner(tuple.Encode(), tuple); }
+
+  /// Same, for callers that already hold the canonical encoding.
+  int Owner(const std::string& key, const Tuple& tuple) {
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    int f = -1;
+    for (size_t i = 0; i < probers_->size(); ++i) {
+      if ((*probers_)[i]->Contains(tuple)) {
+        f = static_cast<int>(i);
+        break;
+      }
+    }
+    if (memo_.size() < max_entries_) memo_.emplace(key, f);
+    return f;
+  }
+
+ private:
+  const std::vector<JoinMembershipProberPtr>* probers_;
+  size_t max_entries_;
+  std::unordered_map<std::string, int> memo_;
+};
 
 }  // namespace suj
 

@@ -20,6 +20,7 @@
 #include "core/template_selector.h"
 #include "core/union_sampler.h"
 #include "core/union_size_model.h"
+#include "exec/parallel_executor.h"
 #include "index/composite_index.h"
 #include "index/hash_index.h"
 #include "index/row_membership_index.h"

@@ -1,0 +1,173 @@
+// Tests for common/rng substreams: Jump()/Split() must advance by exactly
+// 2^128 engine steps so per-batch generators of the parallel executor are
+// provably non-overlapping.
+//
+// The centerpiece verifies the jump polynomial from first principles: the
+// xoshiro256** state transition is linear over GF(2), so advancing 2^128
+// steps equals multiplying the state by M^(2^128) for the 256x256 transition
+// matrix M. The test builds M from the engine update, exponentiates it by
+// 128 squarings, and checks Jump() lands on the identical state — without
+// ever referencing the jump constants themselves.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace suj {
+namespace {
+
+using State = std::array<uint64_t, 4>;
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// The engine's linear state update (the part of Next() that advances s_).
+State StepLinear(State s) {
+  const uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = Rotl(s[3], 45);
+  return s;
+}
+
+// The output scrambler applied to the pre-update state.
+uint64_t Scramble(const State& s) { return Rotl(s[1] * 5, 7) * 9; }
+
+// Rng's seeding procedure (splitmix64), restated here so the test can
+// reconstruct the hidden state from a literal seed.
+State SeedState(uint64_t seed) {
+  State s;
+  uint64_t x = seed;
+  for (auto& w : s) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    w = z ^ (z >> 31);
+  }
+  return s;
+}
+
+// 256x256 bit-matrix over GF(2), stored as 256 column states: column j is
+// the image of unit vector e_j.
+struct BitMatrix {
+  std::vector<State> cols = std::vector<State>(256, State{0, 0, 0, 0});
+};
+
+State MatVec(const BitMatrix& m, const State& v) {
+  State out{0, 0, 0, 0};
+  for (int j = 0; j < 256; ++j) {
+    if (v[j / 64] & (1ULL << (j % 64))) {
+      for (int w = 0; w < 4; ++w) out[w] ^= m.cols[j][w];
+    }
+  }
+  return out;
+}
+
+BitMatrix MatMul(const BitMatrix& a, const BitMatrix& b) {
+  BitMatrix out;
+  for (int j = 0; j < 256; ++j) out.cols[j] = MatVec(a, b.cols[j]);
+  return out;
+}
+
+BitMatrix TransitionMatrix() {
+  BitMatrix m;
+  for (int j = 0; j < 256; ++j) {
+    State e{0, 0, 0, 0};
+    e[j / 64] = 1ULL << (j % 64);
+    m.cols[j] = StepLinear(e);
+  }
+  return m;
+}
+
+TEST(RngStreamTest, JumpMatchesMatrixPower) {
+  // M^(2^128) by 128 squarings of the transition matrix.
+  BitMatrix m = TransitionMatrix();
+  for (int i = 0; i < 128; ++i) m = MatMul(m, m);
+
+  for (uint64_t seed : {42ULL, 0ULL, 0xdeadbeefULL}) {
+    State expected = MatVec(m, SeedState(seed));
+    Rng rng(seed);
+    rng.Jump();
+    // Compare through the outputs: scramble-and-step the expected state and
+    // check the next 8 draws agree.
+    for (int k = 0; k < 8; ++k) {
+      ASSERT_EQ(rng.Next(), Scramble(expected))
+          << "seed " << seed << " draw " << k;
+      expected = StepLinear(expected);
+    }
+  }
+}
+
+TEST(RngStreamTest, GoldenJumpVectors) {
+  // Cross-platform pinning: first draws after one jump from seed 42 and
+  // after Split(3) from seed 12345 (values recorded from the verified
+  // implementation; JumpMatchesMatrixPower establishes correctness).
+  Rng a(42);
+  a.Jump();
+  const uint64_t kAfterJump42[4] = {
+      0x50086ef83cbf4f4aULL, 0xba285ec21347d703ULL, 0x5ea1247b4dc6452aULL,
+      0x03a5c66424702131ULL};
+  for (uint64_t expect : kAfterJump42) EXPECT_EQ(a.Next(), expect);
+
+  Rng b = Rng(12345).Split(3);
+  const uint64_t kSplit3From12345[4] = {
+      0x1a5442dc8aa8e92bULL, 0xbb2a2b8436842362ULL, 0xcc6b09085e64d857ULL,
+      0x2496399f4348b925ULL};
+  for (uint64_t expect : kSplit3From12345) EXPECT_EQ(b.Next(), expect);
+}
+
+TEST(RngStreamTest, SplitEqualsIteratedJumps) {
+  for (uint64_t i : {0ULL, 1ULL, 2ULL, 5ULL}) {
+    Rng split = Rng(7).Split(i);
+    Rng jumped(7);
+    for (uint64_t k = 0; k < i; ++k) jumped.Jump();
+    for (int k = 0; k < 16; ++k) ASSERT_EQ(split.Next(), jumped.Next());
+  }
+}
+
+TEST(RngStreamTest, SplitDoesNotAdvanceParent) {
+  Rng parent(11);
+  Rng untouched(11);
+  (void)parent.Split(4);
+  for (int k = 0; k < 16; ++k) ASSERT_EQ(parent.Next(), untouched.Next());
+}
+
+TEST(RngStreamTest, SubstreamsAreDisjoint) {
+  // Substreams are 2^128 draws apart; any collision within small prefixes
+  // would indicate a broken jump. 8 substreams x 1024 draws, all distinct.
+  std::unordered_set<uint64_t> seen;
+  size_t total = 0;
+  for (uint64_t i = 0; i < 8; ++i) {
+    Rng rng = Rng(3).Split(i);
+    for (int k = 0; k < 1024; ++k) {
+      seen.insert(rng.Next());
+      ++total;
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST(RngStreamTest, JumpClearsGaussianCache) {
+  // Box-Muller caches its second half; a jump starts a fresh stream, so the
+  // cached value must not leak past it. Both generators consume two draws
+  // (one Gaussian == two UniformDouble), jump, then must agree.
+  Rng a = testing::FixedSeedRng(9);
+  (void)a.Gaussian();
+  a.Jump();
+  Rng b = testing::FixedSeedRng(9);
+  b.Next();
+  b.Next();
+  b.Jump();
+  EXPECT_DOUBLE_EQ(a.Gaussian(), b.Gaussian());
+}
+
+}  // namespace
+}  // namespace suj
