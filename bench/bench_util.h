@@ -118,7 +118,10 @@ struct UnionMicroWorkload {
   std::vector<JoinSpecPtr> joins;
   UnionEstimates estimates;
   std::vector<JoinMembershipProberPtr> probers;
-  CompositeIndexCache cache;
+  /// Shared (and internally synchronized) index cache; shared_ptr so the
+  /// workload stays movable and samplers can co-own the cache.
+  std::shared_ptr<CompositeIndexCache> cache =
+      std::make_shared<CompositeIndexCache>();
   /// Prebuilt per-join weight indexes (immutable, shared across workers).
   std::vector<ExactWeightIndexPtr> weight_indexes;
 };
@@ -136,7 +139,7 @@ inline UnionMicroWorkload BuildUnionMicroWorkload() {
   w.probers = Unwrap(BuildProbers(w.joins), "probers");
   for (const auto& join : w.joins) {
     w.weight_indexes.push_back(
-        Unwrap(ExactWeightIndex::Build(join, &w.cache), "EW index"));
+        Unwrap(ExactWeightIndex::Build(join, w.cache.get()), "EW index"));
   }
   return w;
 }

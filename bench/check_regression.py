@@ -86,6 +86,15 @@ def main():
                              "instead of failing (default: fail, which "
                              "forces the documented same-commit baseline "
                              "refresh when benchmarks are added)")
+    parser.add_argument("--require-speedup", nargs=3, action="append",
+                        default=[], metavar=("FAST", "SLOW", "MIN"),
+                        help="assert real_time[SLOW] >= MIN * "
+                             "real_time[FAST] in the CURRENT run (both "
+                             "exact benchmark names). Cross-benchmark "
+                             "invariants (e.g. prepared-query requests "
+                             "must stay 2x faster than cold builds) are "
+                             "same-run, same-machine comparisons, so no "
+                             "normalization applies. Repeatable.")
     parser.add_argument("--exclude", default=None,
                         help="regex of benchmark names to drop from the "
                              "comparison entirely. Use for benchmarks whose "
@@ -97,6 +106,26 @@ def main():
 
     baseline = load_times(args.baseline)
     current = load_times(args.current)
+
+    speedup_failures = []
+    for fast, slow, minimum in args.require_speedup:
+        try:
+            minimum = float(minimum)
+        except ValueError:
+            print(f"error: --require-speedup minimum '{minimum}' is not a "
+                  "number", file=sys.stderr)
+            sys.exit(2)
+        if fast not in current or slow not in current:
+            missing = [n for n in (fast, slow) if n not in current]
+            print(f"error: --require-speedup name(s) not in current run: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            sys.exit(2)
+        ratio = current[slow] / current[fast]
+        verdict = "ok" if ratio >= minimum else "VIOLATION"
+        print(f"require-speedup: {slow} / {fast} = {ratio:.2f}x "
+              f"(need >= {minimum:.2f}x)  {verdict}")
+        if ratio < minimum:
+            speedup_failures.append(f"{fast} vs {slow}")
     if args.exclude:
         pattern = re.compile(args.exclude)
         dropped = sorted(n for n in set(baseline) | set(current)
@@ -150,6 +179,10 @@ def main():
     if failures:
         print(f"FAIL: {len(failures)} regressed/missing benchmark(s): "
               + ", ".join(failures))
+        sys.exit(1)
+    if speedup_failures:
+        print(f"FAIL: {len(speedup_failures)} --require-speedup "
+              f"violation(s): " + ", ".join(speedup_failures))
         sys.exit(1)
     print("PASS: no perf regression beyond tolerance")
     sys.exit(0)

@@ -1,0 +1,144 @@
+// google-benchmark micro-benchmarks for the service layer: per-request
+// latency of prepared-query sampling at 1/4/16 live sessions, session
+// open/close cost, streaming delivery, and the cold-build baseline that
+// re-runs the whole preparation pipeline (estimation + template selection
+// + probers + weight indexes) for every request — the regime every
+// consumer lived in before the service existed.
+//
+// The headline comparison the CI perf gate watches: at any session count,
+// BM_ServicePreparedRequest must stay well under (>= 2x faster than)
+// BM_ServiceColdRequest — the prepared path re-uses the pinned plan, the
+// cold path rebuilds it.
+//
+// bench/check_regression.py gates CI on the JSON output of this binary
+// against bench/baselines/micro_service.json; keep benchmark names stable
+// or refresh the baseline in the same change.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "service/sampling_service.h"
+
+namespace suj {
+namespace bench {
+namespace {
+
+// Tuples per request: large enough that sampling (not bookkeeping)
+// dominates the prepared path.
+constexpr size_t kDraw = 1024;
+
+// The service workload: the same overlapping-chain union the gated
+// micro_join_samplers workload uses.
+const std::vector<JoinSpecPtr>& ServiceJoins() {
+  static const std::vector<JoinSpecPtr>* joins = [] {
+    workloads::SyntheticChainOptions opts;
+    opts.num_joins = 4;
+    opts.master_rows = 400;
+    opts.max_degree = 3;
+    opts.seed = 42;
+    return new std::vector<JoinSpecPtr>(
+        Unwrap(workloads::MakeOverlappingChains(opts), "chains"));
+  }();
+  return *joins;
+}
+
+std::unique_ptr<SamplingService> MakeService(size_t max_sessions) {
+  ServiceOptions options;
+  options.seed = 42;
+  options.max_sessions = max_sessions;
+  options.max_inflight = 4;
+  return Unwrap(SamplingService::Create(options), "service");
+}
+
+// Steady-state request latency against a prepared query: S live sessions
+// round-robin their requests, each continuing its own protocol over the
+// shared plan.
+void BM_ServicePreparedRequest(benchmark::State& state) {
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  auto service = MakeService(sessions);
+  UnwrapStatus(service->Prepare("q", ServiceJoins()).status(), "prepare");
+  std::vector<uint64_t> ids;
+  for (size_t s = 0; s < sessions; ++s) {
+    ids.push_back(Unwrap(service->OpenSession("q"), "session"));
+  }
+  size_t next = 0;
+  for (auto _ : state) {
+    auto samples = service->Sample(ids[next], kDraw);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+    next = (next + 1) % sessions;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_ServicePreparedRequest)->Arg(1)->Arg(4)->Arg(16);
+
+// The pre-service regime: every request pays plan construction (warm-up
+// estimation, template selection, probers, weight indexes) before it can
+// sample. The session-count arg mirrors BM_ServicePreparedRequest for
+// side-by-side reading; a cold request costs the same no matter how many
+// other clients exist, which is exactly the problem.
+void BM_ServiceColdRequest(benchmark::State& state) {
+  for (auto _ : state) {
+    QueryRegistry registry;
+    auto plan = Unwrap(
+        registry.Prepare("q", ServiceJoins(), PreparedQueryOptions()),
+        "prepare");
+    SessionManager manager({/*seed=*/42, /*max_sessions=*/1});
+    auto session =
+        Unwrap(manager.Open(plan, SessionOptions()), "session");
+    auto samples = session->Sample(kDraw);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_ServiceColdRequest)->Arg(1)->Arg(4)->Arg(16);
+
+// Session churn on a prepared query: open + first sample + close. The
+// first sample forces the lazy sampler build, so this measures the real
+// cost of putting a NEW client on an existing plan.
+void BM_ServiceSessionChurn(benchmark::State& state) {
+  auto service = MakeService(/*max_sessions=*/4);
+  UnwrapStatus(service->Prepare("q", ServiceJoins()).status(), "prepare");
+  for (auto _ : state) {
+    uint64_t sid = Unwrap(service->OpenSession("q"), "session");
+    auto samples = service->Sample(sid, /*n=*/64);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+    UnwrapStatus(service->CloseSession(sid), "close");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceSessionChurn);
+
+// Streaming delivery: producer thread + bounded buffer + chunked pull,
+// measured end to end. Real time: the producer overlaps the consumer.
+void BM_ServiceStreamDelivery(benchmark::State& state) {
+  auto service = MakeService(/*max_sessions=*/1);
+  UnwrapStatus(service->Prepare("q", ServiceJoins()).status(), "prepare");
+  uint64_t sid = Unwrap(service->OpenSession("q"), "session");
+  SampleStream::Options stream_opts;
+  stream_opts.chunk_size = 256;
+  for (auto _ : state) {
+    auto stream = Unwrap(service->OpenStream(sid, kDraw, stream_opts),
+                         "stream");
+    size_t delivered = 0;
+    for (;;) {
+      auto chunk = stream->Next();
+      UnwrapStatus(chunk.ok() ? Status::OK() : chunk.status(), "chunk");
+      if (chunk->empty()) break;
+      delivered += chunk->size();
+    }
+    if (delivered != kDraw) {
+      UnwrapStatus(Status::Internal("short stream"), "stream");
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_ServiceStreamDelivery)->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace suj
+
+BENCHMARK_MAIN();

@@ -16,7 +16,6 @@
 
 #include "core/exact_overlap.h"
 #include "core/union_sampler.h"
-#include "exec/parallel_executor.h"
 #include "join/exact_weight.h"
 #include "join/membership.h"
 #include "workloads/synthetic.h"

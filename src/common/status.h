@@ -21,6 +21,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// A bounded resource (admission slots, session table) is at capacity;
+  /// the request may succeed if retried after load drains. The service
+  /// layer's backpressure signal.
+  kResourceExhausted,
 };
 
 /// \brief Outcome of an operation that can fail.
@@ -50,6 +54,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

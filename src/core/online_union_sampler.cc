@@ -28,8 +28,8 @@ uint64_t WalkInstances(double walk_probability, double join_size, Rng& rng) {
 }
 }  // namespace
 
-void OnlineUnionSampleStats::MergeFrom(const OnlineUnionSampleStats& other) {
-  UnionSampleStats::MergeFrom(other);
+Status OnlineUnionSampleStats::MergeFrom(const OnlineUnionSampleStats& other) {
+  SUJ_RETURN_NOT_OK(UnionSampleStats::MergeFrom(other));
   reuse_draws += other.reuse_draws;
   reuse_accepted += other.reuse_accepted;
   fresh_walks += other.fresh_walks;
@@ -39,6 +39,7 @@ void OnlineUnionSampleStats::MergeFrom(const OnlineUnionSampleStats& other) {
   reuse_seconds += other.reuse_seconds;
   regular_seconds += other.regular_seconds;
   backtrack_seconds += other.backtrack_seconds;
+  return Status::OK();
 }
 
 Result<std::unique_ptr<OnlineUnionSampler>> OnlineUnionSampler::Create(
@@ -75,13 +76,21 @@ Result<std::unique_ptr<OnlineUnionSampler>> OnlineUnionSampler::Create(
         "num_threads != 1 requires index_cache for per-worker wander-join "
         "samplers");
   }
+  if (!options.probers.empty() && options.probers.size() != joins.size()) {
+    return Status::InvalidArgument(
+        "shared probers do not match the join count");
+  }
   auto sampler = std::unique_ptr<OnlineUnionSampler>(new OnlineUnionSampler(
       std::move(joins), walker, std::move(initial), options));
   sampler->disabled_.assign(sampler->joins_.size(), false);
   if (options.mode == UnionSampler::Mode::kMembershipOracle) {
-    auto probers = BuildProbers(sampler->joins_);
-    if (!probers.ok()) return probers.status();
-    sampler->probers_ = std::move(probers).value();
+    if (!sampler->options_.probers.empty()) {
+      sampler->probers_ = sampler->options_.probers;
+    } else {
+      auto probers = BuildProbers(sampler->joins_);
+      if (!probers.ok()) return probers.status();
+      sampler->probers_ = std::move(probers).value();
+    }
   }
   // Seed the reuse pools from the warm-up walk records.
   sampler->pools_.resize(sampler->joins_.size());
@@ -280,7 +289,6 @@ class FreshWalkBatchSampler : public BatchSampler {
 
 Result<std::vector<Tuple>> OnlineUnionSampler::SampleFreshParallel(
     size_t n, uint64_t seed) {
-  auto wall_start = Clock::now();
   ParallelUnionExecutor::Options exec_options;
   exec_options.num_threads = options_.num_threads;
   exec_options.batch_size = options_.batch_size;
@@ -301,7 +309,7 @@ Result<std::vector<Tuple>> OnlineUnionSampler::SampleFreshParallel(
     std::vector<std::unique_ptr<WanderJoinSampler>> wander;
     wander.reserve(joins_.size());
     for (const auto& join : joins_) {
-      auto sampler = WanderJoinSampler::Create(join, options_.index_cache);
+      auto sampler = WanderJoinSampler::Create(join, options_.index_cache.get());
       if (!sampler.ok()) return sampler.status();
       wander.push_back(std::move(*sampler));
     }
@@ -376,7 +384,13 @@ Result<std::vector<Tuple>> OnlineUnionSampler::SampleFreshParallel(
         &worker_abandoned[worker]));
   };
 
-  auto result = executor.Execute(n, seed, factory, /*stats=*/nullptr);
+  // The executor gets its own scratch stats: its merge would fold each
+  // worker's BASE counters in, but those arrive through worker_stats
+  // below (with the online-only extension counters the executor cannot
+  // see), so only the executor-level fields — batches, workers, clip
+  // counts, wall time — are taken from the scratch block.
+  UnionSampleStats exec_stats;
+  auto result = executor.Execute(n, seed, factory, &exec_stats);
   if (!result.ok()) return result.status();
 
   for (const auto& mask : worker_abandoned) {
@@ -384,11 +398,14 @@ Result<std::vector<Tuple>> OnlineUnionSampler::SampleFreshParallel(
       if (mask[j]) disabled_[j] = true;
     }
   }
-  stats_.MergeFrom(probe_stats);
-  for (const auto& ws : worker_stats) stats_.MergeFrom(ws);
-  stats_.parallel_batches += num_batches;
-  stats_.parallel_workers += workers;
-  stats_.parallel_seconds += SecondsSince(wall_start);
+  SUJ_RETURN_NOT_OK(stats_.MergeFrom(probe_stats));
+  for (const auto& ws : worker_stats) {
+    SUJ_RETURN_NOT_OK(stats_.MergeFrom(ws));
+  }
+  stats_.parallel_batches += exec_stats.parallel_batches;
+  stats_.parallel_workers += exec_stats.parallel_workers;
+  stats_.parallel_clipped += exec_stats.parallel_clipped;
+  stats_.parallel_seconds += exec_stats.parallel_seconds;
   return result;
 }
 

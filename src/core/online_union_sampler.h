@@ -52,7 +52,8 @@ struct OnlineUnionSampleStats : UnionSampleStats {
 
   using UnionSampleStats::MergeFrom;
   /// Folds another online stats block (e.g. one parallel worker's) in.
-  void MergeFrom(const OnlineUnionSampleStats& other);
+  /// Same plan-id contract as the base MergeFrom.
+  Status MergeFrom(const OnlineUnionSampleStats& other);
 };
 
 /// \brief Algorithm 2: set-union sampling with reuse and backtracking.
@@ -89,9 +90,23 @@ class OnlineUnionSampler {
     size_t batch_size = 64;
     /// Setting this engages the batched fresh-walk phase; it builds each
     /// worker's wander-join samplers. Indexes are created or reused on
-    /// the calling thread; workers only read them. Not owned. Leave null
-    /// for the fully sequential loop.
-    CompositeIndexCache* index_cache = nullptr;
+    /// the calling thread; workers only read them.
+    ///
+    /// Ownership: shared. The sampler keeps its reference for its whole
+    /// lifetime, so the cache outlives every sampler holding it no matter
+    /// who created it — the service layer hands ONE cache to many
+    /// concurrent sessions precisely this way. GetOrBuild is internally
+    /// synchronized (see index/composite_index.h), and the indexes it
+    /// yields are immutable. Leave null for the fully sequential loop.
+    std::shared_ptr<CompositeIndexCache> index_cache;
+    /// Membership probers to use in kMembershipOracle mode. When empty
+    /// they are built at Create, which costs one row-membership hash set
+    /// per base relation; long-lived servers pass the prepared plan's
+    /// probers here so every session shares one immutable set.
+    std::vector<JoinMembershipProberPtr> probers;
+    /// Prepared-plan identity stamped onto stats() (see
+    /// UnionSampleStats::plan_id); 0 for ad-hoc use.
+    uint64_t plan_id = 0;
   };
 
   /// \param joins     union-compatible joins (cover order).
@@ -114,7 +129,10 @@ class OnlineUnionSampler {
   Result<std::vector<Tuple>> Sample(size_t n, Rng& rng);
 
   const OnlineUnionSampleStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = OnlineUnionSampleStats(); }
+  void ResetStats() {
+    stats_ = OnlineUnionSampleStats();
+    stats_.plan_id = options_.plan_id;
+  }
 
   /// Estimates currently in force (refined by backtracking passes).
   const UnionEstimates& current_estimates() const { return estimates_; }
@@ -135,7 +153,9 @@ class OnlineUnionSampler {
       : joins_(std::move(joins)),
         walker_(walker),
         estimates_(std::move(initial)),
-        options_(options) {}
+        options_(std::move(options)) {
+    stats_.plan_id = options_.plan_id;
+  }
 
   /// Probability that one accepted draw lands on a FIXED value owned by
   /// join j under the current estimates: cover_share(j) / |J_j|.

@@ -25,9 +25,17 @@ RandomWalkOverlapEstimator::Create(std::vector<JoinSpecPtr> joins,
   for (auto& sampler : est->samplers_) {
     est->estimators_.emplace_back(sampler.get());
   }
-  auto probers = BuildProbers(est->joins_);
-  if (!probers.ok()) return probers.status();
-  est->probers_ = std::move(probers).value();
+  if (!options.probers.empty()) {
+    if (options.probers.size() != est->joins_.size()) {
+      return Status::InvalidArgument(
+          "shared probers do not match the join count");
+    }
+    est->probers_ = options.probers;
+  } else {
+    auto probers = BuildProbers(est->joins_);
+    if (!probers.ok()) return probers.status();
+    est->probers_ = std::move(probers).value();
+  }
   est->records_.resize(est->joins_.size());
   return est;
 }

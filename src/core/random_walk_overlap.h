@@ -34,6 +34,12 @@ class RandomWalkOverlapEstimator : public OverlapEstimator {
     /// Walk budget per join (paper caps warm-up at 1,000 samples).
     uint64_t min_walks = 64;
     uint64_t max_walks = 1000;
+    /// Membership probers to reuse instead of building at Create (must
+    /// match the join set when non-empty). Building probers is the heavy
+    /// part of estimator construction; the service layer creates one
+    /// per-session estimator per client and shares the prepared plan's
+    /// immutable probers across all of them.
+    std::vector<JoinMembershipProberPtr> probers;
   };
 
   static Result<std::unique_ptr<RandomWalkOverlapEstimator>> Create(

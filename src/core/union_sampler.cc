@@ -38,7 +38,14 @@ Status ValidateSamplerSet(
 
 }  // namespace
 
-void UnionSampleStats::MergeFrom(const UnionSampleStats& other) {
+Status UnionSampleStats::MergeFrom(const UnionSampleStats& other) {
+  if (plan_id != 0 && other.plan_id != 0 && plan_id != other.plan_id) {
+    return Status::InvalidArgument(
+        "refusing to merge stats of plan " + std::to_string(other.plan_id) +
+        " into stats of plan " + std::to_string(plan_id) +
+        "; per-query accounting would be corrupted");
+  }
+  if (plan_id == 0) plan_id = other.plan_id;
   rounds += other.rounds;
   join_draws += other.join_draws;
   accepted += other.accepted;
@@ -52,6 +59,7 @@ void UnionSampleStats::MergeFrom(const UnionSampleStats& other) {
   parallel_workers += other.parallel_workers;
   parallel_clipped += other.parallel_clipped;
   parallel_seconds += other.parallel_seconds;
+  return Status::OK();
 }
 
 Result<std::unique_ptr<UnionSampler>> UnionSampler::Create(
@@ -109,40 +117,84 @@ Result<std::unique_ptr<UnionSampler>> UnionSampler::Create(
 Result<std::vector<Tuple>> UnionSampler::SampleParallel(size_t n,
                                                         uint64_t seed) {
   // Each worker owns a private sequential UnionSampler over the shared
-  // joins/estimates/probers and its own sampler set. Oracle-mode batches
-  // carry no cross-batch state, so batch output depends only on the batch
-  // RNG — the executor's determinism contract.
+  // joins/probers and its own sampler set. Oracle-mode batches carry no
+  // cross-batch state, so batch output depends only on the batch RNG —
+  // the executor's determinism contract.
+  //
+  // Abandonment and resumability: covers the parent already knows are
+  // dead are frozen out of the worker estimates up front, so later calls
+  // never re-pay for them. A cover newly abandoned DURING this call is
+  // reported through a per-worker sink and folded into disabled_ only
+  // after the whole fan-out; inside the fan-out every batch restarts
+  // from the frozen set (the sink records, then resets, the worker's
+  // discovery), because batch contents must never depend on which
+  // worker ran the previous batches.
+  UnionEstimates frozen = estimates_;
+  double remaining = 0.0;
+  for (size_t j = 0; j < joins_.size(); ++j) {
+    if (disabled_[j]) frozen.cover_sizes[j] = 0.0;
+    remaining += frozen.cover_sizes[j];
+  }
+  if (remaining <= 0.0) {
+    return Status::Internal(
+        "every join's cover was abandoned; warm-up estimates are "
+        "inconsistent with the data");
+  }
+
   class WorkerBatchSampler : public BatchSampler {
    public:
-    explicit WorkerBatchSampler(std::unique_ptr<UnionSampler> inner)
-        : inner_(std::move(inner)) {}
+    WorkerBatchSampler(std::unique_ptr<UnionSampler> inner,
+                       std::vector<uint8_t>* abandoned_sink)
+        : inner_(std::move(inner)), abandoned_sink_(abandoned_sink) {}
     Result<std::vector<Tuple>> SampleBatch(size_t count, Rng& rng) override {
-      return inner_->Sample(count, rng);
+      auto result = inner_->Sample(count, rng);
+      for (size_t j = 0; j < inner_->disabled_.size(); ++j) {
+        if (inner_->disabled_[j]) {
+          (*abandoned_sink_)[j] = 1;
+          inner_->disabled_[j] = false;  // next batch: frozen set again
+        }
+      }
+      return result;
     }
     UnionSampleStats stats() const override { return inner_->stats(); }
 
    private:
     std::unique_ptr<UnionSampler> inner_;
-  };
-
-  Options worker_options = options_;
-  worker_options.num_threads = 1;
-  worker_options.sampler_factory = nullptr;
-  auto factory = [&](size_t) -> Result<std::unique_ptr<BatchSampler>> {
-    auto samplers = options_.sampler_factory();
-    if (!samplers.ok()) return samplers.status();
-    auto worker = Create(joins_, std::move(*samplers), estimates_, probers_,
-                         worker_options);
-    if (!worker.ok()) return worker.status();
-    return std::unique_ptr<BatchSampler>(
-        new WorkerBatchSampler(std::move(*worker)));
+    std::vector<uint8_t>* abandoned_sink_;
   };
 
   ParallelUnionExecutor::Options exec_options;
   exec_options.num_threads = options_.num_threads;
   exec_options.batch_size = options_.batch_size;
   ParallelUnionExecutor executor(exec_options);
-  return executor.Execute(n, seed, factory, &stats_);
+  const size_t workers = executor.EffectiveThreads(n);
+
+  std::vector<std::vector<uint8_t>> worker_abandoned(
+      workers, std::vector<uint8_t>(joins_.size(), 0));
+  Options worker_options = options_;
+  worker_options.num_threads = 1;
+  worker_options.sampler_factory = nullptr;
+  auto factory = [&](size_t worker) -> Result<std::unique_ptr<BatchSampler>> {
+    if (worker >= workers) {
+      return Status::Internal("worker index out of range");
+    }
+    auto samplers = options_.sampler_factory();
+    if (!samplers.ok()) return samplers.status();
+    auto inner = Create(joins_, std::move(*samplers), frozen, probers_,
+                        worker_options);
+    if (!inner.ok()) return inner.status();
+    return std::unique_ptr<BatchSampler>(new WorkerBatchSampler(
+        std::move(*inner), &worker_abandoned[worker]));
+  };
+
+  auto result = executor.Execute(n, seed, factory, &stats_);
+  if (!result.ok()) return result.status();
+  for (const auto& mask : worker_abandoned) {
+    for (size_t j = 0; j < joins_.size(); ++j) {
+      if (mask[j]) disabled_[j] = true;
+    }
+  }
+  return result;
 }
 
 Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {
@@ -155,9 +207,25 @@ Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {
   std::vector<std::string> result_keys;  // parallel encodings, for revision
   result.reserve(n);
   // Revision state: value -> owning join (the paper's orig_join record).
+  // Per-call: a revision purges stale copies from THIS call's result set,
+  // so ownership learned here cannot be carried into later calls whose
+  // delivered tuples are beyond reach. Abandonment (disabled_) does carry
+  // over — see the header's resumability note.
   std::unordered_map<std::string, int> owner;
 
   std::vector<double> weights = estimates_.cover_sizes;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (disabled_[i]) weights[i] = 0.0;
+  }
+  {
+    double remaining = 0.0;
+    for (double w : weights) remaining += w;
+    if (remaining <= 0.0) {
+      return Status::Internal(
+          "every join's cover was abandoned; warm-up estimates are "
+          "inconsistent with the data");
+    }
+  }
 
   while (result.size() < n) {
     ++stats_.rounds;
@@ -224,9 +292,10 @@ Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {
     if (!round_done) {
       // The join produced no owned tuple within the budget: its estimated
       // cover overstated an (effectively) empty real cover. Stop selecting
-      // it instead of burning more draws.
+      // it — in this call and every later one on this instance.
       ++stats_.abandoned_rounds;
       weights[j] = 0.0;
+      disabled_[j] = true;
       double remaining = 0.0;
       for (double w : weights) remaining += w;
       if (remaining <= 0.0) {

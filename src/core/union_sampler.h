@@ -39,6 +39,13 @@ namespace suj {
 
 /// Counters + phase timings for the union-level sampling loop.
 struct UnionSampleStats {
+  /// Identity of the prepared plan these stats were produced under
+  /// (0 = unbound, e.g. ad-hoc library use). Stamped via
+  /// UnionSampler::Options::plan_id / OnlineUnionSampler::Options::plan_id
+  /// and by the service layer, and checked by MergeFrom: folding stats
+  /// from two different plans together silently corrupts per-query
+  /// accounting, so mismatched merges fail instead.
+  uint64_t plan_id = 0;
   uint64_t rounds = 0;              ///< join selections
   uint64_t join_draws = 0;          ///< join-sampler attempts (cost psi)
   uint64_t accepted = 0;            ///< tuples added to the result
@@ -64,8 +71,10 @@ struct UnionSampleStats {
 
   /// Folds another stats block (e.g. one worker's) into this one: counters
   /// and per-phase times add; parallel_workers adds so a merge over workers
-  /// counts contexts.
-  void MergeFrom(const UnionSampleStats& other);
+  /// counts contexts. Fails with InvalidArgument when both sides carry
+  /// different non-zero plan ids (stats of different queries must not be
+  /// pooled); a zero side adopts the other's id.
+  Status MergeFrom(const UnionSampleStats& other);
 
   double CoverRejectionRatio() const {
     uint64_t total = accepted + rejected_cover;
@@ -112,6 +121,9 @@ class UnionSampler {
     /// factory builds each worker's private sampler set. Leave null for
     /// the classic sequential loop.
     JoinSamplerFactory sampler_factory;
+    /// Prepared-plan identity stamped onto stats() (see
+    /// UnionSampleStats::plan_id); 0 for ad-hoc use.
+    uint64_t plan_id = 0;
   };
 
   /// \param joins      union-compatible joins J_0..J_{n-1} (cover order).
@@ -140,6 +152,16 @@ class UnionSampler {
   /// additionally shrink mid-run; the loop continues until `n` tuples
   /// stand.
   ///
+  /// Resumable: repeated Sample calls on one instance continue the
+  /// protocol rather than restarting it — stats accumulate and joins
+  /// whose rounds were abandoned (estimated cover empty in reality) stay
+  /// excluded from selection in later calls instead of burning a fresh
+  /// draw budget per call. Service sessions rely on this to serve many
+  /// requests from one long-lived sampler. (On the batched executor path
+  /// a cover abandoned mid-call takes effect from the NEXT call: within
+  /// the discovering call every batch keeps the call-start exclusion
+  /// set, so batch contents never depend on scheduling.)
+  ///
   /// With Options::sampler_factory set the draw fans out over the parallel
   /// executor: `rng` is consumed for exactly one value (the substream
   /// seed), so the output is a deterministic function of the caller's RNG
@@ -149,7 +171,10 @@ class UnionSampler {
   Result<std::vector<Tuple>> Sample(size_t n, Rng& rng);
 
   const UnionSampleStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = UnionSampleStats(); }
+  void ResetStats() {
+    stats_ = UnionSampleStats();
+    stats_.plan_id = options_.plan_id;
+  }
   const UnionEstimates& estimates() const { return estimates_; }
   const std::vector<JoinSpecPtr>& joins() const { return joins_; }
 
@@ -169,7 +194,10 @@ class UnionSampler {
         samplers_(std::move(samplers)),
         estimates_(std::move(estimates)),
         probers_(std::move(probers)),
-        options_(options) {}
+        options_(options),
+        disabled_(joins_.size(), false) {
+    stats_.plan_id = options_.plan_id;
+  }
 
   /// Parallel fan-out of Sample (oracle mode only; see Options).
   Result<std::vector<Tuple>> SampleParallel(size_t n, uint64_t seed);
@@ -180,6 +208,10 @@ class UnionSampler {
   std::vector<JoinMembershipProberPtr> probers_;
   Options options_;
   UnionSampleStats stats_;
+  /// Joins whose rounds were abandoned (estimated cover empty in
+  /// reality); persisted across Sample calls so resumed sessions do not
+  /// rediscover dead covers at full draw-budget cost.
+  std::vector<bool> disabled_;
   /// f(u) = first containing join (oracle mode), memoized over probers_.
   OwnerOracle oracle_{&probers_};
 };

@@ -111,7 +111,9 @@ Result<std::vector<Tuple>> ParallelUnionExecutor::Execute(
   if (stats != nullptr) {
     // Worker order (not claim order) keeps the merge deterministic; the
     // counter totals are claim-order independent anyway.
-    for (const auto& context : contexts) stats->MergeFrom(context->stats());
+    for (const auto& context : contexts) {
+      SUJ_RETURN_NOT_OK(stats->MergeFrom(context->stats()));
+    }
     for (uint64_t clipped : worker_clipped) stats->parallel_clipped += clipped;
     stats->parallel_batches += num_batches;
     stats->parallel_workers += workers;

@@ -58,6 +58,7 @@ Result<CompositeIndexPtr> CompositeIndexCache::GetOrBuild(
     key += '/';
     key += a;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
   auto built = CompositeIndex::Build(relation, attributes);

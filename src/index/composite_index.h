@@ -12,6 +12,7 @@
 #define SUJ_INDEX_COMPOSITE_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -66,14 +67,37 @@ class CompositeIndex {
 using CompositeIndexPtr = std::shared_ptr<const CompositeIndex>;
 
 /// \brief Cache of composite indexes keyed by (relation identity, attrs).
+///
+/// Thread-safe: GetOrBuild may be called concurrently (the service layer
+/// shares one cache across sessions). The map lookup/insert is serialized
+/// by a mutex; the indexes handed out are immutable, so readers need no
+/// further synchronization. A miss builds the index while holding the
+/// lock — concurrent first-touch of the same (relation, attrs) pays one
+/// build, never two.
 class CompositeIndexCache {
  public:
+  CompositeIndexCache() = default;
+  /// Movable so fixtures/workloads can return caches by value. Moving is
+  /// NOT a concurrent operation: the source must have no other users
+  /// (the usual rule for moved-from objects), only the map transfers and
+  /// the destination starts with a fresh mutex.
+  CompositeIndexCache(CompositeIndexCache&& other) noexcept
+      : cache_(std::move(other.cache_)) {}
+  CompositeIndexCache& operator=(CompositeIndexCache&& other) noexcept {
+    if (this != &other) cache_ = std::move(other.cache_);
+    return *this;
+  }
+
   Result<CompositeIndexPtr> GetOrBuild(
       const RelationPtr& relation, const std::vector<std::string>& attributes);
 
-  size_t size() const { return cache_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, CompositeIndexPtr> cache_;
 };
 

@@ -1,0 +1,92 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace suj {
+
+AdmissionController::AdmissionController(Options options)
+    : options_(options) {
+  SUJ_CHECK(options_.max_inflight > 0);
+}
+
+void AdmissionController::Permit::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+Result<AdmissionController::Permit> AdmissionController::TryAdmit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!queue_.empty() || in_flight_ >= options_.max_inflight) {
+    ++stats_.rejected;
+    return Status::ResourceExhausted(
+        "admission limit reached (" + std::to_string(in_flight_) + "/" +
+        std::to_string(options_.max_inflight) +
+        " in flight); retry later or use blocking admission");
+  }
+  ++in_flight_;
+  ++stats_.admitted;
+  stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
+  return Permit(this);
+}
+
+Result<AdmissionController::Permit> AdmissionController::Admit(
+    const std::atomic<bool>* cancelled) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  auto my_turn = [&] {
+    return queue_.front() == ticket && in_flight_ < options_.max_inflight;
+  };
+  auto is_cancelled = [&] {
+    return cancelled != nullptr &&
+           cancelled->load(std::memory_order_relaxed);
+  };
+  if (!my_turn()) ++stats_.waited;
+  cv_.wait(lock, [&] { return my_turn() || is_cancelled(); });
+  if (!my_turn() && is_cancelled()) {
+    // Give up the FIFO place so the tickets behind are not wedged.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (*it == ticket) {
+        queue_.erase(it);
+        break;
+      }
+    }
+    cv_.notify_all();
+    return Status::ResourceExhausted("admission wait cancelled");
+  }
+  queue_.pop_front();
+  ++in_flight_;
+  ++stats_.admitted;
+  stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
+  // The next ticket can also be admittable while slots remain; wake the
+  // queue to check.
+  cv_.notify_all();
+  return Permit(this);
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SUJ_CHECK(in_flight_ > 0);
+    --in_flight_;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+AdmissionController::Snapshot AdmissionController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s = stats_;
+  s.in_flight = in_flight_;
+  return s;
+}
+
+}  // namespace suj

@@ -1,0 +1,128 @@
+// AdmissionController: bounds in-flight sampling work and exposes
+// backpressure.
+//
+// Every service request (one Sample call, one stream chunk) holds a
+// Permit while it runs. When all slots are taken, callers either block
+// in strict FIFO order (Admit — fairness: a long stream cannot starve a
+// later interactive request, because each of its chunks re-queues at the
+// tail) or are rejected immediately with ResourceExhausted (TryAdmit —
+// the load-shedding signal clients retry on). This is what keeps
+// "millions of users" from translating into an unbounded thread pile-up:
+// the worker pool underneath sees at most max_inflight concurrent
+// requests, each of which fans out over its own bounded batch executor.
+
+#ifndef SUJ_SERVICE_ADMISSION_H_
+#define SUJ_SERVICE_ADMISSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/result.h"
+
+namespace suj {
+
+/// How a request behaves when the service is saturated.
+enum class AdmitMode {
+  kWait,    ///< block until a slot frees (FIFO-fair)
+  kReject,  ///< fail fast with ResourceExhausted (load shedding)
+};
+
+/// \brief FIFO-fair counting semaphore with reject-or-wait admission.
+///
+/// Must outlive every Permit it issued (the service owns both, so this
+/// holds by construction there).
+class AdmissionController {
+ public:
+  struct Options {
+    /// Concurrent requests allowed past admission. 0 is invalid.
+    size_t max_inflight = 4;
+  };
+
+  struct Snapshot {
+    uint64_t admitted = 0;  ///< permits granted
+    uint64_t rejected = 0;  ///< TryAdmit calls turned away
+    uint64_t waited = 0;    ///< Admit calls that had to block
+    size_t in_flight = 0;
+    size_t peak_in_flight = 0;
+  };
+
+  /// \brief RAII admission slot; releasing (or destroying) it wakes the
+  /// next FIFO waiter. Move-only.
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Permit& operator=(Permit&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Permit(const Permit&) = delete;
+    Permit& operator=(const Permit&) = delete;
+    ~Permit() { Release(); }
+
+    bool active() const { return controller_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    explicit Permit(AdmissionController* controller)
+        : controller_(controller) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  explicit AdmissionController(Options options);
+
+  /// Non-blocking admission. Rejects with ResourceExhausted when every
+  /// slot is taken OR blocked waiters are queued (jumping the FIFO queue
+  /// would defeat fairness).
+  Result<Permit> TryAdmit();
+
+  /// Blocking admission in strict arrival order. When `cancelled` is
+  /// non-null the wait aborts (with ResourceExhausted and its FIFO place
+  /// given up) once the flag reads true AND CancelWake() is called —
+  /// streams use this so teardown never waits out a saturated queue.
+  Result<Permit> Admit(const std::atomic<bool>* cancelled = nullptr);
+
+  /// Wakes blocked Admit(cancelled) callers so they can observe their
+  /// cancellation flags. Takes the admission mutex before notifying:
+  /// the flag itself is set outside it, so an unserialized notify could
+  /// land between a waiter's predicate check and its park — a lost
+  /// wakeup that would hang stream teardown. Spurious wakes are
+  /// harmless.
+  void CancelWake() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+
+  size_t max_inflight() const { return options_.max_inflight; }
+  size_t in_flight() const;
+  Snapshot snapshot() const;
+
+ private:
+  void ReleaseSlot();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_flight_ = 0;
+  /// FIFO admission queue: a waiter admits only when its ticket is at
+  /// the front AND a slot is free. A deque (not a served-counter pair)
+  /// so a cancelled waiter can give up its place without wedging the
+  /// tickets behind it.
+  std::deque<uint64_t> queue_;
+  uint64_t next_ticket_ = 0;
+  Snapshot stats_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_SERVICE_ADMISSION_H_

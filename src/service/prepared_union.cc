@@ -1,0 +1,200 @@
+#include "service/prepared_union.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/exact_overlap.h"
+#include "core/histogram_overlap.h"
+#include "core/template_selector.h"
+#include "join/exact_weight.h"
+#include "join/wander_join.h"
+#include "stats/column_histogram.h"
+
+namespace suj {
+
+namespace {
+
+// Warm-up dispatch: produce UnionEstimates per the requested mode. The
+// estimator objects are build-time scaffolding; only the estimates (and
+// whatever indexes they forced into the shared cache) survive into the
+// plan.
+Result<UnionEstimates> RunWarmup(const std::vector<JoinSpecPtr>& joins,
+                                 CompositeIndexCache* cache,
+                                 const std::vector<JoinMembershipProberPtr>&
+                                     probers,
+                                 const PreparedQueryOptions& options) {
+  switch (options.warmup) {
+    case WarmupMode::kExact: {
+      auto exact = ExactOverlapCalculator::Create(joins);
+      if (!exact.ok()) return exact.status();
+      return ComputeUnionEstimates(exact->get());
+    }
+    case WarmupMode::kHistogram: {
+      HistogramCatalog histograms;
+      HistogramOverlapEstimator::Options h;
+      h.template_options = options.template_options;
+      auto hist = HistogramOverlapEstimator::Create(joins, &histograms, h);
+      if (!hist.ok()) return hist.status();
+      return ComputeUnionEstimates(hist->get());
+    }
+    case WarmupMode::kRandomWalk: {
+      RandomWalkOverlapEstimator::Options w = options.walk_options;
+      w.probers = probers;  // already built for the plan; never rebuild
+      auto walker = RandomWalkOverlapEstimator::Create(joins, cache, w);
+      if (!walker.ok()) return walker.status();
+      Rng warmup_rng(options.warmup_seed);
+      SUJ_RETURN_NOT_OK((*walker)->Warmup(warmup_rng));
+      return ComputeUnionEstimates(walker->get());
+    }
+  }
+  return Status::Internal("unknown warmup mode");
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const PreparedUnion>> PreparedUnion::Build(
+    std::string name, uint64_t plan_id, std::vector<JoinSpecPtr> joins,
+    const PreparedQueryOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  if (name.empty()) {
+    return Status::InvalidArgument("prepared query needs a non-empty name");
+  }
+  if (plan_id == 0) {
+    return Status::InvalidArgument("plan_id 0 is reserved for ad-hoc stats");
+  }
+  SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+
+  auto plan = std::shared_ptr<PreparedUnion>(
+      new PreparedUnion(std::move(name), plan_id, std::move(joins)));
+  plan->index_cache_ = std::make_shared<CompositeIndexCache>();
+
+  // Probers first: the membership oracle f(u) is needed by every session
+  // mode, and the random-walk warm-up shares them too.
+  auto probers = BuildProbers(plan->joins_);
+  if (!probers.ok()) return probers.status();
+  plan->probers_ = std::move(probers).value();
+
+  auto estimates = RunWarmup(plan->joins_, plan->index_cache_.get(),
+                             plan->probers_, options);
+  if (!estimates.ok()) return estimates.status();
+  plan->estimates_ = std::move(estimates).value();
+
+  auto tmpl =
+      TemplateSelector::SelectTemplate(plan->joins_, options.template_options);
+  if (!tmpl.ok()) return tmpl.status();
+  plan->standard_template_ = std::move(tmpl).value();
+
+  // Pin the per-join sampling indexes. Exact-weight indexes make
+  // per-session sampler construction O(1); pre-creating one wander-join
+  // sampler per join forces its step indexes into the shared cache so
+  // online sessions start against a warm cache.
+  plan->weight_indexes_.reserve(plan->joins_.size());
+  for (const auto& join : plan->joins_) {
+    auto index = ExactWeightIndex::Build(join, plan->index_cache_.get());
+    if (!index.ok()) return index.status();
+    plan->weight_indexes_.push_back(std::move(index).value());
+  }
+  if (options.prebuild_walk_indexes) {
+    for (const auto& join : plan->joins_) {
+      auto wander = WanderJoinSampler::Create(join, plan->index_cache_.get());
+      if (!wander.ok()) return wander.status();
+      // The sampler itself is discarded; only the cached indexes matter.
+    }
+  }
+
+  plan->build_seconds_ = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return std::shared_ptr<const PreparedUnion>(plan);
+}
+
+UnionSampler::JoinSamplerFactory PreparedUnion::MakeJoinSamplerFactory()
+    const {
+  // The lambda captures this; factories are only ever used by sessions,
+  // which hold the plan by shared_ptr for their whole lifetime.
+  return [this]() -> Result<std::vector<std::unique_ptr<JoinSampler>>> {
+    std::vector<std::unique_ptr<JoinSampler>> out;
+    out.reserve(weight_indexes_.size());
+    for (const auto& index : weight_indexes_) {
+      auto sampler = ExactWeightSampler::Create(index);
+      if (!sampler.ok()) return sampler.status();
+      out.push_back(std::move(*sampler));
+    }
+    return out;
+  };
+}
+
+Result<PreparedUnionPtr> QueryRegistry::Prepare(
+    std::string name, std::vector<JoinSpecPtr> joins,
+    const PreparedQueryOptions& options) {
+  uint64_t plan_id;
+  {
+    // Reserve the name with a null placeholder BEFORE the expensive
+    // build: a concurrent Prepare of the same query fails immediately
+    // instead of silently paying the whole pipeline a second time.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = queries_.emplace(name, nullptr);
+    if (!inserted) {
+      return Status::InvalidArgument(
+          it->second == nullptr
+              ? "query '" + name + "' is being prepared concurrently"
+              : "query '" + name + "' is already prepared");
+    }
+    plan_id = next_plan_id_++;
+  }
+  // Build outside the lock: preparation is the expensive step, and Get()
+  // on other queries must not stall behind it.
+  auto plan = PreparedUnion::Build(name, plan_id, std::move(joins), options);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(name);
+  if (!plan.ok()) {
+    if (it != queries_.end() && it->second == nullptr) queries_.erase(it);
+    return plan.status();
+  }
+  // The placeholder is still ours: Get/Evict treat it as absent, so
+  // nothing can have replaced or removed it.
+  if (it != queries_.end() && it->second == nullptr) it->second = *plan;
+  ++stats_.prepared;
+  return *plan;
+}
+
+Result<PreparedUnionPtr> QueryRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(name);
+  if (it == queries_.end() || it->second == nullptr) {
+    ++stats_.misses;
+    return Status::NotFound(
+        it == queries_.end()
+            ? "no prepared query named '" + name + "'"
+            : "query '" + name + "' is still being prepared");
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+Status QueryRegistry::Evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(name);
+  if (it == queries_.end() || it->second == nullptr) {
+    return Status::NotFound("no prepared query named '" + name + "'");
+  }
+  queries_.erase(it);
+  ++stats_.evicted;
+  return Status::OK();
+}
+
+size_t QueryRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t live = 0;
+  for (const auto& [name, plan] : queries_) {
+    if (plan != nullptr) ++live;
+  }
+  return live;
+}
+
+QueryRegistry::Snapshot QueryRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace suj

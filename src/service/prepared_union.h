@@ -1,0 +1,163 @@
+// PreparedUnion + QueryRegistry: the prepared-query half of the sampling
+// service.
+//
+// A union-of-joins query is accepted ONCE: the registry validates the
+// spec, runs the warm-up estimation (exact, histogram, or random-walk —
+// the caller picks the cost/accuracy point), selects the standard
+// template, builds the membership probers and per-join weight/walk
+// indexes, and pins everything as an immutable, refcounted PreparedUnion.
+// Sessions share the plan by shared_ptr: evicting a query from the
+// registry only unpins it — live sessions keep sampling from the plan
+// they hold until they close, so eviction can never invalidate in-flight
+// work.
+//
+// Everything inside a PreparedUnion is immutable after Build except the
+// CompositeIndexCache, which is internally synchronized; concurrent
+// sessions therefore need no further coordination to share one plan.
+
+#ifndef SUJ_SERVICE_PREPARED_UNION_H_
+#define SUJ_SERVICE_PREPARED_UNION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/random_walk_overlap.h"
+#include "core/template_selector.h"
+#include "core/union_sampler.h"
+#include "core/union_size_model.h"
+#include "index/composite_index.h"
+#include "join/exact_weight.h"
+#include "join/membership.h"
+
+namespace suj {
+
+/// How a prepared query's warm-up estimates are produced.
+enum class WarmupMode {
+  /// Exact overlaps via full-join materialization. Only viable on small
+  /// inputs; the reference mode for tests and demos.
+  kExact,
+  /// Histogram bounds (§5): column statistics only, no data access.
+  /// Cheapest; estimates are upper bounds.
+  kHistogram,
+  /// Random-walk estimation (§6): unbiased, cost controlled by the walk
+  /// budget. The production default.
+  kRandomWalk,
+};
+
+/// Options for preparing one union-of-joins query.
+struct PreparedQueryOptions {
+  WarmupMode warmup = WarmupMode::kExact;
+  /// Walk budget/confidence for WarmupMode::kRandomWalk.
+  RandomWalkOverlapEstimator::Options walk_options;
+  /// Seed of the (plan-build-time) warm-up walks. Per-session randomness
+  /// never touches this: the plan is a pure function of (spec, options).
+  /// MUST differ from the service's session seed family — session rank 0
+  /// samples from un-jumped Rng(service seed), so equal seeds would make
+  /// a kRandomWalk warm-up and that session replay the same stream,
+  /// correlating delivered samples with the estimates. The default is a
+  /// seed no one would pick for a service (the splitmix64/golden-ratio
+  /// constant), keeping the streams disjoint out of the box.
+  uint64_t warmup_seed = 0x9E3779B97F4A7C15ull;
+  /// Template-selection knobs (§8.1.2).
+  TemplateSelector::Options template_options;
+  /// Prebuild the wander-join step indexes so online sessions create
+  /// their walkers against a fully warmed cache.
+  bool prebuild_walk_indexes = true;
+};
+
+/// \brief One accepted query: joins + estimates + shared sampling state.
+class PreparedUnion {
+ public:
+  /// Runs the full preparation pipeline. `plan_id` must be non-zero and
+  /// unique per registry (the registry assigns it); it tags every stats
+  /// block produced under this plan.
+  static Result<std::shared_ptr<const PreparedUnion>> Build(
+      std::string name, uint64_t plan_id, std::vector<JoinSpecPtr> joins,
+      const PreparedQueryOptions& options);
+
+  const std::string& name() const { return name_; }
+  uint64_t plan_id() const { return plan_id_; }
+  const std::vector<JoinSpecPtr>& joins() const { return joins_; }
+  const UnionEstimates& estimates() const { return estimates_; }
+  const std::vector<JoinMembershipProberPtr>& probers() const {
+    return probers_;
+  }
+  /// The shared (internally synchronized) index cache; online sessions
+  /// hand it to their walkers and parallel fresh-walk tails.
+  const std::shared_ptr<CompositeIndexCache>& index_cache() const {
+    return index_cache_;
+  }
+  /// Prebuilt exact-weight indexes, one per join (immutable, shared).
+  const std::vector<ExactWeightIndexPtr>& weight_indexes() const {
+    return weight_indexes_;
+  }
+  /// The selected standard template (§8.1).
+  const std::vector<std::string>& standard_template() const {
+    return standard_template_;
+  }
+  /// Wall-clock seconds the preparation pipeline took (what sessions
+  /// save on every request by reusing the plan).
+  double build_seconds() const { return build_seconds_; }
+
+  /// Factory building one private exact-weight sampler set over the
+  /// prebuilt weight indexes — O(1) per sampler, so per-session (and
+  /// per-parallel-worker) construction costs nothing measurable.
+  UnionSampler::JoinSamplerFactory MakeJoinSamplerFactory() const;
+
+ private:
+  PreparedUnion(std::string name, uint64_t plan_id,
+                std::vector<JoinSpecPtr> joins)
+      : name_(std::move(name)), plan_id_(plan_id), joins_(std::move(joins)) {}
+
+  std::string name_;
+  uint64_t plan_id_;
+  std::vector<JoinSpecPtr> joins_;
+  UnionEstimates estimates_;
+  std::vector<JoinMembershipProberPtr> probers_;
+  std::shared_ptr<CompositeIndexCache> index_cache_;
+  std::vector<ExactWeightIndexPtr> weight_indexes_;
+  std::vector<std::string> standard_template_;
+  double build_seconds_ = 0.0;
+};
+
+using PreparedUnionPtr = std::shared_ptr<const PreparedUnion>;
+
+/// \brief Thread-safe name -> PreparedUnion map with build-once semantics.
+class QueryRegistry {
+ public:
+  struct Snapshot {
+    uint64_t prepared = 0;  ///< successful Prepare calls
+    uint64_t hits = 0;      ///< successful Get calls
+    uint64_t misses = 0;    ///< Get calls for unknown names
+    uint64_t evicted = 0;   ///< successful Evict calls
+  };
+
+  /// Prepares and pins a query under `name`. Fails with InvalidArgument
+  /// if the name is taken (prepare-once: callers Get, not re-Prepare).
+  Result<PreparedUnionPtr> Prepare(std::string name,
+                                   std::vector<JoinSpecPtr> joins,
+                                   const PreparedQueryOptions& options);
+
+  /// The pinned plan, or NotFound.
+  Result<PreparedUnionPtr> Get(const std::string& name) const;
+
+  /// Unpins `name`. Live sessions holding the plan are unaffected; the
+  /// plan's memory is reclaimed when the last session closes.
+  Status Evict(const std::string& name);
+
+  size_t size() const;
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PreparedUnionPtr> queries_;
+  uint64_t next_plan_id_ = 1;
+  mutable Snapshot stats_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_SERVICE_PREPARED_UNION_H_

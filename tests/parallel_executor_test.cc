@@ -280,7 +280,8 @@ TEST(ParallelUnionSamplerTest, CreateValidation) {
 struct OnlineFixture {
   std::vector<JoinSpecPtr> joins;
   std::unique_ptr<ExactOverlapCalculator> exact;
-  CompositeIndexCache cache;
+  std::shared_ptr<CompositeIndexCache> cache =
+      std::make_shared<CompositeIndexCache>();
   std::unique_ptr<RandomWalkOverlapEstimator> walker;
   UnionEstimates estimates;
 };
@@ -298,7 +299,8 @@ OnlineFixture MakeOnlineSetup(uint64_t seed, uint64_t walk_budget = 50) {
   rw_opts.min_walks = walk_budget;
   rw_opts.max_walks = walk_budget;
   s.walker =
-      RandomWalkOverlapEstimator::Create(s.joins, &s.cache, rw_opts).value();
+      RandomWalkOverlapEstimator::Create(s.joins, s.cache.get(), rw_opts)
+          .value();
   Rng warmup_rng(seed + 1);
   EXPECT_TRUE(s.walker->Warmup(warmup_rng).ok());
   s.estimates = ComputeUnionEstimates(s.exact.get()).value();
@@ -316,7 +318,7 @@ TEST(ParallelOnlineUnionSamplerTest, DeterministicAcrossThreadCounts) {
     opts.enable_reuse = true;
     opts.num_threads = threads;
     opts.batch_size = 64;
-    opts.index_cache = &s.cache;
+    opts.index_cache = s.cache;
     auto sampler =
         OnlineUnionSampler::Create(s.joins, s.walker.get(), s.estimates, opts)
             .value();
@@ -341,7 +343,7 @@ TEST(ParallelOnlineUnionSamplerTest, ParallelTailStaysUniform) {
   opts.enable_reuse = false;  // all samples from the parallel walk phase
   opts.num_threads = 4;
   opts.batch_size = 64;
-  opts.index_cache = &s.cache;
+  opts.index_cache = s.cache;
   auto sampler =
       OnlineUnionSampler::Create(s.joins, s.walker.get(), s.estimates, opts)
           .value();
@@ -370,7 +372,7 @@ TEST(ParallelOnlineUnionSamplerTest, ReusePhaseStaysSequential) {
   opts.enable_reuse = true;
   opts.num_threads = 4;
   opts.batch_size = 32;
-  opts.index_cache = &s.cache;
+  opts.index_cache = s.cache;
   auto sampler =
       OnlineUnionSampler::Create(s.joins, s.walker.get(), s.estimates, opts)
           .value();
@@ -394,7 +396,7 @@ TEST(ParallelOnlineUnionSamplerTest, CreateValidation) {
   // Revision mode cannot run the batched tail.
   OnlineUnionSampler::Options revision;
   revision.mode = UnionSampler::Mode::kRevision;
-  revision.index_cache = &s.cache;
+  revision.index_cache = s.cache;
   EXPECT_FALSE(OnlineUnionSampler::Create(s.joins, s.walker.get(),
                                           s.estimates, revision)
                    .ok());

@@ -1,0 +1,509 @@
+// Tests for the sampling service layer (src/service/): prepared-query
+// registry semantics, per-session RNG-substream determinism under
+// concurrent interleavings, protocol resumability across requests,
+// admission-limit rejection and FIFO blocking, prepared-query eviction
+// while sessions are live, and streaming delivery. The concurrency tests
+// run under the TSan CI job (see .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/exact_overlap.h"
+#include "service/admission.h"
+#include "service/prepared_union.h"
+#include "service/sampling_service.h"
+#include "service/session.h"
+#include "test_util.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+std::vector<JoinSpecPtr> MakeJoins(uint64_t seed, int num_joins = 3,
+                                   size_t master_rows = 20) {
+  SyntheticChainOptions options;
+  options.num_joins = num_joins;
+  options.master_rows = master_rows;
+  options.seed = seed;
+  return MakeOverlappingChains(options).value();
+}
+
+std::unique_ptr<SamplingService> MakeService(uint64_t seed,
+                                             size_t max_inflight = 4,
+                                             size_t max_sessions = 64) {
+  ServiceOptions options;
+  options.seed = seed;
+  options.max_inflight = max_inflight;
+  options.max_sessions = max_sessions;
+  return SamplingService::Create(options).value();
+}
+
+std::vector<std::string> Encodings(const std::vector<Tuple>& samples) {
+  std::vector<std::string> out;
+  out.reserve(samples.size());
+  for (const auto& t : samples) out.push_back(t.Encode());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PreparedUnion / QueryRegistry
+
+TEST(PreparedUnionTest, BuildPinsTheFullPlan) {
+  auto joins = MakeJoins(300);
+  auto plan = PreparedUnion::Build("q", /*plan_id=*/7, joins,
+                                   PreparedQueryOptions())
+                  .value();
+  EXPECT_EQ(plan->name(), "q");
+  EXPECT_EQ(plan->plan_id(), 7u);
+  EXPECT_EQ(plan->joins().size(), joins.size());
+  EXPECT_EQ(plan->estimates().cover_sizes.size(), joins.size());
+  EXPECT_EQ(plan->probers().size(), joins.size());
+  EXPECT_EQ(plan->weight_indexes().size(), joins.size());
+  EXPECT_FALSE(plan->standard_template().empty());
+  EXPECT_GT(plan->index_cache()->size(), 0u);
+  EXPECT_GT(plan->build_seconds(), 0.0);
+  // The factory hands out fresh sampler sets over the shared indexes.
+  auto samplers = plan->MakeJoinSamplerFactory()().value();
+  EXPECT_EQ(samplers.size(), joins.size());
+}
+
+TEST(PreparedUnionTest, BuildValidates) {
+  auto joins = MakeJoins(301);
+  EXPECT_FALSE(
+      PreparedUnion::Build("", 1, joins, PreparedQueryOptions()).ok());
+  EXPECT_FALSE(
+      PreparedUnion::Build("q", 0, joins, PreparedQueryOptions()).ok());
+}
+
+TEST(QueryRegistryTest, PrepareGetEvict) {
+  QueryRegistry registry;
+  auto joins = MakeJoins(302);
+  auto plan = registry.Prepare("q", joins, PreparedQueryOptions());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GT((*plan)->plan_id(), 0u);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Prepare-once: the name is taken.
+  EXPECT_FALSE(registry.Prepare("q", joins, PreparedQueryOptions()).ok());
+
+  EXPECT_TRUE(registry.Get("q").ok());
+  EXPECT_EQ(registry.Get("nope").status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(registry.Evict("q").ok());
+  EXPECT_EQ(registry.Get("q").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Evict("q").code(), StatusCode::kNotFound);
+
+  auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.prepared, 1u);
+  EXPECT_EQ(snapshot.hits, 1u);
+  EXPECT_EQ(snapshot.misses, 2u);
+  EXPECT_EQ(snapshot.evicted, 1u);
+}
+
+TEST(QueryRegistryTest, DistinctPlansGetDistinctIds) {
+  QueryRegistry registry;
+  auto a = registry.Prepare("a", MakeJoins(303), PreparedQueryOptions());
+  auto b = registry.Prepare("b", MakeJoins(304), PreparedQueryOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE((*a)->plan_id(), (*b)->plan_id());
+}
+
+// ---------------------------------------------------------------------------
+// Session determinism
+
+// Runs `calls` Sample calls of `per_call` tuples on each of `num_sessions`
+// sessions of a fresh service, optionally concurrently (one thread per
+// session), and returns the per-session concatenated encodings.
+std::vector<std::vector<std::string>> RunSessions(uint64_t service_seed,
+                                                  int num_sessions, int calls,
+                                                  size_t per_call,
+                                                  bool concurrent,
+                                                  SessionOptions session_opts =
+                                                      SessionOptions()) {
+  auto service = MakeService(service_seed);
+  auto joins = MakeJoins(310);
+  EXPECT_TRUE(service->Prepare("q", joins).ok());
+  std::vector<uint64_t> ids;
+  for (int s = 0; s < num_sessions; ++s) {
+    ids.push_back(service->OpenSession("q", session_opts).value());
+  }
+  std::vector<std::vector<std::string>> sequences(num_sessions);
+  auto run_one = [&](int s) {
+    for (int c = 0; c < calls; ++c) {
+      auto batch = service->Sample(ids[s], per_call);
+      ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+      for (const auto& e : Encodings(*batch)) sequences[s].push_back(e);
+    }
+  };
+  if (concurrent) {
+    std::vector<std::thread> threads;
+    for (int s = 0; s < num_sessions; ++s) threads.emplace_back(run_one, s);
+    for (auto& t : threads) t.join();
+  } else {
+    for (int s = 0; s < num_sessions; ++s) run_one(s);
+  }
+  return sequences;
+}
+
+TEST(ServiceSessionTest, ConcurrentSessionsMatchSequentialExecution) {
+  // The acceptance property: per-session sequences are a function of
+  // (service seed, session rank, call pattern) — never of interleaving.
+  auto sequential = RunSessions(400, 3, /*calls=*/2, /*per_call=*/60,
+                                /*concurrent=*/false);
+  auto concurrent = RunSessions(400, 3, /*calls=*/2, /*per_call=*/60,
+                                /*concurrent=*/true);
+  ASSERT_EQ(sequential.size(), concurrent.size());
+  for (size_t s = 0; s < sequential.size(); ++s) {
+    EXPECT_EQ(sequential[s], concurrent[s]) << "session rank " << s;
+  }
+  // Disjoint substreams: distinct sessions draw distinct sequences.
+  EXPECT_NE(sequential[0], sequential[1]);
+  EXPECT_NE(sequential[1], sequential[2]);
+}
+
+TEST(ServiceSessionTest, OnlineSessionsMatchSequentialExecution) {
+  SessionOptions online;
+  online.mode = SessionOptions::Mode::kOnline;
+  online.warmup_walks = 40;
+  auto sequential = RunSessions(401, 2, /*calls=*/2, /*per_call=*/50,
+                                /*concurrent=*/false, online);
+  auto concurrent = RunSessions(401, 2, /*calls=*/2, /*per_call=*/50,
+                                /*concurrent=*/true, online);
+  for (size_t s = 0; s < sequential.size(); ++s) {
+    EXPECT_EQ(sequential[s], concurrent[s]) << "session rank " << s;
+  }
+  EXPECT_NE(sequential[0], sequential[1]);
+}
+
+TEST(ServiceSessionTest, RepeatedCallsContinueTheProtocol) {
+  // Two Sample(50) calls on one session == one Sample(100) on an
+  // identically seeded twin: sessions resume, never restart.
+  auto service_a = MakeService(402);
+  auto service_b = MakeService(402);
+  auto joins = MakeJoins(311);
+  ASSERT_TRUE(service_a->Prepare("q", joins).ok());
+  ASSERT_TRUE(service_b->Prepare("q", joins).ok());
+  uint64_t sid_a = service_a->OpenSession("q").value();
+  uint64_t sid_b = service_b->OpenSession("q").value();
+
+  std::vector<std::string> split;
+  for (int c = 0; c < 2; ++c) {
+    auto batch = service_a->Sample(sid_a, 50);
+    ASSERT_TRUE(batch.ok());
+    for (const auto& e : Encodings(*batch)) split.push_back(e);
+  }
+  auto whole = service_b->Sample(sid_b, 100);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(split, Encodings(*whole));
+
+  auto stats = service_a->SessionStats(sid_a).value();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.tuples_delivered, 100u);
+  EXPECT_EQ(stats.sampler.accepted, 100u);
+}
+
+TEST(ServiceSessionTest, SamplesAreUniformOverTheUnion) {
+  auto service = MakeService(403);
+  auto joins = MakeJoins(312);
+  ASSERT_TRUE(service->Prepare("q", joins).ok());
+  uint64_t sid = service->OpenSession("q").value();
+  auto exact = ExactOverlapCalculator::Create(joins).value();
+  size_t n = 40 * exact->UnionSize();
+  auto samples = service->Sample(sid, n);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  auto counts = testing::CountByValue(*samples);
+  for (const auto& [key, c] : counts) {
+    ASSERT_TRUE(exact->membership().count(key))
+        << "sampled tuple outside the union";
+  }
+  double chi2 =
+      testing::ChiSquareUniform(counts, exact->UnionSize(), samples->size());
+  EXPECT_LT(chi2, testing::ChiSquareThreshold(exact->UnionSize() - 1));
+}
+
+TEST(ServiceSessionTest, ParallelWorkerCountDoesNotChangeTheSequence) {
+  // On the executor path (worker_threads > 1) the worker count only
+  // changes who does the work, not what comes out — the per-batch RNG
+  // substream contract. (worker_threads == 1 is the classic sequential
+  // loop, a deliberately different code path with its own sequence.)
+  std::vector<std::string> reference;
+  for (size_t threads : {2u, 8u}) {
+    auto service = MakeService(404);
+    ASSERT_TRUE(service->Prepare("q", MakeJoins(313)).ok());
+    SessionOptions opts;
+    opts.worker_threads = threads;
+    opts.batch_size = 32;
+    uint64_t sid = service->OpenSession("q", opts).value();
+    auto samples = service->Sample(sid, 300);
+    ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+    auto encodings = Encodings(*samples);
+    if (reference.empty()) {
+      reference = encodings;
+    } else {
+      EXPECT_EQ(encodings, reference);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST(AdmissionControllerTest, TryAdmitRejectsWhenSaturated) {
+  AdmissionController admission({/*max_inflight=*/2});
+  auto a = admission.TryAdmit();
+  auto b = admission.TryAdmit();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = admission.TryAdmit();
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  a->Release();
+  EXPECT_TRUE(admission.TryAdmit().ok());
+  auto snapshot = admission.snapshot();
+  EXPECT_EQ(snapshot.admitted, 3u);
+  EXPECT_EQ(snapshot.rejected, 1u);
+  EXPECT_EQ(snapshot.peak_in_flight, 2u);
+}
+
+TEST(AdmissionControllerTest, BlockingAdmitWaitsForASlot) {
+  AdmissionController admission({/*max_inflight=*/1});
+  auto held = admission.TryAdmit();
+  ASSERT_TRUE(held.ok());
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    auto permit = admission.Admit();
+    ASSERT_TRUE(permit.ok());
+    admitted.store(true);
+  });
+  // The waiter must queue (FIFO ticket taken) before we release.
+  while (admission.snapshot().waited == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(admitted.load());
+  held->Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+}
+
+TEST(ServiceAdmissionTest, RejectModeShedsLoadWhenSaturated) {
+  auto service = MakeService(405, /*max_inflight=*/1);
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(314)).ok());
+  uint64_t sid = service->OpenSession("q").value();
+  // Occupy the only slot out-of-band, then demand fail-fast admission.
+  auto held = service->admission().TryAdmit();
+  ASSERT_TRUE(held.ok());
+  auto rejected = service->Sample(sid, 10, AdmitMode::kReject);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  held->Release();
+  EXPECT_TRUE(service->Sample(sid, 10, AdmitMode::kReject).ok());
+}
+
+TEST(ServiceSessionTest, SessionLimitRejects) {
+  auto service = MakeService(406, /*max_inflight=*/4, /*max_sessions=*/1);
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(315)).ok());
+  ASSERT_TRUE(service->OpenSession("q").ok());
+  auto second = service->OpenSession("q");
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Eviction vs live sessions
+
+TEST(ServiceSessionTest, EvictionLeavesLiveSessionsSampling) {
+  auto service = MakeService(407);
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(316)).ok());
+  uint64_t sid = service->OpenSession("q").value();
+  ASSERT_TRUE(service->Sample(sid, 20).ok());
+
+  ASSERT_TRUE(service->Evict("q").ok());
+  EXPECT_EQ(service->GetQuery("q").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service->OpenSession("q").status().code(), StatusCode::kNotFound);
+
+  // The live session holds the plan; it keeps serving.
+  auto samples = service->Sample(sid, 20);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  EXPECT_EQ(samples->size(), 20u);
+  EXPECT_EQ(service->SessionStats(sid).value().tuples_delivered, 40u);
+}
+
+TEST(ServiceSessionTest, EvictionWhileSamplingConcurrently) {
+  // TSan coverage: eviction races an in-flight request; the request's
+  // shared_ptr keeps the plan alive.
+  auto service = MakeService(408);
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(317)).ok());
+  uint64_t sid = service->OpenSession("q").value();
+  std::thread sampler_thread([&] {
+    for (int i = 0; i < 5; ++i) {
+      auto samples = service->Sample(sid, 50);
+      ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+    }
+  });
+  ASSERT_TRUE(service->Evict("q").ok());
+  sampler_thread.join();
+  EXPECT_EQ(service->SessionStats(sid).value().tuples_delivered, 250u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming delivery
+
+TEST(SampleStreamTest, StreamMatchesDirectCallsAndTerminates) {
+  auto service_a = MakeService(409);
+  auto service_b = MakeService(409);
+  auto joins = MakeJoins(318);
+  ASSERT_TRUE(service_a->Prepare("q", joins).ok());
+  ASSERT_TRUE(service_b->Prepare("q", joins).ok());
+  uint64_t sid_a = service_a->OpenSession("q").value();
+  uint64_t sid_b = service_b->OpenSession("q").value();
+
+  const size_t total = 500;
+  SampleStream::Options stream_opts;
+  stream_opts.chunk_size = 64;
+  auto stream = service_a->OpenStream(sid_a, total, stream_opts).value();
+  std::vector<std::string> streamed;
+  size_t chunks = 0;
+  for (;;) {
+    auto chunk = stream->Next();
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    if (chunk->empty()) break;
+    ++chunks;
+    EXPECT_LE(chunk->size(), stream_opts.chunk_size);
+    for (const auto& e : Encodings(*chunk)) streamed.push_back(e);
+  }
+  EXPECT_EQ(streamed.size(), total);
+  EXPECT_EQ(chunks, (total + stream_opts.chunk_size - 1) /
+                        stream_opts.chunk_size);
+  // End-of-stream is sticky.
+  EXPECT_TRUE(stream->Next().value().empty());
+
+  // Same session twin, same chunking via direct calls: same sequence.
+  std::vector<std::string> direct;
+  size_t remaining = total;
+  while (remaining > 0) {
+    size_t count = std::min<size_t>(stream_opts.chunk_size, remaining);
+    auto batch = service_b->Sample(sid_b, count);
+    ASSERT_TRUE(batch.ok());
+    remaining -= batch->size();
+    for (const auto& e : Encodings(*batch)) direct.push_back(e);
+  }
+  EXPECT_EQ(streamed, direct);
+}
+
+TEST(SampleStreamTest, CancelStopsProduction) {
+  auto service = MakeService(410);
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(319)).ok());
+  uint64_t sid = service->OpenSession("q").value();
+  auto stream = service->OpenStream(sid, 1 << 20).value();
+  auto first = stream->Next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->empty());
+  stream->Cancel();
+  // After cancellation Next() drains to the cancel signal; destruction
+  // joins the producer without hanging.
+  for (;;) {
+    auto chunk = stream->Next();
+    if (!chunk.ok()) {
+      EXPECT_EQ(chunk.status().code(), StatusCode::kFailedPrecondition);
+      break;
+    }
+    if (chunk->empty()) break;
+  }
+}
+
+TEST(SampleStreamTest, StreamLimitBoundsProducerThreads) {
+  ServiceOptions options;
+  options.seed = 414;
+  options.max_streams = 1;
+  auto service = SamplingService::Create(options).value();
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(323)).ok());
+  uint64_t sid = service->OpenSession("q").value();
+  auto first = service->OpenStream(sid, 100).value();
+  EXPECT_EQ(service->OpenStream(sid, 100).status().code(),
+            StatusCode::kResourceExhausted);
+  first.reset();  // releases the slot
+  EXPECT_TRUE(service->OpenStream(sid, 100).ok());
+}
+
+TEST(SampleStreamTest, CancelInterruptsSaturatedAdmissionWait) {
+  // With the only admission slot held externally, the stream's producer
+  // parks in the FIFO queue; Cancel + destruction must return promptly
+  // (abandoning the queue place) instead of waiting out the saturation.
+  auto service = MakeService(415, /*max_inflight=*/1);
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(324)).ok());
+  uint64_t sid = service->OpenSession("q").value();
+  auto held = service->admission().TryAdmit();
+  ASSERT_TRUE(held.ok());
+  {
+    auto stream = service->OpenStream(sid, 1 << 20).value();
+    stream->Cancel();
+  }  // destructor joins the producer; completing at all is the assertion
+  EXPECT_EQ(service->admission().in_flight(), 1u);  // only the held permit
+  held->Release();
+  EXPECT_TRUE(service->Sample(sid, 10).ok());
+}
+
+TEST(AdmissionControllerTest, CancelledWaiterAbandonsItsQueuePlace) {
+  AdmissionController admission({/*max_inflight=*/1});
+  auto held = admission.TryAdmit();
+  ASSERT_TRUE(held.ok());
+  std::atomic<bool> cancel{false};
+  std::thread waiter([&] {
+    auto permit = admission.Admit(&cancel);
+    EXPECT_EQ(permit.status().code(), StatusCode::kResourceExhausted);
+  });
+  while (admission.snapshot().waited == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cancel.store(true);
+  admission.CancelWake();
+  waiter.join();
+  // The abandoned ticket must not wedge the queue for later callers.
+  held->Release();
+  EXPECT_TRUE(admission.TryAdmit().ok());
+}
+
+TEST(SampleStreamTest, UnknownSessionAndBadOptionsFail) {
+  auto service = MakeService(411);
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(320)).ok());
+  uint64_t sid = service->OpenSession("q").value();
+  EXPECT_FALSE(service->OpenStream(999, 100).ok());
+  SampleStream::Options zero_chunk;
+  zero_chunk.chunk_size = 0;
+  EXPECT_FALSE(service->OpenStream(sid, 100, zero_chunk).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Stats identity
+
+TEST(ServiceStatsTest, SessionStatsCarryThePlanId) {
+  auto service = MakeService(412);
+  ASSERT_TRUE(service->Prepare("a", MakeJoins(321)).ok());
+  ASSERT_TRUE(service->Prepare("b", MakeJoins(322)).ok());
+  uint64_t sa = service->OpenSession("a").value();
+  uint64_t sb = service->OpenSession("b").value();
+  ASSERT_TRUE(service->Sample(sa, 10).ok());
+  ASSERT_TRUE(service->Sample(sb, 10).ok());
+  auto stats_a = service->SessionStats(sa).value();
+  auto stats_b = service->SessionStats(sb).value();
+  EXPECT_NE(stats_a.plan_id, stats_b.plan_id);
+  EXPECT_EQ(stats_a.sampler.plan_id, stats_a.plan_id);
+  EXPECT_EQ(stats_b.sampler.plan_id, stats_b.plan_id);
+
+  // Same query: merging across sessions is legitimate aggregation.
+  auto stats_a2 =
+      service->SessionStats(service->OpenSession("a").value()).value();
+  EXPECT_TRUE(stats_a.sampler.MergeFrom(stats_a2.sampler).ok());
+  // Different queries: a checked error, not silent corruption.
+  EXPECT_EQ(stats_a.sampler.MergeFrom(stats_b.sampler).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace suj

@@ -430,5 +430,73 @@ TEST(UnionSamplerTest, StatsAccounting) {
   EXPECT_EQ((*sampler)->stats().accepted, 0u);
 }
 
+// Regression: MergeFrom used to silently pool stats of different queries;
+// now the plan id makes that a checked error.
+TEST(UnionSampleStatsTest, MergeFromChecksPlanIdentity) {
+  UnionSampleStats a;
+  a.plan_id = 1;
+  a.accepted = 10;
+  UnionSampleStats b;
+  b.plan_id = 2;
+  b.accepted = 5;
+  auto mismatch = a.MergeFrom(b);
+  EXPECT_EQ(mismatch.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.accepted, 10u);  // the refused merge changed nothing
+
+  // Same plan: fine.
+  UnionSampleStats a2;
+  a2.plan_id = 1;
+  a2.accepted = 7;
+  ASSERT_TRUE(a.MergeFrom(a2).ok());
+  EXPECT_EQ(a.accepted, 17u);
+
+  // Unbound (0) merges with anything and adopts the non-zero id.
+  UnionSampleStats unbound;
+  unbound.accepted = 3;
+  ASSERT_TRUE(a.MergeFrom(unbound).ok());
+  EXPECT_EQ(a.accepted, 20u);
+  UnionSampleStats fresh;
+  ASSERT_TRUE(fresh.MergeFrom(a).ok());
+  EXPECT_EQ(fresh.plan_id, 1u);
+}
+
+TEST(UnionSamplerTest, ResumableAcrossCalls) {
+  // Two Sample(n/2) calls on one instance produce the same sequence as
+  // one Sample(n) on an identically constructed twin (oracle mode): the
+  // sampler continues, never restarts.
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 20;
+  options.seed = 130;
+  Fixture s = MakeSetup(options);
+  CompositeIndexCache cache;
+  auto probers = BuildProbers(s.joins).value();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto make = [&] {
+    return UnionSampler::Create(
+               s.joins,
+               MakeJoinSamplers(s.joins, &cache,
+                                JoinSamplerKind::kExactWeight),
+               s.estimates, probers, opts)
+        .value();
+  };
+  auto split = make();
+  auto whole = make();
+  Rng rng_split(131);
+  Rng rng_whole(131);
+  std::vector<std::string> split_keys;
+  for (int c = 0; c < 2; ++c) {
+    auto batch = split->Sample(60, rng_split);
+    ASSERT_TRUE(batch.ok());
+    for (const auto& t : *batch) split_keys.push_back(t.Encode());
+  }
+  auto full = whole->Sample(120, rng_whole);
+  ASSERT_TRUE(full.ok());
+  std::vector<std::string> whole_keys;
+  for (const auto& t : *full) whole_keys.push_back(t.Encode());
+  EXPECT_EQ(split_keys, whole_keys);
+}
+
 }  // namespace
 }  // namespace suj
