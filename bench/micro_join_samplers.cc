@@ -143,6 +143,58 @@ void BM_UnionSampleParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_UnionSampleParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+// The classic sequential revision loop (decentralized Algorithm 1): the
+// 1x anchor for the epoch-reconciled parallel path below. The CI perf
+// gate asserts the 4-thread parallel row stays >= 1.5x faster than this
+// (same-run comparison; see .github/workflows/ci.yml).
+void BM_UnionSampleRevisionSequential(benchmark::State& state) {
+  UnionMicroWorkload& f = UnionSetup();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kRevision;
+  auto sampler = Unwrap(
+      UnionSampler::Create(f.joins, Unwrap(UnionMicroEwFactory(&f)(), "EW"),
+                           f.estimates, {}, opts),
+      "union sampler");
+  Rng rng(13);
+  const size_t kDraw = 4096;
+  for (auto _ : state) {
+    auto samples = sampler->Sample(kDraw, rng);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_UnionSampleRevisionSequential)->UseRealTime();
+
+// Epoch-reconciled revision protocol at 1..8 worker threads
+// (core/ownership_map.h): every row draws the byte-identical sequence;
+// wall clock is what the epochs buy.
+void BM_UnionSampleRevisionParallel(benchmark::State& state) {
+  UnionMicroWorkload& f = UnionSetup();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kRevision;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  opts.batch_size = 512;
+  opts.sampler_factory = UnionMicroEwFactory(&f);
+  auto sampler = Unwrap(UnionSampler::Create(f.joins, {}, f.estimates, {},
+                                             opts),
+                        "union sampler");
+  Rng rng(14);
+  const size_t kDraw = 4096;
+  for (auto _ : state) {
+    auto samples = sampler->Sample(kDraw, rng);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_UnionSampleRevisionParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
 void BM_FullJoinExecute(benchmark::State& state) {
   JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);
   for (auto _ : state) {

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "common/logging.h"
+#include "core/ownership_map.h"
 #include "exec/parallel_executor.h"
 
 namespace suj {
@@ -36,6 +38,134 @@ Status ValidateSamplerSet(
   return Status::OK();
 }
 
+// One worker's context for the parallel revision protocol: the sequential
+// revision loop run per batch against (epoch snapshot ∘ batch-local
+// overlay) ownership. Everything mutable is per-batch or per-worker; the
+// shared OwnershipMap is only read (its snapshot is immutable during the
+// fan-out), so batch output is a pure function of (seed, batch index,
+// snapshot) and the concatenation is thread-count independent.
+class RevisionBatchSampler : public BatchSampler {
+ public:
+  RevisionBatchSampler(std::vector<std::unique_ptr<JoinSampler>> samplers,
+                       const std::vector<double>* frozen_weights,
+                       OwnershipMap::View snapshot,
+                       uint64_t max_draws_per_round,
+                       std::vector<ClaimBatch>* claim_slots,
+                       std::vector<uint8_t>* abandoned_sink)
+      : samplers_(std::move(samplers)),
+        frozen_weights_(frozen_weights),
+        snapshot_(snapshot),
+        max_draws_per_round_(max_draws_per_round),
+        claim_slots_(claim_slots),
+        abandoned_sink_(abandoned_sink) {}
+
+  Result<std::vector<Tuple>> SampleBatch(size_t, Rng&) override {
+    return Status::Internal(
+        "revision batches journal per-batch claims; the executor must use "
+        "the batch-indexed entry point");
+  }
+
+  Result<std::vector<Tuple>> SampleBatchAt(size_t batch_index, size_t count,
+                                           Rng& rng) override {
+    // Batch-local view: frozen call-start weights (abandonment discovered
+    // here is sunk per worker and reset per batch, like the oracle path)
+    // and a tentative-claim overlay over the epoch's reconciled snapshot.
+    std::vector<double> weights = *frozen_weights_;
+    std::unordered_map<std::string, int> local;
+    std::vector<Tuple> tuples;
+    std::vector<std::string> keys;
+    ClaimBatch claims;
+    tuples.reserve(count);
+    keys.reserve(count);
+    claims.reserve(count);
+    while (tuples.size() < count) {
+      ++stats_.rounds;
+      int j = static_cast<int>(rng.Categorical(weights));
+      bool round_done = false;
+      for (uint64_t draw = 0;
+           draw < max_draws_per_round_ && !round_done; ++draw) {
+        auto start = Clock::now();
+        ++stats_.join_draws;
+        std::optional<Tuple> t = samplers_[static_cast<size_t>(j)]
+                                     ->TrySample(rng);
+        if (!t.has_value()) {
+          stats_.rejected_seconds += SecondsSince(start);
+          continue;  // join-level rejection; retry the same join
+        }
+        std::string key = t->Encode();
+        auto it = local.find(key);
+        if (it != local.end()) {
+          // The batch already holds copies of this value.
+          if (it->second < j) {
+            ++stats_.rejected_cover;
+            stats_.rejected_seconds += SecondsSince(start);
+            continue;
+          }
+          if (it->second > j) {
+            // Batch-local revision: purge the batch's stale copies (and
+            // their claims) now; stale copies in OTHER batches are the
+            // reconciliation pass's job.
+            ++stats_.revisions;
+            size_t before = tuples.size();
+            for (size_t k = tuples.size(); k-- > 0;) {
+              if (keys[k] == key) {
+                tuples.erase(tuples.begin() + static_cast<ptrdiff_t>(k));
+                keys.erase(keys.begin() + static_cast<ptrdiff_t>(k));
+                claims.erase(claims.begin() + static_cast<ptrdiff_t>(k));
+              }
+            }
+            stats_.removed_by_revision += before - tuples.size();
+          }
+        } else {
+          int g = snapshot_.Owner(key);
+          if (g >= 0 && g < j) {
+            // Snapshot assigns the value to an earlier join: same
+            // rejection the sequential loop makes once it has learned.
+            ++stats_.rejected_cover;
+            stats_.rejected_seconds += SecondsSince(start);
+            continue;
+          }
+          // g == -1 (unclaimed) or g > j: accept; a g > j conflict is the
+          // reconciliation pass's revision to perform (and count) — this
+          // batch holds no stale copies to purge.
+        }
+        local[key] = j;
+        claims.push_back(OwnershipClaim{key, j});
+        keys.push_back(std::move(key));
+        tuples.push_back(std::move(*t));
+        ++stats_.accepted;
+        stats_.accepted_seconds += SecondsSince(start);
+        round_done = true;
+      }
+      if (!round_done) {
+        ++stats_.abandoned_rounds;
+        (*abandoned_sink_)[static_cast<size_t>(j)] = 1;
+        weights[static_cast<size_t>(j)] = 0.0;
+        double remaining = 0.0;
+        for (double w : weights) remaining += w;
+        if (remaining <= 0.0) {
+          return Status::Internal(
+              "every join's cover was abandoned; warm-up estimates are "
+              "inconsistent with the data");
+        }
+      }
+    }
+    (*claim_slots_)[batch_index] = std::move(claims);
+    return tuples;
+  }
+
+  UnionSampleStats stats() const override { return stats_; }
+
+ private:
+  std::vector<std::unique_ptr<JoinSampler>> samplers_;
+  const std::vector<double>* frozen_weights_;
+  OwnershipMap::View snapshot_;
+  uint64_t max_draws_per_round_;
+  std::vector<ClaimBatch>* claim_slots_;
+  std::vector<uint8_t>* abandoned_sink_;
+  UnionSampleStats stats_;
+};
+
 }  // namespace
 
 Status UnionSampleStats::MergeFrom(const UnionSampleStats& other) {
@@ -59,6 +189,9 @@ Status UnionSampleStats::MergeFrom(const UnionSampleStats& other) {
   parallel_workers += other.parallel_workers;
   parallel_clipped += other.parallel_clipped;
   parallel_seconds += other.parallel_seconds;
+  revision_epochs += other.revision_epochs;
+  reconcile_dropped += other.reconcile_dropped;
+  reconciliation_seconds += other.reconciliation_seconds;
   return Status::OK();
 }
 
@@ -96,11 +229,8 @@ Result<std::unique_ptr<UnionSampler>> UnionSampler::Create(
         "all cover sizes are zero; the union is (estimated) empty");
   }
   if (options.sampler_factory != nullptr) {
-    if (options.mode != Mode::kMembershipOracle) {
-      return Status::InvalidArgument(
-          "parallel sampling requires kMembershipOracle mode (revision "
-          "ownership is shared mutable state)");
-    }
+    // Both modes fan out: oracle ownership is a pure function, revision
+    // ownership runs the epoch-reconciled protocol (ownership_map.h).
     if (options.batch_size == 0) {
       return Status::InvalidArgument("batch_size must be positive");
     }
@@ -187,8 +317,14 @@ Result<std::vector<Tuple>> UnionSampler::SampleParallel(size_t n,
         std::move(*inner), &worker_abandoned[worker]));
   };
 
+  const std::vector<bool> call_start_disabled = disabled_;
   auto result = executor.Execute(n, seed, factory, &stats_);
   if (!result.ok()) return result.status();
+  // The documented abandonment boundary: a cover abandoned DURING this
+  // call takes effect only from the next call, so the exclusion set must
+  // be untouched until this post-fan-out fold (anything else would let
+  // batch contents depend on scheduling).
+  SUJ_CHECK(disabled_ == call_start_disabled);
   for (const auto& mask : worker_abandoned) {
     for (size_t j = 0; j < joins_.size(); ++j) {
       if (mask[j]) disabled_[j] = true;
@@ -197,11 +333,150 @@ Result<std::vector<Tuple>> UnionSampler::SampleParallel(size_t n,
   return result;
 }
 
+Result<std::vector<Tuple>> UnionSampler::SampleRevisionParallel(
+    size_t n, uint64_t seed) {
+  // Epoch-reconciled revision protocol. Each epoch fans the current
+  // shortfall out as batches; workers run the revision loop against an
+  // immutable snapshot of the reconciled ownership map plus batch-local
+  // claims; the claims are journaled per batch and replayed between
+  // epochs in global round order (batch order, then acceptance order),
+  // applying revisions and purges exactly as the sequential protocol
+  // would. Epoch count, batch layout, and replay order are all functions
+  // of (seed, n) only, so the delivered sequence is byte-identical for
+  // every thread count.
+  //
+  // Like the oracle fan-out, the exclusion set is frozen for the whole
+  // call: abandonment discovered in any epoch is sunk per worker and
+  // folded into disabled_ only after the final epoch.
+  UnionEstimates frozen = estimates_;
+  double remaining = 0.0;
+  for (size_t j = 0; j < joins_.size(); ++j) {
+    if (disabled_[j]) frozen.cover_sizes[j] = 0.0;
+    remaining += frozen.cover_sizes[j];
+  }
+  if (remaining <= 0.0) {
+    return Status::Internal(
+        "every join's cover was abandoned; warm-up estimates are "
+        "inconsistent with the data");
+  }
+  const std::vector<bool> call_start_disabled = disabled_;
+
+  // Per-call revision state, mirroring the sequential loop's per-call
+  // owner map (ownership learned here cannot purge tuples delivered by
+  // earlier calls, so it is not carried over; abandonment is).
+  OwnershipMap ownership;
+  std::vector<Tuple> result;
+  std::vector<std::string> result_keys;
+  result.reserve(n);
+  result_keys.reserve(n);
+
+  std::vector<uint8_t> abandoned(joins_.size(), 0);
+  // Epoch e draws its executor seed from this stream; epoch boundaries
+  // are deterministic, so the whole schedule is a function of `seed`.
+  Rng epoch_seeds(seed);
+  // Progress guard: an epoch whose reconciliation nets no new standing
+  // tuples is possible (every claim collided with an earlier-join claim
+  // of the same epoch), but each collision teaches the map the winning
+  // owner, so stalls cannot persist; a run of them means the sampler
+  // configuration is broken.
+  const int kMaxStalledEpochs = 8;
+  int stalled = 0;
+
+  uint64_t epoch_index = 0;
+  while (result.size() < n) {
+    const size_t shortfall = n - result.size();
+    // Learning ramp: epoch sizes grow geometrically from one batch. An
+    // epoch's workers sample against the ownership learned BEFORE it, so
+    // fanning the whole request out at once would let a constant
+    // FRACTION of claims die at reconciliation (weight-proportional
+    // re-draws then over-represent earlier joins — a bias that grows
+    // with n). Small early epochs make the unlearned phase a constant
+    // NUMBER of draws instead, matching the sequential protocol's
+    // transient, while late (large) epochs carry the parallel work.
+    const size_t ramp =
+        options_.batch_size << std::min<uint64_t>(2 * epoch_index, 24);
+    const size_t need = std::min(shortfall, ramp);
+    ++epoch_index;
+    ParallelUnionExecutor::Options exec_options;
+    exec_options.num_threads = options_.num_threads;
+    exec_options.batch_size = options_.batch_size;
+    ParallelUnionExecutor executor(exec_options);
+    const size_t workers = executor.EffectiveThreads(need);
+    const size_t num_batches =
+        (need + options_.batch_size - 1) / options_.batch_size;
+
+    std::vector<ClaimBatch> claim_slots(num_batches);
+    std::vector<std::vector<uint8_t>> worker_abandoned(
+        workers, std::vector<uint8_t>(joins_.size(), 0));
+    auto factory =
+        [&](size_t worker) -> Result<std::unique_ptr<BatchSampler>> {
+      if (worker >= workers) {
+        return Status::Internal("worker index out of range");
+      }
+      auto samplers = options_.sampler_factory();
+      if (!samplers.ok()) return samplers.status();
+      SUJ_RETURN_NOT_OK(ValidateSamplerSet(joins_, *samplers));
+      return std::unique_ptr<BatchSampler>(new RevisionBatchSampler(
+          std::move(*samplers), &frozen.cover_sizes,
+          ownership.UnsynchronizedView(), options_.max_draws_per_round,
+          &claim_slots, &worker_abandoned[worker]));
+    };
+
+    auto drawn = executor.Execute(need, epoch_seeds.Next(), factory, &stats_);
+    if (!drawn.ok()) return drawn.status();
+    SUJ_CHECK(disabled_ == call_start_disabled);
+    for (const auto& mask : worker_abandoned) {
+      for (size_t j = 0; j < joins_.size(); ++j) {
+        if (mask[j]) abandoned[j] = 1;
+      }
+    }
+
+    // Flatten the per-batch claim journals in batch order; the executor
+    // returned the tuples in the same order, one claim per tuple.
+    std::vector<OwnershipClaim> claims;
+    claims.reserve(drawn->size());
+    for (auto& slot : claim_slots) {
+      for (auto& claim : slot) claims.push_back(std::move(claim));
+    }
+    SUJ_CHECK(claims.size() == drawn->size());
+
+    auto reconcile_start = Clock::now();
+    const size_t before = result.size();
+    ReconcileOutcome outcome = ownership.Reconcile(
+        std::move(claims), std::move(*drawn), &result, &result_keys);
+    stats_.reconciliation_seconds += SecondsSince(reconcile_start);
+    ++stats_.revision_epochs;
+    stats_.revisions += outcome.revisions;
+    stats_.removed_by_revision += outcome.purged;
+    stats_.reconcile_dropped += outcome.dropped;
+
+    if (result.size() <= before) {
+      if (++stalled >= kMaxStalledEpochs) {
+        return Status::Internal(
+            "revision reconciliation made no progress for " +
+            std::to_string(stalled) +
+            " consecutive epochs; the join samplers and cover estimates "
+            "are inconsistent");
+      }
+    } else {
+      stalled = 0;
+    }
+  }
+
+  for (size_t j = 0; j < joins_.size(); ++j) {
+    if (abandoned[j]) disabled_[j] = true;
+  }
+  return result;
+}
+
 Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {
   if (options_.sampler_factory != nullptr) {
     // One draw fixes the substream seed; the caller's RNG advances the
     // same way for every thread count.
-    return SampleParallel(n, rng.Next());
+    uint64_t seed = rng.Next();
+    return options_.mode == Mode::kMembershipOracle
+               ? SampleParallel(n, seed)
+               : SampleRevisionParallel(n, seed);
   }
   std::vector<Tuple> result;
   std::vector<std::string> result_keys;  // parallel encodings, for revision

@@ -62,12 +62,23 @@ struct UnionSampleStats {
   double rejected_seconds = 0.0;    ///< time spent on rejected draws
   // Parallel-executor accounting (zero when sampling ran sequentially).
   uint64_t parallel_batches = 0;    ///< batches fanned out by the executor
-  uint64_t parallel_workers = 0;    ///< worker contexts that participated
+  /// Worker contexts that participated — a count of contexts, not the
+  /// pool width. The revision path builds fresh contexts per epoch, so
+  /// one call at num_threads=T over E epochs reports up to T*E here.
+  uint64_t parallel_workers = 0;
   /// Accepted tuples clipped at batch boundaries (multi-instance
   /// overshoot; the sequential path clips only once per call). Non-
   /// negligible values signal badly underestimated join sizes.
   uint64_t parallel_clipped = 0;
   double parallel_seconds = 0.0;    ///< executor wall-clock (not CPU) time
+  // Parallel revision-mode accounting (zero for oracle mode and for the
+  // sequential revision loop).
+  uint64_t revision_epochs = 0;     ///< epoch fan-out + reconcile passes
+  /// Claims dropped by reconciliation because an earlier join claimed the
+  /// value in the same epoch (the sequential loop would have rejected and
+  /// re-drawn them; the epoch driver tops the shortfall up instead).
+  uint64_t reconcile_dropped = 0;
+  double reconciliation_seconds = 0.0;  ///< wall-clock in Reconcile passes
 
   /// Folds another stats block (e.g. one worker's) into this one: counters
   /// and per-phase times add; parallel_workers adds so a merge over workers
@@ -104,13 +115,17 @@ class UnionSampler {
     /// abandoned and the join's selection weight zeroed.
     uint64_t max_draws_per_round = 50000;
     /// Worker threads for the batched executor path (engaged by setting
-    /// `sampler_factory`); 0 = hardware concurrency. The batched path
-    /// requires kMembershipOracle mode — ownership there is the pure
-    /// function "first join containing the value", so batches drawn from
-    /// independent RNG substreams are independent and the batch-ordered
-    /// concatenation has exactly the sequential sampler's distribution.
-    /// (Revision mode learns ownership in shared mutable state and stays
-    /// sequential.)
+    /// `sampler_factory`); 0 = hardware concurrency. Both modes fan out:
+    /// kMembershipOracle ownership is the pure function "first join
+    /// containing the value", so batches from independent RNG substreams
+    /// concatenate to exactly the sequential sampler's distribution;
+    /// kRevision runs the epoch-reconciled protocol (core/ownership_map.h)
+    /// — workers sample against an immutable snapshot of the learned
+    /// cover, journal tentative claims per batch, and a deterministic
+    /// reconciliation pass between epochs replays the claims in global
+    /// round order, applying revisions/purges exactly as the sequential
+    /// protocol would and re-requesting any reconciliation shortfall in
+    /// the next epoch.
     size_t num_threads = 1;
     /// Tuples per parallel batch. The sample sequence is a function of
     /// (seed, batch index) only — never of the claiming thread — so the
@@ -158,16 +173,22 @@ class UnionSampler {
   /// excluded from selection in later calls instead of burning a fresh
   /// draw budget per call. Service sessions rely on this to serve many
   /// requests from one long-lived sampler. (On the batched executor path
-  /// a cover abandoned mid-call takes effect from the NEXT call: within
-  /// the discovering call every batch keeps the call-start exclusion
-  /// set, so batch contents never depend on scheduling.)
+  /// — both modes — a cover abandoned mid-call takes effect from the
+  /// NEXT call: within the discovering call every batch keeps the
+  /// call-start exclusion set, so batch contents never depend on
+  /// scheduling. This boundary is asserted: the fan-out SUJ_CHECKs that
+  /// the exclusion set is untouched until the post-fan-out fold.)
   ///
   /// With Options::sampler_factory set the draw fans out over the parallel
   /// executor: `rng` is consumed for exactly one value (the substream
   /// seed), so the output is a deterministic function of the caller's RNG
-  /// state and n, independent of the thread count. Join-level stats then
-  /// accrue in the per-worker samplers, not in the ones passed to Create
-  /// (AggregatedJoinStats() reports only sequential-path work).
+  /// state and n, independent of the thread count — in BOTH modes. The
+  /// revision-mode fan-out keeps a per-call OwnershipMap, mirroring the
+  /// sequential loop's per-call revision state (ownership learned in one
+  /// call is not carried into later calls, whose delivered tuples are
+  /// beyond purging anyway); abandonment still carries over. Join-level
+  /// stats then accrue in the per-worker samplers, not in the ones passed
+  /// to Create (AggregatedJoinStats() reports only sequential-path work).
   Result<std::vector<Tuple>> Sample(size_t n, Rng& rng);
 
   const UnionSampleStats& stats() const { return stats_; }
@@ -199,8 +220,14 @@ class UnionSampler {
     stats_.plan_id = options_.plan_id;
   }
 
-  /// Parallel fan-out of Sample (oracle mode only; see Options).
+  /// Parallel fan-out of Sample, oracle mode: one batched fan-out.
   Result<std::vector<Tuple>> SampleParallel(size_t n, uint64_t seed);
+
+  /// Parallel fan-out of Sample, revision mode: epoch-reconciled
+  /// ownership (core/ownership_map.h). Fans out batches against the
+  /// reconciled-ownership snapshot, reconciles claims in global round
+  /// order, and repeats until n tuples stand.
+  Result<std::vector<Tuple>> SampleRevisionParallel(size_t n, uint64_t seed);
 
   std::vector<JoinSpecPtr> joins_;
   std::vector<std::unique_ptr<JoinSampler>> samplers_;

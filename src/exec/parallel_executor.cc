@@ -74,7 +74,7 @@ Result<std::vector<Tuple>> ParallelUnionExecutor::Execute(
       }
       Rng batch_rng = cursor;
       const size_t count = std::min(batch, n - i * batch);
-      auto drawn = contexts[w]->SampleBatch(count, batch_rng);
+      auto drawn = contexts[w]->SampleBatchAt(i, count, batch_rng);
       if (!drawn.ok()) {
         worker_status[w] = drawn.status();
         failed.store(true, std::memory_order_relaxed);

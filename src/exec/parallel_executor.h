@@ -42,6 +42,20 @@ class BatchSampler {
   /// executor, deterministically, since truncation happens per batch).
   virtual Result<std::vector<Tuple>> SampleBatch(size_t count, Rng& rng) = 0;
 
+  /// The executor's actual entry point. Samplers that journal per-batch
+  /// side data (e.g. the revision protocol's ownership claims, placed
+  /// into slot `batch_index` so the post-fan-out reconciliation can
+  /// replay them in batch order) override this; the batch index is part
+  /// of the schedule, not the randomness, so the determinism contract is
+  /// unchanged. Each batch index is claimed by exactly one worker, which
+  /// is what makes per-batch-slot journaling race-free. The default
+  /// forwards to SampleBatch.
+  virtual Result<std::vector<Tuple>> SampleBatchAt(size_t batch_index,
+                                                  size_t count, Rng& rng) {
+    (void)batch_index;
+    return SampleBatch(count, rng);
+  }
+
   /// Cumulative union-level stats over every batch this worker ran.
   virtual UnionSampleStats stats() const = 0;
 };

@@ -24,29 +24,40 @@ Result<std::unique_ptr<SamplingSession>> SamplingSession::Create(
 }
 
 Status SamplingSession::EnsureSampler() {
-  if (oracle_sampler_ != nullptr || online_sampler_ != nullptr) {
+  if (union_sampler_ != nullptr || online_sampler_ != nullptr) {
     return Status::OK();
   }
-  if (options_.mode == SessionOptions::Mode::kOracle) {
+  if (options_.mode == SessionOptions::Mode::kOracle ||
+      options_.mode == SessionOptions::Mode::kRevision) {
     UnionSampler::Options o;
-    o.mode = UnionSampler::Mode::kMembershipOracle;
     o.plan_id = plan_->plan_id();
     o.max_draws_per_round = options_.max_draws_per_round;
     std::vector<std::unique_ptr<JoinSampler>> samplers;
-    if (options_.worker_threads > 1) {
+    if (options_.mode == SessionOptions::Mode::kRevision) {
+      // Decentralized Algorithm 1 on the epoch-reconciled executor path
+      // — at EVERY worker_threads, so the session's sequence does not
+      // depend on the serving host's thread configuration.
+      o.mode = UnionSampler::Mode::kRevision;
       o.num_threads = options_.worker_threads;
       o.batch_size = options_.batch_size;
       o.sampler_factory = plan_->MakeJoinSamplerFactory();
     } else {
-      auto built = plan_->MakeJoinSamplerFactory()();
-      if (!built.ok()) return built.status();
-      samplers = std::move(built).value();
+      o.mode = UnionSampler::Mode::kMembershipOracle;
+      if (options_.worker_threads > 1) {
+        o.num_threads = options_.worker_threads;
+        o.batch_size = options_.batch_size;
+        o.sampler_factory = plan_->MakeJoinSamplerFactory();
+      } else {
+        auto built = plan_->MakeJoinSamplerFactory()();
+        if (!built.ok()) return built.status();
+        samplers = std::move(built).value();
+      }
     }
     auto sampler =
         UnionSampler::Create(plan_->joins(), std::move(samplers),
                              plan_->estimates(), plan_->probers(), o);
     if (!sampler.ok()) return sampler.status();
-    oracle_sampler_ = std::move(sampler).value();
+    union_sampler_ = std::move(sampler).value();
     return Status::OK();
   }
 
@@ -88,9 +99,9 @@ Status SamplingSession::EnsureSampler() {
 
 Result<std::vector<Tuple>> SamplingSession::SampleLocked(size_t n) {
   SUJ_RETURN_NOT_OK(EnsureSampler());
-  auto result = options_.mode == SessionOptions::Mode::kOracle
-                    ? oracle_sampler_->Sample(n, rng_)
-                    : online_sampler_->Sample(n, rng_);
+  auto result = options_.mode == SessionOptions::Mode::kOnline
+                    ? online_sampler_->Sample(n, rng_)
+                    : union_sampler_->Sample(n, rng_);
   if (!result.ok()) return result.status();
   ++requests_;
   tuples_delivered_ += result->size();
@@ -165,8 +176,8 @@ void SamplingSession::UpdateStatsSnapshot() {
   s.sampler.plan_id = plan_->plan_id();
   if (online_sampler_ != nullptr) {
     s.sampler = online_sampler_->stats();
-  } else if (oracle_sampler_ != nullptr) {
-    static_cast<UnionSampleStats&>(s.sampler) = oracle_sampler_->stats();
+  } else if (union_sampler_ != nullptr) {
+    static_cast<UnionSampleStats&>(s.sampler) = union_sampler_->stats();
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_snapshot_ = std::move(s);

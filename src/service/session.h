@@ -2,8 +2,9 @@
 // shared PreparedUnion.
 //
 // A session owns everything one client's protocol needs — an RNG
-// substream, a long-lived sampler (oracle-mode Algorithm 1 or the online
-// Algorithm 2 with its private walker, reuse pool, and backtracking
+// substream, a long-lived sampler (Algorithm 1 in its oracle or
+// epoch-reconciled revision instantiation, or the online Algorithm 2
+// with its private walker, reuse pool, and backtracking
 // state), and cumulative stats — while sharing the plan's heavy immutable
 // state (indexes, probers, estimates) with every other session. Repeated
 // Sample(n) calls CONTINUE the protocol: the online session's reuse pool
@@ -47,11 +48,18 @@ struct SessionOptions {
     /// Algorithm 2: session-private wander-join walker, reuse pool, and
     /// optional backtracking, warm-started from the plan's estimates.
     kOnline,
+    /// Algorithm 1, decentralized: ownership learned on the fly via the
+    /// revision protocol — no membership probes on the hot path. Always
+    /// runs the epoch-reconciled executor path (core/ownership_map.h),
+    /// so a revision session's sample sequence is byte-identical for
+    /// every worker_threads setting, including 1.
+    kRevision,
   };
   Mode mode = Mode::kOracle;
   /// Worker threads for this session's requests (>1 engages the batched
-  /// parallel executor inside each Sample call); the admission
-  /// controller bounds how many sessions run at once.
+  /// parallel executor inside each Sample call; kRevision sessions use
+  /// the executor path even at 1); the admission controller bounds how
+  /// many sessions run at once.
   size_t worker_threads = 1;
   size_t batch_size = 64;
   uint64_t max_draws_per_round = 50000;
@@ -72,9 +80,10 @@ struct SessionStatsSnapshot {
   std::string query;
   uint64_t requests = 0;        ///< completed Sample calls
   uint64_t tuples_delivered = 0;
-  /// Sampler-level counters (plan_id-stamped). Oracle sessions fill the
-  /// UnionSampleStats base; online sessions also fill the reuse /
-  /// backtracking extension.
+  /// Sampler-level counters (plan_id-stamped). Oracle and revision
+  /// sessions fill the UnionSampleStats base (revision sessions include
+  /// the epoch/reconciliation counters); online sessions also fill the
+  /// reuse / backtracking extension.
   OnlineUnionSampleStats sampler;
 };
 
@@ -142,7 +151,7 @@ class SamplingSession {
   uint64_t requests_ = 0;
   uint64_t tuples_delivered_ = 0;
   // Exactly one of these is live after EnsureSampler, per options_.mode.
-  std::unique_ptr<UnionSampler> oracle_sampler_;
+  std::unique_ptr<UnionSampler> union_sampler_;
   std::unique_ptr<RandomWalkOverlapEstimator> walker_;  // kOnline
   std::unique_ptr<OnlineUnionSampler> online_sampler_;
 

@@ -249,14 +249,76 @@ TEST(ParallelUnionSamplerTest, CallerRngAdvancesIdenticallyForAnyThreadCount) {
   EXPECT_EQ(next_draws[0], next_draws[1]);
 }
 
+// The documented abandonment boundary on the batched executor path: a
+// cover abandoned DURING a call keeps its call-start selection weight for
+// every batch of that call (so batch contents never depend on which worker
+// discovered the dead cover), and only the NEXT call excludes the join.
+// SampleParallel additionally SUJ_CHECKs that the exclusion set is
+// untouched until its post-fan-out fold.
+TEST(ParallelUnionSamplerTest, AbandonmentTakesEffectNextCall) {
+  Fixture s = MakeSetup(230);
+  // Append an empty join (the middle relation's key never matches) whose
+  // estimates falsely claim a big cover: every round that selects it
+  // exhausts the draw budget and must be abandoned.
+  auto empty_r =
+      workloads::MakeRelation("er", {"A0", "A1"}, {{1, 2}}).value();
+  auto empty_s =
+      workloads::MakeRelation("es", {"A1", "A2"}, {{99, 3}}).value();
+  auto empty_t =
+      workloads::MakeRelation("et", {"A2", "A3"}, {{3, 4}}).value();
+  s.joins.push_back(
+      JoinSpec::Create("empty", {empty_r, empty_s, empty_t}).value());
+  s.exact = ExactOverlapCalculator::Create(s.joins).value();
+  s.estimates = ComputeUnionEstimates(s.exact.get()).value();
+  s.probers = BuildProbers(s.joins).value();
+  ASSERT_DOUBLE_EQ(s.estimates.cover_sizes.back(), 0.0);
+  s.estimates.cover_sizes.back() = s.estimates.cover_sizes[0];  // the lie
+
+  std::vector<std::string> first_call, second_call;
+  for (size_t threads : {1u, 4u}) {
+    UnionSampler::Options opts;
+    opts.mode = UnionSampler::Mode::kMembershipOracle;
+    opts.num_threads = threads;
+    opts.batch_size = 32;
+    opts.max_draws_per_round = 200;
+    opts.sampler_factory = EwFactory(s);
+    auto sampler =
+        UnionSampler::Create(s.joins, {}, s.estimates, s.probers, opts)
+            .value();
+    Rng rng(231);
+    auto call1 = sampler->Sample(300, rng);
+    ASSERT_TRUE(call1.ok()) << call1.status().ToString();
+    ASSERT_EQ(call1->size(), 300u);
+    // The dead cover was discovered (and paid for) in this call...
+    uint64_t abandoned_after_call1 = sampler->stats().abandoned_rounds;
+    EXPECT_GE(abandoned_after_call1, 1u);
+    auto call2 = sampler->Sample(300, rng);
+    ASSERT_TRUE(call2.ok()) << call2.status().ToString();
+    // ...and from the next call the join is excluded from selection
+    // outright: no further rounds can be abandoned on it.
+    EXPECT_EQ(sampler->stats().abandoned_rounds, abandoned_after_call1);
+    auto enc1 = Encodings(*call1);
+    auto enc2 = Encodings(*call2);
+    if (threads == 1) {
+      first_call = enc1;
+      second_call = enc2;
+    } else {
+      // Abandonment mid-call must not perturb thread-count determinism.
+      EXPECT_EQ(enc1, first_call);
+      EXPECT_EQ(enc2, second_call);
+    }
+  }
+}
+
 TEST(ParallelUnionSamplerTest, CreateValidation) {
   Fixture s = MakeSetup(208, /*num_joins=*/2);
-  // Revision mode cannot run the batched path.
+  // Revision mode runs the batched path too (epoch-reconciled ownership,
+  // core/ownership_map.h; covered in revision_parallel_test.cc) — and
+  // needs no probers.
   UnionSampler::Options opts;
   opts.mode = UnionSampler::Mode::kRevision;
   opts.sampler_factory = EwFactory(s);
-  EXPECT_FALSE(
-      UnionSampler::Create(s.joins, {}, s.estimates, {}, opts).ok());
+  EXPECT_TRUE(UnionSampler::Create(s.joins, {}, s.estimates, {}, opts).ok());
   // num_threads != 1 without a factory.
   UnionSampler::Options no_factory;
   no_factory.mode = UnionSampler::Mode::kMembershipOracle;

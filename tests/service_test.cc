@@ -254,6 +254,40 @@ TEST(ServiceSessionTest, ParallelWorkerCountDoesNotChangeTheSequence) {
   }
 }
 
+TEST(ServiceSessionTest, RevisionSessionsSampleAndScaleDeterministically) {
+  // Prepared revision-mode plans get parallel sessions too: a kRevision
+  // session runs the epoch-reconciled executor path at EVERY
+  // worker_threads (including 1), so the session sequence is a function
+  // of (service seed, session rank, call pattern) alone — the worker
+  // count never shows in the bytes.
+  std::vector<std::string> reference;
+  for (size_t threads : {1u, 2u, 8u}) {
+    auto service = MakeService(406);
+    ASSERT_TRUE(service->Prepare("q", MakeJoins(326)).ok());
+    SessionOptions opts;
+    opts.mode = SessionOptions::Mode::kRevision;
+    opts.worker_threads = threads;
+    opts.batch_size = 32;
+    uint64_t sid = service->OpenSession("q", opts).value();
+    std::vector<std::string> concatenated;
+    for (int call = 0; call < 2; ++call) {
+      auto samples = service->Sample(sid, 150);
+      ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+      auto encodings = Encodings(*samples);
+      concatenated.insert(concatenated.end(), encodings.begin(),
+                          encodings.end());
+    }
+    auto stats = service->SessionStats(sid).value();
+    EXPECT_EQ(stats.tuples_delivered, 300u);
+    EXPECT_GE(stats.sampler.revision_epochs, 2u);  // one or more per call
+    if (reference.empty()) {
+      reference = concatenated;
+    } else {
+      EXPECT_EQ(concatenated, reference) << "threads=" << threads;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Admission control
 
