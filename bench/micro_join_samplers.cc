@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "core/revision_state.h"
 #include "join/membership.h"
 #include "join/wander_join.h"
 
@@ -194,6 +195,42 @@ BENCHMARK(BM_UnionSampleRevisionParallel)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+// Session-style resumable revision protocol (core/revision_state.h): the
+// same 4096-tuple total drawn as range(0) chunked Sample calls per
+// iteration against ONE long-lived RevisionState at 4 worker threads.
+// The learned cover, epoch schedule, and buffered surplus carry across
+// chunks (and iterations), so chunking adds only call dispatch and
+// buffer drains — never extra epochs or re-learned covers. CI asserts
+// the chunked row stays within 1.25x of the one-shot row (same-run
+// --require-speedup with ratio 0.8; see .github/workflows/ci.yml).
+void BM_UnionSampleRevisionResume(benchmark::State& state) {
+  UnionMicroWorkload& f = UnionSetup();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kRevision;
+  opts.num_threads = 4;
+  opts.batch_size = 512;
+  opts.sampler_factory = UnionMicroEwFactory(&f);
+  auto sampler = Unwrap(UnionSampler::Create(f.joins, {}, f.estimates, {},
+                                             opts),
+                        "union sampler");
+  Rng rng(15);
+  RevisionState revision_state;
+  const size_t kDraw = 4096;
+  const size_t chunks = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    size_t left = kDraw;
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t take = c + 1 == chunks ? left : kDraw / chunks;
+      auto samples = sampler->Sample(take, rng, revision_state);
+      UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+      benchmark::DoNotOptimize(samples);
+      left -= take;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_UnionSampleRevisionResume)->Arg(1)->Arg(8)->UseRealTime();
 
 void BM_FullJoinExecute(benchmark::State& state) {
   JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);

@@ -1,0 +1,42 @@
+#include "core/revision_state.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace suj {
+
+void RevisionState::Initialize(const UnionSampler* owner, uint64_t seed,
+                               std::vector<double> weights) {
+  SUJ_CHECK(bound_to_ == nullptr);
+  SUJ_CHECK(owner != nullptr);
+  bound_to_ = owner;
+  epoch_seeds_ = Rng(seed);
+  weights_ = std::move(weights);
+}
+
+void RevisionState::AppendFinalized(std::vector<Tuple>&& tuples) {
+  finalized_ += tuples.size();
+  if (buffer_head_ == buffer_.size()) {
+    // Fully drained: recycle the storage instead of growing past it.
+    buffer_.clear();
+    buffer_head_ = 0;
+  }
+  buffer_.reserve(buffer_.size() + tuples.size());
+  for (auto& t : tuples) buffer_.push_back(std::move(t));
+  SUJ_CHECK(finalized_ == delivered_ + buffered());
+}
+
+size_t RevisionState::DrainInto(std::vector<Tuple>* out, size_t max) {
+  const size_t take = std::min(max, buffered());
+  for (size_t i = 0; i < take; ++i) {
+    out->push_back(std::move(buffer_[buffer_head_ + i]));
+  }
+  buffer_head_ += take;
+  delivered_ += take;
+  SUJ_CHECK(finalized_ == delivered_ + buffered());
+  return take;
+}
+
+}  // namespace suj

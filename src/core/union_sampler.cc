@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "core/ownership_map.h"
+#include "core/revision_state.h"
 #include "exec/parallel_executor.h"
+#include "exec/worker_context_pool.h"
 
 namespace suj {
 
@@ -44,20 +47,30 @@ Status ValidateSamplerSet(
 // shared OwnershipMap is only read (its snapshot is immutable during the
 // fan-out), so batch output is a pure function of (seed, batch index,
 // snapshot) and the concatenation is thread-count independent.
+//
+// Contexts live in a WorkerContextPool for a whole Sample call and serve
+// EVERY epoch of it: the ownership view reads the live (between-epochs
+// reconciled) map through a stable pointer, `weights` points at storage
+// the epoch driver may update between fan-outs (frozen per call on the
+// legacy path, abandonment-folded per epoch on the resumable path), and
+// the per-epoch claim journal is re-bound before each fan-out via
+// BindEpochSlots. Only stats_ accumulates across epochs.
 class RevisionBatchSampler : public BatchSampler {
  public:
   RevisionBatchSampler(std::vector<std::unique_ptr<JoinSampler>> samplers,
-                       const std::vector<double>* frozen_weights,
+                       const std::vector<double>* weights,
                        OwnershipMap::View snapshot,
                        uint64_t max_draws_per_round,
-                       std::vector<ClaimBatch>* claim_slots,
                        std::vector<uint8_t>* abandoned_sink)
       : samplers_(std::move(samplers)),
-        frozen_weights_(frozen_weights),
+        frozen_weights_(weights),
         snapshot_(snapshot),
         max_draws_per_round_(max_draws_per_round),
-        claim_slots_(claim_slots),
         abandoned_sink_(abandoned_sink) {}
+
+  /// Points the claim journal at the new epoch's slots (one per batch).
+  /// Called serially between fan-outs by the epoch driver.
+  void BindEpochSlots(std::vector<ClaimBatch>* slots) { claim_slots_ = slots; }
 
   Result<std::vector<Tuple>> SampleBatch(size_t, Rng&) override {
     return Status::Internal(
@@ -67,6 +80,7 @@ class RevisionBatchSampler : public BatchSampler {
 
   Result<std::vector<Tuple>> SampleBatchAt(size_t batch_index, size_t count,
                                            Rng& rng) override {
+    SUJ_CHECK(claim_slots_ != nullptr);  // BindEpochSlots precedes fan-out
     // Batch-local view: frozen call-start weights (abandonment discovered
     // here is sunk per worker and reset per batch, like the oracle path)
     // and a tentative-claim overlay over the epoch's reconciled snapshot.
@@ -161,10 +175,59 @@ class RevisionBatchSampler : public BatchSampler {
   const std::vector<double>* frozen_weights_;
   OwnershipMap::View snapshot_;
   uint64_t max_draws_per_round_;
-  std::vector<ClaimBatch>* claim_slots_;
+  std::vector<ClaimBatch>* claim_slots_ = nullptr;
   std::vector<uint8_t>* abandoned_sink_;
   UnionSampleStats stats_;
 };
+
+// Resumable epoch ramp: batch * 4^e, capped at batch << kResumableRampCap
+// (see SampleRevisionResumable). The cap also bounds how many batches one
+// epoch can fan out, which bounds the useful worker-pool width.
+constexpr uint64_t kResumableRampCap = 4;
+constexpr size_t kResumableMaxEpochBatches = size_t{1} << kResumableRampCap;
+
+// One call's revision fan-out machinery, shared by the per-call and
+// resumable epoch drivers: per-worker abandonment sinks, the concrete
+// contexts (for per-epoch claim-slot rebinding), and the WorkerContextPool
+// that owns them. Moving the struct is safe: the contexts hold pointers to
+// the sink vectors' heap elements, which std::vector moves leave in place.
+struct RevisionWorkerSet {
+  std::vector<std::vector<uint8_t>> abandoned;   // one sink per worker
+  std::vector<RevisionBatchSampler*> contexts;   // borrowed from `pool`
+  std::optional<WorkerContextPool> pool;
+};
+
+// Builds `width` revision worker contexts over `sampler_factory` — the
+// once-per-call construction both drivers rely on. `weights` and
+// `snapshot` must outlive the set; the snapshot reads the live map, so
+// between-epoch reconciliations are visible to later fan-outs.
+Result<RevisionWorkerSet> BuildRevisionWorkers(
+    const std::vector<JoinSpecPtr>& joins,
+    const UnionSampler::JoinSamplerFactory& sampler_factory,
+    uint64_t max_draws_per_round, size_t width,
+    const std::vector<double>* weights, OwnershipMap::View snapshot) {
+  RevisionWorkerSet set;
+  set.abandoned.assign(width, std::vector<uint8_t>(joins.size(), 0));
+  set.contexts.assign(width, nullptr);
+  auto factory = [&](size_t worker) -> Result<std::unique_ptr<BatchSampler>> {
+    if (worker >= width) {
+      return Status::Internal("worker index out of range");
+    }
+    auto samplers = sampler_factory();
+    if (!samplers.ok()) return samplers.status();
+    SUJ_RETURN_NOT_OK(ValidateSamplerSet(joins, *samplers));
+    auto context = std::unique_ptr<RevisionBatchSampler>(
+        new RevisionBatchSampler(std::move(*samplers), weights, snapshot,
+                                 max_draws_per_round,
+                                 &set.abandoned[worker]));
+    set.contexts[worker] = context.get();
+    return std::unique_ptr<BatchSampler>(std::move(context));
+  };
+  auto pool = WorkerContextPool::Build(width, factory);
+  if (!pool.ok()) return pool.status();
+  set.pool.emplace(std::move(*pool));
+  return set;
+}
 
 }  // namespace
 
@@ -382,91 +445,285 @@ Result<std::vector<Tuple>> UnionSampler::SampleRevisionParallel(
   const int kMaxStalledEpochs = 8;
   int stalled = 0;
 
+  // Executor and worker-context pool are built ONCE for the call and
+  // reused by every epoch's fan-out: the factory (and its sampler-set
+  // construction) runs exactly pool-width times per call, not per epoch.
+  // The contexts read the reconciled map through a stable view and the
+  // frozen weights through a stable pointer; only the per-epoch claim
+  // journal is re-bound before each fan-out. Width is clamped to what
+  // the request can engage, as the per-epoch construction was.
+  ParallelUnionExecutor::Options exec_options;
+  exec_options.num_threads = options_.num_threads;
+  exec_options.batch_size = options_.batch_size;
+  ParallelUnionExecutor executor(exec_options);
+  auto workers = BuildRevisionWorkers(
+      joins_, options_.sampler_factory, options_.max_draws_per_round,
+      executor.EffectiveThreads(n), &frozen.cover_sizes,
+      ownership.UnsynchronizedView());
+  if (!workers.ok()) return workers.status();
+
   uint64_t epoch_index = 0;
-  while (result.size() < n) {
-    const size_t shortfall = n - result.size();
-    // Learning ramp: epoch sizes grow geometrically from one batch. An
-    // epoch's workers sample against the ownership learned BEFORE it, so
-    // fanning the whole request out at once would let a constant
-    // FRACTION of claims die at reconciliation (weight-proportional
-    // re-draws then over-represent earlier joins — a bias that grows
-    // with n). Small early epochs make the unlearned phase a constant
-    // NUMBER of draws instead, matching the sequential protocol's
-    // transient, while late (large) epochs carry the parallel work.
-    const size_t ramp =
-        options_.batch_size << std::min<uint64_t>(2 * epoch_index, 24);
-    const size_t need = std::min(shortfall, ramp);
-    ++epoch_index;
-    ParallelUnionExecutor::Options exec_options;
-    exec_options.num_threads = options_.num_threads;
-    exec_options.batch_size = options_.batch_size;
-    ParallelUnionExecutor executor(exec_options);
-    const size_t workers = executor.EffectiveThreads(need);
-    const size_t num_batches =
-        (need + options_.batch_size - 1) / options_.batch_size;
+  auto run_epochs = [&]() -> Status {
+    while (result.size() < n) {
+      const size_t shortfall = n - result.size();
+      // Learning ramp: epoch sizes grow geometrically from one batch. An
+      // epoch's workers sample against the ownership learned BEFORE it,
+      // so fanning the whole request out at once would let a constant
+      // FRACTION of claims die at reconciliation (weight-proportional
+      // re-draws then over-represent earlier joins — a bias that grows
+      // with n). Small early epochs make the unlearned phase a constant
+      // NUMBER of draws instead, matching the sequential protocol's
+      // transient, while late (large) epochs carry the parallel work.
+      const size_t ramp =
+          options_.batch_size << std::min<uint64_t>(2 * epoch_index, 24);
+      const size_t need = std::min(shortfall, ramp);
+      ++epoch_index;
+      const size_t num_batches =
+          (need + options_.batch_size - 1) / options_.batch_size;
 
-    std::vector<ClaimBatch> claim_slots(num_batches);
-    std::vector<std::vector<uint8_t>> worker_abandoned(
-        workers, std::vector<uint8_t>(joins_.size(), 0));
-    auto factory =
-        [&](size_t worker) -> Result<std::unique_ptr<BatchSampler>> {
-      if (worker >= workers) {
-        return Status::Internal("worker index out of range");
+      std::vector<ClaimBatch> claim_slots(num_batches);
+      for (auto* context : workers->contexts) {
+        context->BindEpochSlots(&claim_slots);
       }
-      auto samplers = options_.sampler_factory();
-      if (!samplers.ok()) return samplers.status();
-      SUJ_RETURN_NOT_OK(ValidateSamplerSet(joins_, *samplers));
-      return std::unique_ptr<BatchSampler>(new RevisionBatchSampler(
-          std::move(*samplers), &frozen.cover_sizes,
-          ownership.UnsynchronizedView(), options_.max_draws_per_round,
-          &claim_slots, &worker_abandoned[worker]));
-    };
 
-    auto drawn = executor.Execute(need, epoch_seeds.Next(), factory, &stats_);
-    if (!drawn.ok()) return drawn.status();
-    SUJ_CHECK(disabled_ == call_start_disabled);
-    for (const auto& mask : worker_abandoned) {
-      for (size_t j = 0; j < joins_.size(); ++j) {
-        if (mask[j]) abandoned[j] = 1;
+      auto drawn = executor.Execute(need, epoch_seeds.Next(),
+                                    *workers->pool, &stats_);
+      if (!drawn.ok()) return drawn.status();
+      SUJ_CHECK(disabled_ == call_start_disabled);
+      for (const auto& mask : workers->abandoned) {
+        for (size_t j = 0; j < joins_.size(); ++j) {
+          if (mask[j]) abandoned[j] = 1;
+        }
+      }
+
+      // Flatten the per-batch claim journals in batch order; the
+      // executor returned the tuples in the same order, one claim per
+      // tuple.
+      std::vector<OwnershipClaim> claims;
+      claims.reserve(drawn->size());
+      for (auto& slot : claim_slots) {
+        for (auto& claim : slot) claims.push_back(std::move(claim));
+      }
+      SUJ_CHECK(claims.size() == drawn->size());
+
+      auto reconcile_start = Clock::now();
+      const size_t before = result.size();
+      ReconcileOutcome outcome = ownership.Reconcile(
+          std::move(claims), std::move(*drawn), &result, &result_keys);
+      stats_.reconciliation_seconds += SecondsSince(reconcile_start);
+      ++stats_.revision_epochs;
+      stats_.revisions += outcome.revisions;
+      stats_.removed_by_revision += outcome.purged;
+      stats_.reconcile_dropped += outcome.dropped;
+
+      if (result.size() <= before) {
+        if (++stalled >= kMaxStalledEpochs) {
+          return Status::Internal(
+              "revision reconciliation made no progress for " +
+              std::to_string(stalled) +
+              " consecutive epochs; the join samplers and cover estimates "
+              "are inconsistent");
+        }
+      } else {
+        stalled = 0;
       }
     }
+    return Status::OK();
+  };
+  const Status run_status = run_epochs();
 
-    // Flatten the per-batch claim journals in batch order; the executor
-    // returned the tuples in the same order, one claim per tuple.
-    std::vector<OwnershipClaim> claims;
-    claims.reserve(drawn->size());
-    for (auto& slot : claim_slots) {
-      for (auto& claim : slot) claims.push_back(std::move(claim));
-    }
-    SUJ_CHECK(claims.size() == drawn->size());
-
-    auto reconcile_start = Clock::now();
-    const size_t before = result.size();
-    ReconcileOutcome outcome = ownership.Reconcile(
-        std::move(claims), std::move(*drawn), &result, &result_keys);
-    stats_.reconciliation_seconds += SecondsSince(reconcile_start);
-    ++stats_.revision_epochs;
-    stats_.revisions += outcome.revisions;
-    stats_.removed_by_revision += outcome.purged;
-    stats_.reconcile_dropped += outcome.dropped;
-
-    if (result.size() <= before) {
-      if (++stalled >= kMaxStalledEpochs) {
-        return Status::Internal(
-            "revision reconciliation made no progress for " +
-            std::to_string(stalled) +
-            " consecutive epochs; the join samplers and cover estimates "
-            "are inconsistent");
-      }
-    } else {
-      stalled = 0;
-    }
-  }
+  // The contexts served every epoch, so their cumulative stats (and the
+  // context count) fold in exactly once — error or not, so a failing
+  // call never loses its completed epochs' accounting.
+  const Status merge_status = workers->pool->MergeStatsInto(&stats_);
+  stats_.parallel_workers += workers->pool->size();
+  SUJ_RETURN_NOT_OK(run_status);
+  SUJ_RETURN_NOT_OK(merge_status);
 
   for (size_t j = 0; j < joins_.size(); ++j) {
     if (abandoned[j]) disabled_[j] = true;
   }
   return result;
+}
+
+Result<std::vector<Tuple>> UnionSampler::SampleRevisionResumable(
+    size_t n, Rng& rng, RevisionState& state) {
+  // The session-lived protocol: everything the per-call path keeps per
+  // call — ownership map, epoch ramp, epoch seeds, selection weights —
+  // lives in `state` and continues across calls, and every generation
+  // input is a function of the state alone. Splitting n draws across any
+  // sequence of calls therefore delivers the byte-identical stream a
+  // single call would, at every thread count (the contract documented in
+  // core/revision_state.h).
+  if (!state.initialized()) {
+    std::vector<double> weights = estimates_.cover_sizes;
+    double remaining = 0.0;
+    for (size_t j = 0; j < joins_.size(); ++j) {
+      if (disabled_[j]) weights[j] = 0.0;
+      remaining += weights[j];
+    }
+    if (remaining <= 0.0) {
+      return Status::Internal(
+          "every join's cover was abandoned; warm-up estimates are "
+          "inconsistent with the data");
+    }
+    // The ONE draw this state ever takes from the caller's RNG.
+    state.Initialize(this, rng.Next(), std::move(weights));
+  }
+
+  if (state.buffered() < n) {
+    // Generate until the buffer covers the call. Executor +
+    // worker-context pool are built once per call (pool-width factory
+    // invocations; a call served entirely from the buffer builds none)
+    // and reused across every epoch the call runs. Width is clamped to
+    // the most batches one capped epoch can fan out.
+    ParallelUnionExecutor::Options exec_options;
+    exec_options.num_threads = options_.num_threads;
+    exec_options.batch_size = options_.batch_size;
+    ParallelUnionExecutor executor(exec_options);
+    const size_t pool_width = std::min(executor.options().num_threads,
+                                       kResumableMaxEpochBatches);
+    auto workers = BuildRevisionWorkers(
+        joins_, options_.sampler_factory, options_.max_draws_per_round,
+        pool_width, &state.weights_, state.ownership_.UnsynchronizedView());
+    if (!workers.ok()) return workers.status();
+
+    const int kMaxStalledEpochs = 8;
+    int stalled = 0;
+    auto run_epochs = [&]() -> Status {
+      while (state.buffered() < n) {
+        // Pure-ramp epoch size — batch * 4^e, capped at batch * 16 —
+        // NEVER clamped by this call's shortfall: a shortfall clamp
+        // would cut different batch layouts for different chunkings and
+        // break split==whole. Overshoot parks in the state's buffer for
+        // the next call, so the cap also bounds how far past its demand
+        // a session can generate (and how large the one serial
+        // reconcile pass gets); the ramp exists only to make the
+        // unlearned transient a constant NUMBER of draws, which the
+        // first two epochs already ensure.
+        const size_t need =
+            options_.batch_size
+            << std::min<uint64_t>(2 * state.epoch_index_, kResumableRampCap);
+        ++state.epoch_index_;
+        const size_t num_batches =
+            (need + options_.batch_size - 1) / options_.batch_size;
+        std::vector<ClaimBatch> claim_slots(num_batches);
+        for (auto* context : workers->contexts) {
+          context->BindEpochSlots(&claim_slots);
+        }
+
+        const std::vector<bool> epoch_start_disabled = disabled_;
+        auto drawn = executor.Execute(need, state.epoch_seeds_.Next(),
+                                      *workers->pool, &stats_);
+        if (!drawn.ok()) return drawn.status();
+        // Same invariant as the per-call paths, at the resumable path's
+        // tighter boundary: the fan-out itself never touches the
+        // persistent exclusion set — the epoch-boundary fold below is
+        // its only writer and runs serially between fan-outs.
+        SUJ_CHECK(disabled_ == epoch_start_disabled);
+
+        // Flatten the per-batch claim journals in batch order; the
+        // executor returned the tuples in the same order, one claim per
+        // tuple.
+        std::vector<OwnershipClaim> claims;
+        claims.reserve(drawn->size());
+        for (auto& slot : claim_slots) {
+          for (auto& claim : slot) claims.push_back(std::move(claim));
+        }
+        SUJ_CHECK(claims.size() == drawn->size());
+
+        // Reconcile into a per-epoch result: the purge horizon of a
+        // revision is the epoch's own claims, and the epoch's survivors
+        // finalize into the state's buffer — the prefix-stability that
+        // makes chunked delivery byte-identical to one-shot
+        // (core/revision_state.h).
+        auto reconcile_start = Clock::now();
+        std::vector<Tuple> epoch_result;
+        std::vector<std::string> epoch_keys;
+        ReconcileOutcome outcome = state.ownership_.Reconcile(
+            std::move(claims), std::move(*drawn), &epoch_result,
+            &epoch_keys);
+        stats_.reconciliation_seconds += SecondsSince(reconcile_start);
+        ++stats_.revision_epochs;
+        stats_.revisions += outcome.revisions;
+        stats_.removed_by_revision += outcome.purged;
+        stats_.reconcile_dropped += outcome.dropped;
+
+        // Epoch-boundary abandonment fold: a cover exposed as dead
+        // during this epoch stops being selected from the NEXT epoch on
+        // — the same fold at every chunking — and lands in the
+        // sampler's persistent exclusion set at the same point.
+        bool newly_abandoned = false;
+        for (const auto& mask : workers->abandoned) {
+          for (size_t j = 0; j < joins_.size(); ++j) {
+            if (!mask[j]) continue;
+            if (state.weights_[j] != 0.0) {
+              state.weights_[j] = 0.0;
+              newly_abandoned = true;
+            }
+            disabled_[j] = true;
+          }
+        }
+        if (newly_abandoned) {
+          double remaining = 0.0;
+          for (double w : state.weights_) remaining += w;
+          if (remaining <= 0.0) {
+            return Status::Internal(
+                "every join's cover was abandoned; warm-up estimates are "
+                "inconsistent with the data");
+          }
+        }
+
+        const bool progressed = !epoch_result.empty();
+        state.AppendFinalized(std::move(epoch_result));
+        if (!progressed) {
+          if (++stalled >= kMaxStalledEpochs) {
+            return Status::Internal(
+                "revision reconciliation made no progress for " +
+                std::to_string(stalled) +
+                " consecutive epochs; the join samplers and cover "
+                "estimates are inconsistent");
+          }
+        } else {
+          stalled = 0;
+        }
+      }
+      return Status::OK();
+    };
+    const Status run_status = run_epochs();
+    // Context stats fold in exactly once — error or not, so a failing
+    // call never loses its completed epochs' accounting.
+    const Status merge_status = workers->pool->MergeStatsInto(&stats_);
+    stats_.parallel_workers += workers->pool->size();
+    SUJ_RETURN_NOT_OK(run_status);
+    SUJ_RETURN_NOT_OK(merge_status);
+  }
+
+  // Deliver only after every epoch the call needed has succeeded: an
+  // error above returns with the state's delivery cursor untouched
+  // (finalized epochs stay buffered), so a retried call resumes the
+  // stream without a gap.
+  std::vector<Tuple> out;
+  out.reserve(n);
+  state.DrainInto(&out, n);
+  SUJ_CHECK(out.size() == n);
+  return out;
+}
+
+Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng,
+                                                RevisionState& state) {
+  if (options_.mode != Mode::kRevision ||
+      options_.sampler_factory == nullptr) {
+    return Status::InvalidArgument(
+        "resumable sampling requires Mode::kRevision on the batched "
+        "executor path (set Options::sampler_factory)");
+  }
+  if (state.initialized() && state.bound_to_ != this) {
+    return Status::InvalidArgument(
+        "RevisionState is bound to a different UnionSampler; a resumed "
+        "protocol cannot migrate between samplers");
+  }
+  return SampleRevisionResumable(n, rng, state);
 }
 
 Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {

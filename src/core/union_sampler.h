@@ -37,6 +37,8 @@
 
 namespace suj {
 
+class RevisionState;
+
 /// Counters + phase timings for the union-level sampling loop.
 struct UnionSampleStats {
   /// Identity of the prepared plan these stats were produced under
@@ -62,9 +64,11 @@ struct UnionSampleStats {
   double rejected_seconds = 0.0;    ///< time spent on rejected draws
   // Parallel-executor accounting (zero when sampling ran sequentially).
   uint64_t parallel_batches = 0;    ///< batches fanned out by the executor
-  /// Worker contexts that participated — a count of contexts, not the
-  /// pool width. The revision path builds fresh contexts per epoch, so
-  /// one call at num_threads=T over E epochs reports up to T*E here.
+  /// Worker contexts constructed — a count of contexts, not of fan-outs.
+  /// Both parallel modes build their contexts once per Sample call (the
+  /// revision paths reuse one WorkerContextPool across every epoch of the
+  /// call), so a call at num_threads=T adds at most T here regardless of
+  /// epoch count; tests assert this via factory-invocation counters.
   uint64_t parallel_workers = 0;
   /// Accepted tuples clipped at batch boundaries (multi-instance
   /// overshoot; the sequential path clips only once per call). Non-
@@ -191,6 +195,32 @@ class UnionSampler {
   /// to Create (AggregatedJoinStats() reports only sequential-path work).
   Result<std::vector<Tuple>> Sample(size_t n, Rng& rng);
 
+  /// Resumable revision-mode sampling (requires Mode::kRevision with
+  /// Options::sampler_factory set): continues the epoch-reconciled
+  /// protocol carried by `state` instead of rebuilding it per call. The
+  /// learned cover, epoch ramp, and epoch-seed stream all persist in the
+  /// state, so splitting n draws across any number of calls delivers the
+  /// byte-identical sequence a single n-draw call would — at every
+  /// num_threads, including 1 (see core/revision_state.h for the
+  /// deterministic-stream contract). `rng` is consumed for exactly ONE
+  /// value over the state's whole lifetime (the epoch-seed stream seed,
+  /// drawn when `state` initializes); continuation calls leave it
+  /// untouched. A state binds to the first sampler it is used with;
+  /// passing it to another sampler fails with InvalidArgument.
+  ///
+  /// Worker contexts come from one WorkerContextPool built at most once
+  /// per call (a call served entirely from the state's buffer builds
+  /// none) and reused across all of the call's epochs. Cover abandonment
+  /// discovered in an epoch folds into the state's weights AND this
+  /// sampler's persistent exclusion set between epochs — a tighter,
+  /// chunking-independent version of the per-call paths' next-call
+  /// boundary; the fan-out itself still never touches the exclusion set
+  /// (SUJ_CHECK-asserted per epoch). Interleaving resumable and
+  /// non-resumable Sample calls on one sampler is memory-safe and
+  /// deterministic for a fixed interleaving, but the non-resumable calls
+  /// see abandonment at whatever epoch boundaries preceded them.
+  Result<std::vector<Tuple>> Sample(size_t n, Rng& rng, RevisionState& state);
+
   const UnionSampleStats& stats() const { return stats_; }
   void ResetStats() {
     stats_ = UnionSampleStats();
@@ -226,8 +256,14 @@ class UnionSampler {
   /// Parallel fan-out of Sample, revision mode: epoch-reconciled
   /// ownership (core/ownership_map.h). Fans out batches against the
   /// reconciled-ownership snapshot, reconciles claims in global round
-  /// order, and repeats until n tuples stand.
+  /// order, and repeats until n tuples stand. Per-call state, mirroring
+  /// the sequential loop; sessions use the RevisionState overload.
   Result<std::vector<Tuple>> SampleRevisionParallel(size_t n, uint64_t seed);
+
+  /// The resumable body of Sample(n, rng, state): one epoch-driver turn
+  /// over the state's carried protocol (see core/revision_state.h).
+  Result<std::vector<Tuple>> SampleRevisionResumable(size_t n, Rng& rng,
+                                                     RevisionState& state);
 
   std::vector<JoinSpecPtr> joins_;
   std::vector<std::unique_ptr<JoinSampler>> samplers_;

@@ -6,6 +6,8 @@
 #include <string>
 #include <thread>
 
+#include "exec/worker_context_pool.h"
+
 namespace suj {
 
 namespace {
@@ -29,29 +31,18 @@ size_t ParallelUnionExecutor::EffectiveThreads(size_t n) const {
 }
 
 Result<std::vector<Tuple>> ParallelUnionExecutor::Execute(
-    size_t n, uint64_t seed, const BatchSamplerFactory& factory,
+    size_t n, uint64_t seed, WorkerContextPool& pool,
     UnionSampleStats* stats) {
-  if (factory == nullptr) {
-    return Status::InvalidArgument("null batch-sampler factory");
-  }
   auto wall_start = std::chrono::steady_clock::now();
   const size_t batch = options_.batch_size;
   const size_t num_batches = (n + batch - 1) / batch;
-  const size_t workers = EffectiveThreads(n);
-
-  // Worker contexts are built serially up front: factories may share
-  // non-thread-safe caches, and index construction should not be charged
-  // to one unlucky batch.
-  std::vector<std::unique_ptr<BatchSampler>> contexts;
-  contexts.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    auto context = factory(w);
-    if (!context.ok()) return context.status();
-    if (*context == nullptr) {
-      return Status::InvalidArgument("factory produced a null BatchSampler");
-    }
-    contexts.push_back(std::move(*context));
+  if (num_batches > 0 && pool.size() == 0) {
+    return Status::InvalidArgument("empty worker-context pool");
   }
+  // One worker per context up to the batch count; surplus contexts stay
+  // idle this fan-out (a pool is sized for the call's LARGEST fan-out,
+  // and small epochs simply engage a prefix of it).
+  const size_t workers = std::min(pool.size(), num_batches);
 
   std::vector<std::vector<Tuple>> slots(num_batches);
   std::vector<Status> worker_status(workers, Status::OK());
@@ -74,7 +65,7 @@ Result<std::vector<Tuple>> ParallelUnionExecutor::Execute(
       }
       Rng batch_rng = cursor;
       const size_t count = std::min(batch, n - i * batch);
-      auto drawn = contexts[w]->SampleBatchAt(i, count, batch_rng);
+      auto drawn = pool.context(w).SampleBatchAt(i, count, batch_rng);
       if (!drawn.ok()) {
         worker_status[w] = drawn.status();
         failed.store(true, std::memory_order_relaxed);
@@ -95,13 +86,13 @@ Result<std::vector<Tuple>> ParallelUnionExecutor::Execute(
     }
   };
 
-  if (workers <= 1) {
+  if (workers == 1) {
     run_worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) pool.emplace_back(run_worker, w);
-    for (auto& t : pool) t.join();
+  } else if (workers > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) threads.emplace_back(run_worker, w);
+    for (auto& t : threads) t.join();
   }
 
   for (const Status& s : worker_status) {
@@ -109,14 +100,11 @@ Result<std::vector<Tuple>> ParallelUnionExecutor::Execute(
   }
 
   if (stats != nullptr) {
-    // Worker order (not claim order) keeps the merge deterministic; the
-    // counter totals are claim-order independent anyway.
-    for (const auto& context : contexts) {
-      SUJ_RETURN_NOT_OK(stats->MergeFrom(context->stats()));
-    }
+    // Fan-out accounting only: the contexts belong to the pool's owner,
+    // whose MergeStatsInto folds their cumulative stats (and the context
+    // count) in exactly once when the pool retires.
     for (uint64_t clipped : worker_clipped) stats->parallel_clipped += clipped;
     stats->parallel_batches += num_batches;
-    stats->parallel_workers += workers;
     stats->parallel_seconds += std::chrono::duration<double>(
                                    std::chrono::steady_clock::now() -
                                    wall_start)
@@ -127,6 +115,25 @@ Result<std::vector<Tuple>> ParallelUnionExecutor::Execute(
   result.reserve(n);
   for (auto& slot : slots) {
     for (auto& t : slot) result.push_back(std::move(t));
+  }
+  return result;
+}
+
+Result<std::vector<Tuple>> ParallelUnionExecutor::Execute(
+    size_t n, uint64_t seed, const BatchSamplerFactory& factory,
+    UnionSampleStats* stats) {
+  if (factory == nullptr) {
+    return Status::InvalidArgument("null batch-sampler factory");
+  }
+  // One-shot contexts: built for this fan-out, retired right after it, so
+  // (unlike the pool overload) their stats merge here.
+  auto pool = WorkerContextPool::Build(EffectiveThreads(n), factory);
+  if (!pool.ok()) return pool.status();
+  auto result = Execute(n, seed, *pool, stats);
+  if (!result.ok()) return result.status();
+  if (stats != nullptr) {
+    SUJ_RETURN_NOT_OK(pool->MergeStatsInto(stats));
+    stats->parallel_workers += pool->size();
   }
   return result;
 }

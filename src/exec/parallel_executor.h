@@ -14,6 +14,13 @@
 // estimates); everything mutable — per-join samplers, stats, RNG — is
 // per-worker. Worker contexts are created on the calling thread before the
 // pool starts, so factories need not be thread-safe.
+//
+// Two entry points: the factory-based Execute builds fresh contexts for
+// one fan-out (one-shot callers), while the WorkerContextPool overload
+// runs a fan-out over contexts the caller built once and reuses — the
+// revision-mode epoch driver fans out once per epoch, and re-running
+// heavy factories per epoch is exactly what the pool overload removes
+// (see exec/worker_context_pool.h for the stats-merge contract).
 
 #ifndef SUJ_EXEC_PARALLEL_EXECUTOR_H_
 #define SUJ_EXEC_PARALLEL_EXECUTOR_H_
@@ -66,6 +73,8 @@ class BatchSampler {
 using BatchSamplerFactory =
     std::function<Result<std::unique_ptr<BatchSampler>>(size_t worker_index)>;
 
+class WorkerContextPool;
+
 /// \brief Deterministic batched fan-out over a worker pool.
 class ParallelUnionExecutor {
  public:
@@ -86,6 +95,18 @@ class ParallelUnionExecutor {
   /// accounting) are added into `*stats` when non-null.
   Result<std::vector<Tuple>> Execute(size_t n, uint64_t seed,
                                      const BatchSamplerFactory& factory,
+                                     UnionSampleStats* stats = nullptr);
+
+  /// Same fan-out over caller-owned reusable contexts: batches are
+  /// drained by up to min(pool.size(), batch count) workers, each bound
+  /// to one pool context. Unlike the factory overload, `*stats` receives
+  /// ONLY the fan-out accounting (parallel_batches, parallel_clipped,
+  /// parallel_seconds) — the contexts outlive this call, so their
+  /// cumulative sampler stats and the context count must be folded in
+  /// exactly once by the pool's owner (WorkerContextPool::MergeStatsInto)
+  /// when the pool retires, never per fan-out.
+  Result<std::vector<Tuple>> Execute(size_t n, uint64_t seed,
+                                     WorkerContextPool& pool,
                                      UnionSampleStats* stats = nullptr);
 
   /// Threads the pool will actually use for a request of `n` tuples.

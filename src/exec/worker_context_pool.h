@@ -1,0 +1,68 @@
+// WorkerContextPool: worker BatchSampler contexts built once and reused
+// across many executor fan-outs.
+//
+// The revision-mode epoch driver runs one ParallelUnionExecutor fan-out
+// per epoch. Before this pool existed, every fan-out re-invoked the
+// caller's BatchSamplerFactory per worker, so a call spanning E epochs
+// paid E full sampler-set constructions per worker — free with the
+// prebuilt-index factories the service layer hands out, but a real cost
+// for factories that build indexes or open storage. The pool splits
+// context construction from fan-out: contexts are built exactly once
+// (serially, on the constructing thread, so factories need not be
+// thread-safe) and each subsequent Execute reuses them.
+//
+// Reuse and determinism: the executor's determinism contract
+// (exec/parallel_executor.h) already requires batch output to be a pure
+// function of (count, rng) plus immutable-or-reset-per-batch state, so
+// running later fan-outs on the same contexts cannot change any batch's
+// bytes — only per-context accumulators (stats) observe the reuse.
+//
+// Stats: because contexts now live across fan-outs, their cumulative
+// stats() must be folded into the caller's block exactly once, at the end
+// of the pool's life (MergeStatsInto) — merging after every fan-out, the
+// way the factory-based Execute does with its per-call contexts, would
+// double-count every earlier epoch.
+
+#ifndef SUJ_EXEC_WORKER_CONTEXT_POOL_H_
+#define SUJ_EXEC_WORKER_CONTEXT_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/parallel_executor.h"
+
+namespace suj {
+
+/// \brief A fixed set of worker contexts shared by successive fan-outs.
+class WorkerContextPool {
+ public:
+  /// Builds `workers` contexts by invoking `factory` once per worker
+  /// index, serially on the calling thread (factories may share
+  /// non-thread-safe caches). Fails if the factory fails or produces a
+  /// null context.
+  static Result<WorkerContextPool> Build(size_t workers,
+                                         const BatchSamplerFactory& factory);
+
+  WorkerContextPool(WorkerContextPool&&) = default;
+  WorkerContextPool& operator=(WorkerContextPool&&) = default;
+  WorkerContextPool(const WorkerContextPool&) = delete;
+  WorkerContextPool& operator=(const WorkerContextPool&) = delete;
+
+  size_t size() const { return contexts_.size(); }
+  BatchSampler& context(size_t w) { return *contexts_[w]; }
+  const BatchSampler& context(size_t w) const { return *contexts_[w]; }
+
+  /// Folds every context's cumulative stats into `*stats`. Call exactly
+  /// once, after the pool's last fan-out — the contexts' stats blocks
+  /// span their whole life, so a per-fan-out merge would double-count.
+  Status MergeStatsInto(UnionSampleStats* stats) const;
+
+ private:
+  WorkerContextPool() = default;
+
+  std::vector<std::unique_ptr<BatchSampler>> contexts_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_EXEC_WORKER_CONTEXT_POOL_H_

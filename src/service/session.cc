@@ -36,11 +36,14 @@ Status SamplingSession::EnsureSampler() {
     if (options_.mode == SessionOptions::Mode::kRevision) {
       // Decentralized Algorithm 1 on the epoch-reconciled executor path
       // — at EVERY worker_threads, so the session's sequence does not
-      // depend on the serving host's thread configuration.
+      // depend on the serving host's thread configuration. The protocol
+      // runs on a session-lived RevisionState: ownership learned for one
+      // request keeps paying for every later request and stream chunk.
       o.mode = UnionSampler::Mode::kRevision;
       o.num_threads = options_.worker_threads;
       o.batch_size = options_.batch_size;
       o.sampler_factory = plan_->MakeJoinSamplerFactory();
+      revision_state_ = std::make_unique<RevisionState>();
     } else {
       o.mode = UnionSampler::Mode::kMembershipOracle;
       if (options_.worker_threads > 1) {
@@ -101,6 +104,8 @@ Result<std::vector<Tuple>> SamplingSession::SampleLocked(size_t n) {
   SUJ_RETURN_NOT_OK(EnsureSampler());
   auto result = options_.mode == SessionOptions::Mode::kOnline
                     ? online_sampler_->Sample(n, rng_)
+                : options_.mode == SessionOptions::Mode::kRevision
+                    ? union_sampler_->Sample(n, rng_, *revision_state_)
                     : union_sampler_->Sample(n, rng_);
   if (!result.ok()) return result.status();
   ++requests_;
@@ -178,6 +183,9 @@ void SamplingSession::UpdateStatsSnapshot() {
     s.sampler = online_sampler_->stats();
   } else if (union_sampler_ != nullptr) {
     static_cast<UnionSampleStats&>(s.sampler) = union_sampler_->stats();
+  }
+  if (revision_state_ != nullptr) {
+    s.revision_buffered = revision_state_->buffered();
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_snapshot_ = std::move(s);

@@ -32,6 +32,7 @@
 
 #include "common/rng.h"
 #include "core/online_union_sampler.h"
+#include "core/revision_state.h"
 #include "core/union_sampler.h"
 #include "service/admission.h"
 #include "service/prepared_union.h"
@@ -50,9 +51,13 @@ struct SessionOptions {
     kOnline,
     /// Algorithm 1, decentralized: ownership learned on the fly via the
     /// revision protocol — no membership probes on the hot path. Always
-    /// runs the epoch-reconciled executor path (core/ownership_map.h),
-    /// so a revision session's sample sequence is byte-identical for
-    /// every worker_threads setting, including 1.
+    /// runs the epoch-reconciled executor path (core/ownership_map.h)
+    /// on a session-lived RevisionState (core/revision_state.h): the
+    /// learned cover, epoch schedule, and epoch-seed stream persist
+    /// across the session's Sample calls and SampleStream chunks, so the
+    /// session's sequence is byte-identical for every worker_threads
+    /// setting (including 1) AND for every chunking of the same total —
+    /// K chunked calls deliver exactly what one call for the sum would.
     kRevision,
   };
   Mode mode = Mode::kOracle;
@@ -80,6 +85,13 @@ struct SessionStatsSnapshot {
   std::string query;
   uint64_t requests = 0;        ///< completed Sample calls
   uint64_t tuples_delivered = 0;
+  /// kRevision only: finalized tuples the session's RevisionState
+  /// generated ahead of demand and holds for the next request (epoch
+  /// overshoot; 0 for other modes). Together with the sampler counters
+  /// this closes the session-level conservation identity:
+  /// accepted - removed_by_revision - reconcile_dropped ==
+  /// tuples_delivered + revision_buffered.
+  uint64_t revision_buffered = 0;
   /// Sampler-level counters (plan_id-stamped). Oracle and revision
   /// sessions fill the UnionSampleStats base (revision sessions include
   /// the epoch/reconciliation counters); online sessions also fill the
@@ -154,6 +166,13 @@ class SamplingSession {
   std::unique_ptr<UnionSampler> union_sampler_;
   std::unique_ptr<RandomWalkOverlapEstimator> walker_;  // kOnline
   std::unique_ptr<OnlineUnionSampler> online_sampler_;
+  /// kRevision only: the session-lived resumable protocol state (learned
+  /// cover + epoch schedule + undelivered surplus), threaded through
+  /// every Sample call. Torn down with the session — after eviction or
+  /// Close, the last in-flight request to release the session's
+  /// shared_ptr frees it; it holds only values (no plan or service
+  /// references), so teardown order is never a hazard.
+  std::unique_ptr<RevisionState> revision_state_;
 
   /// Last-completed-request stats, readable without mu_ (stats_mu_ only).
   mutable std::mutex stats_mu_;

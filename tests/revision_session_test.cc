@@ -1,0 +1,362 @@
+// Tests for session-scoped revision ownership (core/revision_state.h +
+// UnionSampler::Sample(n, rng, RevisionState&) + kRevision sessions):
+// split-across-calls == one-call byte equality at every worker-thread
+// count, resumption across SampleStream chunks, eviction/teardown while
+// a resumable state is live, worker-context-pool construction counts
+// (once per call, reused across epochs), and state-binding validation.
+// Runs under the TSan CI job (ctest -L concurrency).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/exact_overlap.h"
+#include "core/revision_state.h"
+#include "core/union_sampler.h"
+#include "join/exact_weight.h"
+#include "service/sampling_service.h"
+#include "test_util.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+std::vector<std::string> Encodings(const std::vector<Tuple>& samples) {
+  std::vector<std::string> out;
+  out.reserve(samples.size());
+  for (const auto& t : samples) out.push_back(t.Encode());
+  return out;
+}
+
+std::vector<JoinSpecPtr> MakeJoins(uint64_t seed, int num_joins = 3,
+                                   size_t master_rows = 20) {
+  SyntheticChainOptions options;
+  options.num_joins = num_joins;
+  options.master_rows = master_rows;
+  options.seed = seed;
+  return MakeOverlappingChains(options).value();
+}
+
+std::unique_ptr<SamplingService> MakeService(uint64_t seed) {
+  ServiceOptions options;
+  options.seed = seed;
+  return SamplingService::Create(options).value();
+}
+
+// Samples `chunks` on a fresh service (seed 700, query seed 701) in one
+// kRevision session at `threads` workers; returns the concatenation.
+std::vector<std::string> SampleChunkedSession(
+    const std::vector<size_t>& chunks, size_t threads) {
+  auto service = MakeService(700);
+  EXPECT_TRUE(service->Prepare("q", MakeJoins(701)).ok());
+  SessionOptions opts;
+  opts.mode = SessionOptions::Mode::kRevision;
+  opts.worker_threads = threads;
+  opts.batch_size = 32;
+  uint64_t sid = service->OpenSession("q", opts).value();
+  std::vector<std::string> out;
+  for (size_t n : chunks) {
+    auto samples = service->Sample(sid, n);
+    EXPECT_TRUE(samples.ok()) << samples.status().ToString();
+    if (!samples.ok()) return out;
+    EXPECT_EQ(samples->size(), n);
+    auto enc = Encodings(*samples);
+    out.insert(out.end(), enc.begin(), enc.end());
+  }
+  return out;
+}
+
+TEST(RevisionSessionTest, SplitEqualsWholeAtEveryThreadCount) {
+  // The tentpole guarantee: a kRevision session's delivered sequence is a
+  // function of (service seed, session rank, cumulative draw count) only
+  // — NOT of how the draws are chunked into calls, and NOT of the worker
+  // thread count. Every split of 300 draws must reproduce the one-call
+  // sequence byte for byte.
+  const std::vector<std::string> reference =
+      SampleChunkedSession({300}, /*threads=*/1);
+  ASSERT_EQ(reference.size(), 300u);
+  const std::vector<std::vector<size_t>> splits = {
+      {300},          {100, 100, 100}, {37, 263},
+      {1, 299},       {150, 75, 75},   {299, 1},
+  };
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    for (const auto& split : splits) {
+      EXPECT_EQ(SampleChunkedSession(split, threads), reference)
+          << "threads=" << threads << " splits=" << split.size();
+    }
+  }
+}
+
+TEST(RevisionSessionTest, ResumesAcrossStreamChunksAndDirectCalls) {
+  // Chunked SampleStream delivery is just more Sample calls on the same
+  // session state: direct call + stream + direct call must concatenate
+  // to the one-call sequence.
+  const std::vector<std::string> reference =
+      SampleChunkedSession({300}, /*threads=*/2);
+  ASSERT_EQ(reference.size(), 300u);
+
+  auto service = MakeService(700);
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(701)).ok());
+  SessionOptions opts;
+  opts.mode = SessionOptions::Mode::kRevision;
+  opts.worker_threads = 2;
+  opts.batch_size = 32;
+  uint64_t sid = service->OpenSession("q", opts).value();
+
+  std::vector<std::string> got;
+  auto first = service->Sample(sid, 50);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto enc = Encodings(*first);
+  got.insert(got.end(), enc.begin(), enc.end());
+
+  SampleStream::Options stream_opts;
+  stream_opts.chunk_size = 64;
+  auto stream = service->OpenStream(sid, 200, stream_opts);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  for (;;) {
+    auto chunk = (*stream)->Next();
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    if (chunk->empty()) break;
+    enc = Encodings(*chunk);
+    got.insert(got.end(), enc.begin(), enc.end());
+  }
+  stream->reset();  // stream teardown must not disturb the session state
+
+  auto last = service->Sample(sid, 50);
+  ASSERT_TRUE(last.ok()) << last.status().ToString();
+  enc = Encodings(*last);
+  got.insert(got.end(), enc.begin(), enc.end());
+
+  EXPECT_EQ(got, reference);
+}
+
+TEST(RevisionSessionTest, EvictionAndCloseLeaveResumableStateUsable) {
+  // Eviction unpins the plan and Close drops the manager's reference; a
+  // caller still holding the session continues the resumed protocol
+  // untouched, and the state is freed with the session's last reference.
+  const std::vector<std::string> reference =
+      SampleChunkedSession({300}, /*threads=*/4);
+  ASSERT_EQ(reference.size(), 300u);
+
+  auto service = MakeService(700);
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(701)).ok());
+  SessionOptions opts;
+  opts.mode = SessionOptions::Mode::kRevision;
+  opts.worker_threads = 4;
+  opts.batch_size = 32;
+  uint64_t sid = service->OpenSession("q", opts).value();
+
+  std::vector<std::string> got;
+  auto first = service->Sample(sid, 120);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto enc = Encodings(*first);
+  got.insert(got.end(), enc.begin(), enc.end());
+
+  auto session = service->sessions().Get(sid).value();
+  ASSERT_TRUE(service->Evict("q").ok());
+  ASSERT_TRUE(service->CloseSession(sid).ok());
+  EXPECT_FALSE(service->sessions().Get(sid).ok());
+
+  auto rest = session->Sample(180);
+  ASSERT_TRUE(rest.ok()) << rest.status().ToString();
+  enc = Encodings(*rest);
+  got.insert(got.end(), enc.begin(), enc.end());
+  EXPECT_EQ(got, reference);
+
+  // Releasing the last reference tears the state down with the session
+  // (ASan/TSan verify there is nothing left pointing at it).
+  session.reset();
+}
+
+TEST(RevisionSessionTest, SessionStatsCloseTheConservationIdentity) {
+  auto service = MakeService(700);
+  ASSERT_TRUE(service->Prepare("q", MakeJoins(701)).ok());
+  SessionOptions opts;
+  opts.mode = SessionOptions::Mode::kRevision;
+  opts.worker_threads = 2;
+  opts.batch_size = 32;
+  uint64_t sid = service->OpenSession("q", opts).value();
+  for (size_t n : {40u, 200u, 15u}) {
+    ASSERT_TRUE(service->Sample(sid, n).ok());
+  }
+  auto stats = service->SessionStats(sid).value();
+  EXPECT_EQ(stats.tuples_delivered, 255u);
+  // Every locally accepted tuple is delivered, buffered for the next
+  // request, purged by a revision, or dropped at reconciliation.
+  EXPECT_EQ(stats.sampler.accepted - stats.sampler.removed_by_revision -
+                stats.sampler.reconcile_dropped,
+            stats.tuples_delivered + stats.revision_buffered);
+  EXPECT_GE(stats.sampler.revision_epochs, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Core-level: worker-context pool construction counts + state binding.
+
+struct CoreFixture {
+  std::vector<JoinSpecPtr> joins;
+  std::unique_ptr<ExactOverlapCalculator> exact;
+  UnionEstimates estimates;
+  CompositeIndexCache cache;
+  size_t factory_calls = 0;
+
+  UnionSampler::JoinSamplerFactory CountingFactory() {
+    return [this]() -> Result<std::vector<std::unique_ptr<JoinSampler>>> {
+      ++factory_calls;
+      std::vector<std::unique_ptr<JoinSampler>> out;
+      for (const auto& join : joins) {
+        auto sampler = ExactWeightSampler::Create(join, &cache);
+        if (!sampler.ok()) return sampler.status();
+        out.push_back(std::move(*sampler));
+      }
+      return out;
+    };
+  }
+};
+
+CoreFixture MakeCoreSetup(uint64_t seed) {
+  CoreFixture s;
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 20;
+  options.seed = seed;
+  s.joins = MakeOverlappingChains(options).value();
+  s.exact = ExactOverlapCalculator::Create(s.joins).value();
+  s.estimates = ComputeUnionEstimates(s.exact.get()).value();
+  return s;
+}
+
+std::unique_ptr<UnionSampler> MakeRevisionSampler(CoreFixture& s,
+                                                  size_t threads,
+                                                  size_t batch_size) {
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kRevision;
+  opts.num_threads = threads;
+  opts.batch_size = batch_size;
+  opts.sampler_factory = s.CountingFactory();
+  return UnionSampler::Create(s.joins, {}, s.estimates, {}, opts).value();
+}
+
+TEST(RevisionSessionTest, ResumableBuildsWorkerContextsOncePerCall) {
+  CoreFixture s = MakeCoreSetup(702);
+  const size_t kThreads = 4;
+  auto sampler = MakeRevisionSampler(s, kThreads, /*batch_size=*/16);
+  RevisionState state;
+  Rng rng = testing::FixedSeedRng(703);
+
+  // Call 1 spans several epochs (16, 64, 256, ... tuples); the factory
+  // must run exactly pool-width times — reuse across epochs is the whole
+  // point of the WorkerContextPool.
+  auto first = sampler->Sample(600, rng, state);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_GT(sampler->stats().revision_epochs, 1u);
+  EXPECT_EQ(s.factory_calls, kThreads);
+
+  // Call 2 is served from the state's buffered surplus: no pool at all.
+  ASSERT_GT(state.buffered(), 100u);
+  auto second = sampler->Sample(100, rng, state);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(s.factory_calls, kThreads);
+
+  // Call 3 outruns the buffer and builds one fresh pool.
+  auto third = sampler->Sample(state.buffered() + 200, rng, state);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_EQ(s.factory_calls, 2 * kThreads);
+}
+
+TEST(RevisionSessionTest, PerCallPathBuildsWorkerContextsOncePerCall) {
+  // The legacy (per-call state) parallel revision path reuses one pool
+  // across its epochs too.
+  CoreFixture s = MakeCoreSetup(704);
+  auto sampler = MakeRevisionSampler(s, /*threads=*/4, /*batch_size=*/16);
+  Rng rng = testing::FixedSeedRng(705);
+  auto samples = sampler->Sample(600, rng);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  EXPECT_GT(sampler->stats().revision_epochs, 1u);
+  EXPECT_EQ(s.factory_calls, 4u);
+  EXPECT_EQ(sampler->stats().parallel_workers, 4u);
+}
+
+TEST(RevisionSessionTest, StateBindsToItsFirstSampler) {
+  CoreFixture s = MakeCoreSetup(706);
+  auto a = MakeRevisionSampler(s, 2, 32);
+  auto b = MakeRevisionSampler(s, 2, 32);
+  RevisionState state;
+  Rng rng = testing::FixedSeedRng(707);
+  ASSERT_TRUE(a->Sample(40, rng, state).ok());
+  EXPECT_TRUE(state.initialized());
+  auto migrated = b->Sample(40, rng, state);
+  EXPECT_EQ(migrated.status().code(), StatusCode::kInvalidArgument);
+  // The bound sampler keeps working.
+  EXPECT_TRUE(a->Sample(40, rng, state).ok());
+}
+
+TEST(RevisionSessionTest, ResumableRequiresRevisionExecutorPath) {
+  CoreFixture s = MakeCoreSetup(708);
+  RevisionState state;
+  Rng rng = testing::FixedSeedRng(709);
+  // Sequential revision sampler (no factory): resumable entry refused.
+  UnionSampler::Options seq;
+  seq.mode = UnionSampler::Mode::kRevision;
+  auto factory = s.CountingFactory();
+  auto samplers = factory();
+  ASSERT_TRUE(samplers.ok());
+  auto sequential = UnionSampler::Create(s.joins, std::move(*samplers),
+                                         s.estimates, {}, seq)
+                        .value();
+  EXPECT_EQ(sequential->Sample(10, rng, state).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(state.initialized());
+}
+
+TEST(RevisionSessionTest, CoreSplitEqualsWholeAndCountersAgree) {
+  // Same guarantee as the service-level test, at the core API — plus
+  // counter equality: the generation schedule (epochs, batches, claims)
+  // is chunking-independent, so the deterministic counters agree between
+  // a one-shot state and a chunked state, not just the bytes.
+  CoreFixture s = MakeCoreSetup(710);
+  std::vector<std::string> reference;
+  std::vector<uint64_t> reference_counters;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    for (const std::vector<size_t>& split :
+         std::vector<std::vector<size_t>>{{240}, {80, 80, 80}, {7, 233}}) {
+      auto sampler = MakeRevisionSampler(s, threads, /*batch_size=*/32);
+      RevisionState state;
+      Rng rng = testing::FixedSeedRng(711);
+      std::vector<std::string> got;
+      for (size_t n : split) {
+        auto samples = sampler->Sample(n, rng, state);
+        ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+        ASSERT_EQ(samples->size(), n);
+        auto enc = Encodings(*samples);
+        got.insert(got.end(), enc.begin(), enc.end());
+      }
+      const auto& st = sampler->stats();
+      std::vector<uint64_t> counters = {
+          st.rounds,       st.join_draws,        st.accepted,
+          st.rejected_cover, st.revisions,       st.removed_by_revision,
+          st.abandoned_rounds, st.parallel_batches, st.revision_epochs,
+          st.reconcile_dropped};
+      // Conservation: accepted − purged − dropped == delivered + buffered.
+      EXPECT_EQ(st.accepted - st.removed_by_revision - st.reconcile_dropped,
+                state.delivered() + state.buffered());
+      EXPECT_EQ(state.delivered(), 240u);
+      if (reference.empty()) {
+        reference = got;
+        reference_counters = counters;
+      } else {
+        EXPECT_EQ(got, reference)
+            << "threads=" << threads << " splits=" << split.size();
+        EXPECT_EQ(counters, reference_counters)
+            << "threads=" << threads << " splits=" << split.size();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace suj

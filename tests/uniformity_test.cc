@@ -10,6 +10,8 @@
 #include "core/exact_overlap.h"
 #include "core/union_sampler.h"
 #include "join/exact_weight.h"
+#include "service/prepared_union.h"
+#include "service/session.h"
 #include "stats/uniformity.h"
 #include "workloads/synthetic.h"
 
@@ -182,6 +184,61 @@ TEST(UniformityTest, ParallelRevisionModeIsUniformOverUnion) {
   // carries a small transient bias until every overlap value is claimed;
   // at this sample size the chi-square must still be comfortably
   // consistent with uniformity.
+  EXPECT_TRUE(result->ConsistentWithUniform(/*alpha=*/1e-4))
+      << "chi2=" << result->statistic << " df="
+      << result->degrees_of_freedom << " p=" << result->p_value;
+}
+
+TEST(UniformityTest, SessionResumedRevisionPathIsUniformOverUnion) {
+  // The session-lived protocol (core/revision_state.h): many chunked
+  // Sample calls on ONE kRevision session, whose learned cover, epoch
+  // schedule, and buffered surplus persist across calls. Treating the
+  // whole multi-call sequence as one sample set, it must be just as
+  // consistent with uniformity as the per-call path above — the
+  // epoch-confined purge horizon only ever leaves the same
+  // constant-NUMBER-of-draws learning transient standing. The skew
+  // negative control below keeps guarding this harness too: the same
+  // machinery must still reject a genuinely biased sampler.
+  ConformanceFixture s = MakeConformanceSetup(604);
+  double overlap = s.exact->EstimateOverlap(0b11).value();
+  ASSERT_GT(overlap, 0.0);
+
+  auto plan = PreparedUnion::Build("uniformity", /*plan_id=*/11, s.joins,
+                                   PreparedQueryOptions())
+                  .value();
+  SessionOptions opts;
+  opts.mode = SessionOptions::Mode::kRevision;
+  opts.worker_threads = 4;
+  opts.batch_size = 64;
+  auto session =
+      SamplingSession::Create(1, plan, opts, Rng(605)).value();
+
+  const size_t universe = s.exact->UnionSize();
+  const size_t n = 80 * universe;
+  // Uneven chunking on purpose: crossing epoch boundaries mid-call and
+  // serving calls from the buffered surplus are the resumed path's
+  // distinctive code paths.
+  std::vector<Tuple> samples;
+  samples.reserve(n);
+  const size_t chunks[] = {97, 1, 500, 13, 1024};
+  size_t next = 0;
+  while (samples.size() < n) {
+    size_t take = std::min(chunks[next++ % 5], n - samples.size());
+    auto chunk = session->Sample(take);
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    for (auto& t : *chunk) samples.push_back(std::move(t));
+  }
+  ASSERT_EQ(samples.size(), n);
+  auto stats = session->stats();
+  EXPECT_GT(stats.sampler.revisions, 0u);
+  EXPECT_GT(stats.sampler.revision_epochs, 1u);
+
+  for (const auto& [key, c] : CountSamples(samples)) {
+    ASSERT_TRUE(s.exact->membership().count(key))
+        << "sampled tuple outside the union";
+  }
+  auto result = ChiSquareUniformityTest(samples, universe);
+  ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->ConsistentWithUniform(/*alpha=*/1e-4))
       << "chi2=" << result->statistic << " df="
       << result->degrees_of_freedom << " p=" << result->p_value;
