@@ -39,6 +39,8 @@ void BM_ExactWeightBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactWeightBuild)->Arg(5)->Arg(10)->Arg(20);
 
+// Columnar descent (the default): alias-table root draw, probe-array
+// walks, first-assigner materialization.
 void BM_ExactWeightSample(benchmark::State& state) {
   JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);
   CompositeIndexCache cache;
@@ -51,6 +53,42 @@ void BM_ExactWeightSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExactWeightSample)->Arg(5)->Arg(10)->Arg(20);
+
+// Row-oriented reference path: CDF binary search at the root, encoded
+// Tuple key probes + CDF scans per level.
+void BM_ExactWeightSampleRowPath(benchmark::State& state) {
+  JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);
+  CompositeIndexCache cache;
+  ExactWeightSampler::Options options;
+  options.columnar = false;
+  auto sampler =
+      Unwrap(ExactWeightSampler::Create(join, &cache, options), "EW row");
+  Rng rng(1);
+  for (auto _ : state) {
+    auto t = sampler->TrySample(rng);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactWeightSampleRowPath)->Arg(5)->Arg(10)->Arg(20);
+
+// Level-synchronous batched columnar walks with software prefetch across
+// in-flight walks (ExactWeightSampler::TrySampleBatch).
+void BM_ExactWeightSampleBatch(benchmark::State& state) {
+  JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);
+  CompositeIndexCache cache;
+  auto sampler = Unwrap(ExactWeightSampler::Create(join, &cache), "EW");
+  Rng rng(1);
+  const size_t kBatch = 64;
+  std::vector<Tuple> out;
+  for (auto _ : state) {
+    out.clear();
+    size_t produced = sampler->TrySampleBatch(kBatch, rng, &out);
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_ExactWeightSampleBatch)->Arg(5)->Arg(10)->Arg(20);
 
 void BM_OlkenSample(benchmark::State& state) {
   JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);
@@ -120,6 +158,31 @@ void BM_UnionSampleSequential(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
 }
 BENCHMARK(BM_UnionSampleSequential)->UseRealTime();
+
+// Same sequential loop over ROW-ORIENTED exact-weight samplers (columnar
+// descent disabled): the anchor for the columnar speedup. The CI perf
+// gate asserts the columnar row above stays >= 1.5x faster than this
+// (same-run comparison; see .github/workflows/ci.yml).
+void BM_UnionSampleSequentialRowOriented(benchmark::State& state) {
+  UnionMicroWorkload& f = UnionSetup();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = Unwrap(
+      UnionSampler::Create(
+          f.joins,
+          Unwrap(UnionMicroEwFactory(&f, /*columnar=*/false)(), "EW row"),
+          f.estimates, f.probers, opts),
+      "union sampler");
+  Rng rng(11);
+  const size_t kDraw = 4096;
+  for (auto _ : state) {
+    auto samples = sampler->Sample(kDraw, rng);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_UnionSampleSequentialRowOriented)->UseRealTime();
 
 // Batched executor path at 1..8 worker threads. Real time (not CPU time):
 // the pool burns CPU on every core; wall clock is the quantity that scales.

@@ -1,0 +1,118 @@
+#include "common/alias_table.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace suj {
+namespace internal {
+
+bool BuildAliasInto(const double* weights, size_t n, double* prob,
+                    uint32_t* alias) {
+  if (n == 0 || n > std::numeric_limits<uint32_t>::max()) return false;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!(weights[i] >= 0.0) || !std::isfinite(weights[i])) return false;
+    total += weights[i];
+  }
+  if (!(total > 0.0) || !std::isfinite(total)) return false;
+
+  // Vose's method: scale every weight to mean 1, then repeatedly pair an
+  // underfull ("small") column with an overfull ("large") one. prob[] is
+  // filled with scaled weights first and overwritten as columns settle,
+  // so no extra scratch array is needed beyond the two worklists.
+  const double scale = static_cast<double>(n) / total;
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  uint32_t any_positive = 0;
+  for (size_t i = 0; i < n; ++i) {
+    prob[i] = weights[i] * scale;
+    if (weights[i] > 0.0) any_positive = static_cast<uint32_t>(i);
+    if (prob[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    alias[s] = l;
+    // Column s keeps acceptance probability prob[s]; the remainder of its
+    // bucket is donated by l. Deduct that donation from l's mass.
+    prob[l] = (prob[l] + prob[s]) - 1.0;
+    if (prob[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers hold (up to rounding) exactly one unit of mass each. A
+  // zero-weight entry can only end up here through floating-point drift in
+  // prob[l] above; keep such entries unreachable by aliasing them to a
+  // positive-weight column instead of rounding them up to 1.
+  for (uint32_t l : large) {
+    prob[l] = 1.0;
+    alias[l] = l;
+  }
+  for (uint32_t s : small) {
+    if (weights[s] > 0.0) {
+      prob[s] = 1.0;
+      alias[s] = s;
+    } else {
+      prob[s] = 0.0;
+      alias[s] = any_positive;
+    }
+  }
+  return true;
+}
+
+}  // namespace internal
+
+Result<AliasTable> AliasTable::Build(const std::vector<double>& weights) {
+  AliasTable out;
+  out.prob_.resize(weights.size());
+  out.alias_.resize(weights.size());
+  if (!internal::BuildAliasInto(weights.data(), weights.size(),
+                                out.prob_.data(), out.alias_.data())) {
+    return Status::InvalidArgument(
+        "AliasTable::Build requires a non-empty vector of finite, "
+        "non-negative weights with a positive sum");
+  }
+  return out;
+}
+
+Result<WeightedSelector> WeightedSelector::Build(std::vector<double> weights) {
+  WeightedSelector out;
+  SUJ_ASSIGN_OR_RETURN(out.table_, AliasTable::Build(weights));
+  out.weights_ = std::move(weights);
+  return out;
+}
+
+Status WeightedSelector::Zero(size_t i) {
+  weights_[i] = 0.0;
+  auto rebuilt = AliasTable::Build(weights_);
+  if (!rebuilt.ok()) return rebuilt.status();
+  table_ = std::move(*rebuilt);
+  return Status::OK();
+}
+
+Result<size_t> FlatAliasGroups::AppendGroup(const double* weights, size_t n) {
+  const size_t begin = prob_.size();
+  prob_.resize(begin + n);
+  alias_.resize(begin + n);
+  if (!internal::BuildAliasInto(weights, n, prob_.data() + begin,
+                                alias_.data() + begin)) {
+    prob_.resize(begin);
+    alias_.resize(begin);
+    return Status::InvalidArgument(
+        "FlatAliasGroups::AppendGroup requires a non-empty group of finite, "
+        "non-negative weights with a positive sum");
+  }
+  return begin;
+}
+
+}  // namespace suj

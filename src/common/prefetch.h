@@ -1,0 +1,18 @@
+// Software-prefetch shim.
+//
+// The batched walk loops issue prefetches for the NEXT level's probe and
+// alias cache lines while finishing the current one, so the dependent
+// misses of independent walks overlap instead of serializing. Prefetch is
+// a hint: the macro compiles to nothing on toolchains without
+// __builtin_prefetch, and correctness never depends on it.
+
+#ifndef SUJ_COMMON_PREFETCH_H_
+#define SUJ_COMMON_PREFETCH_H_
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SUJ_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define SUJ_PREFETCH(addr) ((void)0)
+#endif
+
+#endif  // SUJ_COMMON_PREFETCH_H_

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/alias_table.h"
 #include "exec/parallel_executor.h"
 
 namespace suj {
@@ -205,24 +206,29 @@ class FreshWalkBatchSampler : public BatchSampler {
   FreshWalkBatchSampler& operator=(const FreshWalkBatchSampler&) = delete;
 
   Result<std::vector<Tuple>> SampleBatch(size_t count, Rng& rng) override {
-    std::vector<double> weights = weights_;
+    // Alias-backed O(1) selection over the batch-local weight copy; the
+    // build consumes no RNG, so batch bytes are unchanged properties of
+    // (seed, batch index). Build/Zero fail exactly when no cover remains.
+    auto selector = WeightedSelector::Build(weights_);
+    if (!selector.ok()) {
+      return Status::Internal(
+          "every join's cover was abandoned; warm-up estimates are "
+          "inconsistent with the data");
+    }
     std::vector<Tuple> out;
     out.reserve(count);
     while (out.size() < count) {
       ++sink_->rounds;
-      double remaining = 0.0;
-      for (double w : weights) remaining += w;
-      if (remaining <= 0.0) {
-        return Status::Internal(
-            "every join's cover was abandoned; warm-up estimates are "
-            "inconsistent with the data");
-      }
-      int j = static_cast<int>(rng.Categorical(weights));
+      int j = static_cast<int>(selector->Sample(rng));
       uint64_t added = RunRound(j, &out, rng);
       if (added == 0) {
         ++sink_->abandoned_rounds;
-        weights[j] = 0.0;
         (*abandoned_sink_)[j] = 1;
+        if (!selector->Zero(static_cast<size_t>(j)).ok()) {
+          return Status::Internal(
+              "every join's cover was abandoned; warm-up estimates are "
+              "inconsistent with the data");
+        }
       }
     }
     return out;
@@ -463,6 +469,8 @@ Result<std::vector<Tuple>> OnlineUnionSampler::Sample(size_t n, Rng& rng) {
     return instances;
   };
 
+  WeightedSelector selector;
+  bool selector_stale = true;
   while (result.size() < n) {
     if (options_.index_cache != nullptr && ParallelTailReady()) {
       // Everything order-sensitive (pool reuse, backtracking) is done;
@@ -475,18 +483,25 @@ Result<std::vector<Tuple>> OnlineUnionSampler::Sample(size_t n, Rng& rng) {
       break;
     }
     ++stats_.rounds;
-    std::vector<double> weights = estimates_.cover_sizes;
-    double remaining = 0.0;
-    for (size_t i = 0; i < weights.size(); ++i) {
-      if (disabled_[i]) weights[i] = 0.0;
-      remaining += weights[i];
+    // Alias-backed selection, rebuilt only when the weights actually
+    // changed: a Backtrack replaced the estimates or a round abandoned a
+    // join. Every other round draws in O(1) instead of re-scanning the
+    // cover sizes.
+    if (selector_stale) {
+      std::vector<double> weights = estimates_.cover_sizes;
+      for (size_t i = 0; i < weights.size(); ++i) {
+        if (disabled_[i]) weights[i] = 0.0;
+      }
+      auto built = WeightedSelector::Build(std::move(weights));
+      if (!built.ok()) {
+        return Status::Internal(
+            "every join's cover was abandoned; warm-up estimates are "
+            "inconsistent with the data");
+      }
+      selector = std::move(*built);
+      selector_stale = false;
     }
-    if (remaining <= 0.0) {
-      return Status::Internal(
-          "every join's cover was abandoned; warm-up estimates are "
-          "inconsistent with the data");
-    }
-    int j = static_cast<int>(rng.Categorical(weights));
+    int j = static_cast<int>(selector.Sample(rng));
     double join_size = std::max(estimates_.join_sizes[j], 1e-12);
 
     bool round_done = false;
@@ -563,6 +578,7 @@ Result<std::vector<Tuple>> OnlineUnionSampler::Sample(size_t n, Rng& rng) {
         recorded_since_backtrack_ = 0;
         SUJ_RETURN_NOT_OK(Backtrack(&result, &keys, &owners, &probs, rng));
         join_size = std::max(estimates_.join_sizes[j], 1e-12);
+        selector_stale = true;  // cover sizes were re-estimated
       }
     }
     if (!round_done) {
@@ -570,6 +586,7 @@ Result<std::vector<Tuple>> OnlineUnionSampler::Sample(size_t n, Rng& rng) {
       // (effectively) empty; exclude it from further selection.
       ++stats_.abandoned_rounds;
       disabled_[j] = true;
+      selector_stale = true;
     }
   }
   result.resize(n);  // multi-instance accepts can overshoot

@@ -57,17 +57,22 @@
 // the caller wants the protocol to continue — for service sessions,
 // SamplingSession owns one for its lifetime, so chunked SampleStream
 // delivery and repeated Sample requests are one uninterrupted protocol.
-// Abandoning a state mid-stream is always safe: it holds only values
-// (tuples, keys, weights), no references into plans or sessions, so
-// destroying it — on session close, eviction, or error — frees the
-// learned cover and any undelivered surplus and nothing else. The
-// sampler notices nothing; a fresh state started afterwards simply
-// re-learns from the sampler's current (persisted) exclusion set.
+// The state also carries the session's worker-context pool (exec_cache_),
+// so the sampler factory runs pool-width times per session rather than
+// per call. Abandoning a state mid-stream is always safe: it owns values
+// (tuples, keys, weights) and its own worker contexts — whose samplers
+// hold shared ownership of whatever indexes the factory captured — and
+// points into nothing outside itself, so destroying it — on session
+// close, eviction, or error — frees the learned cover, any undelivered
+// surplus, and the pooled contexts, and nothing else. The sampler
+// notices nothing; a fresh state started afterwards simply re-learns
+// from the sampler's current (persisted) exclusion set.
 
 #ifndef SUJ_CORE_REVISION_STATE_H_
 #define SUJ_CORE_REVISION_STATE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -132,6 +137,14 @@ class RevisionState {
   uint64_t delivered_ = 0;
   /// Total finalized ever (delivered_ + buffered(), SUJ_CHECK-maintained).
   uint64_t finalized_ = 0;
+  /// Executor-layer cache carried across calls: the bound sampler parks
+  /// its RevisionWorkerSet (worker contexts + WorkerContextPool) here so
+  /// a session's sampler factory runs pool-width times total, not per
+  /// resumed call. Opaque (the set is private to union_sampler.cc); the
+  /// shared_ptr's deleter tears it down with the state. The contexts
+  /// point only at this state's own members (weights_, ownership_), so
+  /// carrying them is safe for exactly as long as the state lives.
+  std::shared_ptr<void> exec_cache_;
 };
 
 }  // namespace suj

@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "common/alias_table.h"
 #include "common/logging.h"
 #include "core/ownership_map.h"
 #include "core/revision_state.h"
@@ -84,7 +85,15 @@ class RevisionBatchSampler : public BatchSampler {
     // Batch-local view: frozen call-start weights (abandonment discovered
     // here is sunk per worker and reset per batch, like the oracle path)
     // and a tentative-claim overlay over the epoch's reconciled snapshot.
-    std::vector<double> weights = *frozen_weights_;
+    // Selection runs O(1) through an alias table over the weight copy;
+    // the build consumes no RNG, so batch output stays a pure function of
+    // (seed, batch index).
+    auto selector = WeightedSelector::Build(*frozen_weights_);
+    if (!selector.ok()) {
+      return Status::Internal(
+          "every join's cover was abandoned; warm-up estimates are "
+          "inconsistent with the data");
+    }
     std::unordered_map<std::string, int> local;
     std::vector<Tuple> tuples;
     std::vector<std::string> keys;
@@ -94,7 +103,7 @@ class RevisionBatchSampler : public BatchSampler {
     claims.reserve(count);
     while (tuples.size() < count) {
       ++stats_.rounds;
-      int j = static_cast<int>(rng.Categorical(weights));
+      int j = static_cast<int>(selector->Sample(rng));
       bool round_done = false;
       for (uint64_t draw = 0;
            draw < max_draws_per_round_ && !round_done; ++draw) {
@@ -154,10 +163,7 @@ class RevisionBatchSampler : public BatchSampler {
       if (!round_done) {
         ++stats_.abandoned_rounds;
         (*abandoned_sink_)[static_cast<size_t>(j)] = 1;
-        weights[static_cast<size_t>(j)] = 0.0;
-        double remaining = 0.0;
-        for (double w : weights) remaining += w;
-        if (remaining <= 0.0) {
+        if (!selector->Zero(static_cast<size_t>(j)).ok()) {
           return Status::Internal(
               "every join's cover was abandoned; warm-up estimates are "
               "inconsistent with the data");
@@ -181,10 +187,10 @@ class RevisionBatchSampler : public BatchSampler {
 };
 
 // Resumable epoch ramp: batch * 4^e, capped at batch << kResumableRampCap
-// (see SampleRevisionResumable). The cap also bounds how many batches one
-// epoch can fan out, which bounds the useful worker-pool width.
+// (see SampleRevisionResumable; Options::max_revision_surplus can lower
+// the effective cap). The cap also bounds how many batches one epoch can
+// fan out, which bounds the useful worker-pool width.
 constexpr uint64_t kResumableRampCap = 4;
-constexpr size_t kResumableMaxEpochBatches = size_t{1} << kResumableRampCap;
 
 // One call's revision fan-out machinery, shared by the per-call and
 // resumable epoch drivers: per-worker abandonment sinks, the concrete
@@ -255,6 +261,8 @@ Status UnionSampleStats::MergeFrom(const UnionSampleStats& other) {
   revision_epochs += other.revision_epochs;
   reconcile_dropped += other.reconcile_dropped;
   reconciliation_seconds += other.reconciliation_seconds;
+  revision_surplus_high_water =
+      std::max(revision_surplus_high_water, other.revision_surplus_high_water);
   return Status::OK();
 }
 
@@ -571,22 +579,50 @@ Result<std::vector<Tuple>> UnionSampler::SampleRevisionResumable(
     state.Initialize(this, rng.Next(), std::move(weights));
   }
 
+  // Effective ramp cap: the default kResumableRampCap, lowered when
+  // Options::max_revision_surplus bounds the surplus so the LARGEST epoch
+  // (= the worst-case overshoot past a call's demand) fits under the
+  // bound, floored at one batch. A pure function of the options — never
+  // of the call pattern — so every chunking sees the same epoch schedule.
+  uint64_t ramp_cap = kResumableRampCap;
+  if (options_.max_revision_surplus > 0) {
+    uint64_t cap = 0;
+    while (cap < kResumableRampCap &&
+           (options_.batch_size << (cap + 1)) <=
+               options_.max_revision_surplus) {
+      ++cap;
+    }
+    ramp_cap = cap;
+  }
+
   if (state.buffered() < n) {
-    // Generate until the buffer covers the call. Executor +
-    // worker-context pool are built once per call (pool-width factory
+    // Generate until the buffer covers the call. The executor is per-call
+    // (it is just options), but the worker-context pool is carried in the
+    // STATE: the first generating call builds it (pool-width factory
     // invocations; a call served entirely from the buffer builds none)
-    // and reused across every epoch the call runs. Width is clamped to
-    // the most batches one capped epoch can fan out.
+    // and every later call of the session reuses it across all of its
+    // epochs. Width is clamped to the most batches one capped epoch can
+    // fan out.
     ParallelUnionExecutor::Options exec_options;
     exec_options.num_threads = options_.num_threads;
     exec_options.batch_size = options_.batch_size;
     ParallelUnionExecutor executor(exec_options);
-    const size_t pool_width = std::min(executor.options().num_threads,
-                                       kResumableMaxEpochBatches);
-    auto workers = BuildRevisionWorkers(
-        joins_, options_.sampler_factory, options_.max_draws_per_round,
-        pool_width, &state.weights_, state.ownership_.UnsynchronizedView());
-    if (!workers.ok()) return workers.status();
+    const size_t pool_width =
+        std::min(executor.options().num_threads, size_t{1} << ramp_cap);
+    auto workers =
+        std::static_pointer_cast<RevisionWorkerSet>(state.exec_cache_);
+    if (workers == nullptr) {
+      auto built = BuildRevisionWorkers(
+          joins_, options_.sampler_factory, options_.max_draws_per_round,
+          pool_width, &state.weights_,
+          state.ownership_.UnsynchronizedView());
+      if (!built.ok()) return built.status();
+      workers = std::make_shared<RevisionWorkerSet>(std::move(*built));
+      // Contexts are counted when constructed — once per state lifetime,
+      // not per call (the doc contract on parallel_workers).
+      stats_.parallel_workers += workers->pool->size();
+      state.exec_cache_ = workers;
+    }
 
     const int kMaxStalledEpochs = 8;
     int stalled = 0;
@@ -603,7 +639,7 @@ Result<std::vector<Tuple>> UnionSampler::SampleRevisionResumable(
         // first two epochs already ensure.
         const size_t need =
             options_.batch_size
-            << std::min<uint64_t>(2 * state.epoch_index_, kResumableRampCap);
+            << std::min<uint64_t>(2 * state.epoch_index_, ramp_cap);
         ++state.epoch_index_;
         const size_t num_batches =
             (need + options_.batch_size - 1) / options_.batch_size;
@@ -691,10 +727,10 @@ Result<std::vector<Tuple>> UnionSampler::SampleRevisionResumable(
       return Status::OK();
     };
     const Status run_status = run_epochs();
-    // Context stats fold in exactly once — error or not, so a failing
-    // call never loses its completed epochs' accounting.
-    const Status merge_status = workers->pool->MergeStatsInto(&stats_);
-    stats_.parallel_workers += workers->pool->size();
+    // Context stats fold in as a DELTA since the previous call's fold —
+    // the pool outlives the call — and error or not, so a failing call
+    // never loses its completed epochs' accounting.
+    const Status merge_status = workers->pool->MergeStatsDeltaInto(&stats_);
     SUJ_RETURN_NOT_OK(run_status);
     SUJ_RETURN_NOT_OK(merge_status);
   }
@@ -707,6 +743,11 @@ Result<std::vector<Tuple>> UnionSampler::SampleRevisionResumable(
   out.reserve(n);
   state.DrainInto(&out, n);
   SUJ_CHECK(out.size() == n);
+  // Instrument the surplus the fixed ramp parked for the NEXT call: the
+  // level this session's buffer peaked at between calls.
+  stats_.revision_surplus_high_water =
+      std::max(stats_.revision_surplus_high_water,
+               static_cast<uint64_t>(state.buffered()));
   return out;
 }
 
@@ -749,19 +790,19 @@ Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {
   for (size_t i = 0; i < weights.size(); ++i) {
     if (disabled_[i]) weights[i] = 0.0;
   }
-  {
-    double remaining = 0.0;
-    for (double w : weights) remaining += w;
-    if (remaining <= 0.0) {
-      return Status::Internal(
-          "every join's cover was abandoned; warm-up estimates are "
-          "inconsistent with the data");
-    }
+  // O(1) alias-backed join selection; rebuilt only on abandonment (at
+  // most once per join per call). Build fails exactly when every cover
+  // was already abandoned.
+  auto selector = WeightedSelector::Build(std::move(weights));
+  if (!selector.ok()) {
+    return Status::Internal(
+        "every join's cover was abandoned; warm-up estimates are "
+        "inconsistent with the data");
   }
 
   while (result.size() < n) {
     ++stats_.rounds;
-    int j = static_cast<int>(rng.Categorical(weights));
+    int j = static_cast<int>(selector->Sample(rng));
 
     bool round_done = false;
     for (uint64_t draw = 0; draw < options_.max_draws_per_round && !round_done;
@@ -826,11 +867,8 @@ Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {
       // cover overstated an (effectively) empty real cover. Stop selecting
       // it — in this call and every later one on this instance.
       ++stats_.abandoned_rounds;
-      weights[j] = 0.0;
       disabled_[j] = true;
-      double remaining = 0.0;
-      for (double w : weights) remaining += w;
-      if (remaining <= 0.0) {
+      if (!selector->Zero(static_cast<size_t>(j)).ok()) {
         return Status::Internal(
             "every join's cover was abandoned; warm-up estimates are "
             "inconsistent with the data");
@@ -864,15 +902,18 @@ Result<std::unique_ptr<DisjointUnionSampler>> DisjointUnionSampler::Create(
   if (total <= 0.0) {
     return Status::FailedPrecondition("disjoint union is (estimated) empty");
   }
+  auto alias = AliasTable::Build(join_sizes);
+  if (!alias.ok()) return alias.status();
   return std::unique_ptr<DisjointUnionSampler>(new DisjointUnionSampler(
-      std::move(joins), std::move(samplers), std::move(join_sizes)));
+      std::move(joins), std::move(samplers), std::move(join_sizes),
+      std::move(*alias)));
 }
 
 Result<std::vector<Tuple>> DisjointUnionSampler::Sample(size_t n, Rng& rng) {
   std::vector<Tuple> result;
   result.reserve(n);
   while (result.size() < n) {
-    int j = static_cast<int>(rng.Categorical(join_sizes_));
+    int j = static_cast<int>(alias_.Sample(rng));
     auto t = samplers_[j]->Sample(rng);
     if (!t.ok()) return t.status();
     result.push_back(std::move(t).value());

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/alias_table.h"
 #include "core/union_size_model.h"
 #include "join/join_sampler.h"
 #include "join/membership.h"
@@ -65,10 +66,13 @@ struct UnionSampleStats {
   // Parallel-executor accounting (zero when sampling ran sequentially).
   uint64_t parallel_batches = 0;    ///< batches fanned out by the executor
   /// Worker contexts constructed — a count of contexts, not of fan-outs.
-  /// Both parallel modes build their contexts once per Sample call (the
-  /// revision paths reuse one WorkerContextPool across every epoch of the
-  /// call), so a call at num_threads=T adds at most T here regardless of
-  /// epoch count; tests assert this via factory-invocation counters.
+  /// The per-call parallel modes build their contexts once per Sample call
+  /// (reusing one WorkerContextPool across every epoch of the call), so a
+  /// call at num_threads=T adds at most T here regardless of epoch count.
+  /// The resumable path is tighter still: its pool is carried in the
+  /// RevisionState, so a whole session adds at most T no matter how many
+  /// Sample calls it spans; tests assert both via factory-invocation
+  /// counters.
   uint64_t parallel_workers = 0;
   /// Accepted tuples clipped at batch boundaries (multi-instance
   /// overshoot; the sequential path clips only once per call). Non-
@@ -83,10 +87,16 @@ struct UnionSampleStats {
   /// re-drawn them; the epoch driver tops the shortfall up instead).
   uint64_t reconcile_dropped = 0;
   double reconciliation_seconds = 0.0;  ///< wall-clock in Reconcile passes
+  /// High-water mark of the finalized-but-undelivered surplus a resumable
+  /// revision session parked in its RevisionState buffer (tuples generated
+  /// past the calls' demand by the fixed epoch ramp). Bounded by
+  /// Options::max_revision_surplus; merged via max, not sum.
+  uint64_t revision_surplus_high_water = 0;
 
   /// Folds another stats block (e.g. one worker's) into this one: counters
   /// and per-phase times add; parallel_workers adds so a merge over workers
-  /// counts contexts. Fails with InvalidArgument when both sides carry
+  /// counts contexts; revision_surplus_high_water merges via max (it is a
+  /// level, not a flow). Fails with InvalidArgument when both sides carry
   /// different non-zero plan ids (stats of different queries must not be
   /// pooled); a zero side adopts the other's id.
   Status MergeFrom(const UnionSampleStats& other);
@@ -143,6 +153,17 @@ class UnionSampler {
     /// Prepared-plan identity stamped onto stats() (see
     /// UnionSampleStats::plan_id); 0 for ad-hoc use.
     uint64_t plan_id = 0;
+    /// Upper bound (in tuples) on the finalized surplus a resumable
+    /// revision session may park in its RevisionState buffer. The epoch
+    /// ramp is a pure function of the options (never of the call
+    /// pattern), so the bound is enforced by lowering the ramp's cap
+    /// until the largest epoch fits: effectively
+    /// batch_size << cap <= max_revision_surplus, floored at one batch
+    /// (generation cannot go below a batch, so a cap smaller than
+    /// batch_size still admits a surplus of batch_size - 1). 0 keeps the
+    /// default ramp cap (batch_size << 4). Chunk-safe: every chunking of
+    /// a session sees the same epoch schedule.
+    size_t max_revision_surplus = 0;
   };
 
   /// \param joins      union-compatible joins J_0..J_{n-1} (cover order).
@@ -209,8 +230,10 @@ class UnionSampler {
   /// passing it to another sampler fails with InvalidArgument.
   ///
   /// Worker contexts come from one WorkerContextPool built at most once
-  /// per call (a call served entirely from the state's buffer builds
-  /// none) and reused across all of the call's epochs. Cover abandonment
+  /// per STATE (a session served entirely from the state's buffer builds
+  /// none): the pool is carried inside the RevisionState and reused by
+  /// every epoch of every resumed call, so the sampler factory runs
+  /// exactly pool-width times over a whole session. Cover abandonment
   /// discovered in an epoch folds into the state's weights AND this
   /// sampler's persistent exclusion set between epochs — a tighter,
   /// chunking-independent version of the per-call paths' next-call
@@ -292,14 +315,18 @@ class DisjointUnionSampler {
  private:
   DisjointUnionSampler(std::vector<JoinSpecPtr> joins,
                        std::vector<std::unique_ptr<JoinSampler>> samplers,
-                       std::vector<double> join_sizes)
+                       std::vector<double> join_sizes, AliasTable alias)
       : joins_(std::move(joins)),
         samplers_(std::move(samplers)),
-        join_sizes_(std::move(join_sizes)) {}
+        join_sizes_(std::move(join_sizes)),
+        alias_(std::move(alias)) {}
 
   std::vector<JoinSpecPtr> joins_;
   std::vector<std::unique_ptr<JoinSampler>> samplers_;
   std::vector<double> join_sizes_;
+  /// Join sizes never change after Create, so selection is one O(1)
+  /// prepare-time alias draw per round.
+  AliasTable alias_;
 };
 
 /// \brief §3's Bernoulli "union trick" baseline.

@@ -57,10 +57,20 @@ class WorkerContextPool {
   /// span their whole life, so a per-fan-out merge would double-count.
   Status MergeStatsInto(UnionSampleStats* stats) const;
 
+  /// Incremental form for pools that outlive single calls (the resumable
+  /// revision path carries its pool in the RevisionState): folds only the
+  /// stats each context accumulated SINCE the previous MergeStatsDeltaInto
+  /// on this pool, so a session can surface accounting at every call
+  /// boundary without double-counting earlier calls' epochs. Safe to mix
+  /// with nothing else: do not also call MergeStatsInto on the same pool.
+  Status MergeStatsDeltaInto(UnionSampleStats* stats);
+
  private:
   WorkerContextPool() = default;
 
   std::vector<std::unique_ptr<BatchSampler>> contexts_;
+  /// Per-context snapshot at the last MergeStatsDeltaInto (delta baseline).
+  std::vector<UnionSampleStats> merged_;
 };
 
 }  // namespace suj

@@ -2,9 +2,9 @@
 
 #include <cstdio>
 
-namespace suj {
+#include "storage/key_codec.h"
 
-const std::vector<uint32_t> CompositeIndex::kEmpty;
+namespace suj {
 
 Result<std::shared_ptr<const CompositeIndex>> CompositeIndex::Build(
     RelationPtr relation, std::vector<std::string> attributes) {
@@ -27,37 +27,91 @@ Result<std::shared_ptr<const CompositeIndex>> CompositeIndex::Build(
   auto index = std::shared_ptr<CompositeIndex>(
       new CompositeIndex(std::move(relation), std::move(attributes)));
   const Relation& rel = *index->relation_;
-  index->map_.reserve(rel.num_rows());
-  for (size_t row = 0; row < rel.num_rows(); ++row) {
-    auto& rows = index->map_[rel.ProjectRow(row, cols).Encode()];
-    rows.push_back(static_cast<uint32_t>(row));
-    if (rows.size() > index->max_degree_) index->max_degree_ = rows.size();
+  const size_t num_rows = rel.num_rows();
+  index->group_of_.reserve(num_rows);
+
+  // Pass 1: assign dense group ids in first-row order and count degrees.
+  std::vector<uint32_t> row_group(num_rows);
+  std::vector<uint32_t> degree;
+  std::string scratch;
+  for (size_t row = 0; row < num_rows; ++row) {
+    EncodeRowKey(rel, cols, row, &scratch);
+    auto [it, inserted] = index->group_of_.emplace(
+        scratch, static_cast<uint32_t>(degree.size()));
+    if (inserted) degree.push_back(0);
+    row_group[row] = it->second;
+    ++degree[it->second];
+  }
+  // Pass 2: exclusive prefix sum, then scatter rows into CSR slots.
+  const size_t num_groups = degree.size();
+  index->group_offsets_.assign(num_groups + 1, 0);
+  for (size_t g = 0; g < num_groups; ++g) {
+    index->group_offsets_[g + 1] = index->group_offsets_[g] + degree[g];
+    if (degree[g] > index->max_degree_) index->max_degree_ = degree[g];
+  }
+  index->group_rows_.resize(num_rows);
+  std::vector<uint32_t> cursor(index->group_offsets_.begin(),
+                               index->group_offsets_.end() - 1);
+  for (size_t row = 0; row < num_rows; ++row) {
+    index->group_rows_[cursor[row_group[row]]++] =
+        static_cast<uint32_t>(row);
   }
   return std::shared_ptr<const CompositeIndex>(index);
 }
 
-const std::vector<uint32_t>& CompositeIndex::LookupEncoded(
-    const std::string& key) const {
-  auto it = map_.find(key);
-  return it == map_.end() ? kEmpty : it->second;
+Result<std::vector<uint32_t>> CompositeIndex::MapRows(
+    const Relation& probe) const {
+  std::vector<int> cols;
+  cols.reserve(attributes_.size());
+  for (const auto& a : attributes_) {
+    int idx = probe.schema().FieldIndex(a);
+    if (idx < 0) {
+      return Status::NotFound("probe relation '" + probe.name() +
+                              "' has no attribute '" + a + "'");
+    }
+    if (probe.schema().field(static_cast<size_t>(idx)).type !=
+        relation_->schema()
+            .field(static_cast<size_t>(
+                relation_->schema().FieldIndex(a)))
+            .type) {
+      return Status::InvalidArgument("probe attribute '" + a +
+                                     "' type differs from indexed column");
+    }
+    cols.push_back(idx);
+  }
+  std::vector<uint32_t> out(probe.num_rows());
+  std::string scratch;
+  for (size_t row = 0; row < probe.num_rows(); ++row) {
+    out[row] = GroupOfEncoded(EncodeRowKey(probe, cols, row, &scratch));
+  }
+  return out;
 }
 
 double CompositeIndex::AvgDegree() const {
-  if (map_.empty()) return 0.0;
+  if (group_of_.empty()) return 0.0;
   return static_cast<double>(relation_->num_rows()) /
-         static_cast<double>(map_.size());
+         static_cast<double>(group_of_.size());
 }
+
+namespace {
+
+std::string CacheKey(const void* a, const void* b,
+                     const std::vector<std::string>& attributes) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "%p/%p", a, b);
+  std::string key = prefix;
+  for (const auto& attr : attributes) {
+    key += '/';
+    key += attr;
+  }
+  return key;
+}
+
+}  // namespace
 
 Result<CompositeIndexPtr> CompositeIndexCache::GetOrBuild(
     const RelationPtr& relation, const std::vector<std::string>& attributes) {
-  char prefix[32];
-  std::snprintf(prefix, sizeof(prefix), "%p",
-                static_cast<const void*>(relation.get()));
-  std::string key = prefix;
-  for (const auto& a : attributes) {
-    key += '/';
-    key += a;
-  }
+  std::string key = CacheKey(relation.get(), nullptr, attributes);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
@@ -65,6 +119,23 @@ Result<CompositeIndexPtr> CompositeIndexCache::GetOrBuild(
   if (!built.ok()) return built.status();
   cache_.emplace(std::move(key), built.value());
   return std::move(built).value();
+}
+
+Result<ProbeArrayPtr> CompositeIndexCache::GetOrBuildProbe(
+    const CompositeIndexPtr& index, const RelationPtr& probe) {
+  if (index == nullptr || probe == nullptr) {
+    return Status::InvalidArgument("null index or probe relation");
+  }
+  std::string key = CacheKey(index.get(), probe.get(), index->attributes());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = probe_cache_.find(key);
+  if (it != probe_cache_.end()) return it->second;
+  auto mapped = index->MapRows(*probe);
+  if (!mapped.ok()) return mapped.status();
+  auto owned = std::make_shared<const std::vector<uint32_t>>(
+      std::move(mapped).value());
+  probe_cache_.emplace(std::move(key), owned);
+  return owned;
 }
 
 }  // namespace suj

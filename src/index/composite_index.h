@@ -7,10 +7,19 @@
 // canonical encoding of their projection onto those attributes, which makes
 // cyclic joins fall out of the same machinery as chains: the cycle-closing
 // equality is simply part of the probe key.
+//
+// Storage is columnar: each distinct key gets a dense group id, and all row
+// ids live in one contiguous CSR array (`group_offsets_` / `group_rows_`)
+// sliced per group. The hash map is consulted once per *encoded* key; hot
+// walk loops avoid even that by precomputing probe arrays (MapRows) that
+// translate a source relation's row id straight to a group id, so the inner
+// loop reads two flat integer arrays instead of encoding tuples and hashing
+// strings.
 
 #ifndef SUJ_INDEX_COMPOSITE_INDEX_H_
 #define SUJ_INDEX_COMPOSITE_INDEX_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,9 +31,32 @@
 
 namespace suj {
 
+/// \brief Non-owning view of the row ids matching one key (a CSR slice).
+class RowSpan {
+ public:
+  RowSpan() = default;
+  RowSpan(const uint32_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint32_t* begin() const { return data_; }
+  const uint32_t* end() const { return data_ + size_; }
+  const uint32_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t operator[](size_t i) const { return data_[i]; }
+  uint32_t front() const { return data_[0]; }
+  uint32_t back() const { return data_[size_ - 1]; }
+
+ private:
+  const uint32_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// \brief Index of a relation keyed by a tuple of attribute values.
 class CompositeIndex {
  public:
+  /// Group id returned for keys with no matching rows.
+  static constexpr uint32_t kNoGroup = UINT32_MAX;
+
   /// Builds the index over `attributes` (must be non-empty and exist in the
   /// relation; their order defines the probe-key order).
   static Result<std::shared_ptr<const CompositeIndex>> Build(
@@ -34,12 +66,37 @@ class CompositeIndex {
   const RelationPtr& relation() const { return relation_; }
 
   /// Row ids matching the key tuple (values in attribute order).
-  const std::vector<uint32_t>& Lookup(const Tuple& key) const {
-    return LookupEncoded(key.Encode());
-  }
+  RowSpan Lookup(const Tuple& key) const { return LookupEncoded(key.Encode()); }
 
   /// Row ids matching an already-encoded key.
-  const std::vector<uint32_t>& LookupEncoded(const std::string& key) const;
+  RowSpan LookupEncoded(const std::string& key) const {
+    return GroupRows(GroupOfEncoded(key));
+  }
+
+  /// Dense id of the group matching an encoded key, or kNoGroup.
+  uint32_t GroupOfEncoded(const std::string& key) const {
+    auto it = group_of_.find(key);
+    return it == group_of_.end() ? kNoGroup : it->second;
+  }
+
+  /// Row ids of group `g` (empty span for kNoGroup).
+  RowSpan GroupRows(uint32_t g) const {
+    if (g == kNoGroup) return RowSpan();
+    return RowSpan(group_rows_.data() + group_offsets_[g],
+                   group_offsets_[g + 1] - group_offsets_[g]);
+  }
+
+  /// Raw CSR arrays for prefetch-friendly walk loops. `group_offsets()` has
+  /// NumKeys()+1 entries; group g's rows are
+  /// group_rows()[group_offsets()[g] .. group_offsets()[g+1]).
+  const std::vector<uint32_t>& group_offsets() const { return group_offsets_; }
+  const std::vector<uint32_t>& group_rows() const { return group_rows_; }
+
+  /// For every row of `probe`, the group id its projection onto this
+  /// index's attributes maps to (kNoGroup for dangling rows). `probe` must
+  /// contain all indexed attributes with matching types. The result is the
+  /// probe array that lets walk loops skip key encoding entirely.
+  Result<std::vector<uint32_t>> MapRows(const Relation& probe) const;
 
   /// Degree of a key: |Lookup(key)|.
   size_t Degree(const Tuple& key) const { return Lookup(key).size(); }
@@ -51,7 +108,7 @@ class CompositeIndex {
   /// Average degree over distinct keys (0 for empty relation).
   double AvgDegree() const;
 
-  size_t NumKeys() const { return map_.size(); }
+  size_t NumKeys() const { return group_of_.size(); }
 
  private:
   CompositeIndex(RelationPtr relation, std::vector<std::string> attributes)
@@ -59,12 +116,15 @@ class CompositeIndex {
 
   RelationPtr relation_;
   std::vector<std::string> attributes_;
-  std::unordered_map<std::string, std::vector<uint32_t>> map_;
+  // Encoded key -> dense group id, assigned in first-row order.
+  std::unordered_map<std::string, uint32_t> group_of_;
+  std::vector<uint32_t> group_offsets_;  // NumKeys()+1 entries
+  std::vector<uint32_t> group_rows_;     // row ids, grouped by key
   size_t max_degree_ = 0;
-  static const std::vector<uint32_t> kEmpty;
 };
 
 using CompositeIndexPtr = std::shared_ptr<const CompositeIndex>;
+using ProbeArrayPtr = std::shared_ptr<const std::vector<uint32_t>>;
 
 /// \brief Cache of composite indexes keyed by (relation identity, attrs).
 ///
@@ -79,17 +139,28 @@ class CompositeIndexCache {
   CompositeIndexCache() = default;
   /// Movable so fixtures/workloads can return caches by value. Moving is
   /// NOT a concurrent operation: the source must have no other users
-  /// (the usual rule for moved-from objects), only the map transfers and
+  /// (the usual rule for moved-from objects), only the maps transfer and
   /// the destination starts with a fresh mutex.
   CompositeIndexCache(CompositeIndexCache&& other) noexcept
-      : cache_(std::move(other.cache_)) {}
+      : cache_(std::move(other.cache_)),
+        probe_cache_(std::move(other.probe_cache_)) {}
   CompositeIndexCache& operator=(CompositeIndexCache&& other) noexcept {
-    if (this != &other) cache_ = std::move(other.cache_);
+    if (this != &other) {
+      cache_ = std::move(other.cache_);
+      probe_cache_ = std::move(other.probe_cache_);
+    }
     return *this;
   }
 
   Result<CompositeIndexPtr> GetOrBuild(
       const RelationPtr& relation, const std::vector<std::string>& attributes);
+
+  /// Cached `index->MapRows(*probe)`. Samplers are rebuilt per session but
+  /// probe arrays depend only on (index, probe relation), so caching keeps
+  /// session creation O(1) after the first build — the same contract
+  /// GetOrBuild provides for the indexes themselves.
+  Result<ProbeArrayPtr> GetOrBuildProbe(const CompositeIndexPtr& index,
+                                        const RelationPtr& probe);
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -99,6 +170,7 @@ class CompositeIndexCache {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, CompositeIndexPtr> cache_;
+  std::unordered_map<std::string, ProbeArrayPtr> probe_cache_;
 };
 
 }  // namespace suj

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/prefetch.h"
+#include "storage/key_codec.h"
 
 namespace suj {
 
@@ -22,6 +24,24 @@ std::vector<int> ColumnIndexes(const Relation& rel,
 }
 
 }  // namespace
+
+size_t ResolveCumulativeDraw(const std::vector<double>& cumulative,
+                             const std::vector<double>& weights, double x) {
+  size_t i = static_cast<size_t>(
+      std::upper_bound(cumulative.begin(), cumulative.end(), x) -
+      cumulative.begin());
+  // upper_bound can only land on a positive-weight row: a zero-weight row
+  // shares its cumulative value with its predecessor, so it is never the
+  // FIRST entry exceeding x.
+  if (i < cumulative.size()) return i;
+  // x >= cumulative.back(): u * total rounded up to total. The old clamp
+  // returned the last ROW here, which may have zero weight; resolve to the
+  // last positive-weight row instead.
+  for (i = weights.size(); i > 0;) {
+    if (weights[--i] > 0.0) return i;
+  }
+  return 0;  // all-zero weights; callers guard on total > 0 before drawing
+}
 
 Result<std::shared_ptr<const ExactWeightIndex>> ExactWeightIndex::Build(
     JoinSpecPtr join, CompositeIndexCache* cache) {
@@ -52,6 +72,7 @@ Result<std::shared_ptr<const ExactWeightIndex>> ExactWeightIndex::Build(
   // rows with that key. Consumed by r's parent.
   std::vector<std::unordered_map<std::string, double>> agg(n);
 
+  std::string scratch;
   for (int r : order) {
     const Relation& rel = *spec.relation(r);
     auto& w = index->weights_[r];
@@ -61,7 +82,7 @@ Result<std::shared_ptr<const ExactWeightIndex>> ExactWeightIndex::Build(
       std::vector<int> cols = ColumnIndexes(rel, graph.tree_edge_attrs()[c]);
       for (size_t row = 0; row < rel.num_rows(); ++row) {
         if (w[row] == 0.0) continue;
-        auto it = child_agg.find(rel.ProjectRow(row, cols).Encode());
+        auto it = child_agg.find(EncodeRowKey(rel, cols, row, &scratch));
         w[row] *= it == child_agg.end() ? 0.0 : it->second;
       }
     }
@@ -70,13 +91,13 @@ Result<std::shared_ptr<const ExactWeightIndex>> ExactWeightIndex::Build(
       auto& my_agg = agg[r];
       for (size_t row = 0; row < rel.num_rows(); ++row) {
         if (w[row] > 0.0) {
-          my_agg[rel.ProjectRow(row, cols).Encode()] += w[row];
+          my_agg[EncodeRowKey(rel, cols, row, &scratch)] += w[row];
         }
       }
     }
   }
 
-  // Root cumulative weights for O(log n) sampling.
+  // Root cumulative weights for O(log n) sampling on the row path.
   int root = graph.tree_order().empty() ? 0 : graph.tree_order()[0];
   const auto& root_w = index->weights_[root];
   index->root_cumulative_.resize(root_w.size());
@@ -88,25 +109,294 @@ Result<std::shared_ptr<const ExactWeightIndex>> ExactWeightIndex::Build(
   index->total_weight_ = running;
   index->exact_ =
       graph.tree_captures_all_constraints() && !spec.has_predicates();
+
+  Status columnar = index->BuildColumnar(cache);
+  if (!columnar.ok()) return columnar;
   return std::shared_ptr<const ExactWeightIndex>(index);
 }
 
-Result<std::unique_ptr<ExactWeightSampler>> ExactWeightSampler::Create(
-    JoinSpecPtr join, CompositeIndexCache* cache) {
-  auto weights = ExactWeightIndex::Build(join, cache);
-  if (!weights.ok()) return weights.status();
-  return Create(std::move(weights).value());
+Status ExactWeightIndex::BuildColumnar(CompositeIndexCache* cache) {
+  const JoinSpec& spec = *join_;
+  const JoinGraph& graph = spec.graph();
+  const Schema& out_schema = spec.output_schema();
+  const int n = spec.num_relations();
+  const auto& order = graph.tree_order();
+
+  // Materialization plan: in tree order, the first relation carrying an
+  // output field writes it; later carriers only check it (and only cyclic
+  // trees ever need those checks evaluated).
+  writes_.assign(n, {});
+  checks_.assign(n, {});
+  std::vector<bool> assigned(out_schema.num_fields(), false);
+  // first_assigner[out field] = relation that writes it.
+  std::vector<int> first_assigner(out_schema.num_fields(), -1);
+  for (int r : order) {
+    const Schema& rel_schema = spec.relation(r)->schema();
+    for (size_t c = 0; c < rel_schema.num_fields(); ++c) {
+      int out_idx = out_schema.FieldIndex(rel_schema.field(c).name);
+      SUJ_CHECK(out_idx >= 0);
+      auto pair = std::make_pair(static_cast<uint16_t>(c),
+                                 static_cast<uint16_t>(out_idx));
+      if (!assigned[out_idx]) {
+        assigned[out_idx] = true;
+        first_assigner[out_idx] = r;
+        writes_[r].push_back(pair);
+      } else {
+        checks_[r].push_back(pair);
+      }
+    }
+  }
+
+  if (total_weight_ <= 0.0) return Status::OK();  // nothing samplable
+
+  // The columnar descent probes a child's group straight from the PARENT
+  // row, which matches the row path's assignment-based probe iff each
+  // probe attribute's assignment value is the parent's value: guaranteed
+  // when the tree captures all constraints, and otherwise only when the
+  // parent is the attribute's first assigner.
+  if (!graph.tree_captures_all_constraints()) {
+    for (int r = 0; r < n; ++r) {
+      if (graph.tree_parent()[r] < 0) continue;
+      for (const auto& a : graph.tree_edge_attrs()[r]) {
+        int out_idx = out_schema.FieldIndex(a);
+        if (first_assigner[out_idx] != graph.tree_parent()[r]) {
+          return Status::OK();  // row path only for this join
+        }
+      }
+    }
+  }
+
+  const int root = order.empty() ? 0 : order[0];
+  auto root_alias = AliasTable::Build(weights_[root]);
+  if (!root_alias.ok()) return root_alias.status();
+  root_alias_ = std::move(root_alias).value();
+
+  columnar_edges_.resize(n);
+  std::vector<double> group_weights;
+  for (int r = 0; r < n; ++r) {
+    const int parent = graph.tree_parent()[r];
+    if (parent < 0) continue;
+    const CompositeIndexPtr& child_index = child_indexes_[r];
+    auto probe = cache->GetOrBuildProbe(child_index, spec.relation(parent));
+    if (!probe.ok()) return probe.status();
+
+    ColumnarEdge& edge = columnar_edges_[r];
+    edge.parent_probe = std::move(probe).value();
+    const auto& w = weights_[r];
+    const size_t num_groups = child_index->NumKeys();
+    edge.offsets.assign(num_groups + 1, 0);
+    edge.rows.reserve(child_index->group_rows().size());
+    for (size_t g = 0; g < num_groups; ++g) {
+      group_weights.clear();
+      for (uint32_t row : child_index->GroupRows(static_cast<uint32_t>(g))) {
+        if (w[row] > 0.0) {
+          edge.rows.push_back(row);
+          group_weights.push_back(w[row]);
+        }
+      }
+      if (!group_weights.empty()) {
+        auto begin =
+            edge.alias.AppendGroup(group_weights.data(), group_weights.size());
+        if (!begin.ok()) return begin.status();
+        SUJ_CHECK(begin.value() == edge.offsets[g]);
+      }
+      edge.offsets[g + 1] = static_cast<uint32_t>(edge.rows.size());
+    }
+  }
+  columnar_ready_ = true;
+  return Status::OK();
 }
 
 Result<std::unique_ptr<ExactWeightSampler>> ExactWeightSampler::Create(
-    ExactWeightIndexPtr weights) {
+    JoinSpecPtr join, CompositeIndexCache* cache, Options options) {
+  auto weights = ExactWeightIndex::Build(join, cache);
+  if (!weights.ok()) return weights.status();
+  return Create(std::move(weights).value(), options);
+}
+
+Result<std::unique_ptr<ExactWeightSampler>> ExactWeightSampler::Create(
+    ExactWeightIndexPtr weights, Options options) {
   if (weights == nullptr) return Status::InvalidArgument("null weight index");
   JoinSpecPtr join = weights->join();
-  return std::unique_ptr<ExactWeightSampler>(
-      new ExactWeightSampler(std::move(join), std::move(weights)));
+  const bool columnar = options.columnar && weights->columnar_ready();
+  auto sampler = std::unique_ptr<ExactWeightSampler>(new ExactWeightSampler(
+      std::move(join), std::move(weights), columnar));
+  sampler->need_checks_ =
+      !sampler->join_->graph().tree_captures_all_constraints();
+  return sampler;
 }
 
 std::optional<Tuple> ExactWeightSampler::TrySample(Rng& rng) {
+  return columnar_ ? TrySampleColumnar(rng) : TrySampleRow(rng);
+}
+
+std::optional<Tuple> ExactWeightSampler::Materialize(const uint32_t* chosen,
+                                                     size_t stride,
+                                                     size_t offset) {
+  const JoinSpec& spec = *join_;
+  const Schema& out_schema = spec.output_schema();
+  std::vector<Value> assignment(out_schema.num_fields());
+  for (int r : spec.graph().tree_order()) {
+    const Relation& rel = *spec.relation(r);
+    const uint32_t row = chosen[static_cast<size_t>(r) * stride + offset];
+    for (const auto& [col, out_idx] : weights_->writes(r)) {
+      assignment[out_idx] = rel.GetValue(row, col);
+    }
+    if (need_checks_) {
+      for (const auto& [col, out_idx] : weights_->checks(r)) {
+        if (!(assignment[out_idx] == rel.GetValue(row, col))) {
+          ++stats_.rejections;  // non-tree constraint violated (cyclic join)
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  Tuple out(std::move(assignment));
+  if (!spec.SatisfiesPredicates(out)) {
+    ++stats_.rejections;
+    return std::nullopt;
+  }
+  ++stats_.successes;
+  return out;
+}
+
+std::optional<Tuple> ExactWeightSampler::TrySampleColumnar(Rng& rng) {
+  ++stats_.attempts;
+  if (weights_->TotalWeight() <= 0.0) {
+    ++stats_.dead_ends;
+    return std::nullopt;
+  }
+  const JoinGraph& graph = join_->graph();
+  const auto& order = graph.tree_order();
+  const size_t n = order.size();
+
+  uint32_t chosen[64];
+  SUJ_CHECK(n <= 64);
+  chosen[order[0]] =
+      static_cast<uint32_t>(weights_->root_alias().Sample(rng));
+  for (size_t pos = 1; pos < n; ++pos) {
+    const int r = order[pos];
+    const auto& edge = weights_->columnar_edge(r);
+    const uint32_t g =
+        (*edge.parent_probe)[chosen[graph.tree_parent()[r]]];
+    if (g == CompositeIndex::kNoGroup) {
+      ++stats_.dead_ends;
+      return std::nullopt;
+    }
+    const uint32_t begin = edge.offsets[g];
+    const uint32_t len = edge.offsets[g + 1] - begin;
+    if (len == 0) {
+      // All candidate rows carry zero weight (pruned subtree): a dead end,
+      // exactly like a zero CDF sum on the row path.
+      ++stats_.dead_ends;
+      return std::nullopt;
+    }
+    const size_t local = edge.alias.SampleGroup(begin, len, rng);
+    chosen[r] = edge.rows[begin + local];
+  }
+  return Materialize(chosen, 1, 0);
+}
+
+size_t ExactWeightSampler::TrySampleBatch(size_t count, Rng& rng,
+                                          std::vector<Tuple>* out) {
+  size_t appended = 0;
+  if (!columnar_ || count < 2) {
+    for (size_t i = 0; i < count; ++i) {
+      auto t = TrySample(rng);
+      if (t.has_value()) {
+        out->push_back(*std::move(t));
+        ++appended;
+      }
+    }
+    return appended;
+  }
+
+  stats_.attempts += count;
+  if (weights_->TotalWeight() <= 0.0) {
+    stats_.dead_ends += count;
+    return 0;
+  }
+  const JoinGraph& graph = join_->graph();
+  const auto& order = graph.tree_order();
+  const size_t n = order.size();
+
+  batch_rows_.assign(n == 0 ? 0 : join_->num_relations() * count, 0);
+  batch_begin_.assign(count, 0);
+  batch_len_.assign(count, 0);
+  batch_alive_.assign(count, 1);
+
+  const AliasTable& root_alias = weights_->root_alias();
+  uint32_t* root_rows = batch_rows_.data() +
+                        static_cast<size_t>(order[0]) * count;
+  for (size_t i = 0; i < count; ++i) {
+    root_rows[i] = static_cast<uint32_t>(root_alias.Sample(rng));
+  }
+
+  // Level-synchronous descent: finish level p for every in-flight walk
+  // before starting level p+1, prefetching each walk's next cache lines a
+  // pass ahead so the dependent misses of independent walks overlap.
+  for (size_t pos = 1; pos < n; ++pos) {
+    const int r = order[pos];
+    const auto& edge = weights_->columnar_edge(r);
+    const uint32_t* probe = edge.parent_probe->data();
+    const uint32_t* offsets = edge.offsets.data();
+    const uint32_t* parent_rows =
+        batch_rows_.data() +
+        static_cast<size_t>(graph.tree_parent()[r]) * count;
+    uint32_t* rows_out = batch_rows_.data() + static_cast<size_t>(r) * count;
+
+    // Pass 1: probe the parent rows; prefetch each group's offset pair.
+    for (size_t i = 0; i < count; ++i) {
+      if (!batch_alive_[i]) continue;
+      const uint32_t g = probe[parent_rows[i]];
+      if (g == CompositeIndex::kNoGroup) {
+        batch_alive_[i] = 0;
+        ++stats_.dead_ends;
+        continue;
+      }
+      batch_begin_[i] = g;  // group id until pass 2 resolves the slice
+      SUJ_PREFETCH(offsets + g);
+    }
+    // Pass 2: resolve group slices; prefetch alias and row storage.
+    for (size_t i = 0; i < count; ++i) {
+      if (!batch_alive_[i]) continue;
+      const uint32_t g = batch_begin_[i];
+      const uint32_t begin = offsets[g];
+      const uint32_t len = offsets[g + 1] - begin;
+      if (len == 0) {
+        batch_alive_[i] = 0;
+        ++stats_.dead_ends;
+        continue;
+      }
+      batch_begin_[i] = begin;
+      batch_len_[i] = len;
+      SUJ_PREFETCH(edge.alias.prob_data() + begin);
+      SUJ_PREFETCH(edge.alias.alias_data() + begin);
+      SUJ_PREFETCH(edge.rows.data() + begin);
+    }
+    // Pass 3: alias draws. RNG is consumed in walk order within the level,
+    // only for walks still alive, so the stream is a pure function of the
+    // batch's inputs.
+    for (size_t i = 0; i < count; ++i) {
+      if (!batch_alive_[i]) continue;
+      const size_t local =
+          edge.alias.SampleGroup(batch_begin_[i], batch_len_[i], rng);
+      rows_out[i] = edge.rows[batch_begin_[i] + local];
+    }
+  }
+
+  for (size_t i = 0; i < count; ++i) {
+    if (!batch_alive_[i]) continue;
+    auto t = Materialize(batch_rows_.data(), count, i);
+    if (t.has_value()) {
+      out->push_back(*std::move(t));
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+std::optional<Tuple> ExactWeightSampler::TrySampleRow(Rng& rng) {
   ++stats_.attempts;
   const JoinSpec& spec = *join_;
   const JoinGraph& graph = spec.graph();
@@ -138,15 +428,15 @@ std::optional<Tuple> ExactWeightSampler::TrySample(Rng& rng) {
     return true;
   };
 
-  // Root draw: binary search the cumulative weight array.
+  // Root draw: binary search the cumulative weight array. The draw lies in
+  // [0, total); ResolveCumulativeDraw keeps the floating-point boundary
+  // case off zero-weight tail rows.
   const auto& order = graph.tree_order();
   int root = order[0];
-  const auto& cumulative = weights_->root_cumulative();
-  double x = rng.UniformDouble() * total;
   size_t root_row =
-      std::upper_bound(cumulative.begin(), cumulative.end(), x) -
-      cumulative.begin();
-  if (root_row >= cumulative.size()) root_row = cumulative.size() - 1;
+      ResolveCumulativeDraw(weights_->root_cumulative(),
+                            weights_->weights(root),
+                            rng.UniformDouble() * total);
   if (!apply_row(root, static_cast<uint32_t>(root_row))) {
     ++stats_.rejections;
     return std::nullopt;
@@ -164,7 +454,7 @@ std::optional<Tuple> ExactWeightSampler::TrySample(Rng& rng) {
       SUJ_DCHECK(idx >= 0 && assigned[idx]);
       key_values.push_back(assignment[idx]);
     }
-    const auto& candidates = weights_->child_index(r)->LookupEncoded(
+    const RowSpan candidates = weights_->child_index(r)->LookupEncoded(
         Tuple(std::move(key_values)).Encode());
     if (candidates.empty()) {
       // Cannot happen when weights are exact (the parent row would have
@@ -180,14 +470,15 @@ std::optional<Tuple> ExactWeightSampler::TrySample(Rng& rng) {
       return std::nullopt;
     }
     double y = rng.UniformDouble() * wsum;
+    // The boundary case y >= wsum (rounding) must resolve to a positive-
+    // weight candidate, not blindly to the last one.
     uint32_t chosen = candidates.back();
     double acc = 0.0;
     for (uint32_t row : candidates) {
+      if (w[row] <= 0.0) continue;
+      chosen = row;  // last positive-weight candidate seen (the fallback)
       acc += w[row];
-      if (y < acc) {
-        chosen = row;
-        break;
-      }
+      if (y < acc) break;
     }
     if (!apply_row(r, chosen)) {
       ++stats_.rejections;  // non-tree constraint violated (cyclic join)

@@ -11,6 +11,16 @@
 // are upper bounds (Zhao et al.'s skeleton join); a consistency check on
 // the non-tree equalities rejects invalid assignments, preserving
 // uniformity at the cost of a rejection rate.
+//
+// Two sampling paths share the weight index:
+//  * the row path probes composite indexes with encoded key tuples and
+//    CDF-scans candidate weights (the original implementation, kept as the
+//    reference/benchmark anchor);
+//  * the columnar path (default when available) resolves every probe
+//    through flat integer arrays built at index-build time — parent row id
+//    -> child group id -> alias-table draw -> child row id — so a whole
+//    walk touches no Tuple, no Value, no string, and no hash table, and
+//    every weighted draw is O(1).
 
 #ifndef SUJ_JOIN_EXACT_WEIGHT_H_
 #define SUJ_JOIN_EXACT_WEIGHT_H_
@@ -20,11 +30,21 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/alias_table.h"
 #include "common/result.h"
 #include "index/composite_index.h"
 #include "join/join_sampler.h"
 
 namespace suj {
+
+/// Resolves a CDF draw `x` in [0, total] against cumulative weights.
+/// Returns upper_bound(cumulative, x), except that a draw at/above the
+/// final cumulative value (possible when `x = u * total` rounds up to
+/// `total`) resolves to the LAST POSITIVE-WEIGHT row instead of being
+/// clamped onto a possibly zero-weight tail row. `weights[i]` must be the
+/// per-row weights whose prefix sums are `cumulative`.
+size_t ResolveCumulativeDraw(const std::vector<double>& cumulative,
+                             const std::vector<double>& weights, double x);
 
 /// \brief Precomputed per-row exact weights over the join's spanning tree.
 class ExactWeightIndex {
@@ -55,13 +75,56 @@ class ExactWeightIndex {
   }
 
   /// Cumulative weights of the root relation's rows (for O(log n) root
-  /// draws by binary search).
+  /// draws by binary search on the row path).
   const std::vector<double>& root_cumulative() const {
     return root_cumulative_;
   }
 
+  /// \brief Flat-array descent plan for one tree edge (child relation r).
+  ///
+  /// `parent_probe` maps a parent row id to r's group id in child_index(r)
+  /// (kNoGroup for dangling parents). Groups are re-sliced to POSITIVE-
+  /// weight rows only: group g's candidate rows are
+  /// rows[offsets[g] .. offsets[g+1]) with a matching alias-table slice at
+  /// the same offsets, so a weighted child draw is one alias lookup and one
+  /// array read. A group whose rows all have zero weight is an empty slice
+  /// (a dead end, exactly like a zero CDF sum on the row path).
+  struct ColumnarEdge {
+    ProbeArrayPtr parent_probe;
+    std::vector<uint32_t> offsets;
+    std::vector<uint32_t> rows;
+    FlatAliasGroups alias;
+  };
+
+  /// True iff the columnar descent plan was built. Requires every probe
+  /// attribute to be resolvable from the parent row alone, which holds for
+  /// all tree-consistent joins (and is re-derived per edge for cyclic
+  /// ones); when false, samplers use the row path.
+  bool columnar_ready() const { return columnar_ready_; }
+  /// O(1) root draw over root-row weights (valid iff columnar_ready()).
+  const AliasTable& root_alias() const { return root_alias_; }
+  /// Descent plan of non-root relation r (valid iff columnar_ready()).
+  const ColumnarEdge& columnar_edge(int relation) const {
+    return columnar_edges_[relation];
+  }
+
+  /// Output materialization plan: writes(r) lists (relation column, output
+  /// schema index) pairs relation r contributes as FIRST assigner in tree
+  /// order; checks(r) lists pairs whose output field was assigned by an
+  /// earlier relation and must match (non-empty only for joins whose tree
+  /// misses constraints). Precomputed so the hot loop never resolves field
+  /// names.
+  const std::vector<std::pair<uint16_t, uint16_t>>& writes(int relation) const {
+    return writes_[relation];
+  }
+  const std::vector<std::pair<uint16_t, uint16_t>>& checks(int relation) const {
+    return checks_[relation];
+  }
+
  private:
   explicit ExactWeightIndex(JoinSpecPtr join) : join_(std::move(join)) {}
+
+  Status BuildColumnar(CompositeIndexCache* cache);
 
   JoinSpecPtr join_;
   double total_weight_ = 0.0;
@@ -69,29 +132,78 @@ class ExactWeightIndex {
   std::vector<std::vector<double>> weights_;
   std::vector<CompositeIndexPtr> child_indexes_;
   std::vector<double> root_cumulative_;
+
+  bool columnar_ready_ = false;
+  AliasTable root_alias_;
+  std::vector<ColumnarEdge> columnar_edges_;
+  std::vector<std::vector<std::pair<uint16_t, uint16_t>>> writes_;
+  std::vector<std::vector<std::pair<uint16_t, uint16_t>>> checks_;
 };
 
 using ExactWeightIndexPtr = std::shared_ptr<const ExactWeightIndex>;
 
+/// Options for ExactWeightSampler (namespace-scope so it can serve as a
+/// default argument inside the class).
+struct ExactWeightSamplerOptions {
+  /// Use the columnar descent when the index provides it. The row path
+  /// remains available as the reference implementation; both paths
+  /// produce uniform samples but consume the RNG differently, so a given
+  /// byte stream is reproducible only within one path.
+  bool columnar = true;
+};
+
 /// \brief Uniform join sampler driven by exact weights.
 class ExactWeightSampler : public JoinSampler {
  public:
+  using Options = ExactWeightSamplerOptions;
+
   /// Builds the weight index (or reuses a prebuilt one) and the sampler.
   static Result<std::unique_ptr<ExactWeightSampler>> Create(
-      JoinSpecPtr join, CompositeIndexCache* cache);
+      JoinSpecPtr join, CompositeIndexCache* cache, Options options = Options());
   static Result<std::unique_ptr<ExactWeightSampler>> Create(
-      ExactWeightIndexPtr weights);
+      ExactWeightIndexPtr weights, Options options = Options());
 
   std::optional<Tuple> TrySample(Rng& rng) override;
+
+  /// Columnar batched walk: runs up to `count` attempts level-
+  /// synchronously, prefetching the next level's probe/alias cache lines
+  /// across in-flight walks so dependent misses overlap, and appends the
+  /// successful tuples to `out`. Returns the number appended. Consumes the
+  /// RNG in level-major order, so a batch's output is a pure function of
+  /// (rng state, count) but differs from `count` sequential TrySample
+  /// calls. Falls back to a TrySample loop on the row path.
+  size_t TrySampleBatch(size_t count, Rng& rng, std::vector<Tuple>* out);
+
   double SizeUpperBound() const override { return weights_->TotalWeight(); }
 
   const ExactWeightIndexPtr& weight_index() const { return weights_; }
+  /// True iff this sampler draws through the columnar plan.
+  bool columnar() const { return columnar_; }
 
  private:
-  ExactWeightSampler(JoinSpecPtr join, ExactWeightIndexPtr weights)
-      : JoinSampler(std::move(join)), weights_(std::move(weights)) {}
+  ExactWeightSampler(JoinSpecPtr join, ExactWeightIndexPtr weights,
+                     bool columnar)
+      : JoinSampler(std::move(join)),
+        weights_(std::move(weights)),
+        columnar_(columnar) {}
+
+  std::optional<Tuple> TrySampleRow(Rng& rng);
+  std::optional<Tuple> TrySampleColumnar(Rng& rng);
+  /// Materializes one walk's chosen rows into an output tuple; the row of
+  /// relation r is `chosen[r * stride + offset]` (stride 1 for a single
+  /// walk, the batch width for batched walks). Returns nullopt on a
+  /// non-tree constraint or predicate rejection.
+  std::optional<Tuple> Materialize(const uint32_t* chosen, size_t stride,
+                                   size_t offset);
 
   ExactWeightIndexPtr weights_;
+  bool columnar_ = false;
+  bool need_checks_ = false;
+  // Scratch reused across TrySampleBatch calls (sized on first use).
+  std::vector<uint32_t> batch_rows_;   // [relation * count + walk]
+  std::vector<uint32_t> batch_begin_;  // per walk: group slice begin
+  std::vector<uint32_t> batch_len_;    // per walk: group slice length
+  std::vector<uint8_t> batch_alive_;
 };
 
 }  // namespace suj

@@ -31,7 +31,48 @@ Result<std::unique_ptr<OlkenJoinSampler>> OlkenJoinSampler::Create(
     }
     step.max_degree = step.index->MaxDegree();
     sampler->size_bound_ *= static_cast<double>(step.max_degree);
+    // Columnar probe source (see WanderJoinSampler::Create): every bound
+    // attribute is probe-key-constrained where first bound, so any earlier
+    // relation carrying all of them can feed a row->group probe array.
+    for (size_t q = pos; q-- > 0;) {
+      const Schema& src = join->relation(order[q])->schema();
+      bool covers = true;
+      for (const auto& a : graph.bound_attrs()[pos]) {
+        if (!src.HasField(a)) {
+          covers = false;
+          break;
+        }
+      }
+      if (!covers) continue;
+      auto probe =
+          cache->GetOrBuildProbe(step.index, join->relation(order[q]));
+      if (!probe.ok()) continue;
+      step.probe = std::move(probe).value();
+      step.source_pos = static_cast<int>(q);
+      break;
+    }
     sampler->steps_.push_back(std::move(step));
+  }
+
+  sampler->columnar_ = true;
+  for (const Step& step : sampler->steps_) {
+    if (step.source_pos < 0) sampler->columnar_ = false;
+  }
+  if (sampler->columnar_) {
+    sampler->writes_.resize(order.size());
+    std::vector<bool> assigned(out_schema.num_fields(), false);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      const Schema& rel_schema = join->relation(order[pos])->schema();
+      for (size_t c = 0; c < rel_schema.num_fields(); ++c) {
+        int out_idx = out_schema.FieldIndex(rel_schema.field(c).name);
+        SUJ_CHECK(out_idx >= 0);
+        if (!assigned[out_idx]) {
+          assigned[out_idx] = true;
+          sampler->writes_[pos].emplace_back(static_cast<uint16_t>(c),
+                                             static_cast<uint16_t>(out_idx));
+        }
+      }
+    }
   }
   return sampler;
 }
@@ -63,6 +104,54 @@ std::optional<Tuple> OlkenJoinSampler::TrySample(Rng& rng) {
     ++stats_.dead_ends;
     return std::nullopt;
   }
+  return columnar_ ? TrySampleColumnar(rng) : TrySampleGeneric(rng);
+}
+
+std::optional<Tuple> OlkenJoinSampler::TrySampleColumnar(Rng& rng) {
+  const JoinSpec& spec = *join_;
+  const auto& order = spec.graph().walk_order();
+
+  uint32_t chosen[64];
+  SUJ_CHECK(order.size() <= 64);
+  const RelationPtr& first = spec.relation(order[0]);
+  chosen[0] = static_cast<uint32_t>(rng.UniformInt(first->num_rows()));
+
+  double accept_prob = 1.0;
+  for (size_t pos = 1; pos < order.size(); ++pos) {
+    const Step& step = steps_[pos - 1];
+    const uint32_t g = (*step.probe)[chosen[step.source_pos]];
+    const RowSpan candidates = step.index->GroupRows(g);
+    if (candidates.empty()) {
+      ++stats_.dead_ends;
+      return std::nullopt;
+    }
+    chosen[pos] = candidates[rng.UniformInt(candidates.size())];
+    accept_prob *= static_cast<double>(candidates.size()) /
+                   static_cast<double>(step.max_degree);
+  }
+
+  if (!rng.Bernoulli(accept_prob)) {
+    ++stats_.rejections;
+    return std::nullopt;
+  }
+  const Schema& out_schema = spec.output_schema();
+  std::vector<Value> assignment(out_schema.num_fields());
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const Relation& rel = *spec.relation(order[pos]);
+    for (const auto& [col, out_idx] : writes_[pos]) {
+      assignment[out_idx] = rel.GetValue(chosen[pos], col);
+    }
+  }
+  Tuple out(std::move(assignment));
+  if (!spec.SatisfiesPredicates(out)) {
+    ++stats_.rejections;
+    return std::nullopt;
+  }
+  ++stats_.successes;
+  return out;
+}
+
+std::optional<Tuple> OlkenJoinSampler::TrySampleGeneric(Rng& rng) {
   const JoinSpec& spec = *join_;
   const Schema& out_schema = spec.output_schema();
   const auto& order = spec.graph().walk_order();
@@ -80,7 +169,7 @@ std::optional<Tuple> OlkenJoinSampler::TrySample(Rng& rng) {
     std::vector<Value> key_values;
     key_values.reserve(step.key_fields.size());
     for (int f : step.key_fields) key_values.push_back(assignment[f]);
-    const auto& candidates =
+    const RowSpan candidates =
         step.index->LookupEncoded(Tuple(std::move(key_values)).Encode());
     if (candidates.empty()) {
       ++stats_.dead_ends;

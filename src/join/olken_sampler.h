@@ -35,12 +35,21 @@ class OlkenJoinSampler : public JoinSampler {
   /// The extended Olken bound |R_w0| * prod M_i.
   double SizeUpperBound() const override { return size_bound_; }
 
+  /// True iff every step probes through a precomputed row->group array.
+  /// The columnar walk consumes the same RNG stream as the generic walk
+  /// and produces identical outcomes.
+  bool columnar() const { return columnar_; }
+
  private:
   struct Step {
     int relation;                 // relation index in the spec
     CompositeIndexPtr index;      // probe index on the bound attributes
     std::vector<int> key_fields;  // output-schema indexes of the bound attrs
     size_t max_degree;            // M_i
+    // Columnar probe (see WanderJoinSampler::Step): walk position whose
+    // chosen row feeds `probe`, or -1 to probe generically.
+    int source_pos = -1;
+    ProbeArrayPtr probe;
   };
 
   explicit OlkenJoinSampler(JoinSpecPtr join) : JoinSampler(std::move(join)) {}
@@ -48,7 +57,13 @@ class OlkenJoinSampler : public JoinSampler {
   bool ApplyRow(int relation, uint32_t row, std::vector<Value>* assignment,
                 std::vector<bool>* assigned) const;
 
+  std::optional<Tuple> TrySampleGeneric(Rng& rng);
+  std::optional<Tuple> TrySampleColumnar(Rng& rng);
+
   std::vector<Step> steps_;  // walk positions 1..m-1
+  // First-assigner materialization plan per walk position (columnar walk).
+  std::vector<std::vector<std::pair<uint16_t, uint16_t>>> writes_;
+  bool columnar_ = false;
   double size_bound_ = 0.0;
 };
 

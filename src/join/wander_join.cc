@@ -26,13 +26,103 @@ Result<std::unique_ptr<WanderJoinSampler>> WanderJoinSampler::Create(
       SUJ_CHECK(idx >= 0);
       step.key_fields.push_back(idx);
     }
+    // Columnar probe source: the most recent earlier position whose
+    // relation carries every bound attribute. Every bound attribute is
+    // probe-key-constrained at the position that first binds it, so any
+    // carrier holds the walk's assigned value.
+    for (size_t q = pos; q-- > 0;) {
+      const Schema& src = join->relation(order[q])->schema();
+      bool covers = true;
+      for (const auto& a : graph.bound_attrs()[pos]) {
+        if (!src.HasField(a)) {
+          covers = false;
+          break;
+        }
+      }
+      if (!covers) continue;
+      auto probe =
+          cache->GetOrBuildProbe(step.index, join->relation(order[q]));
+      if (!probe.ok()) continue;  // e.g. type mismatch; probe generically
+      step.probe = std::move(probe).value();
+      step.source_pos = static_cast<int>(q);
+      break;
+    }
     sampler->steps_.push_back(std::move(step));
+  }
+
+  sampler->columnar_ = true;
+  for (const Step& step : sampler->steps_) {
+    if (step.source_pos < 0) sampler->columnar_ = false;
+  }
+  if (sampler->columnar_) {
+    // First-assigner materialization plan (walk order). The columnar walk
+    // picks all rows first and materializes once at the end; skipping
+    // non-first carriers is lossless because their shared attributes are
+    // probe-key-equal by construction.
+    sampler->writes_.resize(order.size());
+    std::vector<bool> assigned(out_schema.num_fields(), false);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      const Schema& rel_schema = join->relation(order[pos])->schema();
+      for (size_t c = 0; c < rel_schema.num_fields(); ++c) {
+        int out_idx = out_schema.FieldIndex(rel_schema.field(c).name);
+        SUJ_CHECK(out_idx >= 0);
+        if (!assigned[out_idx]) {
+          assigned[out_idx] = true;
+          sampler->writes_[pos].emplace_back(static_cast<uint16_t>(c),
+                                             static_cast<uint16_t>(out_idx));
+        }
+      }
+    }
   }
   return sampler;
 }
 
 WalkOutcome WanderJoinSampler::Walk(Rng& rng) {
   ++num_walks_;
+  return columnar_ ? WalkColumnar(rng) : WalkGeneric(rng);
+}
+
+WalkOutcome WanderJoinSampler::WalkColumnar(Rng& rng) {
+  WalkOutcome outcome;
+  const JoinSpec& spec = *join_;
+  const auto& order = spec.graph().walk_order();
+
+  const RelationPtr& first = spec.relation(order[0]);
+  if (first->num_rows() == 0) return outcome;
+
+  // Phase 1: choose rows through flat arrays only.
+  uint32_t chosen[64];
+  SUJ_CHECK(order.size() <= 64);
+  chosen[0] = static_cast<uint32_t>(rng.UniformInt(first->num_rows()));
+  double probability = 1.0 / static_cast<double>(first->num_rows());
+  for (size_t pos = 1; pos < order.size(); ++pos) {
+    const Step& step = steps_[pos - 1];
+    const uint32_t g = (*step.probe)[chosen[step.source_pos]];
+    const RowSpan candidates = step.index->GroupRows(g);
+    if (candidates.empty()) return outcome;  // dead end
+    chosen[pos] = candidates[rng.UniformInt(candidates.size())];
+    probability /= static_cast<double>(candidates.size());
+  }
+
+  // Phase 2: materialize the completed walk.
+  const Schema& out_schema = spec.output_schema();
+  std::vector<Value> assignment(out_schema.num_fields());
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const Relation& rel = *spec.relation(order[pos]);
+    for (const auto& [col, out_idx] : writes_[pos]) {
+      assignment[out_idx] = rel.GetValue(chosen[pos], col);
+    }
+  }
+  Tuple out(std::move(assignment));
+  if (!spec.SatisfiesPredicates(out)) return outcome;  // predicate rejection
+  outcome.success = true;
+  outcome.tuple = std::move(out);
+  outcome.probability = probability;
+  ++num_successes_;
+  return outcome;
+}
+
+WalkOutcome WanderJoinSampler::WalkGeneric(Rng& rng) {
   WalkOutcome outcome;
   const JoinSpec& spec = *join_;
   const Schema& out_schema = spec.output_schema();
@@ -62,7 +152,7 @@ WalkOutcome WanderJoinSampler::Walk(Rng& rng) {
     std::vector<Value> key_values;
     key_values.reserve(step.key_fields.size());
     for (int f : step.key_fields) key_values.push_back(assignment[f]);
-    const auto& candidates =
+    const RowSpan candidates =
         step.index->LookupEncoded(Tuple(std::move(key_values)).Encode());
     if (candidates.empty()) return outcome;  // dead end
     uint32_t chosen = candidates[rng.UniformInt(candidates.size())];

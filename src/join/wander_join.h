@@ -46,17 +46,38 @@ class WanderJoinSampler {
   uint64_t num_walks() const { return num_walks_; }
   uint64_t num_successes() const { return num_successes_; }
 
+  /// True iff every step resolves its probe through a precomputed row->
+  /// group array (no per-step key encoding or hash lookups). The columnar
+  /// walk draws the SAME RNG stream as the generic walk and produces
+  /// byte-identical outcomes; it only skips the Tuple/Value/string work.
+  bool columnar() const { return columnar_; }
+
  private:
   struct Step {
     int relation;
     CompositeIndexPtr index;
     std::vector<int> key_fields;  // output-schema indexes of bound attrs
+    // Columnar probe: the walk position whose chosen row feeds `probe`
+    // (valid because every bound attribute of a step is part of some
+    // earlier step's probe key, so any earlier relation carrying it holds
+    // the same value). -1 when no single earlier relation covers all
+    // bound attrs; then this step probes generically.
+    int source_pos = -1;
+    ProbeArrayPtr probe;
   };
 
   explicit WanderJoinSampler(JoinSpecPtr join) : join_(std::move(join)) {}
 
+  WalkOutcome WalkGeneric(Rng& rng);
+  WalkOutcome WalkColumnar(Rng& rng);
+
   JoinSpecPtr join_;
   std::vector<Step> steps_;
+  // Materialization plan for the columnar walk: per walk position, the
+  // (relation column, output schema index) pairs that position writes as
+  // first assigner in walk order.
+  std::vector<std::vector<std::pair<uint16_t, uint16_t>>> writes_;
+  bool columnar_ = false;
   uint64_t num_walks_ = 0;
   uint64_t num_successes_ = 0;
 };

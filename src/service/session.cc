@@ -43,6 +43,7 @@ Status SamplingSession::EnsureSampler() {
       o.num_threads = options_.worker_threads;
       o.batch_size = options_.batch_size;
       o.sampler_factory = plan_->MakeJoinSamplerFactory();
+      o.max_revision_surplus = options_.max_revision_surplus;
       revision_state_ = std::make_unique<RevisionState>();
     } else {
       o.mode = UnionSampler::Mode::kMembershipOracle;
@@ -186,6 +187,7 @@ void SamplingSession::UpdateStatsSnapshot() {
   }
   if (revision_state_ != nullptr) {
     s.revision_buffered = revision_state_->buffered();
+    s.revision_surplus_high_water = s.sampler.revision_surplus_high_water;
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_snapshot_ = std::move(s);

@@ -68,6 +68,15 @@ struct SessionOptions {
   size_t worker_threads = 1;
   size_t batch_size = 64;
   uint64_t max_draws_per_round = 50000;
+  // ---- kRevision only ----
+  /// Bounds the finalized surplus the session's RevisionState may hold
+  /// between requests (epoch overshoot of the fixed ramp). Enforced by
+  /// lowering the epoch ramp's cap until the largest epoch fits, floored
+  /// at one batch — a pure function of the options, so the session's
+  /// stream stays byte-identical under every request chunking. 0 keeps
+  /// the default cap (batch_size * 16). Peak usage is reported as
+  /// revision_surplus_high_water in the session's stats.
+  size_t max_revision_surplus = 0;
   // ---- kOnline only ----
   /// Session-local warm-up walks per join, run lazily on the first
   /// request (streams overlap them with delivery); their records seed
@@ -92,6 +101,10 @@ struct SessionStatsSnapshot {
   /// accepted - removed_by_revision - reconcile_dropped ==
   /// tuples_delivered + revision_buffered.
   uint64_t revision_buffered = 0;
+  /// kRevision only: the highest revision_buffered ever observed at a
+  /// request boundary (mirrors sampler.revision_surplus_high_water;
+  /// bounded by SessionOptions::max_revision_surplus).
+  uint64_t revision_surplus_high_water = 0;
   /// Sampler-level counters (plan_id-stamped). Oracle and revision
   /// sessions fill the UnionSampleStats base (revision sessions include
   /// the epoch/reconciliation counters); online sessions also fill the
@@ -167,11 +180,12 @@ class SamplingSession {
   std::unique_ptr<RandomWalkOverlapEstimator> walker_;  // kOnline
   std::unique_ptr<OnlineUnionSampler> online_sampler_;
   /// kRevision only: the session-lived resumable protocol state (learned
-  /// cover + epoch schedule + undelivered surplus), threaded through
-  /// every Sample call. Torn down with the session — after eviction or
-  /// Close, the last in-flight request to release the session's
-  /// shared_ptr frees it; it holds only values (no plan or service
-  /// references), so teardown order is never a hazard.
+  /// cover + epoch schedule + undelivered surplus + pooled worker
+  /// contexts), threaded through every Sample call. Torn down with the
+  /// session — after eviction or Close, the last in-flight request to
+  /// release the session's shared_ptr frees it; it holds values and its
+  /// pooled contexts' samplers share ownership of the plan's immutable
+  /// indexes (no back-references), so teardown order is never a hazard.
   std::unique_ptr<RevisionState> revision_state_;
 
   /// Last-completed-request stats, readable without mu_ (stats_mu_ only).

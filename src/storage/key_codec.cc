@@ -1,0 +1,40 @@
+#include "storage/key_codec.h"
+
+#include <cstring>
+
+namespace suj {
+
+void AppendRowKey(const Relation& rel, const std::vector<int>& cols,
+                  size_t row, std::string* out) {
+  for (int col : cols) {
+    const auto type = rel.schema().field(static_cast<size_t>(col)).type;
+    out->push_back(static_cast<char>(type));
+    switch (type) {
+      case ValueType::kInt64: {
+        const int64_t v = rel.Int64Column(static_cast<size_t>(col))[row];
+        char buf[8];
+        std::memcpy(buf, &v, 8);
+        out->append(buf, 8);
+        break;
+      }
+      case ValueType::kDouble: {
+        const double v = rel.DoubleColumn(static_cast<size_t>(col))[row];
+        char buf[8];
+        std::memcpy(buf, &v, 8);
+        out->append(buf, 8);
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& v = rel.StringColumn(static_cast<size_t>(col))[row];
+        const uint32_t len = static_cast<uint32_t>(v.size());
+        char buf[4];
+        std::memcpy(buf, &len, 4);
+        out->append(buf, 4);
+        out->append(v);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace suj

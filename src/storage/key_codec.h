@@ -1,0 +1,47 @@
+// KeyCodec: encode a row's join-key projection straight from column
+// storage.
+//
+// `rel.ProjectRow(row, cols).Encode()` materializes a Tuple of Value
+// variants just to throw it away after encoding. Index and projection
+// builds encode every row of a relation, so the hot build loops use this
+// codec instead: it reads the typed column vectors directly and appends
+// the byte encoding into a reusable scratch string. The bytes produced
+// are identical to the Tuple path — the codec is an implementation detail
+// of the same canonical `t.val` convention, not a second encoding.
+
+#ifndef SUJ_STORAGE_KEY_CODEC_H_
+#define SUJ_STORAGE_KEY_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace suj {
+
+/// Appends the canonical encoding of row `row` projected onto `cols`
+/// (byte-identical to `rel.ProjectRow(row, cols).Encode()` appended to
+/// `*out`). `cols` must be valid schema indexes.
+void AppendRowKey(const Relation& rel, const std::vector<int>& cols,
+                  size_t row, std::string* out);
+
+/// Convenience: clears `*scratch`, appends the key, and returns a view of
+/// it via the same string. Usage pattern for probe loops:
+/// \code
+///   std::string scratch;
+///   for (...) {
+///     EncodeRowKey(rel, cols, row, &scratch);
+///     index.LookupEncoded(scratch);
+///   }
+/// \endcode
+inline const std::string& EncodeRowKey(const Relation& rel,
+                                       const std::vector<int>& cols,
+                                       size_t row, std::string* scratch) {
+  scratch->clear();
+  AppendRowKey(rel, cols, row, scratch);
+  return *scratch;
+}
+
+}  // namespace suj
+
+#endif  // SUJ_STORAGE_KEY_CODEC_H_

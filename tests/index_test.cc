@@ -88,6 +88,77 @@ TEST(CompositeIndexTest, EmptyAttributeListFails) {
   EXPECT_FALSE(CompositeIndex::Build(TestRelation(), {}).ok());
 }
 
+TEST(CompositeIndexTest, CsrArraysAgreeWithLookups) {
+  // The raw CSR accessors are what the columnar walk loops read; they
+  // must describe exactly the groups the encoded-key API serves.
+  auto rel = TestRelation();
+  auto index = CompositeIndex::Build(rel, {"a"}).value();
+  const auto& offsets = index->group_offsets();
+  const auto& rows = index->group_rows();
+  ASSERT_EQ(offsets.size(), index->NumKeys() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), rows.size());
+  EXPECT_EQ(rows.size(), rel->num_rows());
+
+  // Every row appears exactly once, in the group its key maps to.
+  std::vector<int> seen(rel->num_rows(), 0);
+  for (uint32_t g = 0; g + 1 < offsets.size(); ++g) {
+    RowSpan span = index->GroupRows(g);
+    EXPECT_EQ(span.data(), rows.data() + offsets[g]);
+    EXPECT_EQ(span.size(), offsets[g + 1] - offsets[g]);
+    for (uint32_t row : span) {
+      ++seen[row];
+      EXPECT_EQ(index->GroupOfEncoded(rel->ProjectRow(row, {0}).Encode()), g);
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  // kNoGroup resolves to the empty span, never a CSR slice.
+  EXPECT_TRUE(index->GroupRows(CompositeIndex::kNoGroup).empty());
+}
+
+TEST(CompositeIndexTest, MapRowsTranslatesRowsToGroups) {
+  // MapRows is the probe-array build: for each row of the probe
+  // relation, the group its projection maps to — kNoGroup for dangling
+  // rows. This is what lets walk loops skip key encoding entirely.
+  auto target = TestRelation();  // keyed on b below
+  auto probe = MakeRelation("p", {"b", "c"},
+                            {{10, 1}, {12, 2}, {99, 3}, {11, 4}})
+                   .value();
+  auto index = CompositeIndex::Build(target, {"b"}).value();
+  auto mapped = index->MapRows(*probe);
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_EQ(mapped->size(), probe->num_rows());
+  for (size_t row = 0; row < probe->num_rows(); ++row) {
+    const uint32_t expected =
+        index->GroupOfEncoded(probe->ProjectRow(row, {0}).Encode());
+    EXPECT_EQ((*mapped)[row], expected) << "row=" << row;
+  }
+  EXPECT_EQ((*mapped)[2], CompositeIndex::kNoGroup) << "dangling b=99";
+
+  // A probe relation missing an indexed attribute fails loudly.
+  auto bad = MakeRelation("q", {"z", "w"}, {{1, 0}}).value();
+  EXPECT_FALSE(index->MapRows(*bad).ok());
+}
+
+TEST(CompositeIndexCacheTest, ProbeArraysAreCachedByIndexAndRelation) {
+  CompositeIndexCache cache;
+  auto target = TestRelation();
+  auto probe = MakeRelation("p", {"a", "b"}, {{1, 10}, {9, 99}}).value();
+  auto index = cache.GetOrBuild(target, {"a"}).value();
+  auto p1 = cache.GetOrBuildProbe(index, probe);
+  auto p2 = cache.GetOrBuildProbe(index, probe);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1->get(), p2->get()) << "same (index, probe) must share";
+  ASSERT_EQ((*p1)->size(), 2u);
+  EXPECT_NE((**p1)[0], CompositeIndex::kNoGroup);
+  EXPECT_EQ((**p1)[1], CompositeIndex::kNoGroup);
+
+  auto other_index = cache.GetOrBuild(target, {"b"}).value();
+  auto p3 = cache.GetOrBuildProbe(other_index, probe);
+  ASSERT_TRUE(p3.ok());
+  EXPECT_NE(p1->get(), p3->get()) << "different index, different array";
+}
+
 TEST(CompositeIndexCacheTest, KeyedByRelationAndAttrs) {
   CompositeIndexCache cache;
   auto rel = TestRelation();

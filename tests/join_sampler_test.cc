@@ -154,6 +154,70 @@ TEST(ExactWeightSamplerTest, PredicateRejectionKeepsUniformity) {
   EXPECT_GT((*sampler)->stats().rejections, 0u);
 }
 
+TEST(ResolveCumulativeDrawTest, InteriorDrawsUseUpperBound) {
+  const std::vector<double> weights = {2.0, 1.0, 3.0};
+  const std::vector<double> cumulative = {2.0, 3.0, 6.0};
+  EXPECT_EQ(ResolveCumulativeDraw(cumulative, weights, 0.0), 0u);
+  EXPECT_EQ(ResolveCumulativeDraw(cumulative, weights, 1.9), 0u);
+  EXPECT_EQ(ResolveCumulativeDraw(cumulative, weights, 2.0), 1u);
+  EXPECT_EQ(ResolveCumulativeDraw(cumulative, weights, 2.5), 1u);
+  EXPECT_EQ(ResolveCumulativeDraw(cumulative, weights, 5.9), 2u);
+}
+
+TEST(ResolveCumulativeDrawTest, BoundaryDrawSkipsZeroWeightTail) {
+  // The regression this helper exists for: u * total can round up to
+  // exactly `total`, and upper_bound then lands one past the end. The
+  // old clamp (min(idx, size - 1)) returned the LAST row — wrong when
+  // trailing rows are dangling (zero weight), because a zero-weight row
+  // yields no join results and must never be drawn. The resolution must
+  // walk back to the last positive-weight row instead.
+  const std::vector<double> weights = {2.0, 1.0, 0.0, 0.0};
+  const std::vector<double> cumulative = {2.0, 3.0, 3.0, 3.0};
+  EXPECT_EQ(ResolveCumulativeDraw(cumulative, weights, 3.0), 1u);
+  // Above-total draws (floating-point overshoot) resolve the same way.
+  EXPECT_EQ(ResolveCumulativeDraw(cumulative, weights, 3.0000001), 1u);
+  // Interior draws never see zero-weight rows anyway: the cumulative
+  // array is flat across them, so upper_bound skips them.
+  EXPECT_EQ(ResolveCumulativeDraw(cumulative, weights, 2.9), 1u);
+
+  // Single positive row with a zero tail.
+  EXPECT_EQ(
+      ResolveCumulativeDraw({5.0, 5.0}, {5.0, 0.0}, 5.0), 0u);
+}
+
+TEST(ExactWeightSamplerTest, ZeroWeightTailRowsAreNeverDrawn) {
+  // End-to-end regression shape: the ROOT relation's trailing rows are
+  // dangling (no matching s rows), so their exact weights are zero and
+  // the root CDF is flat at its tail. Every drawn sample must be a
+  // genuine result tuple on both paths — the old boundary clamp could
+  // select row "r4"/"r5" and descend into an empty candidate set.
+  auto r = MakeRelation("r", {"a", "b"},
+                        {{1, 10}, {2, 10}, {3, 20}, {4, 99}, {5, 99}})
+               .value();
+  auto s = MakeRelation("s", {"b", "c"}, {{10, 1}, {20, 2}, {20, 3}}).value();
+  auto join = JoinSpec::Create("zero_tail", {r, s}).value();
+  CompositeIndexCache cache;
+  auto index = ExactWeightIndex::Build(join, &cache).value();
+  const auto& root_weights = index->weights(0);
+  ASSERT_EQ(root_weights.back(), 0.0) << "fixture must have a zero tail";
+  ASSERT_EQ(root_weights[3], 0.0);
+
+  // Unit-level: a draw at exactly TotalWeight resolves to a positive row.
+  size_t j = ResolveCumulativeDraw(index->root_cumulative(), root_weights,
+                                   index->TotalWeight());
+  EXPECT_GT(root_weights[j], 0.0);
+
+  for (bool columnar : {false, true}) {
+    ExactWeightSampler::Options options;
+    options.columnar = columnar;
+    auto sampler = ExactWeightSampler::Create(index, options).value();
+    ExpectUniform(sampler.get(), join, 20000, columnar ? 104 : 105);
+    EXPECT_EQ(sampler->stats().dead_ends, 0u)
+        << (columnar ? "columnar" : "row")
+        << " path drew a zero-weight root row";
+  }
+}
+
 TEST(OlkenSamplerTest, BoundMatchesExtendedOlkenFormula) {
   auto join = SmallChain();
   CompositeIndexCache cache;

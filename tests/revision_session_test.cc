@@ -3,7 +3,9 @@
 // split-across-calls == one-call byte equality at every worker-thread
 // count, resumption across SampleStream chunks, eviction/teardown while
 // a resumable state is live, worker-context-pool construction counts
-// (once per call, reused across epochs), and state-binding validation.
+// (once per STATE, carried across calls and epochs), the
+// max_revision_surplus cap + high-water instrumentation, and
+// state-binding validation.
 // Runs under the TSan CI job (ctest -L concurrency).
 
 #include <gtest/gtest.h>
@@ -173,6 +175,44 @@ TEST(RevisionSessionTest, EvictionAndCloseLeaveResumableStateUsable) {
   session.reset();
 }
 
+TEST(RevisionSessionTest, SessionSurplusCapIsPlumbedAndReported) {
+  // SessionOptions::max_revision_surplus reaches the sampler, bounds the
+  // surplus the session parks between requests, and surfaces its peak in
+  // the stats snapshot — without changing the split==whole contract.
+  auto sample_all = [](size_t cap, const std::vector<size_t>& chunks) {
+    auto service = MakeService(720);
+    EXPECT_TRUE(service->Prepare("q", MakeJoins(721)).ok());
+    SessionOptions opts;
+    opts.mode = SessionOptions::Mode::kRevision;
+    opts.worker_threads = 2;
+    opts.batch_size = 32;
+    opts.max_revision_surplus = cap;
+    uint64_t sid = service->OpenSession("q", opts).value();
+    std::vector<std::string> out;
+    for (size_t n : chunks) {
+      auto samples = service->Sample(sid, n);
+      EXPECT_TRUE(samples.ok()) << samples.status().ToString();
+      if (!samples.ok()) return std::pair{out, SessionStatsSnapshot{}};
+      auto enc = Encodings(*samples);
+      out.insert(out.end(), enc.begin(), enc.end());
+      auto stats = service->SessionStats(sid).value();
+      EXPECT_LE(stats.revision_buffered, cap);
+      EXPECT_LE(stats.revision_surplus_high_water, cap);
+    }
+    return std::pair{out, service->SessionStats(sid).value()};
+  };
+  auto [whole, whole_stats] = sample_all(64, {300});
+  ASSERT_EQ(whole.size(), 300u);
+  auto [split, split_stats] = sample_all(64, {90, 110, 100});
+  EXPECT_EQ(split, whole);
+  // The peak is observed at request boundaries, so chunking can only
+  // surface MORE peaks — never a higher one than the cap admits.
+  EXPECT_GE(split_stats.revision_surplus_high_water,
+            split_stats.revision_buffered);
+  EXPECT_GE(whole_stats.revision_surplus_high_water,
+            whole_stats.revision_buffered);
+}
+
 TEST(RevisionSessionTest, SessionStatsCloseTheConservationIdentity) {
   auto service = MakeService(700);
   ASSERT_TRUE(service->Prepare("q", MakeJoins(701)).ok());
@@ -241,7 +281,7 @@ std::unique_ptr<UnionSampler> MakeRevisionSampler(CoreFixture& s,
   return UnionSampler::Create(s.joins, {}, s.estimates, {}, opts).value();
 }
 
-TEST(RevisionSessionTest, ResumableBuildsWorkerContextsOncePerCall) {
+TEST(RevisionSessionTest, ResumableBuildsWorkerContextsOncePerState) {
   CoreFixture s = MakeCoreSetup(702);
   const size_t kThreads = 4;
   auto sampler = MakeRevisionSampler(s, kThreads, /*batch_size=*/16);
@@ -262,10 +302,80 @@ TEST(RevisionSessionTest, ResumableBuildsWorkerContextsOncePerCall) {
   ASSERT_TRUE(second.ok()) << second.status().ToString();
   EXPECT_EQ(s.factory_calls, kThreads);
 
-  // Call 3 outruns the buffer and builds one fresh pool.
+  // Call 3 outruns the buffer — the pool carried in the state serves it
+  // without a single new factory invocation. Before the carry, every
+  // generating call rebuilt pool-width contexts (index lookups, sampler
+  // construction) on the request path.
   auto third = sampler->Sample(state.buffered() + 200, rng, state);
   ASSERT_TRUE(third.ok()) << third.status().ToString();
-  EXPECT_EQ(s.factory_calls, 2 * kThreads);
+  EXPECT_EQ(s.factory_calls, kThreads);
+  // parallel_workers counts constructed contexts: once per state, too.
+  EXPECT_EQ(sampler->stats().parallel_workers, kThreads);
+}
+
+TEST(RevisionSessionTest, SurplusCapBoundsBufferAndReportsHighWater) {
+  // max_revision_surplus lowers the epoch ramp's cap until the largest
+  // epoch fits, so the finalized surplus parked between calls can never
+  // exceed the bound; the peak is reported as revision_surplus_high_water.
+  CoreFixture s = MakeCoreSetup(712);
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kRevision;
+  opts.num_threads = 2;
+  opts.batch_size = 16;
+  opts.max_revision_surplus = 32;  // ramp cap 1: epochs of 16 or 32
+  opts.sampler_factory = s.CountingFactory();
+  auto sampler = UnionSampler::Create(s.joins, {}, s.estimates, {}, opts)
+                     .value();
+  RevisionState state;
+  Rng rng = testing::FixedSeedRng(713);
+  for (size_t n : {10u, 100u, 7u, 150u}) {
+    auto samples = sampler->Sample(n, rng, state);
+    ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+    EXPECT_LE(state.buffered(), 32u);
+  }
+  const auto& st = sampler->stats();
+  EXPECT_LE(st.revision_surplus_high_water, 32u);
+  EXPECT_GE(st.revision_surplus_high_water, state.buffered());
+  // Merging propagates the high water as a max, not a sum.
+  UnionSampleStats merged;
+  ASSERT_TRUE(merged.MergeFrom(st).ok());
+  ASSERT_TRUE(merged.MergeFrom(st).ok());
+  EXPECT_EQ(merged.revision_surplus_high_water,
+            st.revision_surplus_high_water);
+}
+
+TEST(RevisionSessionTest, SurplusCapPreservesSplitEqualsWhole) {
+  // The cap is a pure function of the options — never of the call
+  // pattern — so a capped session still delivers the byte-identical
+  // stream under every chunking and thread count.
+  auto run = [](const std::vector<size_t>& chunks, size_t threads) {
+    CoreFixture s = MakeCoreSetup(714);
+    UnionSampler::Options opts;
+    opts.mode = UnionSampler::Mode::kRevision;
+    opts.num_threads = threads;
+    opts.batch_size = 16;
+    opts.max_revision_surplus = 32;
+    opts.sampler_factory = s.CountingFactory();
+    auto sampler = UnionSampler::Create(s.joins, {}, s.estimates, {}, opts)
+                       .value();
+    RevisionState state;
+    Rng rng = testing::FixedSeedRng(715);
+    std::vector<std::string> out;
+    for (size_t n : chunks) {
+      auto samples = sampler->Sample(n, rng, state);
+      EXPECT_TRUE(samples.ok()) << samples.status().ToString();
+      if (!samples.ok()) return out;
+      auto enc = Encodings(*samples);
+      out.insert(out.end(), enc.begin(), enc.end());
+    }
+    return out;
+  };
+  const std::vector<std::string> reference = run({240}, 1);
+  ASSERT_EQ(reference.size(), 240u);
+  for (size_t threads : {1u, 2u, 4u}) {
+    EXPECT_EQ(run({80, 80, 80}, threads), reference) << threads;
+    EXPECT_EQ(run({3, 237}, threads), reference) << threads;
+  }
 }
 
 TEST(RevisionSessionTest, PerCallPathBuildsWorkerContextsOncePerCall) {

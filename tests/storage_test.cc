@@ -7,6 +7,7 @@
 #include "storage/catalog.h"
 #include "storage/relation.h"
 #include "storage/schema.h"
+#include "storage/key_codec.h"
 #include "storage/tuple.h"
 #include "storage/value.h"
 
@@ -169,6 +170,43 @@ TEST(RelationTest, ProjectRow) {
   Tuple p = r->ProjectRow(0, {1});
   ASSERT_EQ(p.size(), 1u);
   EXPECT_EQ(p.value(0), Value::Int64(8));
+}
+
+TEST(KeyCodecTest, ByteIdenticalToTupleEncode) {
+  // The codec is the hot-loop form of ProjectRow(...).Encode(): it must
+  // produce the exact same bytes for every type, row, and column order,
+  // or the columnar indexes would disagree with the row path's probes.
+  RelationBuilder b("r", Schema({{"k", ValueType::kInt64},
+                                 {"name", ValueType::kString},
+                                 {"w", ValueType::kDouble}}));
+  ASSERT_TRUE(b.AppendRow({Value::Int64(1), Value::String("one"),
+                           Value::Double(1.5)})
+                  .ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(-7), Value::String(""),
+                           Value::Double(-0.25)})
+                  .ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(1), Value::String("one|x"),
+                           Value::Double(0.0)})
+                  .ok());
+  RelationPtr r = b.Finish();
+
+  std::string scratch;
+  const std::vector<std::vector<int>> projections = {
+      {0}, {1}, {2}, {0, 1}, {2, 0}, {1, 2, 0}};
+  for (const auto& cols : projections) {
+    for (size_t row = 0; row < r->num_rows(); ++row) {
+      // Scratch reuse across iterations must not leak previous bytes.
+      const std::string& key = EncodeRowKey(*r, cols, row, &scratch);
+      EXPECT_EQ(key, r->ProjectRow(row, cols).Encode())
+          << "row=" << row << " cols=" << cols.size();
+    }
+  }
+
+  // Append form composes into a larger buffer without separators lost.
+  std::string combined = "prefix:";
+  AppendRowKey(*r, {0, 1}, 0, &combined);
+  EXPECT_EQ(combined,
+            "prefix:" + r->ProjectRow(0, {0, 1}).Encode());
 }
 
 TEST(CatalogTest, RegisterAndLookup) {
