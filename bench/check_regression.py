@@ -95,6 +95,15 @@ def main():
                              "must stay 2x faster than cold builds) are "
                              "same-run, same-machine comparisons, so no "
                              "normalization applies. Repeatable.")
+    parser.add_argument("--require-counter", nargs=3, action="append",
+                        default=[], metavar=("KEY", "MIN", "MAX"),
+                        help="assert MIN <= counters[KEY] <= MAX in the "
+                             "CURRENT run's top-level \"counters\" object "
+                             "(bench_loadgen emits one). Use 'inf' for an "
+                             "open upper bound. Gates behavioral "
+                             "invariants the latency entries cannot "
+                             "express: determinism_ok == 1, sheds > 0 "
+                             "under deliberate overload, etc. Repeatable.")
     parser.add_argument("--exclude", default=None,
                         help="regex of benchmark names to drop from the "
                              "comparison entirely. Use for benchmarks whose "
@@ -106,6 +115,28 @@ def main():
 
     baseline = load_times(args.baseline)
     current = load_times(args.current)
+
+    counter_failures = []
+    if args.require_counter:
+        with open(args.current) as f:
+            counters = json.load(f).get("counters", {})
+        for key, lo, hi in args.require_counter:
+            try:
+                lo, hi = float(lo), float(hi)
+            except ValueError:
+                print(f"error: --require-counter bounds '{lo}'/'{hi}' are "
+                      "not numbers", file=sys.stderr)
+                sys.exit(2)
+            if key not in counters:
+                print(f"require-counter: {key} MISSING from current run")
+                counter_failures.append(key)
+                continue
+            value = float(counters[key])
+            verdict = "ok" if lo <= value <= hi else "VIOLATION"
+            print(f"require-counter: {key} = {value:g} "
+                  f"(need [{lo:g}, {hi:g}])  {verdict}")
+            if verdict != "ok":
+                counter_failures.append(key)
 
     speedup_failures = []
     for fast, slow, minimum in args.require_speedup:
@@ -183,6 +214,10 @@ def main():
     if speedup_failures:
         print(f"FAIL: {len(speedup_failures)} --require-speedup "
               f"violation(s): " + ", ".join(speedup_failures))
+        sys.exit(1)
+    if counter_failures:
+        print(f"FAIL: {len(counter_failures)} --require-counter "
+              f"violation(s): " + ", ".join(counter_failures))
         sys.exit(1)
     print("PASS: no perf regression beyond tolerance")
     sys.exit(0)

@@ -1,0 +1,424 @@
+// Closed-loop multi-tenant load generator for SujServer.
+//
+// Spawns (by default) a SujServer in-process on an ephemeral port, then
+// drives it over real TCP loopback with T tenants x S sessions each, a
+// mix of closed-loop workers (next request the instant the previous
+// response lands) and open-arrival workers (requests paced on a fixed
+// schedule, issued late rather than skipped when the server is slow —
+// the arrival pattern that exposes queueing). Request sizes come from a
+// per-worker RNG substream of --seed, so the offered load is a pure
+// function of the flags.
+//
+// Before the load phase, a determinism check opens one wire session and
+// replays the same request sizes on an in-process SamplingService with
+// the same seed: the wire bytes must equal the in-process bytes exactly
+// (the protocol ships canonical tuple encodings, so this is memcmp).
+//
+// Output: google-benchmark-compatible JSON on --out (latency percentiles
+// and mean as `real_time` ns entries, gateable by check_regression.py)
+// plus a top-level "counters" object (requests, sheds, determinism) for
+// check_regression.py --require-counter.
+//
+// Quota-exceeded requests answer ResourceExhausted and are COUNTED, not
+// retried and never fatal: under deliberate overload (e.g. --tenant-rps
+// below the offered rate) the run must finish with sheds > 0 and
+// latency percentiles measured over the admitted requests only.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/sampling_service.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+using suj::Result;
+using suj::SamplingService;
+using suj::ServiceOptions;
+using suj::Status;
+using suj::StatusCode;
+using suj::net::OpenSessionRequest;
+using suj::net::ServerOptions;
+using suj::net::SujClient;
+using suj::net::SujServer;
+
+struct Config {
+  int tenants = 2;
+  int sessions_per_tenant = 2;
+  int requests_per_session = 50;
+  int min_batch = 8;
+  int max_batch = 64;
+  uint8_t mode = 0;  // 0 oracle, 2 revision
+  uint64_t seed = 42;
+  /// Per-tenant request quota (0 = unlimited). Setting this below the
+  /// offered rate is how CI manufactures a shedding overload.
+  double tenant_rps = 0;
+  double tenant_burst = 16;
+  /// Open-arrival workers aim at this many requests/second each
+  /// (0 = every worker runs closed-loop).
+  double open_rps = 0;
+  /// Fraction of workers on the open-arrival schedule.
+  double open_fraction = 0.5;
+  size_t max_inflight = 4;
+  size_t max_admission_queue = 8;
+  std::string out;  // JSON path; empty = stdout
+  uint64_t master_rows = 40;
+};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The deterministic request-size schedule of one worker.
+std::vector<size_t> MakeSchedule(const Config& config, int worker_index) {
+  suj::Rng rng(config.seed);
+  for (int i = 0; i <= worker_index; ++i) rng.Jump();
+  std::vector<size_t> sizes;
+  sizes.reserve(config.requests_per_session);
+  for (int i = 0; i < config.requests_per_session; ++i) {
+    sizes.push_back(static_cast<size_t>(
+        rng.UniformRange(config.min_batch, config.max_batch)));
+  }
+  return sizes;
+}
+
+double Percentile(std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]);
+}
+
+struct WorkerResult {
+  std::vector<int64_t> latencies_ns;  // admitted requests only
+  uint64_t requests = 0;
+  uint64_t shed = 0;
+  uint64_t tuples = 0;
+  Status fatal;  // non-quota failure aborts the worker
+};
+
+void RunWorker(const Config& config, uint16_t port, int worker_index,
+               const std::string& tenant, WorkerResult* out) {
+  auto run = [&]() -> Status {
+    SUJ_ASSIGN_OR_RETURN(SujClient client,
+                         SujClient::Connect("127.0.0.1", port, tenant));
+    OpenSessionRequest open;
+    open.query = "bench";
+    open.mode = config.mode;
+    SUJ_ASSIGN_OR_RETURN(uint64_t session, client.OpenSession(open));
+
+    const auto schedule = MakeSchedule(config, worker_index);
+    const bool open_loop =
+        config.open_rps > 0 &&
+        worker_index <
+            static_cast<int>(config.open_fraction *
+                             config.tenants * config.sessions_per_tenant);
+    const int64_t interval_ns =
+        open_loop ? static_cast<int64_t>(1e9 / config.open_rps) : 0;
+    int64_t next_arrival = NowNs();
+
+    for (size_t n : schedule) {
+      if (open_loop) {
+        // Paced arrivals: wait out the schedule, but a late request is
+        // issued immediately (queueing shows up as latency, not as a
+        // thinner schedule).
+        int64_t now = NowNs();
+        if (next_arrival > now) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(next_arrival - now));
+        }
+        next_arrival += interval_ns;
+      }
+      ++out->requests;
+      const int64_t start = NowNs();
+      auto batch = client.Sample(session, n, /*wait=*/true);
+      if (!batch.ok()) {
+        if (batch.status().code() == StatusCode::kResourceExhausted) {
+          ++out->shed;  // quota/queue shed: expected under overload
+          continue;
+        }
+        return batch.status();
+      }
+      out->latencies_ns.push_back(NowNs() - start);
+      out->tuples += batch.value().size();
+    }
+    return client.CloseSession(session);
+  };
+  out->fatal = run();
+}
+
+/// Wire bytes vs in-process bytes for identical (seed, rank, sizes).
+/// Runs against a FRESH server/service pair so session ranks line up.
+Result<bool> CheckWireDeterminism(const Config& config,
+                                  suj::net::SpecResolver resolver,
+                                  size_t worker_threads) {
+  ServiceOptions service_options;
+  service_options.seed = config.seed + 1;
+  SUJ_ASSIGN_OR_RETURN(std::unique_ptr<SamplingService> served,
+                       SamplingService::Create(service_options));
+  SUJ_ASSIGN_OR_RETURN(std::unique_ptr<SamplingService> baseline,
+                       SamplingService::Create(service_options));
+  SujServer server(served.get(), resolver, ServerOptions());
+  SUJ_RETURN_NOT_OK(server.Start());
+
+  SUJ_ASSIGN_OR_RETURN(
+      SujClient client,
+      SujClient::Connect("127.0.0.1", server.port(), "determinism"));
+  SUJ_RETURN_NOT_OK(client.Prepare("bench").status());
+  SUJ_ASSIGN_OR_RETURN(std::vector<suj::JoinSpecPtr> joins,
+                       resolver("bench"));
+  SUJ_RETURN_NOT_OK(baseline->Prepare("bench", std::move(joins)).status());
+
+  OpenSessionRequest open;
+  open.query = "bench";
+  open.mode = config.mode;
+  open.worker_threads = static_cast<uint32_t>(worker_threads);
+  SUJ_ASSIGN_OR_RETURN(uint64_t wire_session, client.OpenSession(open));
+
+  SUJ_ASSIGN_OR_RETURN(suj::SessionOptions session_options,
+                       open.ToSessionOptions());
+  SUJ_ASSIGN_OR_RETURN(uint64_t local_session,
+                       baseline->OpenSession("bench", session_options));
+
+  for (size_t n : {11u, 64u, 3u, 96u}) {
+    SUJ_ASSIGN_OR_RETURN(std::vector<std::string> wire,
+                         client.Sample(wire_session, n));
+    SUJ_ASSIGN_OR_RETURN(std::vector<suj::Tuple> local,
+                         baseline->Sample(local_session, n));
+    if (wire.size() != local.size()) return false;
+    for (size_t i = 0; i < local.size(); ++i) {
+      if (wire[i] != local[i].Encode()) return false;
+    }
+  }
+  server.Stop();
+  return true;
+}
+
+void WriteJson(const Config& config, std::ostream& os,
+               std::vector<int64_t>& latencies, double wall_seconds,
+               uint64_t requests, uint64_t shed, uint64_t tuples,
+               bool determinism_ok, const suj::net::ServerStatsResponse& s) {
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p95 = Percentile(latencies, 0.95);
+  const double p99 = Percentile(latencies, 0.99);
+  double mean = 0;
+  for (int64_t v : latencies) mean += static_cast<double>(v);
+  mean = latencies.empty() ? 0 : mean / latencies.size();
+  const uint64_t admitted = requests - shed;
+  // Throughput, gateable as a time: ns of wall clock per ADMITTED
+  // request (smaller = faster, like every other benchmark entry).
+  const double ns_per_request =
+      admitted > 0 ? wall_seconds * 1e9 / admitted : 0;
+
+  auto entry = [&](const std::string& name, double ns, bool last = false) {
+    os << "    {\"name\": \"" << name
+       << "\", \"run_type\": \"iteration\", \"iterations\": 1, "
+          "\"real_time\": "
+       << ns << ", \"cpu_time\": " << ns << ", \"time_unit\": \"ns\"}"
+       << (last ? "\n" : ",\n");
+  };
+  os << "{\n  \"context\": {\"executable\": \"bench_loadgen\", \"seed\": "
+     << config.seed << "},\n  \"benchmarks\": [\n";
+  entry("loadgen/latency_p50", p50);
+  entry("loadgen/latency_p95", p95);
+  entry("loadgen/latency_p99", p99);
+  entry("loadgen/latency_mean", mean);
+  entry("loadgen/ns_per_request", ns_per_request, /*last=*/true);
+  os << "  ],\n  \"counters\": {\n"
+     << "    \"requests_total\": " << requests << ",\n"
+     << "    \"requests_admitted\": " << admitted << ",\n"
+     << "    \"requests_shed\": " << shed << ",\n"
+     << "    \"tuples_total\": " << tuples << ",\n"
+     << "    \"throughput_rps\": "
+     << (wall_seconds > 0 ? admitted / wall_seconds : 0) << ",\n"
+     << "    \"determinism_ok\": " << (determinism_ok ? 1 : 0) << ",\n"
+     << "    \"server_quota_shed\": " << s.quota_shed_total << ",\n"
+     << "    \"server_queue_overflows\": " << s.queue_overflows << ",\n"
+     << "    \"server_requests\": " << s.requests_served << "\n"
+     << "  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    auto arg = std::string(argv[i]);
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout <<
+          "bench_loadgen: closed-loop multi-tenant load generator over the\n"
+          "TCP front end (spawns its own SujServer on loopback).\n\n"
+          "  --tenants N        tenants (default " << config.tenants << ")\n"
+          "  --sessions N       sessions per tenant (default "
+              << config.sessions_per_tenant << ")\n"
+          "  --requests N       requests per session (default "
+              << config.requests_per_session << ")\n"
+          "  --min-batch N      min tuples per request (default "
+              << config.min_batch << ")\n"
+          "  --max-batch N      max tuples per request (default "
+              << config.max_batch << ")\n"
+          "  --mode M           session mode: 0 online, 1 oracle, "
+              "2 revision (default " << int(config.mode) << ")\n"
+          "  --seed S           schedule seed (default " << config.seed
+              << ")\n"
+          "  --tenant-rps R     per-tenant token-bucket rate, 0 = unlimited "
+              "(default " << config.tenant_rps << ")\n"
+          "  --tenant-burst B   per-tenant bucket burst (default "
+              << config.tenant_burst << ")\n"
+          "  --open-rps R       per-worker open-arrival pacing rate "
+              "(default " << config.open_rps << ")\n"
+          "  --open-fraction F  fraction of workers paced open-loop "
+              "(default " << config.open_fraction << ")\n"
+          "  --max-inflight N   global admission slots (default "
+              << config.max_inflight << ")\n"
+          "  --max-queue N      bounded admission queue depth (default "
+              << config.max_admission_queue << ")\n"
+          "  --master-rows N    synthetic workload size (default "
+              << config.master_rows << ")\n"
+          "  --out PATH         write google-benchmark JSON here\n";
+      return 0;
+    }
+    if (arg == "--tenants") config.tenants = std::stoi(next());
+    else if (arg == "--sessions") config.sessions_per_tenant = std::stoi(next());
+    else if (arg == "--requests") config.requests_per_session = std::stoi(next());
+    else if (arg == "--min-batch") config.min_batch = std::stoi(next());
+    else if (arg == "--max-batch") config.max_batch = std::stoi(next());
+    else if (arg == "--mode") config.mode = static_cast<uint8_t>(std::stoi(next()));
+    else if (arg == "--seed") config.seed = std::stoull(next());
+    else if (arg == "--tenant-rps") config.tenant_rps = std::stod(next());
+    else if (arg == "--tenant-burst") config.tenant_burst = std::stod(next());
+    else if (arg == "--open-rps") config.open_rps = std::stod(next());
+    else if (arg == "--open-fraction") config.open_fraction = std::stod(next());
+    else if (arg == "--max-inflight") config.max_inflight = std::stoul(next());
+    else if (arg == "--max-queue") config.max_admission_queue = std::stoul(next());
+    else if (arg == "--master-rows") config.master_rows = std::stoull(next());
+    else if (arg == "--out") config.out = next();
+    else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  suj::net::SpecResolver resolver =
+      [&config](const std::string& name)
+      -> Result<std::vector<suj::JoinSpecPtr>> {
+    if (name != "bench") return Status::NotFound("unknown query");
+    suj::workloads::SyntheticChainOptions options;
+    options.master_rows = config.master_rows;
+    options.seed = config.seed;
+    return suj::workloads::MakeOverlappingChains(options);
+  };
+
+  // Determinism gate first (fresh servers, ranks line up), at 1 and 4
+  // server worker threads.
+  bool determinism_ok = true;
+  for (size_t threads : {1u, 4u}) {
+    auto check = CheckWireDeterminism(config, resolver, threads);
+    if (!check.ok()) {
+      std::cerr << "determinism check failed to run: "
+                << check.status().ToString() << "\n";
+      return 1;
+    }
+    if (!check.value()) {
+      std::cerr << "DETERMINISM VIOLATION: wire bytes != in-process bytes "
+                   "at worker_threads="
+                << threads << "\n";
+      determinism_ok = false;
+    }
+  }
+
+  // The measured load phase.
+  ServiceOptions service_options;
+  service_options.seed = config.seed;
+  service_options.max_inflight = config.max_inflight;
+  service_options.max_admission_queue = config.max_admission_queue;
+  service_options.max_sessions =
+      static_cast<size_t>(config.tenants) * config.sessions_per_tenant + 4;
+  auto service = SamplingService::Create(service_options);
+  if (!service.ok()) {
+    std::cerr << service.status().ToString() << "\n";
+    return 1;
+  }
+  ServerOptions server_options;
+  server_options.max_connections =
+      static_cast<size_t>(config.tenants) * config.sessions_per_tenant + 4;
+  server_options.default_quota.requests_per_second = config.tenant_rps;
+  server_options.default_quota.burst = config.tenant_burst;
+  SujServer server(service.value().get(), resolver, server_options);
+  if (auto started = server.Start(); !started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+  {
+    // One bootstrap connection pays the plan build outside the timed run.
+    auto bootstrap =
+        SujClient::Connect("127.0.0.1", server.port(), "bootstrap");
+    if (!bootstrap.ok() || !bootstrap.value().Prepare("bench").ok()) {
+      std::cerr << "bootstrap Prepare failed\n";
+      return 1;
+    }
+  }
+
+  const int workers = config.tenants * config.sessions_per_tenant;
+  std::vector<WorkerResult> results(workers);
+  std::vector<std::thread> threads;
+  const int64_t t0 = NowNs();
+  for (int w = 0; w < workers; ++w) {
+    const std::string tenant = "tenant" + std::to_string(w % config.tenants);
+    threads.emplace_back(RunWorker, std::cref(config), server.port(), w,
+                         tenant, &results[w]);
+  }
+  for (auto& t : threads) t.join();
+  const double wall_seconds = (NowNs() - t0) * 1e-9;
+
+  std::vector<int64_t> latencies;
+  uint64_t requests = 0, shed = 0, tuples = 0;
+  for (const auto& r : results) {
+    if (!r.fatal.ok()) {
+      std::cerr << "worker failed: " << r.fatal.ToString() << "\n";
+      return 1;
+    }
+    latencies.insert(latencies.end(), r.latencies_ns.begin(),
+                     r.latencies_ns.end());
+    requests += r.requests;
+    shed += r.shed;
+    tuples += r.tuples;
+  }
+  auto server_stats = server.StatsSnapshot();
+  server.Stop();
+
+  if (!config.out.empty()) {
+    std::ofstream f(config.out);
+    WriteJson(config, f, latencies, wall_seconds, requests, shed, tuples,
+              determinism_ok, server_stats);
+  } else {
+    WriteJson(config, std::cout, latencies, wall_seconds, requests, shed,
+              tuples, determinism_ok, server_stats);
+  }
+  std::cerr << "loadgen: " << requests << " requests (" << shed
+            << " shed), " << tuples << " tuples in " << wall_seconds
+            << "s; determinism " << (determinism_ok ? "OK" : "VIOLATED")
+            << "\n";
+  return determinism_ok ? 0 : 1;
+}

@@ -25,6 +25,11 @@ enum class StatusCode {
   /// the request may succeed if retried after load drains. The service
   /// layer's backpressure signal.
   kResourceExhausted,
+  /// The serving endpoint is going away (shutdown/drain) or the peer hung
+  /// up; retrying on THIS connection cannot succeed, but another endpoint
+  /// or a reconnect may. Distinct from kResourceExhausted so clients can
+  /// tell "back off and retry here" from "re-resolve and reconnect".
+  kUnavailable,
 };
 
 /// \brief Outcome of an operation that can fail.
@@ -57,6 +62,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

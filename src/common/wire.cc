@@ -1,0 +1,116 @@
+#include "common/wire.h"
+
+#include <cstring>
+
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace suj {
+
+uint8_t StatusCodeToWire(StatusCode code) {
+  // StatusCode is already a dense enum starting at 0; pin the mapping
+  // explicitly so reordering the enum can never silently change the
+  // protocol.
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kOutOfRange:
+      return 3;
+    case StatusCode::kFailedPrecondition:
+      return 4;
+    case StatusCode::kUnimplemented:
+      return 5;
+    case StatusCode::kInternal:
+      return 6;
+    case StatusCode::kResourceExhausted:
+      return 7;
+    case StatusCode::kUnavailable:
+      return 8;
+  }
+  return 6;  // kInternal
+}
+
+StatusCode StatusCodeFromWire(uint8_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kOutOfRange;
+    case 4:
+      return StatusCode::kFailedPrecondition;
+    case 5:
+      return StatusCode::kUnimplemented;
+    case 6:
+      return StatusCode::kInternal;
+    case 7:
+      return StatusCode::kResourceExhausted;
+    case 8:
+      return StatusCode::kUnavailable;
+    default:
+      return StatusCode::kInternal;
+  }
+}
+
+Result<Tuple> DecodeTuple(std::string_view encoded) {
+  // Mirrors Value::EncodeTo: type tag byte, then a fixed 8-byte payload
+  // (INT64/DOUBLE, host bit pattern — the storage encoding is defined in
+  // memcpy terms, and the protocol inherits it verbatim so wire bytes
+  // stay comparable to Tuple::Encode()) or u32 length + string bytes.
+  std::vector<Value> values;
+  size_t pos = 0;
+  while (pos < encoded.size()) {
+    uint8_t tag = static_cast<uint8_t>(encoded[pos++]);
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kInt64: {
+        if (encoded.size() - pos < 8) {
+          return Status::InvalidArgument("truncated INT64 in tuple encoding");
+        }
+        int64_t v;
+        std::memcpy(&v, encoded.data() + pos, 8);
+        pos += 8;
+        values.push_back(Value::Int64(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        if (encoded.size() - pos < 8) {
+          return Status::InvalidArgument("truncated DOUBLE in tuple encoding");
+        }
+        double v;
+        std::memcpy(&v, encoded.data() + pos, 8);
+        pos += 8;
+        values.push_back(Value::Double(v));
+        break;
+      }
+      case ValueType::kString: {
+        if (encoded.size() - pos < 4) {
+          return Status::InvalidArgument(
+              "truncated STRING length in tuple encoding");
+        }
+        uint32_t len;
+        std::memcpy(&len, encoded.data() + pos, 4);
+        pos += 4;
+        if (encoded.size() - pos < len) {
+          return Status::InvalidArgument("truncated STRING in tuple encoding");
+        }
+        values.push_back(Value::String(std::string(encoded.substr(pos, len))));
+        pos += len;
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unknown value type tag " +
+                                       std::to_string(tag) +
+                                       " in tuple encoding");
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+}  // namespace suj

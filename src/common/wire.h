@@ -1,0 +1,155 @@
+// Wire codec primitives: explicit little-endian serialization for the
+// net layer's length-prefixed binary protocol (net/protocol.h).
+//
+// WireWriter appends fixed-width integers, doubles, and length-prefixed
+// byte strings to a growing buffer; WireReader parses the same encoding
+// with bounds checking and returns Status (never reads past the end, so
+// a malformed or truncated frame from an untrusted peer degrades into
+// InvalidArgument, not undefined behavior). Byte order is fixed
+// little-endian regardless of host: two machines always agree on the
+// encoding, and on LE hosts the shifts compile down to plain loads.
+//
+// Tuples cross the wire in their canonical storage encoding
+// (Tuple::Encode(), the paper's `t.val`): it is self-delimiting and
+// injective, so the bytes a client receives are directly comparable to
+// in-process output — the wire determinism tests compare raw bytes.
+// DecodeTuple is the inverse, for clients that want Values back.
+
+#ifndef SUJ_COMMON_WIRE_H_
+#define SUJ_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace suj {
+
+/// \brief Appends little-endian primitives to a byte buffer.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) {
+    char buf[4];
+    for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)));
+    out_->append(buf, 4);
+  }
+  void PutU64(uint64_t v) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)));
+    out_->append(buf, 8);
+  }
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    PutU64(bits);
+  }
+  /// Length-prefixed bytes (u32 length + raw payload).
+  void PutBytes(std::string_view bytes) {
+    PutU32(static_cast<uint32_t>(bytes.size()));
+    out_->append(bytes.data(), bytes.size());
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// \brief Bounds-checked reader over one received payload.
+///
+/// Every getter returns InvalidArgument instead of reading past the end;
+/// callers finish with ExpectDone() to reject trailing garbage.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8() {
+    SUJ_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint32_t> GetU32() {
+    SUJ_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> GetU64() {
+    SUJ_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  Result<double> GetDouble() {
+    auto bits = GetU64();
+    if (!bits.ok()) return bits.status();
+    double v;
+    uint64_t b = *bits;
+    std::memcpy(&v, &b, 8);
+    return v;
+  }
+  /// Length-prefixed bytes; the view aliases the reader's buffer.
+  Result<std::string_view> GetBytes() {
+    auto len = GetU32();
+    if (!len.ok()) return len.status();
+    SUJ_RETURN_NOT_OK(Need(*len));
+    std::string_view out = data_.substr(pos_, *len);
+    pos_ += *len;
+    return out;
+  }
+  Result<std::string> GetString() {
+    auto bytes = GetBytes();
+    if (!bytes.ok()) return bytes.status();
+    return std::string(*bytes);
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  /// Rejects payloads longer than their message's fields.
+  Status ExpectDone() const {
+    if (pos_ != data_.size()) {
+      return Status::InvalidArgument(
+          "wire payload has " + std::to_string(remaining()) +
+          " trailing byte(s)");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) const {
+    if (data_.size() - pos_ < n) {
+      return Status::InvalidArgument("wire payload truncated: need " +
+                                     std::to_string(n) + " byte(s), have " +
+                                     std::to_string(data_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// StatusCode <-> wire byte. Unknown wire bytes decode to kInternal
+/// rather than failing: a newer peer's codes must not brick an older one.
+uint8_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t wire);
+
+class Tuple;  // storage/tuple.h
+
+/// Parses one canonical tuple encoding (Tuple::Encode()) back into
+/// values. Inverse of the storage encoding: `DecodeTuple(t.Encode())`
+/// equals `t` and re-encodes to the same bytes.
+Result<Tuple> DecodeTuple(std::string_view encoded);
+
+}  // namespace suj
+
+#endif  // SUJ_COMMON_WIRE_H_

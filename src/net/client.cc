@@ -1,0 +1,141 @@
+#include "net/client.h"
+
+namespace suj {
+namespace net {
+
+Result<SujClient> SujClient::Connect(const std::string& host, uint16_t port,
+                                     const std::string& tenant) {
+  return Connect(host, port, tenant, Options());
+}
+
+Result<SujClient> SujClient::Connect(const std::string& host, uint16_t port,
+                                     const std::string& tenant,
+                                     Options options) {
+  SUJ_ASSIGN_OR_RETURN(TcpConn conn, ConnectTcp(host, port));
+  SujClient client(std::move(conn), options);
+  HelloRequest hello;
+  hello.version = kProtocolVersion;
+  hello.tenant = tenant;
+  SUJ_ASSIGN_OR_RETURN(
+      Frame rsp, client.Call(MessageType::kHello, hello.Encode(),
+                             MessageType::kStatus));
+  SUJ_ASSIGN_OR_RETURN(StatusPayload payload,
+                       StatusPayload::Decode(rsp.body));
+  SUJ_RETURN_NOT_OK(payload.ToStatus());
+  return client;
+}
+
+Result<Frame> SujClient::Call(MessageType type, const std::string& body,
+                              MessageType expected) {
+  if (!conn_.valid()) return Status::Unavailable("client is disconnected");
+  SUJ_RETURN_NOT_OK(WriteFrame(conn_, type, body));
+  SUJ_ASSIGN_OR_RETURN(Frame rsp,
+                       ReadFrame(conn_, options_.max_frame_bytes));
+  if (rsp.type == expected) return rsp;
+  if (rsp.type == MessageType::kStatus) {
+    // The server answered with an error instead of the typed response.
+    SUJ_ASSIGN_OR_RETURN(StatusPayload payload,
+                         StatusPayload::Decode(rsp.body));
+    Status status = payload.ToStatus();
+    if (!status.ok()) return status;
+    return rsp;  // expected == kStatus handled above; an OK ack
+  }
+  return Status::Internal("protocol violation: expected message type " +
+                          std::to_string(static_cast<int>(expected)) +
+                          ", got " +
+                          std::to_string(static_cast<int>(rsp.type)));
+}
+
+Result<PrepareResponse> SujClient::Prepare(const std::string& query) {
+  PrepareRequest request;
+  request.query = query;
+  SUJ_ASSIGN_OR_RETURN(Frame rsp,
+                       Call(MessageType::kPrepare, request.Encode(),
+                            MessageType::kPrepareRsp));
+  return PrepareResponse::Decode(rsp.body);
+}
+
+Result<uint64_t> SujClient::OpenSession(const OpenSessionRequest& request) {
+  SUJ_ASSIGN_OR_RETURN(Frame rsp,
+                       Call(MessageType::kOpenSession, request.Encode(),
+                            MessageType::kOpenSessionRsp));
+  SUJ_ASSIGN_OR_RETURN(OpenSessionResponse decoded,
+                       OpenSessionResponse::Decode(rsp.body));
+  return decoded.session_id;
+}
+
+Result<std::vector<std::string>> SujClient::Sample(uint64_t session_id,
+                                                   uint64_t n, bool wait) {
+  SampleRequest request;
+  request.session_id = session_id;
+  request.n = n;
+  request.wait = wait;
+  SUJ_ASSIGN_OR_RETURN(Frame rsp,
+                       Call(MessageType::kSample, request.Encode(),
+                            MessageType::kSampleRsp));
+  SUJ_ASSIGN_OR_RETURN(TupleChunk chunk, TupleChunk::Decode(rsp.body));
+  return std::move(chunk.encoded_tuples);
+}
+
+Status SujClient::StreamSample(
+    uint64_t session_id, uint64_t total, uint32_t chunk_size,
+    const std::function<Status(const TupleChunk&)>& on_chunk) {
+  if (!conn_.valid()) return Status::Unavailable("client is disconnected");
+  StreamSampleRequest request;
+  request.session_id = session_id;
+  request.total = total;
+  request.chunk_size = chunk_size;
+  SUJ_RETURN_NOT_OK(
+      WriteFrame(conn_, MessageType::kStreamSample, request.Encode()));
+
+  Status callback_status;  // first non-OK from on_chunk; frames drain on
+  for (;;) {
+    SUJ_ASSIGN_OR_RETURN(Frame frame,
+                         ReadFrame(conn_, options_.max_frame_bytes));
+    if (frame.type == MessageType::kStreamChunk) {
+      if (!callback_status.ok()) continue;  // draining after abort
+      SUJ_ASSIGN_OR_RETURN(TupleChunk chunk, TupleChunk::Decode(frame.body));
+      callback_status = on_chunk(chunk);
+      continue;
+    }
+    if (frame.type == MessageType::kStreamEnd ||
+        frame.type == MessageType::kStatus) {
+      SUJ_ASSIGN_OR_RETURN(StatusPayload payload,
+                           StatusPayload::Decode(frame.body));
+      SUJ_RETURN_NOT_OK(payload.ToStatus());
+      return callback_status;
+    }
+    return Status::Internal("protocol violation: unexpected type " +
+                            std::to_string(static_cast<int>(frame.type)) +
+                            " inside a stream");
+  }
+}
+
+Status SujClient::CloseSession(uint64_t session_id) {
+  CloseSessionRequest request;
+  request.session_id = session_id;
+  SUJ_ASSIGN_OR_RETURN(Frame rsp,
+                       Call(MessageType::kCloseSession, request.Encode(),
+                            MessageType::kStatus));
+  SUJ_ASSIGN_OR_RETURN(StatusPayload payload,
+                       StatusPayload::Decode(rsp.body));
+  return payload.ToStatus();
+}
+
+Result<SessionStatsResponse> SujClient::SessionStats(uint64_t session_id) {
+  SessionStatsRequest request;
+  request.session_id = session_id;
+  SUJ_ASSIGN_OR_RETURN(Frame rsp,
+                       Call(MessageType::kSessionStats, request.Encode(),
+                            MessageType::kSessionStatsRsp));
+  return SessionStatsResponse::Decode(rsp.body);
+}
+
+Result<ServerStatsResponse> SujClient::ServerStats() {
+  SUJ_ASSIGN_OR_RETURN(Frame rsp, Call(MessageType::kServerStats, "",
+                                       MessageType::kServerStatsRsp));
+  return ServerStatsResponse::Decode(rsp.body);
+}
+
+}  // namespace net
+}  // namespace suj

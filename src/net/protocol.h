@@ -1,0 +1,247 @@
+// The suj wire protocol: length-prefixed binary frames over TCP.
+//
+// Frame layout (all integers little-endian, common/wire.h):
+//
+//   u32 frame_len        length of everything after this field
+//   u8  msg_type         MessageType
+//   ... body             per-message fields (see the structs below)
+//
+// A connection speaks strict request/response: the client sends Hello
+// once (protocol version + tenant identity), then one request at a
+// time. Every request gets exactly one response frame — except
+// StreamSample, which answers with zero or more StreamChunk frames
+// followed by one StreamEnd. Errors come back as a Status frame (or as
+// StreamEnd's status mid-stream); the connection stays usable after an
+// error response, so one bad request does not cost the client its
+// session affinity.
+//
+// Tuples travel as their canonical storage encoding (Tuple::Encode(),
+// the paper's `t.val`), length-prefixed per tuple. This makes the wire
+// bytes directly comparable with in-process sampler output — the
+// determinism contract "wire == in-process, byte for byte" is testable
+// without any re-encoding step.
+//
+// Frame length is bounded (ServerOptions::max_frame_bytes on the
+// server, kDefaultMaxFrame here): a malformed or hostile length prefix
+// fails fast with InvalidArgument instead of allocating gigabytes.
+
+#ifndef SUJ_NET_PROTOCOL_H_
+#define SUJ_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/wire.h"
+#include "net/socket.h"
+#include "service/session.h"
+
+namespace suj {
+namespace net {
+
+/// Bumped on any incompatible change; Hello carries it and the server
+/// rejects mismatches outright (no negotiation — client and server ship
+/// from one tree).
+constexpr uint32_t kProtocolVersion = 1;
+
+/// Default ceiling on one frame. Large sample responses are chunked well
+/// below this by the stream chunk size; a frame that claims to be bigger
+/// is a protocol violation, not a big request.
+constexpr uint32_t kDefaultMaxFrame = 16u << 20;  // 16 MiB
+
+enum class MessageType : uint8_t {
+  // client -> server
+  kHello = 1,
+  kPrepare = 2,
+  kOpenSession = 3,
+  kSample = 4,
+  kStreamSample = 5,
+  kCloseSession = 6,
+  kSessionStats = 7,
+  kServerStats = 8,
+  // server -> client
+  kStatus = 16,       ///< generic ack / error (code + message)
+  kPrepareRsp = 17,
+  kOpenSessionRsp = 18,
+  kSampleRsp = 19,    ///< one Sample's tuples
+  kStreamChunk = 20,  ///< one chunk of a StreamSample
+  kStreamEnd = 21,    ///< terminates a StreamSample (ok or error)
+  kSessionStatsRsp = 22,
+  kServerStatsRsp = 23,
+};
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// Writes one frame (type + body) to the connection.
+Status WriteFrame(TcpConn& conn, MessageType type, const std::string& body);
+
+/// Reads one frame. `max_frame` bounds the advertised length.
+/// kUnavailable when the peer hung up cleanly between frames.
+struct Frame {
+  MessageType type;
+  std::string body;
+};
+Result<Frame> ReadFrame(TcpConn& conn, uint32_t max_frame = kDefaultMaxFrame);
+
+// ---------------------------------------------------------------------------
+// Messages. Each struct encodes its body only (the type byte lives in
+// the frame); Decode validates and rejects trailing bytes.
+
+struct HelloRequest {
+  uint32_t version = kProtocolVersion;
+  std::string tenant;
+
+  std::string Encode() const;
+  static Result<HelloRequest> Decode(std::string_view body);
+};
+
+struct PrepareRequest {
+  std::string query;
+
+  std::string Encode() const;
+  static Result<PrepareRequest> Decode(std::string_view body);
+};
+
+struct PrepareResponse {
+  uint64_t plan_id = 0;
+  double build_seconds = 0;
+  uint64_t approx_memory_bytes = 0;
+
+  std::string Encode() const;
+  static Result<PrepareResponse> Decode(std::string_view body);
+};
+
+struct OpenSessionRequest {
+  std::string query;
+  /// Mirrors SessionOptions: mode (0 oracle, 1 online, 2 revision),
+  /// executor width, batch size, and the resumable-revision surplus cap
+  /// — the remote client controls the session's protocol exactly like
+  /// an in-process caller would.
+  uint8_t mode = 0;
+  uint32_t worker_threads = 1;
+  uint32_t batch_size = 64;
+  uint64_t max_revision_surplus = 0;
+
+  std::string Encode() const;
+  static Result<OpenSessionRequest> Decode(std::string_view body);
+  /// Maps onto the service-layer options struct (validating `mode`).
+  Result<SessionOptions> ToSessionOptions() const;
+};
+
+struct OpenSessionResponse {
+  uint64_t session_id = 0;
+
+  std::string Encode() const;
+  static Result<OpenSessionResponse> Decode(std::string_view body);
+};
+
+struct SampleRequest {
+  uint64_t session_id = 0;
+  uint64_t n = 0;
+  /// true: block (bounded) for an admission slot; false: fail fast with
+  /// ResourceExhausted when saturated (client-side load shedding).
+  bool wait = true;
+
+  std::string Encode() const;
+  static Result<SampleRequest> Decode(std::string_view body);
+};
+
+struct StreamSampleRequest {
+  uint64_t session_id = 0;
+  uint64_t total = 0;
+  uint32_t chunk_size = 256;
+
+  std::string Encode() const;
+  static Result<StreamSampleRequest> Decode(std::string_view body);
+};
+
+struct CloseSessionRequest {
+  uint64_t session_id = 0;
+
+  std::string Encode() const;
+  static Result<CloseSessionRequest> Decode(std::string_view body);
+};
+
+struct SessionStatsRequest {
+  uint64_t session_id = 0;
+
+  std::string Encode() const;
+  static Result<SessionStatsRequest> Decode(std::string_view body);
+};
+
+/// Body of kStatus and kStreamEnd.
+struct StatusPayload {
+  uint8_t code = 0;  ///< StatusCodeToWire
+  std::string message;
+
+  std::string Encode() const;
+  static Result<StatusPayload> Decode(std::string_view body);
+
+  static StatusPayload FromStatus(const Status& status);
+  Status ToStatus() const;  ///< OK when code == 0
+};
+
+/// Body of kSampleRsp and kStreamChunk: length-prefixed canonical tuple
+/// encodings. Kept as raw strings so clients can compare bytes without
+/// decoding; DecodeTuple (common/wire.h) recovers Values on demand.
+struct TupleChunk {
+  std::vector<std::string> encoded_tuples;
+
+  std::string Encode() const;
+  static Result<TupleChunk> Decode(std::string_view body);
+};
+
+/// Per-session stats over the wire — the remote face of
+/// SessionStatsSnapshot. Carries the resumable-revision surplus
+/// instrumentation (high-water + live buffer) so a remote operator can
+/// verify a SessionOptions::max_revision_surplus cap is honored without
+/// in-process access.
+struct SessionStatsResponse {
+  uint64_t session_id = 0;
+  uint64_t plan_id = 0;
+  std::string query;
+  uint64_t requests = 0;
+  uint64_t tuples_delivered = 0;
+  uint64_t revision_buffered = 0;
+  uint64_t revision_surplus_high_water = 0;
+  uint64_t sampler_accepted = 0;
+  uint64_t sampler_join_draws = 0;
+
+  std::string Encode() const;
+  static Result<SessionStatsResponse> Decode(std::string_view body);
+};
+
+/// Service-wide stats: admission, registry, sessions, quota sheds, and
+/// the server's own connection counters.
+struct ServerStatsResponse {
+  // admission
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t waited = 0;
+  uint64_t queue_overflows = 0;
+  uint64_t peak_in_flight = 0;
+  uint64_t peak_queue_depth = 0;
+  // registry
+  uint64_t plans_resident = 0;
+  uint64_t plans_evicted_for_budget = 0;
+  uint64_t registry_resident_bytes = 0;
+  // sessions
+  uint64_t sessions_open = 0;
+  uint64_t sessions_ever_opened = 0;
+  uint64_t sessions_reaped = 0;
+  // tenants
+  uint64_t quota_shed_total = 0;
+  // server
+  uint64_t connections_accepted = 0;
+  uint64_t connections_shed = 0;
+  uint64_t requests_served = 0;
+
+  std::string Encode() const;
+  static Result<ServerStatsResponse> Decode(std::string_view body);
+};
+
+}  // namespace net
+}  // namespace suj
+
+#endif  // SUJ_NET_PROTOCOL_H_

@@ -1,0 +1,400 @@
+#include "net/server.h"
+
+#include <chrono>
+
+namespace suj {
+namespace net {
+
+SujServer::SujServer(SamplingService* service, SpecResolver resolver,
+                     ServerOptions options)
+    : service_(service),
+      resolver_(std::move(resolver)),
+      options_(std::move(options)),
+      governor_(TenantGovernor::Options{options_.default_quota}) {}
+
+SujServer::~SujServer() { Stop(); }
+
+int64_t SujServer::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status SujServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  SUJ_ASSIGN_OR_RETURN(
+      listener_,
+      TcpListener::Listen(options_.host, options_.port, options_.backlog));
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.session_idle_timeout_ns > 0) {
+    reaper_thread_ = std::thread([this] { ReaperLoop(); });
+  }
+  return Status::OK();
+}
+
+void SujServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock the accept loop, then every connection handler. shutdown()
+  // (not close) so handler threads blocked in ReadFull return without a
+  // use-after-close race on the fd.
+  listener_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    reaper_cv_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& c : conns_) c->conn.Shutdown();
+  }
+  // Handlers observe the shutdown and exit; join outside conns_mu_ is
+  // unnecessary since only this thread mutates conns_ once running_ is
+  // false (the accept loop has exited).
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& c : conns_) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+  conns_.clear();
+  listener_.Close();
+}
+
+void SujServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      continue;  // transient accept error; keep serving
+    }
+    // Reap finished handler threads so a long-lived server does not
+    // accumulate joinable corpses.
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          if ((*it)->thread.joinable()) (*it)->thread.join();
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (conns_.size() >= options_.max_connections) {
+        // Shed: tell the client why before hanging up.
+        connections_shed_.fetch_add(1, std::memory_order_relaxed);
+        TcpConn conn = std::move(accepted).value();
+        SendStatus(conn, Status::ResourceExhausted(
+                             "server at connection capacity (" +
+                             std::to_string(options_.max_connections) +
+                             "); retry with backoff"));
+        continue;  // conn closes on scope exit
+      }
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      auto state = std::make_unique<Connection>();
+      state->conn = std::move(accepted).value();
+      Connection* raw = state.get();
+      state->thread = std::thread([this, raw] { HandleConnection(raw); });
+      conns_.push_back(std::move(state));
+    }
+  }
+}
+
+void SujServer::ReaperLoop() {
+  const auto interval =
+      std::chrono::nanoseconds(options_.reap_interval_ns > 0
+                                   ? options_.reap_interval_ns
+                                   : 50'000'000);
+  while (running_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(reaper_mu_);
+      reaper_cv_.wait_for(lock, interval, [this] {
+        return !running_.load(std::memory_order_acquire);
+      });
+    }
+    if (!running_.load(std::memory_order_acquire)) return;
+    auto reaped = service_->sessions().ReapIdle(
+        NowNs(), options_.session_idle_timeout_ns);
+    for (uint64_t id : reaped) {
+      ReleaseSession(id);
+      sessions_reaped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SujServer::ReleaseSession(uint64_t session_id) {
+  std::string tenant;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = session_tenants_.find(session_id);
+    if (it == session_tenants_.end()) return;
+    tenant = it->second;
+    session_tenants_.erase(it);
+  }
+  governor_.OnSessionClosed(tenant, session_id);
+}
+
+Status SujServer::SendStatus(TcpConn& conn, const Status& status) {
+  return WriteFrame(conn, MessageType::kStatus,
+                    StatusPayload::FromStatus(status).Encode());
+}
+
+void SujServer::HandleConnection(Connection* state) {
+  TcpConn& conn = state->conn;
+  std::string tenant;
+  // First frame must be Hello: bind the protocol version and tenant.
+  do {
+    auto frame = ReadFrame(conn, options_.max_frame_bytes);
+    if (!frame.ok()) break;
+    if (frame.value().type != MessageType::kHello) {
+      SendStatus(conn, Status::FailedPrecondition(
+                           "first frame must be Hello"));
+      break;
+    }
+    auto hello = HelloRequest::Decode(frame.value().body);
+    if (!hello.ok()) {
+      SendStatus(conn, hello.status());
+      break;
+    }
+    if (hello.value().version != kProtocolVersion) {
+      SendStatus(conn, Status::InvalidArgument(
+                           "protocol version " +
+                           std::to_string(hello.value().version) +
+                           " unsupported (server speaks " +
+                           std::to_string(kProtocolVersion) + ")"));
+      break;
+    }
+    tenant = hello.value().tenant.empty() ? "default" : hello.value().tenant;
+    if (!SendStatus(conn, Status::OK()).ok()) break;
+
+    // Request loop: one frame in, one response (or a chunk stream) out.
+    for (;;) {
+      auto request = ReadFrame(conn, options_.max_frame_bytes);
+      if (!request.ok()) break;  // peer hung up or sent garbage
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      if (!Dispatch(conn, tenant, request.value()).ok()) break;
+    }
+  } while (false);
+  state->done.store(true, std::memory_order_release);
+}
+
+Status SujServer::Dispatch(TcpConn& conn, const std::string& tenant,
+                           const Frame& frame) {
+  switch (frame.type) {
+    case MessageType::kPrepare:
+      return HandlePrepare(conn, frame);
+    case MessageType::kOpenSession:
+      return HandleOpenSession(conn, tenant, frame);
+    case MessageType::kSample:
+      return HandleSample(conn, tenant, frame);
+    case MessageType::kStreamSample:
+      return HandleStreamSample(conn, tenant, frame);
+    case MessageType::kCloseSession:
+      return HandleCloseSession(conn, frame);
+    case MessageType::kSessionStats:
+      return HandleSessionStats(conn, frame);
+    case MessageType::kServerStats:
+      return HandleServerStats(conn);
+    default:
+      return SendStatus(
+          conn, Status::InvalidArgument(
+                    "unexpected message type " +
+                    std::to_string(static_cast<int>(frame.type))));
+  }
+}
+
+Status SujServer::HandlePrepare(TcpConn& conn, const Frame& frame) {
+  auto request = PrepareRequest::Decode(frame.body);
+  if (!request.ok()) return SendStatus(conn, request.status());
+  const std::string& query = request.value().query;
+
+  // Idempotent: many tenants prepare the same shared query; the first
+  // pays the build, the rest get the pinned plan's identity.
+  auto plan = service_->GetQuery(query);
+  if (!plan.ok()) {
+    auto joins = resolver_(query);
+    if (!joins.ok()) return SendStatus(conn, joins.status());
+    plan = service_->Prepare(query, std::move(joins).value());
+    if (!plan.ok()) {
+      // Raced with another connection's Prepare of the same name.
+      auto again = service_->GetQuery(query);
+      if (!again.ok()) return SendStatus(conn, plan.status());
+      plan = std::move(again);
+    }
+  }
+  PrepareResponse rsp;
+  rsp.plan_id = plan.value()->plan_id();
+  rsp.build_seconds = plan.value()->build_seconds();
+  rsp.approx_memory_bytes = plan.value()->approx_memory_bytes();
+  return WriteFrame(conn, MessageType::kPrepareRsp, rsp.Encode());
+}
+
+Status SujServer::HandleOpenSession(TcpConn& conn, const std::string& tenant,
+                                    const Frame& frame) {
+  auto request = OpenSessionRequest::Decode(frame.body);
+  if (!request.ok()) return SendStatus(conn, request.status());
+  auto session_options = request.value().ToSessionOptions();
+  if (!session_options.ok()) return SendStatus(conn, session_options.status());
+
+  auto session_id = service_->OpenSession(request.value().query,
+                                          session_options.value());
+  if (!session_id.ok()) return SendStatus(conn, session_id.status());
+
+  // Governor second: it needs the session id for the per-session bucket.
+  // On rejection the just-created session is rolled back before the
+  // client ever learns its id.
+  Status admitted =
+      governor_.AdmitSession(tenant, session_id.value(), NowNs());
+  if (!admitted.ok()) {
+    service_->CloseSession(session_id.value());
+    return SendStatus(conn, admitted);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_tenants_[session_id.value()] = tenant;
+  }
+  if (auto session = service_->sessions().Get(session_id.value());
+      session.ok()) {
+    session.value()->Touch(NowNs());
+  }
+  OpenSessionResponse rsp;
+  rsp.session_id = session_id.value();
+  return WriteFrame(conn, MessageType::kOpenSessionRsp, rsp.Encode());
+}
+
+Status SujServer::HandleSample(TcpConn& conn, const std::string& tenant,
+                               const Frame& frame) {
+  auto request = SampleRequest::Decode(frame.body);
+  if (!request.ok()) return SendStatus(conn, request.status());
+  const uint64_t session_id = request.value().session_id;
+
+  Status quota = governor_.AdmitRequest(tenant, session_id, NowNs());
+  if (!quota.ok()) return SendStatus(conn, quota);
+
+  auto tuples = service_->Sample(
+      session_id, request.value().n,
+      request.value().wait ? AdmitMode::kWait : AdmitMode::kReject);
+  if (!tuples.ok()) return SendStatus(conn, tuples.status());
+
+  if (auto session = service_->sessions().Get(session_id); session.ok()) {
+    session.value()->Touch(NowNs());
+  }
+  TupleChunk chunk;
+  chunk.encoded_tuples.reserve(tuples.value().size());
+  for (const auto& t : tuples.value()) {
+    chunk.encoded_tuples.push_back(t.Encode());
+  }
+  return WriteFrame(conn, MessageType::kSampleRsp, chunk.Encode());
+}
+
+Status SujServer::HandleStreamSample(TcpConn& conn, const std::string& tenant,
+                                     const Frame& frame) {
+  auto request = StreamSampleRequest::Decode(frame.body);
+  if (!request.ok()) return SendStatus(conn, request.status());
+  const uint64_t session_id = request.value().session_id;
+
+  // One stream charges one quota token: the admission controller gates
+  // every chunk individually, so per-chunk quota charges would just
+  // double-count the same work at a coarser layer.
+  Status quota = governor_.AdmitRequest(tenant, session_id, NowNs());
+  if (!quota.ok()) return SendStatus(conn, quota);
+
+  SampleStream::Options stream_options;
+  stream_options.chunk_size =
+      request.value().chunk_size > 0 ? request.value().chunk_size : 256;
+  stream_options.max_buffered_chunks = options_.stream_max_buffered_chunks;
+  auto stream = service_->OpenStream(session_id, request.value().total,
+                                     stream_options);
+  if (!stream.ok()) return SendStatus(conn, stream.status());
+
+  for (;;) {
+    auto batch = stream.value()->Next();
+    if (!batch.ok()) {
+      // Mid-stream application error: report in StreamEnd; connection
+      // stays usable.
+      return WriteFrame(conn, MessageType::kStreamEnd,
+                        StatusPayload::FromStatus(batch.status()).Encode());
+    }
+    if (batch.value().empty()) break;  // exhausted
+    TupleChunk chunk;
+    chunk.encoded_tuples.reserve(batch.value().size());
+    for (const auto& t : batch.value()) {
+      chunk.encoded_tuples.push_back(t.Encode());
+    }
+    Status io = WriteFrame(conn, MessageType::kStreamChunk, chunk.Encode());
+    if (!io.ok()) {
+      stream.value()->Cancel();  // consumer is gone; stop producing
+      return io;
+    }
+  }
+  if (auto session = service_->sessions().Get(session_id); session.ok()) {
+    session.value()->Touch(NowNs());
+  }
+  return WriteFrame(conn, MessageType::kStreamEnd,
+                    StatusPayload::FromStatus(Status::OK()).Encode());
+}
+
+Status SujServer::HandleCloseSession(TcpConn& conn, const Frame& frame) {
+  auto request = CloseSessionRequest::Decode(frame.body);
+  if (!request.ok()) return SendStatus(conn, request.status());
+  Status closed = service_->CloseSession(request.value().session_id);
+  if (closed.ok()) ReleaseSession(request.value().session_id);
+  return SendStatus(conn, closed);
+}
+
+Status SujServer::HandleSessionStats(TcpConn& conn, const Frame& frame) {
+  auto request = SessionStatsRequest::Decode(frame.body);
+  if (!request.ok()) return SendStatus(conn, request.status());
+  auto stats = service_->SessionStats(request.value().session_id);
+  if (!stats.ok()) return SendStatus(conn, stats.status());
+  // Stats polling is client activity: a monitored session is not an
+  // abandoned one, so it must not idle out under the reaper.
+  if (auto session = service_->sessions().Get(request.value().session_id);
+      session.ok()) {
+    session.value()->Touch(NowNs());
+  }
+
+  const SessionStatsSnapshot& s = stats.value();
+  SessionStatsResponse rsp;
+  rsp.session_id = s.session_id;
+  rsp.plan_id = s.plan_id;
+  rsp.query = s.query;
+  rsp.requests = s.requests;
+  rsp.tuples_delivered = s.tuples_delivered;
+  rsp.revision_buffered = s.revision_buffered;
+  rsp.revision_surplus_high_water = s.revision_surplus_high_water;
+  rsp.sampler_accepted = s.sampler.accepted;
+  rsp.sampler_join_draws = s.sampler.join_draws;
+  return WriteFrame(conn, MessageType::kSessionStatsRsp, rsp.Encode());
+}
+
+Status SujServer::HandleServerStats(TcpConn& conn) {
+  return WriteFrame(conn, MessageType::kServerStatsRsp,
+                    StatsSnapshot().Encode());
+}
+
+ServerStatsResponse SujServer::StatsSnapshot() const {
+  ServerStatsResponse rsp;
+  auto admission = service_->admission().snapshot();
+  rsp.admitted = admission.admitted;
+  rsp.rejected = admission.rejected;
+  rsp.waited = admission.waited;
+  rsp.queue_overflows = admission.queue_overflows;
+  rsp.peak_in_flight = admission.peak_in_flight;
+  rsp.peak_queue_depth = admission.peak_queue_depth;
+  auto registry = service_->registry().snapshot();
+  rsp.plans_resident = service_->registry().size();
+  rsp.plans_evicted_for_budget = registry.evicted_for_budget;
+  rsp.registry_resident_bytes = registry.resident_bytes;
+  rsp.sessions_open = service_->sessions().size();
+  rsp.sessions_ever_opened = service_->sessions().ever_opened();
+  rsp.sessions_reaped = sessions_reaped_.load(std::memory_order_relaxed);
+  rsp.quota_shed_total = governor_.total_shed();
+  rsp.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  rsp.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  rsp.requests_served = requests_served_.load(std::memory_order_relaxed);
+  return rsp;
+}
+
+}  // namespace net
+}  // namespace suj

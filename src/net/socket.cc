@@ -1,0 +1,180 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace suj {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status TcpConn::ReadFull(void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) return Status::Unavailable("peer closed the connection");
+      return Status::InvalidArgument(
+          "connection closed mid-frame (" + std::to_string(got) + "/" +
+          std::to_string(n) + " bytes)");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("recv"));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status TcpConn::WriteFull(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("send"));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void TcpConn::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Listen(const std::string& host,
+                                        uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  TcpListener listener;
+  listener.fd_ = fd;
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse listen host '" + host +
+                                   "' (numeric IPv4 expected)");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Status::Internal(Errno("bind"));
+  }
+  if (::listen(fd, backlog) < 0) {
+    return Status::Internal(Errno("listen"));
+  }
+  // Resolve the ephemeral port so callers can advertise it.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return Status::Internal(Errno("getsockname"));
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<TcpConn> TcpListener::Accept() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      // Request/response protocol: never trade a round trip for Nagle
+      // coalescing.
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpConn(fd);
+    }
+    if (errno == EINTR) continue;
+    // EINVAL/EBADF after Shutdown()/Close(): the server is stopping.
+    return Status::Unavailable(Errno("accept"));
+  }
+}
+
+void TcpListener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpConn> ConnectTcp(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::Unavailable("getaddrinfo(" + host + "): " +
+                               gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("no addresses for '" + host + "'");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::Internal(Errno("socket"));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(res);
+      return TcpConn(fd);
+    }
+    last = Status::Unavailable(Errno(("connect " + host + ":" +
+                                      port_str).c_str()));
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+}  // namespace suj

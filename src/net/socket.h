@@ -1,0 +1,91 @@
+// Minimal RAII TCP socket layer for the suj wire protocol.
+//
+// POSIX sockets only (the project's CI targets are Linux); no external
+// dependencies. Blocking I/O with exact-length helpers: the protocol is
+// length-prefixed frames, so ReadFull/WriteFull are the only primitives
+// the codec needs. Writes use MSG_NOSIGNAL — a peer hanging up turns
+// into a Status (kUnavailable), never a SIGPIPE process kill.
+
+#ifndef SUJ_NET_SOCKET_H_
+#define SUJ_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace suj {
+
+/// \brief One connected TCP socket (RAII over the fd). Move-only.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+  ~TcpConn() { Close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads exactly `n` bytes. kUnavailable on clean EOF at offset 0
+  /// ("peer hung up between frames"), InvalidArgument on EOF mid-frame
+  /// (truncated frame), Internal on socket errors.
+  Status ReadFull(void* buf, size_t n);
+  /// Writes all of `data` (retrying short writes).
+  Status WriteFull(const void* data, size_t n);
+
+  /// Shuts down both directions WITHOUT closing the fd: a blocked
+  /// ReadFull in another thread returns immediately. The owner still
+  /// closes via destructor. Safe to call concurrently with I/O, which
+  /// is exactly what server Stop() does.
+  void Shutdown();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Listening socket bound to host:port (port 0 = ephemeral).
+class TcpListener {
+ public:
+  /// Binds + listens. `backlog` is the kernel accept queue — the first
+  /// shed point under connection floods.
+  static Result<TcpListener> Listen(const std::string& host, uint16_t port,
+                                    int backlog);
+
+  TcpListener() = default;
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener() { Close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  /// The bound port (resolved after an ephemeral bind).
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. kUnavailable once Shutdown() has
+  /// been called (server stopping), Internal on other errors.
+  Result<TcpConn> Accept();
+
+  /// Unblocks a concurrent Accept() (returns kUnavailable there).
+  void Shutdown();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Connects to host:port (numeric IPv4 or a resolvable name).
+Result<TcpConn> ConnectTcp(const std::string& host, uint16_t port);
+
+}  // namespace suj
+
+#endif  // SUJ_NET_SOCKET_H_

@@ -36,8 +36,20 @@ Result<AdmissionController::Permit> AdmissionController::TryAdmit() {
 Result<AdmissionController::Permit> AdmissionController::Admit(
     const std::atomic<bool>* cancelled) {
   std::unique_lock<std::mutex> lock(mu_);
+  // Shed before parking: a full wait queue is the backpressure signal.
+  // (A non-empty queue means this arrival would wait behind it — FIFO —
+  // so the bound only ever sheds calls that would actually park.)
+  if (options_.max_queue_depth > 0 &&
+      queue_.size() >= options_.max_queue_depth) {
+    ++stats_.queue_overflows;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_.size()) + "/" +
+        std::to_string(options_.max_queue_depth) +
+        " waiting); shedding load, retry with backoff");
+  }
   const uint64_t ticket = next_ticket_++;
   queue_.push_back(ticket);
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
   auto my_turn = [&] {
     return queue_.front() == ticket && in_flight_ < options_.max_inflight;
   };

@@ -39,14 +39,28 @@ class AdmissionController {
   struct Options {
     /// Concurrent requests allowed past admission. 0 is invalid.
     size_t max_inflight = 4;
+    /// Bound on the FIFO wait queue behind the slots. Admit() calls
+    /// arriving when this many waiters are already parked fail with
+    /// ResourceExhausted instead of queueing — under sustained overload
+    /// the queue (and every waiter's latency) would otherwise grow
+    /// without bound, which converts overload into timeouts for
+    /// EVERYONE instead of fast sheds for the excess. 0 keeps the
+    /// legacy unbounded behavior (in-process callers that prefer
+    /// blocking to shedding).
+    size_t max_queue_depth = 0;
   };
 
   struct Snapshot {
     uint64_t admitted = 0;  ///< permits granted
     uint64_t rejected = 0;  ///< TryAdmit calls turned away
     uint64_t waited = 0;    ///< Admit calls that had to block
+    /// Admit calls shed because the bounded wait queue was full
+    /// (counted separately from `rejected`: overflow means sustained
+    /// overload, not just a momentary slot race).
+    uint64_t queue_overflows = 0;
     size_t in_flight = 0;
     size_t peak_in_flight = 0;
+    size_t peak_queue_depth = 0;
   };
 
   /// \brief RAII admission slot; releasing (or destroying) it wakes the
@@ -90,6 +104,8 @@ class AdmissionController {
   /// non-null the wait aborts (with ResourceExhausted and its FIFO place
   /// given up) once the flag reads true AND CancelWake() is called —
   /// streams use this so teardown never waits out a saturated queue.
+  /// With Options::max_queue_depth set, a call that would park beyond
+  /// the bound sheds immediately with ResourceExhausted instead.
   Result<Permit> Admit(const std::atomic<bool>* cancelled = nullptr);
 
   /// Wakes blocked Admit(cancelled) callers so they can observe their

@@ -50,6 +50,32 @@ Result<UnionEstimates> RunWarmup(const std::vector<JoinSpecPtr>& joins,
   return Status::Internal("unknown warmup mode");
 }
 
+// Base bytes of one relation: column storage by physical type (strings
+// are length-summed). The multiplier below scales this to the plan's
+// whole pinned footprint (CSR index arrays, alias tables, weight
+// prefix sums all materialize per-row state a small constant number of
+// times over the base data).
+size_t ApproxRelationBytes(const Relation& rel) {
+  size_t bytes = 0;
+  for (size_t c = 0; c < rel.num_columns(); ++c) {
+    switch (rel.schema().field(c).type) {
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        bytes += rel.num_rows() * 8;
+        break;
+      case ValueType::kString: {
+        const auto& col = rel.StringColumn(c);
+        bytes += col.size() * sizeof(std::string);
+        for (const auto& s : col) bytes += s.size();
+        break;
+      }
+    }
+  }
+  return bytes;
+}
+
+constexpr size_t kPlanOverheadFactor = 4;
+
 }  // namespace
 
 Result<std::shared_ptr<const PreparedUnion>> PreparedUnion::Build(
@@ -102,6 +128,21 @@ Result<std::shared_ptr<const PreparedUnion>> PreparedUnion::Build(
     }
   }
 
+  // Size estimate for budget eviction: distinct base relations once,
+  // scaled by the derived-state factor.
+  {
+    std::unordered_map<const Relation*, size_t> seen;
+    size_t base_bytes = 0;
+    for (const auto& join : plan->joins_) {
+      for (const auto& rel : join->relations()) {
+        if (seen.emplace(rel.get(), 1).second) {
+          base_bytes += ApproxRelationBytes(*rel);
+        }
+      }
+    }
+    plan->approx_memory_bytes_ = base_bytes * kPlanOverheadFactor;
+  }
+
   plan->build_seconds_ = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
@@ -133,10 +174,10 @@ Result<PreparedUnionPtr> QueryRegistry::Prepare(
     // build: a concurrent Prepare of the same query fails immediately
     // instead of silently paying the whole pipeline a second time.
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = queries_.emplace(name, nullptr);
+    auto [it, inserted] = queries_.emplace(name, Entry{});
     if (!inserted) {
       return Status::InvalidArgument(
-          it->second == nullptr
+          it->second.plan == nullptr
               ? "query '" + name + "' is being prepared concurrently"
               : "query '" + name + "' is already prepared");
     }
@@ -148,20 +189,55 @@ Result<PreparedUnionPtr> QueryRegistry::Prepare(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = queries_.find(name);
   if (!plan.ok()) {
-    if (it != queries_.end() && it->second == nullptr) queries_.erase(it);
+    if (it != queries_.end() && it->second.plan == nullptr) queries_.erase(it);
     return plan.status();
   }
   // The placeholder is still ours: Get/Evict treat it as absent, so
   // nothing can have replaced or removed it.
-  if (it != queries_.end() && it->second == nullptr) it->second = *plan;
+  if (it != queries_.end() && it->second.plan == nullptr) {
+    it->second.plan = *plan;
+    it->second.last_use = ++use_clock_;
+    stats_.resident_bytes += (*plan)->approx_memory_bytes();
+    EnforceBudgetLocked(name);
+  }
   ++stats_.prepared;
   return *plan;
+}
+
+void QueryRegistry::EnforceBudgetLocked(const std::string& keep) {
+  auto over_budget = [&](size_t live) {
+    return (options_.max_plans > 0 && live > options_.max_plans) ||
+           (options_.memory_budget_bytes > 0 &&
+            stats_.resident_bytes > options_.memory_budget_bytes);
+  };
+  for (;;) {
+    size_t live = 0;
+    auto victim = queries_.end();
+    for (auto it = queries_.begin(); it != queries_.end(); ++it) {
+      if (it->second.plan == nullptr) continue;  // in-flight placeholder
+      ++live;
+      if (it->first == keep) continue;
+      if (victim == queries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (!over_budget(live) || victim == queries_.end()) break;
+    // Unpin only: sessions holding the plan keep sampling; the bytes
+    // leave the REGISTRY's account now and the process when the last
+    // holder drops the shared_ptr.
+    stats_.resident_bytes -=
+        std::min(stats_.resident_bytes,
+                 victim->second.plan->approx_memory_bytes());
+    queries_.erase(victim);
+    ++stats_.evicted_for_budget;
+  }
 }
 
 Result<PreparedUnionPtr> QueryRegistry::Get(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = queries_.find(name);
-  if (it == queries_.end() || it->second == nullptr) {
+  if (it == queries_.end() || it->second.plan == nullptr) {
     ++stats_.misses;
     return Status::NotFound(
         it == queries_.end()
@@ -169,15 +245,18 @@ Result<PreparedUnionPtr> QueryRegistry::Get(const std::string& name) const {
             : "query '" + name + "' is still being prepared");
   }
   ++stats_.hits;
-  return it->second;
+  it->second.last_use = ++use_clock_;
+  return it->second.plan;
 }
 
 Status QueryRegistry::Evict(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = queries_.find(name);
-  if (it == queries_.end() || it->second == nullptr) {
+  if (it == queries_.end() || it->second.plan == nullptr) {
     return Status::NotFound("no prepared query named '" + name + "'");
   }
+  stats_.resident_bytes -= std::min(
+      stats_.resident_bytes, it->second.plan->approx_memory_bytes());
   queries_.erase(it);
   ++stats_.evicted;
   return Status::OK();
@@ -186,8 +265,8 @@ Status QueryRegistry::Evict(const std::string& name) {
 size_t QueryRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t live = 0;
-  for (const auto& [name, plan] : queries_) {
-    if (plan != nullptr) ++live;
+  for (const auto& [name, entry] : queries_) {
+    if (entry.plan != nullptr) ++live;
   }
   return live;
 }

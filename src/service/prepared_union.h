@@ -102,6 +102,15 @@ class PreparedUnion {
   /// save on every request by reusing the plan).
   double build_seconds() const { return build_seconds_; }
 
+  /// Heuristic resident-size estimate, fixed at Build time: base
+  /// relation bytes (columns summed per type) times a constant factor
+  /// for the derived state pinned alongside them (CSR composite
+  /// indexes, weight/alias tables, probers). Used by the registry's
+  /// memory-budget eviction — relative plan sizes matter there, not
+  /// absolute accuracy. Relations shared between joins (the synthetic
+  /// overlap workloads do this by construction) are counted once.
+  size_t approx_memory_bytes() const { return approx_memory_bytes_; }
+
   /// Factory building one private exact-weight sampler set over the
   /// prebuilt weight indexes — O(1) per sampler, so per-session (and
   /// per-parallel-worker) construction costs nothing measurable.
@@ -121,19 +130,43 @@ class PreparedUnion {
   std::vector<ExactWeightIndexPtr> weight_indexes_;
   std::vector<std::string> standard_template_;
   double build_seconds_ = 0.0;
+  size_t approx_memory_bytes_ = 0;
 };
 
 using PreparedUnionPtr = std::shared_ptr<const PreparedUnion>;
 
-/// \brief Thread-safe name -> PreparedUnion map with build-once semantics.
+/// \brief Thread-safe name -> PreparedUnion map with build-once semantics
+/// and optional LRU eviction under a plan-count or memory budget.
+///
+/// Eviction (explicit or budget-driven) only unpins: sessions hold their
+/// plan by shared_ptr, so a plan evicted mid-session stays fully
+/// servable until the last session closes — the budget bounds what the
+/// REGISTRY keeps warm for future OpenSession calls, never what live
+/// sessions use.
 class QueryRegistry {
  public:
+  struct Options {
+    /// Most plans kept pinned at once; 0 = unlimited. Exceeding the cap
+    /// evicts least-recently-used plans (recency = Prepare or Get).
+    size_t max_plans = 0;
+    /// Budget over the pinned plans' approx_memory_bytes(); 0 =
+    /// unlimited. The newest plan is never evicted to fit the budget —
+    /// a single over-budget plan stays (and evicts everything else),
+    /// so Prepare cannot succeed yet leave the plan unusable.
+    size_t memory_budget_bytes = 0;
+  };
+
   struct Snapshot {
     uint64_t prepared = 0;  ///< successful Prepare calls
     uint64_t hits = 0;      ///< successful Get calls
     uint64_t misses = 0;    ///< Get calls for unknown names
-    uint64_t evicted = 0;   ///< successful Evict calls
+    uint64_t evicted = 0;   ///< successful explicit Evict calls
+    uint64_t evicted_for_budget = 0;  ///< LRU evictions under the budget
+    size_t resident_bytes = 0;  ///< approx bytes pinned right now
   };
+
+  QueryRegistry() = default;
+  explicit QueryRegistry(Options options) : options_(options) {}
 
   /// Prepares and pins a query under `name`. Fails with InvalidArgument
   /// if the name is taken (prepare-once: callers Get, not re-Prepare).
@@ -152,9 +185,20 @@ class QueryRegistry {
   Snapshot snapshot() const;
 
  private:
+  struct Entry {
+    PreparedUnionPtr plan;   // null while a Prepare is in flight
+    uint64_t last_use = 0;   // LRU stamp (Prepare/Get bump it)
+  };
+
+  /// Evicts LRU plans until both budgets hold (mu_ held). `keep` (the
+  /// plan just prepared) is exempt.
+  void EnforceBudgetLocked(const std::string& keep);
+
+  Options options_;
   mutable std::mutex mu_;
-  std::unordered_map<std::string, PreparedUnionPtr> queries_;
+  mutable std::unordered_map<std::string, Entry> queries_;
   uint64_t next_plan_id_ = 1;
+  mutable uint64_t use_clock_ = 0;
   mutable Snapshot stats_;
 };
 

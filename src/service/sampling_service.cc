@@ -95,8 +95,10 @@ void SampleStream::Cancel() {
 
 SamplingService::SamplingService(ServiceOptions options)
     : options_(options),
+      registry_(options.registry),
       sessions_(SessionManager::Options{options.seed, options.max_sessions}),
-      admission_(AdmissionController::Options{options.max_inflight}) {}
+      admission_(AdmissionController::Options{options.max_inflight,
+                                              options.max_admission_queue}) {}
 
 Result<std::unique_ptr<SamplingService>> SamplingService::Create(
     ServiceOptions options) {

@@ -112,6 +112,15 @@ struct ServiceOptions {
   /// never consumes) is what bounds the thread count: OpenStream
   /// rejects with ResourceExhausted beyond it.
   size_t max_streams = 16;
+  /// Bound on the admission wait queue (kWait callers parked behind the
+  /// in-flight slots). 0 = unbounded (legacy in-process behavior); a
+  /// serving front end SHOULD set it — under overload it converts
+  /// unbounded queueing (latency for everyone) into immediate
+  /// ResourceExhausted sheds for the excess.
+  size_t max_admission_queue = 0;
+  /// Registry plan-count / memory budgets (LRU eviction past them; live
+  /// sessions keep evicted plans alive). Zeros = unlimited.
+  QueryRegistry::Options registry;
   /// Defaults for Prepare calls without explicit options.
   PreparedQueryOptions query_defaults;
 };

@@ -248,6 +248,25 @@ Status SessionManager::Close(uint64_t id) {
   return Status::OK();
 }
 
+std::vector<uint64_t> SessionManager::ReapIdle(int64_t now_ns,
+                                               int64_t idle_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> reaped;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const int64_t last = it->second->last_activity_ns();
+    if (last != 0 && now_ns - last > idle_ns) {
+      reaped.push_back(it->first);
+      // Erase drops only the manager's reference; a request still
+      // holding the shared_ptr (e.g. parked in admission) finishes
+      // safely against the orphaned session.
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
 size_t SessionManager::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sessions_.size();

@@ -150,6 +150,19 @@ class SamplingSession {
   const PreparedUnionPtr& plan() const { return plan_; }
   const SessionOptions& options() const { return options_; }
 
+  /// Liveness stamp for server-side idle reaping. The NET layer owns
+  /// time: SujServer touches on open and on every served request, then
+  /// reaps via SessionManager::ReapIdle. Purely advisory — never read
+  /// by the sampling protocol, so stamping cannot perturb determinism.
+  void Touch(int64_t now_ns) {
+    last_activity_ns_.store(now_ns, std::memory_order_relaxed);
+  }
+  /// 0 means "never touched" (in-process session outside any server);
+  /// ReapIdle skips those.
+  int64_t last_activity_ns() const {
+    return last_activity_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   SamplingSession(uint64_t id, PreparedUnionPtr plan, SessionOptions options,
                   Rng rng)
@@ -191,6 +204,10 @@ class SamplingSession {
   /// Last-completed-request stats, readable without mu_ (stats_mu_ only).
   mutable std::mutex stats_mu_;
   SessionStatsSnapshot stats_snapshot_;
+
+  /// See Touch(). Atomic: stamped by connection handlers, read by the
+  /// reaper, no lock shared with the sampling path.
+  std::atomic<int64_t> last_activity_ns_{0};
 };
 
 /// \brief Owns the live sessions and their RNG substream assignment.
@@ -217,6 +234,16 @@ class SessionManager {
   /// Drops the manager's reference. In-flight requests holding the
   /// session shared_ptr finish safely.
   Status Close(uint64_t id);
+
+  /// Closes every session whose last Touch is older than `idle_ns`
+  /// (abandoned clients: the connection died without Close, or the
+  /// tenant walked away mid-protocol). Sessions never touched are
+  /// exempt — only the net layer stamps activity, so purely in-process
+  /// sessions cannot be reaped out from under a caller. Returns the
+  /// reaped ids. Sibling sessions are untouched: substream assignment
+  /// happened at Open and closed ids are never reused, so reaping
+  /// cannot shift any other session's RNG stream.
+  std::vector<uint64_t> ReapIdle(int64_t now_ns, int64_t idle_ns);
 
   size_t size() const;
   uint64_t ever_opened() const;

@@ -1,0 +1,147 @@
+#include "service/tenant.h"
+
+#include <algorithm>
+
+namespace suj {
+
+bool TenantGovernor::Bucket::TryTake(double rate, double burst,
+                                     int64_t now_ns) {
+  if (rate <= 0) return true;
+  const double cap = std::max(burst, 1.0);
+  if (now_ns > last_refill_ns) {
+    const double elapsed_s = (now_ns - last_refill_ns) * 1e-9;
+    tokens = std::min(cap, tokens + elapsed_s * rate);
+    last_refill_ns = now_ns;
+  }
+  if (tokens >= 1.0) {
+    tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+TenantGovernor::TenantState& TenantGovernor::GetOrCreate(
+    const std::string& tenant, int64_t now_ns) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) {
+    it->second.quota = options_.default_quota;
+    it->second.stats.tenant = tenant;
+    // A new tenant starts with a full bucket: the first contact after
+    // any idle period gets the whole burst, not an empty bucket.
+    it->second.bucket.tokens = std::max(it->second.quota.burst, 1.0);
+    it->second.bucket.last_refill_ns = now_ns;
+  }
+  return it->second;
+}
+
+void TenantGovernor::SetQuota(const std::string& tenant,
+                              TenantQuotaOptions quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = GetOrCreate(tenant, 0);
+  state.quota = quota;
+  state.bucket.tokens = std::max(quota.burst, 1.0);
+  for (auto& [id, bucket] : state.session_buckets) {
+    bucket.tokens = std::max(quota.session_burst, 1.0);
+  }
+}
+
+Status TenantGovernor::AdmitRequest(const std::string& tenant,
+                                    uint64_t session_id, int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = GetOrCreate(tenant, now_ns);
+  if (!state.bucket.TryTake(state.quota.requests_per_second,
+                            state.quota.burst, now_ns)) {
+    ++state.stats.shed_tenant_quota;
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' is over its request quota (" +
+        std::to_string(state.quota.requests_per_second) +
+        " req/s); shed, retry with backoff");
+  }
+  if (state.quota.session_requests_per_second > 0) {
+    auto [it, inserted] = state.session_buckets.try_emplace(session_id);
+    if (inserted) {
+      it->second.tokens = std::max(state.quota.session_burst, 1.0);
+      it->second.last_refill_ns = now_ns;
+    }
+    if (!it->second.TryTake(state.quota.session_requests_per_second,
+                            state.quota.session_burst, now_ns)) {
+      // The tenant token is NOT refunded: a session hammering past its
+      // limit still spends its tenant's budget, which is what makes the
+      // per-session limit an isolation tool inside the tenant rather
+      // than a free retry loop.
+      ++state.stats.shed_session_quota;
+      return Status::ResourceExhausted(
+          "session " + std::to_string(session_id) + " of tenant '" + tenant +
+          "' is over its per-session rate limit");
+    }
+  }
+  ++state.stats.admitted;
+  return Status::OK();
+}
+
+Status TenantGovernor::AdmitSession(const std::string& tenant,
+                                    uint64_t session_id, int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = GetOrCreate(tenant, now_ns);
+  if (state.quota.max_sessions > 0 &&
+      state.stats.sessions_open >= state.quota.max_sessions) {
+    ++state.stats.sessions_rejected;
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' is at its session cap (" +
+        std::to_string(state.stats.sessions_open) + "/" +
+        std::to_string(state.quota.max_sessions) + "); close sessions first");
+  }
+  ++state.stats.sessions_open;
+  state.open_sessions.insert(session_id);
+  if (state.quota.session_requests_per_second > 0) {
+    Bucket bucket;
+    bucket.tokens = std::max(state.quota.session_burst, 1.0);
+    bucket.last_refill_ns = now_ns;
+    state.session_buckets[session_id] = bucket;
+  }
+  return Status::OK();
+}
+
+void TenantGovernor::OnSessionClosed(const std::string& tenant,
+                                     uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  if (it->second.open_sessions.erase(session_id) == 0) return;
+  if (it->second.stats.sessions_open > 0) --it->second.stats.sessions_open;
+  it->second.session_buckets.erase(session_id);
+}
+
+TenantSnapshot TenantGovernor::snapshot(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    TenantSnapshot empty;
+    empty.tenant = tenant;
+    return empty;
+  }
+  return it->second.stats;
+}
+
+std::vector<TenantSnapshot> TenantGovernor::AllTenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantSnapshot> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) out.push_back(state.stats);
+  std::sort(out.begin(), out.end(),
+            [](const TenantSnapshot& a, const TenantSnapshot& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
+uint64_t TenantGovernor::total_shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t shed = 0;
+  for (const auto& [name, state] : tenants_) {
+    shed += state.stats.shed_tenant_quota + state.stats.shed_session_quota;
+  }
+  return shed;
+}
+
+}  // namespace suj

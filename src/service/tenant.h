@@ -1,0 +1,139 @@
+// TenantGovernor: per-tenant and per-session rate limiting, composed in
+// FRONT of the global AdmissionController.
+//
+// The admission controller bounds how much work runs at once; it knows
+// nothing about who asked. A multi-tenant front end needs the other
+// half: no tenant may crowd the service out for everyone else, and no
+// single session may burn its tenant's whole allowance. Both are
+// enforced with token buckets — capacity (`burst`) tokens, refilled
+// continuously at `requests_per_second` — checked in order
+//
+//   tenant bucket -> session bucket -> global admission
+//
+// so a rejected request is shed BEFORE it can occupy an admission slot
+// or queue place. Quota rejections are always immediate
+// (ResourceExhausted), never queued: a tenant at quota gets a fast,
+// retryable signal while other tenants' requests keep flowing.
+//
+// Determinism/testability: the governor never reads a clock. Callers
+// pass a monotonic timestamp (nanoseconds) into every admission call —
+// the server passes steady_clock, tests pass a hand-advanced fake — so
+// quota decisions are a pure function of (options, call sequence,
+// timestamps).
+//
+// Uniformity note: quotas gate WHEN a session's requests run, never how
+// their randomness is produced. A session's sample sequence stays a
+// function of (service seed, session rank, its request sizes) — shedding
+// or delaying requests cannot bias what the surviving requests return,
+// which is what keeps the paper's per-session uniformity guarantees
+// intact under throttling.
+
+#ifndef SUJ_SERVICE_TENANT_H_
+#define SUJ_SERVICE_TENANT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+
+namespace suj {
+
+/// Per-tenant limits. Zero rates/caps mean "unlimited" so a
+/// default-constructed quota admits everything (opt-in hardening).
+struct TenantQuotaOptions {
+  /// Sustained request rate across all of the tenant's sessions.
+  double requests_per_second = 0;
+  /// Bucket capacity: how far above the sustained rate a tenant may
+  /// burst after idling. Floored at 1 token when a rate is set.
+  double burst = 8;
+  /// Concurrent open sessions. 0 = unlimited.
+  size_t max_sessions = 0;
+  /// Per-session sustained request rate (each session gets its own
+  /// bucket). 0 = unlimited.
+  double session_requests_per_second = 0;
+  double session_burst = 4;
+};
+
+/// Monitoring counters for one tenant.
+struct TenantSnapshot {
+  std::string tenant;
+  uint64_t admitted = 0;          ///< requests past both buckets
+  uint64_t shed_tenant_quota = 0; ///< shed by the tenant bucket
+  uint64_t shed_session_quota = 0;///< shed by a per-session bucket
+  uint64_t sessions_rejected = 0; ///< OpenSession calls over max_sessions
+  size_t sessions_open = 0;
+};
+
+/// \brief Token-bucket quota enforcement for every tenant of a server.
+///
+/// Thread-safe; one instance fronts one SamplingService. Tenants are
+/// created on first contact with the default quota; SetQuota overrides
+/// per tenant (resetting its buckets to full).
+class TenantGovernor {
+ public:
+  struct Options {
+    TenantQuotaOptions default_quota;
+  };
+
+  explicit TenantGovernor(Options options) : options_(options) {}
+
+  /// Replaces `tenant`'s quota (buckets refill to the new burst).
+  void SetQuota(const std::string& tenant, TenantQuotaOptions quota);
+
+  /// Charges one request to the tenant and session buckets. Order:
+  /// tenant first — a session bucket is never debited when the tenant
+  /// is already out, so one shed request costs exactly one token.
+  /// ResourceExhausted means "shed now, retry with backoff".
+  Status AdmitRequest(const std::string& tenant, uint64_t session_id,
+                      int64_t now_ns);
+
+  /// Reserves a session slot under the tenant's max_sessions cap and
+  /// creates the session's bucket. Pair with OnSessionClosed.
+  Status AdmitSession(const std::string& tenant, uint64_t session_id,
+                      int64_t now_ns);
+
+  /// Releases the slot and bucket of a closed/reaped session. Unknown
+  /// ids are ignored (close is idempotent).
+  void OnSessionClosed(const std::string& tenant, uint64_t session_id);
+
+  TenantSnapshot snapshot(const std::string& tenant) const;
+  std::vector<TenantSnapshot> AllTenants() const;
+  /// Requests shed by any quota (tenant or session), service-wide.
+  uint64_t total_shed() const;
+
+ private:
+  /// Continuous-refill token bucket; time never goes backwards past it
+  /// (a stale timestamp just refills nothing).
+  struct Bucket {
+    double tokens = 0;
+    int64_t last_refill_ns = 0;
+    /// Refills to min(burst, tokens + elapsed*rate), then takes one
+    /// token if available. rate <= 0 always admits.
+    bool TryTake(double rate, double burst, int64_t now_ns);
+  };
+
+  struct TenantState {
+    TenantQuotaOptions quota;
+    Bucket bucket;
+    std::unordered_map<uint64_t, Bucket> session_buckets;
+    /// Ids admitted and not yet closed — what makes OnSessionClosed
+    /// idempotent (a stray or repeated close must not free a slot the
+    /// session no longer holds).
+    std::unordered_set<uint64_t> open_sessions;
+    TenantSnapshot stats;
+  };
+
+  TenantState& GetOrCreate(const std::string& tenant, int64_t now_ns);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TenantState> tenants_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_SERVICE_TENANT_H_

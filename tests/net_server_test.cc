@@ -1,0 +1,437 @@
+// End-to-end tests for the network front end (src/net/): server spawn on
+// an ephemeral port, the full request surface over real TCP loopback,
+// the wire determinism contract (wire bytes == in-process bytes, at
+// worker_threads 1 and 4), remote surplus-cap enforcement with
+// over-the-wire instrumentation, tenant quota shedding, connection-cap
+// shedding, and idle-session reaping that leaves sibling sessions'
+// sample streams untouched. Runs under the TSan CI job (`concurrency`
+// label): server threads, stream producers, and client threads overlap.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "service/sampling_service.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using net::OpenSessionRequest;
+using net::SujClient;
+using net::SujServer;
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+std::vector<JoinSpecPtr> MakeJoins(uint64_t seed, size_t master_rows = 20) {
+  SyntheticChainOptions options;
+  options.master_rows = master_rows;
+  options.seed = seed;
+  return MakeOverlappingChains(options).value();
+}
+
+// The resolver every test server uses: any query name of the form
+// "chains<seed>" maps to a deterministic synthetic union, so wire
+// clients and in-process baselines can prepare identical plans.
+net::SpecResolver ChainsResolver() {
+  return [](const std::string& name) -> Result<std::vector<JoinSpecPtr>> {
+    if (name.rfind("chains", 0) != 0) {
+      return Status::NotFound("unknown query '" + name + "'");
+    }
+    uint64_t seed = std::stoull(name.substr(6));
+    return MakeJoins(seed);
+  };
+}
+
+std::unique_ptr<SamplingService> MakeService(uint64_t seed) {
+  ServiceOptions options;
+  options.seed = seed;
+  return SamplingService::Create(options).value();
+}
+
+struct ServerFixture {
+  std::unique_ptr<SamplingService> service;
+  std::unique_ptr<SujServer> server;
+
+  explicit ServerFixture(uint64_t seed,
+                         net::ServerOptions options = net::ServerOptions()) {
+    service = MakeService(seed);
+    server = std::make_unique<SujServer>(service.get(), ChainsResolver(),
+                                         options);
+    auto started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+  ~ServerFixture() { server->Stop(); }
+
+  SujClient Client(const std::string& tenant) {
+    return SujClient::Connect("127.0.0.1", server->port(), tenant).value();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Basic request surface
+
+TEST(SujServerTest, PrepareOpenSampleCloseOverTheWire) {
+  ServerFixture fx(500);
+  auto client = fx.Client("t");
+
+  auto prepared = client.Prepare("chains500");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_GT(prepared.value().plan_id, 0u);
+  EXPECT_GT(prepared.value().approx_memory_bytes, 0u);
+  // Idempotent: a second Prepare reports the same pinned plan.
+  EXPECT_EQ(client.Prepare("chains500").value().plan_id,
+            prepared.value().plan_id);
+
+  OpenSessionRequest open;
+  open.query = "chains500";
+  auto session = client.OpenSession(open);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  auto batch = client.Sample(session.value(), 40);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch.value().size(), 40u);
+  // Tuples arrive as canonical encodings and decode cleanly.
+  for (const auto& bytes : batch.value()) {
+    EXPECT_TRUE(DecodeTuple(bytes).ok());
+  }
+
+  auto stats = client.SessionStats(session.value());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().tuples_delivered, 40u);
+  EXPECT_EQ(stats.value().requests, 1u);
+
+  EXPECT_TRUE(client.CloseSession(session.value()).ok());
+  // Closed session: the error comes back over the wire, the connection
+  // survives it.
+  EXPECT_EQ(client.Sample(session.value(), 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(client.ServerStats().ok());
+}
+
+TEST(SujServerTest, UnknownQueryAndBadRequestsAreClean) {
+  ServerFixture fx(501);
+  auto client = fx.Client("t");
+  EXPECT_EQ(client.Prepare("nope").status().code(), StatusCode::kNotFound);
+
+  OpenSessionRequest open;
+  open.query = "chains501";
+  ASSERT_TRUE(client.Prepare("chains501").ok());
+  open.mode = 42;  // invalid mode must be rejected server-side
+  EXPECT_EQ(client.OpenSession(open).status().code(),
+            StatusCode::kInvalidArgument);
+  // Connection still usable after both errors.
+  open.mode = 0;
+  EXPECT_TRUE(client.OpenSession(open).ok());
+}
+
+TEST(SujServerTest, HelloVersionMismatchIsRejected) {
+  ServerFixture fx(502);
+  auto conn = ConnectTcp("127.0.0.1", fx.server->port()).value();
+  net::HelloRequest hello;
+  hello.version = net::kProtocolVersion + 1;
+  hello.tenant = "t";
+  ASSERT_TRUE(
+      net::WriteFrame(conn, net::MessageType::kHello, hello.Encode()).ok());
+  auto rsp = net::ReadFrame(conn).value();
+  ASSERT_EQ(rsp.type, net::MessageType::kStatus);
+  EXPECT_EQ(net::StatusPayload::Decode(rsp.body).value().ToStatus().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Wire determinism: the bytes a remote client receives are exactly the
+// bytes an in-process caller with the same seed, session rank, and
+// request sizes gets.
+
+void CheckWireMatchesInProcess(uint32_t worker_threads, uint8_t mode) {
+  const uint64_t seed = 510;
+  ServerFixture fx(seed);
+  auto baseline = MakeService(seed);
+  ASSERT_TRUE(baseline->Prepare("chains510", MakeJoins(510)).ok());
+
+  auto client = fx.Client("t");
+  ASSERT_TRUE(client.Prepare("chains510").ok());
+
+  OpenSessionRequest open;
+  open.query = "chains510";
+  open.mode = mode;
+  open.worker_threads = worker_threads;
+  auto wire_session = client.OpenSession(open);
+  ASSERT_TRUE(wire_session.ok()) << wire_session.status().ToString();
+
+  SessionOptions in_process;
+  in_process.mode = mode == 2 ? SessionOptions::Mode::kRevision
+                              : SessionOptions::Mode::kOracle;
+  in_process.worker_threads = worker_threads;
+  auto local_session = baseline->OpenSession("chains510", in_process).value();
+
+  // Same request-size sequence on both sides.
+  for (size_t n : {7u, 64u, 1u, 130u}) {
+    auto wire = client.Sample(wire_session.value(), n);
+    ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+    auto local = baseline->Sample(local_session, n);
+    ASSERT_TRUE(local.ok());
+    ASSERT_EQ(wire.value().size(), local.value().size());
+    for (size_t i = 0; i < local.value().size(); ++i) {
+      ASSERT_EQ(wire.value()[i], local.value()[i].Encode())
+          << "divergence at tuple " << i << " (n=" << n
+          << ", worker_threads=" << worker_threads << ")";
+    }
+  }
+}
+
+TEST(WireDeterminismTest, OracleMatchesInProcess) {
+  CheckWireMatchesInProcess(/*worker_threads=*/1, /*mode=*/0);
+}
+
+TEST(WireDeterminismTest, RevisionMatchesInProcessSingleThread) {
+  CheckWireMatchesInProcess(/*worker_threads=*/1, /*mode=*/2);
+}
+
+TEST(WireDeterminismTest, RevisionMatchesInProcessFourThreads) {
+  // The acceptance bar: byte-identical at 4 server worker threads.
+  CheckWireMatchesInProcess(/*worker_threads=*/4, /*mode=*/2);
+}
+
+TEST(WireDeterminismTest, StreamDeliversInProcessBytesInOrder) {
+  const uint64_t seed = 511;
+  ServerFixture fx(seed);
+  auto baseline = MakeService(seed);
+  ASSERT_TRUE(baseline->Prepare("chains511", MakeJoins(511)).ok());
+
+  auto client = fx.Client("t");
+  ASSERT_TRUE(client.Prepare("chains511").ok());
+  OpenSessionRequest open;
+  open.query = "chains511";
+  open.mode = 2;  // revision: chunking-invariant by contract
+  auto wire_session = client.OpenSession(open).value();
+
+  SessionOptions in_process;
+  in_process.mode = SessionOptions::Mode::kRevision;
+  auto local_session = baseline->OpenSession("chains511", in_process).value();
+
+  const size_t total = 300;
+  const uint32_t chunk_size = 64;
+  std::vector<std::string> wire_bytes;
+  ASSERT_TRUE(client
+                  .StreamSample(wire_session, total, chunk_size,
+                                [&](const net::TupleChunk& chunk) {
+                                  for (const auto& t : chunk.encoded_tuples) {
+                                    wire_bytes.push_back(t);
+                                  }
+                                  return Status::OK();
+                                })
+                  .ok());
+  ASSERT_EQ(wire_bytes.size(), total);
+
+  auto stream = baseline->OpenStream(local_session, total,
+                                     {.chunk_size = chunk_size}).value();
+  size_t i = 0;
+  for (;;) {
+    auto batch = stream->Next();
+    ASSERT_TRUE(batch.ok());
+    if (batch.value().empty()) break;
+    for (const auto& t : batch.value()) {
+      ASSERT_LT(i, wire_bytes.size());
+      ASSERT_EQ(wire_bytes[i], t.Encode()) << "divergence at tuple " << i;
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, total);
+}
+
+// ---------------------------------------------------------------------------
+// Remote surplus cap: a SessionOptions::max_revision_surplus set over
+// the wire is honored, and the high-water instrumentation travels back.
+
+TEST(SujServerTest, RemoteRevisionSurplusCapIsHonored) {
+  ServerFixture fx(520);
+  auto client = fx.Client("t");
+  ASSERT_TRUE(client.Prepare("chains520").ok());
+
+  const uint64_t cap = 48;
+  OpenSessionRequest open;
+  open.query = "chains520";
+  open.mode = 2;
+  open.batch_size = 16;
+  open.max_revision_surplus = cap;
+  auto session = client.OpenSession(open).value();
+
+  // Odd request sizes force epoch overshoot (surplus buffering).
+  uint64_t delivered = 0;
+  for (size_t n : {5u, 23u, 57u, 9u, 111u, 3u}) {
+    auto batch = client.Sample(session, n);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    delivered += batch.value().size();
+  }
+  auto stats = client.SessionStats(session).value();
+  EXPECT_EQ(stats.tuples_delivered, delivered);
+  EXPECT_LE(stats.revision_surplus_high_water, cap)
+      << "remote cap not enforced";
+  EXPECT_LE(stats.revision_buffered, cap);
+  // The wire stats mirror the in-process snapshot exactly.
+  auto local = fx.service->SessionStats(stats.session_id).value();
+  EXPECT_EQ(stats.revision_surplus_high_water,
+            local.revision_surplus_high_water);
+  EXPECT_EQ(stats.sampler_accepted, local.sampler.accepted);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant shedding
+
+TEST(SujServerTest, TenantAtQuotaShedsWhileOthersProceed) {
+  net::ServerOptions options;
+  options.default_quota.requests_per_second = 0.001;  // ~never refills
+  options.default_quota.burst = 3;
+  ServerFixture fx(530, options);
+
+  auto greedy = fx.Client("greedy");
+  auto polite = fx.Client("polite");
+  ASSERT_TRUE(greedy.Prepare("chains530").ok());
+
+  OpenSessionRequest open;
+  open.query = "chains530";
+  auto greedy_session = greedy.OpenSession(open).value();
+  auto polite_session = polite.OpenSession(open).value();
+
+  // Burn greedy's burst (each Sample charges one token).
+  int shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto batch = greedy.Sample(greedy_session, 5);
+    if (!batch.ok()) {
+      EXPECT_EQ(batch.status().code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  EXPECT_GE(shed, 5) << "tenant quota never engaged";
+
+  // The polite tenant's bucket is its own: it keeps sampling.
+  for (int i = 0; i < 3; ++i) {
+    auto batch = polite.Sample(polite_session, 5);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+  }
+  auto stats = polite.ServerStats().value();
+  EXPECT_GE(stats.quota_shed_total, 5u);
+  EXPECT_EQ(fx.server->governor().snapshot("polite").shed_tenant_quota, 0u);
+}
+
+TEST(SujServerTest, ConnectionCapShedsWithExplicitStatus) {
+  net::ServerOptions options;
+  options.max_connections = 1;
+  ServerFixture fx(531, options);
+
+  auto first = fx.Client("a");  // occupies the only slot
+  auto second = SujClient::Connect("127.0.0.1", fx.server->port(), "b");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(fx.server->StatsSnapshot().connections_shed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Idle-session reaping over the wire
+
+TEST(SujServerTest, ReaperClosesAbandonedSessionsWithoutPerturbingSiblings) {
+  const uint64_t seed = 540;
+  net::ServerOptions options;
+  options.session_idle_timeout_ns = 50'000'000;  // 50 ms
+  options.reap_interval_ns = 10'000'000;         // 10 ms
+  ServerFixture fx(seed, options);
+  auto baseline = MakeService(seed);
+  ASSERT_TRUE(baseline->Prepare("chains540", MakeJoins(540)).ok());
+
+  auto client = fx.Client("t");
+  ASSERT_TRUE(client.Prepare("chains540").ok());
+  OpenSessionRequest open;
+  open.query = "chains540";
+  // Session rank 0: abandoned. Rank 1: the survivor we check.
+  auto abandoned = client.OpenSession(open).value();
+  auto survivor = client.OpenSession(open).value();
+
+  auto local_abandoned = baseline->OpenSession("chains540").value();
+  (void)local_abandoned;
+  auto local_survivor = baseline->OpenSession("chains540").value();
+
+  // Prefix before the reap...
+  auto before = client.Sample(survivor, 30).value();
+  // ...abandon the other session long enough for the reaper.
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (!fx.service->sessions().Get(abandoned).ok()) break;
+    // Keep the survivor warm so only the abandoned session idles out.
+    ASSERT_TRUE(client.SessionStats(survivor).ok());
+  }
+  EXPECT_FALSE(fx.service->sessions().Get(abandoned).ok())
+      << "reaper never fired";
+  EXPECT_EQ(client.Sample(abandoned, 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_GE(fx.server->StatsSnapshot().sessions_reaped, 1u);
+
+  // The survivor's stream continues exactly where an unperturbed
+  // in-process session (same rank, same request sizes) would be.
+  auto after = client.Sample(survivor, 30).value();
+  auto local = baseline->Sample(local_survivor, 60).value();
+  ASSERT_EQ(local.size(), 60u);
+  std::vector<std::string> wire_bytes = before;
+  wire_bytes.insert(wire_bytes.end(), after.begin(), after.end());
+  ASSERT_EQ(wire_bytes.size(), 60u);
+  for (size_t i = 0; i < 60; ++i) {
+    ASSERT_EQ(wire_bytes[i], local[i].Encode()) << "divergence at " << i;
+  }
+  // The reaped slot went back to the governor.
+  EXPECT_EQ(fx.server->governor().snapshot("t").sessions_open, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency smoke: many tenants hammering one server under TSan.
+
+TEST(SujServerTest, ConcurrentTenantsSeeOnlyTheirOwnStreams) {
+  const uint64_t seed = 550;
+  ServerFixture fx(seed);
+  {
+    auto bootstrap = fx.Client("setup");
+    ASSERT_TRUE(bootstrap.Prepare("chains550").ok());
+  }
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<Status> results(kThreads, Status::OK());
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&fx, &results, i] {
+      auto run = [&]() -> Status {
+        SUJ_ASSIGN_OR_RETURN(
+            SujClient client,
+            SujClient::Connect("127.0.0.1", fx.server->port(),
+                               "tenant" + std::to_string(i)));
+        OpenSessionRequest open;
+        open.query = "chains550";
+        open.mode = i % 2 == 0 ? 0 : 2;
+        SUJ_ASSIGN_OR_RETURN(uint64_t session, client.OpenSession(open));
+        size_t got = 0;
+        for (int r = 0; r < 5; ++r) {
+          SUJ_ASSIGN_OR_RETURN(std::vector<std::string> batch,
+                               client.Sample(session, 20));
+          got += batch.size();
+        }
+        if (got != 100) return Status::Internal("short delivery");
+        return client.CloseSession(session);
+      };
+      results[i] = run();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_TRUE(results[i].ok()) << "thread " << i << ": "
+                                 << results[i].ToString();
+  }
+  auto stats = fx.server->StatsSnapshot();
+  EXPECT_GE(stats.connections_accepted, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.sessions_open, 0u);
+}
+
+}  // namespace
+}  // namespace suj
