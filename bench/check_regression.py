@@ -33,14 +33,20 @@ _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_times(path):
-    """benchmark name -> real_time in ns (raw iterations only)."""
+    """benchmark name -> real_time in ns (raw iterations only).
+
+    A run recorded with ``--benchmark_repetitions=N`` emits N iteration
+    entries under the same name; they collapse to their median here, so
+    repeated (ideally ``--benchmark_enable_random_interleaving``) runs
+    feed the gate one noise-resistant number per benchmark.
+    """
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    times = {}
+    samples = {}
     for entry in doc.get("benchmarks", []):
         if entry.get("run_type") == "aggregate":
             continue
@@ -51,11 +57,11 @@ def load_times(path):
         if unit is None:
             print(f"error: unknown time unit in {name}", file=sys.stderr)
             sys.exit(2)
-        times[name] = float(entry["real_time"]) * unit
-    if not times:
+        samples.setdefault(name, []).append(float(entry["real_time"]) * unit)
+    if not samples:
         print(f"error: no benchmarks in {path}", file=sys.stderr)
         sys.exit(2)
-    return times
+    return {name: median(values) for name, values in samples.items()}
 
 
 def median(values):
@@ -69,8 +75,12 @@ def median(values):
 def main():
     parser = argparse.ArgumentParser(
         description="google-benchmark perf-regression gate")
-    parser.add_argument("--baseline", required=True,
-                        help="checked-in baseline JSON")
+    parser.add_argument("--baseline", default=None,
+                        help="checked-in baseline JSON; omit to skip the "
+                             "baseline comparison and run only the "
+                             "--require-speedup / --require-counter "
+                             "assertions on the current run (same-run "
+                             "gates need no baseline)")
     parser.add_argument("--current", required=True,
                         help="fresh benchmark JSON to check")
     parser.add_argument("--tolerance", type=float, default=0.5,
@@ -113,8 +123,8 @@ def main():
                              "gate and skew the median normalizer.")
     args = parser.parse_args()
 
-    baseline = load_times(args.baseline)
     current = load_times(args.current)
+    baseline = load_times(args.baseline) if args.baseline else None
 
     counter_failures = []
     if args.require_counter:
@@ -157,56 +167,57 @@ def main():
               f"(need >= {minimum:.2f}x)  {verdict}")
         if ratio < minimum:
             speedup_failures.append(f"{fast} vs {slow}")
-    if args.exclude:
-        pattern = re.compile(args.exclude)
-        dropped = sorted(n for n in set(baseline) | set(current)
-                         if pattern.search(n))
-        for name in dropped:
-            baseline.pop(name, None)
-            current.pop(name, None)
-        if dropped:
-            print(f"excluded by --exclude: {', '.join(dropped)}")
-
-    common = sorted(set(baseline) & set(current))
-    missing = sorted(set(baseline) - set(current))
-    new = sorted(set(current) - set(baseline))
-    if not common:
-        print("error: no common benchmarks between baseline and current",
-              file=sys.stderr)
-        sys.exit(2)
-
-    ratios = {name: current[name] / baseline[name] for name in common}
-    speed = median(ratios.values())
-    limit = speed * (1.0 + args.tolerance)
-
-    print(f"{len(common)} common benchmarks; median current/baseline ratio "
-          f"{speed:.3f} (machine-speed normalizer), per-benchmark limit "
-          f"{limit:.3f}")
-    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} "
-          f"{'ratio':>8}  verdict")
-
     failures = []
-    for name in common:
-        ratio = ratios[name]
-        verdict = "ok"
-        if ratio > limit:
-            verdict = "REGRESSION"
-            failures.append(name)
-        print(f"{name:<44} {baseline[name]:>10.0f}ns {current[name]:>10.0f}ns "
-              f"{ratio:>8.3f}  {verdict}")
+    if baseline is not None:
+        if args.exclude:
+            pattern = re.compile(args.exclude)
+            dropped = sorted(n for n in set(baseline) | set(current)
+                             if pattern.search(n))
+            for name in dropped:
+                baseline.pop(name, None)
+                current.pop(name, None)
+            if dropped:
+                print(f"excluded by --exclude: {', '.join(dropped)}")
 
-    for name in missing:
-        print(f"{name:<44} {'(missing from current run)':>36}")
-        failures.append(name)
-    for name in new:
-        print(f"{name:<44} {'(new; not in baseline)':>36}")
-        if not args.allow_new:
-            failures.append(name)
+        common = sorted(set(baseline) & set(current))
+        missing = sorted(set(baseline) - set(current))
+        new = sorted(set(current) - set(baseline))
+        if not common:
+            print("error: no common benchmarks between baseline and current",
+                  file=sys.stderr)
+            sys.exit(2)
 
-    if speed > args.max_median:
-        print(f"FAIL: median ratio {speed:.3f} exceeds --max-median "
-              f"{args.max_median:.3f} (whole-suite slowdown)")
-        sys.exit(1)
+        ratios = {name: current[name] / baseline[name] for name in common}
+        speed = median(ratios.values())
+        limit = speed * (1.0 + args.tolerance)
+
+        print(f"{len(common)} common benchmarks; median current/baseline "
+              f"ratio {speed:.3f} (machine-speed normalizer), per-benchmark "
+              f"limit {limit:.3f}")
+        print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} "
+              f"{'ratio':>8}  verdict")
+
+        for name in common:
+            ratio = ratios[name]
+            verdict = "ok"
+            if ratio > limit:
+                verdict = "REGRESSION"
+                failures.append(name)
+            print(f"{name:<44} {baseline[name]:>10.0f}ns "
+                  f"{current[name]:>10.0f}ns {ratio:>8.3f}  {verdict}")
+
+        for name in missing:
+            print(f"{name:<44} {'(missing from current run)':>36}")
+            failures.append(name)
+        for name in new:
+            print(f"{name:<44} {'(new; not in baseline)':>36}")
+            if not args.allow_new:
+                failures.append(name)
+
+        if speed > args.max_median:
+            print(f"FAIL: median ratio {speed:.3f} exceeds --max-median "
+                  f"{args.max_median:.3f} (whole-suite slowdown)")
+            sys.exit(1)
     if failures:
         print(f"FAIL: {len(failures)} regressed/missing benchmark(s): "
               + ", ".join(failures))

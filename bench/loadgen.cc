@@ -39,6 +39,7 @@
 #include "common/rng.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "service/sampling_service.h"
 #include "workloads/synthetic.h"
 
@@ -207,10 +208,89 @@ Result<bool> CheckWireDeterminism(const Config& config,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Metrics cross-check: the Prometheus counters scraped over the wire
+// (kMetrics) must reconcile with what the load generator itself counted
+// at the protocol level. The server runs in-process, so the registry
+// values BEFORE the load phase can be snapshotted directly; the "after"
+// side goes over the wire to exercise the scrape path end to end.
+
+struct MetricsBaseline {
+  uint64_t sample_requests = 0;
+  uint64_t shed_tenant = 0;
+  uint64_t shed_session = 0;
+  uint64_t queue_overflows = 0;
+};
+
+MetricsBaseline SnapshotMetricsBaseline() {
+  auto& registry = suj::obs::MetricsRegistry::Global();
+  MetricsBaseline b;
+  b.sample_requests =
+      registry.GetCounter("suj_net_sample_requests_total")->Value();
+  b.shed_tenant =
+      registry.GetCounter("suj_tenant_shed_tenant_total")->Value();
+  b.shed_session =
+      registry.GetCounter("suj_tenant_shed_session_total")->Value();
+  b.queue_overflows =
+      registry.GetCounter("suj_admission_queue_overflow_total")->Value();
+  return b;
+}
+
+/// Value of a bare `name value` exposition line (no '#', no labels);
+/// 0 when absent.
+uint64_t ScrapedValue(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = text.find(name + " ", pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::stoull(text.substr(pos + name.size() + 1));
+    }
+    ++pos;
+  }
+  return 0;
+}
+
+/// Scrapes the server and checks the load-phase counter deltas against
+/// the wire-level tallies. Valid because every worker samples with
+/// wait=true: a shed response can only come from the tenant bucket, the
+/// session bucket, or the bounded admission queue — exactly the three
+/// scraped shed counters.
+Result<bool> ReconcileScrapedMetrics(uint16_t port,
+                                     const MetricsBaseline& before,
+                                     uint64_t requests, uint64_t shed) {
+  SUJ_ASSIGN_OR_RETURN(SujClient client,
+                       SujClient::Connect("127.0.0.1", port, "scrape"));
+  SUJ_ASSIGN_OR_RETURN(std::string text, client.Metrics());
+  const uint64_t sample_requests =
+      ScrapedValue(text, "suj_net_sample_requests_total") -
+      before.sample_requests;
+  const uint64_t scraped_shed =
+      ScrapedValue(text, "suj_tenant_shed_tenant_total") -
+      before.shed_tenant +
+      ScrapedValue(text, "suj_tenant_shed_session_total") -
+      before.shed_session +
+      ScrapedValue(text, "suj_admission_queue_overflow_total") -
+      before.queue_overflows;
+  bool ok = true;
+  if (sample_requests != requests) {
+    std::cerr << "METRICS MISMATCH: scraped suj_net_sample_requests_total "
+                 "delta "
+              << sample_requests << " != loadgen requests " << requests
+              << "\n";
+    ok = false;
+  }
+  if (scraped_shed != shed) {
+    std::cerr << "METRICS MISMATCH: scraped shed-counter delta "
+              << scraped_shed << " != loadgen sheds " << shed << "\n";
+    ok = false;
+  }
+  return ok;
+}
+
 void WriteJson(const Config& config, std::ostream& os,
                std::vector<int64_t>& latencies, double wall_seconds,
                uint64_t requests, uint64_t shed, uint64_t tuples,
-               bool determinism_ok, const suj::net::ServerStatsResponse& s) {
+               bool determinism_ok, bool metrics_ok,
+               const suj::net::ServerStatsResponse& s) {
   std::sort(latencies.begin(), latencies.end());
   const double p50 = Percentile(latencies, 0.50);
   const double p95 = Percentile(latencies, 0.95);
@@ -246,7 +326,10 @@ void WriteJson(const Config& config, std::ostream& os,
      << "    \"throughput_rps\": "
      << (wall_seconds > 0 ? admitted / wall_seconds : 0) << ",\n"
      << "    \"determinism_ok\": " << (determinism_ok ? 1 : 0) << ",\n"
+     << "    \"metrics_reconcile_ok\": " << (metrics_ok ? 1 : 0) << ",\n"
      << "    \"server_quota_shed\": " << s.quota_shed_total << ",\n"
+     << "    \"server_quota_shed_tenant\": " << s.quota_shed_tenant << ",\n"
+     << "    \"server_quota_shed_session\": " << s.quota_shed_session << ",\n"
      << "    \"server_queue_overflows\": " << s.queue_overflows << ",\n"
      << "    \"server_requests\": " << s.requests_served << "\n"
      << "  }\n}\n";
@@ -380,6 +463,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Counter baseline AFTER bootstrap, BEFORE the load phase: the deltas
+  // the scrape cross-check reconciles are exactly the load phase's.
+  const MetricsBaseline metrics_before = SnapshotMetricsBaseline();
+
   const int workers = config.tenants * config.sessions_per_tenant;
   std::vector<WorkerResult> results(workers);
   std::vector<std::thread> threads;
@@ -406,19 +493,32 @@ int main(int argc, char** argv) {
     tuples += r.tuples;
   }
   auto server_stats = server.StatsSnapshot();
+
+  bool metrics_ok = false;
+  {
+    auto reconciled = ReconcileScrapedMetrics(server.port(), metrics_before,
+                                              requests, shed);
+    if (!reconciled.ok()) {
+      std::cerr << "metrics scrape failed: "
+                << reconciled.status().ToString() << "\n";
+    } else {
+      metrics_ok = reconciled.value();
+    }
+  }
   server.Stop();
 
   if (!config.out.empty()) {
     std::ofstream f(config.out);
     WriteJson(config, f, latencies, wall_seconds, requests, shed, tuples,
-              determinism_ok, server_stats);
+              determinism_ok, metrics_ok, server_stats);
   } else {
     WriteJson(config, std::cout, latencies, wall_seconds, requests, shed,
-              tuples, determinism_ok, server_stats);
+              tuples, determinism_ok, metrics_ok, server_stats);
   }
   std::cerr << "loadgen: " << requests << " requests (" << shed
             << " shed), " << tuples << " tuples in " << wall_seconds
             << "s; determinism " << (determinism_ok ? "OK" : "VIOLATED")
+            << "; metrics reconcile " << (metrics_ok ? "OK" : "FAILED")
             << "\n";
-  return determinism_ok ? 0 : 1;
+  return determinism_ok && metrics_ok ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "core/revision_state.h"
 #include "join/membership.h"
 #include "join/wander_join.h"
+#include "obs/metrics.h"
 
 namespace suj {
 namespace bench {
@@ -158,6 +159,30 @@ void BM_UnionSampleSequential(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
 }
 BENCHMARK(BM_UnionSampleSequential)->UseRealTime();
+
+// The identical loop with every obs instrument frozen: the CI perf gate
+// compares this against BM_UnionSampleSequential (same run) and asserts
+// metrics-on costs <= 5% — the observability overhead budget.
+void BM_UnionSampleSequentialMetricsOff(benchmark::State& state) {
+  UnionMicroWorkload& f = UnionSetup();
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = Unwrap(
+      UnionSampler::Create(f.joins, Unwrap(UnionMicroEwFactory(&f)(), "EW"),
+                           f.estimates, f.probers, opts),
+      "union sampler");
+  Rng rng(11);
+  const size_t kDraw = 4096;
+  obs::SetMetricsEnabled(false);
+  for (auto _ : state) {
+    auto samples = sampler->Sample(kDraw, rng);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+  }
+  obs::SetMetricsEnabled(true);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_UnionSampleSequentialMetricsOff)->UseRealTime();
 
 // Same sequential loop over ROW-ORIENTED exact-weight samplers (columnar
 // descent disabled): the anchor for the columnar speedup. The CI perf

@@ -11,12 +11,68 @@
 #include "core/revision_state.h"
 #include "exec/parallel_executor.h"
 #include "exec/worker_context_pool.h"
+#include "obs/metrics.h"
 
 namespace suj {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Folds one Sample call's stats_ deltas into the process-wide obs
+// counters at scope exit. Deliberately OUTSIDE the sampling loop: the
+// hot path (rounds, draws, accepts) stays untouched, and the obs cost
+// is a handful of relaxed adds per CALL — which is what keeps the
+// metrics-on/metrics-off perf gate trivially within bounds.
+class ScopedCoreStatsExport {
+ public:
+  explicit ScopedCoreStatsExport(const UnionSampleStats* stats)
+      : stats_(stats),
+        rounds_(stats->rounds),
+        accepted_(stats->accepted),
+        rejected_cover_(stats->rejected_cover),
+        revisions_(stats->revisions),
+        reconcile_dropped_(stats->reconcile_dropped),
+        reconciliation_seconds_(stats->reconciliation_seconds) {}
+
+  ~ScopedCoreStatsExport() {
+    static obs::Counter* const rounds =
+        obs::MetricsRegistry::Global().GetCounter("suj_core_rounds_total");
+    static obs::Counter* const accepted =
+        obs::MetricsRegistry::Global().GetCounter("suj_core_accepted_total");
+    static obs::Counter* const rejected =
+        obs::MetricsRegistry::Global().GetCounter(
+            "suj_core_rejected_cover_total");
+    static obs::Counter* const revisions =
+        obs::MetricsRegistry::Global().GetCounter("suj_core_revisions_total");
+    static obs::Counter* const reconcile_dropped =
+        obs::MetricsRegistry::Global().GetCounter(
+            "suj_core_reconcile_dropped_total");
+    static obs::Histogram* const reconcile_ns =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "suj_core_reconcile_ns", obs::Histogram::DefaultLatencyBoundsNs());
+    rounds->Increment(stats_->rounds - rounds_);
+    accepted->Increment(stats_->accepted - accepted_);
+    rejected->Increment(stats_->rejected_cover - rejected_cover_);
+    revisions->Increment(stats_->revisions - revisions_);
+    reconcile_dropped->Increment(stats_->reconcile_dropped -
+                                 reconcile_dropped_);
+    const double reconcile_delta_s =
+        stats_->reconciliation_seconds - reconciliation_seconds_;
+    if (reconcile_delta_s > 0) {
+      reconcile_ns->Observe(static_cast<uint64_t>(reconcile_delta_s * 1e9));
+    }
+  }
+
+ private:
+  const UnionSampleStats* stats_;
+  uint64_t rounds_;
+  uint64_t accepted_;
+  uint64_t rejected_cover_;
+  uint64_t revisions_;
+  uint64_t reconcile_dropped_;
+  double reconciliation_seconds_;
+};
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -764,10 +820,12 @@ Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng,
         "RevisionState is bound to a different UnionSampler; a resumed "
         "protocol cannot migrate between samplers");
   }
+  ScopedCoreStatsExport obs_export(&stats_);
   return SampleRevisionResumable(n, rng, state);
 }
 
 Result<std::vector<Tuple>> UnionSampler::Sample(size_t n, Rng& rng) {
+  ScopedCoreStatsExport obs_export(&stats_);
   if (options_.sampler_factory != nullptr) {
     // One draw fixes the substream seed; the caller's RNG advances the
     // same way for every thread count.

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "exec/worker_context_pool.h"
+#include "obs/metrics.h"
 
 namespace suj {
 
@@ -110,6 +111,16 @@ Result<std::vector<Tuple>> ParallelUnionExecutor::Execute(
                                    wall_start)
                                    .count();
   }
+  static obs::Counter* const batches =
+      obs::MetricsRegistry::Global().GetCounter("suj_exec_batches_total");
+  static obs::Histogram* const fanout_ns =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "suj_exec_fanout_ns", obs::Histogram::DefaultLatencyBoundsNs());
+  batches->Increment(num_batches);
+  fanout_ns->Observe(static_cast<uint64_t>(
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count()));
 
   std::vector<Tuple> result;
   result.reserve(n);

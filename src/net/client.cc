@@ -137,5 +137,13 @@ Result<ServerStatsResponse> SujClient::ServerStats() {
   return ServerStatsResponse::Decode(rsp.body);
 }
 
+Result<std::string> SujClient::Metrics() {
+  SUJ_ASSIGN_OR_RETURN(
+      Frame rsp, Call(MessageType::kMetrics, "", MessageType::kMetricsRsp));
+  SUJ_ASSIGN_OR_RETURN(MetricsResponse decoded,
+                       MetricsResponse::Decode(rsp.body));
+  return std::move(decoded.text);
+}
+
 }  // namespace net
 }  // namespace suj

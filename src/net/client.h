@@ -64,6 +64,8 @@ class SujClient {
 
   Result<SessionStatsResponse> SessionStats(uint64_t session_id);
   Result<ServerStatsResponse> ServerStats();
+  /// Scrapes the server process's metrics as Prometheus text exposition.
+  Result<std::string> Metrics();
 
   bool connected() const { return conn_.valid(); }
   void Disconnect() { conn_.Close(); }

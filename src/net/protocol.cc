@@ -337,6 +337,21 @@ Result<SessionStatsResponse> SessionStatsResponse::Decode(
   return out;
 }
 
+std::string MetricsResponse::Encode() const {
+  std::string body;
+  WireWriter w(&body);
+  w.PutBytes(text);
+  return body;
+}
+
+Result<MetricsResponse> MetricsResponse::Decode(std::string_view body) {
+  WireReader r(body);
+  MetricsResponse out;
+  SUJ_ASSIGN_OR_RETURN(out.text, r.GetString());
+  SUJ_RETURN_NOT_OK(r.ExpectDone());
+  return out;
+}
+
 std::string ServerStatsResponse::Encode() const {
   std::string body;
   WireWriter w(&body);
@@ -356,6 +371,11 @@ std::string ServerStatsResponse::Encode() const {
   w.PutU64(connections_accepted);
   w.PutU64(connections_shed);
   w.PutU64(requests_served);
+  w.PutU64(version_rejects);
+  w.PutU64(quota_shed_tenant);
+  w.PutU64(quota_shed_session);
+  w.PutU64(sessions_quota_rejected);
+  w.PutU64(plans_evicted);
   return body;
 }
 
@@ -379,6 +399,11 @@ Result<ServerStatsResponse> ServerStatsResponse::Decode(
   SUJ_ASSIGN_OR_RETURN(out.connections_accepted, r.GetU64());
   SUJ_ASSIGN_OR_RETURN(out.connections_shed, r.GetU64());
   SUJ_ASSIGN_OR_RETURN(out.requests_served, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.version_rejects, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.quota_shed_tenant, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.quota_shed_session, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.sessions_quota_rejected, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.plans_evicted, r.GetU64());
   SUJ_RETURN_NOT_OK(r.ExpectDone());
   return out;
 }

@@ -41,8 +41,9 @@ namespace net {
 
 /// Bumped on any incompatible change; Hello carries it and the server
 /// rejects mismatches outright (no negotiation — client and server ship
-/// from one tree).
-constexpr uint32_t kProtocolVersion = 1;
+/// from one tree). v2: kMetrics/kMetricsRsp exposition frames and the
+/// per-stage shed breakdown appended to ServerStatsResponse.
+constexpr uint32_t kProtocolVersion = 2;
 
 /// Default ceiling on one frame. Large sample responses are chunked well
 /// below this by the stream chunk size; a frame that claims to be bigger
@@ -59,6 +60,7 @@ enum class MessageType : uint8_t {
   kCloseSession = 6,
   kSessionStats = 7,
   kServerStats = 8,
+  kMetrics = 9,       ///< Prometheus scrape (empty body)
   // server -> client
   kStatus = 16,       ///< generic ack / error (code + message)
   kPrepareRsp = 17,
@@ -68,6 +70,7 @@ enum class MessageType : uint8_t {
   kStreamEnd = 21,    ///< terminates a StreamSample (ok or error)
   kSessionStatsRsp = 22,
   kServerStatsRsp = 23,
+  kMetricsRsp = 24,   ///< Prometheus text exposition
 };
 
 // ---------------------------------------------------------------------------
@@ -212,6 +215,17 @@ struct SessionStatsResponse {
   static Result<SessionStatsResponse> Decode(std::string_view body);
 };
 
+/// Body of kMetricsRsp: the process-wide MetricsRegistry rendered as
+/// Prometheus text exposition (obs/metrics.h). One opaque string — the
+/// metric set evolves without protocol bumps, exactly like a real
+/// /metrics endpoint.
+struct MetricsResponse {
+  std::string text;
+
+  std::string Encode() const;
+  static Result<MetricsResponse> Decode(std::string_view body);
+};
+
 /// Service-wide stats: admission, registry, sessions, quota sheds, and
 /// the server's own connection counters.
 struct ServerStatsResponse {
@@ -236,6 +250,13 @@ struct ServerStatsResponse {
   uint64_t connections_accepted = 0;
   uint64_t connections_shed = 0;
   uint64_t requests_served = 0;
+  // per-stage shed breakdown (v2): WHY traffic was shed, not just that
+  // it was. quota_shed_total == quota_shed_tenant + quota_shed_session.
+  uint64_t version_rejects = 0;          ///< Hello version mismatches
+  uint64_t quota_shed_tenant = 0;        ///< tenant token-bucket sheds
+  uint64_t quota_shed_session = 0;       ///< per-session token-bucket sheds
+  uint64_t sessions_quota_rejected = 0;  ///< OpenSession over max_sessions
+  uint64_t plans_evicted = 0;            ///< explicit registry evictions
 
   std::string Encode() const;
   static Result<ServerStatsResponse> Decode(std::string_view body);

@@ -2,8 +2,34 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace suj {
 namespace net {
+
+namespace {
+
+// One cached instrument per shed point / stage, resolved on first use.
+obs::Counter* NetCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+const char* OpName(MessageType type) {
+  switch (type) {
+    case MessageType::kPrepare: return "prepare";
+    case MessageType::kOpenSession: return "open_session";
+    case MessageType::kSample: return "sample";
+    case MessageType::kStreamSample: return "stream_sample";
+    case MessageType::kCloseSession: return "close_session";
+    case MessageType::kSessionStats: return "session_stats";
+    case MessageType::kServerStats: return "server_stats";
+    case MessageType::kMetrics: return "metrics";
+    default: return "unknown";
+  }
+}
+
+}  // namespace
 
 SujServer::SujServer(SamplingService* service, SpecResolver resolver,
                      ServerOptions options)
@@ -22,6 +48,9 @@ int64_t SujServer::NowNs() {
 
 Status SujServer::Start() {
   if (running_.load()) return Status::FailedPrecondition("already running");
+  if (options_.slow_request_ns >= 0) {
+    obs::Tracer::Global().set_slow_threshold_ns(options_.slow_request_ns);
+  }
   SUJ_ASSIGN_OR_RETURN(
       listener_,
       TcpListener::Listen(options_.host, options_.port, options_.backlog));
@@ -82,6 +111,9 @@ void SujServer::AcceptLoop() {
       if (conns_.size() >= options_.max_connections) {
         // Shed: tell the client why before hanging up.
         connections_shed_.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter* const shed =
+            NetCounter("suj_net_connections_shed_total");
+        shed->Increment();
         TcpConn conn = std::move(accepted).value();
         SendStatus(conn, Status::ResourceExhausted(
                              "server at connection capacity (" +
@@ -90,6 +122,9 @@ void SujServer::AcceptLoop() {
         continue;  // conn closes on scope exit
       }
       connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* const accepted_counter =
+          NetCounter("suj_net_connections_accepted_total");
+      accepted_counter->Increment();
       auto state = std::make_unique<Connection>();
       state->conn = std::move(accepted).value();
       Connection* raw = state.get();
@@ -114,9 +149,12 @@ void SujServer::ReaperLoop() {
     if (!running_.load(std::memory_order_acquire)) return;
     auto reaped = service_->sessions().ReapIdle(
         NowNs(), options_.session_idle_timeout_ns);
+    static obs::Counter* const reaped_counter =
+        NetCounter("suj_net_sessions_reaped_total");
     for (uint64_t id : reaped) {
       ReleaseSession(id);
       sessions_reaped_.fetch_add(1, std::memory_order_relaxed);
+      reaped_counter->Increment();
     }
   }
 }
@@ -134,8 +172,14 @@ void SujServer::ReleaseSession(uint64_t session_id) {
 }
 
 Status SujServer::SendStatus(TcpConn& conn, const Status& status) {
-  return WriteFrame(conn, MessageType::kStatus,
+  return WriteTimed(conn, MessageType::kStatus,
                     StatusPayload::FromStatus(status).Encode());
+}
+
+Status SujServer::WriteTimed(TcpConn& conn, MessageType type,
+                             const std::string& body) {
+  obs::ScopedSpan span(obs::Stage::kWireWrite);
+  return WriteFrame(conn, type, body);
 }
 
 void SujServer::HandleConnection(Connection* state) {
@@ -156,6 +200,10 @@ void SujServer::HandleConnection(Connection* state) {
       break;
     }
     if (hello.value().version != kProtocolVersion) {
+      version_rejects_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* const version_rejects =
+          NetCounter("suj_net_version_rejects_total");
+      version_rejects->Increment();
       SendStatus(conn, Status::InvalidArgument(
                            "protocol version " +
                            std::to_string(hello.value().version) +
@@ -167,11 +215,30 @@ void SujServer::HandleConnection(Connection* state) {
     if (!SendStatus(conn, Status::OK()).ok()) break;
 
     // Request loop: one frame in, one response (or a chunk stream) out.
+    static obs::Counter* const requests_counter =
+        NetCounter("suj_net_requests_total");
+    static obs::Histogram* const request_ns =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "suj_net_request_ns", obs::Histogram::DefaultLatencyBoundsNs());
     for (;;) {
+      const int64_t read_start_ns = obs::MonotonicNs();
       auto request = ReadFrame(conn, options_.max_frame_bytes);
       if (!request.ok()) break;  // peer hung up or sent garbage
       requests_served_.fetch_add(1, std::memory_order_relaxed);
-      if (!Dispatch(conn, tenant, request.value()).ok()) break;
+      requests_counter->Increment();
+      // The trace starts AFTER the request frame arrives: the wire_read
+      // span includes peer think time (the gap between requests), so it
+      // is recorded but kept out of the slow-log total.
+      obs::TraceContext trace(obs::Tracer::Global().NextTraceId(),
+                              OpName(request.value().type));
+      trace.Record(obs::Stage::kWireRead, read_start_ns,
+                   trace.start_ns() - read_start_ns);
+      obs::TraceScope scope(&trace);
+      const Status dispatched = Dispatch(conn, tenant, request.value());
+      request_ns->Observe(
+          static_cast<uint64_t>(obs::MonotonicNs() - trace.start_ns()));
+      obs::Tracer::Global().Finish(trace, tenant);
+      if (!dispatched.ok()) break;
     }
   } while (false);
   state->done.store(true, std::memory_order_release);
@@ -194,6 +261,8 @@ Status SujServer::Dispatch(TcpConn& conn, const std::string& tenant,
       return HandleSessionStats(conn, frame);
     case MessageType::kServerStats:
       return HandleServerStats(conn);
+    case MessageType::kMetrics:
+      return HandleMetrics(conn);
     default:
       return SendStatus(
           conn, Status::InvalidArgument(
@@ -225,7 +294,7 @@ Status SujServer::HandlePrepare(TcpConn& conn, const Frame& frame) {
   rsp.plan_id = plan.value()->plan_id();
   rsp.build_seconds = plan.value()->build_seconds();
   rsp.approx_memory_bytes = plan.value()->approx_memory_bytes();
-  return WriteFrame(conn, MessageType::kPrepareRsp, rsp.Encode());
+  return WriteTimed(conn, MessageType::kPrepareRsp, rsp.Encode());
 }
 
 Status SujServer::HandleOpenSession(TcpConn& conn, const std::string& tenant,
@@ -258,7 +327,7 @@ Status SujServer::HandleOpenSession(TcpConn& conn, const std::string& tenant,
   }
   OpenSessionResponse rsp;
   rsp.session_id = session_id.value();
-  return WriteFrame(conn, MessageType::kOpenSessionRsp, rsp.Encode());
+  return WriteTimed(conn, MessageType::kOpenSessionRsp, rsp.Encode());
 }
 
 Status SujServer::HandleSample(TcpConn& conn, const std::string& tenant,
@@ -267,7 +336,17 @@ Status SujServer::HandleSample(TcpConn& conn, const std::string& tenant,
   if (!request.ok()) return SendStatus(conn, request.status());
   const uint64_t session_id = request.value().session_id;
 
-  Status quota = governor_.AdmitRequest(tenant, session_id, NowNs());
+  // Counted BEFORE the quota gate: the loadgen reconciliation invariant
+  // is sample_requests == admitted + shed, so the counter must see every
+  // arrival, shed or not.
+  static obs::Counter* const sample_requests =
+      NetCounter("suj_net_sample_requests_total");
+  sample_requests->Increment();
+
+  Status quota = [&] {
+    obs::ScopedSpan span(obs::Stage::kTenantCheck);
+    return governor_.AdmitRequest(tenant, session_id, NowNs());
+  }();
   if (!quota.ok()) return SendStatus(conn, quota);
 
   auto tuples = service_->Sample(
@@ -283,7 +362,7 @@ Status SujServer::HandleSample(TcpConn& conn, const std::string& tenant,
   for (const auto& t : tuples.value()) {
     chunk.encoded_tuples.push_back(t.Encode());
   }
-  return WriteFrame(conn, MessageType::kSampleRsp, chunk.Encode());
+  return WriteTimed(conn, MessageType::kSampleRsp, chunk.Encode());
 }
 
 Status SujServer::HandleStreamSample(TcpConn& conn, const std::string& tenant,
@@ -295,7 +374,10 @@ Status SujServer::HandleStreamSample(TcpConn& conn, const std::string& tenant,
   // One stream charges one quota token: the admission controller gates
   // every chunk individually, so per-chunk quota charges would just
   // double-count the same work at a coarser layer.
-  Status quota = governor_.AdmitRequest(tenant, session_id, NowNs());
+  Status quota = [&] {
+    obs::ScopedSpan span(obs::Stage::kTenantCheck);
+    return governor_.AdmitRequest(tenant, session_id, NowNs());
+  }();
   if (!quota.ok()) return SendStatus(conn, quota);
 
   SampleStream::Options stream_options;
@@ -311,7 +393,7 @@ Status SujServer::HandleStreamSample(TcpConn& conn, const std::string& tenant,
     if (!batch.ok()) {
       // Mid-stream application error: report in StreamEnd; connection
       // stays usable.
-      return WriteFrame(conn, MessageType::kStreamEnd,
+      return WriteTimed(conn, MessageType::kStreamEnd,
                         StatusPayload::FromStatus(batch.status()).Encode());
     }
     if (batch.value().empty()) break;  // exhausted
@@ -320,7 +402,7 @@ Status SujServer::HandleStreamSample(TcpConn& conn, const std::string& tenant,
     for (const auto& t : batch.value()) {
       chunk.encoded_tuples.push_back(t.Encode());
     }
-    Status io = WriteFrame(conn, MessageType::kStreamChunk, chunk.Encode());
+    Status io = WriteTimed(conn, MessageType::kStreamChunk, chunk.Encode());
     if (!io.ok()) {
       stream.value()->Cancel();  // consumer is gone; stop producing
       return io;
@@ -329,7 +411,7 @@ Status SujServer::HandleStreamSample(TcpConn& conn, const std::string& tenant,
   if (auto session = service_->sessions().Get(session_id); session.ok()) {
     session.value()->Touch(NowNs());
   }
-  return WriteFrame(conn, MessageType::kStreamEnd,
+  return WriteTimed(conn, MessageType::kStreamEnd,
                     StatusPayload::FromStatus(Status::OK()).Encode());
 }
 
@@ -364,12 +446,30 @@ Status SujServer::HandleSessionStats(TcpConn& conn, const Frame& frame) {
   rsp.revision_surplus_high_water = s.revision_surplus_high_water;
   rsp.sampler_accepted = s.sampler.accepted;
   rsp.sampler_join_draws = s.sampler.join_draws;
-  return WriteFrame(conn, MessageType::kSessionStatsRsp, rsp.Encode());
+  return WriteTimed(conn, MessageType::kSessionStatsRsp, rsp.Encode());
 }
 
 Status SujServer::HandleServerStats(TcpConn& conn) {
-  return WriteFrame(conn, MessageType::kServerStatsRsp,
+  return WriteTimed(conn, MessageType::kServerStatsRsp,
                     StatsSnapshot().Encode());
+}
+
+Status SujServer::HandleMetrics(TcpConn& conn) {
+  // Gauges are levels, not flows: refresh them at scrape time from the
+  // authoritative sources instead of tracking every transition.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("suj_sessions_open")
+      ->Set(static_cast<int64_t>(service_->sessions().size()));
+  registry.GetGauge("suj_plans_resident")
+      ->Set(static_cast<int64_t>(service_->registry().size()));
+  registry.GetGauge("suj_registry_resident_bytes")
+      ->Set(static_cast<int64_t>(
+          service_->registry().snapshot().resident_bytes));
+  registry.GetGauge("suj_admission_in_flight")
+      ->Set(static_cast<int64_t>(service_->admission().in_flight()));
+  MetricsResponse rsp;
+  rsp.text = registry.RenderPrometheusText();
+  return WriteTimed(conn, MessageType::kMetricsRsp, rsp.Encode());
 }
 
 ServerStatsResponse SujServer::StatsSnapshot() const {
@@ -393,6 +493,13 @@ ServerStatsResponse SujServer::StatsSnapshot() const {
       connections_accepted_.load(std::memory_order_relaxed);
   rsp.connections_shed = connections_shed_.load(std::memory_order_relaxed);
   rsp.requests_served = requests_served_.load(std::memory_order_relaxed);
+  // v2 shed breakdown — per-SERVER sources (a process can host several
+  // servers in tests; the process-global obs counters would bleed).
+  rsp.version_rejects = version_rejects_.load(std::memory_order_relaxed);
+  rsp.quota_shed_tenant = governor_.total_shed_tenant_quota();
+  rsp.quota_shed_session = governor_.total_shed_session_quota();
+  rsp.sessions_quota_rejected = governor_.total_sessions_rejected();
+  rsp.plans_evicted = registry.evicted;
   return rsp;
 }
 

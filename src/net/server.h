@@ -75,6 +75,12 @@ struct ServerOptions {
   int64_t reap_interval_ns = 50'000'000;  // 50 ms
   /// Producer read-ahead for StreamSample (SampleStream::Options).
   size_t stream_max_buffered_chunks = 4;
+  /// Requests slower than this (ns, end to end minus idle wire reads)
+  /// are dumped to the slow-request log with a per-stage breakdown.
+  /// -1 keeps the process-wide default (SUJ_SLOW_REQUEST_NS env, else
+  /// disabled); >= 0 overrides it at Start(). Process-global — the last
+  /// server started wins, which only matters to multi-server tests.
+  int64_t slow_request_ns = -1;
 };
 
 /// \brief One listening server bound to one SamplingService.
@@ -133,9 +139,13 @@ class SujServer {
   Status HandleCloseSession(TcpConn& conn, const Frame& frame);
   Status HandleSessionStats(TcpConn& conn, const Frame& frame);
   Status HandleServerStats(TcpConn& conn);
+  Status HandleMetrics(TcpConn& conn);
 
   /// Sends a kStatus frame for `status` (OK or error).
   Status SendStatus(TcpConn& conn, const Status& status);
+  /// WriteFrame, recording a wire_write span into the current trace.
+  static Status WriteTimed(TcpConn& conn, MessageType type,
+                           const std::string& body);
 
   /// Forgets a closed/reaped session: releases its governor slot and
   /// tenant binding. Idempotent.
@@ -164,6 +174,7 @@ class SujServer {
   std::atomic<uint64_t> connections_shed_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> sessions_reaped_{0};
+  std::atomic<uint64_t> version_rejects_{0};
 };
 
 }  // namespace net

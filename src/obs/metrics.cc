@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace suj {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SUJ_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  shards_.reserve(kShards);
+  for (size_t i = 0; i < kShards; ++i) {
+    shards_.emplace_back(bounds_.size() + 1);
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::DefaultLatencyBoundsNs() {
+  return {1'000,          10'000,        100'000,        1'000'000,
+          10'000'000,     100'000'000,   1'000'000'000,  10'000'000'000ull};
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: instrument pointers cached in function-local
+  // statics all over the process must stay valid through shutdown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  SUJ_CHECK(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  SUJ_CHECK(gauges_.find(name) == gauges_.end());
+  SUJ_CHECK(histograms_.find(name) == histograms_.end());
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) it->second.reset(new Counter());
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  SUJ_CHECK(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  SUJ_CHECK(counters_.find(name) == counters_.end());
+  SUJ_CHECK(histograms_.find(name) == histograms_.end());
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) it->second.reset(new Gauge());
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  SUJ_CHECK(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  SUJ_CHECK(counters_.find(name) == counters_.end());
+  SUJ_CHECK(gauges_.find(name) == gauges_.end());
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) it->second.reset(new Histogram(std::move(bounds)));
+  return it->second.get();
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  // Instrument writes are relaxed and scrape-time aggregated: the render
+  // is a consistent-enough snapshot (each cell read once), it just is
+  // not a cross-metric atomic cut — standard for Prometheus clients.
+  std::ostringstream os;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    os << "# TYPE " << name << " counter\n"
+       << name << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << "# TYPE " << name << " gauge\n"
+       << name << " " << gauge->Value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    os << "# TYPE " << name << " histogram\n";
+    const std::vector<uint64_t> counts = histogram->BucketCounts();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram->bounds().size(); ++i) {
+      cumulative += counts[i];
+      os << name << "_bucket{le=\"" << histogram->bounds()[i] << "\"} "
+         << cumulative << "\n";
+    }
+    cumulative += counts.back();
+    os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+       << name << "_sum " << histogram->Sum() << "\n"
+       << name << "_count " << cumulative << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace suj

@@ -1,0 +1,198 @@
+// MetricsRegistry: process-wide named counters, gauges, and fixed-
+// boundary latency histograms with Prometheus-text exposition.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path increments must cost a few nanoseconds. Counters and
+//     histograms are sharded into cache-line-aligned per-cell atomics;
+//     each thread is assigned a shard round-robin on first use, so an
+//     increment is one relaxed fetch_add on a line that (almost) no
+//     other thread touches. Aggregation happens at scrape time, where
+//     latency does not matter.
+//  2. Observability must never perturb what is being observed. Nothing
+//     in this file touches an Rng, takes a lock on the sample path, or
+//     changes control flow — samples are byte-identical with metrics
+//     enabled or disabled (tests/metrics_test.cc asserts this end to
+//     end, and the CI perf gate bounds the enabled-path overhead).
+//  3. No dependencies beyond the standard library.
+//
+// Instruments are registered by name (Prometheus conventions:
+// [a-zA-Z_:][a-zA-Z0-9_:]*; plain names, no labels) and live for the
+// registry's lifetime; Get* returns a stable raw pointer, so call sites
+// cache it in a function-local static and never re-enter the registry:
+//
+//   static obs::Counter* const c =
+//       obs::MetricsRegistry::Global().GetCounter("suj_x_total");
+//   c->Increment();
+//
+// SetMetricsEnabled(false) freezes every instrument in the process (the
+// metrics-off benchmark anchor); reads stay valid.
+
+#ifndef SUJ_OBS_METRICS_H_
+#define SUJ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace suj {
+namespace obs {
+
+/// Process-wide switch consulted by every instrument write. Relaxed: a
+/// toggle takes effect "soon", which is all on/off comparisons need.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace internal {
+/// Round-robin shard index of the calling thread, assigned on first use.
+size_t ThreadShard();
+}  // namespace internal
+
+/// Monotonically increasing counter. Exact under concurrent increments:
+/// shards never lose updates, and Value() sums them all.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Increment(uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    cells_[internal::ThreadShard() % kShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  Cell cells_[kShards];
+};
+
+/// Last-written-wins level (sessions open, bytes resident, ...). Set at
+/// scrape or event time; not sharded (writes are rare).
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    if (!MetricsEnabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-boundary histogram of nanosecond durations. `bounds` are
+/// inclusive upper bounds in ascending order; one implicit +Inf bucket
+/// tops them off. Sharded like Counter.
+class Histogram {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Observe(uint64_t value_ns) {
+    if (!MetricsEnabled()) return;
+    Shard& shard = shards_[internal::ThreadShard() % kShards];
+    shard.buckets[BucketIndex(value_ns)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+    shard.sum.fetch_add(value_ns, std::memory_order_relaxed);
+  }
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+
+  /// Per-bucket counts (bounds_.size() + 1 entries, last = +Inf),
+  /// aggregated over shards. Not cumulative.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  uint64_t Sum() const;
+
+  /// The standard latency ladder: 1us .. 10s, one decade per bucket.
+  static std::vector<uint64_t> DefaultLatencyBoundsNs();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  size_t BucketIndex(uint64_t value_ns) const {
+    size_t i = 0;
+    while (i < bounds_.size() && value_ns > bounds_[i]) ++i;
+    return i;
+  }
+
+  struct alignas(64) Shard {
+    explicit Shard(size_t buckets_size)
+        : buckets(new std::atomic<uint64_t>[buckets_size]) {
+      for (size_t i = 0; i < buckets_size; ++i) buckets[i].store(0);
+    }
+    // Setup-time only (vector growth during construction); shards are
+    // never moved once the histogram is live.
+    Shard(Shard&& other) noexcept
+        : buckets(std::move(other.buckets)),
+          sum(other.sum.load(std::memory_order_relaxed)) {}
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+    std::atomic<uint64_t> sum{0};
+  };
+
+  const std::vector<uint64_t> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// \brief Named-instrument registry with Prometheus-text rendering.
+///
+/// Instantiable for tests (golden renders against a private registry);
+/// production code uses Global(). Registration is idempotent — the
+/// first caller creates, every later caller gets the same pointer —
+/// and instruments are never removed.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// Name rules (SUJ_CHECKed): Prometheus bare metric names, and one
+  /// name belongs to exactly one instrument kind for the registry's
+  /// lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be ascending; later calls for the same name ignore
+  /// their bounds argument and return the registered instrument.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<uint64_t> bounds);
+
+  /// Prometheus text exposition (v0.0.4): `# TYPE` line per metric,
+  /// cumulative `_bucket{le="..."}` series plus `_sum`/`_count` for
+  /// histograms, sorted by name within each instrument kind.
+  std::string RenderPrometheusText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace suj
+
+#endif  // SUJ_OBS_METRICS_H_

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace suj {
+namespace obs {
+
+namespace {
+
+thread_local TraceContext* t_current_trace = nullptr;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kWireRead:
+      return "wire_read";
+    case Stage::kWireWrite:
+      return "wire_write";
+    case Stage::kAdmissionWait:
+      return "admission_wait";
+    case Stage::kTenantCheck:
+      return "tenant_check";
+    case Stage::kPrepare:
+      return "prepare";
+    case Stage::kWalk:
+      return "walk";
+    case Stage::kReconcile:
+      return "reconcile";
+    case Stage::kStreamChunk:
+      return "stream_chunk";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// SpanRing
+
+SpanRing::SpanRing(size_t capacity_pow2)
+    : slots_(RoundUpPow2(capacity_pow2 == 0 ? 1 : capacity_pow2)) {}
+
+void SpanRing::Push(const SpanRecord& record) {
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (slots_.size() - 1)];
+  // Seqlock publication. Two writers lapping each other on one slot
+  // (ring wrapped mid-write) can interleave field stores; the seq
+  // values they leave behind never match a consistent published state,
+  // so readers drop the slot. Every field is atomic: no data races.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.trace_id.store(record.trace_id, std::memory_order_relaxed);
+  slot.stage.store(static_cast<uint8_t>(record.stage),
+                   std::memory_order_relaxed);
+  slot.start_ns.store(record.start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(record.duration_ns, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<SpanRecord> SpanRing::Snapshot() const {
+  std::vector<SpanRecord> out;
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t count = slots_.size();
+  const uint64_t begin = end > count ? end - count : 0;
+  out.reserve(static_cast<size_t>(end - begin));
+  for (uint64_t ticket = begin; ticket < end; ++ticket) {
+    const Slot& slot = slots_[ticket & (count - 1)];
+    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before != 2 * ticket + 2) continue;  // unpublished or lapped
+    SpanRecord record;
+    record.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    record.stage =
+        static_cast<Stage>(slot.stage.load(std::memory_order_relaxed));
+    record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    record.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq_before) {
+      continue;  // torn by a lapping writer mid-read
+    }
+    out.push_back(record);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local current trace
+
+TraceContext* CurrentTrace() { return t_current_trace; }
+
+TraceScope::TraceScope(TraceContext* ctx) : prev_(t_current_trace) {
+  t_current_trace = ctx;
+}
+
+TraceScope::~TraceScope() { t_current_trace = prev_; }
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer() {
+  // Unset => -1 (slow log disabled). An explicit "0" logs every
+  // request: the disabled state is the negative sentinel, not zero, so
+  // operators can turn the log into a full request trace.
+  const char* env = std::getenv("SUJ_SLOW_REQUEST_NS");
+  slow_threshold_ns_.store(env != nullptr ? std::atoll(env) : -1,
+                           std::memory_order_relaxed);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Finish(const TraceContext& ctx, const std::string& detail) {
+  for (size_t i = 0; i < ctx.span_count(); ++i) {
+    ring_.Push(ctx.spans()[i]);
+  }
+  const int64_t threshold = slow_threshold_ns();
+  if (threshold < 0) return;
+  const int64_t total_ns = MonotonicNs() - ctx.start_ns();
+  if (total_ns < threshold) return;
+
+  static Counter* const slow_requests =
+      MetricsRegistry::Global().GetCounter("suj_service_slow_requests_total");
+  slow_requests->Increment();
+
+  // Per-stage sums: one number per stage beats 32 raw spans in a log
+  // line, and the stage set is tiny and fixed.
+  int64_t by_stage[kNumStages] = {0};
+  for (size_t i = 0; i < ctx.span_count(); ++i) {
+    by_stage[static_cast<size_t>(ctx.spans()[i].stage)] +=
+        ctx.spans()[i].duration_ns;
+  }
+  std::ostringstream line;
+  line << "slow request: op=" << ctx.op() << " trace_id=" << ctx.trace_id()
+       << " total_us=" << total_ns / 1000;
+  for (size_t s = 0; s < kNumStages; ++s) {
+    if (by_stage[s] == 0) continue;
+    line << " " << StageName(static_cast<Stage>(s))
+         << "_us=" << by_stage[s] / 1000;
+  }
+  if (ctx.dropped() > 0) line << " spans_dropped=" << ctx.dropped();
+  if (!detail.empty()) line << " " << detail;
+  SUJ_LOG(WARN) << line.str();
+}
+
+}  // namespace obs
+}  // namespace suj

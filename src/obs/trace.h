@@ -1,0 +1,212 @@
+// Per-request tracing: a TraceContext travels with one request through
+// net -> service -> admission/tenant -> exec -> core, collecting stage
+// spans (start + duration). Finished traces feed two consumers:
+//
+//  * a process-wide lock-free SpanRing (fixed capacity, overwriting) a
+//    debugger or test can snapshot to see recent stage timings, and
+//  * the slow-request log: a request whose serve time crosses the
+//    Tracer's threshold dumps a structured per-stage breakdown through
+//    SUJ_LOG(WARN) and bumps suj_service_slow_requests_total.
+//
+// Deep layers never see a trace parameter: the net layer installs the
+// request's context in a thread-local slot (TraceScope), and ScopedSpan
+// at any depth records into whatever context is installed — a no-op
+// (one thread-local load) when none is, so library users pay nothing.
+// Stream producers run on their own thread and install their own
+// context there.
+//
+// Like the metrics registry, tracing reads clocks but never touches an
+// Rng or a sample: the delivered bytes are identical with tracing on or
+// off.
+
+#ifndef SUJ_OBS_TRACE_H_
+#define SUJ_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace suj {
+namespace obs {
+
+/// Monotonic process clock (steady_clock), ns.
+int64_t MonotonicNs();
+
+/// Request stages, one per instrumented layer boundary.
+enum class Stage : uint8_t {
+  kWireRead = 0,    ///< reading the request frame (includes peer think time)
+  kWireWrite,       ///< writing response/chunk frames
+  kAdmissionWait,   ///< blocking in the admission queue
+  kTenantCheck,     ///< tenant/session token-bucket charge
+  kPrepare,         ///< plan build (warm-up, indexes)
+  kWalk,            ///< the sampling work itself (core loop / executor)
+  kReconcile,       ///< revision-mode reconciliation passes
+  kStreamChunk,     ///< producing one stream chunk
+};
+constexpr size_t kNumStages = 8;
+
+const char* StageName(Stage stage);
+
+/// One finished span as stored in the ring.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  Stage stage = Stage::kWireRead;
+  int64_t start_ns = 0;     ///< MonotonicNs at span start
+  int64_t duration_ns = 0;
+};
+
+/// \brief Lock-free overwriting ring of finished spans.
+///
+/// Writers claim slots with one relaxed fetch_add; every slot field is
+/// atomic, with a per-slot sequence for tear detection, so concurrent
+/// writers and Snapshot readers are race-free (TSan-clean). A reader
+/// that catches a slot mid-write simply skips it — the ring is a
+/// best-effort flight recorder, not an accounting structure.
+class SpanRing {
+ public:
+  explicit SpanRing(size_t capacity_pow2 = 4096);
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  void Push(const SpanRecord& record);
+
+  /// Stable (fully published) records currently in the ring, oldest
+  /// first. Size <= capacity.
+  std::vector<SpanRecord> Snapshot() const;
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    /// 0 = never written; otherwise 2*ticket+1 while writing, 2*ticket+2
+    /// when published.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint8_t> stage{0};
+    std::atomic<int64_t> start_ns{0};
+    std::atomic<int64_t> duration_ns{0};
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> next_{0};
+};
+
+/// \brief One request's trace: identity plus its recorded spans.
+///
+/// Fixed inline span storage — recording never allocates. Overflowing
+/// spans are counted, not stored.
+class TraceContext {
+ public:
+  static constexpr size_t kMaxSpans = 32;
+
+  TraceContext(uint64_t trace_id, const char* op)
+      : trace_id_(trace_id), op_(op), start_ns_(MonotonicNs()) {}
+
+  void Record(Stage stage, int64_t start_ns, int64_t duration_ns) {
+    if (count_ < kMaxSpans) {
+      spans_[count_++] = SpanRecord{trace_id_, stage, start_ns, duration_ns};
+    } else {
+      ++dropped_;
+    }
+  }
+
+  uint64_t trace_id() const { return trace_id_; }
+  const char* op() const { return op_; }
+  int64_t start_ns() const { return start_ns_; }
+  size_t span_count() const { return count_; }
+  uint64_t dropped() const { return dropped_; }
+  const SpanRecord* spans() const { return spans_; }
+
+ private:
+  const uint64_t trace_id_;
+  const char* const op_;
+  const int64_t start_ns_;
+  SpanRecord spans_[kMaxSpans];
+  size_t count_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// The context installed for the calling thread (nullptr when none).
+TraceContext* CurrentTrace();
+
+/// RAII installer: makes `ctx` the thread's current trace, restoring
+/// the previous one on destruction (scopes nest).
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext* ctx);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext* const prev_;
+};
+
+/// RAII span: records [construction, destruction) of `stage` into the
+/// thread's current trace. One thread-local load when no trace is
+/// installed.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Stage stage)
+      : ctx_(CurrentTrace()),
+        stage_(stage),
+        start_ns_(ctx_ != nullptr ? MonotonicNs() : 0) {}
+  ~ScopedSpan() {
+    if (ctx_ != nullptr) {
+      ctx_->Record(stage_, start_ns_, MonotonicNs() - start_ns_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceContext* const ctx_;
+  const Stage stage_;
+  const int64_t start_ns_;
+};
+
+/// \brief Trace-id source, span ring, and the slow-request policy.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide instance. Threshold is initialized from the
+  /// SUJ_SLOW_REQUEST_NS environment variable (unset or negative =
+  /// slow log disabled; 0 = log every finished request).
+  static Tracer& Global();
+
+  uint64_t NextTraceId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Requests at or above this total duration emit the slow-request
+  /// log line. 0 disables.
+  void set_slow_threshold_ns(int64_t ns) {
+    slow_threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+  int64_t slow_threshold_ns() const {
+    return slow_threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Retires a finished request: pushes its spans into the ring and,
+  /// when total serve time (now - ctx.start_ns) crosses the threshold,
+  /// emits the structured slow-request line via SUJ_LOG(WARN) and
+  /// increments suj_service_slow_requests_total. `detail` is appended
+  /// verbatim (e.g. "tenant=a n=64").
+  void Finish(const TraceContext& ctx, const std::string& detail = "");
+
+  SpanRing& ring() { return ring_; }
+
+ private:
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<int64_t> slow_threshold_ns_;
+  SpanRing ring_;
+};
+
+}  // namespace obs
+}  // namespace suj
+
+#endif  // SUJ_OBS_TRACE_H_

@@ -3,8 +3,36 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace suj {
+namespace {
+
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("suj_admission_admitted_total");
+  return c;
+}
+
+obs::Counter* RejectedCounter() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("suj_admission_rejected_total");
+  return c;
+}
+
+obs::Counter* WaitedCounter() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("suj_admission_waited_total");
+  return c;
+}
+
+obs::Counter* QueueOverflowCounter() {
+  static obs::Counter* const c = obs::MetricsRegistry::Global().GetCounter(
+      "suj_admission_queue_overflow_total");
+  return c;
+}
+
+}  // namespace
 
 AdmissionController::AdmissionController(Options options)
     : options_(options) {
@@ -22,6 +50,7 @@ Result<AdmissionController::Permit> AdmissionController::TryAdmit() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!queue_.empty() || in_flight_ >= options_.max_inflight) {
     ++stats_.rejected;
+    RejectedCounter()->Increment();
     return Status::ResourceExhausted(
         "admission limit reached (" + std::to_string(in_flight_) + "/" +
         std::to_string(options_.max_inflight) +
@@ -29,6 +58,7 @@ Result<AdmissionController::Permit> AdmissionController::TryAdmit() {
   }
   ++in_flight_;
   ++stats_.admitted;
+  AdmittedCounter()->Increment();
   stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
   return Permit(this);
 }
@@ -42,6 +72,7 @@ Result<AdmissionController::Permit> AdmissionController::Admit(
   if (options_.max_queue_depth > 0 &&
       queue_.size() >= options_.max_queue_depth) {
     ++stats_.queue_overflows;
+    QueueOverflowCounter()->Increment();
     return Status::ResourceExhausted(
         "admission queue full (" + std::to_string(queue_.size()) + "/" +
         std::to_string(options_.max_queue_depth) +
@@ -57,7 +88,10 @@ Result<AdmissionController::Permit> AdmissionController::Admit(
     return cancelled != nullptr &&
            cancelled->load(std::memory_order_relaxed);
   };
-  if (!my_turn()) ++stats_.waited;
+  if (!my_turn()) {
+    ++stats_.waited;
+    WaitedCounter()->Increment();
+  }
   cv_.wait(lock, [&] { return my_turn() || is_cancelled(); });
   if (!my_turn() && is_cancelled()) {
     // Give up the FIFO place so the tickets behind are not wedged.
@@ -73,6 +107,7 @@ Result<AdmissionController::Permit> AdmissionController::Admit(
   queue_.pop_front();
   ++in_flight_;
   ++stats_.admitted;
+  AdmittedCounter()->Increment();
   stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
   // The next ticket can also be admittable while slots remain; wake the
   // queue to check.

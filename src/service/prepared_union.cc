@@ -8,6 +8,7 @@
 #include "core/template_selector.h"
 #include "join/exact_weight.h"
 #include "join/wander_join.h"
+#include "obs/metrics.h"
 #include "stats/column_histogram.h"
 
 namespace suj {
@@ -231,6 +232,10 @@ void QueryRegistry::EnforceBudgetLocked(const std::string& keep) {
                  victim->second.plan->approx_memory_bytes());
     queries_.erase(victim);
     ++stats_.evicted_for_budget;
+    static obs::Counter* const budget_evictions =
+        obs::MetricsRegistry::Global().GetCounter(
+            "suj_registry_budget_evictions_total");
+    budget_evictions->Increment();
   }
 }
 
@@ -259,6 +264,10 @@ Status QueryRegistry::Evict(const std::string& name) {
       stats_.resident_bytes, it->second.plan->approx_memory_bytes());
   queries_.erase(it);
   ++stats_.evicted;
+  static obs::Counter* const evictions =
+      obs::MetricsRegistry::Global().GetCounter(
+          "suj_registry_evictions_total");
+  evictions->Increment();
   return Status::OK();
 }
 

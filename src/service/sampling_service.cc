@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace suj {
 
@@ -27,6 +29,18 @@ SampleStream::~SampleStream() {
 }
 
 void SampleStream::ProducerLoop() {
+  // The producer is its own thread, so it carries its own trace: chunk
+  // spans (and the admission/walk spans recorded inside Sample) land
+  // here, not in the request that opened the stream. Finished at loop
+  // exit — a slow STREAM shows up in the slow log as one entry covering
+  // its whole lifetime, broken down by stage.
+  static obs::Histogram* const chunk_ns =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "suj_service_stream_chunk_ns",
+          obs::Histogram::DefaultLatencyBoundsNs());
+  obs::TraceContext trace(obs::Tracer::Global().NextTraceId(),
+                          "stream_producer");
+  obs::TraceScope scope(&trace);
   while (true) {
     size_t count;
     {
@@ -45,8 +59,12 @@ void SampleStream::ProducerLoop() {
     // slot), which keeps a long stream sharing the service with
     // interactive requests. The cancel flag interrupts the admission
     // wait and skips not-yet-started sampling.
+    const int64_t chunk_start_ns = obs::MonotonicNs();
     auto chunk =
         session_->Sample(count, *admission_, AdmitMode::kWait, &cancelled_);
+    const int64_t chunk_dur_ns = obs::MonotonicNs() - chunk_start_ns;
+    chunk_ns->Observe(static_cast<uint64_t>(chunk_dur_ns));
+    trace.Record(obs::Stage::kStreamChunk, chunk_start_ns, chunk_dur_ns);
     std::lock_guard<std::mutex> lock(mu_);
     if (cancelled_.load()) break;  // covers cancellation-induced errors
     if (!chunk.ok()) {
@@ -57,9 +75,12 @@ void SampleStream::ProducerLoop() {
     ready_.push_back(std::move(chunk).value());
     cv_.notify_all();
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  finished_ = true;
-  cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+    cv_.notify_all();
+  }
+  obs::Tracer::Global().Finish(trace);
 }
 
 Result<std::vector<Tuple>> SampleStream::Next() {
@@ -114,8 +135,33 @@ Result<std::unique_ptr<SamplingService>> SamplingService::Create(
   return std::unique_ptr<SamplingService>(new SamplingService(options));
 }
 
+namespace {
+
+// Shared by both Prepare overloads: counts the prepare and times it into
+// the prepare histogram + the current request's trace (if any).
+struct PrepareInstrumentation {
+  PrepareInstrumentation() : span(obs::Stage::kPrepare) {
+    static obs::Counter* const prepares =
+        obs::MetricsRegistry::Global().GetCounter(
+            "suj_service_prepares_total");
+    prepares->Increment();
+  }
+  ~PrepareInstrumentation() {
+    static obs::Histogram* const prepare_ns =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "suj_service_prepare_ns",
+            obs::Histogram::DefaultLatencyBoundsNs());
+    prepare_ns->Observe(static_cast<uint64_t>(obs::MonotonicNs() - start_ns));
+  }
+  int64_t start_ns = obs::MonotonicNs();
+  obs::ScopedSpan span;
+};
+
+}  // namespace
+
 Result<PreparedUnionPtr> SamplingService::Prepare(
     std::string name, std::vector<JoinSpecPtr> joins) {
+  PrepareInstrumentation prep;
   return registry_.Prepare(std::move(name), std::move(joins),
                            options_.query_defaults);
 }
@@ -123,6 +169,7 @@ Result<PreparedUnionPtr> SamplingService::Prepare(
 Result<PreparedUnionPtr> SamplingService::Prepare(
     std::string name, std::vector<JoinSpecPtr> joins,
     const PreparedQueryOptions& options) {
+  PrepareInstrumentation prep;
   return registry_.Prepare(std::move(name), std::move(joins), options);
 }
 

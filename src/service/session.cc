@@ -4,6 +4,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace suj {
 
 Result<std::unique_ptr<SamplingSession>> SamplingSession::Create(
@@ -103,11 +106,18 @@ Status SamplingSession::EnsureSampler() {
 
 Result<std::vector<Tuple>> SamplingSession::SampleLocked(size_t n) {
   SUJ_RETURN_NOT_OK(EnsureSampler());
+  static obs::Histogram* const sample_ns =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "suj_service_sample_ns", obs::Histogram::DefaultLatencyBoundsNs());
+  const int64_t start_ns = obs::MonotonicNs();
+  obs::ScopedSpan walk_span(obs::Stage::kWalk);
   auto result = options_.mode == SessionOptions::Mode::kOnline
                     ? online_sampler_->Sample(n, rng_)
                 : options_.mode == SessionOptions::Mode::kRevision
                     ? union_sampler_->Sample(n, rng_, *revision_state_)
                     : union_sampler_->Sample(n, rng_);
+  sample_ns->Observe(
+      static_cast<uint64_t>(obs::MonotonicNs() - start_ns));
   if (!result.ok()) return result.status();
   ++requests_;
   tuples_delivered_ += result->size();
@@ -162,7 +172,10 @@ Result<std::vector<Tuple>> SamplingSession::Sample(
   if (is_cancelled()) {
     return Status::ResourceExhausted("request cancelled");
   }
-  auto permit = admission.Admit(cancelled);
+  Result<AdmissionController::Permit> permit = [&] {
+    obs::ScopedSpan admit_span(obs::Stage::kAdmissionWait);
+    return admission.Admit(cancelled);
+  }();
   if (!permit.ok()) return permit.status();
   if (is_cancelled()) {
     // Cancelled between admission and sampling: don't burn the slot on

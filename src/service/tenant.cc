@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace suj {
+namespace {
+
+obs::Counter* ShedTenantCounter() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("suj_tenant_shed_tenant_total");
+  return c;
+}
+
+obs::Counter* ShedSessionCounter() {
+  static obs::Counter* const c = obs::MetricsRegistry::Global().GetCounter(
+      "suj_tenant_shed_session_total");
+  return c;
+}
+
+obs::Counter* SessionsRejectedCounter() {
+  static obs::Counter* const c = obs::MetricsRegistry::Global().GetCounter(
+      "suj_tenant_sessions_rejected_total");
+  return c;
+}
+
+}  // namespace
 
 bool TenantGovernor::Bucket::TryTake(double rate, double burst,
                                      int64_t now_ns) {
@@ -52,6 +75,7 @@ Status TenantGovernor::AdmitRequest(const std::string& tenant,
   if (!state.bucket.TryTake(state.quota.requests_per_second,
                             state.quota.burst, now_ns)) {
     ++state.stats.shed_tenant_quota;
+    ShedTenantCounter()->Increment();
     return Status::ResourceExhausted(
         "tenant '" + tenant + "' is over its request quota (" +
         std::to_string(state.quota.requests_per_second) +
@@ -70,6 +94,7 @@ Status TenantGovernor::AdmitRequest(const std::string& tenant,
       // per-session limit an isolation tool inside the tenant rather
       // than a free retry loop.
       ++state.stats.shed_session_quota;
+      ShedSessionCounter()->Increment();
       return Status::ResourceExhausted(
           "session " + std::to_string(session_id) + " of tenant '" + tenant +
           "' is over its per-session rate limit");
@@ -86,6 +111,7 @@ Status TenantGovernor::AdmitSession(const std::string& tenant,
   if (state.quota.max_sessions > 0 &&
       state.stats.sessions_open >= state.quota.max_sessions) {
     ++state.stats.sessions_rejected;
+    SessionsRejectedCounter()->Increment();
     return Status::ResourceExhausted(
         "tenant '" + tenant + "' is at its session cap (" +
         std::to_string(state.stats.sessions_open) + "/" +
@@ -142,6 +168,33 @@ uint64_t TenantGovernor::total_shed() const {
     shed += state.stats.shed_tenant_quota + state.stats.shed_session_quota;
   }
   return shed;
+}
+
+uint64_t TenantGovernor::total_shed_tenant_quota() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t shed = 0;
+  for (const auto& [name, state] : tenants_) {
+    shed += state.stats.shed_tenant_quota;
+  }
+  return shed;
+}
+
+uint64_t TenantGovernor::total_shed_session_quota() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t shed = 0;
+  for (const auto& [name, state] : tenants_) {
+    shed += state.stats.shed_session_quota;
+  }
+  return shed;
+}
+
+uint64_t TenantGovernor::total_sessions_rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t rejected = 0;
+  for (const auto& [name, state] : tenants_) {
+    rejected += state.stats.sessions_rejected;
+  }
+  return rejected;
 }
 
 }  // namespace suj

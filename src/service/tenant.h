@@ -104,6 +104,12 @@ class TenantGovernor {
   std::vector<TenantSnapshot> AllTenants() const;
   /// Requests shed by any quota (tenant or session), service-wide.
   uint64_t total_shed() const;
+  /// Per-stage breakdowns of total_shed(), service-wide — the wire
+  /// stats' "WHY was it shed" counters.
+  uint64_t total_shed_tenant_quota() const;
+  uint64_t total_shed_session_quota() const;
+  /// OpenSession calls rejected over max_sessions, service-wide.
+  uint64_t total_sessions_rejected() const;
 
  private:
   /// Continuous-refill token bucket; time never goes backwards past it

@@ -1,0 +1,386 @@
+// Tests for the observability layer (src/obs/, common/logging.h):
+// counter exactness under concurrency, histogram bucket boundary
+// placement, registry idempotency and isolation, the Prometheus text
+// golden, the metrics on/off determinism contract (samples must be
+// byte-identical), span recording, the lock-free span ring, the
+// slow-request log trigger, and the leveled logging sink. The
+// concurrency tests run under the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/sampling_service.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::SyntheticChainOptions;
+
+// ---------------------------------------------------------------------------
+// Counters / gauges / histograms
+
+TEST(MetricsTest, CounterIsExactUnderConcurrentIncrements) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("test_concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Sharding may spread the adds across cells, but never lose one.
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, CounterSupportsDeltas) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("test_delta_total");
+  counter->Increment(41);
+  counter->Increment();
+  EXPECT_EQ(counter->Value(), 42u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  obs::MetricsRegistry registry;
+  obs::Gauge* gauge = registry.GetGauge("test_level");
+  gauge->Set(7);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->Value(), 4);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreInclusiveUpper) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("test_ns", {10, 100, 1000});
+  h->Observe(0);     // bucket 0 (le 10)
+  h->Observe(10);    // bucket 0: bounds are inclusive upper
+  h->Observe(11);    // bucket 1 (le 100)
+  h->Observe(100);   // bucket 1
+  h->Observe(1000);  // bucket 2 (le 1000)
+  h->Observe(1001);  // +Inf
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->Count(), 6u);
+  EXPECT_EQ(h->Sum(), 0u + 10 + 11 + 100 + 1000 + 1001);
+}
+
+TEST(MetricsTest, HistogramIsExactUnderConcurrentObserves) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("test_conc_ns", {100});
+  constexpr int kThreads = 6;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h->Observe(t % 2 == 0 ? 1 : 200);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h->Count(), kThreads * kPerThread);
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  EXPECT_EQ(counts[0], 3 * kPerThread);  // the value-1 observers
+  EXPECT_EQ(counts[1], 3 * kPerThread);  // the value-200 observers
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+
+TEST(MetricsTest, RegistrationIsIdempotentWithStablePointers) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("test_total");
+  obs::Counter* b = registry.GetCounter("test_total");
+  EXPECT_EQ(a, b);
+  obs::Histogram* h1 = registry.GetHistogram("test_h_ns", {1, 2});
+  // Later bounds are ignored; the first registration wins.
+  obs::Histogram* h2 = registry.GetHistogram("test_h_ns", {5, 6, 7});
+  EXPECT_EQ(h1, h2);
+  ASSERT_EQ(h2->bounds().size(), 2u);
+  EXPECT_EQ(h2->bounds()[1], 2u);
+}
+
+TEST(MetricsTest, RegistriesAreIsolated) {
+  // Tests render against private registries precisely so the global
+  // one (fed by any instrumented code running in this process) cannot
+  // leak into goldens — assert that isolation holds.
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.GetCounter("test_isolated_total")->Increment();
+  EXPECT_EQ(b.GetCounter("test_isolated_total")->Value(), 0u);
+  EXPECT_NE(a.GetCounter("test_isolated_total"),
+            b.GetCounter("test_isolated_total"));
+}
+
+TEST(MetricsTest, DisableFreezesEveryInstrument) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("test_frozen_total");
+  obs::Histogram* h = registry.GetHistogram("test_frozen_ns", {10});
+  counter->Increment();
+  obs::SetMetricsEnabled(false);
+  counter->Increment(100);
+  h->Observe(5);
+  obs::SetMetricsEnabled(true);
+  EXPECT_EQ(counter->Value(), 1u);
+  EXPECT_EQ(h->Count(), 0u);
+  counter->Increment();
+  EXPECT_EQ(counter->Value(), 2u);
+}
+
+TEST(MetricsTest, PrometheusTextGolden) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("suj_demo_requests_total")->Increment(3);
+  registry.GetGauge("suj_demo_open")->Set(-2);
+  obs::Histogram* h = registry.GetHistogram("suj_demo_ns", {1000, 1000000});
+  h->Observe(500);      // le 1000
+  h->Observe(2000);     // le 1000000
+  h->Observe(5000000);  // +Inf
+  const std::string expected =
+      "# TYPE suj_demo_requests_total counter\n"
+      "suj_demo_requests_total 3\n"
+      "# TYPE suj_demo_open gauge\n"
+      "suj_demo_open -2\n"
+      "# TYPE suj_demo_ns histogram\n"
+      "suj_demo_ns_bucket{le=\"1000\"} 1\n"
+      "suj_demo_ns_bucket{le=\"1000000\"} 2\n"
+      "suj_demo_ns_bucket{le=\"+Inf\"} 3\n"
+      "suj_demo_ns_sum 5002500\n"
+      "suj_demo_ns_count 3\n";
+  EXPECT_EQ(registry.RenderPrometheusText(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract: metrics and tracing never touch the samples
+
+TEST(MetricsTest, SamplesAreByteIdenticalWithObservabilityOnAndOff) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 30;
+  options.seed = 4242;
+  auto joins = MakeOverlappingChains(options).value();
+
+  // The full serving stack under one request, so the assertion covers
+  // every instrumented layer (prepare, admission, session, core).
+  auto run = [&joins]() {
+    ServiceOptions options;
+    options.seed = 99;
+    auto service = SamplingService::Create(options).value();
+    SUJ_CHECK(service->Prepare("q", joins).ok());
+    uint64_t session = service->OpenSession("q", SessionOptions{}).value();
+    auto tuples = service->Sample(session, 64, AdmitMode::kWait).value();
+    std::vector<std::string> encodings;
+    encodings.reserve(tuples.size());
+    for (const auto& t : tuples) encodings.push_back(t.Encode());
+    return encodings;
+  };
+
+  obs::SetMetricsEnabled(true);
+  obs::TraceContext trace(obs::Tracer::Global().NextTraceId(), "test");
+  std::vector<std::string> with_obs;
+  {
+    obs::TraceScope scope(&trace);
+    with_obs = run();
+  }
+  obs::SetMetricsEnabled(false);
+  const std::vector<std::string> without_obs = run();
+  obs::SetMetricsEnabled(true);
+
+  EXPECT_EQ(with_obs, without_obs);
+  EXPECT_FALSE(with_obs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(TraceTest, ScopedSpanRecordsIntoInstalledTrace) {
+  obs::TraceContext trace(1, "test_op");
+  {
+    obs::TraceScope scope(&trace);
+    obs::ScopedSpan span(obs::Stage::kWalk);
+  }
+  ASSERT_EQ(trace.span_count(), 1u);
+  EXPECT_EQ(trace.spans()[0].stage, obs::Stage::kWalk);
+  EXPECT_EQ(trace.spans()[0].trace_id, 1u);
+  EXPECT_GE(trace.spans()[0].duration_ns, 0);
+}
+
+TEST(TraceTest, ScopedSpanIsANoOpWithoutATrace) {
+  ASSERT_EQ(obs::CurrentTrace(), nullptr);
+  obs::ScopedSpan span(obs::Stage::kWalk);  // must not crash or record
+}
+
+TEST(TraceTest, TraceScopesNest) {
+  obs::TraceContext outer(1, "outer");
+  obs::TraceContext inner(2, "inner");
+  obs::TraceScope outer_scope(&outer);
+  {
+    obs::TraceScope inner_scope(&inner);
+    EXPECT_EQ(obs::CurrentTrace(), &inner);
+  }
+  EXPECT_EQ(obs::CurrentTrace(), &outer);
+}
+
+TEST(TraceTest, OverflowingSpansAreCountedNotStored) {
+  obs::TraceContext trace(1, "op");
+  for (size_t i = 0; i < obs::TraceContext::kMaxSpans + 5; ++i) {
+    trace.Record(obs::Stage::kWalk, 0, 1);
+  }
+  EXPECT_EQ(trace.span_count(), obs::TraceContext::kMaxSpans);
+  EXPECT_EQ(trace.dropped(), 5u);
+}
+
+TEST(TraceTest, SpanRingSnapshotReturnsPushedRecordsOldestFirst) {
+  obs::SpanRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    ring.Push(obs::SpanRecord{i, obs::Stage::kWalk,
+                              static_cast<int64_t>(i * 10), 1});
+  }
+  auto snapshot = ring.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].trace_id, 1u);
+  EXPECT_EQ(snapshot[2].trace_id, 3u);
+}
+
+TEST(TraceTest, SpanRingOverwritesOldestWhenFull) {
+  obs::SpanRing ring(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ring.Push(obs::SpanRecord{i, obs::Stage::kWalk, 0, 0});
+  }
+  auto snapshot = ring.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  EXPECT_EQ(snapshot.front().trace_id, 7u);
+  EXPECT_EQ(snapshot.back().trace_id, 10u);
+}
+
+TEST(TraceTest, SpanRingIsSafeUnderConcurrentPushAndSnapshot) {
+  obs::SpanRing ring(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&ring, &stop, w] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ring.Push(obs::SpanRecord{static_cast<uint64_t>(w) * 1'000'000 + ++i,
+                                  obs::Stage::kStreamChunk, 1, 2});
+      }
+    });
+  }
+  for (int r = 0; r < 200; ++r) {
+    auto snapshot = ring.Snapshot();
+    for (const auto& record : snapshot) {
+      // A published record is never torn: fields are all-or-nothing.
+      EXPECT_EQ(record.start_ns, 1);
+      EXPECT_EQ(record.duration_ns, 2);
+      EXPECT_EQ(record.stage, obs::Stage::kStreamChunk);
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Slow-request log
+
+std::vector<std::string>& CapturedLogs() {
+  static std::vector<std::string> logs;
+  return logs;
+}
+
+void CaptureSink(LogLevel, const char*, int, const std::string& message) {
+  CapturedLogs().push_back(message);
+}
+
+TEST(TraceTest, SlowRequestsEmitTheStructuredLogLine) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const int64_t prev_threshold = tracer.slow_threshold_ns();
+  const LogLevel prev_level = GetLogLevel();
+  CapturedLogs().clear();
+  LogSink prev_sink = SetLogSink(CaptureSink);
+  SetLogLevel(LogLevel::kWarn);
+  tracer.set_slow_threshold_ns(1);  // everything is slow
+
+  obs::TraceContext trace(tracer.NextTraceId(), "sample");
+  trace.Record(obs::Stage::kWalk, trace.start_ns(), 5'000'000);
+  trace.Record(obs::Stage::kAdmissionWait, trace.start_ns(), 2'000'000);
+  tracer.Finish(trace, "tenant=acme");
+
+  tracer.set_slow_threshold_ns(prev_threshold);
+  SetLogSink(prev_sink);
+  SetLogLevel(prev_level);
+
+  ASSERT_EQ(CapturedLogs().size(), 1u);
+  const std::string& line = CapturedLogs()[0];
+  EXPECT_NE(line.find("slow request"), std::string::npos) << line;
+  EXPECT_NE(line.find("op=sample"), std::string::npos) << line;
+  EXPECT_NE(line.find("walk_us=5000"), std::string::npos) << line;
+  EXPECT_NE(line.find("admission_wait_us=2000"), std::string::npos) << line;
+  EXPECT_NE(line.find("tenant=acme"), std::string::npos) << line;
+}
+
+TEST(TraceTest, FastRequestsStayOutOfTheSlowLog) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const int64_t prev_threshold = tracer.slow_threshold_ns();
+  CapturedLogs().clear();
+  LogSink prev_sink = SetLogSink(CaptureSink);
+  tracer.set_slow_threshold_ns(int64_t{60} * 1'000'000'000);  // a minute
+
+  obs::TraceContext trace(tracer.NextTraceId(), "sample");
+  tracer.Finish(trace);
+
+  tracer.set_slow_threshold_ns(prev_threshold);
+  SetLogSink(prev_sink);
+  EXPECT_TRUE(CapturedLogs().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Leveled logging
+
+TEST(LoggingTest, ThresholdFiltersAndSinkReceives) {
+  const LogLevel prev_level = GetLogLevel();
+  CapturedLogs().clear();
+  LogSink prev_sink = SetLogSink(CaptureSink);
+
+  SetLogLevel(LogLevel::kWarn);
+  SUJ_LOG(INFO) << "below threshold";  // filtered: never reaches the sink
+  SUJ_LOG(ERROR) << "boom " << 42;
+  SetLogLevel(LogLevel::kOff);
+  SUJ_LOG(ERROR) << "silenced";
+
+  SetLogSink(prev_sink);
+  SetLogLevel(prev_level);
+  ASSERT_EQ(CapturedLogs().size(), 1u);
+  EXPECT_EQ(CapturedLogs()[0], "boom 42");
+}
+
+TEST(LoggingTest, FilteredStatementsDoNotEvaluateOperands) {
+  const LogLevel prev_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  SUJ_LOG(INFO) << expensive();
+  SetLogLevel(prev_level);
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace suj

@@ -142,6 +142,58 @@ TEST(SujServerTest, HelloVersionMismatchIsRejected) {
   ASSERT_EQ(rsp.type, net::MessageType::kStatus);
   EXPECT_EQ(net::StatusPayload::Decode(rsp.body).value().ToStatus().code(),
             StatusCode::kInvalidArgument);
+  EXPECT_GE(fx.server->StatsSnapshot().version_rejects, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics scrape (kMetrics frame -> Prometheus text)
+
+// Extracts the value of a bare `name value` exposition line; -1 when the
+// metric is absent.
+int64_t ScrapedValue(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = text.find(name + " ", pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::stoll(text.substr(pos + name.size() + 1));
+    }
+    ++pos;
+  }
+  return -1;
+}
+
+TEST(SujServerTest, MetricsScrapeExposesServingCounters) {
+  ServerFixture fx(503);
+  auto client = fx.Client("t");
+  ASSERT_TRUE(client.Prepare("chains503").ok());
+  OpenSessionRequest open;
+  open.query = "chains503";
+  auto session = client.OpenSession(open).value();
+  ASSERT_TRUE(client.Sample(session, 16).ok());
+
+  auto scrape = client.Metrics();
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  const std::string& text = scrape.value();
+
+  // Counters are process-global (other suites in this binary feed them
+  // too), so the assertions are lower bounds.
+  EXPECT_NE(text.find("# TYPE suj_net_requests_total counter"),
+            std::string::npos);
+  EXPECT_GE(ScrapedValue(text, "suj_net_requests_total"), 3);
+  EXPECT_GE(ScrapedValue(text, "suj_net_sample_requests_total"), 1);
+  EXPECT_GE(ScrapedValue(text, "suj_net_connections_accepted_total"), 1);
+  EXPECT_GE(ScrapedValue(text, "suj_service_prepares_total"), 1);
+  EXPECT_GE(ScrapedValue(text, "suj_core_accepted_total"), 16);
+  // Latency histograms render the full cumulative series.
+  EXPECT_NE(text.find("# TYPE suj_net_request_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("suj_net_request_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_GE(ScrapedValue(text, "suj_net_request_ns_count"), 3);
+  EXPECT_GE(ScrapedValue(text, "suj_service_sample_ns_count"), 1);
+  // Scrape-time gauges reflect THIS server's live state.
+  EXPECT_EQ(ScrapedValue(text, "suj_sessions_open"), 1);
+  EXPECT_EQ(ScrapedValue(text, "suj_plans_resident"), 1);
+  EXPECT_GT(ScrapedValue(text, "suj_registry_resident_bytes"), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -318,6 +370,10 @@ TEST(SujServerTest, TenantAtQuotaShedsWhileOthersProceed) {
   }
   auto stats = polite.ServerStats().value();
   EXPECT_GE(stats.quota_shed_total, 5u);
+  // v2 breakdown: every shed here came from the TENANT bucket (no
+  // per-session rate is configured), and the parts sum to the total.
+  EXPECT_EQ(stats.quota_shed_tenant, stats.quota_shed_total);
+  EXPECT_EQ(stats.quota_shed_session, 0u);
   EXPECT_EQ(fx.server->governor().snapshot("polite").shed_tenant_quota, 0u);
 }
 

@@ -204,6 +204,11 @@ TEST(ProtocolTest, ServerStatsRoundTrip) {
   msg.sessions_reaped = 4;
   msg.quota_shed_total = 5;
   msg.connections_shed = 6;
+  msg.version_rejects = 7;
+  msg.quota_shed_tenant = 8;
+  msg.quota_shed_session = 9;
+  msg.sessions_quota_rejected = 10;
+  msg.plans_evicted = 11;
   auto decoded = net::ServerStatsResponse::Decode(msg.Encode()).value();
   EXPECT_EQ(decoded.admitted, 1u);
   EXPECT_EQ(decoded.queue_overflows, 2u);
@@ -211,6 +216,52 @@ TEST(ProtocolTest, ServerStatsRoundTrip) {
   EXPECT_EQ(decoded.sessions_reaped, 4u);
   EXPECT_EQ(decoded.quota_shed_total, 5u);
   EXPECT_EQ(decoded.connections_shed, 6u);
+  EXPECT_EQ(decoded.version_rejects, 7u);
+  EXPECT_EQ(decoded.quota_shed_tenant, 8u);
+  EXPECT_EQ(decoded.quota_shed_session, 9u);
+  EXPECT_EQ(decoded.sessions_quota_rejected, 10u);
+  EXPECT_EQ(decoded.plans_evicted, 11u);
+}
+
+TEST(ProtocolTest, ServerStatsWireLayoutIsPinned) {
+  // The v2 stats body is a fixed sequence of 21 little-endian u64s in
+  // declaration order; the five shed-breakdown fields sit at the tail.
+  // This pins the LAYOUT, not just a round trip — a field reorder that
+  // still round-trips would break deployed v2 peers.
+  net::ServerStatsResponse msg;
+  msg.admitted = 0x0101;
+  msg.requests_served = 0x0202;
+  msg.version_rejects = 0x0303;
+  msg.quota_shed_tenant = 0x0404;
+  msg.quota_shed_session = 0x0505;
+  msg.sessions_quota_rejected = 0x0606;
+  msg.plans_evicted = 0x0707;
+  const std::string body = msg.Encode();
+  ASSERT_EQ(body.size(), 21u * 8u);
+  auto u64_at = [&](size_t index) {
+    uint64_t v = 0;
+    for (size_t b = 0; b < 8; ++b) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(body[index * 8 + b]))
+           << (8 * b);
+    }
+    return v;
+  };
+  EXPECT_EQ(u64_at(0), 0x0101u);   // admitted leads
+  EXPECT_EQ(u64_at(15), 0x0202u);  // requests_served ends the v1 block
+  EXPECT_EQ(u64_at(16), 0x0303u);  // version_rejects
+  EXPECT_EQ(u64_at(17), 0x0404u);  // quota_shed_tenant
+  EXPECT_EQ(u64_at(18), 0x0505u);  // quota_shed_session
+  EXPECT_EQ(u64_at(19), 0x0606u);  // sessions_quota_rejected
+  EXPECT_EQ(u64_at(20), 0x0707u);  // plans_evicted
+}
+
+TEST(ProtocolTest, MetricsResponseRoundTrip) {
+  net::MetricsResponse msg;
+  msg.text = "# TYPE suj_net_requests_total counter\nsuj_net_requests_total 3\n";
+  auto decoded = net::MetricsResponse::Decode(msg.Encode()).value();
+  EXPECT_EQ(decoded.text, msg.text);
+  EXPECT_FALSE(net::MetricsResponse::Decode(msg.Encode() + "x").ok());
 }
 
 TEST(ProtocolTest, DecodeRejectsTrailingBytes) {
