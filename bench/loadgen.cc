@@ -76,6 +76,10 @@ struct Config {
   size_t max_admission_queue = 8;
   std::string out;  // JSON path; empty = stdout
   uint64_t master_rows = 40;
+  /// Shard count for the prepared plan (1 = unsharded). The determinism
+  /// gate and the measured phase both run against this shape, so the CI
+  /// sharded-load job reuses the whole harness unchanged.
+  uint32_t shards = 1;
 };
 
 int64_t NowNs() {
@@ -178,10 +182,13 @@ Result<bool> CheckWireDeterminism(const Config& config,
   SUJ_ASSIGN_OR_RETURN(
       SujClient client,
       SujClient::Connect("127.0.0.1", server.port(), "determinism"));
-  SUJ_RETURN_NOT_OK(client.Prepare("bench").status());
+  SUJ_RETURN_NOT_OK(client.Prepare("bench", config.shards).status());
   SUJ_ASSIGN_OR_RETURN(std::vector<suj::JoinSpecPtr> joins,
                        resolver("bench"));
-  SUJ_RETURN_NOT_OK(baseline->Prepare("bench", std::move(joins)).status());
+  suj::PreparedQueryOptions prep = baseline->options().query_defaults;
+  prep.shard.num_shards = static_cast<int>(config.shards);
+  SUJ_RETURN_NOT_OK(
+      baseline->Prepare("bench", std::move(joins), prep).status());
 
   OpenSessionRequest open;
   open.query = "bench";
@@ -331,8 +338,12 @@ void WriteJson(const Config& config, std::ostream& os,
      << "    \"server_quota_shed_tenant\": " << s.quota_shed_tenant << ",\n"
      << "    \"server_quota_shed_session\": " << s.quota_shed_session << ",\n"
      << "    \"server_queue_overflows\": " << s.queue_overflows << ",\n"
-     << "    \"server_requests\": " << s.requests_served << "\n"
-     << "  }\n}\n";
+     << "    \"server_requests\": " << s.requests_served << ",\n"
+     << "    \"shards\": " << config.shards << ",\n"
+     << "    \"server_shard_draws\": " << s.shard_draws << ",\n"
+     << "    \"server_shard_walk_draws\": " << s.shard_walk_draws << ",\n"
+     << "    \"server_shard_unavailable\": " << s.shard_unavailable_errors
+     << "\n  }\n}\n";
 }
 
 }  // namespace
@@ -379,6 +390,8 @@ int main(int argc, char** argv) {
               << config.max_admission_queue << ")\n"
           "  --master-rows N    synthetic workload size (default "
               << config.master_rows << ")\n"
+          "  --shards N         shard count for the prepared plan, 1 = "
+              "unsharded (default " << config.shards << ")\n"
           "  --out PATH         write google-benchmark JSON here\n";
       return 0;
     }
@@ -396,6 +409,7 @@ int main(int argc, char** argv) {
     else if (arg == "--max-inflight") config.max_inflight = std::stoul(next());
     else if (arg == "--max-queue") config.max_admission_queue = std::stoul(next());
     else if (arg == "--master-rows") config.master_rows = std::stoull(next());
+    else if (arg == "--shards") config.shards = static_cast<uint32_t>(std::stoul(next()));
     else if (arg == "--out") config.out = next();
     else {
       std::cerr << "unknown flag " << arg << "\n";
@@ -457,7 +471,8 @@ int main(int argc, char** argv) {
     // One bootstrap connection pays the plan build outside the timed run.
     auto bootstrap =
         SujClient::Connect("127.0.0.1", server.port(), "bootstrap");
-    if (!bootstrap.ok() || !bootstrap.value().Prepare("bench").ok()) {
+    if (!bootstrap.ok() ||
+        !bootstrap.value().Prepare("bench", config.shards).ok()) {
       std::cerr << "bootstrap Prepare failed\n";
       return 1;
     }

@@ -13,6 +13,8 @@
 #include "join/membership.h"
 #include "join/wander_join.h"
 #include "obs/metrics.h"
+#include "shard/shard_coordinator.h"
+#include "shard/shard_plan.h"
 
 namespace suj {
 namespace bench {
@@ -319,6 +321,65 @@ void BM_UnionSampleRevisionResume(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
 }
 BENCHMARK(BM_UnionSampleRevisionResume)->Arg(1)->Arg(8)->UseRealTime();
+
+// Sharded execution context over the union micro workload (built once
+// per shard count): prepare-time hash shard plan + coordinator whose
+// routed samplers stand in for the plain per-join samplers, with union
+// estimates from the per-shard merged overlap calculators and
+// hash-routed membership probers. The cache member precedes the
+// coordinator so per-shard indexes (which dedupe shared children
+// through it) never outlive it.
+struct ShardedUnionSetup {
+  CompositeIndexCache cache;
+  ShardPlanPtr plan;
+  ShardCoordinatorPtr coord;
+  UnionEstimates estimates;
+  std::vector<JoinMembershipProberPtr> probers;
+};
+
+ShardedUnionSetup& ShardedUnionAt(int shards) {
+  static std::map<int, ShardedUnionSetup*> cache;
+  auto it = cache.find(shards);
+  if (it != cache.end()) return *it->second;
+  UnionMicroWorkload& f = UnionSetup();
+  auto* s = new ShardedUnionSetup;
+  ShardOptions options;
+  options.num_shards = shards;
+  s->plan = Unwrap(ShardPlanner::Plan(f.joins, options), "shard plan");
+  s->coord = Unwrap(ShardCoordinator::Build(s->plan, &s->cache),
+                    "shard coordinator");
+  auto merged =
+      Unwrap(ShardMergedOverlapEstimator::Create(s->plan, &s->cache),
+             "merged overlap");
+  s->estimates = Unwrap(ComputeUnionEstimates(merged.get()), "estimates");
+  s->probers = Unwrap(s->coord->BuildRoutedProbers(), "routed probers");
+  cache[shards] = s;
+  return *s;
+}
+
+// Oracle-mode union draws through the shard coordinator's routed
+// samplers at 1/2/4 shards. Sharded descent always takes the row path,
+// so the routing overhead anchor is BM_UnionSampleSequentialRowOriented
+// (and the 1-shard row isolates coordinator dispatch from fan-out).
+void BM_UnionSampleSharded(benchmark::State& state) {
+  ShardedUnionSetup& s = ShardedUnionAt(static_cast<int>(state.range(0)));
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kMembershipOracle;
+  auto sampler = Unwrap(
+      UnionSampler::Create(s.plan->canonical_joins(),
+                           Unwrap(s.coord->MakeSamplers(), "routed"),
+                           s.estimates, s.probers, opts),
+      "union sampler");
+  Rng rng(16);
+  const size_t kDraw = 4096;
+  for (auto _ : state) {
+    auto samples = sampler->Sample(kDraw, rng);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_UnionSampleSharded)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_FullJoinExecute(benchmark::State& state) {
   JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);

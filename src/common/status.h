@@ -30,6 +30,11 @@ enum class StatusCode {
   /// or a reconnect may. Distinct from kResourceExhausted so clients can
   /// tell "back off and retry here" from "re-resolve and reconnect".
   kUnavailable,
+  /// An I/O deadline expired before the operation completed (socket
+  /// read/write timeout). Distinct from kUnavailable (the peer may still
+  /// be alive, just slow) and from kInvalidArgument truncation (the frame
+  /// was not malformed; it simply never finished arriving in time).
+  kDeadlineExceeded,
 };
 
 /// \brief Outcome of an operation that can fail.
@@ -65,6 +70,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -30,6 +30,8 @@ uint8_t StatusCodeToWire(StatusCode code) {
       return 7;
     case StatusCode::kUnavailable:
       return 8;
+    case StatusCode::kDeadlineExceeded:
+      return 9;
   }
   return 6;  // kInternal
 }
@@ -54,6 +56,8 @@ StatusCode StatusCodeFromWire(uint8_t wire) {
       return StatusCode::kResourceExhausted;
     case 8:
       return StatusCode::kUnavailable;
+    case 9:
+      return StatusCode::kDeadlineExceeded;
     default:
       return StatusCode::kInternal;
   }

@@ -314,8 +314,12 @@ Result<std::vector<Tuple>> OnlineUnionSampler::SampleFreshParallel(
       [&]() -> Result<std::vector<std::unique_ptr<WanderJoinSampler>>> {
     std::vector<std::unique_ptr<WanderJoinSampler>> wander;
     wander.reserve(joins_.size());
-    for (const auto& join : joins_) {
-      auto sampler = WanderJoinSampler::Create(join, options_.index_cache.get());
+    for (size_t j = 0; j < joins_.size(); ++j) {
+      auto sampler =
+          options_.wander_factory
+              ? options_.wander_factory(static_cast<int>(j))
+              : WanderJoinSampler::Create(joins_[j],
+                                          options_.index_cache.get());
       if (!sampler.ok()) return sampler.status();
       wander.push_back(std::move(*sampler));
     }

@@ -107,6 +107,11 @@ class OnlineUnionSampler {
     /// Prepared-plan identity stamped onto stats() (see
     /// UnionSampleStats::plan_id); 0 for ad-hoc use.
     uint64_t plan_id = 0;
+    /// Per-join wander-sampler factory for the batched fresh-walk phase;
+    /// null builds plain WanderJoinSampler instances over `index_cache`.
+    /// Sharded plans pass their shard-routing factory so each worker's
+    /// walks route root draws exactly as the sequential walker does.
+    WanderSamplerFactory wander_factory;
   };
 
   /// \param joins     union-compatible joins (cover order).

@@ -17,8 +17,10 @@ RandomWalkOverlapEstimator::Create(std::vector<JoinSpecPtr> joins,
   }
   auto est = std::unique_ptr<RandomWalkOverlapEstimator>(
       new RandomWalkOverlapEstimator(std::move(joins), options));
-  for (const auto& join : est->joins_) {
-    auto sampler = WanderJoinSampler::Create(join, cache);
+  for (size_t j = 0; j < est->joins_.size(); ++j) {
+    auto sampler = options.wander_factory
+                       ? options.wander_factory(static_cast<int>(j))
+                       : WanderJoinSampler::Create(est->joins_[j], cache);
     if (!sampler.ok()) return sampler.status();
     est->samplers_.push_back(std::move(sampler).value());
   }

@@ -40,6 +40,11 @@ class RandomWalkOverlapEstimator : public OverlapEstimator {
     /// per-session estimator per client and shares the prepared plan's
     /// immutable probers across all of them.
     std::vector<JoinMembershipProberPtr> probers;
+    /// Per-join wander-sampler factory override; null builds plain
+    /// WanderJoinSampler instances over the Create-time cache. Sharded
+    /// plans pass their shard-routing factory so warm-up and fresh walks
+    /// consume the same RNG stream the unsharded estimator would.
+    WanderSamplerFactory wander_factory;
   };
 
   static Result<std::unique_ptr<RandomWalkOverlapEstimator>> Create(

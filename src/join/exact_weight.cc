@@ -398,14 +398,34 @@ size_t ExactWeightSampler::TrySampleBatch(size_t count, Rng& rng,
 
 std::optional<Tuple> ExactWeightSampler::TrySampleRow(Rng& rng) {
   ++stats_.attempts;
-  const JoinSpec& spec = *join_;
-  const JoinGraph& graph = spec.graph();
+  const JoinGraph& graph = join_->graph();
   const double total = weights_->TotalWeight();
   if (total <= 0.0) {
     ++stats_.dead_ends;
     return std::nullopt;
   }
 
+  // Root draw: binary search the cumulative weight array. The draw lies in
+  // [0, total); ResolveCumulativeDraw keeps the floating-point boundary
+  // case off zero-weight tail rows.
+  int root = graph.tree_order()[0];
+  size_t root_row =
+      ResolveCumulativeDraw(weights_->root_cumulative(),
+                            weights_->weights(root),
+                            rng.UniformDouble() * total);
+  return DescendRow(static_cast<uint32_t>(root_row), rng);
+}
+
+std::optional<Tuple> ExactWeightSampler::TrySampleRowFromRoot(
+    uint32_t root_row, Rng& rng) {
+  ++stats_.attempts;
+  return DescendRow(root_row, rng);
+}
+
+std::optional<Tuple> ExactWeightSampler::DescendRow(uint32_t root_row,
+                                                    Rng& rng) {
+  const JoinSpec& spec = *join_;
+  const JoinGraph& graph = spec.graph();
   const Schema& out_schema = spec.output_schema();
   std::vector<Value> assignment(out_schema.num_fields());
   std::vector<bool> assigned(out_schema.num_fields(), false);
@@ -428,16 +448,8 @@ std::optional<Tuple> ExactWeightSampler::TrySampleRow(Rng& rng) {
     return true;
   };
 
-  // Root draw: binary search the cumulative weight array. The draw lies in
-  // [0, total); ResolveCumulativeDraw keeps the floating-point boundary
-  // case off zero-weight tail rows.
   const auto& order = graph.tree_order();
-  int root = order[0];
-  size_t root_row =
-      ResolveCumulativeDraw(weights_->root_cumulative(),
-                            weights_->weights(root),
-                            rng.UniformDouble() * total);
-  if (!apply_row(root, static_cast<uint32_t>(root_row))) {
+  if (!apply_row(order[0], root_row)) {
     ++stats_.rejections;
     return std::nullopt;
   }

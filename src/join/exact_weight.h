@@ -174,6 +174,14 @@ class ExactWeightSampler : public JoinSampler {
   /// calls. Falls back to a TrySample loop on the row path.
   size_t TrySampleBatch(size_t count, Rng& rng, std::vector<Tuple>* out);
 
+  /// Row-path descent from an externally chosen root row: applies
+  /// `root_row` of the tree root and samples the remaining relations with
+  /// exactly the RNG consumption TrySample's row path has after its root
+  /// draw. Shard routers resolve the root draw against a global cumulative
+  /// array and delegate here, which is what keeps sharded output
+  /// byte-identical to the unsharded row path.
+  std::optional<Tuple> TrySampleRowFromRoot(uint32_t root_row, Rng& rng);
+
   double SizeUpperBound() const override { return weights_->TotalWeight(); }
 
   const ExactWeightIndexPtr& weight_index() const { return weights_; }
@@ -189,6 +197,9 @@ class ExactWeightSampler : public JoinSampler {
 
   std::optional<Tuple> TrySampleRow(Rng& rng);
   std::optional<Tuple> TrySampleColumnar(Rng& rng);
+  /// Shared body of TrySampleRow / TrySampleRowFromRoot: the tree descent
+  /// below an already-resolved root row.
+  std::optional<Tuple> DescendRow(uint32_t root_row, Rng& rng);
   /// Materializes one walk's chosen rows into an output tuple; the row of
   /// relation r is `chosen[r * stride + offset]` (stride 1 for a single
   /// walk, the batch width for batched walks). Returns nullopt on a

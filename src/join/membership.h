@@ -28,16 +28,21 @@ class JoinMembershipProber {
   static Result<std::shared_ptr<const JoinMembershipProber>> Build(
       JoinSpecPtr join);
 
+  virtual ~JoinMembershipProber() = default;
+
   /// True iff `output_tuple` (over the join's output schema) is in the join
-  /// result.
-  bool Contains(const Tuple& output_tuple) const;
+  /// result. Virtual so shard routers can dispatch the probe to the one
+  /// shard whose root partition can contain the tuple.
+  virtual bool Contains(const Tuple& output_tuple) const;
 
   const JoinSpecPtr& join() const { return join_; }
 
- private:
+ protected:
   explicit JoinMembershipProber(JoinSpecPtr join) : join_(std::move(join)) {}
 
   JoinSpecPtr join_;
+
+ private:
   std::vector<RowMembershipIndexPtr> indexes_;          // per relation
   std::vector<std::vector<int>> projection_fields_;     // output-schema cols
 };

@@ -79,22 +79,35 @@ Result<std::unique_ptr<WanderJoinSampler>> WanderJoinSampler::Create(
 
 WalkOutcome WanderJoinSampler::Walk(Rng& rng) {
   ++num_walks_;
-  return columnar_ ? WalkColumnar(rng) : WalkGeneric(rng);
+  const RelationPtr& first = join_->relation(join_->graph().walk_order()[0]);
+  if (first->num_rows() == 0) return WalkOutcome{};
+  const uint32_t row0 =
+      static_cast<uint32_t>(rng.UniformInt(first->num_rows()));
+  const double p0 = 1.0 / static_cast<double>(first->num_rows());
+  return columnar_ ? WalkColumnarFrom(row0, p0, rng)
+                   : WalkGenericFrom(row0, p0, rng);
 }
 
-WalkOutcome WanderJoinSampler::WalkColumnar(Rng& rng) {
+WalkOutcome WanderJoinSampler::WalkFromRoot(uint32_t root_row,
+                                            double root_probability,
+                                            Rng& rng) {
+  ++num_walks_;
+  return columnar_ ? WalkColumnarFrom(root_row, root_probability, rng)
+                   : WalkGenericFrom(root_row, root_probability, rng);
+}
+
+WalkOutcome WanderJoinSampler::WalkColumnarFrom(uint32_t root_row,
+                                                double root_probability,
+                                                Rng& rng) {
   WalkOutcome outcome;
   const JoinSpec& spec = *join_;
   const auto& order = spec.graph().walk_order();
 
-  const RelationPtr& first = spec.relation(order[0]);
-  if (first->num_rows() == 0) return outcome;
-
   // Phase 1: choose rows through flat arrays only.
   uint32_t chosen[64];
   SUJ_CHECK(order.size() <= 64);
-  chosen[0] = static_cast<uint32_t>(rng.UniformInt(first->num_rows()));
-  double probability = 1.0 / static_cast<double>(first->num_rows());
+  chosen[0] = root_row;
+  double probability = root_probability;
   for (size_t pos = 1; pos < order.size(); ++pos) {
     const Step& step = steps_[pos - 1];
     const uint32_t g = (*step.probe)[chosen[step.source_pos]];
@@ -122,14 +135,13 @@ WalkOutcome WanderJoinSampler::WalkColumnar(Rng& rng) {
   return outcome;
 }
 
-WalkOutcome WanderJoinSampler::WalkGeneric(Rng& rng) {
+WalkOutcome WanderJoinSampler::WalkGenericFrom(uint32_t root_row,
+                                               double root_probability,
+                                               Rng& rng) {
   WalkOutcome outcome;
   const JoinSpec& spec = *join_;
   const Schema& out_schema = spec.output_schema();
   const auto& order = spec.graph().walk_order();
-
-  const RelationPtr& first = spec.relation(order[0]);
-  if (first->num_rows() == 0) return outcome;
 
   std::vector<Value> assignment(out_schema.num_fields());
   std::vector<bool> assigned(out_schema.num_fields(), false);
@@ -144,9 +156,8 @@ WalkOutcome WanderJoinSampler::WalkGeneric(Rng& rng) {
     }
   };
 
-  uint32_t row0 = static_cast<uint32_t>(rng.UniformInt(first->num_rows()));
-  apply_row(order[0], row0);
-  double probability = 1.0 / static_cast<double>(first->num_rows());
+  apply_row(order[0], root_row);
+  double probability = root_probability;
 
   for (const Step& step : steps_) {
     std::vector<Value> key_values;

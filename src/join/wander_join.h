@@ -11,6 +11,7 @@
 #ifndef SUJ_JOIN_WANDER_JOIN_H_
 #define SUJ_JOIN_WANDER_JOIN_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -39,8 +40,18 @@ class WanderJoinSampler {
   static Result<std::unique_ptr<WanderJoinSampler>> Create(
       JoinSpecPtr join, CompositeIndexCache* cache);
 
-  /// Performs one walk.
-  WalkOutcome Walk(Rng& rng);
+  virtual ~WanderJoinSampler() = default;
+
+  /// Performs one walk. Virtual so shard routers can substitute a
+  /// global-root draw while keeping the per-step RNG stream identical.
+  virtual WalkOutcome Walk(Rng& rng);
+
+  /// Continues a walk whose root row was chosen externally (with
+  /// probability `root_probability`): the per-step RNG consumption is
+  /// exactly Walk's after its own root draw. Shard routers resolve a
+  /// global uniform root draw to (shard, local row) and delegate here.
+  WalkOutcome WalkFromRoot(uint32_t root_row, double root_probability,
+                           Rng& rng);
 
   const JoinSpecPtr& join() const { return join_; }
   uint64_t num_walks() const { return num_walks_; }
@@ -51,6 +62,13 @@ class WanderJoinSampler {
   /// walk draws the SAME RNG stream as the generic walk and produces
   /// byte-identical outcomes; it only skips the Tuple/Value/string work.
   bool columnar() const { return columnar_; }
+
+ protected:
+  explicit WanderJoinSampler(JoinSpecPtr join) : join_(std::move(join)) {}
+
+  JoinSpecPtr join_;
+  uint64_t num_walks_ = 0;
+  uint64_t num_successes_ = 0;
 
  private:
   struct Step {
@@ -66,21 +84,25 @@ class WanderJoinSampler {
     ProbeArrayPtr probe;
   };
 
-  explicit WanderJoinSampler(JoinSpecPtr join) : join_(std::move(join)) {}
+  WalkOutcome WalkGenericFrom(uint32_t root_row, double root_probability,
+                              Rng& rng);
+  WalkOutcome WalkColumnarFrom(uint32_t root_row, double root_probability,
+                               Rng& rng);
 
-  WalkOutcome WalkGeneric(Rng& rng);
-  WalkOutcome WalkColumnar(Rng& rng);
-
-  JoinSpecPtr join_;
   std::vector<Step> steps_;
   // Materialization plan for the columnar walk: per walk position, the
   // (relation column, output schema index) pairs that position writes as
   // first assigner in walk order.
   std::vector<std::vector<std::pair<uint16_t, uint16_t>>> writes_;
   bool columnar_ = false;
-  uint64_t num_walks_ = 0;
-  uint64_t num_successes_ = 0;
 };
+
+/// Builds the wander-join sampler for join index `j` of a union. Plans
+/// whose joins are shard-routed supply a factory producing shard routers;
+/// a null factory means plain WanderJoinSampler::Create over the caller's
+/// index cache.
+using WanderSamplerFactory =
+    std::function<Result<std::unique_ptr<WanderJoinSampler>>(int)>;
 
 /// \brief Online join-size (COUNT) estimator built on wander-join walks.
 ///

@@ -12,6 +12,10 @@ Result<SujClient> SujClient::Connect(const std::string& host, uint16_t port,
                                      const std::string& tenant,
                                      Options options) {
   SUJ_ASSIGN_OR_RETURN(TcpConn conn, ConnectTcp(host, port));
+  if (options.io_timeout_ms > 0) {
+    SUJ_RETURN_NOT_OK(
+        conn.SetIoDeadlines(options.io_timeout_ms, options.io_timeout_ms));
+  }
   SujClient client(std::move(conn), options);
   HelloRequest hello;
   hello.version = kProtocolVersion;
@@ -47,8 +51,18 @@ Result<Frame> SujClient::Call(MessageType type, const std::string& body,
 }
 
 Result<PrepareResponse> SujClient::Prepare(const std::string& query) {
+  return Prepare(query, 0);
+}
+
+Result<PrepareResponse> SujClient::Prepare(const std::string& query,
+                                           uint32_t num_shards,
+                                           uint8_t scheme,
+                                           uint32_t virtual_partitions) {
   PrepareRequest request;
   request.query = query;
+  request.num_shards = num_shards;
+  request.shard_scheme = scheme;
+  request.virtual_partitions = virtual_partitions;
   SUJ_ASSIGN_OR_RETURN(Frame rsp,
                        Call(MessageType::kPrepare, request.Encode(),
                             MessageType::kPrepareRsp));

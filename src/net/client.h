@@ -27,6 +27,14 @@ class SujClient {
  public:
   struct Options {
     uint32_t max_frame_bytes = kDefaultMaxFrame;
+    /// Socket read/write deadlines in milliseconds; 0 = block forever
+    /// (legacy). Armed right after connect, so even the Hello handshake
+    /// is covered. A server that STALLS past a deadline surfaces as
+    /// kDeadlineExceeded — distinct from a truncated frame
+    /// (kInvalidArgument) and a closed connection (kUnavailable), so
+    /// callers can tell "slow peer" from "broken peer" (pinned in
+    /// net_wire_test).
+    int64_t io_timeout_ms = 0;
   };
 
   /// Connects and completes the Hello handshake as `tenant`.
@@ -43,6 +51,13 @@ class SujClient {
 
   /// Prepares (or looks up) `query` server-side.
   Result<PrepareResponse> Prepare(const std::string& query);
+  /// Shard-aware Prepare (v3): `num_shards` > 1 asks the server to
+  /// root-partition the plan (`scheme`: 0 hash-key, 1 row-range;
+  /// `virtual_partitions` 0 = server default). Ignored if the query is
+  /// already pinned — the response reports the plan's actual shape.
+  Result<PrepareResponse> Prepare(const std::string& query,
+                                  uint32_t num_shards, uint8_t scheme = 0,
+                                  uint32_t virtual_partitions = 0);
 
   /// Opens a session; `request.query` names a prepared query.
   Result<uint64_t> OpenSession(const OpenSessionRequest& request);

@@ -64,6 +64,9 @@ std::string PrepareRequest::Encode() const {
   std::string body;
   WireWriter w(&body);
   w.PutBytes(query);
+  w.PutU32(num_shards);
+  w.PutU8(shard_scheme);
+  w.PutU32(virtual_partitions);
   return body;
 }
 
@@ -71,6 +74,9 @@ Result<PrepareRequest> PrepareRequest::Decode(std::string_view body) {
   WireReader r(body);
   PrepareRequest out;
   SUJ_ASSIGN_OR_RETURN(out.query, r.GetString());
+  SUJ_ASSIGN_OR_RETURN(out.num_shards, r.GetU32());
+  SUJ_ASSIGN_OR_RETURN(out.shard_scheme, r.GetU8());
+  SUJ_ASSIGN_OR_RETURN(out.virtual_partitions, r.GetU32());
   SUJ_RETURN_NOT_OK(r.ExpectDone());
   return out;
 }
@@ -81,6 +87,7 @@ std::string PrepareResponse::Encode() const {
   w.PutU64(plan_id);
   w.PutDouble(build_seconds);
   w.PutU64(approx_memory_bytes);
+  w.PutU32(num_shards);
   return body;
 }
 
@@ -90,6 +97,7 @@ Result<PrepareResponse> PrepareResponse::Decode(std::string_view body) {
   SUJ_ASSIGN_OR_RETURN(out.plan_id, r.GetU64());
   SUJ_ASSIGN_OR_RETURN(out.build_seconds, r.GetDouble());
   SUJ_ASSIGN_OR_RETURN(out.approx_memory_bytes, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.num_shards, r.GetU32());
   SUJ_RETURN_NOT_OK(r.ExpectDone());
   return out;
 }
@@ -270,6 +278,8 @@ Status StatusPayload::ToStatus() const {
       return Status::ResourceExhausted(message);
     case StatusCode::kUnavailable:
       return Status::Unavailable(message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
     default:
       return Status::Internal(message);
   }
@@ -376,6 +386,10 @@ std::string ServerStatsResponse::Encode() const {
   w.PutU64(quota_shed_session);
   w.PutU64(sessions_quota_rejected);
   w.PutU64(plans_evicted);
+  w.PutU64(shard_draws);
+  w.PutU64(shard_walk_draws);
+  w.PutU64(shard_weight_refreshes);
+  w.PutU64(shard_unavailable_errors);
   return body;
 }
 
@@ -404,6 +418,10 @@ Result<ServerStatsResponse> ServerStatsResponse::Decode(
   SUJ_ASSIGN_OR_RETURN(out.quota_shed_session, r.GetU64());
   SUJ_ASSIGN_OR_RETURN(out.sessions_quota_rejected, r.GetU64());
   SUJ_ASSIGN_OR_RETURN(out.plans_evicted, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.shard_draws, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.shard_walk_draws, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.shard_weight_refreshes, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.shard_unavailable_errors, r.GetU64());
   SUJ_RETURN_NOT_OK(r.ExpectDone());
   return out;
 }

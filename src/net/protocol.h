@@ -42,8 +42,11 @@ namespace net {
 /// Bumped on any incompatible change; Hello carries it and the server
 /// rejects mismatches outright (no negotiation — client and server ship
 /// from one tree). v2: kMetrics/kMetricsRsp exposition frames and the
-/// per-stage shed breakdown appended to ServerStatsResponse.
-constexpr uint32_t kProtocolVersion = 2;
+/// per-stage shed breakdown appended to ServerStatsResponse. v3:
+/// shard-aware Prepare (shard count/scheme/virtual partitions in the
+/// request, resolved shard count in the response) and the shard counter
+/// block appended to ServerStatsResponse.
+constexpr uint32_t kProtocolVersion = 3;
 
 /// Default ceiling on one frame. Large sample responses are chunked well
 /// below this by the stream chunk size; a frame that claims to be bigger
@@ -101,6 +104,14 @@ struct HelloRequest {
 
 struct PrepareRequest {
   std::string query;
+  /// v3 shard plan shape. num_shards 0 or 1 prepares unsharded;
+  /// N > 1 root-partitions every join into N in-process shards.
+  /// scheme: 0 = hash-key, 1 = row-range. virtual_partitions 0 takes
+  /// the server default (64); it is part of the plan's byte identity,
+  /// so clients comparing cross-deployment output pin it explicitly.
+  uint32_t num_shards = 0;
+  uint8_t shard_scheme = 0;
+  uint32_t virtual_partitions = 0;
 
   std::string Encode() const;
   static Result<PrepareRequest> Decode(std::string_view body);
@@ -110,6 +121,8 @@ struct PrepareResponse {
   uint64_t plan_id = 0;
   double build_seconds = 0;
   uint64_t approx_memory_bytes = 0;
+  /// Resolved shard count of the plan (1 = unsharded), v3.
+  uint32_t num_shards = 1;
 
   std::string Encode() const;
   static Result<PrepareResponse> Decode(std::string_view body);
@@ -257,6 +270,14 @@ struct ServerStatsResponse {
   uint64_t quota_shed_session = 0;       ///< per-session token-bucket sheds
   uint64_t sessions_quota_rejected = 0;  ///< OpenSession over max_sessions
   uint64_t plans_evicted = 0;            ///< explicit registry evictions
+  // shard counters (v3): process-wide totals across every sharded plan.
+  // shard_unavailable_errors counts requests/chunks rejected because a
+  // shard was marked unreachable — fault-injection tests reconcile it
+  // against client-observed kUnavailable failures.
+  uint64_t shard_draws = 0;               ///< routed exact-weight draws
+  uint64_t shard_walk_draws = 0;          ///< routed wander-walk root draws
+  uint64_t shard_weight_refreshes = 0;    ///< coordinator weight merges
+  uint64_t shard_unavailable_errors = 0;  ///< kUnavailable sheds at routing
 
   std::string Encode() const;
   static Result<ServerStatsResponse> Decode(std::string_view body);

@@ -277,12 +277,31 @@ Status SujServer::HandlePrepare(TcpConn& conn, const Frame& frame) {
   const std::string& query = request.value().query;
 
   // Idempotent: many tenants prepare the same shared query; the first
-  // pays the build, the rest get the pinned plan's identity.
+  // pays the build, the rest get the pinned plan's identity. A repeat
+  // Prepare with DIFFERENT shard options does not re-shard — the plan
+  // is pinned once; the response's num_shards reports what it is.
   auto plan = service_->GetQuery(query);
   if (!plan.ok()) {
     auto joins = resolver_(query);
     if (!joins.ok()) return SendStatus(conn, joins.status());
-    plan = service_->Prepare(query, std::move(joins).value());
+    PreparedQueryOptions prep = service_->options().query_defaults;
+    if (request.value().num_shards > 0) {
+      prep.shard.num_shards = static_cast<int>(request.value().num_shards);
+      if (request.value().shard_scheme > 1) {
+        return SendStatus(conn, Status::InvalidArgument(
+                                    "unknown shard scheme " +
+                                    std::to_string(
+                                        request.value().shard_scheme)));
+      }
+      prep.shard.scheme = request.value().shard_scheme == 1
+                              ? ShardScheme::kRowRange
+                              : ShardScheme::kHashKey;
+      if (request.value().virtual_partitions > 0) {
+        prep.shard.virtual_partitions =
+            static_cast<int>(request.value().virtual_partitions);
+      }
+    }
+    plan = service_->Prepare(query, std::move(joins).value(), prep);
     if (!plan.ok()) {
       // Raced with another connection's Prepare of the same name.
       auto again = service_->GetQuery(query);
@@ -294,6 +313,10 @@ Status SujServer::HandlePrepare(TcpConn& conn, const Frame& frame) {
   rsp.plan_id = plan.value()->plan_id();
   rsp.build_seconds = plan.value()->build_seconds();
   rsp.approx_memory_bytes = plan.value()->approx_memory_bytes();
+  rsp.num_shards =
+      plan.value()->shards() != nullptr
+          ? static_cast<uint32_t>(plan.value()->shards()->num_shards())
+          : 1;
   return WriteTimed(conn, MessageType::kPrepareRsp, rsp.Encode());
 }
 
@@ -500,6 +523,17 @@ ServerStatsResponse SujServer::StatsSnapshot() const {
   rsp.quota_shed_session = governor_.total_shed_session_quota();
   rsp.sessions_quota_rejected = governor_.total_sessions_rejected();
   rsp.plans_evicted = registry.evicted;
+  // v3 shard block — from the process-global obs counters (the shard
+  // layer has no per-server state; tests reconciling across servers in
+  // one process must diff snapshots rather than compare absolutes).
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  rsp.shard_draws = metrics.GetCounter("suj_shard_draws_total")->Value();
+  rsp.shard_walk_draws =
+      metrics.GetCounter("suj_shard_walk_draws_total")->Value();
+  rsp.shard_weight_refreshes =
+      metrics.GetCounter("suj_shard_weight_refresh_total")->Value();
+  rsp.shard_unavailable_errors =
+      metrics.GetCounter("suj_shard_unavailable_total")->Value();
   return rsp;
 }
 

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -30,6 +31,30 @@ TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
   return *this;
 }
 
+Status TcpConn::SetIoDeadlines(int64_t recv_timeout_ms,
+                               int64_t send_timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is not connected");
+  auto to_timeval = [](int64_t ms) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    return tv;
+  };
+  if (recv_timeout_ms > 0) {
+    timeval tv = to_timeval(recv_timeout_ms);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+      return Status::Internal(Errno("setsockopt(SO_RCVTIMEO)"));
+    }
+  }
+  if (send_timeout_ms > 0) {
+    timeval tv = to_timeval(send_timeout_ms);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+      return Status::Internal(Errno("setsockopt(SO_SNDTIMEO)"));
+    }
+  }
+  return Status::OK();
+}
+
 Status TcpConn::ReadFull(void* buf, size_t n) {
   char* p = static_cast<char*>(buf);
   size_t got = 0;
@@ -43,6 +68,13 @@ Status TcpConn::ReadFull(void* buf, size_t n) {
     }
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // The peer is CONNECTED but silent past the armed deadline —
+        // not a truncated frame (that is an EOF mid-frame above).
+        return Status::DeadlineExceeded(
+            "read deadline expired (" + std::to_string(got) + "/" +
+            std::to_string(n) + " bytes)");
+      }
       return Status::Unavailable(Errno("recv"));
     }
     got += static_cast<size_t>(r);
@@ -57,6 +89,11 @@ Status TcpConn::WriteFull(const void* data, size_t n) {
     ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded(
+            "write deadline expired (" + std::to_string(sent) + "/" +
+            std::to_string(n) + " bytes)");
+      }
       return Status::Unavailable(Errno("send"));
     }
     sent += static_cast<size_t>(r);

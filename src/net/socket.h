@@ -30,11 +30,23 @@ class TcpConn {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
+  /// Arms kernel read/write deadlines (SO_RCVTIMEO / SO_SNDTIMEO); 0
+  /// disables one direction. After this, a peer that STALLS (connected
+  /// but silent) past the deadline fails ReadFull/WriteFull with
+  /// kDeadlineExceeded — distinct from a peer that CLOSES mid-frame
+  /// (kInvalidArgument, truncated frame) or between frames
+  /// (kUnavailable). The three outcomes need different reactions
+  /// (retry elsewhere / drop the conn / reconnect), so the codes are
+  /// load-bearing and pinned by net_wire_test.
+  Status SetIoDeadlines(int64_t recv_timeout_ms, int64_t send_timeout_ms);
+
   /// Reads exactly `n` bytes. kUnavailable on clean EOF at offset 0
   /// ("peer hung up between frames"), InvalidArgument on EOF mid-frame
-  /// (truncated frame), Internal on socket errors.
+  /// (truncated frame), kDeadlineExceeded when an armed read deadline
+  /// expires, Internal on socket errors.
   Status ReadFull(void* buf, size_t n);
-  /// Writes all of `data` (retrying short writes).
+  /// Writes all of `data` (retrying short writes); kDeadlineExceeded
+  /// when an armed write deadline expires with the kernel buffer full.
   Status WriteFull(const void* data, size_t n);
 
   /// Shuts down both directions WITHOUT closing the fd: a blocked

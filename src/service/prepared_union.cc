@@ -23,9 +23,19 @@ Result<UnionEstimates> RunWarmup(const std::vector<JoinSpecPtr>& joins,
                                  CompositeIndexCache* cache,
                                  const std::vector<JoinMembershipProberPtr>&
                                      probers,
-                                 const PreparedQueryOptions& options) {
+                                 const PreparedQueryOptions& options,
+                                 const ShardCoordinator* shards) {
   switch (options.warmup) {
     case WarmupMode::kExact: {
+      // Sharded plans estimate through the merged per-shard calculators —
+      // the coordinator's weight-merge math. The shard root slices
+      // partition every join result, so the merged estimates equal the
+      // canonical ones exactly (asserted by the determinism suite).
+      if (shards != nullptr) {
+        auto merged = ShardMergedOverlapEstimator::Create(shards->plan());
+        if (!merged.ok()) return merged.status();
+        return ComputeUnionEstimates(merged->get());
+      }
       auto exact = ExactOverlapCalculator::Create(joins);
       if (!exact.ok()) return exact.status();
       return ComputeUnionEstimates(exact->get());
@@ -41,6 +51,11 @@ Result<UnionEstimates> RunWarmup(const std::vector<JoinSpecPtr>& joins,
     case WarmupMode::kRandomWalk: {
       RandomWalkOverlapEstimator::Options w = options.walk_options;
       w.probers = probers;  // already built for the plan; never rebuild
+      if (shards != nullptr) {
+        w.wander_factory = [shards](int j) {
+          return shards->MakeWanderSampler(j);
+        };
+      }
       auto walker = RandomWalkOverlapEstimator::Create(joins, cache, w);
       if (!walker.ok()) return walker.status();
       Rng warmup_rng(options.warmup_seed);
@@ -94,15 +109,40 @@ Result<std::shared_ptr<const PreparedUnion>> PreparedUnion::Build(
   auto plan = std::shared_ptr<PreparedUnion>(
       new PreparedUnion(std::move(name), plan_id, std::move(joins)));
   plan->index_cache_ = std::make_shared<CompositeIndexCache>();
+  plan->columnar_samplers_ = options.columnar_samplers;
 
-  // Probers first: the membership oracle f(u) is needed by every session
-  // mode, and the random-walk warm-up shares them too.
-  auto probers = BuildProbers(plan->joins_);
-  if (!probers.ok()) return probers.status();
-  plan->probers_ = std::move(probers).value();
+  // Sharding first: the shard planner rewrites the joins into their
+  // canonical (vp-major) form, and EVERYTHING downstream — probers,
+  // warm-up, template, samplers — runs against the canonical specs, so
+  // the rest of the pipeline is shard-count agnostic.
+  if (options.shard.num_shards > 1) {
+    auto shard_plan = ShardPlanner::Plan(plan->joins_, options.shard);
+    if (!shard_plan.ok()) return shard_plan.status();
+    plan->joins_ = (*shard_plan)->canonical_joins();
+    auto coordinator =
+        ShardCoordinator::Build(std::move(shard_plan).value(),
+                                plan->index_cache_.get());
+    if (!coordinator.ok()) return coordinator.status();
+    plan->shards_ = std::move(coordinator).value();
+  }
+
+  // Probers next: the membership oracle f(u) is needed by every session
+  // mode, and the random-walk warm-up shares them too. Hash-sharded
+  // plans probe through the shard router (one shard per tuple); range
+  // sharding cannot route by content and keeps the canonical probers.
+  if (plan->shards_ != nullptr &&
+      options.shard.scheme == ShardScheme::kHashKey) {
+    auto probers = plan->shards_->BuildRoutedProbers();
+    if (!probers.ok()) return probers.status();
+    plan->probers_ = std::move(probers).value();
+  } else {
+    auto probers = BuildProbers(plan->joins_);
+    if (!probers.ok()) return probers.status();
+    plan->probers_ = std::move(probers).value();
+  }
 
   auto estimates = RunWarmup(plan->joins_, plan->index_cache_.get(),
-                             plan->probers_, options);
+                             plan->probers_, options, plan->shards_.get());
   if (!estimates.ok()) return estimates.status();
   plan->estimates_ = std::move(estimates).value();
 
@@ -115,15 +155,23 @@ Result<std::shared_ptr<const PreparedUnion>> PreparedUnion::Build(
   // per-session sampler construction O(1); pre-creating one wander-join
   // sampler per join forces its step indexes into the shared cache so
   // online sessions start against a warm cache.
-  plan->weight_indexes_.reserve(plan->joins_.size());
-  for (const auto& join : plan->joins_) {
-    auto index = ExactWeightIndex::Build(join, plan->index_cache_.get());
-    if (!index.ok()) return index.status();
-    plan->weight_indexes_.push_back(std::move(index).value());
-  }
-  if (options.prebuild_walk_indexes) {
+  if (plan->shards_ == nullptr) {
+    plan->weight_indexes_.reserve(plan->joins_.size());
     for (const auto& join : plan->joins_) {
-      auto wander = WanderJoinSampler::Create(join, plan->index_cache_.get());
+      auto index = ExactWeightIndex::Build(join, plan->index_cache_.get());
+      if (!index.ok()) return index.status();
+      plan->weight_indexes_.push_back(std::move(index).value());
+    }
+  }
+  // (Sharded plans pinned their per-shard weight indexes inside the
+  // coordinator; a canonical index would duplicate every root weight.)
+  if (options.prebuild_walk_indexes) {
+    for (size_t j = 0; j < plan->joins_.size(); ++j) {
+      auto wander =
+          plan->shards_ != nullptr
+              ? plan->shards_->MakeWanderSampler(static_cast<int>(j))
+              : WanderJoinSampler::Create(plan->joins_[j],
+                                          plan->index_cache_.get());
       if (!wander.ok()) return wander.status();
       // The sampler itself is discarded; only the cached indexes matter.
     }
@@ -154,16 +202,26 @@ UnionSampler::JoinSamplerFactory PreparedUnion::MakeJoinSamplerFactory()
     const {
   // The lambda captures this; factories are only ever used by sessions,
   // which hold the plan by shared_ptr for their whole lifetime.
+  if (shards_ != nullptr) {
+    return [this]() { return shards_->MakeSamplers(); };
+  }
   return [this]() -> Result<std::vector<std::unique_ptr<JoinSampler>>> {
     std::vector<std::unique_ptr<JoinSampler>> out;
     out.reserve(weight_indexes_.size());
+    ExactWeightSampler::Options sampler_options;
+    sampler_options.columnar = columnar_samplers_;
     for (const auto& index : weight_indexes_) {
-      auto sampler = ExactWeightSampler::Create(index);
+      auto sampler = ExactWeightSampler::Create(index, sampler_options);
       if (!sampler.ok()) return sampler.status();
       out.push_back(std::move(*sampler));
     }
     return out;
   };
+}
+
+WanderSamplerFactory PreparedUnion::MakeWanderFactory() const {
+  if (shards_ == nullptr) return nullptr;
+  return [this](int j) { return shards_->MakeWanderSampler(j); };
 }
 
 Result<PreparedUnionPtr> QueryRegistry::Prepare(

@@ -31,6 +31,7 @@
 #include "index/composite_index.h"
 #include "join/exact_weight.h"
 #include "join/membership.h"
+#include "shard/shard_coordinator.h"
 
 namespace suj {
 
@@ -66,6 +67,17 @@ struct PreparedQueryOptions {
   /// Prebuild the wander-join step indexes so online sessions create
   /// their walkers against a fully warmed cache.
   bool prebuild_walk_indexes = true;
+  /// Sharding knobs. num_shards > 1 partitions every join's root relation
+  /// at prepare time: joins() becomes the CANONICAL (vp-major reordered)
+  /// specs, all samplers route through the shard coordinator, and the
+  /// plan's output is byte-identical at every shard count (for fixed
+  /// virtual_partitions).
+  ShardOptions shard;
+  /// Use the columnar descent for unsharded exact-weight samplers. The
+  /// row path is the sharding reference; tests comparing a sharded plan
+  /// against an unsharded one byte-for-byte set this false on the
+  /// reference plan (sharded plans always sample the row path).
+  bool columnar_samplers = true;
 };
 
 /// \brief One accepted query: joins + estimates + shared sampling state.
@@ -91,9 +103,12 @@ class PreparedUnion {
     return index_cache_;
   }
   /// Prebuilt exact-weight indexes, one per join (immutable, shared).
+  /// Empty for sharded plans, whose per-shard indexes live in shards().
   const std::vector<ExactWeightIndexPtr>& weight_indexes() const {
     return weight_indexes_;
   }
+  /// The shard coordinator, or null for unsharded plans.
+  const ShardCoordinatorPtr& shards() const { return shards_; }
   /// The selected standard template (§8.1).
   const std::vector<std::string>& standard_template() const {
     return standard_template_;
@@ -116,6 +131,11 @@ class PreparedUnion {
   /// per-parallel-worker) construction costs nothing measurable.
   UnionSampler::JoinSamplerFactory MakeJoinSamplerFactory() const;
 
+  /// Per-join wander-walker factory for warm-up estimators and online
+  /// sessions: shard-routed walkers for sharded plans, null (callers use
+  /// the default WanderJoinSampler::Create path) otherwise.
+  WanderSamplerFactory MakeWanderFactory() const;
+
  private:
   PreparedUnion(std::string name, uint64_t plan_id,
                 std::vector<JoinSpecPtr> joins)
@@ -128,6 +148,8 @@ class PreparedUnion {
   std::vector<JoinMembershipProberPtr> probers_;
   std::shared_ptr<CompositeIndexCache> index_cache_;
   std::vector<ExactWeightIndexPtr> weight_indexes_;
+  ShardCoordinatorPtr shards_;
+  bool columnar_samplers_ = true;
   std::vector<std::string> standard_template_;
   double build_seconds_ = 0.0;
   size_t approx_memory_bytes_ = 0;

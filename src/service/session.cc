@@ -77,6 +77,7 @@ Status SamplingSession::EnsureSampler() {
   w.probers = plan_->probers();
   w.min_walks = options_.warmup_walks;
   w.max_walks = options_.warmup_walks;
+  w.wander_factory = plan_->MakeWanderFactory();  // null when unsharded
   auto walker = RandomWalkOverlapEstimator::Create(
       plan_->joins(), plan_->index_cache().get(), w);
   if (!walker.ok()) return walker.status();
@@ -92,6 +93,7 @@ Status SamplingSession::EnsureSampler() {
   o.enable_reuse = options_.enable_reuse;
   o.backtrack_interval = options_.backtrack_interval;
   o.max_draws_per_round = options_.max_draws_per_round;
+  o.wander_factory = plan_->MakeWanderFactory();
   if (options_.worker_threads > 1) {
     o.index_cache = plan_->index_cache();
     o.num_threads = options_.worker_threads;
@@ -105,6 +107,13 @@ Status SamplingSession::EnsureSampler() {
 }
 
 Result<std::vector<Tuple>> SamplingSession::SampleLocked(size_t n) {
+  if (plan_->shards() != nullptr) {
+    // Every request and every stream chunk passes through here, so a
+    // shard failing mid-stream surfaces as kUnavailable on the next
+    // chunk — a routed draw could land on the dead shard, and silently
+    // re-routing would bias the sample.
+    SUJ_RETURN_NOT_OK(plan_->shards()->CheckAvailable());
+  }
   SUJ_RETURN_NOT_OK(EnsureSampler());
   static obs::Histogram* const sample_ns =
       obs::MetricsRegistry::Global().GetHistogram(

@@ -1,0 +1,131 @@
+// ShardPlanner: prepare-time horizontal partitioning of a union-of-joins
+// query into N in-process shards.
+//
+// The union protocol (Algorithm 1/2) only ever talks to a join through two
+// uniform draws: a root row proportional to exact weights (EW) or a uniform
+// root row (wander walks), followed by a descent whose randomness depends
+// only on the chosen rows. Partitioning the ROOT relation of each join's
+// spanning tree therefore shards the whole sampler: every non-root relation
+// is broadcast (shared by pointer, zero copy), shard s owns a slice of the
+// root rows, and a draw routes to exactly one shard. The root of the EW
+// spanning tree and of the walk order coincide by construction
+// (join_graph.cc roots both at walk_order()[0]), so one partition serves
+// both machineries.
+//
+// Cross-shard determinism rests on a K-invariant canonical order: rows are
+// assigned to V fixed VIRTUAL partitions (V independent of the shard count)
+// and reordered vp-major into a canonical root relation; shard s of K takes
+// the contiguous vp range [floor(s*V/K), floor((s+1)*V/K)). The canonical
+// relations — and hence every weight, index, and RNG draw — are identical
+// for every K, which is what makes N-shard output byte-identical to the
+// unsharded sampler over the same canonical specs.
+
+#ifndef SUJ_SHARD_SHARD_PLAN_H_
+#define SUJ_SHARD_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "join/join_spec.h"
+
+namespace suj {
+
+/// How root rows map to virtual partitions.
+enum class ShardScheme {
+  /// vp = Hash64(encoded root row) % V. Content-addressed: an output
+  /// tuple's root projection hashes to the same vp, so membership probes
+  /// route to exactly one shard. The default.
+  kHashKey,
+  /// vp = row * V / num_rows: contiguous row ranges, the classic range
+  /// partition. Cheapest to compute; membership probes cannot be routed
+  /// by content and fall back to the canonical probers.
+  kRowRange,
+};
+
+/// Prepare-time sharding knobs.
+struct ShardOptions {
+  /// Shard count; 1 disables sharding (callers get the classic plan).
+  int num_shards = 1;
+  ShardScheme scheme = ShardScheme::kHashKey;
+  /// Fixed virtual-partition count V. Every supported shard count must
+  /// divide the canonical order identically, so V is part of the plan's
+  /// identity: two deployments agree on bytes iff they agree on V.
+  int virtual_partitions = 64;
+};
+
+/// Deterministic 64-bit FNV-1a over bytes: the shard key hash. Pinned here
+/// (not std::hash) so canonical orders are stable across platforms and
+/// library versions.
+inline uint64_t ShardKeyHash64(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// \brief One join's shard decomposition.
+struct ShardedJoinPlan {
+  /// The join over the canonical (vp-major reordered) root relation.
+  /// This is the spec the union layer sees; byte-identity is defined
+  /// against an unsharded sampler over exactly this spec.
+  JoinSpecPtr canonical;
+  /// Relation index of the partitioned root (== graph().tree_order()[0]
+  /// == graph().walk_order()[0]).
+  int root = 0;
+  /// Per-shard specs: shard s's root holds canonical rows
+  /// [row_begin[s], row_begin[s+1]); all other relations are the shared
+  /// RelationPtr of `canonical`.
+  std::vector<JoinSpecPtr> shard_specs;
+  /// K+1 canonical row offsets of the shard slices.
+  std::vector<uint32_t> row_begin;
+  /// Virtual partition of each canonical root row (vp-major, so this is
+  /// non-decreasing).
+  std::vector<uint32_t> vp_of_row;
+};
+
+/// \brief Immutable shard plan for a whole union.
+class ShardPlan {
+ public:
+  int num_shards() const { return options_.num_shards; }
+  const ShardOptions& options() const { return options_; }
+  /// Canonical joins, one per input join (cover order preserved). An
+  /// unsharded sampler over these is the byte-identity reference.
+  const std::vector<JoinSpecPtr>& canonical_joins() const {
+    return canonical_joins_;
+  }
+  const ShardedJoinPlan& join_plan(int j) const { return join_plans_[j]; }
+  size_t num_joins() const { return join_plans_.size(); }
+  /// Shard covering virtual partition vp (same mapping for every join).
+  int shard_of_vp(uint32_t vp) const { return shard_of_vp_[vp]; }
+
+ private:
+  friend class ShardPlanner;
+  ShardPlan() = default;
+
+  ShardOptions options_;
+  std::vector<JoinSpecPtr> canonical_joins_;
+  std::vector<ShardedJoinPlan> join_plans_;
+  std::vector<int> shard_of_vp_;
+};
+
+using ShardPlanPtr = std::shared_ptr<const ShardPlan>;
+
+/// \brief Builds ShardPlans.
+class ShardPlanner {
+ public:
+  /// Partitions every join of the union. Fails when a join's EW-tree root
+  /// and walk root disagree (cannot happen for graphs built by
+  /// JoinGraph::Build; checked defensively) or options are out of range.
+  static Result<ShardPlanPtr> Plan(const std::vector<JoinSpecPtr>& joins,
+                                   const ShardOptions& options);
+};
+
+}  // namespace suj
+
+#endif  // SUJ_SHARD_SHARD_PLAN_H_

@@ -1,0 +1,143 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace suj {
+
+namespace {
+
+// Materializes a slice [begin, end) of `rows` (canonical row order) of
+// `source` as a fresh relation named `name`.
+Result<RelationPtr> MaterializeRows(const Relation& source,
+                                    const std::vector<uint32_t>& rows,
+                                    size_t begin, size_t end,
+                                    std::string name) {
+  RelationBuilder builder(std::move(name), source.schema());
+  for (size_t i = begin; i < end; ++i) {
+    SUJ_RETURN_NOT_OK(builder.AppendTuple(source.GetTuple(rows[i])));
+  }
+  return builder.Finish();
+}
+
+}  // namespace
+
+Result<ShardPlanPtr> ShardPlanner::Plan(const std::vector<JoinSpecPtr>& joins,
+                                        const ShardOptions& options) {
+  SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+  const int k = options.num_shards;
+  const int v = options.virtual_partitions;
+  if (k < 1) return Status::InvalidArgument("num_shards must be >= 1");
+  if (v < k) {
+    return Status::InvalidArgument(
+        "virtual_partitions (" + std::to_string(v) +
+        ") must be >= num_shards (" + std::to_string(k) +
+        "): every shard needs at least one vp");
+  }
+
+  auto plan = std::shared_ptr<ShardPlan>(new ShardPlan());
+  plan->options_ = options;
+  // vp -> shard: shard s covers [floor(s*V/K), floor((s+1)*V/K)).
+  plan->shard_of_vp_.resize(v);
+  for (int s = 0; s < k; ++s) {
+    const int lo = s * v / k;
+    const int hi = (s + 1) * v / k;
+    for (int p = lo; p < hi; ++p) plan->shard_of_vp_[p] = s;
+  }
+
+  for (const auto& join : joins) {
+    const JoinGraph& graph = join->graph();
+    const int root = graph.walk_order()[0];
+    if (graph.tree_order()[0] != root) {
+      // join_graph.cc roots the spanning tree at the walk start, so this
+      // is unreachable for its graphs; reject rather than mis-shard if
+      // that invariant ever changes.
+      return Status::Unimplemented(
+          "join '" + join->name() +
+          "': EW-tree root and walk root differ; cannot root-partition");
+    }
+    const Relation& root_rel = *join->relation(root);
+    const size_t n = root_rel.num_rows();
+
+    ShardedJoinPlan jp;
+    jp.root = root;
+
+    // Virtual-partition assignment, then a vp-major stable reorder. The
+    // canonical order is a pure function of (relation contents, scheme, V)
+    // — never of K — which is what keeps every shard count on one byte
+    // stream.
+    std::vector<uint32_t> vp(n);
+    for (size_t row = 0; row < n; ++row) {
+      vp[row] = options.scheme == ShardScheme::kHashKey
+                    ? static_cast<uint32_t>(
+                          ShardKeyHash64(root_rel.GetTuple(row).Encode()) %
+                          static_cast<uint64_t>(v))
+                    : static_cast<uint32_t>(row * static_cast<size_t>(v) / n);
+    }
+    std::vector<uint32_t> canonical_rows(n);
+    {
+      std::vector<uint32_t> vp_count(v + 1, 0);
+      for (size_t row = 0; row < n; ++row) ++vp_count[vp[row] + 1];
+      for (int p = 0; p < v; ++p) vp_count[p + 1] += vp_count[p];
+      for (size_t row = 0; row < n; ++row) {
+        canonical_rows[vp_count[vp[row]]++] = static_cast<uint32_t>(row);
+      }
+    }
+    jp.vp_of_row.resize(n);
+    for (size_t i = 0; i < n; ++i) jp.vp_of_row[i] = vp[canonical_rows[i]];
+
+    // Shard slice boundaries: first canonical row whose vp falls in the
+    // shard's vp range.
+    jp.row_begin.assign(k + 1, static_cast<uint32_t>(n));
+    jp.row_begin[0] = 0;
+    for (int s = 1; s < k; ++s) {
+      const uint32_t vp_lo = static_cast<uint32_t>(s * v / k);
+      jp.row_begin[s] = static_cast<uint32_t>(
+          std::lower_bound(jp.vp_of_row.begin(), jp.vp_of_row.end(), vp_lo) -
+          jp.vp_of_row.begin());
+    }
+
+    // Canonical spec: the reordered root + shared children, same edges and
+    // predicates as the input join.
+    auto canonical_root = MaterializeRows(root_rel, canonical_rows, 0, n,
+                                          root_rel.name());
+    if (!canonical_root.ok()) return canonical_root.status();
+    std::vector<RelationPtr> canonical_rels = join->relations();
+    canonical_rels[root] = std::move(canonical_root).value();
+    std::vector<JoinEdge> edges;
+    for (const auto& e : join->graph().edges()) {
+      edges.push_back(JoinEdge{e.left, e.right});
+    }
+    auto canonical = JoinSpec::Create(join->name(), canonical_rels, edges,
+                                      join->output_predicates());
+    if (!canonical.ok()) return canonical.status();
+    jp.canonical = std::move(canonical).value();
+
+    // Per-shard specs: a slice of the canonical root, everything else the
+    // shared RelationPtr (the broadcast half of the partition).
+    const auto& canon_root_rel = *jp.canonical->relation(root);
+    std::vector<uint32_t> identity(n);
+    for (size_t i = 0; i < n; ++i) identity[i] = static_cast<uint32_t>(i);
+    for (int s = 0; s < k; ++s) {
+      auto slice = MaterializeRows(
+          canon_root_rel, identity, jp.row_begin[s], jp.row_begin[s + 1],
+          root_rel.name() + "#s" + std::to_string(s));
+      if (!slice.ok()) return slice.status();
+      std::vector<RelationPtr> rels = jp.canonical->relations();
+      rels[root] = std::move(slice).value();
+      auto spec = JoinSpec::Create(
+          join->name() + "#s" + std::to_string(s), std::move(rels), edges,
+          join->output_predicates());
+      if (!spec.ok()) return spec.status();
+      jp.shard_specs.push_back(std::move(spec).value());
+    }
+
+    plan->canonical_joins_.push_back(jp.canonical);
+    plan->join_plans_.push_back(std::move(jp));
+  }
+  return std::shared_ptr<const ShardPlan>(plan);
+}
+
+}  // namespace suj

@@ -1,0 +1,167 @@
+// Shard-routed samplers: the per-join execution half of the shard plan.
+//
+// ShardedJoinIndex pins the immutable routing state of one sharded join:
+// per-shard exact-weight indexes, the global weight boundaries B[s] (exact
+// integer prefix sums of the shard totals), and each shard's root
+// cumulative array stored AT GLOBAL OFFSET (local prefix + B[s], every
+// addition an exact integer sum). Routing compares the caller's global CDF
+// draw x against those arrays directly — never x - B[s], whose
+// floating-point subtraction could flip a boundary comparison — so a
+// sharded root draw resolves to exactly the row the unsharded row path
+// resolves for the same x.
+//
+// ShardedJoinSampler and ShardedWanderJoinSampler wrap one routing step
+// around the existing descent entry points (ExactWeightSampler::
+// TrySampleRowFromRoot, WanderJoinSampler::WalkFromRoot), consuming the
+// caller's RNG identically to their unsharded counterparts; the union
+// protocol cannot tell them apart byte-for-byte. ShardedMembershipProber
+// routes membership probes to the one shard whose root slice can contain
+// the tuple (kHashKey scheme: the root projection hashes to its vp).
+
+#ifndef SUJ_SHARD_SHARDED_JOIN_H_
+#define SUJ_SHARD_SHARDED_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "join/exact_weight.h"
+#include "join/membership.h"
+#include "join/wander_join.h"
+#include "obs/metrics.h"
+#include "shard/shard_plan.h"
+
+namespace suj {
+
+/// \brief Immutable routing + weight state of one sharded join.
+class ShardedJoinIndex {
+ public:
+  /// Builds per-shard EW indexes for join `join_index` of `plan` over
+  /// `cache` (children are shared RelationPtrs, so their composite
+  /// indexes build once and are reused by every shard).
+  static Result<std::shared_ptr<const ShardedJoinIndex>> Build(
+      ShardPlanPtr plan, int join_index, CompositeIndexCache* cache);
+
+  const JoinSpecPtr& join() const { return join_plan().canonical; }
+  const ShardedJoinPlan& join_plan() const {
+    return plan_->join_plan(join_index_);
+  }
+  int num_shards() const { return static_cast<int>(shard_weights_.size()); }
+
+  /// Sum of shard totals == the canonical index's TotalWeight (exact
+  /// integer sums).
+  double TotalWeight() const { return weight_boundary_.back(); }
+  bool exact() const { return exact_; }
+  /// Canonical root row count (for uniform walk-root routing).
+  uint64_t total_rows() const { return total_rows_; }
+
+  const ExactWeightIndexPtr& shard_weights(int s) const {
+    return shard_weights_[s];
+  }
+  /// B[0..K]: global weight prefix of the shards.
+  const std::vector<double>& weight_boundary() const {
+    return weight_boundary_;
+  }
+  /// Shard s's root cumulative array at global offset (entry i is the
+  /// global cumulative weight through local row i).
+  const std::vector<double>& global_cumulative(int s) const {
+    return global_cumulative_[s];
+  }
+
+  /// Shard owning a global root CDF draw x in [0, TotalWeight()]. A draw
+  /// at/above B[K] (floating-point boundary) resolves to the last shard
+  /// with positive total, mirroring ResolveCumulativeDraw's tail rule.
+  int RouteWeight(double x) const;
+  /// Shard owning canonical root row `global_row`; sets `*local_row`.
+  int RouteRow(uint64_t global_row, uint32_t* local_row) const;
+
+ private:
+  ShardedJoinIndex(ShardPlanPtr plan, int join_index)
+      : plan_(std::move(plan)), join_index_(join_index) {}
+
+  ShardPlanPtr plan_;
+  int join_index_;
+  std::vector<ExactWeightIndexPtr> shard_weights_;
+  std::vector<double> weight_boundary_;
+  std::vector<std::vector<double>> global_cumulative_;
+  uint64_t total_rows_ = 0;
+  bool exact_ = true;
+};
+
+using ShardedJoinIndexPtr = std::shared_ptr<const ShardedJoinIndex>;
+
+/// \brief Uniform join sampler that routes root draws across shards.
+///
+/// join() is the CANONICAL spec (pointer-identical to the plan's joins),
+/// so the union layer's sampler-set validation and cover bookkeeping see
+/// the sharded set as the plan itself.
+class ShardedJoinSampler : public JoinSampler {
+ public:
+  /// O(K) over prebuilt indexes: cheap enough for per-worker factories.
+  static Result<std::unique_ptr<ShardedJoinSampler>> Create(
+      ShardedJoinIndexPtr index);
+
+  std::optional<Tuple> TrySample(Rng& rng) override;
+  double SizeUpperBound() const override { return index_->TotalWeight(); }
+
+  const ShardedJoinIndexPtr& shard_index() const { return index_; }
+
+ private:
+  ShardedJoinSampler(JoinSpecPtr join, ShardedJoinIndexPtr index)
+      : JoinSampler(std::move(join)), index_(std::move(index)) {}
+
+  ShardedJoinIndexPtr index_;
+  /// Row-path samplers, one per shard (the row path is the sharding
+  /// reference: its root draw is the CDF resolution being routed).
+  std::vector<std::unique_ptr<ExactWeightSampler>> shard_samplers_;
+  std::vector<obs::Counter*> draw_counters_;     // suj_shard_draws_total_s<k>
+  obs::Counter* total_draws_ = nullptr;          // suj_shard_draws_total
+  std::vector<obs::Histogram*> latency_ns_;      // suj_shard_sample_ns_s<k>
+};
+
+/// \brief Wander-join walker that routes the uniform root draw by row
+/// ranges, then continues the walk inside the owning shard.
+class ShardedWanderJoinSampler : public WanderJoinSampler {
+ public:
+  static Result<std::unique_ptr<ShardedWanderJoinSampler>> Create(
+      ShardedJoinIndexPtr index, CompositeIndexCache* cache);
+
+  WalkOutcome Walk(Rng& rng) override;
+
+ private:
+  ShardedWanderJoinSampler(JoinSpecPtr join, ShardedJoinIndexPtr index)
+      : WanderJoinSampler(std::move(join)), index_(std::move(index)) {}
+
+  ShardedJoinIndexPtr index_;
+  std::vector<std::unique_ptr<WanderJoinSampler>> shard_walkers_;
+  std::vector<obs::Counter*> draw_counters_;  // suj_shard_walk_draws_total_s<k>
+  obs::Counter* total_draws_ = nullptr;       // suj_shard_walk_draws_total
+};
+
+/// \brief Membership prober routed by the shard key hash.
+///
+/// Requires ShardScheme::kHashKey: an output tuple's projection onto the
+/// root schema is the full root row, so its hash names the one shard
+/// whose root slice can contain it. Probe results are bit-identical to
+/// the canonical prober's (children are shared; the root sets partition
+/// the canonical root), which the conformance tests assert.
+class ShardedMembershipProber : public JoinMembershipProber {
+ public:
+  static Result<std::shared_ptr<const ShardedMembershipProber>> Build(
+      ShardPlanPtr plan, int join_index);
+
+  bool Contains(const Tuple& output_tuple) const override;
+
+ private:
+  ShardedMembershipProber(JoinSpecPtr join, ShardPlanPtr plan)
+      : JoinMembershipProber(std::move(join)), plan_(std::move(plan)) {}
+
+  ShardPlanPtr plan_;
+  std::vector<JoinMembershipProberPtr> shard_probers_;
+  /// Output-schema indexes of the root attributes in root schema order
+  /// (the projection whose encoding is the shard key).
+  std::vector<int> root_projection_;
+};
+
+}  // namespace suj
+
+#endif  // SUJ_SHARD_SHARDED_JOIN_H_

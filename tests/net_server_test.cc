@@ -489,5 +489,128 @@ TEST(SujServerTest, ConcurrentTenantsSeeOnlyTheirOwnStreams) {
   EXPECT_EQ(stats.sessions_open, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Sharded serving over the wire: shard-aware Prepare, byte identity
+// against an in-process sharded baseline, and shard fault injection with
+// counter reconciliation.
+
+TEST(SujServerTest, ShardedPrepareReportsPlanShape) {
+  ServerFixture fx(560);
+  auto client = fx.Client("t");
+
+  auto prepared = client.Prepare("chains560", /*num_shards=*/4);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared.value().num_shards, 4u);
+
+  // The plan is pinned: a later Prepare with a different shard count
+  // reports the existing shape instead of rebuilding.
+  auto again = client.Prepare("chains560", 8);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().plan_id, prepared.value().plan_id);
+  EXPECT_EQ(again.value().num_shards, 4u);
+
+  // Unknown partition schemes are rejected cleanly, connection intact.
+  EXPECT_EQ(client.Prepare("chains561", 2, /*scheme=*/7).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Sampling from the sharded plan works end to end.
+  OpenSessionRequest open;
+  open.query = "chains560";
+  auto session = client.OpenSession(open);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto batch = client.Sample(session.value(), 25);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch.value().size(), 25u);
+}
+
+TEST(WireDeterminismTest, ShardedPlanMatchesInProcessShardedBaseline) {
+  const uint64_t seed = 563;
+  ServerFixture fx(seed);
+  auto baseline = MakeService(seed);
+  PreparedQueryOptions prep = baseline->options().query_defaults;
+  prep.shard.num_shards = 4;
+  ASSERT_TRUE(baseline->Prepare("chains563", MakeJoins(563), prep).ok());
+
+  auto client = fx.Client("t");
+  auto prepared = client.Prepare("chains563", /*num_shards=*/4);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ASSERT_EQ(prepared.value().num_shards, 4u);
+
+  OpenSessionRequest open;
+  open.query = "chains563";
+  open.mode = 2;  // revision
+  open.worker_threads = 4;
+  auto wire_session = client.OpenSession(open).value();
+
+  SessionOptions in_process;
+  in_process.mode = SessionOptions::Mode::kRevision;
+  in_process.worker_threads = 4;
+  auto local_session = baseline->OpenSession("chains563", in_process).value();
+
+  for (size_t n : {9u, 64u, 1u, 110u}) {
+    auto wire = client.Sample(wire_session, n);
+    ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+    auto local = baseline->Sample(local_session, n);
+    ASSERT_TRUE(local.ok());
+    ASSERT_EQ(wire.value().size(), local.value().size());
+    for (size_t i = 0; i < local.value().size(); ++i) {
+      ASSERT_EQ(wire.value()[i], local.value()[i].Encode())
+          << "sharded wire divergence at tuple " << i << " (n=" << n << ")";
+    }
+  }
+}
+
+TEST(SujServerTest, ShardFailureSurfacesUnavailableAndCountersReconcile) {
+  ServerFixture fx(564);
+  auto client = fx.Client("t");
+  ASSERT_TRUE(client.Prepare("chains564", /*num_shards=*/4).ok());
+  auto plan = fx.service->GetQuery("chains564").value();
+  ASSERT_NE(plan->shards(), nullptr);
+
+  // Deltas, not absolutes: the shard counters in ServerStats read
+  // process-global metrics shared with every suite in this binary.
+  const auto before = client.ServerStats().value();
+  const uint64_t coord_before = plan->shards()->unavailable_errors();
+
+  OpenSessionRequest open;
+  open.query = "chains564";
+  auto session = client.OpenSession(open).value();
+  ASSERT_TRUE(client.Sample(session, 10).ok());
+
+  // Shard 2 dies. Every subsequent draw on the plan — request or stream
+  // chunk — must fail promptly with kUnavailable: a routed draw could
+  // land on the dead shard, and silently re-routing would bias the
+  // sample.
+  plan->shards()->FailShard(2);
+
+  EXPECT_EQ(client.Sample(session, 5).status().code(),
+            StatusCode::kUnavailable);
+
+  size_t delivered = 0;
+  Status stream_status =
+      client.StreamSample(session, 200, 16, [&](const net::TupleChunk& c) {
+        delivered += c.encoded_tuples.size();
+        return Status::OK();
+      });
+  EXPECT_EQ(stream_status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(delivered, 0u) << "stream produced chunks from a failed plan";
+
+  // Client-observed failures reconcile with the coordinator's ledger and
+  // with the wire-exposed counter delta.
+  const uint64_t coord_errors =
+      plan->shards()->unavailable_errors() - coord_before;
+  EXPECT_GE(coord_errors, 2u);
+  const auto after = client.ServerStats().value();
+  EXPECT_EQ(after.shard_unavailable_errors - before.shard_unavailable_errors,
+            coord_errors);
+
+  // Restore: the same session resumes where it left off.
+  plan->shards()->RestoreShard(2);
+  auto resumed = client.Sample(session, 10);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed.value().size(), 10u);
+  EXPECT_TRUE(client.CloseSession(session).ok());
+}
+
 }  // namespace
 }  // namespace suj

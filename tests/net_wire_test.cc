@@ -87,13 +87,16 @@ TEST(WireTest, StatusCodeMappingRoundTripsEveryCode) {
       StatusCode::kNotFound,     StatusCode::kOutOfRange,
       StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
       StatusCode::kInternal,     StatusCode::kResourceExhausted,
-      StatusCode::kUnavailable,
+      StatusCode::kUnavailable,  StatusCode::kDeadlineExceeded,
   };
   for (StatusCode code : codes) {
     EXPECT_EQ(StatusCodeFromWire(StatusCodeToWire(code)), code);
   }
   // Unknown wire bytes decode to Internal, never to OK.
   EXPECT_EQ(StatusCodeFromWire(0xFF), StatusCode::kInternal);
+  // Deadline byte is pinned: v3 peers rely on 9 meaning "slow, not
+  // broken".
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kDeadlineExceeded), 9);
 }
 
 TEST(WireTest, DecodeTupleRoundTripsCanonicalEncoding) {
@@ -209,6 +212,10 @@ TEST(ProtocolTest, ServerStatsRoundTrip) {
   msg.quota_shed_session = 9;
   msg.sessions_quota_rejected = 10;
   msg.plans_evicted = 11;
+  msg.shard_draws = 12;
+  msg.shard_walk_draws = 13;
+  msg.shard_weight_refreshes = 14;
+  msg.shard_unavailable_errors = 15;
   auto decoded = net::ServerStatsResponse::Decode(msg.Encode()).value();
   EXPECT_EQ(decoded.admitted, 1u);
   EXPECT_EQ(decoded.queue_overflows, 2u);
@@ -221,13 +228,40 @@ TEST(ProtocolTest, ServerStatsRoundTrip) {
   EXPECT_EQ(decoded.quota_shed_session, 9u);
   EXPECT_EQ(decoded.sessions_quota_rejected, 10u);
   EXPECT_EQ(decoded.plans_evicted, 11u);
+  EXPECT_EQ(decoded.shard_draws, 12u);
+  EXPECT_EQ(decoded.shard_walk_draws, 13u);
+  EXPECT_EQ(decoded.shard_weight_refreshes, 14u);
+  EXPECT_EQ(decoded.shard_unavailable_errors, 15u);
+}
+
+TEST(ProtocolTest, PrepareCarriesShardShape) {
+  net::PrepareRequest req;
+  req.query = "q7";
+  req.num_shards = 4;
+  req.shard_scheme = 1;
+  req.virtual_partitions = 128;
+  auto req_decoded = net::PrepareRequest::Decode(req.Encode()).value();
+  EXPECT_EQ(req_decoded.query, "q7");
+  EXPECT_EQ(req_decoded.num_shards, 4u);
+  EXPECT_EQ(req_decoded.shard_scheme, 1);
+  EXPECT_EQ(req_decoded.virtual_partitions, 128u);
+
+  net::PrepareResponse rsp;
+  rsp.plan_id = 9;
+  rsp.build_seconds = 0.5;
+  rsp.approx_memory_bytes = 1024;
+  rsp.num_shards = 4;
+  auto rsp_decoded = net::PrepareResponse::Decode(rsp.Encode()).value();
+  EXPECT_EQ(rsp_decoded.plan_id, 9u);
+  EXPECT_EQ(rsp_decoded.num_shards, 4u);
 }
 
 TEST(ProtocolTest, ServerStatsWireLayoutIsPinned) {
-  // The v2 stats body is a fixed sequence of 21 little-endian u64s in
-  // declaration order; the five shed-breakdown fields sit at the tail.
-  // This pins the LAYOUT, not just a round trip — a field reorder that
-  // still round-trips would break deployed v2 peers.
+  // The v3 stats body is a fixed sequence of 25 little-endian u64s in
+  // declaration order; the five v2 shed-breakdown fields and the four
+  // v3 shard counters sit at the tail. This pins the LAYOUT, not just a
+  // round trip — a field reorder that still round-trips would break
+  // deployed v3 peers.
   net::ServerStatsResponse msg;
   msg.admitted = 0x0101;
   msg.requests_served = 0x0202;
@@ -236,8 +270,12 @@ TEST(ProtocolTest, ServerStatsWireLayoutIsPinned) {
   msg.quota_shed_session = 0x0505;
   msg.sessions_quota_rejected = 0x0606;
   msg.plans_evicted = 0x0707;
+  msg.shard_draws = 0x0808;
+  msg.shard_walk_draws = 0x0909;
+  msg.shard_weight_refreshes = 0x0A0A;
+  msg.shard_unavailable_errors = 0x0B0B;
   const std::string body = msg.Encode();
-  ASSERT_EQ(body.size(), 21u * 8u);
+  ASSERT_EQ(body.size(), 25u * 8u);
   auto u64_at = [&](size_t index) {
     uint64_t v = 0;
     for (size_t b = 0; b < 8; ++b) {
@@ -254,6 +292,10 @@ TEST(ProtocolTest, ServerStatsWireLayoutIsPinned) {
   EXPECT_EQ(u64_at(18), 0x0505u);  // quota_shed_session
   EXPECT_EQ(u64_at(19), 0x0606u);  // sessions_quota_rejected
   EXPECT_EQ(u64_at(20), 0x0707u);  // plans_evicted
+  EXPECT_EQ(u64_at(21), 0x0808u);  // shard_draws opens the v3 block
+  EXPECT_EQ(u64_at(22), 0x0909u);  // shard_walk_draws
+  EXPECT_EQ(u64_at(23), 0x0A0Au);  // shard_weight_refreshes
+  EXPECT_EQ(u64_at(24), 0x0B0Bu);  // shard_unavailable_errors
 }
 
 TEST(ProtocolTest, MetricsResponseRoundTrip) {
@@ -269,6 +311,77 @@ TEST(ProtocolTest, DecodeRejectsTrailingBytes) {
   msg.session_id = 1;
   std::string body = msg.Encode() + "extra";
   EXPECT_FALSE(net::CloseSessionRequest::Decode(body).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Socket deadline discrimination. A peer that STALLS, a peer that
+// CLOSES mid-frame, and a peer that closes cleanly between frames must
+// surface as three different codes (kDeadlineExceeded /
+// kInvalidArgument / kUnavailable) — callers react differently to each
+// (retry elsewhere vs drop the conn vs reconnect), so the mapping is
+// load-bearing wire behaviour, pinned here next to the codec.
+
+// Loopback (client, server) pair. Connect lands in the kernel accept
+// queue, so Accept() below returns without a helper thread.
+void MakeLoopbackPair(TcpConn* client, TcpConn* server) {
+  auto listener = TcpListener::Listen("127.0.0.1", 0, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status().message();
+  auto conn = ConnectTcp("127.0.0.1", listener->port());
+  ASSERT_TRUE(conn.ok()) << conn.status().message();
+  auto accepted = listener->Accept();
+  ASSERT_TRUE(accepted.ok()) << accepted.status().message();
+  *client = std::move(*conn);
+  *server = std::move(*accepted);
+}
+
+TEST(SocketDeadlineTest, StalledPeerIsDeadlineExceeded) {
+  TcpConn client, server;
+  ASSERT_NO_FATAL_FAILURE(MakeLoopbackPair(&client, &server));
+  ASSERT_TRUE(client.SetIoDeadlines(/*recv_timeout_ms=*/50,
+                                    /*send_timeout_ms=*/50)
+                  .ok());
+  // The server holds the connection open but never writes a byte.
+  auto frame = net::ReadFrame(client);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SocketDeadlineTest, TruncatedFrameIsInvalidArgumentEvenWithDeadline) {
+  TcpConn client, server;
+  ASSERT_NO_FATAL_FAILURE(MakeLoopbackPair(&client, &server));
+  ASSERT_TRUE(client.SetIoDeadlines(200, 200).ok());
+  // Header promises a 10-byte payload; the peer delivers 3 and hangs
+  // up. EOF mid-frame must NOT be reported as a timeout.
+  std::string partial;
+  WireWriter w(&partial);
+  w.PutU32(10);
+  partial.append("abc");
+  ASSERT_TRUE(server.WriteFull(partial.data(), partial.size()).ok());
+  server.Close();
+  auto frame = net::ReadFrame(client);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SocketDeadlineTest, CleanCloseBetweenFramesIsUnavailable) {
+  TcpConn client, server;
+  ASSERT_NO_FATAL_FAILURE(MakeLoopbackPair(&client, &server));
+  ASSERT_TRUE(client.SetIoDeadlines(200, 200).ok());
+  server.Close();
+  auto frame = net::ReadFrame(client);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketDeadlineTest, DisarmedDeadlineRestoresBlockingReads) {
+  TcpConn client, server;
+  ASSERT_NO_FATAL_FAILURE(MakeLoopbackPair(&client, &server));
+  ASSERT_TRUE(client.SetIoDeadlines(50, 50).ok());
+  ASSERT_TRUE(client.SetIoDeadlines(0, 0).ok());  // 0 = block forever
+  ASSERT_TRUE(net::WriteFrame(server, net::MessageType::kStatus, "ok").ok());
+  auto frame = net::ReadFrame(client);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  EXPECT_EQ(frame->body, "ok");
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include "join/exact_weight.h"
 #include "service/prepared_union.h"
 #include "service/session.h"
+#include "shard/shard_coordinator.h"
+#include "shard/shard_plan.h"
 #include "stats/uniformity.h"
 #include "workloads/synthetic.h"
 
@@ -336,6 +338,112 @@ TEST(UniformityTest, ColumnarAliasDrawsMatchRowCdfDistribution) {
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->ConsistentWithUniform(/*alpha=*/1e-4))
       << "batched chi2=" << result->statistic << " p=" << result->p_value;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded conformance: routed draws target the same uniform distribution
+// over the union, and the harness still rejects a sampler whose shard
+// routing ignores the weight ledger.
+
+TEST(UniformityTest, ShardedRevisionSamplingIsUniformOverUnion) {
+  // Sharding changes WHERE a root draw is resolved, never its
+  // probability: the 4-shard coordinator path (revision mode, 4 worker
+  // threads, per-shard exact-weight samplers behind the routed facade)
+  // is held to the same chi-square bar as the unsharded suites above.
+  ConformanceFixture s = MakeConformanceSetup(610);
+  double overlap = s.exact->EstimateOverlap(0b11).value();
+  ASSERT_GT(overlap, 0.0);
+
+  ShardOptions shard_options;
+  shard_options.num_shards = 4;
+  auto plan = ShardPlanner::Plan(s.joins, shard_options).value();
+  CompositeIndexCache cache;
+  auto coord = ShardCoordinator::Build(plan, &cache).value();
+  auto merged = ShardMergedOverlapEstimator::Create(plan).value();
+  auto estimates = ComputeUnionEstimates(merged.get()).value();
+
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kRevision;
+  opts.num_threads = 4;
+  opts.batch_size = 64;
+  opts.sampler_factory = [coord]() { return coord->MakeSamplers(); };
+  auto sampler =
+      UnionSampler::Create(coord->joins(), {}, estimates, {}, opts).value();
+  Rng rng(611);
+  const size_t universe = s.exact->UnionSize();
+  const size_t n = 80 * universe;
+  auto samples = sampler->Sample(n, rng);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  ASSERT_EQ(samples->size(), n);
+
+  // The canonical specs reorder root rows but never change content, so
+  // the union universe is the input calculator's.
+  for (const auto& [key, c] : CountSamples(*samples)) {
+    ASSERT_TRUE(s.exact->membership().count(key))
+        << "sharded sampling left the union";
+  }
+  auto result = ChiSquareUniformityTest(*samples, universe);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ConsistentWithUniform(/*alpha=*/1e-4))
+      << "chi2=" << result->statistic << " df="
+      << result->degrees_of_freedom << " p=" << result->p_value;
+}
+
+TEST(UniformityTest, ShardSkewedRoutingFailsConformance) {
+  // Negative control for the sharded harness: route every root draw to
+  // a UNIFORMLY chosen shard instead of weight-proportionally. Light
+  // shards' tuples get over-represented — exactly the bias the
+  // coordinator's weight ledger exists to prevent — and the same
+  // chi-square machinery must reject it decisively.
+  ConformanceFixture s = MakeConformanceSetup(612);
+  ShardOptions shard_options;
+  shard_options.num_shards = 4;
+  auto plan = ShardPlanner::Plan(s.joins, shard_options).value();
+  const ShardedJoinPlan& jp = plan->join_plan(0);
+
+  CompositeIndexCache cache;
+  std::vector<std::unique_ptr<ExactWeightSampler>> shard_samplers;
+  for (int shard = 0; shard < shard_options.num_shards; ++shard) {
+    const Relation& slice = *jp.shard_specs[shard]->relations()[jp.root];
+    if (slice.num_rows() == 0) continue;
+    ExactWeightSampler::Options o;
+    o.columnar = false;
+    shard_samplers.push_back(
+        ExactWeightSampler::Create(jp.shard_specs[shard], &cache, o)
+            .value());
+  }
+  ASSERT_GT(shard_samplers.size(), 1u) << "need >1 populated shard";
+  // The control only bites when shard weights genuinely differ.
+  double min_w = shard_samplers.front()->weight_index()->TotalWeight();
+  double max_w = min_w;
+  for (const auto& sampler : shard_samplers) {
+    double w = sampler->weight_index()->TotalWeight();
+    min_w = std::min(min_w, w);
+    max_w = std::max(max_w, w);
+  }
+  ASSERT_GT(max_w, min_w) << "hash partition produced equal shard weights";
+
+  const size_t universe = s.exact->JoinSize(0);
+  ASSERT_GT(universe, 1u);
+  const size_t n = 60 * universe;
+  Rng rng(613);
+  std::vector<Tuple> samples;
+  samples.reserve(n);
+  while (samples.size() < n) {
+    auto& sampler = *shard_samplers[rng.UniformInt(shard_samplers.size())];
+    auto t = sampler.Sample(rng);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    samples.push_back(std::move(t).value());
+  }
+  for (const auto& [key, c] : CountSamples(samples)) {
+    ASSERT_TRUE(s.exact->join_set(0).count(key))
+        << "skew control produced a non-result tuple";
+  }
+  auto result = ChiSquareUniformityTest(samples, universe);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ConsistentWithUniform(/*alpha=*/1e-4))
+      << "uniform-shard routing of a skewed partition must not look "
+         "uniform (p=" << result->p_value << ")";
 }
 
 }  // namespace
