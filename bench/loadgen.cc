@@ -19,6 +19,12 @@
 // plus a top-level "counters" object (requests, sheds, determinism) for
 // check_regression.py --require-counter.
 //
+// --churn adds a mutation phase: delta batches are applied over the
+// wire while the workers run (counted as `epochs_applied`), and the
+// determinism check interleaves applies between its draws so the wire
+// session's pinned epoch is asserted byte-for-byte against a
+// never-churned in-process baseline.
+//
 // Quota-exceeded requests answer ResourceExhausted and are COUNTED, not
 // retried and never fatal: under deliberate overload (e.g. --tenant-rps
 // below the offered rate) the run must finish with sheds > 0 and
@@ -80,6 +86,12 @@ struct Config {
   /// gate and the measured phase both run against this shape, so the CI
   /// sharded-load job reuses the whole harness unchanged.
   uint32_t shards = 1;
+  /// Churn mode: apply append/delete delta batches over the wire WHILE
+  /// the load phase runs. The determinism gate also interleaves applies
+  /// between its draws, so it asserts the pinned-epoch contract (a
+  /// session keeps the epoch it opened on) end to end over TCP.
+  bool churn = false;
+  int churn_batches = 6;
 };
 
 int64_t NowNs() {
@@ -165,11 +177,38 @@ void RunWorker(const Config& config, uint16_t port, int worker_index,
   out->fatal = run();
 }
 
+/// One append/delete batch against the bench query's first relation.
+/// Appended keys live in a disjoint high range so every batch adds
+/// fresh rows; folds compact row ids, so a small distinct delete id is
+/// valid in every epoch.
+suj::net::WireRelationDelta MakeChurnDelta(const suj::RelationPtr& target,
+                                           uint64_t salt) {
+  suj::net::WireRelationDelta delta;
+  delta.relation = target->name();
+  delta.delete_rows = {
+      static_cast<uint32_t>(salt % (target->num_rows() / 2))};
+  for (int i = 0; i < 4; ++i) {
+    std::vector<suj::Value> fresh;
+    for (size_t c = 0; c < target->num_columns(); ++c) {
+      fresh.push_back(suj::Value::Int64(
+          1000000 + static_cast<int64_t>(salt) * 64 + i * 8 +
+          static_cast<int64_t>(c)));
+    }
+    delta.encoded_appends.push_back(suj::Tuple(std::move(fresh)).Encode());
+  }
+  return delta;
+}
+
 /// Wire bytes vs in-process bytes for identical (seed, rank, sizes).
 /// Runs against a FRESH server/service pair so session ranks line up.
+/// With --churn, a delta batch is applied over the wire between draws:
+/// the wire session pinned epoch 0 at open, the in-process baseline
+/// never sees a delta, so the bytes must STILL match — that is the
+/// pinned-epoch determinism contract, asserted over TCP.
 Result<bool> CheckWireDeterminism(const Config& config,
                                   suj::net::SpecResolver resolver,
-                                  size_t worker_threads) {
+                                  size_t worker_threads,
+                                  uint64_t* epochs_applied) {
   ServiceOptions service_options;
   service_options.seed = config.seed + 1;
   SUJ_ASSIGN_OR_RETURN(std::unique_ptr<SamplingService> served,
@@ -201,6 +240,10 @@ Result<bool> CheckWireDeterminism(const Config& config,
   SUJ_ASSIGN_OR_RETURN(uint64_t local_session,
                        baseline->OpenSession("bench", session_options));
 
+  SUJ_ASSIGN_OR_RETURN(std::vector<suj::JoinSpecPtr> churn_joins,
+                       resolver("bench"));
+  const suj::RelationPtr churn_target = churn_joins[0]->relation(0);
+  uint64_t salt = 0;
   for (size_t n : {11u, 64u, 3u, 96u}) {
     SUJ_ASSIGN_OR_RETURN(std::vector<std::string> wire,
                          client.Sample(wire_session, n));
@@ -210,9 +253,49 @@ Result<bool> CheckWireDeterminism(const Config& config,
     for (size_t i = 0; i < local.size(); ++i) {
       if (wire[i] != local[i].Encode()) return false;
     }
+    if (config.churn) {
+      suj::net::ApplyDeltaRequest apply;
+      apply.query = "bench";
+      apply.deltas = {MakeChurnDelta(churn_target, salt++)};
+      SUJ_ASSIGN_OR_RETURN(suj::net::ApplyDeltaResponse applied,
+                           client.ApplyDelta(apply));
+      if (applied.epoch != salt) {
+        std::cerr << "churn: expected epoch " << salt << ", got "
+                  << applied.epoch << "\n";
+        return false;
+      }
+      ++(*epochs_applied);
+    }
   }
   server.Stop();
   return true;
+}
+
+/// The load-phase churn thread: applies delta batches over the wire
+/// while the workers hammer Sample. Paced, not closed-loop — the point
+/// is epochs landing MID-load, not an apply storm.
+void RunChurn(const Config& config, uint16_t port,
+              const suj::RelationPtr& target,
+              const std::atomic<bool>* load_done, uint64_t* applied,
+              Status* fatal) {
+  auto run = [&]() -> Status {
+    SUJ_ASSIGN_OR_RETURN(SujClient client,
+                         SujClient::Connect("127.0.0.1", port, "churn"));
+    for (int b = 0; b < config.churn_batches; ++b) {
+      suj::net::ApplyDeltaRequest apply;
+      apply.query = "bench";
+      // Offset the salt so load-phase deletes never collide with the
+      // determinism gate's (different server, but keep them disjoint
+      // anyway for log readability).
+      apply.deltas = {MakeChurnDelta(target, 100 + b)};
+      SUJ_RETURN_NOT_OK(client.ApplyDelta(apply).status());
+      ++(*applied);
+      if (load_done->load(std::memory_order_relaxed)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return Status::OK();
+  };
+  *fatal = run();
 }
 
 // ---------------------------------------------------------------------------
@@ -296,7 +379,7 @@ Result<bool> ReconcileScrapedMetrics(uint16_t port,
 void WriteJson(const Config& config, std::ostream& os,
                std::vector<int64_t>& latencies, double wall_seconds,
                uint64_t requests, uint64_t shed, uint64_t tuples,
-               bool determinism_ok, bool metrics_ok,
+               bool determinism_ok, bool metrics_ok, uint64_t epochs_applied,
                const suj::net::ServerStatsResponse& s) {
   std::sort(latencies.begin(), latencies.end());
   const double p50 = Percentile(latencies, 0.50);
@@ -334,6 +417,7 @@ void WriteJson(const Config& config, std::ostream& os,
      << (wall_seconds > 0 ? admitted / wall_seconds : 0) << ",\n"
      << "    \"determinism_ok\": " << (determinism_ok ? 1 : 0) << ",\n"
      << "    \"metrics_reconcile_ok\": " << (metrics_ok ? 1 : 0) << ",\n"
+     << "    \"epochs_applied\": " << epochs_applied << ",\n"
      << "    \"server_quota_shed\": " << s.quota_shed_total << ",\n"
      << "    \"server_quota_shed_tenant\": " << s.quota_shed_tenant << ",\n"
      << "    \"server_quota_shed_session\": " << s.quota_shed_session << ",\n"
@@ -392,6 +476,12 @@ int main(int argc, char** argv) {
               << config.master_rows << ")\n"
           "  --shards N         shard count for the prepared plan, 1 = "
               "unsharded (default " << config.shards << ")\n"
+          "  --churn            apply delta batches over the wire during "
+              "the load phase;\n"
+          "                     the determinism gate then also asserts "
+              "pinned-epoch bytes\n"
+          "  --churn-batches N  delta batches in the load phase (default "
+              << config.churn_batches << ")\n"
           "  --out PATH         write google-benchmark JSON here\n";
       return 0;
     }
@@ -410,6 +500,8 @@ int main(int argc, char** argv) {
     else if (arg == "--max-queue") config.max_admission_queue = std::stoul(next());
     else if (arg == "--master-rows") config.master_rows = std::stoull(next());
     else if (arg == "--shards") config.shards = static_cast<uint32_t>(std::stoul(next()));
+    else if (arg == "--churn") config.churn = true;
+    else if (arg == "--churn-batches") config.churn_batches = std::stoi(next());
     else if (arg == "--out") config.out = next();
     else {
       std::cerr << "unknown flag " << arg << "\n";
@@ -430,8 +522,10 @@ int main(int argc, char** argv) {
   // Determinism gate first (fresh servers, ranks line up), at 1 and 4
   // server worker threads.
   bool determinism_ok = true;
+  uint64_t epochs_applied = 0;
   for (size_t threads : {1u, 4u}) {
-    auto check = CheckWireDeterminism(config, resolver, threads);
+    auto check = CheckWireDeterminism(config, resolver, threads,
+                                      &epochs_applied);
     if (!check.ok()) {
       std::cerr << "determinism check failed to run: "
                 << check.status().ToString() << "\n";
@@ -485,14 +579,35 @@ int main(int argc, char** argv) {
   const int workers = config.tenants * config.sessions_per_tenant;
   std::vector<WorkerResult> results(workers);
   std::vector<std::thread> threads;
+  std::atomic<bool> load_done{false};
+  uint64_t churn_applied = 0;
+  Status churn_fatal;
+  std::thread churn_thread;
   const int64_t t0 = NowNs();
   for (int w = 0; w < workers; ++w) {
     const std::string tenant = "tenant" + std::to_string(w % config.tenants);
     threads.emplace_back(RunWorker, std::cref(config), server.port(), w,
                          tenant, &results[w]);
   }
+  if (config.churn) {
+    auto churn_joins = resolver("bench");
+    if (!churn_joins.ok()) {
+      std::cerr << churn_joins.status().ToString() << "\n";
+      return 1;
+    }
+    churn_thread = std::thread(RunChurn, std::cref(config), server.port(),
+                               churn_joins.value()[0]->relation(0),
+                               &load_done, &churn_applied, &churn_fatal);
+  }
   for (auto& t : threads) t.join();
+  load_done.store(true, std::memory_order_relaxed);
+  if (churn_thread.joinable()) churn_thread.join();
   const double wall_seconds = (NowNs() - t0) * 1e-9;
+  if (!churn_fatal.ok()) {
+    std::cerr << "churn thread failed: " << churn_fatal.ToString() << "\n";
+    return 1;
+  }
+  epochs_applied += churn_applied;
 
   std::vector<int64_t> latencies;
   uint64_t requests = 0, shed = 0, tuples = 0;
@@ -525,15 +640,16 @@ int main(int argc, char** argv) {
   if (!config.out.empty()) {
     std::ofstream f(config.out);
     WriteJson(config, f, latencies, wall_seconds, requests, shed, tuples,
-              determinism_ok, metrics_ok, server_stats);
+              determinism_ok, metrics_ok, epochs_applied, server_stats);
   } else {
     WriteJson(config, std::cout, latencies, wall_seconds, requests, shed,
-              tuples, determinism_ok, metrics_ok, server_stats);
+              tuples, determinism_ok, metrics_ok, epochs_applied,
+              server_stats);
   }
   std::cerr << "loadgen: " << requests << " requests (" << shed
             << " shed), " << tuples << " tuples in " << wall_seconds
             << "s; determinism " << (determinism_ok ? "OK" : "VIOLATED")
             << "; metrics reconcile " << (metrics_ok ? "OK" : "FAILED")
-            << "\n";
+            << "; epochs applied " << epochs_applied << "\n";
   return determinism_ok && metrics_ok ? 0 : 1;
 }

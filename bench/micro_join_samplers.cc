@@ -13,6 +13,7 @@
 #include "join/membership.h"
 #include "join/wander_join.h"
 #include "obs/metrics.h"
+#include "service/prepared_union.h"
 #include "shard/shard_coordinator.h"
 #include "shard/shard_plan.h"
 
@@ -380,6 +381,109 @@ void BM_UnionSampleSharded(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
 }
 BENCHMARK(BM_UnionSampleSharded)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Epoch machinery: incremental ApplyDelta vs. cold re-prepare.
+
+// A smaller union than UnionSetup(): the cold-rebuild anchor below runs
+// the FULL preparation pipeline (exact warm-up included) per iteration.
+struct EpochBenchSetup {
+  std::vector<JoinSpecPtr> joins;
+  PreparedUnionPtr plan;            // epoch 0
+  std::vector<RelationDelta> batch; // one append/delete batch against it
+};
+
+EpochBenchSetup& EpochSetup() {
+  static EpochBenchSetup* setup = [] {
+    auto* s = new EpochBenchSetup;
+    workloads::SyntheticChainOptions opts;
+    opts.num_joins = 3;
+    opts.master_rows = 120;
+    opts.max_degree = 3;
+    opts.seed = 42;
+    s->joins = Unwrap(workloads::MakeOverlappingChains(opts), "chains");
+    s->plan = Unwrap(
+        PreparedUnion::Build("epoch-bench", 1, s->joins,
+                             PreparedQueryOptions()),
+        "prepare");
+    const RelationPtr& target = s->joins[0]->relation(0);
+    RelationDelta delta;
+    delta.relation = target->name();
+    delta.deletes = {0, 7};
+    for (int i = 0; i < 8; ++i) {
+      std::vector<Value> fresh;
+      for (size_t c = 0; c < target->num_columns(); ++c) {
+        fresh.push_back(
+            Value::Int64(90000 + i * 16 + static_cast<int64_t>(c)));
+      }
+      delta.appends.push_back(Tuple(std::move(fresh)));
+    }
+    s->batch = {std::move(delta)};
+    return s;
+  }();
+  return *setup;
+}
+
+// One incremental epoch refresh: fold the batch, maintain indexes /
+// estimates / weights in place (untouched joins shared by pointer).
+void BM_ApplyDelta(benchmark::State& state) {
+  EpochBenchSetup& s = EpochSetup();
+  for (auto _ : state) {
+    auto next = PreparedUnion::ApplyDelta(s.plan, s.batch);
+    UnwrapStatus(next.ok() ? Status::OK() : next.status(), "apply delta");
+    benchmark::DoNotOptimize(next);
+  }
+}
+BENCHMARK(BM_ApplyDelta);
+
+// The cold anchor: rebuild the whole plan over the already-folded joins.
+// The CI perf gate asserts BM_ApplyDelta stays >= 1.5x faster than this
+// (same-run comparison) — the reason the epoch path exists at all.
+void BM_ApplyDeltaColdRebuild(benchmark::State& state) {
+  EpochBenchSetup& s = EpochSetup();
+  auto refreshed =
+      Unwrap(PreparedUnion::ApplyDelta(s.plan, s.batch), "apply delta");
+  for (auto _ : state) {
+    auto cold = PreparedUnion::Build("epoch-bench-cold", 2,
+                                     refreshed->base_joins(),
+                                     PreparedQueryOptions());
+    UnwrapStatus(cold.ok() ? Status::OK() : cold.status(), "cold build");
+    benchmark::DoNotOptimize(cold);
+  }
+}
+BENCHMARK(BM_ApplyDeltaColdRebuild);
+
+// Union draw throughput from a plan that has absorbed several delta
+// batches: churn must not degrade the sampling hot path (the folded
+// epoch's indexes are structurally identical to a cold build's).
+void BM_UnionSampleAfterChurn(benchmark::State& state) {
+  static PreparedUnionPtr* churned = [] {
+    EpochBenchSetup& s = EpochSetup();
+    auto plan = s.plan;
+    for (int i = 0; i < 3; ++i) {
+      plan = Unwrap(PreparedUnion::ApplyDelta(plan, s.batch), "churn");
+    }
+    return new PreparedUnionPtr(std::move(plan));
+  }();
+  const PreparedUnionPtr& plan = *churned;
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kRevision;
+  opts.num_threads = 1;
+  opts.batch_size = 512;
+  opts.sampler_factory = plan->MakeJoinSamplerFactory();
+  auto sampler = Unwrap(UnionSampler::Create(plan->joins(), {},
+                                             plan->estimates(), {}, opts),
+                        "union sampler");
+  Rng rng(17);
+  const size_t kDraw = 4096;
+  for (auto _ : state) {
+    auto samples = sampler->Sample(kDraw, rng);
+    UnwrapStatus(samples.ok() ? Status::OK() : samples.status(), "sample");
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kDraw));
+}
+BENCHMARK(BM_UnionSampleAfterChurn)->UseRealTime();
 
 void BM_FullJoinExecute(benchmark::State& state) {
   JoinSpecPtr join = ChainJoin(state.range(0) / 10.0);

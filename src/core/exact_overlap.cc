@@ -2,6 +2,24 @@
 
 namespace suj {
 
+namespace {
+
+/// Executes one join and returns its distinct encoded tuples.
+Result<std::shared_ptr<const std::unordered_set<std::string>>> MaterializeJoin(
+    FullJoinExecutor& executor, const JoinSpecPtr& join) {
+  auto result = executor.Execute(join);
+  if (!result.ok()) return result.status();
+  auto encoded = std::make_shared<std::unordered_set<std::string>>();
+  encoded->reserve(result->tuples.size());
+  for (const auto& t : result->tuples) {
+    encoded->insert(t.Encode());
+  }
+  return std::shared_ptr<const std::unordered_set<std::string>>(
+      std::move(encoded));
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ExactOverlapCalculator>> ExactOverlapCalculator::Create(
     std::vector<JoinSpecPtr> joins, CompositeIndexCache* cache) {
   SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
@@ -13,17 +31,42 @@ Result<std::unique_ptr<ExactOverlapCalculator>> ExactOverlapCalculator::Create(
 
   FullJoinExecutor executor(cache);
   for (size_t j = 0; j < calc->joins_.size(); ++j) {
-    auto result = executor.Execute(calc->joins_[j]);
-    if (!result.ok()) return result.status();
-    std::unordered_set<std::string> encoded;
-    encoded.reserve(result->tuples.size());
-    for (const auto& t : result->tuples) {
-      encoded.insert(t.Encode());
-    }
-    for (const auto& e : encoded) {
+    auto encoded = MaterializeJoin(executor, calc->joins_[j]);
+    if (!encoded.ok()) return encoded.status();
+    for (const auto& e : *encoded.value()) {
       calc->membership_[e] |= 1ULL << j;
     }
-    calc->join_sets_.push_back(std::move(encoded));
+    calc->join_sets_.push_back(std::move(encoded).value());
+  }
+  calc->union_size_ = calc->membership_.size();
+  return calc;
+}
+
+Result<std::unique_ptr<ExactOverlapCalculator>>
+ExactOverlapCalculator::CreateIncremental(std::vector<JoinSpecPtr> joins,
+                                          const ExactOverlapCalculator& prev,
+                                          SubsetMask affected_mask,
+                                          CompositeIndexCache* cache) {
+  SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
+  if (joins.size() != prev.joins_.size()) {
+    return Status::InvalidArgument(
+        "incremental overlap refresh requires positionally matching joins");
+  }
+  auto calc = std::unique_ptr<ExactOverlapCalculator>(
+      new ExactOverlapCalculator(std::move(joins)));
+
+  FullJoinExecutor executor(cache);
+  for (size_t j = 0; j < calc->joins_.size(); ++j) {
+    if ((affected_mask >> j) & 1) {
+      auto encoded = MaterializeJoin(executor, calc->joins_[j]);
+      if (!encoded.ok()) return encoded.status();
+      calc->join_sets_.push_back(std::move(encoded).value());
+    } else {
+      calc->join_sets_.push_back(prev.join_sets_[j]);
+    }
+    for (const auto& e : *calc->join_sets_.back()) {
+      calc->membership_[e] |= 1ULL << j;
+    }
   }
   calc->union_size_ = calc->membership_.size();
   return calc;

@@ -27,6 +27,17 @@ class ExactOverlapCalculator : public OverlapEstimator {
   static Result<std::unique_ptr<ExactOverlapCalculator>> Create(
       std::vector<JoinSpecPtr> joins, CompositeIndexCache* cache = nullptr);
 
+  /// Epoch refresh: re-executes ONLY the joins whose bit is set in
+  /// `affected_mask` (those touching a relation folded by the delta) and
+  /// shares the previous calculator's materialized result sets for the
+  /// rest. The membership map is rebuilt from the per-join sets (masks can
+  /// change even for unaffected joins when an affected join gains/loses a
+  /// shared tuple). `joins` must be positionally compatible with
+  /// `prev.joins()`.
+  static Result<std::unique_ptr<ExactOverlapCalculator>> CreateIncremental(
+      std::vector<JoinSpecPtr> joins, const ExactOverlapCalculator& prev,
+      SubsetMask affected_mask, CompositeIndexCache* cache = nullptr);
+
   const std::vector<JoinSpecPtr>& joins() const override { return joins_; }
   Result<double> EstimateOverlap(SubsetMask subset) override;
   bool IsUpperBound() const override { return false; }
@@ -36,12 +47,12 @@ class ExactOverlapCalculator : public OverlapEstimator {
 
   /// Exact size of one join result (distinct tuples).
   uint64_t JoinSize(int join_index) const {
-    return join_sets_[join_index].size();
+    return join_sets_[join_index]->size();
   }
 
   /// The distinct encoded tuples of one join (for test cross-checks).
   const std::unordered_set<std::string>& join_set(int join_index) const {
-    return join_sets_[join_index];
+    return *join_sets_[join_index];
   }
 
   /// For every distinct union tuple, the bitmask of joins containing it.
@@ -54,7 +65,9 @@ class ExactOverlapCalculator : public OverlapEstimator {
       : joins_(std::move(joins)) {}
 
   std::vector<JoinSpecPtr> joins_;
-  std::vector<std::unordered_set<std::string>> join_sets_;
+  // Shared so an epoch refresh can reuse unaffected joins' sets untouched.
+  std::vector<std::shared_ptr<const std::unordered_set<std::string>>>
+      join_sets_;
   std::unordered_map<std::string, SubsetMask> membership_;
   uint64_t union_size_ = 0;
 };

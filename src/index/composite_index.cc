@@ -1,5 +1,6 @@
 #include "index/composite_index.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "storage/key_codec.h"
@@ -59,6 +60,81 @@ Result<std::shared_ptr<const CompositeIndex>> CompositeIndex::Build(
   return std::shared_ptr<const CompositeIndex>(index);
 }
 
+Result<std::shared_ptr<const CompositeIndex>> CompositeIndex::BuildIncremental(
+    const CompositeIndex& prev, RelationPtr next,
+    const std::vector<uint32_t>& remap, uint32_t first_appended_row) {
+  if (next == nullptr) return Status::InvalidArgument("null relation");
+  if (remap.size() != prev.relation_->num_rows()) {
+    return Status::InvalidArgument("remap size does not match previous rows");
+  }
+  if (first_appended_row > next->num_rows()) {
+    return Status::InvalidArgument("first_appended_row out of range");
+  }
+  std::vector<int> cols;
+  cols.reserve(prev.attributes_.size());
+  for (const auto& a : prev.attributes_) {
+    int idx = next->schema().FieldIndex(a);
+    if (idx < 0) {
+      return Status::NotFound("relation '" + next->name() +
+                              "' has no attribute '" + a + "'");
+    }
+    cols.push_back(idx);
+  }
+  auto index = std::shared_ptr<CompositeIndex>(
+      new CompositeIndex(std::move(next), prev.attributes_));
+  const Relation& rel = *index->relation_;
+  const size_t num_rows = rel.num_rows();
+
+  // Pass 1a: carry surviving rows through the remap. Group ids stay stable
+  // (emptied groups keep their id with degree 0), so no row is re-encoded.
+  index->group_of_ = prev.group_of_;
+  std::vector<uint32_t> row_group(num_rows, kNoGroup);
+  std::vector<uint32_t> degree(prev.NumKeys(), 0);
+  const size_t prev_groups = prev.NumKeys();
+  for (size_t g = 0; g < prev_groups; ++g) {
+    for (uint32_t old_row : prev.GroupRows(static_cast<uint32_t>(g))) {
+      uint32_t new_row = remap[old_row];
+      if (new_row == UINT32_MAX) continue;  // deleted
+      if (new_row >= first_appended_row) {
+        return Status::InvalidArgument("remap target lands in appended range");
+      }
+      row_group[new_row] = static_cast<uint32_t>(g);
+      ++degree[g];
+    }
+  }
+  // Pass 1b: encode ONLY the appended rows (the incremental part).
+  std::string scratch;
+  for (size_t row = first_appended_row; row < num_rows; ++row) {
+    EncodeRowKey(rel, cols, row, &scratch);
+    auto [it, inserted] = index->group_of_.emplace(
+        scratch, static_cast<uint32_t>(degree.size()));
+    if (inserted) degree.push_back(0);
+    row_group[row] = it->second;
+    ++degree[it->second];
+  }
+  for (size_t row = 0; row < first_appended_row; ++row) {
+    if (row_group[row] == kNoGroup) {
+      return Status::InvalidArgument("remap does not cover surviving row " +
+                                     std::to_string(row));
+    }
+  }
+  // Pass 2: identical to the cold build — prefix sum, then scatter in
+  // ascending NEW row order, so per-group row order matches a cold Build.
+  const size_t num_groups = degree.size();
+  index->group_offsets_.assign(num_groups + 1, 0);
+  for (size_t g = 0; g < num_groups; ++g) {
+    index->group_offsets_[g + 1] = index->group_offsets_[g] + degree[g];
+    if (degree[g] > index->max_degree_) index->max_degree_ = degree[g];
+  }
+  index->group_rows_.resize(num_rows);
+  std::vector<uint32_t> cursor(index->group_offsets_.begin(),
+                               index->group_offsets_.end() - 1);
+  for (size_t row = 0; row < num_rows; ++row) {
+    index->group_rows_[cursor[row_group[row]]++] = static_cast<uint32_t>(row);
+  }
+  return std::shared_ptr<const CompositeIndex>(index);
+}
+
 Result<std::vector<uint32_t>> CompositeIndex::MapRows(
     const Relation& probe) const {
   std::vector<int> cols;
@@ -83,6 +159,55 @@ Result<std::vector<uint32_t>> CompositeIndex::MapRows(
   std::string scratch;
   for (size_t row = 0; row < probe.num_rows(); ++row) {
     out[row] = GroupOfEncoded(EncodeRowKey(probe, cols, row, &scratch));
+  }
+  return out;
+}
+
+Result<std::vector<uint32_t>> CompositeIndex::MapRowsIncremental(
+    const std::vector<uint32_t>& prev, const std::vector<uint32_t>* probe_remap,
+    uint32_t first_appended_row, const Relation& probe,
+    bool index_gained_rows) const {
+  if (first_appended_row > probe.num_rows()) {
+    return Status::InvalidArgument("first_appended_row out of range");
+  }
+  std::vector<int> cols;
+  cols.reserve(attributes_.size());
+  for (const auto& a : attributes_) {
+    int idx = probe.schema().FieldIndex(a);
+    if (idx < 0) {
+      return Status::NotFound("probe relation '" + probe.name() +
+                              "' has no attribute '" + a + "'");
+    }
+    cols.push_back(idx);
+  }
+  std::vector<uint32_t> out(probe.num_rows(), kNoGroup);
+  if (probe_remap != nullptr) {
+    if (probe_remap->size() != prev.size()) {
+      return Status::InvalidArgument("probe remap size mismatch");
+    }
+    for (size_t old_row = 0; old_row < prev.size(); ++old_row) {
+      uint32_t new_row = (*probe_remap)[old_row];
+      if (new_row == UINT32_MAX) continue;  // deleted probe row
+      out[new_row] = prev[old_row];
+    }
+  } else {
+    if (prev.size() != first_appended_row) {
+      return Status::InvalidArgument("probe array size mismatch");
+    }
+    std::copy(prev.begin(), prev.end(), out.begin());
+  }
+  std::string scratch;
+  for (size_t row = first_appended_row; row < probe.num_rows(); ++row) {
+    out[row] = GroupOfEncoded(EncodeRowKey(probe, cols, row, &scratch));
+  }
+  if (index_gained_rows) {
+    // An appended indexed row may have created a key that previously had no
+    // group — dangling probe rows must be re-probed against the new index.
+    for (size_t row = 0; row < first_appended_row; ++row) {
+      if (out[row] == kNoGroup) {
+        out[row] = GroupOfEncoded(EncodeRowKey(probe, cols, row, &scratch));
+      }
+    }
   }
   return out;
 }
@@ -129,13 +254,48 @@ Result<ProbeArrayPtr> CompositeIndexCache::GetOrBuildProbe(
   std::string key = CacheKey(index.get(), probe.get(), index->attributes());
   std::lock_guard<std::mutex> lock(mu_);
   auto it = probe_cache_.find(key);
-  if (it != probe_cache_.end()) return it->second;
+  if (it != probe_cache_.end()) return it->second.rows;
   auto mapped = index->MapRows(*probe);
   if (!mapped.ok()) return mapped.status();
   auto owned = std::make_shared<const std::vector<uint32_t>>(
       std::move(mapped).value());
-  probe_cache_.emplace(std::move(key), owned);
+  probe_cache_.emplace(std::move(key), ProbeSnapshot{index, probe, owned});
   return owned;
+}
+
+void CompositeIndexCache::Insert(const CompositeIndexPtr& index) {
+  if (index == nullptr) return;
+  std::string key =
+      CacheKey(index->relation().get(), nullptr, index->attributes());
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.emplace(std::move(key), index);
+}
+
+void CompositeIndexCache::InsertProbe(const CompositeIndexPtr& index,
+                                      const RelationPtr& probe,
+                                      ProbeArrayPtr rows) {
+  if (index == nullptr || probe == nullptr || rows == nullptr) return;
+  std::string key = CacheKey(index.get(), probe.get(), index->attributes());
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_cache_.emplace(std::move(key),
+                       ProbeSnapshot{index, probe, std::move(rows)});
+}
+
+std::vector<CompositeIndexPtr> CompositeIndexCache::Indexes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CompositeIndexPtr> out;
+  out.reserve(cache_.size());
+  for (const auto& [key, index] : cache_) out.push_back(index);
+  return out;
+}
+
+std::vector<CompositeIndexCache::ProbeSnapshot> CompositeIndexCache::Probes()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ProbeSnapshot> out;
+  out.reserve(probe_cache_.size());
+  for (const auto& [key, entry] : probe_cache_) out.push_back(entry);
+  return out;
 }
 
 }  // namespace suj

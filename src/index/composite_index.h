@@ -62,6 +62,18 @@ class CompositeIndex {
   static Result<std::shared_ptr<const CompositeIndex>> Build(
       RelationPtr relation, std::vector<std::string> attributes);
 
+  /// Builds the index over `next` — the fold of `prev`'s relation under a
+  /// RelationDelta — without re-encoding surviving rows: they are carried
+  /// through `remap` (old row -> new row, UINT32_MAX when deleted), and only
+  /// rows >= `first_appended_row` of `next` are encoded and hashed. Group
+  /// ids are STABLE across the fold (groups emptied by deletes are retained
+  /// with zero rows; appended keys get fresh ids). Group numbering is pure
+  /// indirection — per-group row content and order match a cold Build over
+  /// `next` exactly, so sampling through the result is byte-identical.
+  static Result<std::shared_ptr<const CompositeIndex>> BuildIncremental(
+      const CompositeIndex& prev, RelationPtr next,
+      const std::vector<uint32_t>& remap, uint32_t first_appended_row);
+
   const std::vector<std::string>& attributes() const { return attributes_; }
   const RelationPtr& relation() const { return relation_; }
 
@@ -97,6 +109,19 @@ class CompositeIndex {
   /// contain all indexed attributes with matching types. The result is the
   /// probe array that lets walk loops skip key encoding entirely.
   Result<std::vector<uint32_t>> MapRows(const Relation& probe) const;
+
+  /// Carries a probe array across a data-epoch fold. `this` must be the
+  /// NEW index (cold or BuildIncremental — group ids stable either way via
+  /// the latter). `prev` is the old probe array; `probe_remap` remaps old
+  /// probe rows (null when the probe relation is unchanged), and probe rows
+  /// >= `first_appended_row` are encoded from scratch. When the indexed
+  /// side gained rows (`index_gained_rows`), surviving probe rows that
+  /// previously hit kNoGroup are re-probed — an appended indexed row may
+  /// have created the key they were missing.
+  Result<std::vector<uint32_t>> MapRowsIncremental(
+      const std::vector<uint32_t>& prev,
+      const std::vector<uint32_t>* probe_remap, uint32_t first_appended_row,
+      const Relation& probe, bool index_gained_rows) const;
 
   /// Degree of a key: |Lookup(key)|.
   size_t Degree(const Tuple& key) const { return Lookup(key).size(); }
@@ -162,6 +187,29 @@ class CompositeIndexCache {
   Result<ProbeArrayPtr> GetOrBuildProbe(const CompositeIndexPtr& index,
                                         const RelationPtr& probe);
 
+  /// Inserts a prebuilt index (e.g. from BuildIncremental) so later
+  /// GetOrBuild calls for (index->relation(), index->attributes()) hit.
+  /// No-op if an entry already exists.
+  void Insert(const CompositeIndexPtr& index);
+
+  /// Inserts a precomputed probe array for (index, probe). No-op if cached.
+  void InsertProbe(const CompositeIndexPtr& index, const RelationPtr& probe,
+                   ProbeArrayPtr rows);
+
+  /// \brief Enumeration snapshot of one cached probe array (epoch seeding).
+  struct ProbeSnapshot {
+    CompositeIndexPtr index;
+    RelationPtr probe;
+    ProbeArrayPtr rows;
+  };
+  /// All cached indexes / probe arrays. Used when a data epoch seeds its
+  /// fresh cache from the previous epoch's: entries over unchanged
+  /// relations are shared, entries over folded relations are carried
+  /// forward incrementally. (Keys are pointer-derived, so epochs must not
+  /// share one cache — a freed relation's address could be reused.)
+  std::vector<CompositeIndexPtr> Indexes() const;
+  std::vector<ProbeSnapshot> Probes() const;
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return cache_.size();
@@ -170,7 +218,7 @@ class CompositeIndexCache {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, CompositeIndexPtr> cache_;
-  std::unordered_map<std::string, ProbeArrayPtr> probe_cache_;
+  std::unordered_map<std::string, ProbeSnapshot> probe_cache_;
 };
 
 }  // namespace suj

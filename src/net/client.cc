@@ -69,6 +69,14 @@ Result<PrepareResponse> SujClient::Prepare(const std::string& query,
   return PrepareResponse::Decode(rsp.body);
 }
 
+Result<ApplyDeltaResponse> SujClient::ApplyDelta(
+    const ApplyDeltaRequest& request) {
+  SUJ_ASSIGN_OR_RETURN(Frame rsp,
+                       Call(MessageType::kApplyDelta, request.Encode(),
+                            MessageType::kApplyDeltaRsp));
+  return ApplyDeltaResponse::Decode(rsp.body);
+}
+
 Result<uint64_t> SujClient::OpenSession(const OpenSessionRequest& request) {
   SUJ_ASSIGN_OR_RETURN(Frame rsp,
                        Call(MessageType::kOpenSession, request.Encode(),

@@ -59,6 +59,11 @@ class SujClient {
                                   uint32_t num_shards, uint8_t scheme = 0,
                                   uint32_t virtual_partitions = 0);
 
+  /// Applies append/delete batches to a prepared query's base relations
+  /// (v4). Returns the new data-epoch summary; sessions opened before
+  /// the call keep sampling their pinned epoch.
+  Result<ApplyDeltaResponse> ApplyDelta(const ApplyDeltaRequest& request);
+
   /// Opens a session; `request.query` names a prepared query.
   Result<uint64_t> OpenSession(const OpenSessionRequest& request);
 

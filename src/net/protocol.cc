@@ -204,6 +204,90 @@ Result<StreamSampleRequest> StreamSampleRequest::Decode(
   return out;
 }
 
+std::string ApplyDeltaRequest::Encode() const {
+  std::string body;
+  WireWriter w(&body);
+  w.PutBytes(query);
+  w.PutU32(static_cast<uint32_t>(deltas.size()));
+  for (const auto& d : deltas) {
+    w.PutBytes(d.relation);
+    w.PutU32(static_cast<uint32_t>(d.encoded_appends.size()));
+    for (const auto& t : d.encoded_appends) w.PutBytes(t);
+    w.PutU32(static_cast<uint32_t>(d.delete_rows.size()));
+    for (uint32_t row : d.delete_rows) w.PutU32(row);
+  }
+  return body;
+}
+
+Result<ApplyDeltaRequest> ApplyDeltaRequest::Decode(std::string_view body) {
+  WireReader r(body);
+  ApplyDeltaRequest out;
+  SUJ_ASSIGN_OR_RETURN(out.query, r.GetString());
+  uint32_t num_deltas;
+  SUJ_ASSIGN_OR_RETURN(num_deltas, r.GetU32());
+  // Each delta costs at least its name prefix + two counts (12 bytes).
+  if (static_cast<size_t>(num_deltas) * 12 > r.remaining()) {
+    return Status::InvalidArgument("delta count " +
+                                   std::to_string(num_deltas) +
+                                   " exceeds request payload");
+  }
+  out.deltas.reserve(num_deltas);
+  for (uint32_t i = 0; i < num_deltas; ++i) {
+    WireRelationDelta d;
+    SUJ_ASSIGN_OR_RETURN(d.relation, r.GetString());
+    uint32_t num_appends;
+    SUJ_ASSIGN_OR_RETURN(num_appends, r.GetU32());
+    if (static_cast<size_t>(num_appends) * 4 > r.remaining()) {
+      return Status::InvalidArgument("append count " +
+                                     std::to_string(num_appends) +
+                                     " exceeds request payload");
+    }
+    d.encoded_appends.reserve(num_appends);
+    for (uint32_t t = 0; t < num_appends; ++t) {
+      std::string enc;
+      SUJ_ASSIGN_OR_RETURN(enc, r.GetString());
+      d.encoded_appends.push_back(std::move(enc));
+    }
+    uint32_t num_deletes;
+    SUJ_ASSIGN_OR_RETURN(num_deletes, r.GetU32());
+    if (static_cast<size_t>(num_deletes) * 4 > r.remaining()) {
+      return Status::InvalidArgument("delete count " +
+                                     std::to_string(num_deletes) +
+                                     " exceeds request payload");
+    }
+    d.delete_rows.reserve(num_deletes);
+    for (uint32_t t = 0; t < num_deletes; ++t) {
+      uint32_t row;
+      SUJ_ASSIGN_OR_RETURN(row, r.GetU32());
+      d.delete_rows.push_back(row);
+    }
+    out.deltas.push_back(std::move(d));
+  }
+  SUJ_RETURN_NOT_OK(r.ExpectDone());
+  return out;
+}
+
+std::string ApplyDeltaResponse::Encode() const {
+  std::string body;
+  WireWriter w(&body);
+  w.PutU64(epoch);
+  w.PutU64(delta_rows);
+  w.PutDouble(refresh_seconds);
+  w.PutU64(approx_memory_bytes);
+  return body;
+}
+
+Result<ApplyDeltaResponse> ApplyDeltaResponse::Decode(std::string_view body) {
+  WireReader r(body);
+  ApplyDeltaResponse out;
+  SUJ_ASSIGN_OR_RETURN(out.epoch, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.delta_rows, r.GetU64());
+  SUJ_ASSIGN_OR_RETURN(out.refresh_seconds, r.GetDouble());
+  SUJ_ASSIGN_OR_RETURN(out.approx_memory_bytes, r.GetU64());
+  SUJ_RETURN_NOT_OK(r.ExpectDone());
+  return out;
+}
+
 std::string CloseSessionRequest::Encode() const {
   std::string body;
   WireWriter w(&body);

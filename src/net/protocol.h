@@ -45,8 +45,10 @@ namespace net {
 /// per-stage shed breakdown appended to ServerStatsResponse. v3:
 /// shard-aware Prepare (shard count/scheme/virtual partitions in the
 /// request, resolved shard count in the response) and the shard counter
-/// block appended to ServerStatsResponse.
-constexpr uint32_t kProtocolVersion = 3;
+/// block appended to ServerStatsResponse. v4: kApplyDelta/kApplyDeltaRsp
+/// — append/delete batches against a prepared query's base relations,
+/// answered with the new data epoch.
+constexpr uint32_t kProtocolVersion = 4;
 
 /// Default ceiling on one frame. Large sample responses are chunked well
 /// below this by the stream chunk size; a frame that claims to be bigger
@@ -64,6 +66,7 @@ enum class MessageType : uint8_t {
   kSessionStats = 7,
   kServerStats = 8,
   kMetrics = 9,       ///< Prometheus scrape (empty body)
+  kApplyDelta = 10,   ///< append/delete batches -> new data epoch (v4)
   // server -> client
   kStatus = 16,       ///< generic ack / error (code + message)
   kPrepareRsp = 17,
@@ -74,6 +77,7 @@ enum class MessageType : uint8_t {
   kSessionStatsRsp = 22,
   kServerStatsRsp = 23,
   kMetricsRsp = 24,   ///< Prometheus text exposition
+  kApplyDeltaRsp = 25,  ///< new-epoch summary for a kApplyDelta (v4)
 };
 
 // ---------------------------------------------------------------------------
@@ -170,6 +174,38 @@ struct StreamSampleRequest {
 
   std::string Encode() const;
   static Result<StreamSampleRequest> Decode(std::string_view body);
+};
+
+/// One relation's mutation batch inside an ApplyDeltaRequest. Appends
+/// travel as canonical tuple encodings (Tuple::Encode()); the server
+/// decodes them against the relation's schema as found in the prepared
+/// plan, so a schema-mismatched append fails loudly before any fold.
+struct WireRelationDelta {
+  std::string relation;
+  std::vector<std::string> encoded_appends;
+  std::vector<uint32_t> delete_rows;  ///< row ids in the CURRENT epoch
+};
+
+/// v4: applies append/delete batches to a prepared query's base
+/// relations, producing a new immutable data epoch. Sessions opened
+/// before the delta keep their pinned epoch; sessions opened after see
+/// the new one.
+struct ApplyDeltaRequest {
+  std::string query;
+  std::vector<WireRelationDelta> deltas;
+
+  std::string Encode() const;
+  static Result<ApplyDeltaRequest> Decode(std::string_view body);
+};
+
+struct ApplyDeltaResponse {
+  uint64_t epoch = 0;          ///< data epoch of the refreshed plan
+  uint64_t delta_rows = 0;     ///< cumulative delta rows folded so far
+  double refresh_seconds = 0;  ///< incremental refresh build time
+  uint64_t approx_memory_bytes = 0;
+
+  std::string Encode() const;
+  static Result<ApplyDeltaResponse> Decode(std::string_view body);
 };
 
 struct CloseSessionRequest {

@@ -25,6 +25,7 @@ const char* OpName(MessageType type) {
     case MessageType::kSessionStats: return "session_stats";
     case MessageType::kServerStats: return "server_stats";
     case MessageType::kMetrics: return "metrics";
+    case MessageType::kApplyDelta: return "apply_delta";
     default: return "unknown";
   }
 }
@@ -263,6 +264,8 @@ Status SujServer::Dispatch(TcpConn& conn, const std::string& tenant,
       return HandleServerStats(conn);
     case MessageType::kMetrics:
       return HandleMetrics(conn);
+    case MessageType::kApplyDelta:
+      return HandleApplyDelta(conn, frame);
     default:
       return SendStatus(
           conn, Status::InvalidArgument(
@@ -411,6 +414,16 @@ Status SujServer::HandleStreamSample(TcpConn& conn, const std::string& tenant,
                                      stream_options);
   if (!stream.ok()) return SendStatus(conn, stream.status());
 
+  // Touched per DELIVERED chunk, not once after the loop: a long slow
+  // stream is live client activity chunk by chunk, and a single
+  // post-loop Touch let the idle reaper close the session mid-stream
+  // (the stream itself survived — it pins the session shared_ptr — but
+  // the id was gone, so follow-up requests failed NotFound).
+  auto touch_session = [&] {
+    if (auto session = service_->sessions().Get(session_id); session.ok()) {
+      session.value()->Touch(NowNs());
+    }
+  };
   for (;;) {
     auto batch = stream.value()->Next();
     if (!batch.ok()) {
@@ -430,10 +443,9 @@ Status SujServer::HandleStreamSample(TcpConn& conn, const std::string& tenant,
       stream.value()->Cancel();  // consumer is gone; stop producing
       return io;
     }
+    touch_session();
   }
-  if (auto session = service_->sessions().Get(session_id); session.ok()) {
-    session.value()->Touch(NowNs());
-  }
+  touch_session();
   return WriteTimed(conn, MessageType::kStreamEnd,
                     StatusPayload::FromStatus(Status::OK()).Encode());
 }
@@ -493,6 +505,36 @@ Status SujServer::HandleMetrics(TcpConn& conn) {
   MetricsResponse rsp;
   rsp.text = registry.RenderPrometheusText();
   return WriteTimed(conn, MessageType::kMetricsRsp, rsp.Encode());
+}
+
+Status SujServer::HandleApplyDelta(TcpConn& conn, const Frame& frame) {
+  auto request = ApplyDeltaRequest::Decode(frame.body);
+  if (!request.ok()) return SendStatus(conn, request.status());
+
+  std::vector<RelationDelta> deltas;
+  deltas.reserve(request.value().deltas.size());
+  for (const auto& wire : request.value().deltas) {
+    RelationDelta delta;
+    delta.relation = wire.relation;
+    delta.appends.reserve(wire.encoded_appends.size());
+    for (const auto& enc : wire.encoded_appends) {
+      auto tuple = DecodeTuple(enc);
+      if (!tuple.ok()) return SendStatus(conn, tuple.status());
+      delta.appends.push_back(std::move(tuple).value());
+    }
+    delta.deletes = wire.delete_rows;
+    deltas.push_back(std::move(delta));
+  }
+
+  auto plan = service_->ApplyDelta(request.value().query, deltas);
+  if (!plan.ok()) return SendStatus(conn, plan.status());
+
+  ApplyDeltaResponse rsp;
+  rsp.epoch = plan.value()->data_epoch();
+  rsp.delta_rows = plan.value()->delta_rows();
+  rsp.refresh_seconds = plan.value()->build_seconds();
+  rsp.approx_memory_bytes = plan.value()->approx_memory_bytes();
+  return WriteTimed(conn, MessageType::kApplyDeltaRsp, rsp.Encode());
 }
 
 ServerStatsResponse SujServer::StatsSnapshot() const {

@@ -140,6 +140,7 @@ class SujServer {
   Status HandleSessionStats(TcpConn& conn, const Frame& frame);
   Status HandleServerStats(TcpConn& conn);
   Status HandleMetrics(TcpConn& conn);
+  Status HandleApplyDelta(TcpConn& conn, const Frame& frame);
 
   /// Sends a kStatus frame for `status` (OK or error).
   Status SendStatus(TcpConn& conn, const Status& status);

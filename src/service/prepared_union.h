@@ -18,12 +18,14 @@
 #ifndef SUJ_SERVICE_PREPARED_UNION_H_
 #define SUJ_SERVICE_PREPARED_UNION_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/exact_overlap.h"
 #include "core/random_walk_overlap.h"
 #include "core/template_selector.h"
 #include "core/union_sampler.h"
@@ -32,6 +34,7 @@
 #include "join/exact_weight.h"
 #include "join/membership.h"
 #include "shard/shard_coordinator.h"
+#include "storage/relation_delta.h"
 
 namespace suj {
 
@@ -90,6 +93,19 @@ class PreparedUnion {
       std::string name, uint64_t plan_id, std::vector<JoinSpecPtr> joins,
       const PreparedQueryOptions& options);
 
+  /// Epoch refresh: folds `deltas` (at most one per relation name) into
+  /// `prev`'s base relations and produces the next data epoch's plan,
+  /// maintaining indexes, probe arrays, overlap estimates, union weights,
+  /// and the shard ledger INCREMENTALLY — state belonging to joins no
+  /// delta touches is shared by pointer, and delta rows are folded into
+  /// the rest rather than rebuilt from scratch. `prev` is never mutated:
+  /// sessions holding it keep sampling their pinned epoch, byte-for-byte.
+  /// The refreshed plan keeps the name/plan_id and shares the epoch family
+  /// (latest_epoch() on ANY epoch's plan reports the family's newest).
+  static Result<std::shared_ptr<const PreparedUnion>> ApplyDelta(
+      const std::shared_ptr<const PreparedUnion>& prev,
+      const std::vector<RelationDelta>& deltas);
+
   const std::string& name() const { return name_; }
   uint64_t plan_id() const { return plan_id_; }
   const std::vector<JoinSpecPtr>& joins() const { return joins_; }
@@ -114,8 +130,27 @@ class PreparedUnion {
     return standard_template_;
   }
   /// Wall-clock seconds the preparation pipeline took (what sessions
-  /// save on every request by reusing the plan).
+  /// save on every request by reusing the plan). For epoch refreshes this
+  /// is the incremental refresh time, not a cold build.
   double build_seconds() const { return build_seconds_; }
+
+  /// This plan's data epoch: 0 for a cold Build, +1 per applied delta
+  /// batch. A session pins the epoch of the plan it opened with (it holds
+  /// the plan by shared_ptr), so resumable kRevision states stay valid
+  /// across later deltas.
+  uint64_t data_epoch() const { return data_epoch_; }
+  /// Newest epoch in this plan's family (shared across all epochs of one
+  /// prepared query). data_epoch() < latest_epoch() means this reader is
+  /// pinned to a superseded snapshot.
+  uint64_t latest_epoch() const {
+    return family_latest_->load(std::memory_order_acquire);
+  }
+  /// The pre-canonical input joins this epoch was built over (deltas are
+  /// resolved against these relations by name).
+  const std::vector<JoinSpecPtr>& base_joins() const { return base_joins_; }
+  /// Total delta rows (appends + deletes) folded into this epoch's
+  /// refresh; 0 for a cold build.
+  uint64_t delta_rows() const { return delta_rows_; }
 
   /// Heuristic resident-size estimate, fixed at Build time: base
   /// relation bytes (columns summed per type) times a constant factor
@@ -153,6 +188,17 @@ class PreparedUnion {
   std::vector<std::string> standard_template_;
   double build_seconds_ = 0.0;
   size_t approx_memory_bytes_ = 0;
+
+  // Epoch state. options_/base_joins_ let ApplyDelta re-run the pipeline;
+  // the retained exact/merged calculators make kExact warm-up refreshes
+  // incremental (only affected joins re-materialize).
+  PreparedQueryOptions options_;
+  std::vector<JoinSpecPtr> base_joins_;
+  uint64_t data_epoch_ = 0;
+  uint64_t delta_rows_ = 0;
+  std::shared_ptr<std::atomic<uint64_t>> family_latest_;
+  std::shared_ptr<const ExactOverlapCalculator> exact_overlap_;
+  std::shared_ptr<const ShardMergedOverlapEstimator> merged_overlap_;
 };
 
 using PreparedUnionPtr = std::shared_ptr<const PreparedUnion>;
@@ -199,6 +245,16 @@ class QueryRegistry {
   /// The pinned plan, or NotFound.
   Result<PreparedUnionPtr> Get(const std::string& name) const;
 
+  /// Applies a delta batch to the prepared query `name`: builds the next
+  /// data epoch via PreparedUnion::ApplyDelta (outside the registry lock;
+  /// concurrent deltas serialize on a dedicated mutex), swaps it in,
+  /// re-accounts the memory budget, and bumps the family's latest epoch.
+  /// Sessions holding the superseded epoch are unaffected; new sessions
+  /// adopt the latest. Fails with NotFound if the query is unknown or was
+  /// evicted while the refresh was building.
+  Result<PreparedUnionPtr> ApplyDelta(const std::string& name,
+                                      const std::vector<RelationDelta>& deltas);
+
   /// Unpins `name`. Live sessions holding the plan are unaffected; the
   /// plan's memory is reclaimed when the last session closes.
   Status Evict(const std::string& name);
@@ -218,6 +274,8 @@ class QueryRegistry {
 
   Options options_;
   mutable std::mutex mu_;
+  /// Serializes ApplyDelta builds (never held together with mu_).
+  std::mutex delta_mu_;
   mutable std::unordered_map<std::string, Entry> queries_;
   uint64_t next_plan_id_ = 1;
   mutable uint64_t use_clock_ = 0;

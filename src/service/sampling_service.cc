@@ -178,6 +178,24 @@ Result<PreparedUnionPtr> SamplingService::GetQuery(
   return registry_.Get(name);
 }
 
+Result<PreparedUnionPtr> SamplingService::ApplyDelta(
+    const std::string& name, const std::vector<RelationDelta>& deltas) {
+  const int64_t start_ns = obs::MonotonicNs();
+  auto plan = registry_.ApplyDelta(name, deltas);
+  if (!plan.ok()) return plan.status();
+  static obs::Counter* const epochs =
+      obs::MetricsRegistry::Global().GetCounter("suj_data_epochs_total");
+  static obs::Counter* const delta_rows =
+      obs::MetricsRegistry::Global().GetCounter("suj_delta_rows_total");
+  static obs::Histogram* const refresh_ns =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "suj_epoch_refresh_ns", obs::Histogram::DefaultLatencyBoundsNs());
+  epochs->Increment();
+  delta_rows->Increment((*plan)->delta_rows());
+  refresh_ns->Observe(static_cast<uint64_t>(obs::MonotonicNs() - start_ns));
+  return plan;
+}
+
 Status SamplingService::Evict(const std::string& name) {
   return registry_.Evict(name);
 }

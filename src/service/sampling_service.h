@@ -139,6 +139,12 @@ class SamplingService {
                                    std::vector<JoinSpecPtr> joins,
                                    const PreparedQueryOptions& options);
   Result<PreparedUnionPtr> GetQuery(const std::string& name) const;
+  /// Applies append/delete batches to the named query's base relations,
+  /// producing a new data epoch (incremental refresh; see QueryRegistry).
+  /// Existing sessions keep sampling their pinned epoch; new sessions see
+  /// the returned plan.
+  Result<PreparedUnionPtr> ApplyDelta(const std::string& name,
+                                      const std::vector<RelationDelta>& deltas);
   /// Unpins a query; live sessions keep their plan (see QueryRegistry).
   Status Evict(const std::string& name);
 

@@ -17,11 +17,18 @@ ShardMergedOverlapEstimator::Create(ShardPlanPtr plan,
     // partitioning: an intersection tuple then comes from the same shard
     // in every join. Range partitioning assigns the same root content to
     // different shards in different joins, so cross-shard intersection
-    // mass would be lost — fall back to one canonical calculator.
+    // mass would be lost — fall back to one canonical calculator. The
+    // fallback is still exact but NOT shard-local; it is surfaced via
+    // suj_shard_overlap_delegated_total so operators can see that kRowRange
+    // warm-ups run centrally (see docs/ARCHITECTURE.md, "Sharding").
     auto canonical = ExactOverlapCalculator::Create(
         est->plan_->canonical_joins(), cache);
     if (!canonical.ok()) return canonical.status();
     est->canonical_ = std::move(canonical).value();
+    static obs::Counter* const delegated =
+        obs::MetricsRegistry::Global().GetCounter(
+            "suj_shard_overlap_delegated_total");
+    delegated->Increment();
     return est;
   }
   const int k = est->plan_->num_shards();
@@ -33,6 +40,48 @@ ShardMergedOverlapEstimator::Create(ShardPlanPtr plan,
           est->plan_->join_plan(static_cast<int>(j)).shard_specs[s]);
     }
     auto calc = ExactOverlapCalculator::Create(std::move(shard_joins), cache);
+    if (!calc.ok()) return calc.status();
+    est->per_shard_.push_back(std::move(calc).value());
+  }
+  return est;
+}
+
+Result<std::unique_ptr<ShardMergedOverlapEstimator>>
+ShardMergedOverlapEstimator::CreateIncremental(
+    ShardPlanPtr plan, const ShardMergedOverlapEstimator& prev,
+    uint64_t affected_mask, CompositeIndexCache* cache) {
+  if (plan == nullptr) return Status::InvalidArgument("null shard plan");
+  if (plan->num_joins() != prev.plan_->num_joins() ||
+      plan->options().scheme != prev.plan_->options().scheme ||
+      plan->num_shards() != prev.plan_->num_shards()) {
+    return Status::InvalidArgument(
+        "incremental merged-overlap refresh requires a matching plan");
+  }
+  auto est = std::unique_ptr<ShardMergedOverlapEstimator>(
+      new ShardMergedOverlapEstimator(std::move(plan)));
+  if (est->plan_->options().scheme != ShardScheme::kHashKey) {
+    auto canonical = ExactOverlapCalculator::CreateIncremental(
+        est->plan_->canonical_joins(), *prev.canonical_, affected_mask, cache);
+    if (!canonical.ok()) return canonical.status();
+    est->canonical_ = std::move(canonical).value();
+    static obs::Counter* const delegated =
+        obs::MetricsRegistry::Global().GetCounter(
+            "suj_shard_overlap_delegated_total");
+    delegated->Increment();
+    return est;
+  }
+  const int k = est->plan_->num_shards();
+  for (int s = 0; s < k; ++s) {
+    std::vector<JoinSpecPtr> shard_joins;
+    shard_joins.reserve(est->plan_->num_joins());
+    for (size_t j = 0; j < est->plan_->num_joins(); ++j) {
+      shard_joins.push_back(
+          est->plan_->join_plan(static_cast<int>(j)).shard_specs[s]);
+    }
+    // Unaffected joins' shard specs are the SAME pointers as the previous
+    // plan's, so the per-shard calculator can share their result sets.
+    auto calc = ExactOverlapCalculator::CreateIncremental(
+        std::move(shard_joins), *prev.per_shard_[s], affected_mask, cache);
     if (!calc.ok()) return calc.status();
     est->per_shard_.push_back(std::move(calc).value());
   }
@@ -78,6 +127,33 @@ Result<std::shared_ptr<ShardCoordinator>> ShardCoordinator::Build(
         ShardedJoinIndex::Build(coord->plan_, static_cast<int>(j), cache);
     if (!index.ok()) return index.status();
     coord->join_indexes_.push_back(std::move(index).value());
+  }
+  SUJ_RETURN_NOT_OK(coord->RefreshWeights());
+  return coord;
+}
+
+Result<std::shared_ptr<ShardCoordinator>> ShardCoordinator::Build(
+    ShardPlanPtr plan, CompositeIndexCache* cache,
+    const ShardCoordinator& previous, uint64_t rebuild_mask) {
+  if (plan == nullptr) return Status::InvalidArgument("null shard plan");
+  if (plan->num_joins() != previous.plan_->num_joins()) {
+    return Status::InvalidArgument(
+        "epoch coordinator refresh requires positionally matching joins");
+  }
+  auto coord =
+      std::shared_ptr<ShardCoordinator>(new ShardCoordinator(std::move(plan)));
+  coord->cache_ = cache;
+  for (size_t j = 0; j < coord->plan_->num_joins(); ++j) {
+    if ((rebuild_mask >> j) & 1) {
+      auto index =
+          ShardedJoinIndex::Build(coord->plan_, static_cast<int>(j), cache);
+      if (!index.ok()) return index.status();
+      coord->join_indexes_.push_back(std::move(index).value());
+    } else {
+      // Unchanged join: the sharded index is immutable and built over the
+      // same canonical spec the new plan carries forward — share it.
+      coord->join_indexes_.push_back(previous.join_indexes_[j]);
+    }
   }
   SUJ_RETURN_NOT_OK(coord->RefreshWeights());
   return coord;

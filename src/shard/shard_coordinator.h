@@ -43,6 +43,15 @@ class ShardMergedOverlapEstimator : public OverlapEstimator {
   static Result<std::unique_ptr<ShardMergedOverlapEstimator>> Create(
       ShardPlanPtr plan, CompositeIndexCache* cache = nullptr);
 
+  /// Epoch refresh: re-materializes ONLY the joins whose bit is set in
+  /// `affected_mask`, sharing `prev`'s per-shard (or canonical-fallback)
+  /// result sets for the rest. `plan` must be the epoch re-plan of
+  /// `prev.plan_` with the same mask and options.
+  static Result<std::unique_ptr<ShardMergedOverlapEstimator>>
+  CreateIncremental(ShardPlanPtr plan, const ShardMergedOverlapEstimator& prev,
+                    uint64_t affected_mask,
+                    CompositeIndexCache* cache = nullptr);
+
   const std::vector<JoinSpecPtr>& joins() const override {
     return plan_->canonical_joins();
   }
@@ -72,6 +81,17 @@ class ShardCoordinator {
   /// the coordinator; shared children dedupe through it).
   static Result<std::shared_ptr<ShardCoordinator>> Build(
       ShardPlanPtr plan, CompositeIndexCache* cache);
+
+  /// Epoch refresh: rebuilds ONLY the joins whose bit is set in
+  /// `rebuild_mask` and shares the previous coordinator's immutable
+  /// ShardedJoinIndexes for the rest (a shared index keeps its own — old —
+  /// ShardPlanPtr alive; bounded retention, at most one plan per join),
+  /// then re-derives the weight ledger and re-verifies the merge invariant.
+  /// `plan` must come from ShardPlanner's epoch re-plan over
+  /// `previous.plan()` with the same mask.
+  static Result<std::shared_ptr<ShardCoordinator>> Build(
+      ShardPlanPtr plan, CompositeIndexCache* cache,
+      const ShardCoordinator& previous, uint64_t rebuild_mask);
 
   const ShardPlanPtr& plan() const { return plan_; }
   int num_shards() const { return plan_->num_shards(); }

@@ -124,6 +124,22 @@ class ShardPlanner {
   /// JoinGraph::Build; checked defensively) or options are out of range.
   static Result<ShardPlanPtr> Plan(const std::vector<JoinSpecPtr>& joins,
                                    const ShardOptions& options);
+
+  /// Epoch refresh: re-partitions ONLY the joins whose bit is set in
+  /// `rebuild_mask` (those touching a relation folded by a delta) and
+  /// copies the previous plan's per-join decomposition — canonical spec,
+  /// shard slices, vp map — for the rest. `previous` must have been built
+  /// with the same options over positionally matching joins, and for every
+  /// clear bit `joins[j]` must be unchanged since `previous` was planned.
+  static Result<ShardPlanPtr> Plan(const std::vector<JoinSpecPtr>& joins,
+                                   const ShardOptions& options,
+                                   const ShardPlan& previous,
+                                   uint64_t rebuild_mask);
+
+ private:
+  /// Validates options and builds an empty plan with the vp -> shard map.
+  static Result<std::shared_ptr<ShardPlan>> PlanShell(
+      const std::vector<JoinSpecPtr>& joins, const ShardOptions& options);
 };
 
 }  // namespace suj

@@ -22,10 +22,104 @@ Result<RelationPtr> MaterializeRows(const Relation& source,
   return builder.Finish();
 }
 
+// Partitions one join into its ShardedJoinPlan — the per-join body shared
+// by the cold plan and the epoch-refresh overload.
+Result<ShardedJoinPlan> PlanJoin(const JoinSpecPtr& join,
+                                 const ShardOptions& options) {
+  const int k = options.num_shards;
+  const int v = options.virtual_partitions;
+  const JoinGraph& graph = join->graph();
+  const int root = graph.walk_order()[0];
+  if (graph.tree_order()[0] != root) {
+    // join_graph.cc roots the spanning tree at the walk start, so this
+    // is unreachable for its graphs; reject rather than mis-shard if
+    // that invariant ever changes.
+    return Status::Unimplemented(
+        "join '" + join->name() +
+        "': EW-tree root and walk root differ; cannot root-partition");
+  }
+  const Relation& root_rel = *join->relation(root);
+  const size_t n = root_rel.num_rows();
+
+  ShardedJoinPlan jp;
+  jp.root = root;
+
+  // Virtual-partition assignment, then a vp-major stable reorder. The
+  // canonical order is a pure function of (relation contents, scheme, V)
+  // — never of K — which is what keeps every shard count on one byte
+  // stream.
+  std::vector<uint32_t> vp(n);
+  for (size_t row = 0; row < n; ++row) {
+    vp[row] = options.scheme == ShardScheme::kHashKey
+                  ? static_cast<uint32_t>(
+                        ShardKeyHash64(root_rel.GetTuple(row).Encode()) %
+                        static_cast<uint64_t>(v))
+                  : static_cast<uint32_t>(row * static_cast<size_t>(v) / n);
+  }
+  std::vector<uint32_t> canonical_rows(n);
+  {
+    std::vector<uint32_t> vp_count(v + 1, 0);
+    for (size_t row = 0; row < n; ++row) ++vp_count[vp[row] + 1];
+    for (int p = 0; p < v; ++p) vp_count[p + 1] += vp_count[p];
+    for (size_t row = 0; row < n; ++row) {
+      canonical_rows[vp_count[vp[row]]++] = static_cast<uint32_t>(row);
+    }
+  }
+  jp.vp_of_row.resize(n);
+  for (size_t i = 0; i < n; ++i) jp.vp_of_row[i] = vp[canonical_rows[i]];
+
+  // Shard slice boundaries: first canonical row whose vp falls in the
+  // shard's vp range.
+  jp.row_begin.assign(k + 1, static_cast<uint32_t>(n));
+  jp.row_begin[0] = 0;
+  for (int s = 1; s < k; ++s) {
+    const uint32_t vp_lo = static_cast<uint32_t>(s * v / k);
+    jp.row_begin[s] = static_cast<uint32_t>(
+        std::lower_bound(jp.vp_of_row.begin(), jp.vp_of_row.end(), vp_lo) -
+        jp.vp_of_row.begin());
+  }
+
+  // Canonical spec: the reordered root + shared children, same edges and
+  // predicates as the input join.
+  auto canonical_root =
+      MaterializeRows(root_rel, canonical_rows, 0, n, root_rel.name());
+  if (!canonical_root.ok()) return canonical_root.status();
+  std::vector<RelationPtr> canonical_rels = join->relations();
+  canonical_rels[root] = std::move(canonical_root).value();
+  std::vector<JoinEdge> edges;
+  for (const auto& e : join->graph().edges()) {
+    edges.push_back(JoinEdge{e.left, e.right});
+  }
+  auto canonical = JoinSpec::Create(join->name(), canonical_rels, edges,
+                                    join->output_predicates());
+  if (!canonical.ok()) return canonical.status();
+  jp.canonical = std::move(canonical).value();
+
+  // Per-shard specs: a slice of the canonical root, everything else the
+  // shared RelationPtr (the broadcast half of the partition).
+  const auto& canon_root_rel = *jp.canonical->relation(root);
+  std::vector<uint32_t> identity(n);
+  for (size_t i = 0; i < n; ++i) identity[i] = static_cast<uint32_t>(i);
+  for (int s = 0; s < k; ++s) {
+    auto slice = MaterializeRows(canon_root_rel, identity, jp.row_begin[s],
+                                 jp.row_begin[s + 1],
+                                 root_rel.name() + "#s" + std::to_string(s));
+    if (!slice.ok()) return slice.status();
+    std::vector<RelationPtr> rels = jp.canonical->relations();
+    rels[root] = std::move(slice).value();
+    auto spec = JoinSpec::Create(join->name() + "#s" + std::to_string(s),
+                                 std::move(rels), edges,
+                                 join->output_predicates());
+    if (!spec.ok()) return spec.status();
+    jp.shard_specs.push_back(std::move(spec).value());
+  }
+  return jp;
+}
+
 }  // namespace
 
-Result<ShardPlanPtr> ShardPlanner::Plan(const std::vector<JoinSpecPtr>& joins,
-                                        const ShardOptions& options) {
+Result<std::shared_ptr<ShardPlan>> ShardPlanner::PlanShell(
+    const std::vector<JoinSpecPtr>& joins, const ShardOptions& options) {
   SUJ_RETURN_NOT_OK(ValidateUnionCompatible(joins));
   const int k = options.num_shards;
   const int v = options.virtual_partitions;
@@ -36,7 +130,6 @@ Result<ShardPlanPtr> ShardPlanner::Plan(const std::vector<JoinSpecPtr>& joins,
         ") must be >= num_shards (" + std::to_string(k) +
         "): every shard needs at least one vp");
   }
-
   auto plan = std::shared_ptr<ShardPlan>(new ShardPlan());
   plan->options_ = options;
   // vp -> shard: shard s covers [floor(s*V/K), floor((s+1)*V/K)).
@@ -46,96 +139,52 @@ Result<ShardPlanPtr> ShardPlanner::Plan(const std::vector<JoinSpecPtr>& joins,
     const int hi = (s + 1) * v / k;
     for (int p = lo; p < hi; ++p) plan->shard_of_vp_[p] = s;
   }
+  return plan;
+}
 
+Result<ShardPlanPtr> ShardPlanner::Plan(const std::vector<JoinSpecPtr>& joins,
+                                        const ShardOptions& options) {
+  auto shell = PlanShell(joins, options);
+  if (!shell.ok()) return shell.status();
+  auto plan = std::move(shell).value();
   for (const auto& join : joins) {
-    const JoinGraph& graph = join->graph();
-    const int root = graph.walk_order()[0];
-    if (graph.tree_order()[0] != root) {
-      // join_graph.cc roots the spanning tree at the walk start, so this
-      // is unreachable for its graphs; reject rather than mis-shard if
-      // that invariant ever changes.
-      return Status::Unimplemented(
-          "join '" + join->name() +
-          "': EW-tree root and walk root differ; cannot root-partition");
-    }
-    const Relation& root_rel = *join->relation(root);
-    const size_t n = root_rel.num_rows();
+    auto jp = PlanJoin(join, options);
+    if (!jp.ok()) return jp.status();
+    plan->canonical_joins_.push_back(jp.value().canonical);
+    plan->join_plans_.push_back(std::move(jp).value());
+  }
+  return std::shared_ptr<const ShardPlan>(plan);
+}
 
-    ShardedJoinPlan jp;
-    jp.root = root;
-
-    // Virtual-partition assignment, then a vp-major stable reorder. The
-    // canonical order is a pure function of (relation contents, scheme, V)
-    // — never of K — which is what keeps every shard count on one byte
-    // stream.
-    std::vector<uint32_t> vp(n);
-    for (size_t row = 0; row < n; ++row) {
-      vp[row] = options.scheme == ShardScheme::kHashKey
-                    ? static_cast<uint32_t>(
-                          ShardKeyHash64(root_rel.GetTuple(row).Encode()) %
-                          static_cast<uint64_t>(v))
-                    : static_cast<uint32_t>(row * static_cast<size_t>(v) / n);
+Result<ShardPlanPtr> ShardPlanner::Plan(const std::vector<JoinSpecPtr>& joins,
+                                        const ShardOptions& options,
+                                        const ShardPlan& previous,
+                                        uint64_t rebuild_mask) {
+  if (joins.size() != previous.num_joins()) {
+    return Status::InvalidArgument(
+        "epoch re-plan requires positionally matching joins");
+  }
+  if (options.num_shards != previous.options().num_shards ||
+      options.scheme != previous.options().scheme ||
+      options.virtual_partitions != previous.options().virtual_partitions) {
+    return Status::InvalidArgument(
+        "epoch re-plan requires identical shard options");
+  }
+  auto shell = PlanShell(joins, options);
+  if (!shell.ok()) return shell.status();
+  auto plan = std::move(shell).value();
+  for (size_t j = 0; j < joins.size(); ++j) {
+    if ((rebuild_mask >> j) & 1) {
+      auto jp = PlanJoin(joins[j], options);
+      if (!jp.ok()) return jp.status();
+      plan->join_plans_.push_back(std::move(jp).value());
+    } else {
+      // Unchanged join: the previous decomposition (canonical spec, shard
+      // slices, vp map) is immutable and carries over by copy of shared
+      // pointers — no rows are re-materialized.
+      plan->join_plans_.push_back(previous.join_plan(static_cast<int>(j)));
     }
-    std::vector<uint32_t> canonical_rows(n);
-    {
-      std::vector<uint32_t> vp_count(v + 1, 0);
-      for (size_t row = 0; row < n; ++row) ++vp_count[vp[row] + 1];
-      for (int p = 0; p < v; ++p) vp_count[p + 1] += vp_count[p];
-      for (size_t row = 0; row < n; ++row) {
-        canonical_rows[vp_count[vp[row]]++] = static_cast<uint32_t>(row);
-      }
-    }
-    jp.vp_of_row.resize(n);
-    for (size_t i = 0; i < n; ++i) jp.vp_of_row[i] = vp[canonical_rows[i]];
-
-    // Shard slice boundaries: first canonical row whose vp falls in the
-    // shard's vp range.
-    jp.row_begin.assign(k + 1, static_cast<uint32_t>(n));
-    jp.row_begin[0] = 0;
-    for (int s = 1; s < k; ++s) {
-      const uint32_t vp_lo = static_cast<uint32_t>(s * v / k);
-      jp.row_begin[s] = static_cast<uint32_t>(
-          std::lower_bound(jp.vp_of_row.begin(), jp.vp_of_row.end(), vp_lo) -
-          jp.vp_of_row.begin());
-    }
-
-    // Canonical spec: the reordered root + shared children, same edges and
-    // predicates as the input join.
-    auto canonical_root = MaterializeRows(root_rel, canonical_rows, 0, n,
-                                          root_rel.name());
-    if (!canonical_root.ok()) return canonical_root.status();
-    std::vector<RelationPtr> canonical_rels = join->relations();
-    canonical_rels[root] = std::move(canonical_root).value();
-    std::vector<JoinEdge> edges;
-    for (const auto& e : join->graph().edges()) {
-      edges.push_back(JoinEdge{e.left, e.right});
-    }
-    auto canonical = JoinSpec::Create(join->name(), canonical_rels, edges,
-                                      join->output_predicates());
-    if (!canonical.ok()) return canonical.status();
-    jp.canonical = std::move(canonical).value();
-
-    // Per-shard specs: a slice of the canonical root, everything else the
-    // shared RelationPtr (the broadcast half of the partition).
-    const auto& canon_root_rel = *jp.canonical->relation(root);
-    std::vector<uint32_t> identity(n);
-    for (size_t i = 0; i < n; ++i) identity[i] = static_cast<uint32_t>(i);
-    for (int s = 0; s < k; ++s) {
-      auto slice = MaterializeRows(
-          canon_root_rel, identity, jp.row_begin[s], jp.row_begin[s + 1],
-          root_rel.name() + "#s" + std::to_string(s));
-      if (!slice.ok()) return slice.status();
-      std::vector<RelationPtr> rels = jp.canonical->relations();
-      rels[root] = std::move(slice).value();
-      auto spec = JoinSpec::Create(
-          join->name() + "#s" + std::to_string(s), std::move(rels), edges,
-          join->output_predicates());
-      if (!spec.ok()) return spec.status();
-      jp.shard_specs.push_back(std::move(spec).value());
-    }
-
-    plan->canonical_joins_.push_back(jp.canonical);
-    plan->join_plans_.push_back(std::move(jp));
+    plan->canonical_joins_.push_back(plan->join_plans_.back().canonical);
   }
   return std::shared_ptr<const ShardPlan>(plan);
 }

@@ -40,4 +40,26 @@ size_t Catalog::TotalRows() const {
   return total;
 }
 
+Result<FoldedRelation> Catalog::ApplyDelta(const RelationDelta& delta) {
+  auto it = relations_.find(delta.relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + delta.relation +
+                            "' not in catalog");
+  }
+  auto vit = versions_.find(delta.relation);
+  if (vit == versions_.end()) {
+    vit = versions_.emplace(delta.relation, VersionedRelation(it->second))
+              .first;
+  }
+  auto folded = vit->second.Apply(delta);
+  if (!folded.ok()) return folded.status();
+  it->second = folded.value().relation;
+  return folded;
+}
+
+uint64_t Catalog::Epoch(const std::string& name) const {
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second.epoch();
+}
+
 }  // namespace suj

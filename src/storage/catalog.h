@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "storage/relation.h"
+#include "storage/relation_delta.h"
 
 namespace suj {
 
@@ -38,8 +39,20 @@ class Catalog {
   /// Sum of rows across all relations (used in scaling reports).
   size_t TotalRows() const;
 
+  /// Applies a mutation batch to the named relation: folds it into a new
+  /// immutable snapshot through the relation's version chain (creating the
+  /// chain on first mutation), bumps that relation's data epoch, and
+  /// upserts the snapshot so subsequent Get() calls see the new version.
+  /// Existing readers holding the old RelationPtr are never invalidated.
+  Result<FoldedRelation> ApplyDelta(const RelationDelta& delta);
+
+  /// Data epoch of `name`: number of deltas applied (0 if never mutated).
+  uint64_t Epoch(const std::string& name) const;
+
  private:
   std::unordered_map<std::string, RelationPtr> relations_;
+  // Version chains, created lazily on first ApplyDelta per name.
+  std::unordered_map<std::string, VersionedRelation> versions_;
 };
 
 }  // namespace suj

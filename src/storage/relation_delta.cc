@@ -1,0 +1,67 @@
+#include "storage/relation_delta.h"
+
+#include <utility>
+
+namespace suj {
+
+Result<FoldedRelation> FoldDelta(const Relation& base,
+                                 const RelationDelta& delta) {
+  const size_t old_rows = base.num_rows();
+  std::vector<bool> deleted(old_rows, false);
+  for (uint32_t row : delta.deletes) {
+    if (row >= old_rows) {
+      return Status::InvalidArgument(
+          "delete row id " + std::to_string(row) + " out of range for '" +
+          base.name() + "' (" + std::to_string(old_rows) + " rows)");
+    }
+    if (deleted[row]) {
+      return Status::InvalidArgument("duplicate delete row id " +
+                                     std::to_string(row));
+    }
+    deleted[row] = true;
+  }
+
+  FoldedRelation out;
+  out.remap.resize(old_rows);
+  RelationBuilder builder(base.name(), base.schema());
+  for (size_t row = 0; row < old_rows; ++row) {
+    if (deleted[row]) {
+      out.remap[row] = kDeletedRow;
+      continue;
+    }
+    out.remap[row] = static_cast<uint32_t>(builder.num_rows());
+    Status appended = builder.AppendTuple(base.GetTuple(row));
+    if (!appended.ok()) return appended;
+  }
+  out.first_appended_row = static_cast<uint32_t>(builder.num_rows());
+  for (const Tuple& tuple : delta.appends) {
+    Status appended = builder.AppendTuple(tuple);
+    if (!appended.ok()) return appended;
+  }
+  out.relation = builder.Finish();
+  return out;
+}
+
+VersionedRelation::VersionedRelation(RelationPtr base,
+                                     size_t compaction_threshold)
+    : compaction_threshold_(compaction_threshold < 2 ? 2
+                                                     : compaction_threshold) {
+  chain_.push_back(std::move(base));
+}
+
+Result<FoldedRelation> VersionedRelation::Apply(const RelationDelta& delta) {
+  auto folded = FoldDelta(*chain_.back(), delta);
+  if (!folded.ok()) return folded.status();
+  chain_.push_back(folded.value().relation);
+  ++epoch_;
+  if (chain_.size() > compaction_threshold_) {
+    // Compact: the latest snapshot becomes the new base. Readers that hold
+    // shared_ptrs to intermediate snapshots keep them alive on their own.
+    RelationPtr latest = chain_.back();
+    chain_.clear();
+    chain_.push_back(std::move(latest));
+  }
+  return folded;
+}
+
+}  // namespace suj

@@ -1,0 +1,97 @@
+// RelationDelta: append/delete mutation batches and the epoch-versioned
+// snapshot chain they produce.
+//
+// Relations stay immutable — a delta never mutates a Relation in place.
+// FoldDelta materializes a NEW Relation (survivors keep their relative
+// order, appends go to the tail) plus the old-row -> new-row remap that
+// lets index and estimator layers carry their state forward incrementally
+// instead of rebuilding from scratch. VersionedRelation strings folds into
+// a base + delta chain and compacts the chain past a threshold, so any
+// reader holding an old snapshot keeps a fully valid, immutable view (the
+// data-epoch analogue of the revision sampler's snapshot-per-epoch rule).
+
+#ifndef SUJ_STORAGE_RELATION_DELTA_H_
+#define SUJ_STORAGE_RELATION_DELTA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+namespace suj {
+
+/// \brief One mutation batch against a named relation.
+struct RelationDelta {
+  /// Target relation name (resolved against a catalog or a plan's joins).
+  std::string relation;
+  /// Rows to append; each tuple must match the relation schema.
+  std::vector<Tuple> appends;
+  /// Row ids (in the version the delta is applied to) to delete.
+  std::vector<uint32_t> deletes;
+
+  size_t num_rows() const { return appends.size() + deletes.size(); }
+  bool empty() const { return appends.empty() && deletes.empty(); }
+};
+
+/// Remap value for rows removed by the fold.
+inline constexpr uint32_t kDeletedRow = UINT32_MAX;
+
+/// \brief A folded snapshot: the new relation plus the row remap.
+struct FoldedRelation {
+  RelationPtr relation;
+  /// old row id -> new row id; kDeletedRow for deleted rows. Survivors keep
+  /// their relative order, so remap is monotone over surviving rows.
+  std::vector<uint32_t> remap;
+  /// First appended row id in the new relation (== number of survivors).
+  uint32_t first_appended_row = 0;
+
+  size_t num_appended() const {
+    return relation->num_rows() - first_appended_row;
+  }
+};
+
+/// Materializes `delta` over `base` into a new immutable Relation (same
+/// name/schema). Fails if a delete id is out of range or duplicated, or an
+/// appended tuple does not match the schema.
+Result<FoldedRelation> FoldDelta(const Relation& base,
+                                 const RelationDelta& delta);
+
+/// \brief Base + delta chain with epoch numbering and compaction.
+///
+/// Apply() folds a delta into a new snapshot and bumps the epoch. The chain
+/// of retained snapshots (base .. latest) is kept so in-flight readers of
+/// any epoch stay valid; once the retained chain exceeds
+/// `compaction_threshold`, the chain is compacted: the latest snapshot
+/// becomes the new base and intermediate snapshots are released (readers
+/// holding shared_ptrs keep their copies alive independently).
+class VersionedRelation {
+ public:
+  explicit VersionedRelation(RelationPtr base, size_t compaction_threshold = 8);
+
+  /// Monotone data epoch; 0 for the base snapshot.
+  uint64_t epoch() const { return epoch_; }
+  /// Latest folded snapshot.
+  const RelationPtr& snapshot() const { return chain_.back(); }
+  /// Oldest retained snapshot (the compaction root).
+  const RelationPtr& base() const { return chain_.front(); }
+  /// Number of retained snapshots (1 = fully compacted).
+  size_t chain_length() const { return chain_.size(); }
+  size_t compaction_threshold() const { return compaction_threshold_; }
+
+  /// Folds `delta` against the latest snapshot, retains the result, bumps
+  /// the epoch, and compacts if the chain grew past the threshold.
+  Result<FoldedRelation> Apply(const RelationDelta& delta);
+
+ private:
+  size_t compaction_threshold_;
+  uint64_t epoch_ = 0;
+  std::vector<RelationPtr> chain_;  // oldest .. latest
+};
+
+}  // namespace suj
+
+#endif  // SUJ_STORAGE_RELATION_DELTA_H_

@@ -25,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,9 @@
 #include "core/union_sampler.h"
 #include "join/exact_weight.h"
 #include "join/membership.h"
+#include "service/prepared_union.h"
+#include "stats/uniformity.h"
+#include "storage/relation_delta.h"
 #include "test_util.h"
 #include "workloads/synthetic.h"
 
@@ -302,6 +306,137 @@ TEST(DifferentialPropertyTest, ColumnarPathIsDeterministicAcrossThreadCounts) {
         }
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Churn harness: delta batches interleaved with Sample calls. Two
+// properties, per shard count:
+//  * a session pinned to epoch 0 (it holds that epoch's plan by
+//    shared_ptr) delivers byte-identical streams at 1/2/4 worker threads
+//    whether or not deltas land between its chunks — epochs are
+//    immutable snapshots, so churn cannot leak into a pinned reader;
+//  * the LATEST epoch, after all the churn, still serves a sample
+//    consistent with uniformity over ITS union (the refreshed
+//    estimates/weights describe the folded data correctly).
+
+// One append/delete batch against the current epoch's base relations.
+// `salt` varies the deleted row and the fresh-key values so consecutive
+// batches are distinct.
+RelationDelta ChurnDelta(const std::vector<JoinSpecPtr>& base_joins,
+                         uint64_t salt) {
+  const RelationPtr& target = base_joins[0]->relation(0);
+  RelationDelta delta;
+  delta.relation = target->name();
+  delta.deletes = {static_cast<uint32_t>(salt % target->num_rows())};
+  std::vector<Value> dup =
+      target->GetTuple((salt + 1) % target->num_rows()).values();
+  delta.appends.push_back(Tuple(std::move(dup)));  // duplicate-key append
+  std::vector<Value> fresh;
+  for (size_t c = 0; c < target->num_columns(); ++c) {
+    fresh.push_back(Value::Int64(90000 + static_cast<int64_t>(salt) * 16 +
+                                 static_cast<int64_t>(c)));
+  }
+  delta.appends.push_back(Tuple(std::move(fresh)));  // fresh-key append
+  return delta;
+}
+
+// Chunked kRevision draws from one plan; `between` (if set) runs after
+// every chunk — the churn runs use it to apply a delta batch mid-stream.
+std::vector<std::string> DrawChunkedRevision(
+    const PreparedUnionPtr& plan, size_t threads, uint64_t seed,
+    const std::vector<size_t>& chunks,
+    const std::function<void(size_t)>& between) {
+  UnionSampler::Options opts;
+  opts.mode = UnionSampler::Mode::kRevision;
+  opts.num_threads = threads;
+  opts.batch_size = 32;
+  opts.sampler_factory = plan->MakeJoinSamplerFactory();
+  auto sampler =
+      UnionSampler::Create(plan->joins(), {}, plan->estimates(), {}, opts)
+          .value();
+  RevisionState state;
+  Rng rng(seed);
+  std::vector<std::string> out;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    auto samples = sampler->Sample(chunks[i], rng, state);
+    EXPECT_TRUE(samples.ok()) << samples.status().ToString();
+    if (!samples.ok()) return out;
+    for (const auto& t : *samples) out.push_back(t.Encode());
+    if (between) between(i);
+  }
+  return out;
+}
+
+TEST(DifferentialPropertyTest, ChurnPinnedEpochsStayByteIdenticalAndUniform) {
+  const uint64_t seed = 830;
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 24;
+  options.seed = seed;
+  auto joins = MakeOverlappingChains(options).value();
+  const std::vector<size_t> chunks = {60, 20, 70};
+
+  for (int num_shards : {1, 4}) {
+    PreparedQueryOptions prep;
+    prep.shard.num_shards = num_shards;
+    QueryRegistry registry;
+    auto pinned = registry.Prepare("churn", joins, prep).value();
+    ASSERT_EQ(pinned->data_epoch(), 0u);
+
+    // The no-churn reference: same plan content, cold-built, untouched.
+    auto control =
+        PreparedUnion::Build("churn-control", 99, joins, prep).value();
+
+    uint64_t salt = 0;
+    for (size_t threads : {1u, 2u, 4u}) {
+      auto reference =
+          DrawChunkedRevision(control, threads, seed + 7, chunks, nullptr);
+      auto got = DrawChunkedRevision(
+          pinned, threads, seed + 7, chunks, [&](size_t) {
+            auto latest = registry.Get("churn").value();
+            auto next = registry.ApplyDelta(
+                "churn", {ChurnDelta(latest->base_joins(), salt++)});
+            ASSERT_TRUE(next.ok()) << next.status().ToString();
+            ASSERT_EQ(next.value()->data_epoch(),
+                      latest->data_epoch() + 1);
+          });
+      EXPECT_EQ(got, reference)
+          << "shards=" << num_shards << " threads=" << threads;
+    }
+    // The pinned plan never moved; the family did.
+    EXPECT_EQ(pinned->data_epoch(), 0u);
+    EXPECT_EQ(pinned->latest_epoch(), salt);
+    ASSERT_GT(salt, 0u);
+
+    // Post-churn: the latest epoch is uniform over ITS (folded) union.
+    auto latest = registry.Get("churn").value();
+    ASSERT_EQ(latest->data_epoch(), salt);
+    auto exact = ExactOverlapCalculator::Create(latest->joins()).value();
+    UnionSampler::Options opts;
+    opts.mode = UnionSampler::Mode::kRevision;
+    opts.num_threads = 2;
+    opts.batch_size = 64;
+    opts.sampler_factory = latest->MakeJoinSamplerFactory();
+    auto sampler = UnionSampler::Create(latest->joins(), {},
+                                        latest->estimates(), {}, opts)
+                       .value();
+    Rng rng(seed + 11);
+    const size_t universe = exact->UnionSize();
+    ASSERT_GT(universe, 0u);
+    const size_t n = 60 * universe;
+    auto samples = sampler->Sample(n, rng);
+    ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+    for (const auto& t : *samples) {
+      ASSERT_TRUE(exact->membership().count(t.Encode()))
+          << "post-churn sample outside the folded union";
+    }
+    auto result = ChiSquareUniformityTest(*samples, universe);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->ConsistentWithUniform(/*alpha=*/1e-4))
+        << "shards=" << num_shards << " chi2=" << result->statistic
+        << " df=" << result->degrees_of_freedom
+        << " p=" << result->p_value;
   }
 }
 

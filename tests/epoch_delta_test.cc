@@ -1,0 +1,476 @@
+// Tests for the data-epoch machinery: FoldDelta / VersionedRelation
+// (storage), Catalog::ApplyDelta, CompositeIndex::BuildIncremental /
+// MapRowsIncremental (index), ExactOverlapCalculator::CreateIncremental
+// (core), and PreparedUnion / QueryRegistry::ApplyDelta (service). The
+// load-bearing oracle throughout: an incremental epoch refresh must be
+// indistinguishable — in sampling bytes and estimator output — from a
+// cold rebuild over the folded relations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/exact_overlap.h"
+#include "index/composite_index.h"
+#include "service/prepared_union.h"
+#include "service/sampling_service.h"
+#include "storage/catalog.h"
+#include "storage/relation_delta.h"
+#include "test_util.h"
+#include "workloads/synthetic.h"
+
+namespace suj {
+namespace {
+
+using workloads::MakeOverlappingChains;
+using workloads::MakeRelation;
+using workloads::SyntheticChainOptions;
+
+Tuple Int2(int64_t a, int64_t b) {
+  return Tuple({Value::Int64(a), Value::Int64(b)});
+}
+
+// ---------------------------------------------------------------------------
+// FoldDelta / VersionedRelation
+
+TEST(FoldDeltaTest, SurvivorsKeepOrderAppendsGoToTail) {
+  auto base = MakeRelation("r", {"a", "b"},
+                           {{1, 10}, {2, 20}, {3, 30}, {4, 40}})
+                  .value();
+  RelationDelta delta;
+  delta.relation = "r";
+  delta.deletes = {1, 3};
+  delta.appends = {Int2(5, 50), Int2(6, 60)};
+
+  auto folded = FoldDelta(*base, delta);
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  const Relation& next = *folded.value().relation;
+  ASSERT_EQ(next.num_rows(), 4u);
+  EXPECT_EQ(next.GetTuple(0).Encode(), Int2(1, 10).Encode());
+  EXPECT_EQ(next.GetTuple(1).Encode(), Int2(3, 30).Encode());
+  EXPECT_EQ(next.GetTuple(2).Encode(), Int2(5, 50).Encode());
+  EXPECT_EQ(next.GetTuple(3).Encode(), Int2(6, 60).Encode());
+  EXPECT_EQ(folded.value().first_appended_row, 2u);
+  EXPECT_EQ(folded.value().num_appended(), 2u);
+  const auto& remap = folded.value().remap;
+  ASSERT_EQ(remap.size(), 4u);
+  EXPECT_EQ(remap[0], 0u);
+  EXPECT_EQ(remap[1], kDeletedRow);
+  EXPECT_EQ(remap[2], 1u);
+  EXPECT_EQ(remap[3], kDeletedRow);
+}
+
+TEST(FoldDeltaTest, RejectsBadDeletesAndSchemaMismatch) {
+  auto base = MakeRelation("r", {"a", "b"}, {{1, 10}, {2, 20}}).value();
+  RelationDelta out_of_range;
+  out_of_range.relation = "r";
+  out_of_range.deletes = {2};
+  EXPECT_FALSE(FoldDelta(*base, out_of_range).ok());
+
+  RelationDelta duplicate;
+  duplicate.relation = "r";
+  duplicate.deletes = {0, 0};
+  EXPECT_FALSE(FoldDelta(*base, duplicate).ok());
+
+  RelationDelta bad_arity;
+  bad_arity.relation = "r";
+  bad_arity.appends = {Tuple({Value::Int64(1)})};
+  EXPECT_FALSE(FoldDelta(*base, bad_arity).ok());
+}
+
+TEST(VersionedRelationTest, EpochsAdvanceAndChainCompacts) {
+  auto base = MakeRelation("r", {"a", "b"}, {{1, 10}}).value();
+  VersionedRelation versioned(base, /*compaction_threshold=*/2);
+  EXPECT_EQ(versioned.epoch(), 0u);
+  EXPECT_EQ(versioned.chain_length(), 1u);
+
+  for (int i = 0; i < 5; ++i) {
+    RelationDelta delta;
+    delta.relation = "r";
+    delta.appends = {Int2(100 + i, 0)};
+    auto folded = versioned.Apply(delta);
+    ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+    EXPECT_EQ(versioned.epoch(), static_cast<uint64_t>(i + 1));
+    EXPECT_LE(versioned.chain_length(), 2u);
+  }
+  // 1 base row + 5 appended rows, regardless of compactions in between.
+  EXPECT_EQ(versioned.snapshot()->num_rows(), 6u);
+}
+
+TEST(CatalogTest, ApplyDeltaUpsertsWithoutInvalidatingReaders) {
+  Catalog catalog;
+  auto base = MakeRelation("r", {"a", "b"}, {{1, 10}, {2, 20}}).value();
+  ASSERT_TRUE(catalog.Register(base).ok());
+  EXPECT_EQ(catalog.Epoch("r"), 0u);
+
+  RelationPtr pinned = catalog.Get("r").value();  // epoch-0 reader
+
+  RelationDelta delta;
+  delta.relation = "r";
+  delta.appends = {Int2(3, 30)};
+  ASSERT_TRUE(catalog.ApplyDelta(delta).ok());
+  EXPECT_EQ(catalog.Epoch("r"), 1u);
+  EXPECT_EQ(catalog.Get("r").value()->num_rows(), 3u);
+  // The pinned snapshot is untouched.
+  EXPECT_EQ(pinned->num_rows(), 2u);
+
+  RelationDelta unknown;
+  unknown.relation = "nope";
+  EXPECT_FALSE(catalog.ApplyDelta(unknown).ok());
+}
+
+// ---------------------------------------------------------------------------
+// CompositeIndex incremental maintenance
+
+TEST(CompositeIndexIncrementalTest, MatchesColdBuildPerKey) {
+  auto base = MakeRelation("r", {"a", "b"},
+                           {{1, 10}, {1, 11}, {2, 20}, {3, 30}, {1, 12}})
+                  .value();
+  auto prev = CompositeIndex::Build(base, {"a"}).value();
+
+  RelationDelta delta;
+  delta.relation = "r";
+  delta.deletes = {2, 4};                       // drops key 2; shrinks key 1
+  delta.appends = {Int2(1, 13), Int2(4, 40)};   // grows key 1; new key 4
+  auto folded = FoldDelta(*base, delta).value();
+
+  auto incremental =
+      CompositeIndex::BuildIncremental(*prev, folded.relation, folded.remap,
+                                       folded.first_appended_row);
+  ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+  auto cold = CompositeIndex::Build(folded.relation, {"a"}).value();
+
+  // Group numbering may differ; the per-key row lists (content AND order)
+  // must not — that is what sampling walks.
+  for (int64_t key = 0; key <= 5; ++key) {
+    Tuple probe({Value::Int64(key)});
+    RowSpan inc_rows = (*incremental)->Lookup(probe);
+    RowSpan cold_rows = cold->Lookup(probe);
+    ASSERT_EQ(inc_rows.size(), cold_rows.size()) << "key " << key;
+    for (size_t i = 0; i < inc_rows.size(); ++i) {
+      EXPECT_EQ(inc_rows[i], cold_rows[i]) << "key " << key << " pos " << i;
+    }
+  }
+  EXPECT_EQ((*incremental)->MaxDegree(), cold->MaxDegree());
+}
+
+TEST(CompositeIndexIncrementalTest, MapRowsIncrementalRechecksNoGroup) {
+  auto indexed = MakeRelation("r", {"a", "b"}, {{1, 10}, {2, 20}}).value();
+  auto probe = MakeRelation("p", {"a", "c"}, {{1, 0}, {7, 0}}).value();
+  auto prev_index = CompositeIndex::Build(indexed, {"a"}).value();
+  auto prev_map = prev_index->MapRows(*probe).value();
+  ASSERT_EQ(prev_map[1], CompositeIndex::kNoGroup);  // key 7 dangling
+
+  // Append the missing key 7 to the indexed side; probe side unchanged.
+  RelationDelta delta;
+  delta.relation = "r";
+  delta.appends = {Int2(7, 70)};
+  auto folded = FoldDelta(*indexed, delta).value();
+  auto next_index =
+      CompositeIndex::BuildIncremental(*prev_index, folded.relation,
+                                       folded.remap,
+                                       folded.first_appended_row)
+          .value();
+
+  auto next_map = next_index->MapRowsIncremental(
+      prev_map, /*probe_remap=*/nullptr,
+      /*first_appended_row=*/static_cast<uint32_t>(probe->num_rows()), *probe,
+      /*index_gained_rows=*/true);
+  ASSERT_TRUE(next_map.ok()) << next_map.status().ToString();
+  auto cold_map = next_index->MapRows(*probe).value();
+  EXPECT_EQ(next_map.value(), cold_map);
+  // The formerly dangling probe row now resolves.
+  EXPECT_NE(next_map.value()[1], CompositeIndex::kNoGroup);
+}
+
+// ---------------------------------------------------------------------------
+// ExactOverlapCalculator incremental refresh
+
+TEST(ExactOverlapIncrementalTest, MatchesColdCreateOverFoldedJoins) {
+  auto joins = [] {
+    SyntheticChainOptions options;
+    options.num_joins = 3;
+    options.master_rows = 24;
+    options.seed = 910;
+    return MakeOverlappingChains(options).value();
+  }();
+  auto prev = ExactOverlapCalculator::Create(joins).value();
+
+  // Fold a delta into join 0's first relation only.
+  const RelationPtr& target = joins[0]->relation(0);
+  RelationDelta delta;
+  delta.relation = target->name();
+  delta.deletes = {0};
+  auto folded = FoldDelta(*target, delta).value();
+
+  std::vector<JoinSpecPtr> next_joins = joins;
+  std::vector<RelationPtr> rels = joins[0]->relations();
+  rels[0] = folded.relation;
+  std::vector<JoinEdge> edges;
+  for (const auto& e : joins[0]->graph().edges()) {
+    edges.push_back(JoinEdge{e.left, e.right});
+  }
+  next_joins[0] =
+      JoinSpec::Create(joins[0]->name(), rels, edges).value();
+
+  auto incremental = ExactOverlapCalculator::CreateIncremental(
+      next_joins, *prev, /*affected_mask=*/1u);
+  ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+  auto cold = ExactOverlapCalculator::Create(next_joins).value();
+
+  EXPECT_EQ((*incremental)->UnionSize(), cold->UnionSize());
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ((*incremental)->JoinSize(j), cold->JoinSize(j)) << "join " << j;
+  }
+  for (SubsetMask mask = 1; mask < 8; ++mask) {
+    EXPECT_EQ((*incremental)->EstimateOverlap(mask).value(),
+              cold->EstimateOverlap(mask).value())
+        << "mask " << mask;
+  }
+  // Unaffected joins share the previous result sets by pointer.
+  EXPECT_EQ(&(*incremental)->join_set(1), &prev->join_set(1));
+  EXPECT_EQ(&(*incremental)->join_set(2), &prev->join_set(2));
+}
+
+// ---------------------------------------------------------------------------
+// PreparedUnion::ApplyDelta — the end-to-end oracle
+
+std::vector<JoinSpecPtr> EpochJoins(uint64_t seed) {
+  SyntheticChainOptions options;
+  options.num_joins = 3;
+  options.master_rows = 30;
+  options.seed = seed;
+  return MakeOverlappingChains(options).value();
+}
+
+// Builds the delta every PreparedUnion test applies: delete one row of
+// and append two rows to the named relation of the given joins.
+RelationDelta ProbeDelta(const std::vector<JoinSpecPtr>& joins) {
+  const RelationPtr& target = joins[0]->relation(0);
+  RelationDelta delta;
+  delta.relation = target->name();
+  delta.deletes = {0};
+  std::vector<Value> a = target->GetTuple(1).values();
+  delta.appends.push_back(Tuple(a));  // duplicate-key append
+  std::vector<Value> b;
+  for (size_t c = 0; c < target->num_columns(); ++c) {
+    b.push_back(Value::Int64(90000 + static_cast<int64_t>(c)));
+  }
+  delta.appends.push_back(Tuple(b));  // fresh-key append
+  return delta;
+}
+
+// The folded base joins ApplyDelta is expected to be equivalent to.
+std::vector<JoinSpecPtr> FoldJoins(const std::vector<JoinSpecPtr>& joins,
+                                   const RelationDelta& delta) {
+  const RelationPtr& target = joins[0]->relation(0);
+  auto folded = FoldDelta(*target, delta).value();
+  std::vector<JoinSpecPtr> out;
+  for (const auto& join : joins) {
+    std::vector<RelationPtr> rels = join->relations();
+    bool touched = false;
+    for (auto& rel : rels) {
+      if (rel == target) {
+        rel = folded.relation;
+        touched = true;
+      }
+    }
+    if (!touched) {
+      out.push_back(join);
+      continue;
+    }
+    std::vector<JoinEdge> edges;
+    for (const auto& e : join->graph().edges()) {
+      edges.push_back(JoinEdge{e.left, e.right});
+    }
+    out.push_back(JoinSpec::Create(join->name(), rels, edges).value());
+  }
+  return out;
+}
+
+void ExpectSameSampling(const PreparedUnionPtr& refreshed,
+                        const PreparedUnionPtr& cold, uint64_t seed) {
+  ASSERT_EQ(refreshed->estimates().cover_sizes.size(),
+            cold->estimates().cover_sizes.size());
+  for (size_t j = 0; j < cold->estimates().cover_sizes.size(); ++j) {
+    EXPECT_EQ(refreshed->estimates().cover_sizes[j],
+              cold->estimates().cover_sizes[j])
+        << "cover size " << j;
+  }
+  // Same seed, same data, same epoch -> byte-identical samples.
+  auto draw = [seed](const PreparedUnionPtr& plan) {
+    UnionSampler::Options options;
+    options.sampler_factory = plan->MakeJoinSamplerFactory();
+    auto sampler = UnionSampler::Create(plan->joins(), /*samplers=*/{},
+                                        plan->estimates(), plan->probers(),
+                                        options)
+                       .value();
+    Rng rng(seed);
+    std::vector<Tuple> tuples = sampler->Sample(200, rng).value();
+    std::vector<std::string> out;
+    for (const auto& t : tuples) out.push_back(t.Encode());
+    return out;
+  };
+  EXPECT_EQ(draw(refreshed), draw(cold));
+}
+
+TEST(PreparedUnionApplyDeltaTest, RefreshMatchesColdRebuild) {
+  auto joins = EpochJoins(920);
+  auto prev =
+      PreparedUnion::Build("q", 1, joins, PreparedQueryOptions()).value();
+  RelationDelta delta = ProbeDelta(joins);
+
+  auto refreshed = PreparedUnion::ApplyDelta(prev, {delta});
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(refreshed.value()->data_epoch(), 1u);
+  EXPECT_EQ(refreshed.value()->delta_rows(), delta.num_rows());
+  EXPECT_EQ(refreshed.value()->latest_epoch(), 1u);
+  // The superseded plan sees the family's latest epoch too.
+  EXPECT_EQ(prev->latest_epoch(), 1u);
+  EXPECT_EQ(prev->data_epoch(), 0u);
+
+  auto cold = PreparedUnion::Build("q", 1, FoldJoins(joins, delta),
+                                   PreparedQueryOptions())
+                  .value();
+  ExpectSameSampling(refreshed.value(), cold, 7001);
+}
+
+TEST(PreparedUnionApplyDeltaTest, ShardedRefreshMatchesColdRebuild) {
+  auto joins = EpochJoins(921);
+  PreparedQueryOptions options;
+  options.shard.num_shards = 4;
+  auto prev = PreparedUnion::Build("q", 1, joins, options).value();
+  RelationDelta delta = ProbeDelta(joins);
+
+  auto refreshed = PreparedUnion::ApplyDelta(prev, {delta});
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  ASSERT_NE(refreshed.value()->shards(), nullptr);
+
+  auto cold =
+      PreparedUnion::Build("q", 1, FoldJoins(joins, delta), options).value();
+  ExpectSameSampling(refreshed.value(), cold, 7002);
+
+  // The weight ledger re-verified its exact merge invariant on refresh.
+  auto weights = refreshed.value()->shards()->shard_union_weights();
+  auto cold_weights = cold->shards()->shard_union_weights();
+  EXPECT_EQ(weights, cold_weights);
+}
+
+TEST(PreparedUnionApplyDeltaTest, ChainedEpochsStayConsistent) {
+  auto joins = EpochJoins(922);
+  auto plan =
+      PreparedUnion::Build("q", 1, joins, PreparedQueryOptions()).value();
+  std::vector<JoinSpecPtr> current = joins;
+  for (int e = 1; e <= 3; ++e) {
+    RelationDelta delta = ProbeDelta(current);
+    current = FoldJoins(current, delta);
+    auto refreshed = PreparedUnion::ApplyDelta(plan, {delta});
+    ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+    plan = std::move(refreshed).value();
+    EXPECT_EQ(plan->data_epoch(), static_cast<uint64_t>(e));
+  }
+  auto cold =
+      PreparedUnion::Build("q", 1, current, PreparedQueryOptions()).value();
+  ExpectSameSampling(plan, cold, 7003);
+}
+
+TEST(PreparedUnionApplyDeltaTest, ValidatesDeltas) {
+  auto joins = EpochJoins(923);
+  auto prev =
+      PreparedUnion::Build("q", 1, joins, PreparedQueryOptions()).value();
+
+  RelationDelta unknown;
+  unknown.relation = "no_such_relation";
+  unknown.deletes = {0};
+  EXPECT_FALSE(PreparedUnion::ApplyDelta(prev, {unknown}).ok());
+
+  RelationDelta dup = ProbeDelta(joins);
+  EXPECT_FALSE(PreparedUnion::ApplyDelta(prev, {dup, dup}).ok());
+
+  EXPECT_FALSE(PreparedUnion::ApplyDelta(prev, {}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// QueryRegistry / SamplingService integration
+
+TEST(QueryRegistryApplyDeltaTest, SwapsPlanAndKeepsOldSessionsValid) {
+  ServiceOptions service_options;
+  service_options.seed = 930;
+  auto service = SamplingService::Create(service_options).value();
+  auto joins = EpochJoins(930);
+  ASSERT_TRUE(service->Prepare("q", joins).ok());
+
+  // A session opened on epoch 0 pins its plan.
+  auto session = service->OpenSession("q").value();
+  auto before = service->GetQuery("q").value();
+
+  RelationDelta delta = ProbeDelta(joins);
+  auto refreshed = service->ApplyDelta("q", {delta});
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(refreshed.value()->data_epoch(), 1u);
+
+  // Registry now serves the new epoch; the pinned plan still samples.
+  EXPECT_EQ(service->GetQuery("q").value()->data_epoch(), 1u);
+  EXPECT_EQ(before->data_epoch(), 0u);
+  EXPECT_EQ(before->latest_epoch(), 1u);
+  auto samples = service->Sample(session, 50);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  EXPECT_EQ(samples.value().size(), 50u);
+  ASSERT_TRUE(service->CloseSession(session).ok());
+
+  EXPECT_FALSE(service->ApplyDelta("nope", {delta}).ok());
+}
+
+// Satellite 2: the sharded memory estimate must include per-shard state,
+// so a budget generous enough for two BASE-byte estimates still evicts
+// when the plans are sharded.
+TEST(QueryRegistryApplyDeltaTest, ShardedPlansAccountShardStateInBudget) {
+  auto joins_a = EpochJoins(931);
+  auto joins_b = EpochJoins(932);
+  PreparedQueryOptions unsharded;
+  PreparedQueryOptions sharded;
+  sharded.shard.num_shards = 4;
+
+  size_t base_bytes =
+      PreparedUnion::Build("probe", 1, joins_a, unsharded).value()
+          ->approx_memory_bytes();
+  size_t sharded_bytes =
+      PreparedUnion::Build("probe", 1, joins_a, sharded).value()
+          ->approx_memory_bytes();
+  // The sharded estimate must exceed the unsharded one: per-shard
+  // EW/wander indexes and coordinator state are real resident bytes.
+  ASSERT_GT(sharded_bytes, base_bytes);
+
+  // Budget sized for two unsharded plans but NOT two sharded ones: with
+  // the old base-bytes-only accounting both sharded plans would appear
+  // to fit and no eviction would fire.
+  QueryRegistry::Options options;
+  options.memory_budget_bytes = 2 * base_bytes + base_bytes / 2;
+  ASSERT_LT(options.memory_budget_bytes, 2 * sharded_bytes);
+  QueryRegistry registry(options);
+  ASSERT_TRUE(registry.Prepare("a", joins_a, sharded).ok());
+  ASSERT_TRUE(registry.Prepare("b", joins_b, sharded).ok());
+  EXPECT_EQ(registry.snapshot().evicted_for_budget, 1u);
+  EXPECT_FALSE(registry.Get("a").ok());
+  EXPECT_TRUE(registry.Get("b").ok());
+}
+
+TEST(QueryRegistryApplyDeltaTest, DeltaReaccountsResidentBytes) {
+  auto joins = EpochJoins(933);
+  QueryRegistry registry;
+  ASSERT_TRUE(registry.Prepare("q", joins, PreparedQueryOptions()).ok());
+  size_t before = registry.snapshot().resident_bytes;
+  ASSERT_GT(before, 0u);
+
+  RelationDelta delta = ProbeDelta(joins);
+  auto refreshed = registry.ApplyDelta("q", {delta});
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(registry.snapshot().resident_bytes,
+            refreshed.value()->approx_memory_bytes());
+}
+
+}  // namespace
+}  // namespace suj

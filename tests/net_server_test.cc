@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -441,6 +443,81 @@ TEST(SujServerTest, ReaperClosesAbandonedSessionsWithoutPerturbingSiblings) {
   }
   // The reaped slot went back to the governor.
   EXPECT_EQ(fx.server->governor().snapshot("t").sessions_open, 1u);
+}
+
+TEST(SujServerTest, SlowStreamKeepsSessionAliveAcrossIdleTimeout) {
+  const uint64_t seed = 541;
+  const int64_t timeout_ms = 400;
+  net::ServerOptions options;
+  options.session_idle_timeout_ns = timeout_ms * 1'000'000;
+  options.reap_interval_ns = 10'000'000;  // 10 ms
+  ServerFixture fx(seed, options);
+
+  auto client = fx.Client("t");
+  ASSERT_TRUE(client.Prepare("chains541").ok());
+  OpenSessionRequest open;
+  open.query = "chains541";
+  // Oracle mode: per-chunk cost is uniform, so the inter-touch gap
+  // stays far below the timeout even under TSan. (Revision mode's
+  // first chunk pays cover learning and can alone outlast the
+  // timeout under sanitizers — a chunk no per-chunk Touch can cover.)
+  open.mode = 1;
+  auto session = client.OpenSession(open).value();
+
+  // The reaper must be starved of excuses by a stream whose PRODUCTION
+  // outlasts the idle timeout many times over (loopback kernel buffers
+  // absorb megabytes, so client-side pacing cannot reliably block the
+  // server's writes — production time is the only deterministic pacer).
+  // A fixed tuple count can't do that portably: it is trivially short
+  // on a fast Release runner (the test passes with the bug present) and
+  // minutes long under oversubscribed TSan. So calibrate: a short
+  // stream measures THIS machine's wire throughput, and the main
+  // stream is sized to ~4x the timeout from it.
+  size_t delivered = 0;
+  auto count_tuples = [&](const net::TupleChunk& chunk) {
+    delivered += chunk.encoded_tuples.size();
+    return Status::OK();
+  };
+  const auto calib_start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(
+      client.StreamSample(session, 4096, /*chunk_size=*/256, count_tuples)
+          .ok());
+  const double calib_ms = std::max<double>(
+      1.0, std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - calib_start)
+               .count());
+  const double tuples_per_ms = static_cast<double>(delivered) / calib_ms;
+  const uint64_t total = std::clamp<uint64_t>(
+      static_cast<uint64_t>(tuples_per_ms * 4 * timeout_ms), 20'000,
+      500'000);
+
+  // The session's only liveness signal across the stream is the
+  // per-chunk Touch in HandleStreamSample; the regression this pins
+  // was a single post-loop Touch, which let the reaper close the
+  // session mid-stream (the stream itself finished — it pins the
+  // session shared_ptr — but the follow-up Sample below failed
+  // NotFound). Small chunks keep the inter-touch gap tiny relative to
+  // the timeout even when a parallel ctest run oversubscribes the box.
+  // The client drains at full speed, so the Sample lands within
+  // milliseconds of the server's final chunk.
+  delivered = 0;
+  const auto stream_start = std::chrono::steady_clock::now();
+  auto streamed =
+      client.StreamSample(session, total, /*chunk_size=*/64, count_tuples);
+  const auto stream_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - stream_start).count();
+  ASSERT_TRUE(streamed.ok()) << streamed.ToString();
+  EXPECT_EQ(delivered, total);
+  EXPECT_GT(stream_ms, timeout_ms)
+      << "stream too fast to exercise the reaper — raise the calibration "
+         "multiplier to keep this test meaningful";
+
+  EXPECT_TRUE(fx.service->sessions().Get(session).ok())
+      << "idle reaper closed a session that was mid-stream the whole time";
+  auto after = client.Sample(session, 5);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().size(), 5u);
+  EXPECT_EQ(fx.server->StatsSnapshot().sessions_reaped, 0u);
 }
 
 // ---------------------------------------------------------------------------

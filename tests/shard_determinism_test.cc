@@ -35,6 +35,7 @@
 #include "core/union_sampler.h"
 #include "join/exact_weight.h"
 #include "join/membership.h"
+#include "obs/metrics.h"
 #include "service/prepared_union.h"
 #include "service/session.h"
 #include "shard/shard_coordinator.h"
@@ -458,6 +459,32 @@ TEST(ShardDeterminismTest, ServiceSessionsMatchUnshardedInEveryMode) {
       }
     }
   }
+}
+
+TEST(ShardDeterminismTest, RowRangeOverlapDelegationIsCounted) {
+  // kRowRange warm-ups are NOT shard-local: range slices are not
+  // content-addressed, so the merged estimator silently delegates to one
+  // canonical ExactOverlapCalculator (still exact, but centralized).
+  // That delegation is surfaced via suj_shard_overlap_delegated_total so
+  // operators can see kRowRange plans pay a central warm-up; this pins
+  // the counter to exactly one bump per kRowRange estimator build and
+  // none for kHashKey (which truly merges per shard).
+  auto joins = MakeJoins(722);
+  obs::Counter* const delegated = obs::MetricsRegistry::Global().GetCounter(
+      "suj_shard_overlap_delegated_total");
+
+  uint64_t before = delegated->Value();
+  auto hashed = MakeSharded(joins, 4, ShardScheme::kHashKey);
+  ASSERT_TRUE(
+      ShardMergedOverlapEstimator::Create(hashed->plan).ok());
+  EXPECT_EQ(delegated->Value(), before) << "kHashKey must not delegate";
+
+  before = delegated->Value();
+  auto ranged = MakeSharded(joins, 4, ShardScheme::kRowRange);
+  ASSERT_TRUE(
+      ShardMergedOverlapEstimator::Create(ranged->plan).ok());
+  EXPECT_EQ(delegated->Value(), before + 1)
+      << "kRowRange delegates exactly once per estimator build";
 }
 
 TEST(ShardDeterminismTest, FailedShardSurfacesAsUnavailable) {
